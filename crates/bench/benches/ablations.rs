@@ -1,0 +1,116 @@
+//! Ablation benches for the design choices recorded in DESIGN.md:
+//!
+//! * **A1 — shared vs reserved recovery slack**: how much schedule head-
+//!   room the shared-slack analysis recovers compared with reserving
+//!   per-process recovery time (the paper's argument for slack sharing).
+//! * **A2 — tree expansion policy**: synthesis cost of the three
+//!   `ExpansionPolicy` variants at a fixed budget.
+//! * **A3 — utility-driven dropping**: FTSS synthesis with the
+//!   `DetermineDropping` step disabled.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftqs_core::ftqs::{ftqs, ExpansionPolicy, FtqsConfig};
+use ftqs_core::ftss::ftss;
+use ftqs_core::wcdelay::{worst_case_fault_delay, SlackItem};
+use ftqs_core::{FtssConfig, ScheduleContext, Time};
+use ftqs_workloads::{presets, synthetic};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A1: compare the analysis cost (and print, once, the headroom gap) of
+/// shared slack vs per-process reservation.
+fn bench_slack_models(c: &mut Criterion) {
+    let params = presets::table1_params();
+    let mut rng = StdRng::seed_from_u64(presets::app_seed(0xAB1A, 0));
+    let app = synthetic::generate_schedulable(&params, &mut rng, 50);
+    let schedule = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default())
+        .expect("schedulable");
+    let k = app.faults().k;
+    let items: Vec<SlackItem> = schedule
+        .entries()
+        .iter()
+        .map(|e| SlackItem::new(app.recovery_penalty(e.process), e.reexecutions))
+        .collect();
+
+    // Reserved model: every process privately reserves its full allowance.
+    let reserved: Time = items
+        .iter()
+        .map(|it| it.penalty * it.allowance.min(k) as u64)
+        .sum();
+    let shared = worst_case_fault_delay(&items, k);
+    println!(
+        "slack ablation: shared delay {shared}, reserved delay {reserved} \
+         ({}x tighter)",
+        reserved.as_ms() as f64 / shared.as_ms().max(1) as f64
+    );
+
+    let mut group = c.benchmark_group("slack_analysis");
+    group.bench_function("shared", |b| {
+        b.iter(|| worst_case_fault_delay(&items, k));
+    });
+    group.bench_function("reserved", |b| {
+        b.iter(|| -> Time {
+            items
+                .iter()
+                .map(|it| it.penalty * it.allowance.min(k) as u64)
+                .sum()
+        });
+    });
+    group.finish();
+}
+
+/// A2: FTQS synthesis under the three expansion policies.
+fn bench_expansion_policies(c: &mut Criterion) {
+    let params = presets::table1_params();
+    let mut rng = StdRng::seed_from_u64(presets::app_seed(0xAB2A, 0));
+    let app = synthetic::generate_schedulable(&params, &mut rng, 50);
+
+    let mut group = c.benchmark_group("expansion_policy");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("most_similar", ExpansionPolicy::MostSimilar),
+        ("fifo", ExpansionPolicy::Fifo),
+        ("best_improvement", ExpansionPolicy::BestImprovement),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
+            let cfg = FtqsConfig {
+                max_schedules: 16,
+                policy,
+                ..FtqsConfig::default()
+            };
+            b.iter(|| ftqs(&app, &cfg).expect("schedulable"));
+        });
+    }
+    group.finish();
+}
+
+/// A3: FTSS with and without the utility-driven dropping step.
+fn bench_dropping(c: &mut Criterion) {
+    let params = presets::table1_params();
+    let mut rng = StdRng::seed_from_u64(presets::app_seed(0xAB3A, 0));
+    let app = synthetic::generate_schedulable(&params, &mut rng, 50);
+
+    let mut group = c.benchmark_group("ftss_dropping");
+    for (name, dropping) in [("with_dropping", true), ("without_dropping", false)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &dropping,
+            |b, &dropping| {
+                let cfg = FtssConfig {
+                    dropping,
+                    ..FtssConfig::default()
+                };
+                b.iter(|| ftss(&app, &ScheduleContext::root(&app), &cfg).expect("schedulable"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_slack_models,
+    bench_expansion_policies,
+    bench_dropping
+);
+criterion_main!(benches);

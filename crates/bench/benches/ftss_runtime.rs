@@ -1,0 +1,42 @@
+//! Synthesis-time bench for the FTSS static scheduler (and the FTSF
+//! baseline) across application sizes — the cost side of the paper's first
+//! experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftqs_core::ftsf::ftsf;
+use ftqs_core::ftss::ftss;
+use ftqs_core::{FtssConfig, ScheduleContext};
+use ftqs_workloads::{presets, synthetic};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_ftss(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ftss_synthesis");
+    for &size in &[10usize, 20, 30, 40, 50] {
+        let params = presets::fig9_params(size);
+        let mut rng = StdRng::seed_from_u64(presets::app_seed(0xF755, size));
+        let app = synthetic::generate_schedulable(&params, &mut rng, 50);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &app, |b, app| {
+            let cfg = FtssConfig::default();
+            b.iter(|| ftss(app, &ScheduleContext::root(app), &cfg).expect("schedulable"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ftsf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ftsf_synthesis");
+    for &size in &[10usize, 30, 50] {
+        let params = presets::fig9_params(size);
+        let mut rng = StdRng::seed_from_u64(presets::app_seed(0xF75F, size));
+        let app = synthetic::generate_schedulable(&params, &mut rng, 50);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &app, |b, app| {
+            let cfg = FtssConfig::default();
+            b.iter(|| ftsf(app, &cfg).expect("schedulable"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ftss, bench_ftsf);
+criterion_main!(benches);

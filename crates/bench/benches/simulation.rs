@@ -1,0 +1,62 @@
+//! Online-scheduler throughput bench: cost of simulating one operation
+//! cycle — the "very low online overhead" claim of quasi-static scheduling
+//! versus computing schedules online.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftqs_core::ftqs::{ftqs, FtqsConfig};
+use ftqs_core::ftss::ftss;
+use ftqs_core::{FtssConfig, QuasiStaticTree, ScheduleContext};
+use ftqs_sim::{OnlineScheduler, ScenarioSampler};
+use ftqs_workloads::{presets, synthetic};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_cycle");
+    for &size in &[10usize, 30, 50] {
+        let params = presets::fig9_params(size);
+        let mut rng = StdRng::seed_from_u64(presets::app_seed(0x51AB, size));
+        let app = synthetic::generate_schedulable(&params, &mut rng, 50);
+        let tree = ftqs(&app, &FtqsConfig::with_budget(16)).expect("schedulable");
+        let runner = OnlineScheduler::new(&app, &tree);
+        let sampler = ScenarioSampler::new(&app);
+        let scenarios: Vec<_> = (0..64)
+            .map(|i| sampler.sample(&mut StdRng::seed_from_u64(i), i as usize % 4))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("tree", size), &scenarios, |b, scs| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let out = runner.run(&scs[i % scs.len()]);
+                i += 1;
+                out.utility
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_static_vs_tree(c: &mut Criterion) {
+    let params = presets::fig9_params(30);
+    let mut rng = StdRng::seed_from_u64(presets::app_seed(0x51AC, 0));
+    let app = synthetic::generate_schedulable(&params, &mut rng, 50);
+    let root = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default())
+        .expect("schedulable");
+    let single = QuasiStaticTree::single(root);
+    let tree = ftqs(&app, &FtqsConfig::with_budget(32)).expect("schedulable");
+    let sampler = ScenarioSampler::new(&app);
+    let sc = sampler.sample(&mut StdRng::seed_from_u64(5), 2);
+
+    let mut group = c.benchmark_group("online_overhead");
+    let static_runner = OnlineScheduler::new(&app, &single);
+    group.bench_function("static_schedule", |b| {
+        b.iter(|| static_runner.run(&sc).utility)
+    });
+    let tree_runner = OnlineScheduler::new(&app, &tree);
+    group.bench_function("quasi_static_tree", |b| {
+        b.iter(|| tree_runner.run(&sc).utility)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycle, bench_static_vs_tree);
+criterion_main!(benches);

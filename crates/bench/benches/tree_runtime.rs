@@ -1,0 +1,42 @@
+//! Synthesis-time bench for FTQS as a function of the tree budget — the
+//! runtime column of the paper's Table 1 ("from 0.62 sec for FTSS to 38.79
+//! sec for FTQS with 89 nodes"; absolute values differ on modern hardware,
+//! the growth with the budget is the reproduced shape).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftqs_core::ftqs::{ftqs, FtqsConfig};
+use ftqs_workloads::{presets, synthetic};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_tree_budget(c: &mut Criterion) {
+    let params = presets::table1_params();
+    let mut rng = StdRng::seed_from_u64(presets::app_seed(0x7AB1, 0));
+    let app = synthetic::generate_schedulable(&params, &mut rng, 50);
+
+    let mut group = c.benchmark_group("ftqs_synthesis_table1");
+    group.sample_size(10);
+    for &m in &presets::TABLE1_NODES {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| ftqs(&app, &FtqsConfig::with_budget(m)).expect("schedulable"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_tree_by_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ftqs_synthesis_by_size");
+    group.sample_size(10);
+    for &size in &[10usize, 20, 30] {
+        let params = presets::fig9_params(size);
+        let mut rng = StdRng::seed_from_u64(presets::app_seed(0x7AB2, size));
+        let app = synthetic::generate_schedulable(&params, &mut rng, 50);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &app, |b, app| {
+            b.iter(|| ftqs(app, &FtqsConfig::with_budget(16)).expect("schedulable"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_budget, bench_tree_by_size);
+criterion_main!(benches);

@@ -1,0 +1,210 @@
+//! # ftqs-bench — experiment harness for the DATE 2008 reproduction
+//!
+//! Shared machinery for the experiment binaries (`fig9a`, `fig9b`,
+//! `table1`, `cruise`) and the criterion benches: building the three
+//! schedulers under comparison (FTQS / FTSS / FTSF) for a workload,
+//! evaluating them over identical Monte Carlo scenarios, and printing the
+//! paper's tables.
+//!
+//! Every binary accepts `--apps N`, `--scenarios N`, and `--seed N` to
+//! trade fidelity for speed; `--full` selects the paper-scale settings
+//! (450 applications, 20,000 scenarios).
+
+#![warn(missing_docs)]
+
+use ftqs_core::ftqs::{ftqs, FtqsConfig};
+use ftqs_core::ftsf::ftsf;
+use ftqs_core::ftss::ftss;
+use ftqs_core::{
+    Application, FtssConfig, QuasiStaticTree, ScheduleContext, SchedulingError,
+};
+use ftqs_sim::MonteCarlo;
+
+/// The three schedulers of the paper's evaluation, synthesized for one
+/// application. All are executed through the same online runtime — FTSS
+/// and FTSF as single-node trees.
+#[derive(Debug)]
+pub struct SchedulerSet {
+    /// Quasi-static tree (FTQS).
+    pub ftqs: QuasiStaticTree,
+    /// Single fault-tolerant static schedule (FTSS).
+    pub ftss: QuasiStaticTree,
+    /// Straightforward baseline (FTSF).
+    pub ftsf: QuasiStaticTree,
+}
+
+impl SchedulerSet {
+    /// Builds all three schedulers with an FTQS budget of `m` schedules.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SchedulingError`] when the application is
+    /// unschedulable (callers typically skip such instances, as the paper's
+    /// generator only retains schedulable ones).
+    pub fn build(app: &Application, m: usize) -> Result<SchedulerSet, SchedulingError> {
+        let ftss_cfg = FtssConfig::default();
+        let root = ftss(app, &ScheduleContext::root(app), &ftss_cfg)?;
+        let tree = ftqs(app, &FtqsConfig::with_budget(m))?;
+        let baseline = ftsf(app, &ftss_cfg)?;
+        Ok(SchedulerSet {
+            ftqs: tree,
+            ftss: QuasiStaticTree::single(root),
+            ftsf: QuasiStaticTree::single(baseline),
+        })
+    }
+}
+
+/// Mean utilities of one scheduler across the standard fault counts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultSweep {
+    /// Mean utility with 0, 1, 2 and 3 faults (entries beyond the
+    /// application's budget `k` repeat the `k`-fault value).
+    pub by_faults: [f64; 4],
+}
+
+/// Evaluates `tree` over 0..=3-fault scenario sets (clamped to the
+/// application's `k`).
+#[must_use]
+pub fn fault_sweep(app: &Application, tree: &QuasiStaticTree, mc: &MonteCarlo) -> FaultSweep {
+    let k = app.faults().k;
+    let mut out = FaultSweep::default();
+    for f in 0..4 {
+        let fc = f.min(k);
+        let eval = mc.evaluate(app, tree, fc);
+        assert_eq!(
+            eval.deadline_misses, 0,
+            "hard deadline missed during evaluation — scheduler bug"
+        );
+        out.by_faults[f] = eval.utility.mean();
+    }
+    out
+}
+
+/// Mean no-fault utility of `tree`.
+#[must_use]
+pub fn no_fault_utility(app: &Application, tree: &QuasiStaticTree, mc: &MonteCarlo) -> f64 {
+    let eval = mc.evaluate(app, tree, 0);
+    assert_eq!(eval.deadline_misses, 0, "hard deadline missed");
+    eval.utility.mean()
+}
+
+/// Percentage of `value` relative to `reference` (100 = equal); 100 when
+/// the reference is ~0 (both schedulers produced nothing).
+#[must_use]
+pub fn normalize(value: f64, reference: f64) -> f64 {
+    if reference.abs() < 1e-9 {
+        100.0
+    } else {
+        100.0 * value / reference
+    }
+}
+
+/// Tiny command-line option reader: `--name value` pairs and bare flags.
+#[derive(Debug, Clone)]
+pub struct Options {
+    args: Vec<String>,
+}
+
+impl Options {
+    /// Captures the process arguments.
+    #[must_use]
+    pub fn from_env() -> Self {
+        Options {
+            args: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// Builds options from an explicit list (tests).
+    #[must_use]
+    pub fn from_vec(args: Vec<String>) -> Self {
+        Options { args }
+    }
+
+    /// `true` if the bare flag `--name` is present.
+    #[must_use]
+    pub fn flag(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == name)
+    }
+
+    /// The value following `--name`, parsed, or `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message if the value fails to parse.
+    #[must_use]
+    pub fn value<T: std::str::FromStr>(&self, name: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.args.iter().position(|a| a == name) {
+            Some(i) => {
+                let raw = self
+                    .args
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("missing value for {name}"));
+                raw.parse()
+                    .unwrap_or_else(|e| panic!("invalid value for {name}: {e}"))
+            }
+            None => default,
+        }
+    }
+}
+
+/// Prints a separator-delimited row, space-padding each cell to `width`.
+pub fn print_row(cells: &[String], width: usize) {
+    let row: Vec<String> = cells.iter().map(|c| format!("{c:>width$}")).collect();
+    println!("{}", row.join("  "));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftqs_workloads::{synthetic, GeneratorParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scheduler_set_builds_for_generated_app() {
+        let params = GeneratorParams::paper(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let app = synthetic::generate_schedulable(&params, &mut rng, 20);
+        let set = SchedulerSet::build(&app, 4).unwrap();
+        assert!(set.ftqs.len() >= 1);
+        assert_eq!(set.ftss.len(), 1);
+        assert_eq!(set.ftsf.len(), 1);
+    }
+
+    #[test]
+    fn fault_sweep_is_monotone_nonincreasing_on_average() {
+        let params = GeneratorParams::paper(10);
+        let mut rng = StdRng::seed_from_u64(3);
+        let app = synthetic::generate_schedulable(&params, &mut rng, 20);
+        let set = SchedulerSet::build(&app, 4).unwrap();
+        let mc = MonteCarlo {
+            scenarios: 300,
+            seed: 5,
+            threads: 2,
+        };
+        let sweep = fault_sweep(&app, &set.ftqs, &mc);
+        assert!(sweep.by_faults[0] + 1e-9 >= sweep.by_faults[3]);
+    }
+
+    #[test]
+    fn normalize_handles_zero_reference() {
+        assert_eq!(normalize(10.0, 0.0), 100.0);
+        assert!((normalize(50.0, 100.0) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn options_parse_values_and_flags() {
+        let o = Options::from_vec(vec![
+            "--apps".into(),
+            "7".into(),
+            "--full".into(),
+        ]);
+        assert_eq!(o.value("--apps", 1usize), 7);
+        assert_eq!(o.value("--scenarios", 99usize), 99);
+        assert!(o.flag("--full"));
+        assert!(!o.flag("--quick"));
+    }
+}

@@ -1,0 +1,394 @@
+//! # ftqs-cli — command-line front end
+//!
+//! Drives the whole pipeline from application spec files (see
+//! [`ftqs_workloads::spec`]): inspect, synthesize FTSS schedules and FTQS
+//! trees, export DOT/JSON, simulate cycles, and compare schedulers.
+//!
+//! The command implementations return their output as `String` so the
+//! binary stays a thin argv dispatcher and everything is unit-testable.
+
+#![warn(missing_docs)]
+
+use ftqs_core::ftqs::{ftqs, FtqsConfig};
+use ftqs_core::ftsf::ftsf;
+use ftqs_core::ftss::ftss;
+use ftqs_core::validate::validate_tree;
+use ftqs_core::{Application, FtssConfig, QuasiStaticTree, ScheduleContext, Time};
+use ftqs_sim::{ExecutionScenario, GreedyOnlineScheduler, OnlineScheduler, ScenarioSampler};
+use ftqs_workloads::spec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::error::Error;
+use std::fmt::Write as _;
+
+/// Boxed error alias for command results.
+pub type CliError = Box<dyn Error>;
+
+/// Loads an application: `--example` yields the paper's Fig. 1 spec, `-`
+/// reads stdin, anything else is a file path.
+///
+/// # Errors
+///
+/// I/O errors and spec parse errors (with line numbers).
+pub fn load(source: &str) -> Result<Application, CliError> {
+    let text = match source {
+        "--example" => spec::FIG1_SPEC.to_string(),
+        "-" => std::io::read_to_string(std::io::stdin())?,
+        path => std::fs::read_to_string(path)?,
+    };
+    Ok(spec::parse(&text)?)
+}
+
+/// `ftqs info <spec>` — application summary and schedulability.
+///
+/// # Errors
+///
+/// Load/parse errors.
+pub fn info(source: &str) -> Result<String, CliError> {
+    let app = load(source)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} processes ({} hard / {} soft), period {}, k = {}, mu = {}",
+        app.len(),
+        app.hard_processes().count(),
+        app.soft_processes().count(),
+        app.period(),
+        app.faults().k,
+        app.faults().mu
+    );
+    let _ = writeln!(out, "total WCET {}", app.total_wcet());
+    match ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()) {
+        Ok(s) => {
+            let _ = writeln!(
+                out,
+                "FTSS: schedulable ({} scheduled, {} dropped)",
+                s.entries().len(),
+                s.statically_dropped().len()
+            );
+        }
+        Err(e) => {
+            let _ = writeln!(out, "FTSS: UNSCHEDULABLE — {e}");
+        }
+    }
+    Ok(out)
+}
+
+/// `ftqs schedule <spec>` — the FTSS schedule with worst-case analysis.
+///
+/// # Errors
+///
+/// Load/parse errors or [`ftqs_core::SchedulingError`].
+pub fn schedule(source: &str) -> Result<String, CliError> {
+    let app = load(source)?;
+    let s = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default())?;
+    let a = s.analyze(&app);
+    let k = app.faults().k;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<4} {:<20} {:>5} {:>7} {:>9} {:>9} {:>10}",
+        "#", "process", "kind", "reexec", "nominal", "worst", "lst(k)"
+    );
+    for (pos, e) in s.entries().iter().enumerate() {
+        let p = app.process(e.process);
+        let lst = a.latest_start(&app, e, pos, k);
+        let lst_str = if lst == Time::MAX {
+            "-".to_string()
+        } else {
+            lst.to_string()
+        };
+        let _ = writeln!(
+            out,
+            "{:<4} {:<20} {:>5} {:>7} {:>9} {:>9} {:>10}",
+            pos,
+            p.name(),
+            if p.is_hard() { "hard" } else { "soft" },
+            e.reexecutions,
+            a.nominal_completion(pos).to_string(),
+            a.worst_completion(pos).to_string(),
+            lst_str,
+        );
+    }
+    for d in s.statically_dropped() {
+        let _ = writeln!(out, "dropped: {}", app.process(*d).name());
+    }
+    Ok(out)
+}
+
+/// `ftqs tree <spec> [--budget N] [--dot|--json]` — synthesize the
+/// quasi-static tree; default output is a readable listing.
+///
+/// # Errors
+///
+/// Load/parse/synthesis errors; JSON serialization errors.
+pub fn tree(source: &str, budget: usize, format: TreeFormat) -> Result<String, CliError> {
+    let app = load(source)?;
+    let tree = ftqs(&app, &FtqsConfig::with_budget(budget))?;
+    validate_tree(&app, &tree)?;
+    match format {
+        TreeFormat::Text => Ok(render_tree_text(&app, &tree)),
+        TreeFormat::Dot => Ok(tree.to_dot(&app)),
+        TreeFormat::Json => Ok(serde_json::to_string_pretty(&tree)?),
+    }
+}
+
+/// Output format of [`tree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeFormat {
+    /// Human-readable listing.
+    Text,
+    /// Graphviz digraph.
+    Dot,
+    /// Serialized tree (the artifact an embedded runtime would load).
+    Json,
+}
+
+fn render_tree_text(app: &Application, tree: &QuasiStaticTree) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} schedules, depth {}", tree.len(), tree.depth());
+    for (id, node) in tree.iter() {
+        let order: Vec<&str> = node
+            .schedule
+            .order_key()
+            .iter()
+            .map(|&p| app.process(p).name())
+            .collect();
+        let _ = writeln!(out, "node {id} (depth {}): {}", node.depth, order.join(" -> "));
+        for arc in &node.arcs {
+            let _ = writeln!(
+                out,
+                "  if {} completes in {}..={} -> node {}",
+                app.process(arc.pivot).name(),
+                arc.lo,
+                arc.hi,
+                arc.child
+            );
+        }
+    }
+    out
+}
+
+/// `ftqs graph <spec>` — Graphviz DOT of the task graph.
+///
+/// # Errors
+///
+/// Load/parse errors.
+pub fn graph(source: &str) -> Result<String, CliError> {
+    let app = load(source)?;
+    Ok(ftqs_graph::dot::to_dot(app.graph(), "application"))
+}
+
+/// `ftqs simulate <spec> [--cycles N] [--faults F] [--seed S] [--budget N]
+/// [--trace]` — run Monte Carlo cycles against the quasi-static tree.
+///
+/// # Errors
+///
+/// Load/parse/synthesis errors.
+pub fn simulate(
+    source: &str,
+    cycles: usize,
+    faults: usize,
+    seed: u64,
+    budget: usize,
+    show_trace: bool,
+) -> Result<String, CliError> {
+    let app = load(source)?;
+    let faults = faults.min(app.faults().k);
+    let tree = ftqs(&app, &FtqsConfig::with_budget(budget))?;
+    let runner = OnlineScheduler::new(&app, &tree);
+    let sampler = ScenarioSampler::new(&app);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut utility = ftqs_sim::stats::Accumulator::new();
+    let mut switches = 0usize;
+    let mut first_trace: Option<String> = None;
+    for _ in 0..cycles {
+        let sc = sampler.sample(&mut rng, faults);
+        let out = runner.run(&sc);
+        if out.deadline_miss.is_some() {
+            return Err(format!(
+                "hard deadline missed — scheduler bug or invalid schedule ({:?})",
+                out.deadline_miss
+            )
+            .into());
+        }
+        utility.add(out.utility);
+        switches += out.trace.switch_count();
+        if show_trace && first_trace.is_none() {
+            first_trace = Some(out.trace.render(|n| app.process(n).name().to_string()));
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{cycles} cycles with {faults} fault(s): utility {utility}, {:.2} switches/cycle",
+        switches as f64 / cycles.max(1) as f64
+    );
+    if let Some(t) = first_trace {
+        let _ = writeln!(out, "\nfirst cycle trace:\n{t}");
+    }
+    Ok(out)
+}
+
+/// `ftqs compare <spec> [--scenarios N] [--budget N] [--seed S]` — mean
+/// utility of FTQS / FTSS / FTSF / the purely online greedy scheduler over
+/// identical scenarios, per fault count.
+///
+/// # Errors
+///
+/// Load/parse/synthesis errors.
+pub fn compare(
+    source: &str,
+    scenarios: usize,
+    budget: usize,
+    seed: u64,
+) -> Result<String, CliError> {
+    let app = load(source)?;
+    let k = app.faults().k;
+    let tree = ftqs(&app, &FtqsConfig::with_budget(budget))?;
+    let root = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default())?;
+    let single = QuasiStaticTree::single(root);
+    let baseline = QuasiStaticTree::single(ftsf(&app, &FtssConfig::default())?);
+    let greedy = GreedyOnlineScheduler::new(&app);
+    let sampler = ScenarioSampler::new(&app);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>7} {:>10} {:>10} {:>10} {:>10}",
+        "faults", "FTQS", "FTSS", "FTSF", "greedy"
+    );
+    for f in 0..=k {
+        let mut sums = [0.0f64; 4];
+        let mut rng = StdRng::seed_from_u64(seed ^ (f as u64) << 32);
+        for _ in 0..scenarios {
+            let sc = sampler.sample(&mut rng, f);
+            for (slot, t) in [&tree, &single, &baseline].into_iter().enumerate() {
+                let o = OnlineScheduler::new(&app, t).run(&sc);
+                if o.deadline_miss.is_some() {
+                    return Err("hard deadline missed".into());
+                }
+                sums[slot] += o.utility;
+            }
+            sums[3] += greedy.run(&sc).utility;
+        }
+        let n = scenarios.max(1) as f64;
+        let _ = writeln!(
+            out,
+            "{f:>7} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+            sums[0] / n,
+            sums[1] / n,
+            sums[2] / n,
+            sums[3] / n
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\n(identical scenario streams per row; greedy decides online at O(n^2) per decision)"
+    );
+    Ok(out)
+}
+
+/// `ftqs export <spec> [--budget N] [--prefix SYM]` — emit the
+/// quasi-static tree as a C header for an embedded runtime.
+///
+/// # Errors
+///
+/// Load/parse/synthesis errors.
+pub fn export_c(source: &str, budget: usize, prefix: &str) -> Result<String, CliError> {
+    let app = load(source)?;
+    let tree = ftqs(&app, &FtqsConfig::with_budget(budget))?;
+    validate_tree(&app, &tree)?;
+    Ok(ftqs_core::export::tree_to_c(&app, &tree, prefix))
+}
+
+/// Simulate one [`ExecutionScenario::average_case`] cycle and render its
+/// trace — used by `ftqs trace`.
+///
+/// # Errors
+///
+/// Load/parse/synthesis errors.
+pub fn trace_average(source: &str, budget: usize) -> Result<String, CliError> {
+    let app = load(source)?;
+    let tree = ftqs(&app, &FtqsConfig::with_budget(budget))?;
+    let runner = OnlineScheduler::new(&app, &tree);
+    let out = runner.run(&ExecutionScenario::average_case(&app));
+    Ok(format!(
+        "utility {:.2}\n{}",
+        out.utility,
+        out.trace.render(|n| app.process(n).name().to_string())
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn info_reports_fig1() {
+        let s = info("--example").unwrap();
+        assert!(s.contains("3 processes (1 hard / 2 soft)"));
+        assert!(s.contains("schedulable"));
+    }
+
+    #[test]
+    fn schedule_lists_all_entries() {
+        let s = schedule("--example").unwrap();
+        assert!(s.contains("P1"));
+        assert!(s.contains("P2"));
+        assert!(s.contains("P3"));
+        assert!(s.contains("hard"));
+    }
+
+    #[test]
+    fn tree_formats_render() {
+        let text = tree("--example", 4, TreeFormat::Text).unwrap();
+        assert!(text.contains("schedules"));
+        let dot = tree("--example", 4, TreeFormat::Dot).unwrap();
+        assert!(dot.starts_with("digraph"));
+        let json = tree("--example", 4, TreeFormat::Json).unwrap();
+        assert!(json.contains("\"nodes\""));
+    }
+
+    #[test]
+    fn graph_renders_dot() {
+        let s = graph("--example").unwrap();
+        assert!(s.contains("digraph application"));
+        assert!(s.contains("P1"));
+    }
+
+    #[test]
+    fn simulate_accumulates_cycles() {
+        let s = simulate("--example", 50, 1, 7, 4, true).unwrap();
+        assert!(s.contains("50 cycles"));
+        assert!(s.contains("trace"));
+    }
+
+    #[test]
+    fn compare_lists_all_schedulers() {
+        let s = compare("--example", 50, 4, 3).unwrap();
+        assert!(s.contains("FTQS"));
+        assert!(s.contains("greedy"));
+        // One row per fault count 0..=k (k = 1 for the example).
+        assert_eq!(s.lines().filter(|l| l.trim_start().starts_with(char::is_numeric)).count(), 2);
+    }
+
+    #[test]
+    fn trace_average_renders_events() {
+        let s = trace_average("--example", 4).unwrap();
+        assert!(s.contains("utility"));
+        assert!(s.contains("done"));
+    }
+
+    #[test]
+    fn load_rejects_missing_file() {
+        assert!(load("/nonexistent/path.ftqs").is_err());
+    }
+
+    #[test]
+    fn export_emits_c_header() {
+        let c = export_c("--example", 4, "fig1").unwrap();
+        assert!(c.contains("#include <stdint.h>"));
+        assert!(c.contains("fig1_tree"));
+    }
+}

@@ -1,0 +1,72 @@
+//! Error types of the scheduling algorithms.
+
+use crate::Time;
+use ftqs_graph::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Why schedule synthesis failed.
+///
+/// The primary failure mode, mirroring the paper's `return unschedulable`,
+/// is a hard process that cannot meet its deadline even after dropping every
+/// soft process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SchedulingError {
+    /// A hard process misses its deadline in the worst-case fault scenario
+    /// no matter which soft processes are dropped.
+    Unschedulable {
+        /// The hard process that cannot be guaranteed.
+        process: NodeId,
+        /// Its deadline.
+        deadline: Time,
+        /// The best achievable worst-case completion time.
+        worst_completion: Time,
+    },
+    /// The quasi-static tree was requested with a zero schedule budget.
+    ZeroTreeBudget,
+}
+
+impl fmt::Display for SchedulingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulingError::Unschedulable {
+                process,
+                deadline,
+                worst_completion,
+            } => write!(
+                f,
+                "hard process {process} cannot meet deadline {deadline}: worst-case completion {worst_completion}"
+            ),
+            SchedulingError::ZeroTreeBudget => {
+                write!(f, "quasi-static tree needs a budget of at least one schedule")
+            }
+        }
+    }
+}
+
+impl Error for SchedulingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_diagnostics() {
+        let e = SchedulingError::Unschedulable {
+            process: NodeId::from_index(4),
+            deadline: Time::from_ms(100),
+            worst_completion: Time::from_ms(140),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("n4"));
+        assert!(msg.contains("100ms"));
+        assert!(msg.contains("140ms"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SchedulingError>();
+    }
+}

@@ -1,0 +1,686 @@
+//! The *f-schedule*: a fault-tolerant static schedule with shared recovery
+//! slack (paper §3).
+//!
+//! An f-schedule fixes the execution order of the (non-dropped) processes
+//! and grants every entry a *re-execution allowance*: `k` for hard
+//! processes (they must tolerate all faults), a scheduler-chosen number for
+//! soft processes. Recovery time is not reserved per process — a single
+//! shared budget of `k` faults is analyzed with
+//! [`worst_case_fault_delay`] over every schedule prefix.
+//!
+//! [`ScheduleAnalysis`] derives from an f-schedule:
+//!
+//! * nominal (all-WCET, fault-free) completion times,
+//! * worst-case completion times (all-WCET plus the worst distribution of
+//!   `k` faults over the granted allowances),
+//! * *latest safe start times* per entry and per remaining-fault budget —
+//!   the table the online scheduler uses for runtime dropping decisions,
+//! * the expected (all-AET) utility, with stale-value coefficients and
+//!   runtime-dropping emulation.
+
+use crate::wcdelay::{worst_case_fault_delay, SlackItem};
+use crate::{Application, Time};
+use ftqs_graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// One slot of an f-schedule: a process and its re-execution allowance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ScheduleEntry {
+    /// The scheduled process.
+    pub process: NodeId,
+    /// Number of re-executions granted after faults (`k` for hard
+    /// processes; 0 means the process is abandoned on its first fault).
+    pub reexecutions: usize,
+}
+
+/// The execution context a (sub-)schedule starts from.
+///
+/// The root schedule starts at time zero with nothing completed; a
+/// quasi-static sub-schedule starts after a prefix of processes has run
+/// (`completed`) or been dropped (`dropped`), at the best-case completion
+/// time of its pivot process (`start`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleContext {
+    /// Time at which the first entry of the schedule may start.
+    pub start: Time,
+    /// Processes already executed (fresh outputs), indexed by node index.
+    pub completed: Vec<bool>,
+    /// Processes dropped or abandoned (stale outputs), indexed by node index.
+    pub dropped: Vec<bool>,
+}
+
+impl ScheduleContext {
+    /// The root context for `app`: time zero, nothing completed or dropped.
+    #[must_use]
+    pub fn root(app: &Application) -> Self {
+        ScheduleContext {
+            start: Time::ZERO,
+            completed: vec![false; app.len()],
+            dropped: vec![false; app.len()],
+        }
+    }
+
+    /// Returns `true` if `id` is still to be scheduled under this context.
+    #[must_use]
+    pub fn is_pending(&self, id: NodeId) -> bool {
+        !self.completed[id.index()] && !self.dropped[id.index()]
+    }
+}
+
+/// A fault-tolerant static schedule (f-schedule) for one application.
+///
+/// Produced by [`ftss`](crate::ftss::ftss) and, for sub-schedules of the
+/// quasi-static tree, by re-running FTSS from a [`ScheduleContext`].
+///
+/// # Example
+///
+/// ```
+/// use ftqs_core::{fschedule::{FSchedule, ScheduleContext}, ftss::ftss, FtssConfig};
+/// # use ftqs_core::{Application, ExecutionTimes, FaultModel, Time, UtilityFunction};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let mut b = Application::builder(Time::from_ms(300), FaultModel::new(1, Time::from_ms(10)));
+/// # let p1 = b.add_hard("P1", ExecutionTimes::uniform(30.into(), 70.into())?, Time::from_ms(180));
+/// # let app = b.build()?;
+/// let schedule = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default())?;
+/// let analysis = schedule.analyze(&app);
+/// assert!(analysis.is_schedulable());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FSchedule {
+    entries: Vec<ScheduleEntry>,
+    statically_dropped: Vec<NodeId>,
+    context: ScheduleContext,
+}
+
+impl FSchedule {
+    /// Assembles an f-schedule from its parts. Scheduling heuristics use
+    /// this; most callers obtain schedules from [`crate::ftss::ftss`] or
+    /// [`crate::ftsf::ftsf`].
+    #[must_use]
+    pub fn new(
+        entries: Vec<ScheduleEntry>,
+        statically_dropped: Vec<NodeId>,
+        context: ScheduleContext,
+    ) -> Self {
+        FSchedule {
+            entries,
+            statically_dropped,
+            context,
+        }
+    }
+
+    /// The ordered schedule slots.
+    #[must_use]
+    pub fn entries(&self) -> &[ScheduleEntry] {
+        &self.entries
+    }
+
+    /// Soft processes dropped at synthesis time (never executed under this
+    /// schedule).
+    #[must_use]
+    pub fn statically_dropped(&self) -> &[NodeId] {
+        &self.statically_dropped
+    }
+
+    /// The context this schedule starts from.
+    #[must_use]
+    pub fn context(&self) -> &ScheduleContext {
+        &self.context
+    }
+
+    /// Position of `process` among the entries, if scheduled.
+    #[must_use]
+    pub fn position_of(&self, process: NodeId) -> Option<usize> {
+        self.entries.iter().position(|e| e.process == process)
+    }
+
+    /// The process order as a plain id sequence (used for schedule
+    /// deduplication in the quasi-static tree).
+    #[must_use]
+    pub fn order_key(&self) -> Vec<NodeId> {
+        self.entries.iter().map(|e| e.process).collect()
+    }
+
+    /// The dropped mask implied by this schedule: context drops plus static
+    /// drops, indexed by node index.
+    #[must_use]
+    pub fn dropped_mask(&self, app: &Application) -> Vec<bool> {
+        let mut mask = self.context.dropped.clone();
+        mask.resize(app.len(), false);
+        for &d in &self.statically_dropped {
+            mask[d.index()] = true;
+        }
+        mask
+    }
+
+    /// Computes the timing analysis of this schedule under `app`'s fault
+    /// model.
+    #[must_use]
+    pub fn analyze(&self, app: &Application) -> ScheduleAnalysis {
+        ScheduleAnalysis::of(app, self)
+    }
+}
+
+/// A hard process that misses its deadline in the worst case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HardViolation {
+    /// The violating process.
+    pub process: NodeId,
+    /// Its deadline.
+    pub deadline: Time,
+    /// Its worst-case completion time under this schedule.
+    pub worst_completion: Time,
+}
+
+/// Derived timing tables of an [`FSchedule`] (see module docs).
+#[derive(Debug, Clone)]
+pub struct ScheduleAnalysis {
+    nominal_completion: Vec<Time>,
+    worst_completion: Vec<Time>,
+    /// `hard_safe_start[pos][r]`: latest start of entry `pos` such that all
+    /// hard entries at `pos..` still meet their deadlines in the worst case
+    /// with `r` remaining faults. `Time::MAX` when no hard entry follows.
+    hard_safe_start: Vec<Vec<Time>>,
+    violation: Option<HardViolation>,
+    k: usize,
+}
+
+impl ScheduleAnalysis {
+    fn of(app: &Application, schedule: &FSchedule) -> Self {
+        let k = app.faults().k;
+        let entries = schedule.entries();
+        let n = entries.len();
+        let start = schedule.context().start;
+
+        // Forward pass: nominal and worst-case completions.
+        let mut nominal_completion = Vec::with_capacity(n);
+        let mut worst_completion = Vec::with_capacity(n);
+        let mut violation = None;
+        let mut wcet_sum = start;
+        let mut items: Vec<SlackItem> = Vec::with_capacity(n);
+        for e in entries {
+            let times = app.process(e.process).times();
+            wcet_sum += times.wcet();
+            items.push(SlackItem::new(
+                app.recovery_penalty(e.process),
+                e.reexecutions,
+            ));
+            let wc = wcet_sum + worst_case_fault_delay(&items, k);
+            nominal_completion.push(wcet_sum);
+            worst_completion.push(wc);
+            if let Some(d) = app.process(e.process).criticality().deadline() {
+                if wc > d && violation.is_none() {
+                    violation = Some(HardViolation {
+                        process: e.process,
+                        deadline: d,
+                        worst_completion: wc,
+                    });
+                }
+            }
+        }
+
+        // Backward pass: latest safe start per position and remaining-fault
+        // budget. For position `i` and budget `r`:
+        //   min over hard j >= i of  d_j - sum(wcet i..=j) - maxdelay(items i..=j, r)
+        let mut hard_safe_start = vec![vec![Time::MAX; k + 1]; n];
+        for i in 0..n {
+            let mut suffix_wcet = Time::ZERO;
+            let mut suffix_items: Vec<SlackItem> = Vec::new();
+            for j in i..n {
+                let e = &entries[j];
+                suffix_wcet += app.process(e.process).times().wcet();
+                suffix_items.push(SlackItem::new(
+                    app.recovery_penalty(e.process),
+                    e.reexecutions,
+                ));
+                if let Some(d) = app.process(e.process).criticality().deadline() {
+                    for r in 0..=k {
+                        let delay = worst_case_fault_delay(&suffix_items, r);
+                        let latest = d.saturating_sub(suffix_wcet + delay);
+                        if latest < hard_safe_start[i][r] {
+                            hard_safe_start[i][r] = latest;
+                        }
+                    }
+                }
+            }
+        }
+
+        ScheduleAnalysis {
+            nominal_completion,
+            worst_completion,
+            hard_safe_start,
+            violation,
+            k,
+        }
+    }
+
+    /// All-WCET, fault-free completion time of entry `pos`.
+    #[must_use]
+    pub fn nominal_completion(&self, pos: usize) -> Time {
+        self.nominal_completion[pos]
+    }
+
+    /// Worst-case completion time of entry `pos` (all-WCET plus the worst
+    /// distribution of `k` faults over the granted allowances).
+    #[must_use]
+    pub fn worst_completion(&self, pos: usize) -> Time {
+        self.worst_completion[pos]
+    }
+
+    /// Latest start of entry `pos` preserving every hard deadline at
+    /// `pos..` in the worst case with `r` remaining faults. [`Time::MAX`]
+    /// when no hard entry follows `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` exceeds the fault budget `k`.
+    #[must_use]
+    pub fn hard_safe_start(&self, pos: usize, r: usize) -> Time {
+        self.hard_safe_start[pos][r]
+    }
+
+    /// The runtime-dropping bound for entry `pos` of a schedule over `app`:
+    /// the hard-safety bound of [`Self::hard_safe_start`] additionally
+    /// capped, for soft entries, at `T - bcet` (a soft process that cannot
+    /// even best-case-complete within the period is dropped).
+    #[must_use]
+    pub fn latest_start(
+        &self,
+        app: &Application,
+        entry: &ScheduleEntry,
+        pos: usize,
+        r: usize,
+    ) -> Time {
+        let hard_bound = self.hard_safe_start(pos, r);
+        if app.is_hard(entry.process) {
+            hard_bound
+        } else {
+            let period_cap = app
+                .period()
+                .saturating_sub(app.process(entry.process).times().bcet());
+            hard_bound.min(period_cap)
+        }
+    }
+
+    /// `true` if every hard entry meets its deadline in the worst case.
+    #[must_use]
+    pub fn is_schedulable(&self) -> bool {
+        self.violation.is_none()
+    }
+
+    /// The first hard-deadline violation, if any.
+    #[must_use]
+    pub fn violation(&self) -> Option<HardViolation> {
+        self.violation
+    }
+
+    /// The fault budget the analysis was computed for.
+    #[must_use]
+    pub fn fault_budget(&self) -> usize {
+        self.k
+    }
+}
+
+/// How [`expected_suffix_utility_est`] estimates the expected utility of a
+/// suffix under the (unknown at synthesis time) actual execution times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UtilityEstimator {
+    /// One pass with every process at its AET — the cheapest estimate, and
+    /// the literal reading of the paper ("the utility is maximized for
+    /// average execution times").
+    AverageCase,
+    /// Three passes with every process at the 25 %, 50 % and 75 % quantiles
+    /// of its uniform duration (weights ¼, ½, ¼). Step utilities make the
+    /// single-point AET estimate brittle — a completion sitting just before
+    /// a step reads the full value although nearly half the probability
+    /// mass lies beyond it; the quantile mix smooths that out at 3× cost.
+    #[default]
+    Quantile3,
+}
+
+/// Expected utility of executing `schedule`'s entries from position `from`
+/// onward, starting at time `start`, with every process at its average
+/// execution time — see [`expected_suffix_utility_est`] for the estimator
+/// variant used by FTQS interval partitioning.
+///
+/// A soft entry whose start time exceeds its
+/// [`ScheduleAnalysis::latest_start`] bound (with the full fault budget
+/// remaining, as the online scheduler must assume) is dropped, and
+/// stale-value coefficients propagate through the dropped mask exactly as
+/// at runtime. Only utilities of entries at `from..` are summed — shared
+/// prefixes cancel when two schedules are compared.
+#[must_use]
+pub fn expected_suffix_utility(
+    app: &Application,
+    schedule: &FSchedule,
+    analysis: &ScheduleAnalysis,
+    from: usize,
+    start: Time,
+) -> f64 {
+    suffix_utility_pass(app, schedule, analysis, from, start, |t| t.aet())
+}
+
+/// Estimator-parameterized variant of [`expected_suffix_utility`].
+#[must_use]
+pub fn expected_suffix_utility_est(
+    app: &Application,
+    schedule: &FSchedule,
+    analysis: &ScheduleAnalysis,
+    from: usize,
+    start: Time,
+    estimator: UtilityEstimator,
+) -> f64 {
+    match estimator {
+        UtilityEstimator::AverageCase => {
+            expected_suffix_utility(app, schedule, analysis, from, start)
+        }
+        UtilityEstimator::Quantile3 => {
+            let q25 = suffix_utility_pass(app, schedule, analysis, from, start, |t| {
+                t.bcet().midpoint(t.aet())
+            });
+            let q50 = suffix_utility_pass(app, schedule, analysis, from, start, |t| t.aet());
+            let q75 = suffix_utility_pass(app, schedule, analysis, from, start, |t| {
+                t.aet().midpoint(t.wcet())
+            });
+            0.25 * q25 + 0.5 * q50 + 0.25 * q75
+        }
+    }
+}
+
+fn suffix_utility_pass(
+    app: &Application,
+    schedule: &FSchedule,
+    analysis: &ScheduleAnalysis,
+    from: usize,
+    start: Time,
+    duration: impl Fn(&crate::ExecutionTimes) -> Time,
+) -> f64 {
+    let k = app.faults().k;
+    let mut dropped = schedule.dropped_mask(app);
+    // Entries before `from` are treated as completed (not dropped).
+    let mut alpha = StaleAlpha::new(app, &dropped);
+    let mut now = start;
+    let mut total = 0.0;
+    for (pos, e) in schedule.entries().iter().enumerate().skip(from) {
+        let times = app.process(e.process).times();
+        let lst = analysis.latest_start(app, e, pos, k);
+        if !app.is_hard(e.process) && now > lst {
+            dropped[e.process.index()] = true;
+            alpha.mark_dropped(e.process);
+            continue;
+        }
+        now += duration(times);
+        let a = alpha.resolve(app, e.process);
+        if let Some(u) = app.process(e.process).criticality().utility() {
+            total += a * u.value(now);
+        }
+    }
+    total
+}
+
+/// Incremental stale-coefficient resolver used by schedule evaluation: the
+/// coefficient of a process is computed from its predecessors' coefficients
+/// under the evolving dropped mask.
+#[derive(Debug, Clone)]
+pub(crate) struct StaleAlpha {
+    alpha: Vec<f64>,
+    resolved: Vec<bool>,
+}
+
+impl StaleAlpha {
+    /// Initializes from a dropped mask: dropped processes resolve to 0.
+    pub(crate) fn new(app: &Application, dropped: &[bool]) -> Self {
+        let mut s = StaleAlpha {
+            alpha: vec![0.0; app.len()],
+            resolved: vec![false; app.len()],
+        };
+        for (i, &d) in dropped.iter().enumerate() {
+            if d {
+                s.alpha[i] = 0.0;
+                s.resolved[i] = true;
+            }
+        }
+        s
+    }
+
+    /// Marks `id` dropped (coefficient 0).
+    pub(crate) fn mark_dropped(&mut self, id: NodeId) {
+        self.alpha[id.index()] = 0.0;
+        self.resolved[id.index()] = true;
+    }
+
+    /// Resolves the coefficient of `id`, recursively resolving predecessors
+    /// (predecessors of a scheduled process are always decided earlier, so
+    /// recursion depth is bounded by the graph depth).
+    pub(crate) fn resolve(&mut self, app: &Application, id: NodeId) -> f64 {
+        if self.resolved[id.index()] {
+            return self.alpha[id.index()];
+        }
+        let preds: Vec<NodeId> = app.graph().predecessors(id).collect();
+        let mut sum = 0.0;
+        for p in &preds {
+            sum += self.resolve(app, *p);
+        }
+        let a = (1.0 + sum) / (1.0 + preds.len() as f64);
+        self.alpha[id.index()] = a;
+        self.resolved[id.index()] = true;
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExecutionTimes, FaultModel, UtilityFunction};
+
+    fn t(ms: u64) -> Time {
+        Time::from_ms(ms)
+    }
+
+    /// The application of Fig. 1 / Fig. 4 with the Fig. 4a utility
+    /// functions: hard P1 (d = 180), soft P2, P3; k = 1, µ = 10, T = 300.
+    fn fig1_app() -> (Application, [NodeId; 3]) {
+        let mut b = Application::builder(t(300), FaultModel::new(1, t(10)));
+        let p1 = b.add_hard(
+            "P1",
+            ExecutionTimes::uniform(t(30), t(70)).unwrap(),
+            t(180),
+        );
+        // U2: 40 until 90, 20 until 200, 10 until 250, then 0.
+        let p2 = b.add_soft(
+            "P2",
+            ExecutionTimes::uniform(t(30), t(70)).unwrap(),
+            UtilityFunction::step(40.0, [(t(90), 20.0), (t(200), 10.0), (t(250), 0.0)]).unwrap(),
+        );
+        // U3: 40 until 110, 30 until 150, 10 until 220, then 0.
+        let p3 = b.add_soft(
+            "P3",
+            ExecutionTimes::uniform(t(40), t(80)).unwrap(),
+            UtilityFunction::step(40.0, [(t(110), 30.0), (t(150), 10.0), (t(220), 0.0)]).unwrap(),
+        );
+        b.add_dependency(p1, p2).unwrap();
+        b.add_dependency(p1, p3).unwrap();
+        (b.build().unwrap(), [p1, p2, p3])
+    }
+
+    fn schedule_of(app: &Application, order: &[(NodeId, usize)]) -> FSchedule {
+        FSchedule::new(
+            order
+                .iter()
+                .map(|&(process, reexecutions)| ScheduleEntry {
+                    process,
+                    reexecutions,
+                })
+                .collect(),
+            Vec::new(),
+            ScheduleContext::root(app),
+        )
+    }
+
+    #[test]
+    fn nominal_completions_accumulate_wcets() {
+        let (app, [p1, p2, p3]) = fig1_app();
+        let s = schedule_of(&app, &[(p1, 1), (p2, 0), (p3, 0)]);
+        let a = s.analyze(&app);
+        assert_eq!(a.nominal_completion(0), t(70));
+        assert_eq!(a.nominal_completion(1), t(140));
+        assert_eq!(a.nominal_completion(2), t(220));
+    }
+
+    #[test]
+    fn worst_completion_adds_shared_fault_delay() {
+        let (app, [p1, p2, p3]) = fig1_app();
+        // Only P1 may re-execute: every prefix suffers at most one fault on
+        // P1, costing wcet + mu = 80.
+        let s = schedule_of(&app, &[(p1, 1), (p2, 0), (p3, 0)]);
+        let a = s.analyze(&app);
+        assert_eq!(a.worst_completion(0), t(70 + 80));
+        assert_eq!(a.worst_completion(1), t(140 + 80));
+        assert_eq!(a.worst_completion(2), t(220 + 80));
+        assert!(a.is_schedulable(), "P1 wc 150 <= 180");
+    }
+
+    #[test]
+    fn hard_deadline_violation_is_reported() {
+        let (app, [p1, p2, p3]) = fig1_app();
+        // Scheduling both soft processes before P1 pushes its worst case to
+        // 70+80+70 + fault delay 80 = 300 > 180.
+        let s = schedule_of(&app, &[(p2, 0), (p3, 0), (p1, 1)]);
+        let a = s.analyze(&app);
+        // (This order also violates precedence, but the analysis only does
+        // timing; the scheduler never produces such orders.)
+        assert!(!a.is_schedulable());
+        let v = a.violation().unwrap();
+        assert_eq!(v.process, p1);
+        assert_eq!(v.deadline, t(180));
+        assert_eq!(v.worst_completion, t(70 + 80 + 70 + 80));
+    }
+
+    #[test]
+    fn soft_allowances_enlarge_the_shared_delay() {
+        let (app, [p1, p2, p3]) = fig1_app();
+        let s = schedule_of(&app, &[(p1, 1), (p2, 1), (p3, 1)]);
+        let a = s.analyze(&app);
+        // k = 1: the single fault lands on the largest penalty in the
+        // prefix; after P3 (penalty 90) the delay is 90.
+        assert_eq!(a.worst_completion(2), t(220 + 90));
+    }
+
+    #[test]
+    fn hard_safe_start_reflects_remaining_budget() {
+        let (app, [p1, p2, p3]) = fig1_app();
+        let s = schedule_of(&app, &[(p1, 1), (p2, 0), (p3, 0)]);
+        let a = s.analyze(&app);
+        // At position 0 (P1 itself): with 1 fault remaining the latest start
+        // is d - wcet - (wcet + mu) = 180 - 70 - 80 = 30; fault-free it is
+        // 180 - 70 = 110.
+        assert_eq!(a.hard_safe_start(0, 1), t(30));
+        assert_eq!(a.hard_safe_start(0, 0), t(110));
+        // No hard process after position 1.
+        assert_eq!(a.hard_safe_start(1, 1), Time::MAX);
+    }
+
+    #[test]
+    fn latest_start_caps_soft_entries_at_period() {
+        let (app, [p1, p2, p3]) = fig1_app();
+        let s = schedule_of(&app, &[(p1, 1), (p2, 0), (p3, 0)]);
+        let a = s.analyze(&app);
+        let e2 = s.entries()[1];
+        // Soft P2 (bcet 30): latest runtime start is T - bcet = 270.
+        assert_eq!(a.latest_start(&app, &e2, 1, 1), t(270));
+        // Hard P1 keeps the deadline-driven bound.
+        let e1 = s.entries()[0];
+        assert_eq!(a.latest_start(&app, &e1, 0, 1), t(30));
+    }
+
+    #[test]
+    fn fig4_average_case_utilities() {
+        // Fig. 4b1/b2: S1 = P1,P2,P3 yields U = U2(100) + U3(160) = 20 + 10
+        // = 30; S2 = P1,P3,P2 yields U3(110) + U2(160) = 40 + 20 = 60.
+        let (app, [p1, p2, p3]) = fig1_app();
+        let s1 = schedule_of(&app, &[(p1, 1), (p2, 0), (p3, 0)]);
+        let s2 = schedule_of(&app, &[(p1, 1), (p3, 0), (p2, 0)]);
+        let a1 = s1.analyze(&app);
+        let a2 = s2.analyze(&app);
+        let u1 = expected_suffix_utility(&app, &s1, &a1, 0, Time::ZERO);
+        let u2 = expected_suffix_utility(&app, &s2, &a2, 0, Time::ZERO);
+        assert_eq!(u1, 30.0);
+        assert_eq!(u2, 60.0);
+    }
+
+    #[test]
+    fn fig4b5_early_completion_flips_the_preference() {
+        // "if P1 will finish sooner [at 30], the ordering of S1 is
+        // preferable, since it leads to a utility of U2(80) + U3(140) =
+        // 40 + 30 = 70, while the utility of S2 would be only 60."
+        let (app, [p1, p2, p3]) = fig1_app();
+        let s1 = schedule_of(&app, &[(p1, 1), (p2, 0), (p3, 0)]);
+        let s2 = schedule_of(&app, &[(p1, 1), (p3, 0), (p2, 0)]);
+        let a1 = s1.analyze(&app);
+        let a2 = s2.analyze(&app);
+        // Suffix after P1 completes at 30.
+        let u1 = expected_suffix_utility(&app, &s1, &a1, 1, t(30));
+        let u2 = expected_suffix_utility(&app, &s2, &a2, 1, t(30));
+        assert_eq!(u1, 70.0);
+        assert_eq!(u2, 60.0);
+    }
+
+    #[test]
+    fn expected_utility_drops_soft_entries_past_their_lst() {
+        let (app, [p1, p2, p3]) = fig1_app();
+        let s = schedule_of(&app, &[(p1, 1), (p2, 0), (p3, 0)]);
+        let a = s.analyze(&app);
+        // Starting the suffix absurdly late: both softs start past T - bcet
+        // and are dropped; utility 0.
+        let u = expected_suffix_utility(&app, &s, &a, 1, t(299));
+        assert_eq!(u, 0.0);
+    }
+
+    #[test]
+    fn statically_dropped_processes_scale_successor_utilities() {
+        let (app, [p1, p2, p3]) = fig1_app();
+        // Drop P2 statically: its utility vanishes; P3 keeps alpha 1 (its
+        // only predecessor P1 completes).
+        let s = FSchedule::new(
+            vec![
+                ScheduleEntry {
+                    process: p1,
+                    reexecutions: 1,
+                },
+                ScheduleEntry {
+                    process: p3,
+                    reexecutions: 0,
+                },
+            ],
+            vec![p2],
+            ScheduleContext::root(&app),
+        );
+        let a = s.analyze(&app);
+        let u = expected_suffix_utility(&app, &s, &a, 0, Time::ZERO);
+        // P1 aet 50, P3 aet 60 -> completes 110 -> U3 = 40, alpha 1.
+        assert_eq!(u, 40.0);
+        let mask = s.dropped_mask(&app);
+        assert!(mask[p2.index()]);
+        assert!(!mask[p3.index()]);
+    }
+
+    #[test]
+    fn stale_alpha_resolves_recursively() {
+        let (app, [p1, p2, _p3]) = fig1_app();
+        let mut dropped = vec![false; app.len()];
+        dropped[p1.index()] = true;
+        let mut sa = StaleAlpha::new(&app, &dropped);
+        // P2's single predecessor P1 is dropped: alpha = (1+0)/(1+1) = 0.5.
+        assert!((sa.resolve(&app, p2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn context_accessors() {
+        let (app, [p1, ..]) = fig1_app();
+        let ctx = ScheduleContext::root(&app);
+        assert!(ctx.is_pending(p1));
+        assert_eq!(ctx.start, Time::ZERO);
+    }
+}

@@ -1,0 +1,669 @@
+//! FTQS — quasi-static scheduling for fault tolerance (paper §5.1, Fig. 7).
+//!
+//! FTQS grows a tree of f-schedules around the FTSS root:
+//!
+//! * **Sub-schedule creation.** For every position `p` of a parent
+//!   schedule, a sub-schedule is created that keeps the parent's prefix up
+//!   to and including the pivot process at `p`, assumes the pivot completed
+//!   at its *best-case* time (all prefix processes at BCET), and re-runs
+//!   FTSS over the remaining processes from that point.
+//! * **Budgeted exploration.** Only `M` different schedules are kept
+//!   (`DifferentSchedules(Φ) < M` in the paper). Children whose ordering
+//!   (and allowances) equal the parent's own suffix can never improve
+//!   anything and are discarded without counting. The next parent to expand
+//!   is chosen by an [`ExpansionPolicy`]; the default mirrors the paper's
+//!   `FindMostSimilarSubschedule`: expand, within the shallowest unexpanded
+//!   layer, the sub-schedule most similar to its parent, pushing
+//!   exploration toward genuinely different schedules deeper in the tree.
+//! * **Interval partitioning.** For every arc, completion times of the
+//!   pivot are swept ("assuming they are integers", §5.1) and the expected
+//!   remaining utility of parent vs child is compared; the arc keeps the
+//!   maximal contiguous interval where the child is strictly better and
+//!   still hard-safe. Arcs with empty intervals — and nodes left
+//!   unreachable — are pruned.
+
+use crate::fschedule::{
+    expected_suffix_utility_est, FSchedule, ScheduleAnalysis, ScheduleContext,
+    UtilityEstimator,
+};
+use crate::ftss::{ftss, FtssConfig};
+use crate::tree::{QuasiStaticTree, SwitchArc, TreeNode, TreeNodeId};
+use crate::{Application, SchedulingError, Time};
+use ftqs_graph::NodeId;
+
+/// Which generated sub-schedule to expand next (the paper's
+/// `FindMostSimilarSubschedule`, made pluggable for the ablation benches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExpansionPolicy {
+    /// Expand the node most similar to its parent (minimum suffix
+    /// reordering distance), shallowest layer first — our reading of the
+    /// paper's heuristic.
+    MostSimilar,
+    /// Expand nodes in creation order (breadth-first).
+    Fifo,
+    /// Expand the node whose schedule promises the largest expected-utility
+    /// improvement over its parent at its best-case switch time.
+    BestImprovement,
+}
+
+/// Configuration of [`ftqs`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FtqsConfig {
+    /// Maximum number of different schedules kept in the tree (`M`).
+    pub max_schedules: usize,
+    /// Parent-selection policy for tree expansion.
+    pub policy: ExpansionPolicy,
+    /// Maximum number of completion-time samples per arc during interval
+    /// partitioning. The sweep step is `max(1, range / samples)` ms; 256
+    /// keeps synthesis fast with millisecond-level accuracy on the paper's
+    /// time scales.
+    pub interval_samples: u32,
+    /// How the expected suffix utility is estimated when comparing a
+    /// sub-schedule against its parent (see [`UtilityEstimator`]).
+    pub estimator: UtilityEstimator,
+    /// FTSS configuration used for the root and every sub-schedule.
+    pub ftss: FtssConfig,
+}
+
+impl Default for FtqsConfig {
+    fn default() -> Self {
+        FtqsConfig {
+            max_schedules: 16,
+            policy: ExpansionPolicy::MostSimilar,
+            interval_samples: 256,
+            estimator: UtilityEstimator::default(),
+            ftss: FtssConfig::default(),
+        }
+    }
+}
+
+impl FtqsConfig {
+    /// Convenience: a config with schedule budget `m` and defaults
+    /// otherwise.
+    #[must_use]
+    pub fn with_budget(m: usize) -> Self {
+        FtqsConfig {
+            max_schedules: m,
+            ..FtqsConfig::default()
+        }
+    }
+}
+
+/// Synthesizes the fault-tolerant quasi-static tree for `app`
+/// (`SchedulingStrategy` of Fig. 6: FTSS root, then FTQS expansion).
+///
+/// # Errors
+///
+/// * [`SchedulingError::ZeroTreeBudget`] if `config.max_schedules == 0`.
+/// * [`SchedulingError::Unschedulable`] if the root f-schedule does not
+///   exist (hard deadlines infeasible).
+pub fn ftqs(app: &Application, config: &FtqsConfig) -> Result<QuasiStaticTree, SchedulingError> {
+    if config.max_schedules == 0 {
+        return Err(SchedulingError::ZeroTreeBudget);
+    }
+    let root_schedule = ftss(app, &ScheduleContext::root(app), &config.ftss)?;
+    // A single-entry root can still profit from sub-schedules when it
+    // dropped processes statically (an early pivot completion may revive
+    // them), so only trees that provably cannot switch short-circuit.
+    let cannot_switch = root_schedule.entries().len() <= 1
+        && root_schedule.statically_dropped().is_empty();
+    if config.max_schedules == 1 || cannot_switch || root_schedule.entries().is_empty() {
+        return Ok(QuasiStaticTree::single(root_schedule));
+    }
+    let mut builder = TreeBuilder::new(app, config);
+    builder.push_root(root_schedule);
+    builder.grow();
+    builder.partition_intervals();
+    Ok(builder.finish())
+}
+
+/// Per-node bookkeeping during tree construction.
+struct BuildNode {
+    schedule: FSchedule,
+    analysis: ScheduleAnalysis,
+    parent: Option<TreeNodeId>,
+    pivot_pos: Option<usize>,
+    depth: usize,
+    /// Best-case cumulative completion (all executed processes at BCET) of
+    /// the runtime prefix *before* this node's entries — equals
+    /// `schedule.context().start`.
+    expanded: bool,
+    /// Kendall-tau-style distance between this node's ordering and the
+    /// parent's suffix ordering (similarity metric for expansion).
+    parent_distance: usize,
+    /// Switch intervals assigned by interval partitioning (one arc each).
+    intervals: Vec<(Time, Time)>,
+}
+
+struct TreeBuilder<'a> {
+    app: &'a Application,
+    config: &'a FtqsConfig,
+    nodes: Vec<BuildNode>,
+}
+
+impl<'a> TreeBuilder<'a> {
+    fn new(app: &'a Application, config: &'a FtqsConfig) -> Self {
+        TreeBuilder {
+            app,
+            config,
+            nodes: Vec::new(),
+        }
+    }
+
+    fn push_root(&mut self, schedule: FSchedule) {
+        let analysis = schedule.analyze(self.app);
+        self.nodes.push(BuildNode {
+            schedule,
+            analysis,
+            parent: None,
+            pivot_pos: None,
+            depth: 0,
+            expanded: false,
+            parent_distance: 0,
+            intervals: Vec::new(),
+        });
+    }
+
+    /// The FTQS main loop (Fig. 7 lines 1-9).
+    fn grow(&mut self) {
+        while self.nodes.len() < self.config.max_schedules {
+            let Some(next) = self.pick_expansion_candidate() else {
+                break; // every node expanded: the tree is complete
+            };
+            self.expand(next);
+        }
+    }
+
+    fn pick_expansion_candidate(&self) -> Option<TreeNodeId> {
+        let candidates = self.nodes.iter().enumerate().filter(|(_, n)| !n.expanded);
+        match self.config.policy {
+            ExpansionPolicy::Fifo => candidates.map(|(i, _)| i).next(),
+            ExpansionPolicy::MostSimilar => candidates
+                .min_by_key(|(i, n)| (n.depth, n.parent_distance, *i))
+                .map(|(i, _)| i),
+            ExpansionPolicy::BestImprovement => candidates
+                .map(|(i, n)| {
+                    let gain = self.improvement_over_parent(n);
+                    (i, n.depth, gain)
+                })
+                .min_by(|a, b| {
+                    a.1.cmp(&b.1)
+                        .then(b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal))
+                        .then(a.0.cmp(&b.0))
+                })
+                .map(|(i, _, _)| i),
+        }
+    }
+
+    /// Expected-utility gain of `n` over its parent at `n`'s start time.
+    fn improvement_over_parent(&self, n: &BuildNode) -> f64 {
+        let Some(parent) = n.parent else { return 0.0 };
+        let Some(pivot_pos) = n.pivot_pos else { return 0.0 };
+        let p = &self.nodes[parent];
+        let tc = n.schedule.context().start;
+        let est = self.config.estimator;
+        let u_child =
+            expected_suffix_utility_est(self.app, &n.schedule, &n.analysis, 0, tc, est);
+        let u_parent = expected_suffix_utility_est(
+            self.app,
+            &p.schedule,
+            &p.analysis,
+            pivot_pos + 1,
+            tc,
+            est,
+        );
+        u_child - u_parent
+    }
+
+    /// `CreateSubschedules`: one candidate child per pivot position of
+    /// `parent`'s schedule.
+    fn expand(&mut self, parent: TreeNodeId) {
+        self.nodes[parent].expanded = true;
+        let parent_entries = self.nodes[parent].schedule.entries().to_vec();
+        let parent_ctx = self.nodes[parent].schedule.context().clone();
+        let parent_depth = self.nodes[parent].depth;
+
+        // The parent does not pivot on its last entry by default (an empty
+        // suffix cannot be reordered) — but a pivot there can still revive
+        // statically dropped processes, so we include it when drops exist.
+        let positions = if self.nodes[parent].schedule.statically_dropped().is_empty() {
+            parent_entries.len().saturating_sub(1)
+        } else {
+            parent_entries.len()
+        };
+        for p in 0..positions {
+            if self.nodes.len() >= self.config.max_schedules {
+                break;
+            }
+            // Child context: parent prefix + entries[0..=p] completed;
+            // start = best-case completion of the pivot. The parent's
+            // *static* drops are deliberately NOT inherited: they were
+            // synthesis-time decisions under worst-case assumptions, not
+            // runtime events, so the child's FTSS run reconsiders every
+            // unscheduled process ("the rest of the processes are scheduled
+            // with the FTSS heuristic") and can revive soft processes when
+            // an early pivot completion frees up time.
+            let mut ctx = ScheduleContext {
+                start: parent_ctx.start,
+                completed: parent_ctx.completed.clone(),
+                dropped: parent_ctx.dropped.clone(),
+            };
+            let mut bcet_sum = parent_ctx.start;
+            for e in &parent_entries[..=p] {
+                ctx.completed[e.process.index()] = true;
+                bcet_sum += self.app.process(e.process).times().bcet();
+            }
+            ctx.start = bcet_sum;
+
+            let Ok(child) = ftss(self.app, &ctx, &self.config.ftss) else {
+                continue; // suffix infeasible from this optimistic start: skip
+            };
+            // Discard children identical to the parent's own suffix — a
+            // switch to them would be a no-op.
+            let parent_suffix = &parent_entries[p + 1..];
+            let same_order = child.entries() == parent_suffix
+                && child.statically_dropped().is_empty();
+            if same_order || child.entries().is_empty() {
+                continue;
+            }
+            let distance = suffix_distance(
+                &parent_suffix.iter().map(|e| e.process).collect::<Vec<_>>(),
+                &child.order_key(),
+            );
+            let analysis = child.analyze(self.app);
+            self.nodes.push(BuildNode {
+                schedule: child,
+                analysis,
+                parent: Some(parent),
+                pivot_pos: Some(p),
+                depth: parent_depth + 1,
+                expanded: false,
+                parent_distance: distance,
+                intervals: Vec::new(),
+            });
+        }
+    }
+
+    /// Interval partitioning (Fig. 7 line 10): assign each non-root node
+    /// the completion-time interval in which switching to it beats staying
+    /// with the parent.
+    fn partition_intervals(&mut self) {
+        for i in 1..self.nodes.len() {
+            let (parent, pivot_pos) = {
+                let n = &self.nodes[i];
+                (
+                    n.parent.expect("non-root node has a parent"),
+                    n.pivot_pos.expect("non-root node has a pivot"),
+                )
+            };
+            let intervals = self.switch_intervals(parent, i, pivot_pos);
+            self.nodes[i].intervals = intervals;
+        }
+    }
+
+    /// Sweeps pivot completion times and returns every contiguous interval
+    /// in which the child is strictly better than the parent and hard-safe
+    /// (the paper switches whenever the sub-schedule "gives higher utility",
+    /// which can hold on several disjoint completion-time ranges — compare
+    /// the `tc(P1/2)` conditions of Fig. 5).
+    fn switch_intervals(
+        &self,
+        parent: TreeNodeId,
+        child: TreeNodeId,
+        pivot_pos: usize,
+    ) -> Vec<(Time, Time)> {
+        let app = self.app;
+        let k = app.faults().k;
+        let pn = &self.nodes[parent];
+        let cn = &self.nodes[child];
+
+        // Completion-time range of the pivot: from the child's optimistic
+        // start (all-BCET prefix) to the latest time the suffix could still
+        // begin — bounded by the period.
+        let lo = cn.schedule.context().start;
+        let hi_sweep = app.period();
+        if lo > hi_sweep {
+            return Vec::new();
+        }
+        // The child may only be entered while its own hard guarantees hold.
+        let child_safe = cn.analysis.hard_safe_start(0, k);
+
+        let range = hi_sweep.as_ms() - lo.as_ms();
+        let step = (range / u64::from(self.config.interval_samples)).max(1);
+
+        let mut runs: Vec<(Time, Time)> = Vec::new();
+        let mut run_start: Option<Time> = None;
+        let mut last_good = Time::ZERO;
+        let mut tc_ms = lo.as_ms();
+        loop {
+            let tc = Time::from_ms(tc_ms);
+            let good = tc <= child_safe && {
+                let est = self.config.estimator;
+                let u_child =
+                    expected_suffix_utility_est(app, &cn.schedule, &cn.analysis, 0, tc, est);
+                let u_parent = expected_suffix_utility_est(
+                    app,
+                    &pn.schedule,
+                    &pn.analysis,
+                    pivot_pos + 1,
+                    tc,
+                    est,
+                );
+                u_child > u_parent + 1e-9
+            };
+            if good {
+                if run_start.is_none() {
+                    run_start = Some(tc);
+                }
+                last_good = tc;
+            } else if let Some(start) = run_start.take() {
+                runs.push((start, last_good));
+            }
+            if tc_ms >= hi_sweep.as_ms() {
+                break;
+            }
+            tc_ms = (tc_ms + step).min(hi_sweep.as_ms());
+        }
+        if let Some(start) = run_start {
+            runs.push((start, last_good));
+        }
+        // Clamping to `child_safe` keeps every interval hard-safe even
+        // where the sweep step skipped samples.
+        runs.iter()
+            .map(|&(a, b)| (a, b.min(child_safe)))
+            .filter(|&(a, b)| a <= b)
+            .collect()
+    }
+
+    /// Drops arc-less children and re-indexes into the final tree.
+    fn finish(self) -> QuasiStaticTree {
+        let n = self.nodes.len();
+        // A node is kept if it is the root or has a non-empty interval and
+        // its parent is kept.
+        let mut keep = vec![false; n];
+        keep[0] = true;
+        for i in 1..n {
+            let node = &self.nodes[i];
+            keep[i] = !node.intervals.is_empty() && keep[node.parent.expect("non-root")];
+        }
+        let mut remap = vec![usize::MAX; n];
+        let mut out: Vec<TreeNode> = Vec::new();
+        for i in 0..n {
+            if !keep[i] {
+                continue;
+            }
+            remap[i] = out.len();
+            let node = &self.nodes[i];
+            out.push(TreeNode {
+                schedule: node.schedule.clone(),
+                parent: node.parent.map(|p| remap[p]),
+                arcs: Vec::new(),
+                depth: node.depth,
+            });
+        }
+        // Wire arcs parent -> child (one arc per switch interval).
+        for i in 1..n {
+            if !keep[i] {
+                continue;
+            }
+            let node = &self.nodes[i];
+            let parent = remap[node.parent.expect("non-root")];
+            let pivot_pos = node.pivot_pos.expect("non-root node has a pivot");
+            let pivot = self.nodes[node.parent.unwrap()].schedule.entries()[pivot_pos].process;
+            for &(lo, hi) in &node.intervals {
+                out[parent].arcs.push(SwitchArc {
+                    pivot_pos,
+                    pivot,
+                    lo,
+                    hi,
+                    child: remap[i],
+                });
+            }
+        }
+        for node in &mut out {
+            node.arcs.sort_by_key(|a| (a.pivot_pos, a.lo));
+            // Resolve overlaps conservatively: earlier (more specific) arcs
+            // win; truncate any arc that overlaps its predecessor.
+            let mut prev_end: Option<(usize, Time)> = None;
+            node.arcs.retain_mut(|a| {
+                if let Some((pos, end)) = prev_end {
+                    if a.pivot_pos == pos && a.lo <= end {
+                        if a.hi <= end {
+                            return false;
+                        }
+                        a.lo = end + Time::from_ms(1);
+                    }
+                }
+                prev_end = Some((a.pivot_pos, a.hi));
+                true
+            });
+        }
+        QuasiStaticTree::new(out, 0)
+    }
+}
+
+/// Number of pairwise order inversions between `reference` and `other`
+/// restricted to their common elements — 0 when `other` preserves the
+/// reference order (most similar).
+fn suffix_distance(reference: &[NodeId], other: &[NodeId]) -> usize {
+    let pos_in_ref = |x: NodeId| reference.iter().position(|&r| r == x);
+    let mapped: Vec<usize> = other.iter().filter_map(|&x| pos_in_ref(x)).collect();
+    let mut inversions = 0;
+    for i in 0..mapped.len() {
+        for j in i + 1..mapped.len() {
+            if mapped[i] > mapped[j] {
+                inversions += 1;
+            }
+        }
+    }
+    inversions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExecutionTimes, FaultModel, UtilityFunction};
+
+    fn t(ms: u64) -> Time {
+        Time::from_ms(ms)
+    }
+
+    fn et(b: u64, w: u64) -> ExecutionTimes {
+        ExecutionTimes::uniform(t(b), t(w)).unwrap()
+    }
+
+    /// Fig. 1 / Fig. 4 application — the paper's running example for the
+    /// quasi-static tree of Fig. 5.
+    fn fig1_app() -> (Application, [NodeId; 3]) {
+        let mut b = Application::builder(t(300), FaultModel::new(1, t(10)));
+        let p1 = b.add_hard("P1", et(30, 70), t(180));
+        let p2 = b.add_soft(
+            "P2",
+            et(30, 70),
+            UtilityFunction::step(40.0, [(t(90), 20.0), (t(200), 10.0), (t(250), 0.0)]).unwrap(),
+        );
+        let p3 = b.add_soft(
+            "P3",
+            et(40, 80),
+            UtilityFunction::step(40.0, [(t(110), 30.0), (t(150), 10.0), (t(220), 0.0)]).unwrap(),
+        );
+        b.add_dependency(p1, p2).unwrap();
+        b.add_dependency(p1, p3).unwrap();
+        (b.build().unwrap(), [p1, p2, p3])
+    }
+
+    #[test]
+    fn zero_budget_is_rejected() {
+        let (app, _) = fig1_app();
+        let cfg = FtqsConfig::with_budget(0);
+        assert!(matches!(
+            ftqs(&app, &cfg),
+            Err(SchedulingError::ZeroTreeBudget)
+        ));
+    }
+
+    #[test]
+    fn budget_one_is_plain_ftss() {
+        let (app, [p1, p2, p3]) = fig1_app();
+        let tree = ftqs(&app, &FtqsConfig::with_budget(1)).unwrap();
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.node(tree.root()).schedule.order_key(), vec![p1, p3, p2]);
+        let _ = p2;
+    }
+
+    #[test]
+    fn fig5_like_tree_switches_to_p2_first_on_early_completion() {
+        // Fig. 5b: the root is S1^1 = P1,P3,P2 (our FTSS result); when P1
+        // completes early ("tc(P1) <= 40" region in the paper's mirrored
+        // example), the P2-first ordering gains utility (Fig. 4b5) and a
+        // sub-schedule reordering the suffix must exist.
+        let (app, [p1, p2, p3]) = fig1_app();
+        let tree = ftqs(&app, &FtqsConfig::with_budget(4)).unwrap();
+        assert!(tree.len() >= 2, "expected at least one sub-schedule");
+        let root = tree.node(tree.root());
+        assert_eq!(root.schedule.order_key(), vec![p1, p3, p2]);
+        // Completing P1 at its bcet (30) must switch to a child that runs
+        // P2 before P3.
+        let target = tree.switch_target(tree.root(), 0, t(30));
+        let child = target.expect("early completion of P1 triggers a switch");
+        assert_eq!(tree.node(child).schedule.order_key(), vec![p2, p3]);
+        // Wherever a switch triggers, it must improve the estimated suffix
+        // utility over staying with the parent (checked with the same
+        // estimator the tree was built with).
+        let est = FtqsConfig::default().estimator;
+        for tc_ms in (30..=300).step_by(5) {
+            let tc = t(tc_ms);
+            if let Some(c) = tree.switch_target(tree.root(), 0, tc) {
+                let cn = tree.node(c);
+                let ca = cn.schedule.analyze(&app);
+                let ra = root.schedule.analyze(&app);
+                let u_child = crate::fschedule::expected_suffix_utility_est(
+                    &app, &cn.schedule, &ca, 0, tc, est,
+                );
+                let u_parent = crate::fschedule::expected_suffix_utility_est(
+                    &app, &root.schedule, &ra, 1, tc, est,
+                );
+                assert!(
+                    u_child > u_parent,
+                    "switch at tc={tc} loses utility: {u_child} vs {u_parent}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tree_growth_respects_budget() {
+        let (app, _) = fig1_app();
+        for m in 1..=6 {
+            let tree = ftqs(&app, &FtqsConfig::with_budget(m)).unwrap();
+            assert!(tree.len() <= m, "budget {m} produced {} nodes", tree.len());
+        }
+    }
+
+    #[test]
+    fn all_policies_produce_valid_trees() {
+        let (app, _) = fig1_app();
+        for policy in [
+            ExpansionPolicy::MostSimilar,
+            ExpansionPolicy::Fifo,
+            ExpansionPolicy::BestImprovement,
+        ] {
+            let cfg = FtqsConfig {
+                max_schedules: 5,
+                policy,
+                ..FtqsConfig::default()
+            };
+            let tree = ftqs(&app, &cfg).unwrap();
+            assert!(!tree.is_empty());
+            // Every arc points at a valid child and intervals are ordered.
+            for (_, node) in tree.iter() {
+                for arc in &node.arcs {
+                    assert!(arc.lo <= arc.hi);
+                    assert!(arc.child < tree.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arcs_never_overlap_per_pivot() {
+        let (app, _) = fig1_app();
+        let tree = ftqs(&app, &FtqsConfig::with_budget(8)).unwrap();
+        for (_, node) in tree.iter() {
+            for w in node.arcs.windows(2) {
+                if w[0].pivot_pos == w[1].pivot_pos {
+                    assert!(w[0].hi < w[1].lo, "overlapping arcs: {w:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn suffix_distance_counts_inversions() {
+        let ids: Vec<NodeId> = (0..4).map(NodeId::from_index).collect();
+        assert_eq!(suffix_distance(&ids, &ids), 0);
+        let swapped = vec![ids[1], ids[0], ids[2], ids[3]];
+        assert_eq!(suffix_distance(&ids, &swapped), 1);
+        let reversed: Vec<NodeId> = ids.iter().rev().copied().collect();
+        assert_eq!(suffix_distance(&ids, &reversed), 6);
+        // Elements absent from the reference are ignored.
+        let with_alien = vec![NodeId::from_index(9), ids[2], ids[0]];
+        assert_eq!(suffix_distance(&ids, &with_alien), 1);
+    }
+
+    #[test]
+    fn children_can_revive_statically_dropped_processes() {
+        // A soft process whose utility only survives if everything before
+        // it runs fast: the WCET-pessimistic root drops it, but a child
+        // generated for an early pivot completion re-admits it.
+        let mut b = Application::builder(t(400), FaultModel::new(1, t(5)));
+        let head = b.add_soft(
+            "head",
+            et(20, 120),
+            UtilityFunction::constant(50.0).unwrap(),
+        );
+        let fragile = b.add_soft(
+            "fragile",
+            et(10, 20),
+            // Worthless after 70 ms: only reachable when head is fast.
+            UtilityFunction::step(60.0, [(t(70), 0.0)]).unwrap(),
+        );
+        b.add_dependency(head, fragile).unwrap();
+        let app = b.build().unwrap();
+
+        let root = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).unwrap();
+        assert!(
+            root.statically_dropped().contains(&fragile),
+            "the root (head at wcet 120) must drop the fragile process"
+        );
+
+        let tree = ftqs(&app, &FtqsConfig::with_budget(4)).unwrap();
+        // When head completes at its bcet (20), some child must schedule
+        // fragile (20 + 10 = 30 <= 70 earns utility 60).
+        let child = tree
+            .switch_target(tree.root(), 0, t(20))
+            .expect("early completion of head must switch");
+        assert!(
+            tree.node(child)
+                .schedule
+                .order_key()
+                .contains(&fragile),
+            "the child must revive the dropped process"
+        );
+    }
+
+    #[test]
+    fn hard_only_application_yields_single_node() {
+        // No soft processes: reordering cannot change utility, so every
+        // candidate child collapses onto the parent's suffix and the tree
+        // stays a single node.
+        let mut b = Application::builder(t(1000), FaultModel::new(1, t(5)));
+        let h1 = b.add_hard("H1", et(10, 30), t(500));
+        let h2 = b.add_hard("H2", et(10, 30), t(800));
+        b.add_dependency(h1, h2).unwrap();
+        let app = b.build().unwrap();
+        let tree = ftqs(&app, &FtqsConfig::with_budget(10)).unwrap();
+        assert_eq!(tree.len(), 1);
+    }
+}

@@ -1,0 +1,218 @@
+//! FTSF — the straightforward baseline of the paper's evaluation (§6).
+//!
+//! "We obtain static non-fault-tolerant schedules that produce maximal value
+//! (e.g. as in \[3\]). Those schedules are then made fault-tolerant by adding
+//! recovery slacks to tolerate k faults in hard processes. The soft
+//! processes with lowest utility value are dropped until the application
+//! becomes schedulable."
+//!
+//! Concretely:
+//!
+//! 1. run the FTSS list scheduler with a fault-free model (`k = 0`) — this
+//!    is the utility-maximal static schedule of Cortes et al. \[3\];
+//! 2. grant every hard entry the full `k` re-executions (soft entries get
+//!    none — the baseline is oblivious to soft recovery);
+//! 3. while the worst-case analysis reports a hard-deadline violation, drop
+//!    the soft entry with the lowest expected utility contribution.
+
+use crate::fschedule::{
+    expected_suffix_utility, FSchedule, ScheduleContext, ScheduleEntry,
+};
+use crate::ftss::{ftss, FtssConfig};
+use crate::{Application, FaultModel, SchedulingError, Time};
+
+/// Synthesizes the FTSF baseline schedule for `app`.
+///
+/// # Errors
+///
+/// [`SchedulingError::Unschedulable`] if hard deadlines cannot be met even
+/// after dropping every soft process.
+pub fn ftsf(app: &Application, config: &FtssConfig) -> Result<FSchedule, SchedulingError> {
+    // Step 1: value-maximal non-fault-tolerant schedule (k = 0).
+    let fault_free = clone_with_fault_model(app, FaultModel::none());
+    let ctx = ScheduleContext::root(&fault_free);
+    let base = ftss(&fault_free, &ctx, config)?;
+
+    // Step 2: recovery slacks for hard processes only.
+    let k = app.faults().k;
+    let mut entries: Vec<ScheduleEntry> = base
+        .entries()
+        .iter()
+        .map(|e| ScheduleEntry {
+            process: e.process,
+            reexecutions: if app.is_hard(e.process) { k } else { 0 },
+        })
+        .collect();
+    let mut dropped: Vec<_> = base.statically_dropped().to_vec();
+
+    // Step 3: drop the cheapest soft entries until schedulable.
+    loop {
+        let candidate = FSchedule::new(entries.clone(), dropped.clone(), ctx.clone());
+        let analysis = candidate.analyze(app);
+        let Some(violation) = analysis.violation() else {
+            return Ok(candidate);
+        };
+        // Find the soft entry with the lowest expected utility contribution
+        // (its stale-scaled utility at its nominal completion time).
+        let mut cheapest: Option<(f64, usize)> = None;
+        {
+            let mut alpha = crate::fschedule::StaleAlpha::new(app, &candidate.dropped_mask(app));
+            let mut now = Time::ZERO;
+            for (pos, e) in entries.iter().enumerate() {
+                now += app.process(e.process).times().aet();
+                if app.is_hard(e.process) {
+                    let _ = alpha.resolve(app, e.process);
+                    continue;
+                }
+                let a = alpha.resolve(app, e.process);
+                let u = app
+                    .process(e.process)
+                    .criticality()
+                    .utility()
+                    .expect("soft process has a utility function")
+                    .value(now);
+                let contribution = a * u;
+                if cheapest.map_or(true, |(c, _)| contribution < c) {
+                    cheapest = Some((contribution, pos));
+                }
+            }
+        }
+        let Some((_, pos)) = cheapest else {
+            return Err(SchedulingError::Unschedulable {
+                process: violation.process,
+                deadline: violation.deadline,
+                worst_completion: violation.worst_completion,
+            });
+        };
+        let removed = entries.remove(pos);
+        dropped.push(removed.process);
+    }
+}
+
+/// Rebuilds `app` with a different fault model (the graph and processes are
+/// shared structurally; only `k`/µ change).
+fn clone_with_fault_model(app: &Application, faults: FaultModel) -> Application {
+    let mut b = Application::builder(app.period(), faults);
+    for n in app.processes() {
+        b.add_process(app.process(n).clone());
+    }
+    for (from, to) in app.graph().edges() {
+        b.add_dependency(from, to)
+            .expect("edges of a valid application re-add cleanly");
+    }
+    b.build().expect("a valid application rebuilds cleanly")
+}
+
+/// Expected (average-case) utility of a complete schedule from time zero —
+/// convenience wrapper used by experiments comparing FTSF/FTSS/FTQS.
+#[must_use]
+pub fn expected_utility(app: &Application, schedule: &FSchedule) -> f64 {
+    let analysis = schedule.analyze(app);
+    expected_suffix_utility(app, schedule, &analysis, 0, schedule.context().start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ftss::ftss;
+    use crate::{ExecutionTimes, UtilityFunction};
+    use ftqs_graph::NodeId;
+
+    fn t(ms: u64) -> Time {
+        Time::from_ms(ms)
+    }
+
+    fn et(b: u64, w: u64) -> ExecutionTimes {
+        ExecutionTimes::uniform(t(b), t(w)).unwrap()
+    }
+
+    fn fig1_app(period: u64) -> (Application, [NodeId; 3]) {
+        let mut b = Application::builder(t(period), FaultModel::new(1, t(10)));
+        let p1 = b.add_hard("P1", et(30, 70), t(180));
+        let p2 = b.add_soft(
+            "P2",
+            et(30, 70),
+            UtilityFunction::step(40.0, [(t(90), 20.0), (t(200), 10.0), (t(250), 0.0)]).unwrap(),
+        );
+        let p3 = b.add_soft(
+            "P3",
+            et(40, 80),
+            UtilityFunction::step(40.0, [(t(110), 30.0), (t(150), 10.0), (t(220), 0.0)]).unwrap(),
+        );
+        b.add_dependency(p1, p2).unwrap();
+        b.add_dependency(p1, p3).unwrap();
+        (b.build().unwrap(), [p1, p2, p3])
+    }
+
+    #[test]
+    fn ftsf_produces_schedulable_schedule() {
+        let (app, _) = fig1_app(300);
+        let s = ftsf(&app, &FtssConfig::default()).unwrap();
+        assert!(s.analyze(&app).is_schedulable());
+        // Hard entries carry k re-executions, soft entries none.
+        for e in s.entries() {
+            if app.is_hard(e.process) {
+                assert_eq!(e.reexecutions, 1);
+            } else {
+                assert_eq!(e.reexecutions, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn ftsf_never_beats_ftss_on_fig1() {
+        let (app, _) = fig1_app(300);
+        let baseline = ftsf(&app, &FtssConfig::default()).unwrap();
+        let smart = ftss(
+            &app,
+            &ScheduleContext::root(&app),
+            &FtssConfig::default(),
+        )
+        .unwrap();
+        assert!(expected_utility(&app, &baseline) <= expected_utility(&app, &smart) + 1e-9);
+    }
+
+    #[test]
+    fn ftsf_drops_low_value_soft_until_schedulable() {
+        // Tight period: the k-fault slack for the hard process does not
+        // leave room for both soft processes in the worst case... choose a
+        // tight hard deadline instead, forcing dropping.
+        let mut b = Application::builder(t(400), FaultModel::new(2, t(10)));
+        let cheap = b.add_soft("cheap", et(50, 100), UtilityFunction::constant(1.0).unwrap());
+        let rich = b.add_soft("rich", et(50, 100), UtilityFunction::constant(100.0).unwrap());
+        // Hard process must finish by 380 even with 2 faults (2x110 = 220
+        // delay + own 100 wcet = 320 alone). Any soft in front (100 wcet)
+        // busts it: 100 + 320 = 420 > 380 - so FTSF must drop soft entries
+        // that the value-maximal schedule put in front.
+        let h = b.add_hard("H", et(50, 100), t(380));
+        let app = b.build().unwrap();
+
+        let s = ftsf(&app, &FtssConfig::default()).unwrap();
+        assert!(s.analyze(&app).is_schedulable());
+        // At most one... in fact no soft process can precede H.
+        let hpos = s.position_of(h).unwrap();
+        assert_eq!(hpos, 0, "no soft process fits before the hard one");
+        let _ = (cheap, rich);
+    }
+
+    #[test]
+    fn ftsf_fails_when_hard_is_infeasible() {
+        let mut b = Application::builder(t(500), FaultModel::new(3, t(10)));
+        let _h = b.add_hard("H", et(50, 100), t(200)); // 100 + 3x110 = 430 > 200
+        let app = b.build().unwrap();
+        assert!(matches!(
+            ftsf(&app, &FtssConfig::default()),
+            Err(SchedulingError::Unschedulable { .. })
+        ));
+    }
+
+    #[test]
+    fn clone_with_fault_model_preserves_structure() {
+        let (app, [p1, p2, _]) = fig1_app(300);
+        let clone = clone_with_fault_model(&app, FaultModel::none());
+        assert_eq!(clone.len(), app.len());
+        assert_eq!(clone.faults().k, 0);
+        assert!(clone.graph().has_edge(p1, p2));
+        assert_eq!(clone.period(), app.period());
+    }
+}

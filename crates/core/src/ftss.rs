@@ -1,0 +1,869 @@
+//! FTSS — static scheduling for fault tolerance and utility maximization
+//! (paper §5.2, Fig. 8).
+//!
+//! FTSS is a list scheduler over the ready set. Each iteration:
+//!
+//! 1. **DetermineDropping** — every ready soft process `Pi` is tested by
+//!    comparing two hypothetical schedules of the unscheduled soft
+//!    processes: `Si′` (contains `Pi`) and `Si″` (treats `Pi` as dropped,
+//!    stale coefficients propagating). If `U(Si′) ≤ U(Si″)`, `Pi` is
+//!    dropped and its successors become ready.
+//! 2. **GetSchedulable** — a ready process `Pi` "leads to a schedulable
+//!    solution" if the schedule `SiH` — `Pi` followed by all unscheduled
+//!    hard processes (every other soft dropped), at worst-case times plus
+//!    the shared `k`-fault delay — meets every hard deadline.
+//! 3. **ForcedDropping** — while nothing is schedulable and ready soft
+//!    processes remain, the soft process whose dropping costs the least
+//!    utility is dropped.
+//! 4. **GetBestProcess** — among the schedulable candidates, the soft
+//!    process with the highest [`mu_priority`] wins; if no soft candidate
+//!    exists, the hard process with the earliest deadline is taken.
+//! 5. **AddRecoverySlack** — a hard process is granted all `k`
+//!    re-executions; a soft process is granted re-executions one by one
+//!    while they keep the hard suffix schedulable *and* the re-executed
+//!    completion still carries positive utility.
+//!
+//! The result is an f-schedule "generated for worst-case execution times,
+//! while the utility is maximized for average execution times": all
+//! schedulability tests use WCET + shared fault delay, all utility
+//! estimates use AET.
+
+use crate::fschedule::{FSchedule, ScheduleContext, ScheduleEntry, StaleAlpha};
+use crate::priority::{mu_priority, PriorityContext};
+use crate::wcdelay::{worst_case_fault_delay, SlackItem};
+use crate::{Application, SchedulingError, Time};
+use ftqs_graph::NodeId;
+
+/// Tuning knobs of [`ftss`]. The defaults reproduce the paper's heuristic;
+/// the switches exist for the ablation experiments in the bench crate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FtssConfig {
+    /// Enable the `DetermineDropping` utility-driven dropping step.
+    /// (Forced dropping for schedulability always stays on.)
+    pub dropping: bool,
+    /// Grant re-executions to soft processes (step 5). When off, soft
+    /// processes are abandoned on their first fault.
+    pub soft_reexecution: bool,
+    /// Lookahead weight of the MU priority (see [`crate::priority`]).
+    pub successor_weight: f64,
+}
+
+impl Default for FtssConfig {
+    fn default() -> Self {
+        FtssConfig {
+            dropping: true,
+            soft_reexecution: true,
+            successor_weight: 0.5,
+        }
+    }
+}
+
+/// Runs FTSS for `app` from `ctx`, producing an f-schedule over every
+/// pending process (each one is either scheduled or statically dropped).
+///
+/// # Errors
+///
+/// [`SchedulingError::Unschedulable`] if some hard process cannot meet its
+/// deadline in the worst-case `k`-fault scenario even with every soft
+/// process dropped.
+pub fn ftss(
+    app: &Application,
+    ctx: &ScheduleContext,
+    config: &FtssConfig,
+) -> Result<FSchedule, SchedulingError> {
+    Scheduler::new(app, ctx, config).run()
+}
+
+struct Scheduler<'a> {
+    app: &'a Application,
+    ctx: &'a ScheduleContext,
+    config: &'a FtssConfig,
+    k: usize,
+    /// Pending predecessors per node (only pending nodes count).
+    pending_preds: Vec<usize>,
+    /// Node state: pending / ready tracked via these masks.
+    resolved: Vec<bool>, // scheduled or dropped (or pre-completed/dropped by ctx)
+    ready: Vec<bool>,
+    dropped: Vec<bool>, // ctx drops + new static drops
+    entries: Vec<ScheduleEntry>,
+    new_drops: Vec<NodeId>,
+    alpha: StaleAlpha,
+    avg_clock: Time,
+    wcet_clock: Time,
+    slack_items: Vec<SlackItem>,
+}
+
+impl<'a> Scheduler<'a> {
+    fn new(app: &'a Application, ctx: &'a ScheduleContext, config: &'a FtssConfig) -> Self {
+        let n = app.len();
+        let mut dropped = ctx.dropped.clone();
+        dropped.resize(n, false);
+        let mut resolved = vec![false; n];
+        for i in 0..n {
+            if ctx.completed[i] || dropped[i] {
+                resolved[i] = true;
+            }
+        }
+        let mut pending_preds = vec![0usize; n];
+        for node in app.processes() {
+            if !resolved[node.index()] {
+                pending_preds[node.index()] = app
+                    .graph()
+                    .predecessors(node)
+                    .filter(|p| !resolved[p.index()])
+                    .count();
+            }
+        }
+        let ready = (0..n)
+            .map(|i| !resolved[i] && pending_preds[i] == 0)
+            .collect();
+        let alpha = StaleAlpha::new(app, &dropped);
+        Scheduler {
+            app,
+            ctx,
+            config,
+            k: app.faults().k,
+            pending_preds,
+            resolved,
+            ready,
+            dropped,
+            entries: Vec::new(),
+            new_drops: Vec::new(),
+            alpha,
+            avg_clock: ctx.start,
+            wcet_clock: ctx.start,
+            slack_items: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> Result<FSchedule, SchedulingError> {
+        while self.ready_nodes().next().is_some() {
+            if self.config.dropping {
+                self.determine_dropping();
+            }
+            let Some(ready_now) = self.first_nonempty_ready() else {
+                continue; // dropping promoted new nodes; re-enter the loop
+            };
+            let mut schedulable = self.schedulable_set(&ready_now);
+            while schedulable.is_empty() {
+                let ready_soft: Vec<NodeId> = self
+                    .ready_nodes()
+                    .filter(|&n| !self.app.is_hard(n))
+                    .collect();
+                if ready_soft.is_empty() {
+                    return Err(self.unschedulable_diagnosis());
+                }
+                self.forced_dropping(&ready_soft);
+                let ready_now: Vec<NodeId> = self.ready_nodes().collect();
+                if ready_now.is_empty() {
+                    break; // successors will surface next iteration
+                }
+                schedulable = self.schedulable_set(&ready_now);
+            }
+            let Some(best) = self.best_process(&schedulable) else {
+                continue;
+            };
+            self.schedule(best);
+        }
+        debug_assert!(
+            self.resolved.iter().all(|&r| r),
+            "FTSS must resolve every pending process"
+        );
+        Ok(FSchedule::new(
+            self.entries,
+            self.new_drops,
+            self.ctx.clone(),
+        ))
+    }
+
+    fn ready_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.ready
+            .iter()
+            .enumerate()
+            .filter(|&(i, &r)| r && !self.resolved[i])
+            .map(|(i, _)| NodeId::from_index(i))
+    }
+
+    fn first_nonempty_ready(&self) -> Option<Vec<NodeId>> {
+        let v: Vec<NodeId> = self.ready_nodes().collect();
+        (!v.is_empty()).then_some(v)
+    }
+
+    /// Pending = not yet scheduled, not dropped, not pre-completed.
+    fn is_pending(&self, n: NodeId) -> bool {
+        !self.resolved[n.index()]
+    }
+
+    // ----- DetermineDropping (FTSS line 3) -------------------------------
+
+    fn determine_dropping(&mut self) {
+        loop {
+            let candidates: Vec<NodeId> = self
+                .ready_nodes()
+                .filter(|&n| !self.app.is_hard(n))
+                .collect();
+            let mut dropped_any = false;
+            for pi in candidates {
+                if !self.ready[pi.index()] || self.resolved[pi.index()] {
+                    continue;
+                }
+                let with = self.soft_suffix_estimate(None);
+                let without = self.soft_suffix_estimate(Some(pi));
+                if with <= without {
+                    self.drop_process(pi);
+                    dropped_any = true;
+                }
+            }
+            if !dropped_any {
+                break;
+            }
+        }
+    }
+
+    /// Expected utility of list-scheduling every pending soft process at
+    /// average execution times from the current clock, with `extra_drop`
+    /// hypothetically dropped (the `Si′`/`Si″` schedules of the paper:
+    /// "two schedules ... which contain only unscheduled soft processes").
+    ///
+    /// Hard predecessors are treated as satisfied — they will execute, so
+    /// they neither gate readiness nor degrade stale coefficients here.
+    fn soft_suffix_estimate(&self, extra_drop: Option<NodeId>) -> f64 {
+        let app = self.app;
+        let mut alpha = self.alpha.clone();
+        if let Some(d) = extra_drop {
+            alpha.mark_dropped(d);
+        }
+        // Pending soft processes to place.
+        let pending_soft: Vec<NodeId> = app
+            .soft_processes()
+            .filter(|&s| self.is_pending(s) && Some(s) != extra_drop)
+            .collect();
+        // Readiness within the soft-induced subgraph: a pending soft is
+        // ready when none of its pending soft ancestors is unplaced.
+        let mut placed = vec![false; app.len()];
+        let mut now = self.avg_clock;
+        let mut total = 0.0;
+        let mut remaining = pending_soft.len();
+        while remaining > 0 {
+            // Ready softs: all pending-soft predecessors placed.
+            let mut best: Option<(f64, NodeId)> = None;
+            for &s in &pending_soft {
+                if placed[s.index()] {
+                    continue;
+                }
+                let gated = app.graph().predecessors(s).any(|p| {
+                    !placed[p.index()]
+                        && self.is_pending(p)
+                        && !app.is_hard(p)
+                        && Some(p) != extra_drop
+                });
+                if gated {
+                    continue;
+                }
+                let a = alpha_preview(app, &mut alpha, s);
+                let pr = mu_priority(
+                    &PriorityContext {
+                        app,
+                        now,
+                        alpha: a,
+                        successor_weight: self.config.successor_weight,
+                    },
+                    s,
+                    |j| self.is_pending(j) && !placed[j.index()] && Some(j) != extra_drop,
+                );
+                if best.map_or(true, |(bp, bn)| pr > bp || (pr == bp && s < bn)) {
+                    best = Some((pr, s));
+                }
+            }
+            let Some((_, s)) = best else {
+                break; // only gated softs remain (cycle impossible; gated by hard handled above)
+            };
+            placed[s.index()] = true;
+            remaining -= 1;
+            now += app.process(s).times().aet();
+            let a = alpha.resolve(app, s);
+            if let Some(u) = app.process(s).criticality().utility() {
+                total += a * u.value(now);
+            }
+        }
+        total
+    }
+
+    // ----- GetSchedulable (FTSS line 4) ----------------------------------
+
+    fn schedulable_set(&self, ready: &[NodeId]) -> Vec<NodeId> {
+        ready
+            .iter()
+            .copied()
+            .filter(|&n| self.leads_to_schedulable(n))
+            .collect()
+    }
+
+    /// The `SiH` test: candidate first (with `k` re-executions if hard,
+    /// none yet if soft), then every unscheduled hard process in
+    /// deadline-order list-scheduling, all soft dropped; every hard
+    /// deadline must hold at WCET plus the shared `k`-fault delay.
+    fn leads_to_schedulable(&self, candidate: NodeId) -> bool {
+        let app = self.app;
+        let mut wcet = self.wcet_clock;
+        let mut items = self.slack_items.clone();
+        let candidate_hard = app.is_hard(candidate);
+        wcet += app.process(candidate).times().wcet();
+        items.push(SlackItem::new(
+            app.recovery_penalty(candidate),
+            if candidate_hard { self.k } else { 0 },
+        ));
+        if candidate_hard {
+            let d = app
+                .process(candidate)
+                .criticality()
+                .deadline()
+                .expect("hard process has a deadline");
+            if wcet + worst_case_fault_delay(&items, self.k) > d {
+                return false;
+            }
+        }
+        self.hard_suffix_feasible(candidate, wcet, &mut items)
+    }
+
+    /// List-schedules the remaining hard processes (excluding `skip`) by
+    /// earliest deadline under precedence, checking each deadline.
+    fn hard_suffix_feasible(&self, skip: NodeId, mut wcet: Time, items: &mut Vec<SlackItem>) -> bool {
+        let app = self.app;
+        let hards: Vec<NodeId> = app
+            .hard_processes()
+            .filter(|&h| h != skip && self.is_pending(h))
+            .collect();
+        if hards.is_empty() {
+            return true;
+        }
+        // Precedence among the remaining hard processes only: soft (and the
+        // candidate) are assumed dropped/already placed, so they do not
+        // gate hard readiness here.
+        let mut placed = vec![false; app.len()];
+        let mut count = hards.len();
+        while count > 0 {
+            let mut best: Option<(Time, NodeId)> = None;
+            for &h in &hards {
+                if placed[h.index()] {
+                    continue;
+                }
+                let gated = app
+                    .graph()
+                    .predecessors(h)
+                    .any(|p| hards.contains(&p) && !placed[p.index()]);
+                if gated {
+                    continue;
+                }
+                let d = app
+                    .process(h)
+                    .criticality()
+                    .deadline()
+                    .expect("hard process has a deadline");
+                if best.map_or(true, |(bd, bn)| d < bd || (d == bd && h < bn)) {
+                    best = Some((d, h));
+                }
+            }
+            let Some((d, h)) = best else {
+                return false;
+            };
+            placed[h.index()] = true;
+            count -= 1;
+            wcet += app.process(h).times().wcet();
+            items.push(SlackItem::new(app.recovery_penalty(h), self.k));
+            if wcet + worst_case_fault_delay(items, self.k) > d {
+                return false;
+            }
+        }
+        true
+    }
+
+    // ----- ForcedDropping (FTSS lines 5-9) --------------------------------
+
+    fn forced_dropping(&mut self, ready_soft: &[NodeId]) {
+        let mut best: Option<(f64, NodeId)> = None;
+        for &s in ready_soft {
+            let with = self.soft_suffix_estimate(None);
+            let without = self.soft_suffix_estimate(Some(s));
+            let loss = with - without;
+            if best.map_or(true, |(bl, bn)| loss < bl || (loss == bl && s < bn)) {
+                best = Some((loss, s));
+            }
+        }
+        if let Some((_, s)) = best {
+            self.drop_process(s);
+        }
+    }
+
+    // ----- GetBestProcess (FTSS lines 11-12) ------------------------------
+
+    fn best_process(&mut self, schedulable: &[NodeId]) -> Option<NodeId> {
+        let softs: Vec<NodeId> = schedulable
+            .iter()
+            .copied()
+            .filter(|&n| !self.app.is_hard(n))
+            .collect();
+        if !softs.is_empty() {
+            let mut best: Option<(f64, NodeId)> = None;
+            for &s in &softs {
+                let a = alpha_preview(self.app, &mut self.alpha, s);
+                let pr = mu_priority(
+                    &PriorityContext {
+                        app: self.app,
+                        now: self.avg_clock,
+                        alpha: a,
+                        successor_weight: self.config.successor_weight,
+                    },
+                    s,
+                    |j| self.is_pending(j),
+                );
+                if best.map_or(true, |(bp, bn)| pr > bp || (pr == bp && s < bn)) {
+                    best = Some((pr, s));
+                }
+            }
+            return best.map(|(_, s)| s);
+        }
+        schedulable
+            .iter()
+            .copied()
+            .filter(|&n| self.app.is_hard(n))
+            .min_by_key(|&h| {
+                (
+                    self.app
+                        .process(h)
+                        .criticality()
+                        .deadline()
+                        .expect("hard process has a deadline"),
+                    h,
+                )
+            })
+    }
+
+    // ----- Schedule + AddRecoverySlack (FTSS lines 13-15) -----------------
+
+    fn schedule(&mut self, best: NodeId) {
+        let app = self.app;
+        let times = *app.process(best).times();
+        let hard = app.is_hard(best);
+
+        self.wcet_clock += times.wcet();
+        let reexecutions = if hard {
+            self.k
+        } else if self.config.soft_reexecution {
+            self.soft_reexecution_allowance(best)
+        } else {
+            0
+        };
+        self.slack_items
+            .push(SlackItem::new(app.recovery_penalty(best), reexecutions));
+        self.entries.push(ScheduleEntry {
+            process: best,
+            reexecutions,
+        });
+        self.avg_clock += times.aet();
+        self.alpha.resolve(app, best);
+        self.mark_resolved(best);
+    }
+
+    /// Grants re-executions to the just-picked soft process one at a time:
+    /// each extra re-execution must keep the remaining hard processes
+    /// schedulable (shared slack grows) and must still produce positive
+    /// utility at its worst-case completion ("it is evaluated with the
+    /// dropping heuristic", paper §5.2).
+    fn soft_reexecution_allowance(&self, best: NodeId) -> usize {
+        let app = self.app;
+        let u = app
+            .process(best)
+            .criticality()
+            .utility()
+            .expect("soft process has a utility function");
+        let penalty = app.recovery_penalty(best);
+        let completion_base = self.wcet_clock; // includes best's own wcet
+        let mut granted = 0usize;
+        while granted < self.k {
+            let try_allow = granted + 1;
+            // Worst-case completion of the re-executed process itself.
+            let mut items = self.slack_items.clone();
+            items.push(SlackItem::new(penalty, try_allow));
+            let own_wc = completion_base + penalty * try_allow as u64;
+            let beneficial = u.value(own_wc) > 0.0 && own_wc <= app.period();
+            if !beneficial {
+                break;
+            }
+            let mut wcet = self.wcet_clock;
+            let feasible = {
+                let mut probe_items = items.clone();
+                self.hard_suffix_feasible_with(best, &mut wcet, &mut probe_items)
+            };
+            if !feasible {
+                break;
+            }
+            granted = try_allow;
+        }
+        granted
+    }
+
+    fn hard_suffix_feasible_with(
+        &self,
+        scheduled: NodeId,
+        wcet: &mut Time,
+        items: &mut Vec<SlackItem>,
+    ) -> bool {
+        // Same check as `hard_suffix_feasible`, but `scheduled` is already
+        // part of the prefix (its item is in `items`).
+        self.hard_suffix_feasible(scheduled, *wcet, items)
+    }
+
+    // ----- bookkeeping ----------------------------------------------------
+
+    fn drop_process(&mut self, pi: NodeId) {
+        debug_assert!(!self.app.is_hard(pi), "hard processes are never dropped");
+        self.dropped[pi.index()] = true;
+        self.alpha.mark_dropped(pi);
+        self.new_drops.push(pi);
+        self.mark_resolved(pi);
+    }
+
+    fn mark_resolved(&mut self, n: NodeId) {
+        self.resolved[n.index()] = true;
+        self.ready[n.index()] = false;
+        for s in self.app.graph().successors(n) {
+            if !self.resolved[s.index()] {
+                self.pending_preds[s.index()] -= 1;
+                if self.pending_preds[s.index()] == 0 {
+                    self.ready[s.index()] = true;
+                }
+            }
+        }
+    }
+
+    fn unschedulable_diagnosis(&self) -> SchedulingError {
+        // Report the tightest-deadline pending hard process with the best
+        // achievable worst-case completion (every soft dropped).
+        let app = self.app;
+        let mut wcet = self.wcet_clock;
+        let mut items = self.slack_items.clone();
+        let mut worst: Option<(NodeId, Time, Time)> = None;
+        let hards: Vec<NodeId> = app
+            .hard_processes()
+            .filter(|&h| self.is_pending(h))
+            .collect();
+        let mut placed = vec![false; app.len()];
+        for _ in 0..hards.len() {
+            let next = hards
+                .iter()
+                .copied()
+                .filter(|&h| {
+                    !placed[h.index()]
+                        && !app
+                            .graph()
+                            .predecessors(h)
+                            .any(|p| hards.contains(&p) && !placed[p.index()])
+                })
+                .min_by_key(|&h| app.process(h).criticality().deadline());
+            let Some(h) = next else { break };
+            placed[h.index()] = true;
+            wcet += app.process(h).times().wcet();
+            items.push(SlackItem::new(app.recovery_penalty(h), self.k));
+            let wc = wcet + worst_case_fault_delay(&items, self.k);
+            let d = app
+                .process(h)
+                .criticality()
+                .deadline()
+                .expect("hard process has a deadline");
+            if wc > d {
+                worst = Some((h, d, wc));
+                break;
+            }
+        }
+        let (process, deadline, worst_completion) = worst.unwrap_or_else(|| {
+            let h = hards[0];
+            (
+                h,
+                app.process(h).criticality().deadline().unwrap_or(Time::MAX),
+                Time::MAX,
+            )
+        });
+        SchedulingError::Unschedulable {
+            process,
+            deadline,
+            worst_completion,
+        }
+    }
+}
+
+/// Computes the stale coefficient `id` would execute with, without
+/// committing it (predecessors are resolved as needed — they are already
+/// decided for ready processes).
+fn alpha_preview(app: &Application, alpha: &mut StaleAlpha, id: NodeId) -> f64 {
+    let preds: Vec<NodeId> = app.graph().predecessors(id).collect();
+    let mut sum = 0.0;
+    for p in &preds {
+        sum += alpha.resolve(app, *p);
+    }
+    (1.0 + sum) / (1.0 + preds.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fschedule::expected_suffix_utility;
+    use crate::{ExecutionTimes, FaultModel, UtilityFunction};
+
+    fn t(ms: u64) -> Time {
+        Time::from_ms(ms)
+    }
+
+    fn et(b: u64, w: u64) -> ExecutionTimes {
+        ExecutionTimes::uniform(t(b), t(w)).unwrap()
+    }
+
+    /// Fig. 1 / Fig. 4 application with the Fig. 4a utility functions.
+    fn fig1_app() -> (Application, [NodeId; 3]) {
+        let mut b = Application::builder(t(300), FaultModel::new(1, t(10)));
+        let p1 = b.add_hard("P1", et(30, 70), t(180));
+        let p2 = b.add_soft(
+            "P2",
+            et(30, 70),
+            UtilityFunction::step(40.0, [(t(90), 20.0), (t(200), 10.0), (t(250), 0.0)]).unwrap(),
+        );
+        let p3 = b.add_soft(
+            "P3",
+            et(40, 80),
+            UtilityFunction::step(40.0, [(t(110), 30.0), (t(150), 10.0), (t(220), 0.0)]).unwrap(),
+        );
+        b.add_dependency(p1, p2).unwrap();
+        b.add_dependency(p1, p3).unwrap();
+        (b.build().unwrap(), [p1, p2, p3])
+    }
+
+    #[test]
+    fn fig1_ftss_prefers_s2_ordering() {
+        // §3: "S2 is better than S1 on average and is, hence, preferred":
+        // P1, P3, P2 with average utility 60.
+        let (app, [p1, p2, p3]) = fig1_app();
+        let s = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).unwrap();
+        assert_eq!(s.order_key(), vec![p1, p3, p2]);
+        let a = s.analyze(&app);
+        assert!(a.is_schedulable());
+        let u = expected_suffix_utility(&app, &s, &a, 0, Time::ZERO);
+        assert_eq!(u, 60.0);
+        // Hard P1 gets the full fault budget.
+        assert_eq!(s.entries()[0].reexecutions, 1);
+    }
+
+    #[test]
+    fn fig4c_reduced_period_drops_a_soft_process() {
+        // With T = 250 the worst case does not fit; one soft process must
+        // go, and dropping P2 (keeping P3) gives utility U3(100) = 40 —
+        // schedule S3 of Fig. 4c3.
+        let mut b = Application::builder(t(250), FaultModel::new(1, t(10)));
+        let p1 = b.add_hard("P1", et(30, 70), t(180));
+        let p2 = b.add_soft(
+            "P2",
+            et(30, 70),
+            UtilityFunction::step(40.0, [(t(90), 20.0), (t(200), 10.0), (t(250), 0.0)]).unwrap(),
+        );
+        let p3 = b.add_soft(
+            "P3",
+            et(40, 80),
+            UtilityFunction::step(40.0, [(t(110), 30.0), (t(150), 10.0), (t(220), 0.0)]).unwrap(),
+        );
+        b.add_dependency(p1, p2).unwrap();
+        b.add_dependency(p1, p3).unwrap();
+        let app = b.build().unwrap();
+
+        let s = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).unwrap();
+        let a = s.analyze(&app);
+        assert!(a.is_schedulable());
+        let u = expected_suffix_utility(&app, &s, &a, 0, Time::ZERO);
+        // Our runtime model lets the less valuable soft process be dropped
+        // online instead of statically when it still fits the average case;
+        // either way P3-before-P2 utility dominates and at least S3's
+        // utility must be achieved.
+        assert!(u >= 40.0, "expected at least S3's utility, got {u}");
+        assert_eq!(s.entries()[0].process, p1);
+        // P3 is scheduled before P2 (or P2 dropped entirely).
+        let pos3 = s.position_of(p3);
+        let pos2 = s.position_of(p2);
+        match (pos3, pos2) {
+            (Some(i3), Some(i2)) => assert!(i3 < i2),
+            (Some(_), None) => {}
+            other => panic!("unexpected placement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hard_only_application_schedules_by_deadline() {
+        let mut b = Application::builder(t(1000), FaultModel::new(2, t(5)));
+        let a1 = b.add_hard("H1", et(10, 30), t(900));
+        let a2 = b.add_hard("H2", et(10, 30), t(400));
+        let a3 = b.add_hard("H3", et(10, 30), t(600));
+        let app = b.build().unwrap();
+        let s = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).unwrap();
+        assert_eq!(s.order_key(), vec![a2, a3, a1]);
+        assert!(s.entries().iter().all(|e| e.reexecutions == 2));
+        assert!(s.analyze(&app).is_schedulable());
+    }
+
+    #[test]
+    fn infeasible_hard_deadline_is_unschedulable() {
+        let mut b = Application::builder(t(1000), FaultModel::new(1, t(10)));
+        let h = b.add_hard("H", et(50, 100), t(120)); // wc 100 + 110 = 210 > 120
+        let app = b.build().unwrap();
+        let err = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).unwrap_err();
+        match err {
+            SchedulingError::Unschedulable {
+                process,
+                deadline,
+                worst_completion,
+            } => {
+                assert_eq!(process, h);
+                assert_eq!(deadline, t(120));
+                assert_eq!(worst_completion, t(210));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn soft_blocking_hard_is_force_dropped() {
+        // A huge soft process in front of a tight hard deadline: scheduling
+        // the soft first would violate the hard deadline, so FTSS must drop
+        // or defer it.
+        let mut b = Application::builder(t(1000), FaultModel::new(1, t(10)));
+        let big = b.add_soft(
+            "big",
+            et(400, 800),
+            UtilityFunction::constant(1000.0).unwrap(),
+        );
+        let h = b.add_hard("H", et(50, 100), t(250));
+        let app = b.build().unwrap();
+        let s = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).unwrap();
+        let a = s.analyze(&app);
+        assert!(a.is_schedulable());
+        // The hard process is first; the soft one follows or is dropped.
+        assert_eq!(s.entries()[0].process, h);
+        let _ = big;
+    }
+
+    #[test]
+    fn worthless_soft_process_is_dropped() {
+        let mut b = Application::builder(t(1000), FaultModel::none());
+        let dead = b.add_soft(
+            "dead",
+            et(100, 200),
+            // Utility already zero at any reachable completion time.
+            UtilityFunction::step(10.0, [(t(50), 0.0)]).unwrap(),
+        );
+        let live = b.add_soft(
+            "live",
+            et(100, 200),
+            UtilityFunction::constant(50.0).unwrap(),
+        );
+        let app = b.build().unwrap();
+        let s = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).unwrap();
+        assert!(s.statically_dropped().contains(&dead));
+        assert_eq!(s.position_of(live), Some(0));
+    }
+
+    #[test]
+    fn dropping_can_be_disabled() {
+        let mut b = Application::builder(t(1000), FaultModel::none());
+        let dead = b.add_soft(
+            "dead",
+            et(100, 200),
+            UtilityFunction::step(10.0, [(t(50), 0.0)]).unwrap(),
+        );
+        let app = b.build().unwrap();
+        let cfg = FtssConfig {
+            dropping: false,
+            ..FtssConfig::default()
+        };
+        let s = ftss(&app, &ScheduleContext::root(&app), &cfg).unwrap();
+        assert!(s.statically_dropped().is_empty());
+        assert_eq!(s.position_of(dead), Some(0));
+    }
+
+    #[test]
+    fn soft_reexecutions_granted_when_beneficial() {
+        let mut b = Application::builder(t(1000), FaultModel::new(2, t(10)));
+        let s1 = b.add_soft(
+            "S",
+            et(50, 100),
+            // Worth something until late: re-executions stay beneficial.
+            UtilityFunction::step(100.0, [(t(900), 0.0)]).unwrap(),
+        );
+        let app = b.build().unwrap();
+        let s = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).unwrap();
+        assert_eq!(s.entries()[0].process, s1);
+        assert_eq!(
+            s.entries()[0].reexecutions,
+            2,
+            "both re-executions fit and pay off"
+        );
+    }
+
+    #[test]
+    fn soft_reexecutions_denied_when_worthless() {
+        let mut b = Application::builder(t(1000), FaultModel::new(2, t(10)));
+        let _s1 = b.add_soft(
+            "S",
+            et(50, 100),
+            // Utility vanishes right after the nominal completion: a
+            // re-executed run (>= 210) is worthless.
+            UtilityFunction::step(100.0, [(t(110), 0.0)]).unwrap(),
+        );
+        let app = b.build().unwrap();
+        let s = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).unwrap();
+        assert_eq!(s.entries()[0].reexecutions, 0);
+    }
+
+    #[test]
+    fn soft_reexecution_respects_hard_deadlines() {
+        let mut b = Application::builder(t(1000), FaultModel::new(2, t(10)));
+        let sid = b.add_soft(
+            "S",
+            et(100, 100),
+            UtilityFunction::constant(100.0).unwrap(),
+        );
+        // Hard process right after; granting S re-executions would consume
+        // the shared budget with penalty 110 each and push H past 420:
+        // 100 + 100 + min-delay... With S allowances 2: delay = 2x110 = 220
+        // -> H wc = 200 + 220 = 420 <= d? Pick d = 350 so even one S
+        // re-execution (110 + 110 fault on H... ) busts it.
+        let h = b.add_hard("H", et(100, 100), t(350));
+        let app = b.build().unwrap();
+        let s = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).unwrap();
+        let a = s.analyze(&app);
+        assert!(a.is_schedulable(), "schedule must stay feasible");
+        // Whatever allowance was granted, the analysis must confirm H's
+        // deadline in the worst case.
+        let hpos = s.position_of(h).unwrap();
+        assert!(a.worst_completion(hpos) <= t(350));
+    }
+
+    #[test]
+    fn sub_schedule_context_restricts_to_pending() {
+        let (app, [p1, p2, p3]) = fig1_app();
+        let mut ctx = ScheduleContext::root(&app);
+        ctx.completed[p1.index()] = true;
+        ctx.start = t(30); // P1 completed at its bcet
+        let s = ftss(&app, &ctx, &FtssConfig::default()).unwrap();
+        let key = s.order_key();
+        assert!(!key.contains(&p1));
+        assert_eq!(key.len(), 2);
+        assert!(key.contains(&p2) && key.contains(&p3));
+        // At tc = 30 the S1 ordering (P2 first) wins — Fig. 4b5 / schedule
+        // S2^1 of the quasi-static tree.
+        assert_eq!(key[0], p2, "early completion favors P2 first");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (app, _) = fig1_app();
+        let a = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).unwrap();
+        let b = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+}

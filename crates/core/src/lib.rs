@@ -1,0 +1,92 @@
+//! # ftqs-core — fault-tolerant static & quasi-static schedule synthesis
+//!
+//! A from-scratch implementation of the scheduling approach of Izosimov,
+//! Pop, Eles & Peng, *"Scheduling of Fault-Tolerant Embedded Systems with
+//! Soft and Hard Timing Constraints"* (DATE 2008): single-node embedded
+//! applications with mixed hard/soft real-time constraints, transient-fault
+//! tolerance by process re-execution with shared recovery slack, and
+//! overall-utility maximization through time/utility functions with
+//! stale-value propagation.
+//!
+//! ## Pieces
+//!
+//! * The **model**: [`Application`] (a DAG of [`Process`]es with a period
+//!   and a [`FaultModel`]), [`UtilityFunction`]s for soft processes and
+//!   [`StaleCoefficients`] for dropped-output degradation.
+//! * **f-schedules** ([`fschedule`]): fixed process orders with
+//!   re-execution allowances, analyzed against the worst distribution of
+//!   `k` faults ([`wcdelay`]).
+//! * **FTSS** ([`ftss`]): the list-scheduling heuristic producing a single
+//!   fault-tolerant schedule that guarantees hard deadlines at worst-case
+//!   times while maximizing average-case utility (with utility-driven
+//!   dropping of soft processes).
+//! * **FTQS** ([`ftqs`]): the quasi-static tree of schedules, switched at
+//!   run time based on actual process completion times (and hence fault
+//!   occurrences), with interval partitioning of switch conditions.
+//! * **FTSF** ([`ftsf`]): the straightforward baseline of the paper's
+//!   evaluation.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ftqs_core::{
+//!     ftqs::{ftqs, FtqsConfig},
+//!     Application, ExecutionTimes, FaultModel, Time, UtilityFunction,
+//! };
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The paper's running example (Fig. 1): hard P1 feeding soft P2, P3;
+//! // one transient fault to tolerate, 10 ms recovery overhead.
+//! let mut b = Application::builder(Time::from_ms(300), FaultModel::new(1, Time::from_ms(10)));
+//! let p1 = b.add_hard("P1", ExecutionTimes::uniform(30.into(), 70.into())?, Time::from_ms(180));
+//! let p2 = b.add_soft(
+//!     "P2",
+//!     ExecutionTimes::uniform(30.into(), 70.into())?,
+//!     UtilityFunction::step(40.0, [(Time::from_ms(90), 20.0), (Time::from_ms(200), 10.0)])?,
+//! );
+//! let p3 = b.add_soft(
+//!     "P3",
+//!     ExecutionTimes::uniform(40.into(), 80.into())?,
+//!     UtilityFunction::step(40.0, [(Time::from_ms(110), 30.0), (Time::from_ms(150), 10.0)])?,
+//! );
+//! b.add_dependency(p1, p2)?;
+//! b.add_dependency(p1, p3)?;
+//! let app = b.build()?;
+//!
+//! // Synthesize a quasi-static tree with at most 8 schedules.
+//! let tree = ftqs(&app, &FtqsConfig::with_budget(8))?;
+//! assert!(tree.len() >= 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod application;
+mod error;
+pub mod export;
+pub mod fschedule;
+pub mod ftqs;
+pub mod ftsf;
+pub mod ftss;
+pub mod priority;
+mod process;
+mod stale;
+mod time;
+pub mod tree;
+mod utility;
+pub mod validate;
+pub mod wcdelay;
+
+pub use application::{Application, ApplicationBuilder, ApplicationError, FaultModel};
+pub use error::SchedulingError;
+pub use fschedule::{
+    FSchedule, ScheduleAnalysis, ScheduleContext, ScheduleEntry, UtilityEstimator,
+};
+pub use ftss::FtssConfig;
+pub use process::{Criticality, ExecutionTimes, ExecutionTimesError, Process};
+pub use stale::StaleCoefficients;
+pub use time::Time;
+pub use tree::{QuasiStaticTree, SwitchArc, TreeNode, TreeNodeId};
+pub use utility::{UtilityFunction, UtilityError};

@@ -1,0 +1,220 @@
+//! Soft-process priorities (the `MU` function).
+//!
+//! FTSS picks, among the schedulable ready processes, the soft process with
+//! the highest priority computed "using the MU function presented in \[3\]"
+//! (Cortes et al., DATE 2004). The reference defines a mean-utility-density
+//! priority; the paper does not restate it, so we pin down the following
+//! interpretation (documented in DESIGN.md and ablated in the bench crate):
+//!
+//! ```text
+//! MU(Pi) = αi · Ui(now + aetᵢ) / max(aetᵢ, 1)
+//!        + w · Σ_{Pj ∈ soft direct successors, pending} Uj(now + aetᵢ + aetⱼ) / max(aetⱼ, 1)
+//! ```
+//!
+//! The first term is the process's own expected utility density (utility per
+//! millisecond of processor time, degraded by its stale coefficient); the
+//! second credits a process for unlocking high-density soft successors, with
+//! lookahead weight `w` (0.5 by default). Hard processes have no MU priority
+//! — FTSS selects them by earliest deadline.
+
+use crate::{Application, Time};
+use ftqs_graph::NodeId;
+
+/// Inputs for one [`mu_priority`] evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct PriorityContext<'a> {
+    /// The application being scheduled.
+    pub app: &'a Application,
+    /// Current (average-case) schedule time.
+    pub now: Time,
+    /// Stale coefficient the candidate would execute with.
+    pub alpha: f64,
+    /// Lookahead weight `w` for soft successors.
+    pub successor_weight: f64,
+}
+
+/// Mean-utility-density priority of soft process `id`.
+///
+/// `is_pending(j)` must report whether successor `j` is still unscheduled
+/// and undropped — completed or dropped successors contribute nothing.
+///
+/// # Panics
+///
+/// Panics if `id` is not a soft process of the application.
+#[must_use]
+pub fn mu_priority(
+    ctx: &PriorityContext<'_>,
+    id: NodeId,
+    mut is_pending: impl FnMut(NodeId) -> bool,
+) -> f64 {
+    let p = ctx.app.process(id);
+    let u = p
+        .criticality()
+        .utility()
+        .expect("MU priority is defined for soft processes only");
+    let aet = p.times().aet();
+    let own_completion = ctx.now + aet;
+    let mut score = ctx.alpha * u.value(own_completion) / density_denominator(aet);
+
+    if ctx.successor_weight != 0.0 {
+        let mut succ_sum = 0.0;
+        for j in ctx.app.graph().successors(id) {
+            if !is_pending(j) {
+                continue;
+            }
+            if let Some(uj) = ctx.app.process(j).criticality().utility() {
+                let aet_j = ctx.app.process(j).times().aet();
+                succ_sum += uj.value(own_completion + aet_j) / density_denominator(aet_j);
+            }
+        }
+        score += ctx.successor_weight * succ_sum;
+    }
+    score
+}
+
+fn density_denominator(aet: Time) -> f64 {
+    aet.as_ms().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExecutionTimes, FaultModel, UtilityFunction};
+
+    fn t(ms: u64) -> Time {
+        Time::from_ms(ms)
+    }
+
+    fn two_soft_app() -> (Application, NodeId, NodeId) {
+        let mut b = Application::builder(t(1000), FaultModel::none());
+        let a = b.add_soft(
+            "A",
+            ExecutionTimes::uniform(t(10), t(30)).unwrap(),
+            UtilityFunction::step(100.0, [(t(50), 0.0)]).unwrap(),
+        );
+        let c = b.add_soft(
+            "C",
+            ExecutionTimes::uniform(t(10), t(30)).unwrap(),
+            UtilityFunction::step(10.0, [(t(500), 0.0)]).unwrap(),
+        );
+        (b.build().unwrap(), a, c)
+    }
+
+    #[test]
+    fn higher_utility_density_wins() {
+        let (app, a, c) = two_soft_app();
+        let ctx = PriorityContext {
+            app: &app,
+            now: Time::ZERO,
+            alpha: 1.0,
+            successor_weight: 0.5,
+        };
+        let pa = mu_priority(&ctx, a, |_| true);
+        let pc = mu_priority(&ctx, c, |_| true);
+        assert!(pa > pc, "A's 100-for-20ms beats C's 10-for-20ms");
+    }
+
+    #[test]
+    fn expired_utility_scores_zero() {
+        let (app, a, _) = two_soft_app();
+        let ctx = PriorityContext {
+            app: &app,
+            now: t(100), // A completes at 120 > 50, utility 0
+            alpha: 1.0,
+            successor_weight: 0.5,
+        };
+        assert_eq!(mu_priority(&ctx, a, |_| true), 0.0);
+    }
+
+    #[test]
+    fn stale_coefficient_scales_priority() {
+        let (app, a, _) = two_soft_app();
+        let base = PriorityContext {
+            app: &app,
+            now: Time::ZERO,
+            alpha: 1.0,
+            successor_weight: 0.0,
+        };
+        let degraded = PriorityContext {
+            alpha: 0.5,
+            ..base
+        };
+        let p1 = mu_priority(&base, a, |_| true);
+        let p2 = mu_priority(&degraded, a, |_| true);
+        assert!((p2 - p1 * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn soft_successors_raise_priority() {
+        let mut b = Application::builder(t(1000), FaultModel::none());
+        let et = ExecutionTimes::uniform(t(10), t(30)).unwrap();
+        let parent = b.add_soft(
+            "parent",
+            et,
+            UtilityFunction::constant(1.0).unwrap(),
+        );
+        let child = b.add_soft(
+            "child",
+            et,
+            UtilityFunction::step(200.0, [(t(900), 0.0)]).unwrap(),
+        );
+        let lone = b.add_soft("lone", et, UtilityFunction::constant(1.0).unwrap());
+        b.add_dependency(parent, child).unwrap();
+        let app = b.build().unwrap();
+
+        let ctx = PriorityContext {
+            app: &app,
+            now: Time::ZERO,
+            alpha: 1.0,
+            successor_weight: 0.5,
+        };
+        let p_parent = mu_priority(&ctx, parent, |_| true);
+        let p_lone = mu_priority(&ctx, lone, |_| true);
+        assert!(p_parent > p_lone, "parent unlocks a valuable successor");
+
+        // With the successor already scheduled (not pending), the advantage
+        // disappears.
+        let p_parent_done = mu_priority(&ctx, parent, |_| false);
+        assert!((p_parent_done - p_lone).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hard_successors_do_not_contribute() {
+        let mut b = Application::builder(t(1000), FaultModel::none());
+        let et = ExecutionTimes::uniform(t(10), t(30)).unwrap();
+        let parent = b.add_soft("parent", et, UtilityFunction::constant(1.0).unwrap());
+        let hard = b.add_hard("hard", et, t(900));
+        b.add_dependency(parent, hard).unwrap();
+        let app = b.build().unwrap();
+        let ctx = PriorityContext {
+            app: &app,
+            now: Time::ZERO,
+            alpha: 1.0,
+            successor_weight: 0.5,
+        };
+        let with_w = mu_priority(&ctx, parent, |_| true);
+        let ctx0 = PriorityContext {
+            successor_weight: 0.0,
+            ..ctx
+        };
+        let without_w = mu_priority(&ctx0, parent, |_| true);
+        assert_eq!(with_w, without_w);
+    }
+
+    #[test]
+    fn zero_aet_does_not_divide_by_zero() {
+        let mut b = Application::builder(t(1000), FaultModel::none());
+        let et = ExecutionTimes::new(t(0), t(0), t(1)).unwrap();
+        let a = b.add_soft("A", et, UtilityFunction::constant(5.0).unwrap());
+        let app = b.build().unwrap();
+        let ctx = PriorityContext {
+            app: &app,
+            now: Time::ZERO,
+            alpha: 1.0,
+            successor_weight: 0.5,
+        };
+        let p = mu_priority(&ctx, a, |_| true);
+        assert!(p.is_finite());
+        assert_eq!(p, 5.0);
+    }
+}

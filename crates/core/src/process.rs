@@ -1,0 +1,338 @@
+//! Process model: execution-time envelope and hard/soft criticality.
+
+use crate::{Time, UtilityFunction};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing invalid [`ExecutionTimes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExecutionTimesError {
+    /// `bcet <= aet <= wcet` was violated.
+    Unordered {
+        /// Best-case execution time supplied.
+        bcet: Time,
+        /// Average-case execution time supplied.
+        aet: Time,
+        /// Worst-case execution time supplied.
+        wcet: Time,
+    },
+    /// WCET must be strictly positive.
+    ZeroWcet,
+}
+
+impl fmt::Display for ExecutionTimesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecutionTimesError::Unordered { bcet, aet, wcet } => write!(
+                f,
+                "execution times must satisfy bcet <= aet <= wcet (got {bcet}, {aet}, {wcet})"
+            ),
+            ExecutionTimesError::ZeroWcet => write!(f, "worst-case execution time must be positive"),
+        }
+    }
+}
+
+impl Error for ExecutionTimesError {}
+
+/// Best-, average- and worst-case execution time of a process (paper §2).
+///
+/// The paper's table in Fig. 1 is reproduced by the doctest below. The
+/// average-case time defaults to the midpoint of BCET and WCET — the mean of
+/// the uniform completion-time distribution used in the evaluation (§6; the
+/// paper's "(tᵢʷ − tᵢᵇ)/2" is a typo for the midpoint, as Fig. 1's own
+/// numbers show).
+///
+/// # Example
+///
+/// ```
+/// use ftqs_core::{ExecutionTimes, Time};
+///
+/// # fn main() -> Result<(), ftqs_core::ExecutionTimesError> {
+/// // Fig. 1, process P1: BCET 30, AET 50, WCET 70.
+/// let t = ExecutionTimes::uniform(Time::from_ms(30), Time::from_ms(70))?;
+/// assert_eq!(t.aet(), Time::from_ms(50));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ExecutionTimes {
+    bcet: Time,
+    aet: Time,
+    wcet: Time,
+}
+
+impl ExecutionTimes {
+    /// Creates an execution-time envelope with an explicit average.
+    ///
+    /// # Errors
+    ///
+    /// * [`ExecutionTimesError::Unordered`] unless `bcet <= aet <= wcet`.
+    /// * [`ExecutionTimesError::ZeroWcet`] if `wcet` is zero.
+    pub fn new(bcet: Time, aet: Time, wcet: Time) -> Result<Self, ExecutionTimesError> {
+        if wcet == Time::ZERO {
+            return Err(ExecutionTimesError::ZeroWcet);
+        }
+        if bcet <= aet && aet <= wcet {
+            Ok(ExecutionTimes { bcet, aet, wcet })
+        } else {
+            Err(ExecutionTimesError::Unordered { bcet, aet, wcet })
+        }
+    }
+
+    /// Creates an envelope whose average is the midpoint of `bcet`/`wcet`
+    /// (the mean completion time under the paper's uniform distribution).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ExecutionTimes::new`].
+    pub fn uniform(bcet: Time, wcet: Time) -> Result<Self, ExecutionTimesError> {
+        Self::new(bcet, bcet.midpoint(wcet), wcet)
+    }
+
+    /// Creates a deterministic envelope (`bcet == aet == wcet`).
+    ///
+    /// # Errors
+    ///
+    /// [`ExecutionTimesError::ZeroWcet`] if `value` is zero.
+    pub fn fixed(value: Time) -> Result<Self, ExecutionTimesError> {
+        Self::new(value, value, value)
+    }
+
+    /// Best-case execution time.
+    #[must_use]
+    pub fn bcet(&self) -> Time {
+        self.bcet
+    }
+
+    /// Average-case execution time.
+    #[must_use]
+    pub fn aet(&self) -> Time {
+        self.aet
+    }
+
+    /// Worst-case execution time.
+    #[must_use]
+    pub fn wcet(&self) -> Time {
+        self.wcet
+    }
+}
+
+/// Whether a process is hard (deadline-constrained) or soft
+/// (utility-bearing, droppable).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Criticality {
+    /// The process must complete by `deadline` in every scenario, including
+    /// the worst case with `k` faults. Hard processes are always re-executed
+    /// after a fault.
+    Hard {
+        /// Absolute deadline within the operation cycle.
+        deadline: Time,
+    },
+    /// The process contributes `utility(completion)` when it completes and
+    /// may be dropped (utility 0, stale outputs) or left un-recovered after
+    /// a fault.
+    Soft {
+        /// Time/utility function evaluated at the completion time.
+        utility: UtilityFunction,
+    },
+}
+
+impl Criticality {
+    /// Returns `true` for hard processes.
+    #[must_use]
+    pub fn is_hard(&self) -> bool {
+        matches!(self, Criticality::Hard { .. })
+    }
+
+    /// Returns `true` for soft processes.
+    #[must_use]
+    pub fn is_soft(&self) -> bool {
+        matches!(self, Criticality::Soft { .. })
+    }
+
+    /// The hard deadline, if any.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Time> {
+        match self {
+            Criticality::Hard { deadline } => Some(*deadline),
+            Criticality::Soft { .. } => None,
+        }
+    }
+
+    /// The utility function, if soft.
+    #[must_use]
+    pub fn utility(&self) -> Option<&UtilityFunction> {
+        match self {
+            Criticality::Hard { .. } => None,
+            Criticality::Soft { utility } => Some(utility),
+        }
+    }
+}
+
+/// A non-preemptable process of the application (paper §2).
+///
+/// Communication time is folded into execution time, and the error-detection
+/// overhead is "considered as part of the process execution time" — so the
+/// envelope here is all the scheduler needs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Process {
+    name: String,
+    times: ExecutionTimes,
+    criticality: Criticality,
+    recovery: Option<Time>,
+}
+
+impl Process {
+    /// Creates a hard process.
+    #[must_use]
+    pub fn hard(name: impl Into<String>, times: ExecutionTimes, deadline: Time) -> Self {
+        Process {
+            name: name.into(),
+            times,
+            criticality: Criticality::Hard { deadline },
+            recovery: None,
+        }
+    }
+
+    /// Creates a soft process.
+    #[must_use]
+    pub fn soft(name: impl Into<String>, times: ExecutionTimes, utility: UtilityFunction) -> Self {
+        Process {
+            name: name.into(),
+            times,
+            criticality: Criticality::Soft { utility },
+            recovery: None,
+        }
+    }
+
+    /// Overrides the recovery overhead µ for this process (the paper's
+    /// cruise-controller experiment sets µ to 10 % of each process's WCET).
+    /// Processes without an override use the application-wide
+    /// [`FaultModel::mu`](crate::FaultModel).
+    #[must_use]
+    pub fn with_recovery_overhead(mut self, mu: Time) -> Self {
+        self.recovery = Some(mu);
+        self
+    }
+
+    /// The per-process recovery overhead, if overridden.
+    #[must_use]
+    pub fn recovery_overhead(&self) -> Option<Time> {
+        self.recovery
+    }
+
+    /// Human-readable name (e.g. `"P1"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Execution-time envelope.
+    #[must_use]
+    pub fn times(&self) -> &ExecutionTimes {
+        &self.times
+    }
+
+    /// Hard/soft classification.
+    #[must_use]
+    pub fn criticality(&self) -> &Criticality {
+        &self.criticality
+    }
+
+    /// Shorthand for `self.criticality().is_hard()`.
+    #[must_use]
+    pub fn is_hard(&self) -> bool {
+        self.criticality.is_hard()
+    }
+
+    /// Shorthand for `self.criticality().is_soft()`.
+    #[must_use]
+    pub fn is_soft(&self) -> bool {
+        self.criticality.is_soft()
+    }
+}
+
+impl fmt::Display for Process {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = if self.is_hard() { "hard" } else { "soft" };
+        write!(
+            f,
+            "{} ({tag}, {}/{}/{})",
+            self.name,
+            self.times.bcet(),
+            self.times.aet(),
+            self.times.wcet()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Time {
+        Time::from_ms(ms)
+    }
+
+    #[test]
+    fn uniform_matches_fig1_table() {
+        // Fig. 1: (BCET, AET, WCET) = (30,50,70), (30,50,70), (40,60,80).
+        for (b, a, w) in [(30, 50, 70), (40, 60, 80)] {
+            let e = ExecutionTimes::uniform(t(b), t(w)).unwrap();
+            assert_eq!(e.aet(), t(a));
+        }
+    }
+
+    #[test]
+    fn new_validates_ordering() {
+        assert!(ExecutionTimes::new(t(10), t(5), t(20)).is_err());
+        assert!(ExecutionTimes::new(t(10), t(25), t(20)).is_err());
+        assert!(ExecutionTimes::new(t(0), t(0), t(0)).is_err());
+        assert!(ExecutionTimes::new(t(10), t(10), t(10)).is_ok());
+    }
+
+    #[test]
+    fn fixed_is_degenerate_envelope() {
+        let e = ExecutionTimes::fixed(t(30)).unwrap();
+        assert_eq!(e.bcet(), e.wcet());
+        assert_eq!(e.aet(), t(30));
+    }
+
+    #[test]
+    fn zero_bcet_is_allowed() {
+        // §6: "best-case execution times between 0 ms and the worst-case".
+        let e = ExecutionTimes::uniform(t(0), t(100)).unwrap();
+        assert_eq!(e.bcet(), t(0));
+        assert_eq!(e.aet(), t(50));
+    }
+
+    #[test]
+    fn criticality_accessors() {
+        let hard = Criticality::Hard { deadline: t(180) };
+        assert!(hard.is_hard());
+        assert_eq!(hard.deadline(), Some(t(180)));
+        assert!(hard.utility().is_none());
+
+        let soft = Criticality::Soft {
+            utility: UtilityFunction::constant(10.0).unwrap(),
+        };
+        assert!(soft.is_soft());
+        assert!(soft.deadline().is_none());
+        assert!(soft.utility().is_some());
+    }
+
+    #[test]
+    fn process_constructors_and_display() {
+        let e = ExecutionTimes::uniform(t(30), t(70)).unwrap();
+        let p = Process::hard("P1", e, t(180));
+        assert!(p.is_hard());
+        assert_eq!(p.name(), "P1");
+        assert!(p.to_string().contains("hard"));
+
+        let s = Process::soft("P2", e, UtilityFunction::constant(1.0).unwrap());
+        assert!(s.is_soft());
+        assert!(s.to_string().contains("soft"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Stale-value coefficients (paper §2.1).
+//!
+//! When a soft process is dropped, its consumers reuse "stale" inputs from
+//! the previous execution cycle. The resulting service degradation is
+//! modeled by scaling each process's utility with a coefficient
+//!
+//! ```text
+//!        1 + Σ_{Pj ∈ DP(Pi)} αj
+//! αi = ------------------------
+//!           1 + |DP(Pi)|
+//! ```
+//!
+//! where `DP(Pi)` are the direct predecessors of `Pi`; a dropped process has
+//! `αi = 0`, and the degradation propagates transitively through the graph.
+//! The effective utility is `Ui*(t) = αi · Ui(t)`.
+
+use crate::Application;
+use ftqs_graph::NodeId;
+
+/// Per-process stale-value coefficients, indexed by [`NodeId::index`].
+///
+/// Values are always in `[0, 1]`: 1 for processes whose entire input cone is
+/// fresh, 0 for dropped processes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaleCoefficients {
+    alpha: Vec<f64>,
+}
+
+impl StaleCoefficients {
+    /// Computes coefficients for `app` given the set of dropped (or
+    /// fault-abandoned) processes. `dropped` is indexed by
+    /// [`NodeId::index`]; `true` marks a process that produced no fresh
+    /// output this cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dropped.len()` differs from the process count.
+    ///
+    /// # Example
+    ///
+    /// The worked example of §2.1: `P3` has predecessors `P1` (dropped) and
+    /// `P2` (completed), so `α3 = (1 + 0 + 1)/(1 + 2) = 2/3`; its only
+    /// successor `P4` gets `α4 = (1 + 2/3)/(1 + 1) = 5/6`.
+    ///
+    /// ```
+    /// use ftqs_core::{Application, ExecutionTimes, FaultModel, StaleCoefficients, Time, UtilityFunction};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let et = ExecutionTimes::uniform(Time::from_ms(10), Time::from_ms(20))?;
+    /// let u = UtilityFunction::constant(30.0)?;
+    /// let mut b = Application::builder(Time::from_ms(1000), FaultModel::none());
+    /// let p1 = b.add_soft("P1", et, u.clone());
+    /// let p2 = b.add_soft("P2", et, u.clone());
+    /// let p3 = b.add_soft("P3", et, u.clone());
+    /// let p4 = b.add_soft("P4", et, u.clone());
+    /// b.add_dependency(p1, p3)?;
+    /// b.add_dependency(p2, p3)?;
+    /// b.add_dependency(p3, p4)?;
+    /// let app = b.build()?;
+    ///
+    /// let mut dropped = vec![false; 4];
+    /// dropped[p1.index()] = true;
+    /// let alpha = StaleCoefficients::compute(&app, &dropped);
+    /// assert!((alpha.get(p3) - 2.0 / 3.0).abs() < 1e-12);
+    /// assert!((alpha.get(p4) - 5.0 / 6.0).abs() < 1e-12);
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn compute(app: &Application, dropped: &[bool]) -> Self {
+        assert_eq!(
+            dropped.len(),
+            app.len(),
+            "dropped mask must cover every process"
+        );
+        let mut alpha = vec![0.0; app.len()];
+        for n in app.topological_order() {
+            alpha[n.index()] = if dropped[n.index()] {
+                0.0
+            } else {
+                let preds: Vec<NodeId> = app.graph().predecessors(n).collect();
+                let sum: f64 = preds.iter().map(|p| alpha[p.index()]).sum();
+                (1.0 + sum) / (1.0 + preds.len() as f64)
+            };
+        }
+        StaleCoefficients { alpha }
+    }
+
+    /// Coefficients when nothing is dropped (all 1.0).
+    #[must_use]
+    pub fn all_fresh(app: &Application) -> Self {
+        StaleCoefficients {
+            alpha: vec![1.0; app.len()],
+        }
+    }
+
+    /// The coefficient of process `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn get(&self, id: NodeId) -> f64 {
+        self.alpha[id.index()]
+    }
+
+    /// Raw coefficient slice, indexed by [`NodeId::index`].
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.alpha
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExecutionTimes, FaultModel, Time, UtilityFunction};
+
+    fn soft_app(n: usize, edges: &[(usize, usize)]) -> Application {
+        let et = ExecutionTimes::uniform(Time::from_ms(10), Time::from_ms(20)).unwrap();
+        let u = UtilityFunction::constant(10.0).unwrap();
+        let mut b = Application::builder(Time::from_ms(10_000), FaultModel::none());
+        let ids: Vec<NodeId> = (0..n)
+            .map(|i| b.add_soft(format!("P{i}"), et, u.clone()))
+            .collect();
+        for &(f, t) in edges {
+            b.add_dependency(ids[f], ids[t]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn all_fresh_is_all_ones() {
+        let app = soft_app(3, &[(0, 1), (1, 2)]);
+        let a = StaleCoefficients::all_fresh(&app);
+        assert!(a.as_slice().iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn no_drops_computes_to_ones() {
+        let app = soft_app(4, &[(0, 2), (1, 2), (2, 3)]);
+        let a = StaleCoefficients::compute(&app, &vec![false; 4]);
+        assert!(a.as_slice().iter().all(|&x| (x - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn paper_example_two_thirds_and_five_sixths() {
+        let app = soft_app(4, &[(0, 2), (1, 2), (2, 3)]);
+        let mut dropped = vec![false; 4];
+        dropped[0] = true;
+        let a = StaleCoefficients::compute(&app, &dropped);
+        assert!((a.get(NodeId::from_index(2)) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((a.get(NodeId::from_index(3)) - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dropped_process_has_zero_alpha() {
+        let app = soft_app(2, &[(0, 1)]);
+        let mut dropped = vec![false; 2];
+        dropped[0] = true;
+        let a = StaleCoefficients::compute(&app, &dropped);
+        assert_eq!(a.get(NodeId::from_index(0)), 0.0);
+        // Sole successor of a dropped process: (1 + 0) / (1 + 1) = 1/2.
+        assert!((a.get(NodeId::from_index(1)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coefficients_stay_in_unit_interval() {
+        let app = soft_app(
+            6,
+            &[(0, 2), (1, 2), (2, 3), (2, 4), (3, 5), (4, 5), (0, 5)],
+        );
+        for mask in 0..(1u32 << 6) {
+            let dropped: Vec<bool> = (0..6).map(|i| mask & (1 << i) != 0).collect();
+            let a = StaleCoefficients::compute(&app, &dropped);
+            for &x in a.as_slice() {
+                assert!((0.0..=1.0).contains(&x), "alpha {x} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn dropping_more_never_raises_any_alpha() {
+        let app = soft_app(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let base = StaleCoefficients::compute(&app, &vec![false; 5]);
+        for d in 0..5 {
+            let mut dropped = vec![false; 5];
+            dropped[d] = true;
+            let a = StaleCoefficients::compute(&app, &dropped);
+            for i in 0..5 {
+                assert!(a.as_slice()[i] <= base.as_slice()[i] + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dropped mask")]
+    fn wrong_mask_length_panics() {
+        let app = soft_app(2, &[]);
+        let _ = StaleCoefficients::compute(&app, &[false]);
+    }
+}

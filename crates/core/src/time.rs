@@ -1,0 +1,203 @@
+//! Integer millisecond time base.
+//!
+//! The paper works in integer milliseconds throughout (execution times,
+//! deadlines, periods, the recovery overhead µ) and its interval-partitioning
+//! step explicitly "traces all possible completion times of process Pi,
+//! assuming they are integers". [`Time`] is a newtype over `u64` milliseconds
+//! used both for instants (relative to the start of the operation cycle) and
+//! for durations — the distinction carries no information in this
+//! single-cycle, offset-free model, and a single type keeps schedule
+//! arithmetic free of conversions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// A point in time or a duration, in integer milliseconds.
+///
+/// # Example
+///
+/// ```
+/// use ftqs_core::Time;
+///
+/// let wcet = Time::from_ms(70);
+/// let mu = Time::from_ms(10);
+/// // Recovery slack for one re-execution (paper §3): wcet + mu.
+/// assert_eq!((wcet + mu).as_ms(), 80);
+/// assert_eq!(wcet * 3, Time::from_ms(210));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Time(u64);
+
+impl Time {
+    /// The zero instant / empty duration.
+    pub const ZERO: Time = Time(0);
+
+    /// The largest representable time; used as "never" in latest-start tables.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time from milliseconds.
+    #[must_use]
+    pub const fn from_ms(ms: u64) -> Self {
+        Time(ms)
+    }
+
+    /// Returns the raw millisecond count.
+    #[must_use]
+    pub const fn as_ms(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction: `self - rhs`, clamped at zero.
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked subtraction; `None` if `rhs > self`.
+    #[must_use]
+    pub const fn checked_sub(self, rhs: Time) -> Option<Time> {
+        match self.0.checked_sub(rhs.0) {
+            Some(v) => Some(Time(v)),
+            None => None,
+        }
+    }
+
+    /// Saturating addition (useful around [`Time::MAX`] sentinels).
+    #[must_use]
+    pub const fn saturating_add(self, rhs: Time) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+
+    /// Midpoint of two times, rounding down. Used for the default
+    /// average-case execution time `(bcet + wcet) / 2`.
+    #[must_use]
+    pub const fn midpoint(self, other: Time) -> Time {
+        // Overflow-safe midpoint.
+        Time(self.0 / 2 + other.0 / 2 + (self.0 % 2 + other.0 % 2) / 2)
+    }
+
+    /// Returns self as an `f64` millisecond count (for utility math).
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    /// # Panics
+    ///
+    /// Panics in debug builds on underflow; use [`Time::saturating_sub`] or
+    /// [`Time::checked_sub`] when the operands may be unordered.
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Time {
+    fn sub_assign(&mut self, rhs: Time) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+    fn mul(self, rhs: u64) -> Time {
+        Time(self.0 * rhs)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ms", self.0)
+    }
+}
+
+impl From<u64> for Time {
+    fn from(ms: u64) -> Time {
+        Time::from_ms(ms)
+    }
+}
+
+impl From<Time> for u64 {
+    fn from(t: Time) -> u64 {
+        t.as_ms()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Time::from_ms(30);
+        let b = Time::from_ms(70);
+        assert_eq!(a + b, Time::from_ms(100));
+        assert_eq!(b - a, Time::from_ms(40));
+        assert_eq!(a * 3, Time::from_ms(90));
+        assert_eq!([a, b].into_iter().sum::<Time>(), Time::from_ms(100));
+    }
+
+    #[test]
+    fn saturating_and_checked() {
+        let a = Time::from_ms(30);
+        let b = Time::from_ms(70);
+        assert_eq!(a.saturating_sub(b), Time::ZERO);
+        assert_eq!(a.checked_sub(b), None);
+        assert_eq!(b.checked_sub(a), Some(Time::from_ms(40)));
+        assert_eq!(Time::MAX.saturating_add(a), Time::MAX);
+    }
+
+    #[test]
+    fn midpoint_matches_paper_fig1() {
+        // Fig. 1: BCET 30, WCET 70 -> AET 50; BCET 40, WCET 80 -> AET 60.
+        assert_eq!(Time::from_ms(30).midpoint(Time::from_ms(70)), Time::from_ms(50));
+        assert_eq!(Time::from_ms(40).midpoint(Time::from_ms(80)), Time::from_ms(60));
+        // Rounding down for odd sums.
+        assert_eq!(Time::from_ms(1).midpoint(Time::from_ms(2)), Time::from_ms(1));
+        // No overflow near the top of the range.
+        assert_eq!(Time::MAX.midpoint(Time::MAX), Time::MAX);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Time::from_ms(250).to_string(), "250ms");
+    }
+
+    #[test]
+    fn conversions() {
+        let t: Time = 42u64.into();
+        let back: u64 = t.into();
+        assert_eq!(back, 42);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Time::from_ms(10) < Time::from_ms(20));
+        assert_eq!(Time::default(), Time::ZERO);
+    }
+}

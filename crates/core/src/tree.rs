@@ -1,0 +1,332 @@
+//! The fault-tolerant quasi-static tree Φ (paper §5.1).
+//!
+//! Each tree node holds an f-schedule; each arc records a *schedule switch*:
+//! "if the pivot process completes within this time interval, switch to the
+//! child schedule". The online scheduler starts at the root, executes the
+//! current node's schedule, and after every (final, post-re-execution)
+//! process completion consults the outgoing arcs of the current node.
+//!
+//! Two representation notes relative to the paper's Fig. 5:
+//!
+//! * The paper draws separate node *groups* for fault scenarios (schedules
+//!   containing `P1/2` etc.). Our runtime performs re-executions inline
+//!   using the shared recovery slack, so a fault simply delays the pivot's
+//!   final completion time — the completion-time intervals on the arcs
+//!   subsume the fault/no-fault distinction.
+//! * A child schedule only contains the processes remaining *after* its
+//!   pivot; its [`ScheduleContext`](crate::fschedule::ScheduleContext)
+//!   records the prefix that has already run.
+
+use crate::fschedule::{FSchedule, ScheduleAnalysis};
+use crate::Time;
+use ftqs_graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Index of a node within a [`QuasiStaticTree`].
+pub type TreeNodeId = usize;
+
+/// A completion-time-triggered switch from a parent schedule to a child.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwitchArc {
+    /// Position (within the parent's entries) of the pivot process whose
+    /// completion is inspected.
+    pub pivot_pos: usize,
+    /// The pivot process itself (redundant with `pivot_pos`, kept for
+    /// readability of serialized trees).
+    pub pivot: NodeId,
+    /// Switch when the pivot's final completion time `tc` satisfies
+    /// `lo <= tc <= hi`.
+    pub lo: Time,
+    /// Upper bound of the switch interval (inclusive).
+    pub hi: Time,
+    /// The child node to switch to.
+    pub child: TreeNodeId,
+}
+
+impl SwitchArc {
+    /// Returns `true` if completion time `tc` triggers this arc.
+    #[must_use]
+    pub fn matches(&self, pos: usize, tc: Time) -> bool {
+        self.pivot_pos == pos && self.lo <= tc && tc <= self.hi
+    }
+}
+
+/// One node of the quasi-static tree: a schedule plus its switch arcs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TreeNode {
+    /// The f-schedule executed while this node is current.
+    pub schedule: FSchedule,
+    /// Parent node, `None` for the root.
+    pub parent: Option<TreeNodeId>,
+    /// Outgoing switch arcs, sorted by `(pivot_pos, lo)`.
+    pub arcs: Vec<SwitchArc>,
+    /// Depth in the tree (root = 0); the "layer" of the FTQS heuristic.
+    pub depth: usize,
+}
+
+/// The synthesized quasi-static tree Φ.
+///
+/// Produced by [`crate::ftqs::ftqs`]; consumed by the online scheduler in
+/// `ftqs-sim`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuasiStaticTree {
+    nodes: Vec<TreeNode>,
+    root: TreeNodeId,
+}
+
+impl QuasiStaticTree {
+    /// Builds a tree from its nodes. `nodes[root]` must exist and arcs must
+    /// reference valid children; [`crate::ftqs::ftqs`] guarantees this.
+    #[must_use]
+    pub fn new(nodes: Vec<TreeNode>, root: TreeNodeId) -> Self {
+        debug_assert!(root < nodes.len());
+        QuasiStaticTree { nodes, root }
+    }
+
+    /// A tree containing only `root_schedule` — the degenerate FTQS with
+    /// `M = 1`, equivalent to plain FTSS.
+    #[must_use]
+    pub fn single(root_schedule: FSchedule) -> Self {
+        QuasiStaticTree {
+            nodes: vec![TreeNode {
+                schedule: root_schedule,
+                parent: None,
+                arcs: Vec::new(),
+                depth: 0,
+            }],
+            root: 0,
+        }
+    }
+
+    /// The root node id.
+    #[must_use]
+    pub fn root(&self) -> TreeNodeId {
+        self.root
+    }
+
+    /// The node with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn node(&self, id: TreeNodeId) -> &TreeNode {
+        &self.nodes[id]
+    }
+
+    /// Number of schedules in the tree (the paper's "nodes" column of
+    /// Table 1).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the tree is empty (never true for a built tree).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterates over all nodes with their ids.
+    pub fn iter(&self) -> impl Iterator<Item = (TreeNodeId, &TreeNode)> {
+        self.nodes.iter().enumerate()
+    }
+
+    /// Looks up the switch target for completing the entry at `pos` of node
+    /// `at` with final completion time `tc`.
+    #[must_use]
+    pub fn switch_target(&self, at: TreeNodeId, pos: usize, tc: Time) -> Option<TreeNodeId> {
+        self.nodes[at]
+            .arcs
+            .iter()
+            .find(|a| a.matches(pos, tc))
+            .map(|a| a.child)
+    }
+
+    /// Maximum depth over all nodes (root = 0).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
+    }
+
+    /// Precomputes the analyses of every node's schedule against `app`.
+    ///
+    /// Index the result by [`TreeNodeId`]. The online scheduler needs the
+    /// latest-start tables of whichever node is current.
+    #[must_use]
+    pub fn analyses(&self, app: &crate::Application) -> Vec<ScheduleAnalysis> {
+        self.nodes.iter().map(|n| n.schedule.analyze(app)).collect()
+    }
+
+    /// Estimated memory footprint of the tree in the form an embedded
+    /// runtime would store it: per schedule entry a process id and a
+    /// re-execution count, per arc a pivot position and two time bounds
+    /// plus a child index, per node a parent link.
+    ///
+    /// "Less nodes in the tree means that less memory is needed to store
+    /// them" (paper §6) — Table 1 trades this footprint against utility.
+    /// The estimate is deliberately representation-based (4-byte ids/
+    /// counters, 8-byte times), not `size_of`-based, so it is stable
+    /// across host platforms.
+    #[must_use]
+    pub fn memory_footprint_bytes(&self) -> usize {
+        const ID: usize = 4; // process ids, child indices, counters
+        const TIME: usize = 8;
+        self.nodes
+            .iter()
+            .map(|n| {
+                let entries = n.schedule.entries().len() * (ID + ID);
+                let drops = n.schedule.statically_dropped().len() * ID;
+                let arcs = n.arcs.len() * (ID + ID + 2 * TIME + ID);
+                entries + drops + arcs + ID // parent link
+            })
+            .sum()
+    }
+
+    /// Renders the tree as a Graphviz `digraph`: one box per schedule
+    /// (its process order, named via `app`) and one labelled edge per
+    /// switch arc — the picture of the paper's Fig. 5a.
+    #[must_use]
+    pub fn to_dot(&self, app: &crate::Application) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph quasi_static_tree {\n  rankdir=TB;\n  node [shape=box];\n");
+        for (id, node) in self.iter() {
+            let order: Vec<&str> = node
+                .schedule
+                .order_key()
+                .iter()
+                .map(|&p| app.process(p).name())
+                .collect();
+            let _ = writeln!(out, "  s{id} [label=\"S{id}: {}\"];", order.join(" "));
+        }
+        for (id, node) in self.iter() {
+            for arc in &node.arcs {
+                let _ = writeln!(
+                    out,
+                    "  s{id} -> s{} [label=\"{} in {}..{}\"];",
+                    arc.child,
+                    app.process(arc.pivot).name(),
+                    arc.lo,
+                    arc.hi
+                );
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fschedule::{ScheduleContext, ScheduleEntry};
+    use crate::{Application, ExecutionTimes, FaultModel, UtilityFunction};
+
+    fn t(ms: u64) -> Time {
+        Time::from_ms(ms)
+    }
+
+    fn tiny_app() -> (Application, [NodeId; 2]) {
+        let mut b = Application::builder(t(300), FaultModel::new(1, t(10)));
+        let a = b.add_hard(
+            "A",
+            ExecutionTimes::uniform(t(10), t(30)).unwrap(),
+            t(200),
+        );
+        let c = b.add_soft(
+            "B",
+            ExecutionTimes::uniform(t(10), t(30)).unwrap(),
+            UtilityFunction::constant(5.0).unwrap(),
+        );
+        b.add_dependency(a, c).unwrap();
+        (b.build().unwrap(), [a, c])
+    }
+
+    fn entry(p: NodeId, r: usize) -> ScheduleEntry {
+        ScheduleEntry {
+            process: p,
+            reexecutions: r,
+        }
+    }
+
+    #[test]
+    fn single_tree_is_root_only() {
+        let (app, [a, c]) = tiny_app();
+        let s = FSchedule::new(
+            vec![entry(a, 1), entry(c, 0)],
+            vec![],
+            ScheduleContext::root(&app),
+        );
+        let tree = QuasiStaticTree::single(s);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.depth(), 0);
+        assert!(tree.switch_target(tree.root(), 0, t(10)).is_none());
+    }
+
+    #[test]
+    fn arcs_match_on_position_and_interval() {
+        let arc = SwitchArc {
+            pivot_pos: 0,
+            pivot: NodeId::from_index(0),
+            lo: t(10),
+            hi: t(40),
+            child: 1,
+        };
+        assert!(arc.matches(0, t(10)));
+        assert!(arc.matches(0, t(40)));
+        assert!(!arc.matches(0, t(41)));
+        assert!(!arc.matches(0, t(9)));
+        assert!(!arc.matches(1, t(20)));
+    }
+
+    #[test]
+    fn switch_target_finds_matching_arc() {
+        let (app, [a, c]) = tiny_app();
+        let root_sched = FSchedule::new(
+            vec![entry(a, 1), entry(c, 0)],
+            vec![],
+            ScheduleContext::root(&app),
+        );
+        let mut child_ctx = ScheduleContext::root(&app);
+        child_ctx.completed[a.index()] = true;
+        child_ctx.start = t(10);
+        let child_sched = FSchedule::new(vec![entry(c, 0)], vec![], child_ctx);
+
+        let nodes = vec![
+            TreeNode {
+                schedule: root_sched,
+                parent: None,
+                arcs: vec![SwitchArc {
+                    pivot_pos: 0,
+                    pivot: a,
+                    lo: t(10),
+                    hi: t(20),
+                    child: 1,
+                }],
+                depth: 0,
+            },
+            TreeNode {
+                schedule: child_sched,
+                parent: Some(0),
+                arcs: vec![],
+                depth: 1,
+            },
+        ];
+        let tree = QuasiStaticTree::new(nodes, 0);
+        assert_eq!(tree.switch_target(0, 0, t(15)), Some(1));
+        assert_eq!(tree.switch_target(0, 0, t(25)), None);
+        assert_eq!(tree.switch_target(0, 1, t(15)), None);
+        assert_eq!(tree.node(1).parent, Some(0));
+        assert_eq!(tree.depth(), 1);
+        assert_eq!(tree.analyses(&app).len(), 2);
+
+        let dot = tree.to_dot(&app);
+        assert!(dot.contains("digraph quasi_static_tree"));
+        assert!(dot.contains("s0 -> s1"));
+        assert!(dot.contains("A in 10ms..20ms"));
+
+        // Footprint: root (2 entries = 16B, 1 arc = 28B, parent 4B) +
+        // child (1 entry = 8B, parent 4B) = 60 bytes.
+        assert_eq!(tree.memory_footprint_bytes(), 60);
+    }
+}

@@ -1,0 +1,423 @@
+//! Structural validation of schedules and quasi-static trees.
+//!
+//! Synthesis guarantees these invariants by construction; validation exists
+//! for schedules that enter the system from outside — deserialized trees
+//! handed to an embedded runtime, hand-written schedules in tests, or
+//! schedules produced by experimental heuristics. The checks are exactly
+//! the assumptions the online scheduler relies on.
+
+use crate::fschedule::FSchedule;
+use crate::tree::QuasiStaticTree;
+use crate::{Application, Time};
+use ftqs_graph::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// A structural defect found by [`validate_schedule`] or
+/// [`validate_tree`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ValidationError {
+    /// An entry references a process outside the application.
+    UnknownProcess(NodeId),
+    /// A process appears more than once (as entry and/or drop).
+    DuplicateProcess(NodeId),
+    /// A hard process is listed as statically dropped.
+    HardProcessDropped(NodeId),
+    /// The schedule does not cover every pending process of its context.
+    MissingProcess(NodeId),
+    /// An entry precedes one of its predecessors.
+    PrecedenceViolation {
+        /// The early-running successor.
+        process: NodeId,
+        /// The predecessor scheduled after it.
+        predecessor: NodeId,
+    },
+    /// A re-execution allowance exceeds the fault budget `k`.
+    AllowanceExceedsBudget {
+        /// The offending process.
+        process: NodeId,
+        /// Its allowance.
+        allowance: usize,
+        /// The fault budget.
+        k: usize,
+    },
+    /// A context mask has the wrong length.
+    ContextShape,
+    /// A hard process misses its deadline in the worst case.
+    Unschedulable(NodeId),
+    /// An arc references a missing child node.
+    DanglingArc {
+        /// The node holding the arc.
+        node: usize,
+        /// The missing child index.
+        child: usize,
+    },
+    /// An arc's interval is inverted (`lo > hi`).
+    EmptyArcInterval {
+        /// The node holding the arc.
+        node: usize,
+    },
+    /// An arc pivots on a position outside its node's schedule.
+    ArcPivotOutOfRange {
+        /// The node holding the arc.
+        node: usize,
+        /// The out-of-range position.
+        pivot_pos: usize,
+    },
+    /// Two arcs of one node overlap on the same pivot position.
+    OverlappingArcs {
+        /// The node holding the arcs.
+        node: usize,
+        /// The shared pivot position.
+        pivot_pos: usize,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::UnknownProcess(p) => write!(f, "unknown process {p}"),
+            ValidationError::DuplicateProcess(p) => write!(f, "process {p} appears twice"),
+            ValidationError::HardProcessDropped(p) => {
+                write!(f, "hard process {p} cannot be dropped")
+            }
+            ValidationError::MissingProcess(p) => {
+                write!(f, "pending process {p} is neither scheduled nor dropped")
+            }
+            ValidationError::PrecedenceViolation {
+                process,
+                predecessor,
+            } => write!(f, "process {process} runs before its predecessor {predecessor}"),
+            ValidationError::AllowanceExceedsBudget {
+                process,
+                allowance,
+                k,
+            } => write!(f, "allowance {allowance} of process {process} exceeds budget k = {k}"),
+            ValidationError::ContextShape => write!(f, "context masks have the wrong length"),
+            ValidationError::Unschedulable(p) => {
+                write!(f, "hard process {p} misses its deadline in the worst case")
+            }
+            ValidationError::DanglingArc { node, child } => {
+                write!(f, "arc of node {node} references missing child {child}")
+            }
+            ValidationError::EmptyArcInterval { node } => {
+                write!(f, "arc of node {node} has an inverted interval")
+            }
+            ValidationError::ArcPivotOutOfRange { node, pivot_pos } => {
+                write!(f, "arc of node {node} pivots on out-of-range position {pivot_pos}")
+            }
+            ValidationError::OverlappingArcs { node, pivot_pos } => {
+                write!(f, "arcs of node {node} overlap at pivot position {pivot_pos}")
+            }
+        }
+    }
+}
+
+impl Error for ValidationError {}
+
+/// Validates one f-schedule against its application: coverage, precedence,
+/// allowance bounds, and worst-case hard-deadline feasibility.
+///
+/// # Errors
+///
+/// The first [`ValidationError`] found, scanning entries in order.
+pub fn validate_schedule(
+    app: &Application,
+    schedule: &FSchedule,
+) -> Result<(), ValidationError> {
+    let n = app.len();
+    let ctx = schedule.context();
+    if ctx.completed.len() != n || ctx.dropped.len() != n {
+        return Err(ValidationError::ContextShape);
+    }
+    let k = app.faults().k;
+    let mut seen = vec![false; n];
+
+    // Drops: soft only, no duplicates, known.
+    for &d in schedule.statically_dropped() {
+        if d.index() >= n {
+            return Err(ValidationError::UnknownProcess(d));
+        }
+        if seen[d.index()] {
+            return Err(ValidationError::DuplicateProcess(d));
+        }
+        seen[d.index()] = true;
+        if app.is_hard(d) {
+            return Err(ValidationError::HardProcessDropped(d));
+        }
+    }
+
+    // Entries: known, unique, precedence-respecting, bounded allowances.
+    let mut position = vec![usize::MAX; n];
+    for (pos, e) in schedule.entries().iter().enumerate() {
+        let p = e.process;
+        if p.index() >= n {
+            return Err(ValidationError::UnknownProcess(p));
+        }
+        if seen[p.index()] {
+            return Err(ValidationError::DuplicateProcess(p));
+        }
+        seen[p.index()] = true;
+        position[p.index()] = pos;
+        if e.reexecutions > k {
+            return Err(ValidationError::AllowanceExceedsBudget {
+                process: p,
+                allowance: e.reexecutions,
+                k,
+            });
+        }
+    }
+    for e in schedule.entries() {
+        for pred in app.graph().predecessors(e.process) {
+            // A predecessor must be completed in the context, dropped, or
+            // scheduled earlier.
+            let i = pred.index();
+            let fine = ctx.completed[i]
+                || ctx.dropped[i]
+                || schedule.statically_dropped().contains(&pred)
+                || position[i] < position[e.process.index()];
+            if !fine {
+                return Err(ValidationError::PrecedenceViolation {
+                    process: e.process,
+                    predecessor: pred,
+                });
+            }
+        }
+    }
+
+    // Coverage: every pending process is scheduled or dropped.
+    for p in app.processes() {
+        if ctx.is_pending(p) && !seen[p.index()] {
+            return Err(ValidationError::MissingProcess(p));
+        }
+    }
+
+    // Feasibility.
+    if let Some(v) = schedule.analyze(app).violation() {
+        return Err(ValidationError::Unschedulable(v.process));
+    }
+    Ok(())
+}
+
+/// Validates a quasi-static tree: every node's schedule (via
+/// [`validate_schedule`]) plus arc sanity (children exist, intervals are
+/// ordered and non-overlapping per pivot, pivots in range).
+///
+/// # Errors
+///
+/// The first [`ValidationError`] found, scanning nodes in index order.
+pub fn validate_tree(app: &Application, tree: &QuasiStaticTree) -> Result<(), ValidationError> {
+    for (id, node) in tree.iter() {
+        validate_schedule(app, &node.schedule)?;
+        let mut last_per_pos: Vec<(usize, Time)> = Vec::new();
+        for arc in &node.arcs {
+            if arc.child >= tree.len() {
+                return Err(ValidationError::DanglingArc {
+                    node: id,
+                    child: arc.child,
+                });
+            }
+            if arc.lo > arc.hi {
+                return Err(ValidationError::EmptyArcInterval { node: id });
+            }
+            if arc.pivot_pos >= node.schedule.entries().len() {
+                return Err(ValidationError::ArcPivotOutOfRange {
+                    node: id,
+                    pivot_pos: arc.pivot_pos,
+                });
+            }
+            if let Some(&(_, prev_hi)) = last_per_pos
+                .iter()
+                .rev()
+                .find(|&&(pos, _)| pos == arc.pivot_pos)
+            {
+                if arc.lo <= prev_hi {
+                    return Err(ValidationError::OverlappingArcs {
+                        node: id,
+                        pivot_pos: arc.pivot_pos,
+                    });
+                }
+            }
+            last_per_pos.push((arc.pivot_pos, arc.hi));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fschedule::{ScheduleContext, ScheduleEntry};
+    use crate::ftqs::{ftqs, FtqsConfig};
+    use crate::ftss::ftss;
+    use crate::{ExecutionTimes, FaultModel, FtssConfig, UtilityFunction};
+
+    fn t(ms: u64) -> Time {
+        Time::from_ms(ms)
+    }
+
+    fn fig1_app() -> (Application, [NodeId; 3]) {
+        let mut b = Application::builder(t(300), FaultModel::new(1, t(10)));
+        let p1 = b.add_hard(
+            "P1",
+            ExecutionTimes::uniform(t(30), t(70)).unwrap(),
+            t(180),
+        );
+        let p2 = b.add_soft(
+            "P2",
+            ExecutionTimes::uniform(t(30), t(70)).unwrap(),
+            UtilityFunction::step(40.0, [(t(90), 20.0), (t(250), 0.0)]).unwrap(),
+        );
+        let p3 = b.add_soft(
+            "P3",
+            ExecutionTimes::uniform(t(40), t(80)).unwrap(),
+            UtilityFunction::step(40.0, [(t(110), 30.0), (t(220), 0.0)]).unwrap(),
+        );
+        b.add_dependency(p1, p2).unwrap();
+        b.add_dependency(p1, p3).unwrap();
+        (b.build().unwrap(), [p1, p2, p3])
+    }
+
+    #[test]
+    fn synthesized_schedules_validate() {
+        let (app, _) = fig1_app();
+        let s = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).unwrap();
+        validate_schedule(&app, &s).unwrap();
+    }
+
+    #[test]
+    fn synthesized_trees_validate() {
+        let (app, _) = fig1_app();
+        let tree = ftqs(&app, &FtqsConfig::with_budget(8)).unwrap();
+        validate_tree(&app, &tree).unwrap();
+    }
+
+    #[test]
+    fn precedence_violation_is_caught() {
+        let (app, [p1, p2, p3]) = fig1_app();
+        let s = FSchedule::new(
+            vec![
+                ScheduleEntry { process: p2, reexecutions: 0 },
+                ScheduleEntry { process: p1, reexecutions: 1 },
+                ScheduleEntry { process: p3, reexecutions: 0 },
+            ],
+            vec![],
+            ScheduleContext::root(&app),
+        );
+        assert_eq!(
+            validate_schedule(&app, &s),
+            Err(ValidationError::PrecedenceViolation {
+                process: p2,
+                predecessor: p1
+            })
+        );
+    }
+
+    #[test]
+    fn missing_process_is_caught() {
+        let (app, [p1, _p2, _p3]) = fig1_app();
+        let s = FSchedule::new(
+            vec![ScheduleEntry { process: p1, reexecutions: 1 }],
+            vec![],
+            ScheduleContext::root(&app),
+        );
+        assert!(matches!(
+            validate_schedule(&app, &s),
+            Err(ValidationError::MissingProcess(_))
+        ));
+    }
+
+    #[test]
+    fn hard_drop_is_caught() {
+        let (app, [p1, p2, p3]) = fig1_app();
+        let s = FSchedule::new(
+            vec![
+                ScheduleEntry { process: p2, reexecutions: 0 },
+                ScheduleEntry { process: p3, reexecutions: 0 },
+            ],
+            vec![p1],
+            ScheduleContext::root(&app),
+        );
+        assert_eq!(
+            validate_schedule(&app, &s),
+            Err(ValidationError::HardProcessDropped(p1))
+        );
+    }
+
+    #[test]
+    fn oversized_allowance_is_caught() {
+        let (app, [p1, p2, p3]) = fig1_app();
+        let s = FSchedule::new(
+            vec![
+                ScheduleEntry { process: p1, reexecutions: 5 },
+                ScheduleEntry { process: p2, reexecutions: 0 },
+                ScheduleEntry { process: p3, reexecutions: 0 },
+            ],
+            vec![],
+            ScheduleContext::root(&app),
+        );
+        assert!(matches!(
+            validate_schedule(&app, &s),
+            Err(ValidationError::AllowanceExceedsBudget { allowance: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_entry_is_caught() {
+        let (app, [p1, p2, p3]) = fig1_app();
+        let s = FSchedule::new(
+            vec![
+                ScheduleEntry { process: p1, reexecutions: 1 },
+                ScheduleEntry { process: p2, reexecutions: 0 },
+                ScheduleEntry { process: p2, reexecutions: 0 },
+            ],
+            vec![p3],
+            ScheduleContext::root(&app),
+        );
+        assert_eq!(
+            validate_schedule(&app, &s),
+            Err(ValidationError::DuplicateProcess(p2))
+        );
+    }
+
+    #[test]
+    fn infeasible_schedule_is_caught() {
+        // Deadline 180 but two soft allowances inflate the shared delay:
+        // give P2/P3 allowances and schedule them first via dropped P1?
+        // Simpler: a hand-built order P1 last cannot happen (precedence);
+        // instead grant P1 allowance 1 and put soft with allowance 1 in
+        // front... P1 is first by precedence, so build an app where a soft
+        // process precedes the hard one.
+        let mut b = Application::builder(t(300), FaultModel::new(1, t(10)));
+        let s1 = b.add_soft(
+            "S",
+            ExecutionTimes::uniform(t(100), t(150)).unwrap(),
+            UtilityFunction::constant(5.0).unwrap(),
+        );
+        let h = b.add_hard(
+            "H",
+            ExecutionTimes::uniform(t(50), t(100)).unwrap(),
+            t(200),
+        );
+        let app = b.build().unwrap();
+        let bad = FSchedule::new(
+            vec![
+                ScheduleEntry { process: s1, reexecutions: 1 },
+                ScheduleEntry { process: h, reexecutions: 1 },
+            ],
+            vec![],
+            ScheduleContext::root(&app),
+        );
+        assert_eq!(
+            validate_schedule(&app, &bad),
+            Err(ValidationError::Unschedulable(h))
+        );
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ValidationError::OverlappingArcs { node: 3, pivot_pos: 1 };
+        assert!(e.to_string().contains("node 3"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests over randomly generated applications: every
+//! schedule FTSS/FTSF emits and every tree FTQS emits must satisfy the
+//! structural and timing invariants of `ftqs_core::validate`, and the
+//! analyses must behave monotonically.
+
+use ftqs_core::ftqs::{ftqs, ExpansionPolicy, FtqsConfig};
+use ftqs_core::ftsf::ftsf;
+use ftqs_core::ftss::ftss;
+use ftqs_core::validate::{validate_schedule, validate_tree};
+use ftqs_core::wcdelay::{worst_case_fault_delay, SlackItem};
+use ftqs_core::{
+    Application, ExecutionTimes, FaultModel, FtssConfig, ScheduleContext, Time,
+    UtilityFunction,
+};
+use proptest::prelude::*;
+
+/// Strategy: a small random application with mixed criticality.
+fn arb_application() -> impl Strategy<Value = Application> {
+    let process = (1u64..=40, 0u64..=30, any::<bool>(), 5f64..80.0, 20u64..200);
+    (
+        2usize..9,
+        proptest::collection::vec(process, 9),
+        proptest::collection::vec((any::<u16>(), any::<u16>()), 0..12),
+        1usize..=3,
+        0u64..=10,
+    )
+        .prop_filter_map(
+            "application must build",
+            |(n, specs, raw_edges, k, mu)| {
+                let mut b = Application::builder(
+                    Time::from_ms(2_000),
+                    FaultModel::new(k, Time::from_ms(mu)),
+                );
+                let mut ids = Vec::new();
+                let mut any_hard = false;
+                for (i, &(wspan, bspan, hard, peak, ttl)) in
+                    specs.iter().take(n).enumerate()
+                {
+                    let wcet = wspan + 10;
+                    let bcet = bspan.min(wcet);
+                    let et = ExecutionTimes::uniform(
+                        Time::from_ms(bcet),
+                        Time::from_ms(wcet),
+                    )
+                    .ok()?;
+                    // Generous deadlines keep most instances schedulable so
+                    // the property sees real schedules; unschedulable ones
+                    // are accepted as Err below.
+                    let id = if hard {
+                        any_hard = true;
+                        b.add_hard(format!("P{i}"), et, Time::from_ms(1_200 + ttl * 4))
+                    } else {
+                        let u = UtilityFunction::step(
+                            peak,
+                            [(Time::from_ms(ttl * 3), peak / 2.0), (Time::from_ms(ttl * 6), 0.0)],
+                        )
+                        .ok()?;
+                        b.add_soft(format!("P{i}"), et, u)
+                    };
+                    ids.push(id);
+                }
+                let _ = any_hard;
+                for (a, c) in raw_edges {
+                    let i = a as usize % n;
+                    let j = c as usize % n;
+                    if i < j {
+                        let _ = b.add_dependency(ids[i], ids[j]);
+                    }
+                }
+                b.build().ok()
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ftss_schedules_always_validate(app in arb_application()) {
+        if let Ok(s) = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()) {
+            prop_assert!(validate_schedule(&app, &s).is_ok(),
+                "{:?}", validate_schedule(&app, &s));
+        }
+    }
+
+    #[test]
+    fn ftsf_schedules_always_validate(app in arb_application()) {
+        if let Ok(s) = ftsf(&app, &FtssConfig::default()) {
+            prop_assert!(validate_schedule(&app, &s).is_ok(),
+                "{:?}", validate_schedule(&app, &s));
+        }
+    }
+
+    #[test]
+    fn ftqs_trees_always_validate(app in arb_application()) {
+        if let Ok(tree) = ftqs(&app, &FtqsConfig::with_budget(6)) {
+            prop_assert!(validate_tree(&app, &tree).is_ok(),
+                "{:?}", validate_tree(&app, &tree));
+        }
+    }
+
+    #[test]
+    fn every_policy_yields_valid_trees(app in arb_application()) {
+        for policy in [ExpansionPolicy::MostSimilar, ExpansionPolicy::Fifo,
+                       ExpansionPolicy::BestImprovement] {
+            let cfg = FtqsConfig { max_schedules: 4, policy, ..FtqsConfig::default() };
+            if let Ok(tree) = ftqs(&app, &cfg) {
+                prop_assert!(validate_tree(&app, &tree).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn worst_completion_monotone_in_position(app in arb_application()) {
+        if let Ok(s) = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()) {
+            let a = s.analyze(&app);
+            for pos in 1..s.entries().len() {
+                prop_assert!(a.worst_completion(pos) >= a.worst_completion(pos - 1));
+                prop_assert!(a.nominal_completion(pos) > a.nominal_completion(pos - 1));
+                prop_assert!(a.worst_completion(pos) >= a.nominal_completion(pos));
+            }
+        }
+    }
+
+    #[test]
+    fn hard_safe_start_monotone_in_remaining_faults(app in arb_application()) {
+        if let Ok(s) = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()) {
+            let a = s.analyze(&app);
+            let k = app.faults().k;
+            for pos in 0..s.entries().len() {
+                for r in 1..=k {
+                    // More remaining faults never extend the latest start.
+                    prop_assert!(a.hard_safe_start(pos, r) <= a.hard_safe_start(pos, r - 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_delay_is_subadditive_in_budget_split(
+        penalties in proptest::collection::vec((1u64..200, 0usize..4), 1..10),
+        k1 in 0usize..4, k2 in 0usize..4,
+    ) {
+        let items: Vec<SlackItem> = penalties
+            .iter()
+            .map(|&(p, a)| SlackItem::new(Time::from_ms(p), a))
+            .collect();
+        let whole = worst_case_fault_delay(&items, k1 + k2);
+        let split = worst_case_fault_delay(&items, k1) + worst_case_fault_delay(&items, k2);
+        // Greedy on sorted penalties: taking k1+k2 at once is never more
+        // than taking k1 and k2 separately (the separate runs may re-use
+        // the same top penalties).
+        prop_assert!(whole <= split);
+    }
+}

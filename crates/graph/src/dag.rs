@@ -1,0 +1,451 @@
+use crate::{GraphError, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A directed acyclic graph with per-node payloads of type `N`.
+///
+/// Nodes are identified by dense [`NodeId`]s in insertion order. Edges are
+/// stored in both directions (successor and predecessor adjacency lists) so
+/// that scheduling heuristics can query "direct predecessors" (the `DP(Pi)`
+/// set of the paper) and ready sets in O(degree).
+///
+/// Acyclicity is an invariant: [`Dag::add_edge`] performs a reachability
+/// check and refuses edges that would close a cycle, so every successfully
+/// constructed `Dag` is a DAG by construction.
+///
+/// # Example
+///
+/// ```
+/// use ftqs_graph::Dag;
+///
+/// # fn main() -> Result<(), ftqs_graph::GraphError> {
+/// let mut g = Dag::new();
+/// let a = g.add_node("sensor");
+/// let b = g.add_node("filter");
+/// let c = g.add_node("actuate");
+/// g.add_edge(a, b)?;
+/// g.add_edge(b, c)?;
+/// assert!(g.add_edge(c, a).is_err()); // would close a cycle
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.edge_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dag<N> {
+    payloads: Vec<N>,
+    succs: Vec<Vec<NodeId>>,
+    preds: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl<N> Default for Dag<N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<N> Dag<N> {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Dag {
+            payloads: Vec::new(),
+            succs: Vec::new(),
+            preds: Vec::new(),
+            edge_count: 0,
+        }
+    }
+
+    /// Creates an empty graph with capacity for `nodes` nodes.
+    #[must_use]
+    pub fn with_capacity(nodes: usize) -> Self {
+        Dag {
+            payloads: Vec::with_capacity(nodes),
+            succs: Vec::with_capacity(nodes),
+            preds: Vec::with_capacity(nodes),
+            edge_count: 0,
+        }
+    }
+
+    /// Adds a node carrying `payload` and returns its id.
+    pub fn add_node(&mut self, payload: N) -> NodeId {
+        let id = NodeId::from_index(self.payloads.len());
+        self.payloads.push(payload);
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        id
+    }
+
+    /// Adds the edge `from -> to`.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::UnknownNode`] if either endpoint is not in the graph.
+    /// * [`GraphError::SelfLoop`] if `from == to`.
+    /// * [`GraphError::DuplicateEdge`] if the edge already exists.
+    /// * [`GraphError::WouldCycle`] if `from` is reachable from `to`.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), GraphError> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        if from == to {
+            return Err(GraphError::SelfLoop(from));
+        }
+        if self.succs[from.index()].contains(&to) {
+            return Err(GraphError::DuplicateEdge { from, to });
+        }
+        if self.is_reachable(to, from) {
+            return Err(GraphError::WouldCycle { from, to });
+        }
+        self.succs[from.index()].push(to);
+        self.preds[to.index()].push(from);
+        self.edge_count += 1;
+        Ok(())
+    }
+
+    /// Returns `true` if the edge `from -> to` exists.
+    #[must_use]
+    pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
+        from.index() < self.payloads.len() && self.succs[from.index()].contains(&to)
+    }
+
+    /// Returns `true` if `target` is reachable from `start` following edges.
+    ///
+    /// A node is considered reachable from itself.
+    #[must_use]
+    pub fn is_reachable(&self, start: NodeId, target: NodeId) -> bool {
+        if start == target {
+            return true;
+        }
+        let mut visited = vec![false; self.payloads.len()];
+        let mut stack = vec![start];
+        while let Some(n) = stack.pop() {
+            if n == target {
+                return true;
+            }
+            for &s in &self.succs[n.index()] {
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        false
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.payloads.len()
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.payloads.is_empty()
+    }
+
+    /// Returns a reference to the payload of `node`, if it exists.
+    #[must_use]
+    pub fn get(&self, node: NodeId) -> Option<&N> {
+        self.payloads.get(node.index())
+    }
+
+    /// Returns a mutable reference to the payload of `node`, if it exists.
+    pub fn get_mut(&mut self, node: NodeId) -> Option<&mut N> {
+        self.payloads.get_mut(node.index())
+    }
+
+    /// Returns the payload of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to this graph.
+    #[must_use]
+    pub fn payload(&self, node: NodeId) -> &N {
+        &self.payloads[node.index()]
+    }
+
+    /// Iterates over all node ids in insertion order.
+    pub fn nodes(&self) -> NodeIter {
+        NodeIter {
+            next: 0,
+            count: self.payloads.len(),
+        }
+    }
+
+    /// Iterates over the direct successors of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to this graph.
+    pub fn successors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.succs[node.index()].iter().copied()
+    }
+
+    /// Iterates over the direct predecessors of `node` — the `DP(Pi)` set
+    /// used by the stale-value coefficient formula of the paper (§2.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to this graph.
+    pub fn predecessors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.preds[node.index()].iter().copied()
+    }
+
+    /// In-degree of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to this graph.
+    #[must_use]
+    pub fn in_degree(&self, node: NodeId) -> usize {
+        self.preds[node.index()].len()
+    }
+
+    /// Out-degree of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to this graph.
+    #[must_use]
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        self.succs[node.index()].len()
+    }
+
+    /// Iterates over all nodes with in-degree 0 ("entry" processes).
+    pub fn sources(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes().filter(move |&n| self.in_degree(n) == 0)
+    }
+
+    /// Iterates over all nodes with out-degree 0 ("exit" processes).
+    pub fn sinks(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes().filter(move |&n| self.out_degree(n) == 0)
+    }
+
+    /// Iterates over all edges as `(from, to)` pairs.
+    pub fn edges(&self) -> EdgeIter<'_, N> {
+        EdgeIter {
+            dag: self,
+            node: 0,
+            pos: 0,
+        }
+    }
+
+    /// Maps node payloads into a new graph with identical structure.
+    ///
+    /// Node ids are preserved, which lets side tables built against `self`
+    /// be reused against the result.
+    pub fn map<M>(&self, mut f: impl FnMut(NodeId, &N) -> M) -> Dag<M> {
+        Dag {
+            payloads: self
+                .payloads
+                .iter()
+                .enumerate()
+                .map(|(i, p)| f(NodeId::from_index(i), p))
+                .collect(),
+            succs: self.succs.clone(),
+            preds: self.preds.clone(),
+            edge_count: self.edge_count,
+        }
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<(), GraphError> {
+        if node.index() < self.payloads.len() {
+            Ok(())
+        } else {
+            Err(GraphError::UnknownNode(node))
+        }
+    }
+}
+
+impl<N: fmt::Display> Dag<N> {
+    /// Renders a compact single-line description, e.g. for log messages.
+    #[must_use]
+    pub fn to_summary(&self) -> String {
+        format!("dag({} nodes, {} edges)", self.node_count(), self.edge_count())
+    }
+}
+
+/// Iterator over node ids of a [`Dag`]. Created by [`Dag::nodes`].
+#[derive(Debug, Clone)]
+pub struct NodeIter {
+    next: usize,
+    count: usize,
+}
+
+impl Iterator for NodeIter {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if self.next < self.count {
+            let id = NodeId::from_index(self.next);
+            self.next += 1;
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.count - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for NodeIter {}
+
+/// Iterator over edges of a [`Dag`]. Created by [`Dag::edges`].
+#[derive(Debug)]
+pub struct EdgeIter<'a, N> {
+    dag: &'a Dag<N>,
+    node: usize,
+    pos: usize,
+}
+
+impl<N> Iterator for EdgeIter<'_, N> {
+    type Item = (NodeId, NodeId);
+
+    fn next(&mut self) -> Option<(NodeId, NodeId)> {
+        while self.node < self.dag.succs.len() {
+            if let Some(&to) = self.dag.succs[self.node].get(self.pos) {
+                self.pos += 1;
+                return Some((NodeId::from_index(self.node), to));
+            }
+            self.node += 1;
+            self.pos = 0;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (Dag<&'static str>, [NodeId; 4]) {
+        let mut g = Dag::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, c).unwrap();
+        g.add_edge(b, d).unwrap();
+        g.add_edge(c, d).unwrap();
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn add_node_assigns_dense_ids() {
+        let mut g = Dag::new();
+        assert_eq!(g.add_node(1).index(), 0);
+        assert_eq!(g.add_node(2).index(), 1);
+        assert_eq!(g.node_count(), 2);
+    }
+
+    #[test]
+    fn add_edge_rejects_cycle() {
+        let (mut g, [a, _, _, d]) = diamond();
+        assert_eq!(
+            g.add_edge(d, a),
+            Err(GraphError::WouldCycle { from: d, to: a })
+        );
+    }
+
+    #[test]
+    fn add_edge_rejects_self_loop() {
+        let (mut g, [a, ..]) = diamond();
+        assert_eq!(g.add_edge(a, a), Err(GraphError::SelfLoop(a)));
+    }
+
+    #[test]
+    fn add_edge_rejects_duplicate() {
+        let (mut g, [a, b, ..]) = diamond();
+        assert_eq!(g.add_edge(a, b), Err(GraphError::DuplicateEdge { from: a, to: b }));
+    }
+
+    #[test]
+    fn add_edge_rejects_unknown_node() {
+        let mut g: Dag<u8> = Dag::new();
+        let a = g.add_node(0);
+        let ghost = NodeId::from_index(42);
+        assert_eq!(g.add_edge(a, ghost), Err(GraphError::UnknownNode(ghost)));
+    }
+
+    #[test]
+    fn predecessors_and_successors() {
+        let (g, [a, b, c, d]) = diamond();
+        let mut preds: Vec<_> = g.predecessors(d).collect();
+        preds.sort();
+        assert_eq!(preds, vec![b, c]);
+        let mut succs: Vec<_> = g.successors(a).collect();
+        succs.sort();
+        assert_eq!(succs, vec![b, c]);
+    }
+
+    #[test]
+    fn sources_and_sinks() {
+        let (g, [a, _, _, d]) = diamond();
+        assert_eq!(g.sources().collect::<Vec<_>>(), vec![a]);
+        assert_eq!(g.sinks().collect::<Vec<_>>(), vec![d]);
+    }
+
+    #[test]
+    fn reachability() {
+        let (g, [a, b, c, d]) = diamond();
+        assert!(g.is_reachable(a, d));
+        assert!(g.is_reachable(a, a));
+        assert!(!g.is_reachable(b, c));
+        assert!(!g.is_reachable(d, a));
+    }
+
+    #[test]
+    fn edges_iterates_all() {
+        let (g, _) = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn map_preserves_structure() {
+        let (g, [a, _, _, d]) = diamond();
+        let mapped = g.map(|id, s| format!("{id}:{s}"));
+        assert_eq!(mapped.node_count(), 4);
+        assert_eq!(mapped.edge_count(), 4);
+        assert!(mapped.is_reachable(a, d));
+        assert_eq!(mapped.payload(a), "n0:a");
+    }
+
+    #[test]
+    fn get_out_of_range_is_none() {
+        let g: Dag<u8> = Dag::new();
+        assert!(g.get(NodeId::from_index(0)).is_none());
+    }
+
+    #[test]
+    fn node_iter_is_exact_size() {
+        let (g, _) = diamond();
+        let it = g.nodes();
+        assert_eq!(it.len(), 4);
+    }
+
+    #[test]
+    fn debug_representation_is_nonempty() {
+        let (g, _) = diamond();
+        assert!(!format!("{g:?}").is_empty());
+    }
+
+    #[test]
+    fn summary_mentions_counts() {
+        let (g, _) = diamond();
+        assert_eq!(g.to_summary(), "dag(4 nodes, 4 edges)");
+    }
+}

@@ -1,0 +1,84 @@
+//! Graphviz (DOT) export for debugging and documentation.
+//!
+//! Schedulers are much easier to debug when the task graph can be looked at;
+//! [`to_dot`] renders any [`Dag`] whose payload implements `Display`.
+
+use crate::Dag;
+use std::fmt::{Display, Write as _};
+
+/// Renders `g` as a Graphviz `digraph`.
+///
+/// Node labels come from the payload's `Display`; node names are the dense
+/// ids (`n0`, `n1`, ...), so the output is stable across runs.
+///
+/// # Example
+///
+/// ```
+/// use ftqs_graph::{Dag, dot};
+///
+/// # fn main() -> Result<(), ftqs_graph::GraphError> {
+/// let mut g = Dag::new();
+/// let a = g.add_node("P1");
+/// let b = g.add_node("P2");
+/// g.add_edge(a, b)?;
+/// let rendered = dot::to_dot(&g, "app");
+/// assert!(rendered.contains("digraph app"));
+/// assert!(rendered.contains("n0 -> n1"));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn to_dot<N: Display>(g: &Dag<N>, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=TB;");
+    for n in g.nodes() {
+        let label = escape(&g.payload(n).to_string());
+        let _ = writeln!(out, "  {n} [label=\"{label}\"];");
+    }
+    for (from, to) in g.edges() {
+        let _ = writeln!(out, "  {from} -> {to};");
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let mut g = Dag::new();
+        let a = g.add_node("P1");
+        let b = g.add_node("P2");
+        let c = g.add_node("P3");
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, c).unwrap();
+        let s = to_dot(&g, "fig1");
+        assert!(s.starts_with("digraph fig1 {"));
+        assert!(s.contains("n0 [label=\"P1\"];"));
+        assert!(s.contains("n0 -> n1;"));
+        assert!(s.contains("n0 -> n2;"));
+        assert!(s.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn escapes_quotes_in_labels() {
+        let mut g = Dag::new();
+        g.add_node("say \"hi\"");
+        let s = to_dot(&g, "q");
+        assert!(s.contains("\\\"hi\\\""));
+    }
+
+    #[test]
+    fn empty_graph_renders() {
+        let g: Dag<&str> = Dag::new();
+        let s = to_dot(&g, "empty");
+        assert!(s.contains("digraph empty"));
+    }
+}

@@ -1,0 +1,87 @@
+use crate::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by graph construction and manipulation.
+///
+/// All graph-mutating operations validate their arguments
+/// and report failures through this type rather than panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint does not belong to the graph.
+    UnknownNode(NodeId),
+    /// Adding the edge would create a cycle (graphs must stay acyclic).
+    WouldCycle {
+        /// Source of the offending edge.
+        from: NodeId,
+        /// Target of the offending edge.
+        to: NodeId,
+    },
+    /// The edge already exists (parallel edges are not allowed).
+    DuplicateEdge {
+        /// Source of the offending edge.
+        from: NodeId,
+        /// Target of the offending edge.
+        to: NodeId,
+    },
+    /// A self-loop was requested.
+    SelfLoop(NodeId),
+    /// The graph is not polar (expected exactly one source and one sink).
+    NotPolar {
+        /// Number of sources found.
+        sources: usize,
+        /// Number of sinks found.
+        sinks: usize,
+    },
+    /// A hyper-period operation was requested on an empty graph set or with
+    /// a zero period.
+    InvalidPeriod,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(id) => write!(f, "node {id} does not belong to this graph"),
+            GraphError::WouldCycle { from, to } => {
+                write!(f, "edge {from} -> {to} would create a cycle")
+            }
+            GraphError::DuplicateEdge { from, to } => {
+                write!(f, "edge {from} -> {to} already exists")
+            }
+            GraphError::SelfLoop(id) => write!(f, "self-loop on node {id} is not allowed"),
+            GraphError::NotPolar { sources, sinks } => write!(
+                f,
+                "graph is not polar: found {sources} source(s) and {sinks} sink(s)"
+            ),
+            GraphError::InvalidPeriod => {
+                write!(f, "hyper-period requires a non-empty graph set with non-zero periods")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GraphError::WouldCycle {
+            from: NodeId::from_index(0),
+            to: NodeId::from_index(1),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("n0"));
+        assert!(msg.contains("n1"));
+        assert!(msg.contains("cycle"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

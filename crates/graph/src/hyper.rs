@@ -1,0 +1,230 @@
+//! Hyper-period composition of multi-rate graph sets.
+//!
+//! "If process graphs have different periods, they are combined into a
+//! hyper-graph capturing all process activations for the hyper-period (LCM
+//! of all periods)" (paper, §2). [`merge_hyperperiod`] performs exactly that
+//! unrolling: each graph `Gk` with period `Tk` is instantiated
+//! `LCM / Tk` times; instance `j` carries a release offset `j * Tk`.
+//!
+//! Precedence edges are replicated inside each instance. Instances of the
+//! same graph are additionally chained source-to-source with a *release*
+//! dependency so a later activation never starts before its period begins
+//! (the scheduler also enforces release offsets explicitly; the edge keeps
+//! the unrolled graph polar-izable and the orderings sane).
+
+use crate::{Dag, GraphError, NodeId};
+
+/// A node of the unrolled hyper-graph: which source graph, which activation
+/// instance, the original node, and the release offset of that instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HyperNode<N> {
+    /// Index of the source graph in the input slice.
+    pub graph_index: usize,
+    /// Activation instance within the hyper-period (0-based).
+    pub instance: usize,
+    /// Node id in the original graph.
+    pub original: NodeId,
+    /// Release offset of this instance (`instance * period`).
+    pub release: u64,
+    /// Clone of the original payload.
+    pub payload: N,
+}
+
+/// Result of [`merge_hyperperiod`].
+#[derive(Debug, Clone)]
+pub struct HyperGraph<N> {
+    /// The unrolled DAG over [`HyperNode`] payloads.
+    pub graph: Dag<HyperNode<N>>,
+    /// The hyper-period (LCM of the input periods).
+    pub hyperperiod: u64,
+}
+
+/// Least common multiple of two non-zero integers.
+#[must_use]
+pub fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}
+
+/// Greatest common divisor (Euclid).
+#[must_use]
+pub fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Unrolls `graphs` (each with its period) over their hyper-period.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidPeriod`] if `graphs` is empty or any period is zero.
+///
+/// # Example
+///
+/// ```
+/// use ftqs_graph::{Dag, hyper};
+///
+/// # fn main() -> Result<(), ftqs_graph::GraphError> {
+/// let mut g1 = Dag::new();
+/// let a = g1.add_node("a");
+/// let b = g1.add_node("b");
+/// g1.add_edge(a, b)?;
+/// let mut g2 = Dag::new();
+/// g2.add_node("c");
+///
+/// let h = hyper::merge_hyperperiod(&[(g1, 100), (g2, 150)])?;
+/// assert_eq!(h.hyperperiod, 300);
+/// // g1 activates 3 times (2 nodes each), g2 twice (1 node each).
+/// assert_eq!(h.graph.node_count(), 3 * 2 + 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn merge_hyperperiod<N: Clone>(
+    graphs: &[(Dag<N>, u64)],
+) -> Result<HyperGraph<N>, GraphError> {
+    if graphs.is_empty() || graphs.iter().any(|&(_, p)| p == 0) {
+        return Err(GraphError::InvalidPeriod);
+    }
+    let hyperperiod = graphs.iter().map(|&(_, p)| p).fold(1, lcm);
+
+    let mut out: Dag<HyperNode<N>> = Dag::new();
+    for (gi, (g, period)) in graphs.iter().enumerate() {
+        let instances = (hyperperiod / period) as usize;
+        let mut prev_instance_map: Option<Vec<NodeId>> = None;
+        for inst in 0..instances {
+            let release = *period * inst as u64;
+            // Map original node -> new node for this instance.
+            let map: Vec<NodeId> = g
+                .nodes()
+                .map(|n| {
+                    out.add_node(HyperNode {
+                        graph_index: gi,
+                        instance: inst,
+                        original: n,
+                        release,
+                        payload: g.payload(n).clone(),
+                    })
+                })
+                .collect();
+            for (from, to) in g.edges() {
+                out.add_edge(map[from.index()], map[to.index()])
+                    .expect("replicated edges cannot cycle");
+            }
+            if let Some(prev) = &prev_instance_map {
+                // Release chaining: every sink of instance j-1 precedes every
+                // source of instance j (non-preemptive single node: the next
+                // activation cannot overlap the previous one).
+                let sinks: Vec<NodeId> = g.sinks().map(|n| prev[n.index()]).collect();
+                let sources: Vec<NodeId> = g.sources().map(|n| map[n.index()]).collect();
+                for &s in &sinks {
+                    for &t in &sources {
+                        out.add_edge(s, t).expect("chain edges cannot cycle");
+                    }
+                }
+            }
+            prev_instance_map = Some(map);
+        }
+    }
+    Ok(HyperGraph {
+        graph: out,
+        hyperperiod,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_lcm_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(7, 13), 1);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(100, 150), 300);
+        assert_eq!(lcm(300, 300), 300);
+    }
+
+    #[test]
+    fn empty_set_is_rejected() {
+        let r = merge_hyperperiod::<u8>(&[]);
+        assert_eq!(r.err(), Some(GraphError::InvalidPeriod));
+    }
+
+    #[test]
+    fn zero_period_is_rejected() {
+        let mut g = Dag::new();
+        g.add_node(0u8);
+        let r = merge_hyperperiod(&[(g, 0)]);
+        assert_eq!(r.err(), Some(GraphError::InvalidPeriod));
+    }
+
+    #[test]
+    fn single_graph_single_period_is_identity_sized() {
+        let mut g = Dag::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        g.add_edge(a, b).unwrap();
+        let h = merge_hyperperiod(&[(g, 50)]).unwrap();
+        assert_eq!(h.hyperperiod, 50);
+        assert_eq!(h.graph.node_count(), 2);
+        assert_eq!(h.graph.edge_count(), 1);
+    }
+
+    #[test]
+    fn unrolling_counts_and_releases() {
+        let mut g1 = Dag::new();
+        let a = g1.add_node("a");
+        let b = g1.add_node("b");
+        g1.add_edge(a, b).unwrap();
+        let mut g2 = Dag::new();
+        g2.add_node("c");
+
+        let h = merge_hyperperiod(&[(g1, 100), (g2, 150)]).unwrap();
+        assert_eq!(h.hyperperiod, 300);
+        assert_eq!(h.graph.node_count(), 8);
+
+        // Releases of g1 instances: 0, 100, 200.
+        let mut g1_releases: Vec<u64> = h
+            .graph
+            .nodes()
+            .map(|n| h.graph.payload(n))
+            .filter(|hn| hn.graph_index == 0 && hn.original == a)
+            .map(|hn| hn.release)
+            .collect();
+        g1_releases.sort_unstable();
+        assert_eq!(g1_releases, vec![0, 100, 200]);
+    }
+
+    #[test]
+    fn instances_are_chained() {
+        let mut g = Dag::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        g.add_edge(a, b).unwrap();
+        let h = merge_hyperperiod(&[(g, 100), (one_node_graph(), 200)]).unwrap();
+        // Find the instance-0 sink and instance-1 source of graph 0.
+        let sink0 = find(&h, 0, 0, b);
+        let src1 = find(&h, 0, 1, a);
+        assert!(h.graph.has_edge(sink0, src1));
+    }
+
+    fn one_node_graph() -> Dag<&'static str> {
+        let mut g = Dag::new();
+        g.add_node("x");
+        g
+    }
+
+    fn find(h: &HyperGraph<&'static str>, gi: usize, inst: usize, orig: NodeId) -> NodeId {
+        h.graph
+            .nodes()
+            .find(|&n| {
+                let p = h.graph.payload(n);
+                p.graph_index == gi && p.instance == inst && p.original == orig
+            })
+            .expect("node present")
+    }
+}

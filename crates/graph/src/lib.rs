@@ -1,0 +1,59 @@
+//! # ftqs-graph — directed acyclic polar task-graph substrate
+//!
+//! This crate provides the application-graph model underlying the
+//! fault-tolerant quasi-static scheduler of Izosimov et al. (DATE 2008):
+//! a directed, acyclic, optionally *polar* graph whose nodes are processes
+//! and whose edges are data dependencies ("the output of `Pi` is the input
+//! of `Pj`").
+//!
+//! The crate is deliberately self-contained (no external graph library) and
+//! offers exactly the operations the scheduler needs:
+//!
+//! * cycle-checked construction ([`Dag::add_edge`] refuses back edges),
+//! * topological orderings and ASAP layering ([`topo`]),
+//! * ancestor/descendant queries and ready-set computation ([`traversal`]),
+//! * polar-graph validation and polarization ([`polar`]),
+//! * hyper-period composition of multi-rate graph sets ([`hyper`]),
+//! * random DAG generation for synthetic benchmarks ([`generate`]),
+//! * Graphviz export for debugging ([`dot`]).
+//!
+//! # Example
+//!
+//! ```
+//! use ftqs_graph::Dag;
+//!
+//! # fn main() -> Result<(), ftqs_graph::GraphError> {
+//! // The three-process application of Fig. 1 in the paper:
+//! // P1 -> P2, P1 -> P3.
+//! let mut g = Dag::new();
+//! let p1 = g.add_node("P1");
+//! let p2 = g.add_node("P2");
+//! let p3 = g.add_node("P3");
+//! g.add_edge(p1, p2)?;
+//! g.add_edge(p1, p3)?;
+//!
+//! assert_eq!(g.sources().collect::<Vec<_>>(), vec![p1]);
+//! assert_eq!(g.successors(p1).count(), 2);
+//! let order = ftqs_graph::topo::topological_order(&g);
+//! assert_eq!(order[0], p1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod dag;
+mod error;
+pub mod dot;
+pub mod generate;
+pub mod hyper;
+mod node;
+pub mod polar;
+pub mod reduction;
+pub mod topo;
+pub mod traversal;
+
+pub use dag::{Dag, EdgeIter, NodeIter};
+pub use error::GraphError;
+pub use node::NodeId;

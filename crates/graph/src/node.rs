@@ -1,0 +1,83 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node within a [`Dag`](crate::Dag).
+///
+/// `NodeId`s are dense indices assigned in insertion order, so they can be
+/// used directly to index per-node side tables (`Vec<T>` keyed by
+/// [`NodeId::index`]). A `NodeId` is only meaningful for the graph that
+/// produced it.
+///
+/// # Example
+///
+/// ```
+/// use ftqs_graph::Dag;
+///
+/// let mut g = Dag::new();
+/// let a = g.add_node(());
+/// let b = g.add_node(());
+/// assert_eq!(a.index(), 0);
+/// assert_eq!(b.index(), 1);
+/// assert!(a < b);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Creates a `NodeId` from a dense index.
+    ///
+    /// Prefer the ids returned by [`Dag::add_node`](crate::Dag::add_node);
+    /// this constructor exists for deserialization and for side tables that
+    /// enumerate nodes by index.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+
+    /// Returns the dense index of this node (insertion order).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> usize {
+        id.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_index_round_trips() {
+        for i in [0usize, 1, 17, 100_000] {
+            assert_eq!(NodeId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(NodeId::from_index(3).to_string(), "n3");
+    }
+
+    #[test]
+    fn ordering_follows_insertion_order() {
+        assert!(NodeId::from_index(1) < NodeId::from_index(2));
+    }
+
+    #[test]
+    fn usize_conversion() {
+        let id = NodeId::from_index(7);
+        let as_usize: usize = id.into();
+        assert_eq!(as_usize, 7);
+    }
+}

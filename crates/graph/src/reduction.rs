@@ -1,0 +1,192 @@
+//! Transitive reduction of DAGs.
+//!
+//! Hyper-period unrolling and hand-written task sets often carry redundant
+//! precedence edges (`a -> c` when `a -> b -> c` already exists). They are
+//! harmless for correctness but inflate predecessor sets — and the
+//! stale-value coefficient formula of the scheduler (`ftqs-core`) divides
+//! by `1 + |DP(Pi)|`, so redundant edges *change semantics* by diluting
+//! fresh inputs. [`transitive_reduction`] removes every edge implied by a
+//! longer path, yielding the unique minimal DAG with the same reachability.
+
+use crate::{Dag, NodeId};
+
+/// Returns the transitive reduction of `g`: the unique subgraph with the
+/// same reachability relation and no redundant edges. Node ids (and
+/// payloads) are preserved.
+///
+/// Runs in O(V · E) using per-node reachability over the topological
+/// order — comfortably fast for scheduler-sized graphs.
+///
+/// # Example
+///
+/// ```
+/// use ftqs_graph::{Dag, reduction};
+///
+/// # fn main() -> Result<(), ftqs_graph::GraphError> {
+/// let mut g = Dag::new();
+/// let a = g.add_node("a");
+/// let b = g.add_node("b");
+/// let c = g.add_node("c");
+/// g.add_edge(a, b)?;
+/// g.add_edge(b, c)?;
+/// g.add_edge(a, c)?; // redundant: implied by a -> b -> c
+///
+/// let r = reduction::transitive_reduction(&g);
+/// assert_eq!(r.edge_count(), 2);
+/// assert!(!r.has_edge(a, c));
+/// assert!(r.is_reachable(a, c));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn transitive_reduction<N: Clone>(g: &Dag<N>) -> Dag<N> {
+    let n = g.node_count();
+    let order = crate::topo::topological_order(g);
+    // position in topological order, for longest-path style propagation
+    let mut pos = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v.index()] = i;
+    }
+
+    // For each node, compute the set of nodes reachable via paths of
+    // length >= 2 (i.e. through at least one intermediate successor).
+    // An edge u -> v is redundant iff v is in that set for u.
+    // reach[v] = set of nodes reachable from v (including via direct edge),
+    // computed in reverse topological order as bitsets.
+    let words = n.div_ceil(64);
+    let mut reach = vec![vec![0u64; words]; n];
+    for &v in order.iter().rev() {
+        for s in g.successors(v) {
+            let si = s.index();
+            reach[v.index()][si / 64] |= 1u64 << (si % 64);
+            // Borrow dance: clone the successor's bitset row.
+            let srow = reach[si].clone();
+            for (w, bits) in srow.iter().enumerate() {
+                reach[v.index()][w] |= bits;
+            }
+        }
+    }
+
+    let mut out: Dag<N> = Dag::with_capacity(n);
+    for v in g.nodes() {
+        out.add_node(g.payload(v).clone());
+    }
+    for u in g.nodes() {
+        let succs: Vec<NodeId> = g.successors(u).collect();
+        for &v in &succs {
+            // Is v reachable from u through one of u's *other* successors?
+            let vi = v.index();
+            let redundant = succs.iter().any(|&w| {
+                w != v && (reach[w.index()][vi / 64] >> (vi % 64)) & 1 == 1
+            });
+            if !redundant {
+                out.add_edge(u, v).expect("subset of an acyclic graph");
+            }
+        }
+    }
+    out
+}
+
+/// Number of edges [`transitive_reduction`] would remove — a cheap
+/// redundancy metric used by diagnostics.
+#[must_use]
+pub fn redundant_edge_count<N: Clone>(g: &Dag<N>) -> usize {
+    g.edge_count() - transitive_reduction(g).edge_count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removes_shortcut_edges() {
+        let mut g = Dag::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        g.add_edge(c, d).unwrap();
+        g.add_edge(a, c).unwrap(); // implied
+        g.add_edge(a, d).unwrap(); // implied
+        g.add_edge(b, d).unwrap(); // implied
+        let r = transitive_reduction(&g);
+        assert_eq!(r.edge_count(), 3);
+        assert_eq!(redundant_edge_count(&g), 3);
+    }
+
+    #[test]
+    fn keeps_diamonds_intact() {
+        let mut g = Dag::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, c).unwrap();
+        g.add_edge(b, d).unwrap();
+        g.add_edge(c, d).unwrap();
+        let r = transitive_reduction(&g);
+        assert_eq!(r.edge_count(), 4, "no diamond edge is redundant");
+    }
+
+    #[test]
+    fn preserves_reachability() {
+        let mut g = Dag::new();
+        let ids: Vec<_> = (0..6).map(|_| g.add_node(())).collect();
+        let edges = [(0, 1), (1, 2), (0, 2), (2, 3), (1, 3), (3, 4), (0, 5), (5, 4)];
+        for (i, j) in edges {
+            g.add_edge(ids[i], ids[j]).unwrap();
+        }
+        let r = transitive_reduction(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(
+                    g.is_reachable(u, v),
+                    r.is_reachable(u, v),
+                    "reachability changed for {u} -> {v}"
+                );
+            }
+        }
+        assert!(r.edge_count() < g.edge_count());
+    }
+
+    #[test]
+    fn empty_and_single_node_graphs() {
+        let g: Dag<()> = Dag::new();
+        assert_eq!(transitive_reduction(&g).node_count(), 0);
+        let mut g = Dag::new();
+        g.add_node(7u8);
+        let r = transitive_reduction(&g);
+        assert_eq!(r.node_count(), 1);
+        assert_eq!(*r.payload(NodeId::from_index(0)), 7);
+    }
+
+    #[test]
+    fn already_reduced_graph_is_unchanged() {
+        let mut g = Dag::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        let r = transitive_reduction(&g);
+        assert_eq!(r, g);
+        assert_eq!(redundant_edge_count(&g), 0);
+    }
+
+    #[test]
+    fn large_chain_with_all_shortcuts() {
+        // Complete DAG on 40 nodes reduces to a simple chain.
+        let mut g = Dag::new();
+        let ids: Vec<_> = (0..40).map(|_| g.add_node(())).collect();
+        for i in 0..40 {
+            for j in (i + 1)..40 {
+                g.add_edge(ids[i], ids[j]).unwrap();
+            }
+        }
+        let r = transitive_reduction(&g);
+        assert_eq!(r.edge_count(), 39);
+    }
+}

@@ -1,0 +1,197 @@
+//! Topological orderings and layerings of a [`Dag`].
+//!
+//! The scheduling heuristics of the paper are list schedulers: they repeatedly
+//! pick a "ready" process (all predecessors scheduled). The functions here
+//! provide canonical topological orders, validity checks for externally
+//! supplied orders, and ASAP level assignment used by the synthetic workload
+//! generator to build layered graphs.
+
+use crate::{Dag, NodeId};
+use std::collections::VecDeque;
+
+/// Returns a topological order of all nodes (Kahn's algorithm).
+///
+/// Ties are broken by node id, so the order is deterministic. Since [`Dag`]
+/// is acyclic by construction, this always succeeds and covers every node.
+///
+/// # Example
+///
+/// ```
+/// use ftqs_graph::{Dag, topo};
+///
+/// # fn main() -> Result<(), ftqs_graph::GraphError> {
+/// let mut g = Dag::new();
+/// let a = g.add_node(());
+/// let b = g.add_node(());
+/// g.add_edge(a, b)?;
+/// assert_eq!(topo::topological_order(&g), vec![a, b]);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn topological_order<N>(g: &Dag<N>) -> Vec<NodeId> {
+    let mut indeg: Vec<usize> = g.nodes().map(|n| g.in_degree(n)).collect();
+    // A binary heap keyed by Reverse(id) would also work; a sorted insertion
+    // into a VecDeque keeps this allocation-light for the small graphs we
+    // schedule (n <= a few hundred).
+    let mut ready: VecDeque<NodeId> = g.nodes().filter(|&n| indeg[n.index()] == 0).collect();
+    let mut order = Vec::with_capacity(g.node_count());
+    while let Some(n) = ready.pop_front() {
+        order.push(n);
+        for s in g.successors(n) {
+            indeg[s.index()] -= 1;
+            if indeg[s.index()] == 0 {
+                // Keep the queue sorted by id for determinism.
+                let pos = ready.iter().position(|&r| r > s).unwrap_or(ready.len());
+                ready.insert(pos, s);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), g.node_count());
+    order
+}
+
+/// Checks whether `order` is a valid topological order of `g`:
+/// a permutation of all nodes in which every edge goes forward.
+#[must_use]
+pub fn is_topological_order<N>(g: &Dag<N>, order: &[NodeId]) -> bool {
+    if order.len() != g.node_count() {
+        return false;
+    }
+    let mut position = vec![usize::MAX; g.node_count()];
+    for (pos, &n) in order.iter().enumerate() {
+        if n.index() >= g.node_count() || position[n.index()] != usize::MAX {
+            return false;
+        }
+        position[n.index()] = pos;
+    }
+    g.edges().all(|(from, to)| position[from.index()] < position[to.index()])
+}
+
+/// Assigns each node its ASAP level: sources get level 0, every other node
+/// gets `1 + max(level of predecessors)`.
+///
+/// The result is indexed by [`NodeId::index`].
+#[must_use]
+pub fn asap_levels<N>(g: &Dag<N>) -> Vec<usize> {
+    let order = topological_order(g);
+    let mut level = vec![0usize; g.node_count()];
+    for &n in &order {
+        for p in g.predecessors(n) {
+            level[n.index()] = level[n.index()].max(level[p.index()] + 1);
+        }
+    }
+    level
+}
+
+/// Groups nodes by ASAP level; `result[l]` holds all nodes at level `l`.
+#[must_use]
+pub fn layers<N>(g: &Dag<N>) -> Vec<Vec<NodeId>> {
+    let levels = asap_levels(g);
+    let depth = levels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut out = vec![Vec::new(); depth];
+    for n in g.nodes() {
+        out[levels[n.index()]].push(n);
+    }
+    out
+}
+
+/// Length (number of nodes) of the longest path in the graph.
+///
+/// Returns 0 for an empty graph.
+#[must_use]
+pub fn critical_path_len<N>(g: &Dag<N>) -> usize {
+    if g.is_empty() {
+        return 0;
+    }
+    asap_levels(g).into_iter().max().unwrap_or(0) + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Dag<()>, Vec<NodeId>) {
+        // a -> b -> d, a -> c -> d, c -> e
+        let mut g = Dag::new();
+        let ids: Vec<_> = (0..5).map(|_| g.add_node(())).collect();
+        g.add_edge(ids[0], ids[1]).unwrap();
+        g.add_edge(ids[0], ids[2]).unwrap();
+        g.add_edge(ids[1], ids[3]).unwrap();
+        g.add_edge(ids[2], ids[3]).unwrap();
+        g.add_edge(ids[2], ids[4]).unwrap();
+        (g, ids)
+    }
+
+    #[test]
+    fn topological_order_is_valid() {
+        let (g, _) = sample();
+        let order = topological_order(&g);
+        assert!(is_topological_order(&g, &order));
+    }
+
+    #[test]
+    fn topological_order_is_deterministic() {
+        let (g, _) = sample();
+        assert_eq!(topological_order(&g), topological_order(&g));
+    }
+
+    #[test]
+    fn invalid_orders_are_rejected() {
+        let (g, ids) = sample();
+        // Reversed order violates edges.
+        let mut rev = topological_order(&g);
+        rev.reverse();
+        assert!(!is_topological_order(&g, &rev));
+        // Too short.
+        assert!(!is_topological_order(&g, &ids[..3]));
+        // Duplicate entry.
+        let dup = vec![ids[0], ids[0], ids[1], ids[2], ids[3]];
+        assert!(!is_topological_order(&g, &dup));
+    }
+
+    #[test]
+    fn asap_levels_follow_longest_path() {
+        let (g, ids) = sample();
+        let lv = asap_levels(&g);
+        assert_eq!(lv[ids[0].index()], 0);
+        assert_eq!(lv[ids[1].index()], 1);
+        assert_eq!(lv[ids[2].index()], 1);
+        assert_eq!(lv[ids[3].index()], 2);
+        assert_eq!(lv[ids[4].index()], 2);
+    }
+
+    #[test]
+    fn layers_partition_nodes() {
+        let (g, _) = sample();
+        let ls = layers(&g);
+        assert_eq!(ls.len(), 3);
+        let total: usize = ls.iter().map(Vec::len).sum();
+        assert_eq!(total, g.node_count());
+    }
+
+    #[test]
+    fn critical_path_of_chain() {
+        let mut g = Dag::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        assert_eq!(critical_path_len(&g), 3);
+    }
+
+    #[test]
+    fn critical_path_of_empty_graph_is_zero() {
+        let g: Dag<()> = Dag::new();
+        assert_eq!(critical_path_len(&g), 0);
+    }
+
+    #[test]
+    fn singleton_graph() {
+        let mut g = Dag::new();
+        let a = g.add_node(());
+        assert_eq!(topological_order(&g), vec![a]);
+        assert_eq!(critical_path_len(&g), 1);
+    }
+}

@@ -1,0 +1,222 @@
+//! Reachability-set queries and ready-set maintenance.
+//!
+//! The FTSS list scheduler works with a *ready list*: processes whose
+//! predecessors have all been scheduled (or dropped). [`ReadySet`] maintains
+//! that list incrementally in O(degree) per completion; the free functions
+//! compute ancestor/descendant sets used by interval partitioning and by the
+//! stale-value propagation.
+
+use crate::{Dag, NodeId};
+
+/// Returns all descendants of `start` (nodes reachable via one or more
+/// edges), excluding `start` itself, in ascending id order.
+#[must_use]
+pub fn descendants<N>(g: &Dag<N>, start: NodeId) -> Vec<NodeId> {
+    collect(g, start, Direction::Forward)
+}
+
+/// Returns all ancestors of `start` (nodes that reach `start`), excluding
+/// `start` itself, in ascending id order.
+#[must_use]
+pub fn ancestors<N>(g: &Dag<N>, start: NodeId) -> Vec<NodeId> {
+    collect(g, start, Direction::Backward)
+}
+
+#[derive(Clone, Copy)]
+enum Direction {
+    Forward,
+    Backward,
+}
+
+fn collect<N>(g: &Dag<N>, start: NodeId, dir: Direction) -> Vec<NodeId> {
+    let mut visited = vec![false; g.node_count()];
+    let mut stack = vec![start];
+    visited[start.index()] = true;
+    while let Some(n) = stack.pop() {
+        let neigh: Vec<NodeId> = match dir {
+            Direction::Forward => g.successors(n).collect(),
+            Direction::Backward => g.predecessors(n).collect(),
+        };
+        for s in neigh {
+            if !visited[s.index()] {
+                visited[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    visited[start.index()] = false;
+    (0..g.node_count())
+        .filter(|&i| visited[i])
+        .map(NodeId::from_index)
+        .collect()
+}
+
+/// Incrementally maintained set of "ready" nodes of a DAG.
+///
+/// A node is ready when all of its predecessors have been *completed*
+/// (scheduled or dropped). This mirrors the ready list `R` of the FTSS
+/// pseudocode (Fig. 8 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use ftqs_graph::{Dag, traversal::ReadySet};
+///
+/// # fn main() -> Result<(), ftqs_graph::GraphError> {
+/// let mut g = Dag::new();
+/// let a = g.add_node(());
+/// let b = g.add_node(());
+/// g.add_edge(a, b)?;
+///
+/// let mut ready = ReadySet::new(&g);
+/// assert!(ready.contains(a));
+/// assert!(!ready.contains(b));
+/// ready.complete(&g, a);
+/// assert!(ready.contains(b));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReadySet {
+    pending_preds: Vec<usize>,
+    ready: Vec<bool>,
+    completed: Vec<bool>,
+}
+
+impl ReadySet {
+    /// Builds the initial ready set of `g` (all sources are ready).
+    #[must_use]
+    pub fn new<N>(g: &Dag<N>) -> Self {
+        let pending_preds: Vec<usize> = g.nodes().map(|n| g.in_degree(n)).collect();
+        let ready = pending_preds.iter().map(|&d| d == 0).collect();
+        ReadySet {
+            pending_preds,
+            ready,
+            completed: vec![false; g.node_count()],
+        }
+    }
+
+    /// Returns `true` if `node` is currently ready (and not yet completed).
+    #[must_use]
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.ready[node.index()] && !self.completed[node.index()]
+    }
+
+    /// Returns `true` if `node` has been completed.
+    #[must_use]
+    pub fn is_completed(&self, node: NodeId) -> bool {
+        self.completed[node.index()]
+    }
+
+    /// Marks `node` completed and promotes any successors that become ready.
+    ///
+    /// Returns the newly ready successors (ascending id order).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) if `node` is not ready or already completed.
+    pub fn complete<N>(&mut self, g: &Dag<N>, node: NodeId) -> Vec<NodeId> {
+        debug_assert!(self.contains(node), "completing a non-ready node");
+        self.completed[node.index()] = true;
+        let mut newly = Vec::new();
+        for s in g.successors(node) {
+            self.pending_preds[s.index()] -= 1;
+            if self.pending_preds[s.index()] == 0 {
+                self.ready[s.index()] = true;
+                newly.push(s);
+            }
+        }
+        newly.sort();
+        newly
+    }
+
+    /// Iterates over the currently ready nodes in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.ready
+            .iter()
+            .zip(self.completed.iter())
+            .enumerate()
+            .filter(|(_, (&r, &c))| r && !c)
+            .map(|(i, _)| NodeId::from_index(i))
+    }
+
+    /// Number of currently ready nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.iter().count()
+    }
+
+    /// Returns `true` if no node is ready.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.iter().next().is_none()
+    }
+
+    /// Returns `true` once every node has been completed.
+    #[must_use]
+    pub fn all_completed(&self) -> bool {
+        self.completed.iter().all(|&c| c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (Dag<()>, [NodeId; 4]) {
+        let mut g = Dag::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, c).unwrap();
+        g.add_edge(b, d).unwrap();
+        g.add_edge(c, d).unwrap();
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn descendants_of_source_cover_graph() {
+        let (g, [a, b, c, d]) = diamond();
+        assert_eq!(descendants(&g, a), vec![b, c, d]);
+        assert_eq!(descendants(&g, d), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn ancestors_of_sink_cover_graph() {
+        let (g, [a, b, c, d]) = diamond();
+        assert_eq!(ancestors(&g, d), vec![a, b, c]);
+        assert_eq!(ancestors(&g, a), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn ready_set_progression() {
+        let (g, [a, b, c, d]) = diamond();
+        let mut rs = ReadySet::new(&g);
+        assert_eq!(rs.iter().collect::<Vec<_>>(), vec![a]);
+        assert_eq!(rs.len(), 1);
+
+        let newly = rs.complete(&g, a);
+        assert_eq!(newly, vec![b, c]);
+        assert!(rs.contains(b) && rs.contains(c));
+        assert!(!rs.contains(d));
+
+        rs.complete(&g, b);
+        assert!(!rs.contains(d), "d needs both b and c");
+        let newly = rs.complete(&g, c);
+        assert_eq!(newly, vec![d]);
+        rs.complete(&g, d);
+        assert!(rs.all_completed());
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn completed_nodes_leave_ready_set() {
+        let (g, [a, ..]) = diamond();
+        let mut rs = ReadySet::new(&g);
+        rs.complete(&g, a);
+        assert!(!rs.contains(a));
+        assert!(rs.is_completed(a));
+    }
+}

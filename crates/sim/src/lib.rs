@@ -1,0 +1,50 @@
+//! # ftqs-sim — online scheduler runtime and Monte Carlo evaluation
+//!
+//! This crate is the *execution* side of the DATE 2008 reproduction: given
+//! the schedules synthesized by `ftqs-core`, it simulates operation cycles
+//! of the application — actual execution times, transient faults with
+//! recovery, runtime dropping of soft processes, and quasi-static schedule
+//! switching — and aggregates utility statistics over many random
+//! scenarios.
+//!
+//! * [`ExecutionScenario`] / [`ScenarioSampler`] — one concrete outcome of
+//!   the environment (per-attempt durations, fault plan).
+//! * [`OnlineScheduler`] — the runtime of the paper's §3: executes a
+//!   [`QuasiStaticTree`](ftqs_core::QuasiStaticTree), re-executing faulted
+//!   processes inside the shared recovery slack and switching schedules on
+//!   completion-time conditions.
+//! * [`MonteCarlo`] — the 20,000-scenario evaluation harness of §6.
+//! * [`Trace`] — per-cycle event logs for inspection and debugging.
+//!
+//! ```
+//! use ftqs_core::ftqs::{ftqs, FtqsConfig};
+//! use ftqs_sim::{MonteCarlo, OnlineScheduler, ExecutionScenario};
+//! # use ftqs_core::{Application, ExecutionTimes, FaultModel, Time, UtilityFunction};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let mut b = Application::builder(Time::from_ms(300), FaultModel::new(1, Time::from_ms(10)));
+//! # b.add_hard("P1", ExecutionTimes::uniform(30.into(), 70.into())?, Time::from_ms(180));
+//! # let app = b.build()?;
+//! let tree = ftqs(&app, &FtqsConfig::with_budget(8))?;
+//! let mc = MonteCarlo { scenarios: 1_000, seed: 1, threads: 2 };
+//! let eval = mc.evaluate(&app, &tree, 1); // scenarios with one fault
+//! assert_eq!(eval.deadline_misses, 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod gantt;
+pub mod greedy;
+pub mod montecarlo;
+pub mod online;
+pub mod scenario;
+pub mod stats;
+pub mod trace;
+
+pub use greedy::{GreedyOnlineScheduler, GreedyOutcome};
+pub use montecarlo::{Evaluation, MonteCarlo};
+pub use online::{OnlineScheduler, SimOutcome};
+pub use scenario::{ExecutionScenario, ScenarioSampler};
+pub use trace::{DropReason, Trace, TraceEvent};

@@ -1,0 +1,233 @@
+//! Monte Carlo evaluation of schedules and schedule trees.
+//!
+//! The paper evaluates every synthesized schedule over 20,000 random
+//! execution scenarios per fault count (0, 1, 2, 3 faults) and reports the
+//! average utility (§6). [`MonteCarlo`] reproduces that harness, replaying
+//! identical scenarios against every scheduler under comparison and
+//! parallelizing across threads with `crossbeam` scoped threads.
+
+use crate::online::OnlineScheduler;
+use crate::scenario::ScenarioSampler;
+use crate::stats::Accumulator;
+use ftqs_core::{Application, QuasiStaticTree};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Monte Carlo harness configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonteCarlo {
+    /// Scenarios per fault count (the paper uses 20,000).
+    pub scenarios: usize,
+    /// Base RNG seed; scenario `i` derives its own deterministic stream.
+    pub seed: u64,
+    /// Number of worker threads (1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for MonteCarlo {
+    fn default() -> Self {
+        MonteCarlo {
+            scenarios: 2_000,
+            seed: 0xF7_05,
+            threads: available_threads(),
+        }
+    }
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Aggregated outcome of one evaluation run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Evaluation {
+    /// Utility statistics over all scenarios.
+    pub utility: Accumulator,
+    /// Hard-deadline misses observed (must stay 0 for correct schedulers).
+    pub deadline_misses: u64,
+    /// Average number of materialized faults per scenario.
+    pub faults: Accumulator,
+}
+
+impl MonteCarlo {
+    /// Evaluates `tree` over `self.scenarios` scenarios, each planning
+    /// exactly `fault_count` faults.
+    ///
+    /// Scenario `i` is generated from seed `self.seed ⊕ hash(i)` regardless
+    /// of thread count or tree, so different schedulers evaluated with the
+    /// same config face identical environments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fault_count` exceeds the application's fault budget.
+    #[must_use]
+    pub fn evaluate(
+        &self,
+        app: &Application,
+        tree: &QuasiStaticTree,
+        fault_count: usize,
+    ) -> Evaluation {
+        let threads = self.threads.max(1).min(self.scenarios.max(1));
+        let chunk = self.scenarios.div_ceil(threads.max(1));
+        let mut partials: Vec<Evaluation> = Vec::new();
+
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(self.scenarios);
+                if lo >= hi {
+                    break;
+                }
+                let seed = self.seed;
+                handles.push(scope.spawn(move |_| {
+                    let runner = OnlineScheduler::new(app, tree);
+                    let sampler = ScenarioSampler::new(app);
+                    let mut eval = Evaluation::default();
+                    for i in lo..hi {
+                        let mut rng = StdRng::seed_from_u64(scenario_seed(seed, i as u64));
+                        let scenario = sampler.sample(&mut rng, fault_count);
+                        let out = runner.run(&scenario);
+                        eval.utility.add(out.utility);
+                        eval.faults.add(out.faults_hit as f64);
+                        if out.deadline_miss.is_some() {
+                            eval.deadline_misses += 1;
+                        }
+                    }
+                    eval
+                }));
+            }
+            for h in handles {
+                partials.push(h.join().expect("worker thread panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+
+        let mut total = Evaluation::default();
+        for p in &partials {
+            total.utility.merge(&p.utility);
+            total.faults.merge(&p.faults);
+            total.deadline_misses += p.deadline_misses;
+        }
+        total
+    }
+
+    /// Evaluates across several fault counts, returning one [`Evaluation`]
+    /// per entry of `fault_counts` (the paper's 0/1/2/3-fault columns).
+    #[must_use]
+    pub fn evaluate_fault_sweep(
+        &self,
+        app: &Application,
+        tree: &QuasiStaticTree,
+        fault_counts: &[usize],
+    ) -> Vec<Evaluation> {
+        fault_counts
+            .iter()
+            .map(|&f| self.evaluate(app, tree, f))
+            .collect()
+    }
+}
+
+/// SplitMix64-style mixing so per-scenario seeds are decorrelated.
+fn scenario_seed(base: u64, i: u64) -> u64 {
+    let mut z = base ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftqs_core::ftqs::{ftqs, FtqsConfig};
+    use ftqs_core::{
+        ExecutionTimes, FaultModel, Time, UtilityFunction,
+    };
+
+    fn t(ms: u64) -> Time {
+        Time::from_ms(ms)
+    }
+
+    fn fig1_app() -> Application {
+        let mut b = Application::builder(t(300), FaultModel::new(1, t(10)));
+        let p1 = b.add_hard(
+            "P1",
+            ExecutionTimes::uniform(t(30), t(70)).unwrap(),
+            t(180),
+        );
+        let p2 = b.add_soft(
+            "P2",
+            ExecutionTimes::uniform(t(30), t(70)).unwrap(),
+            UtilityFunction::step(40.0, [(t(90), 20.0), (t(200), 10.0), (t(250), 0.0)]).unwrap(),
+        );
+        let p3 = b.add_soft(
+            "P3",
+            ExecutionTimes::uniform(t(40), t(80)).unwrap(),
+            UtilityFunction::step(40.0, [(t(110), 30.0), (t(150), 10.0), (t(220), 0.0)]).unwrap(),
+        );
+        b.add_dependency(p1, p2).unwrap();
+        b.add_dependency(p1, p3).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_for_fixed_seed() {
+        let app = fig1_app();
+        let tree = ftqs(&app, &FtqsConfig::with_budget(4)).unwrap();
+        let mc = MonteCarlo {
+            scenarios: 200,
+            seed: 42,
+            threads: 1,
+        };
+        let a = mc.evaluate(&app, &tree, 1);
+        let b = mc.evaluate(&app, &tree, 1);
+        assert_eq!(a.utility.mean(), b.utility.mean());
+        assert_eq!(a.deadline_misses, 0);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let app = fig1_app();
+        let tree = ftqs(&app, &FtqsConfig::with_budget(4)).unwrap();
+        let base = MonteCarlo {
+            scenarios: 300,
+            seed: 7,
+            threads: 1,
+        };
+        let par = MonteCarlo {
+            threads: 4,
+            ..base
+        };
+        let a = base.evaluate(&app, &tree, 1);
+        let b = par.evaluate(&app, &tree, 1);
+        assert!((a.utility.mean() - b.utility.mean()).abs() < 1e-9);
+        assert_eq!(a.utility.count(), b.utility.count());
+    }
+
+    #[test]
+    fn more_faults_never_help_on_average() {
+        let app = fig1_app();
+        let tree = ftqs(&app, &FtqsConfig::with_budget(6)).unwrap();
+        let mc = MonteCarlo {
+            scenarios: 500,
+            seed: 3,
+            threads: 2,
+        };
+        let evals = mc.evaluate_fault_sweep(&app, &tree, &[0, 1]);
+        assert!(
+            evals[0].utility.mean() >= evals[1].utility.mean(),
+            "faults must not increase average utility"
+        );
+        assert!(evals[1].faults.mean() > 0.0);
+        assert_eq!(evals[0].deadline_misses + evals[1].deadline_misses, 0);
+    }
+
+    #[test]
+    fn scenario_seed_mixing_decorrelates() {
+        let a = scenario_seed(1, 0);
+        let b = scenario_seed(1, 1);
+        let c = scenario_seed(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

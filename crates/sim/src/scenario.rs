@@ -1,0 +1,276 @@
+//! Execution scenarios: sampled execution times plus a fault plan.
+//!
+//! The paper evaluates schedules over "20,000 different execution scenarios
+//! for the case of no faults, 1, 2, and 3 faults", with process completion
+//! times "uniformly distributed between the best-case execution time and
+//! the worst-case execution time" (§6). An [`ExecutionScenario`] fixes one
+//! such outcome: a duration for every potential execution attempt of every
+//! process, and which attempts are hit by a transient fault.
+//!
+//! The same scenario is replayed against every scheduler under comparison,
+//! so FTQS/FTSS/FTSF differences are never sampling noise.
+
+use ftqs_core::{Application, Time};
+use ftqs_graph::NodeId;
+use rand::Rng;
+
+/// One fully-determined execution outcome of the environment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutionScenario {
+    /// `durations[p][a]`: execution time of attempt `a` (0 = first run) of
+    /// process `p`.
+    durations: Vec<Vec<Time>>,
+    /// `faulty[p][a]`: attempt `a` of process `p` is hit by a fault.
+    faulty: Vec<Vec<bool>>,
+    /// Total faults planned (<= the application's `k`).
+    fault_count: usize,
+}
+
+impl ExecutionScenario {
+    /// Builds a scenario from explicit tables. Used by tests that need an
+    /// exact outcome; simulations use [`ScenarioSampler`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if table shapes disagree.
+    #[must_use]
+    pub fn from_tables(durations: Vec<Vec<Time>>, faulty: Vec<Vec<bool>>) -> Self {
+        assert_eq!(durations.len(), faulty.len(), "table shapes must agree");
+        for (d, f) in durations.iter().zip(&faulty) {
+            assert_eq!(d.len(), f.len(), "attempt counts must agree");
+        }
+        let fault_count = faulty.iter().flatten().filter(|&&b| b).count();
+        ExecutionScenario {
+            durations,
+            faulty,
+            fault_count,
+        }
+    }
+
+    /// A deterministic scenario: every attempt takes the process's AET and
+    /// no faults occur. Useful as a baseline probe.
+    #[must_use]
+    pub fn average_case(app: &Application) -> Self {
+        let attempts = app.faults().k + 1;
+        let durations = app
+            .processes()
+            .map(|p| vec![app.process(p).times().aet(); attempts])
+            .collect();
+        let faulty = app
+            .processes()
+            .map(|_| vec![false; attempts])
+            .collect();
+        ExecutionScenario {
+            durations,
+            faulty,
+            fault_count: 0,
+        }
+    }
+
+    /// Execution time of attempt `attempt` of `process`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process or attempt is out of range.
+    #[must_use]
+    pub fn duration(&self, process: NodeId, attempt: usize) -> Time {
+        self.durations[process.index()][attempt]
+    }
+
+    /// Whether attempt `attempt` of `process` is hit by a fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process or attempt is out of range.
+    #[must_use]
+    pub fn is_faulty(&self, process: NodeId, attempt: usize) -> bool {
+        self.faulty[process.index()][attempt]
+    }
+
+    /// Number of faults planned in this scenario.
+    #[must_use]
+    pub fn fault_count(&self) -> usize {
+        self.fault_count
+    }
+
+    /// Number of attempt slots per process (`k + 1`).
+    #[must_use]
+    pub fn attempts(&self) -> usize {
+        self.durations.first().map_or(0, Vec::len)
+    }
+}
+
+/// Samples [`ExecutionScenario`]s for an application.
+///
+/// Durations are integer-uniform in `[bcet, wcet]` per attempt. Faults are
+/// planned by drawing `fault_count` target processes uniformly (with
+/// replacement); a process drawn `c` times has its first `c` attempts
+/// faulty — so a re-execution can fault again, as in the paper's Fig. 3
+/// worst case. A fault aimed at a process the scheduler never executes
+/// (dropped) does not materialize; applying the identical plan to every
+/// scheduler keeps comparisons fair.
+#[derive(Debug)]
+pub struct ScenarioSampler<'a> {
+    app: &'a Application,
+}
+
+impl<'a> ScenarioSampler<'a> {
+    /// Creates a sampler for `app`.
+    #[must_use]
+    pub fn new(app: &'a Application) -> Self {
+        ScenarioSampler { app }
+    }
+
+    /// Samples one scenario with exactly `fault_count` planned faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fault_count` exceeds the application's fault budget `k`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, fault_count: usize) -> ExecutionScenario {
+        let k = self.app.faults().k;
+        assert!(
+            fault_count <= k,
+            "scenario cannot plan more faults than the budget k = {k}"
+        );
+        let attempts = k + 1;
+        let n = self.app.len();
+        let mut durations = Vec::with_capacity(n);
+        for p in self.app.processes() {
+            let t = self.app.process(p).times();
+            let (lo, hi) = (t.bcet().as_ms(), t.wcet().as_ms());
+            durations.push(
+                (0..attempts)
+                    .map(|_| Time::from_ms(rng.gen_range(lo..=hi)))
+                    .collect::<Vec<Time>>(),
+            );
+        }
+        let mut hits = vec![0usize; n];
+        for _ in 0..fault_count {
+            hits[rng.gen_range(0..n)] += 1;
+        }
+        let faulty = hits
+            .iter()
+            .map(|&c| (0..attempts).map(|a| a < c).collect())
+            .collect();
+        ExecutionScenario {
+            durations,
+            faulty,
+            fault_count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftqs_core::{ExecutionTimes, FaultModel, UtilityFunction};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(ms: u64) -> Time {
+        Time::from_ms(ms)
+    }
+
+    fn app() -> Application {
+        let mut b = Application::builder(t(1000), FaultModel::new(2, t(5)));
+        let et = ExecutionTimes::uniform(t(10), t(50)).unwrap();
+        let a = b.add_hard("H", et, t(900));
+        let s = b.add_soft("S", et, UtilityFunction::constant(10.0).unwrap());
+        b.add_dependency(a, s).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn average_case_scenario_uses_aet_everywhere() {
+        let app = app();
+        let sc = ExecutionScenario::average_case(&app);
+        assert_eq!(sc.fault_count(), 0);
+        assert_eq!(sc.attempts(), 3);
+        for p in app.processes() {
+            for a in 0..3 {
+                assert_eq!(sc.duration(p, a), t(30));
+                assert!(!sc.is_faulty(p, a));
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_durations_stay_in_envelope() {
+        let app = app();
+        let sampler = ScenarioSampler::new(&app);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let sc = sampler.sample(&mut rng, 2);
+            for p in app.processes() {
+                for a in 0..sc.attempts() {
+                    let d = sc.duration(p, a);
+                    assert!(d >= t(10) && d <= t(50));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_plan_places_exact_count() {
+        let app = app();
+        let sampler = ScenarioSampler::new(&app);
+        let mut rng = StdRng::seed_from_u64(2);
+        for f in 0..=2 {
+            let sc = sampler.sample(&mut rng, f);
+            assert_eq!(sc.fault_count(), f);
+            let planned: usize = app
+                .processes()
+                .map(|p| (0..sc.attempts()).filter(|&a| sc.is_faulty(p, a)).count())
+                .sum();
+            assert_eq!(planned, f);
+        }
+    }
+
+    #[test]
+    fn repeated_hits_fault_consecutive_attempts() {
+        let app = app();
+        let sampler = ScenarioSampler::new(&app);
+        let mut rng = StdRng::seed_from_u64(3);
+        // With 2 faults on a 2-process app, some scenario will double-hit.
+        let mut saw_double = false;
+        for _ in 0..100 {
+            let sc = sampler.sample(&mut rng, 2);
+            for p in app.processes() {
+                if sc.is_faulty(p, 1) {
+                    assert!(sc.is_faulty(p, 0), "faults hit earliest attempts first");
+                    saw_double = true;
+                }
+            }
+        }
+        assert!(saw_double);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget")]
+    fn oversized_fault_count_panics() {
+        let app = app();
+        let sampler = ScenarioSampler::new(&app);
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = sampler.sample(&mut rng, 3);
+    }
+
+    #[test]
+    fn from_tables_counts_faults() {
+        let sc = ExecutionScenario::from_tables(
+            vec![vec![t(5), t(5)], vec![t(7), t(7)]],
+            vec![vec![true, false], vec![false, false]],
+        );
+        assert_eq!(sc.fault_count(), 1);
+        assert!(sc.is_faulty(NodeId::from_index(0), 0));
+        assert_eq!(sc.duration(NodeId::from_index(1), 1), t(7));
+    }
+
+    #[test]
+    fn seeded_sampling_is_deterministic() {
+        let app = app();
+        let sampler = ScenarioSampler::new(&app);
+        let a = sampler.sample(&mut StdRng::seed_from_u64(9), 1);
+        let b = sampler.sample(&mut StdRng::seed_from_u64(9), 1);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,161 @@
+//! Small statistics helpers for Monte Carlo summaries.
+
+use std::fmt;
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// # Example
+///
+/// ```
+/// use ftqs_sim::stats::Accumulator;
+///
+/// let mut acc = Accumulator::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     acc.add(x);
+/// }
+/// assert_eq!(acc.mean(), 5.0);
+/// assert!((acc.stddev() - 2.138089935299395).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Accumulator {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Accumulator {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Accumulator::default()
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Merges another accumulator (parallel reduction).
+    pub fn merge(&mut self, other: &Accumulator) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample standard deviation (Bessel-corrected; 0 with < 2 samples).
+    #[must_use]
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the ~95% confidence interval of the mean
+    /// (1.96 · s/√n; 0 with < 2 samples).
+    #[must_use]
+    pub fn ci95(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.stddev() / (self.n as f64).sqrt()
+        }
+    }
+}
+
+impl fmt::Display for Accumulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} ± {:.2} (n={})", self.mean(), self.ci95(), self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_accumulator_is_zeroed() {
+        let acc = Accumulator::new();
+        assert_eq!(acc.count(), 0);
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.stddev(), 0.0);
+        assert_eq!(acc.ci95(), 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut acc = Accumulator::new();
+        acc.add(42.0);
+        assert_eq!(acc.mean(), 42.0);
+        assert_eq!(acc.stddev(), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut seq = Accumulator::new();
+        for &x in &xs {
+            seq.add(x);
+        }
+        let mut a = Accumulator::new();
+        let mut b = Accumulator::new();
+        for &x in &xs[..37] {
+            a.add(x);
+        }
+        for &x in &xs[37..] {
+            b.add(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), seq.count());
+        assert!((a.mean() - seq.mean()).abs() < 1e-12);
+        assert!((a.stddev() - seq.stddev()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Accumulator::new();
+        a.add(1.0);
+        a.add(3.0);
+        let before = a;
+        a.merge(&Accumulator::new());
+        assert_eq!(a, before);
+        let mut empty = Accumulator::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let mut a = Accumulator::new();
+        a.add(1.0);
+        a.add(2.0);
+        assert!(a.to_string().contains("n=2"));
+    }
+}

@@ -1,0 +1,34 @@
+//! # ftqs-workloads — benchmark generators and the cruise-controller model
+//!
+//! Workloads for evaluating the fault-tolerant quasi-static scheduler:
+//!
+//! * [`synthetic`] — the random-application generator of the paper's §6
+//!   (layered DAGs, WCET uniform in 10..100 ms, BCET uniform in 0..WCET, k = 3,
+//!   µ = 15 ms), fully parameterized by [`GeneratorParams`];
+//! * [`cruise`] — the 32-process vehicle cruise controller (9 hard
+//!   actuator-side processes, k = 2, per-process µ = 10 % of WCET);
+//! * [`presets`] — the exact experiment configurations of Fig. 9 and
+//!   Table 1, shared by benches, examples and tests.
+//!
+//! ```
+//! use ftqs_workloads::{synthetic, GeneratorParams};
+//! use rand::SeedableRng;
+//!
+//! let params = GeneratorParams::paper(20);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let app = synthetic::generate(&params, &mut rng);
+//! assert_eq!(app.len(), 20);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cruise;
+pub mod multi;
+mod params;
+pub mod presets;
+pub mod spec;
+pub mod synthetic;
+
+pub use cruise::cruise_controller;
+pub use params::GeneratorParams;

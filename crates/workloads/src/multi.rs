@@ -1,0 +1,252 @@
+//! Hyper-period composition of multi-rate applications (paper §2):
+//! "If process graphs have different periods, they are combined into a
+//! hyper-graph capturing all process activations for the hyper-period
+//! (LCM of all periods)."
+//!
+//! [`merge`] takes several single-rate [`Application`]s (each one polar or
+//! not), unrolls every graph over the common hyper-period, and produces a
+//! single [`Application`] the scheduler can handle directly:
+//!
+//! * the j-th activation of a process is a fresh process named
+//!   `name.j`, with the same execution envelope;
+//! * hard deadlines shift by the activation's release offset `j·Tₖ`;
+//! * soft utility functions shift likewise
+//!   ([`UtilityFunction::shifted`](ftqs_core::UtilityFunction::shifted));
+//! * precedence edges replicate within each activation, and consecutive
+//!   activations of one graph are chained sink→source so activation `j+1`
+//!   never starts before activation `j` finished (the single non-preemptive
+//!   node cannot overlap them anyway);
+//! * the merged fault model keeps the *maximum* `k` and recovery overhead
+//!   of the inputs — k faults per hyper-period, conservative for every
+//!   constituent.
+//!
+//! Release offsets are enforced through the chaining edges rather than as
+//! explicit arrival times; the conservatism (an activation may start
+//! before its nominal release if its predecessor instance finished early)
+//! only ever *adds* utility and never endangers a deadline, since shifted
+//! deadlines stay absolute. The approximation is recorded in DESIGN.md.
+//!
+//! The merged graph is passed through
+//! [`transitive_reduction`](ftqs_graph::reduction::transitive_reduction):
+//! chaining every sink to every source creates edges implied by longer
+//! paths, and redundant predecessors would dilute the stale-value
+//! coefficients (they divide by `1 + |DP(Pi)|`).
+
+use ftqs_core::{
+    Application, ApplicationError, Criticality, FaultModel, Process, Time,
+};
+use ftqs_graph::hyper::lcm;
+use ftqs_graph::NodeId;
+
+/// Merges single-rate applications into one hyper-period application.
+///
+/// Each input runs with its own period ([`Application::period`]); the
+/// output runs with the LCM of all periods.
+///
+/// # Errors
+///
+/// * [`ApplicationError::Empty`] if `apps` is empty.
+/// * Propagates graph/validation errors (cannot occur for valid inputs).
+///
+/// # Example
+///
+/// ```
+/// use ftqs_core::{Application, ExecutionTimes, FaultModel, Time, UtilityFunction};
+/// use ftqs_workloads::multi::merge;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let et = ExecutionTimes::uniform(Time::from_ms(5), Time::from_ms(10))?;
+/// let mut a = Application::builder(Time::from_ms(100), FaultModel::new(1, Time::from_ms(2)));
+/// a.add_hard("fast", et, Time::from_ms(90));
+/// let a = a.build()?;
+/// let mut b = Application::builder(Time::from_ms(150), FaultModel::new(1, Time::from_ms(2)));
+/// b.add_soft("slow", et, UtilityFunction::constant(10.0)?);
+/// let b = b.build()?;
+///
+/// let merged = merge(&[a, b])?;
+/// assert_eq!(merged.period(), Time::from_ms(300)); // LCM(100, 150)
+/// assert_eq!(merged.len(), 3 + 2);                 // 3 fast + 2 slow activations
+/// # Ok(())
+/// # }
+/// ```
+pub fn merge(apps: &[Application]) -> Result<Application, ApplicationError> {
+    if apps.is_empty() {
+        return Err(ApplicationError::Empty);
+    }
+    let hyperperiod = apps
+        .iter()
+        .map(|a| a.period().as_ms())
+        .fold(1, lcm);
+    let k = apps.iter().map(|a| a.faults().k).max().unwrap_or(0);
+    let mu = apps.iter().map(|a| a.faults().mu).max().unwrap_or(Time::ZERO);
+
+    let mut b = Application::builder(Time::from_ms(hyperperiod), FaultModel::new(k, mu));
+    for app in apps {
+        let instances = (hyperperiod / app.period().as_ms()) as usize;
+        let mut prev_map: Option<Vec<NodeId>> = None;
+        for inst in 0..instances {
+            let release = app.period() * inst as u64;
+            let map: Vec<NodeId> = app
+                .processes()
+                .map(|p| {
+                    let proc_ = app.process(p);
+                    let name = format!("{}.{inst}", proc_.name());
+                    let shifted = match proc_.criticality() {
+                        Criticality::Hard { deadline } => {
+                            Process::hard(name, *proc_.times(), *deadline + release)
+                        }
+                        Criticality::Soft { utility } => {
+                            Process::soft(name, *proc_.times(), utility.shifted(release))
+                        }
+                    };
+                    let shifted = match proc_.recovery_overhead() {
+                        Some(r) => shifted.with_recovery_overhead(r),
+                        None => shifted,
+                    };
+                    b.add_process(shifted)
+                })
+                .collect();
+            for (from, to) in app.graph().edges() {
+                b.add_dependency(map[from.index()], map[to.index()])
+                    .expect("replicated edges stay acyclic");
+            }
+            if let Some(prev) = &prev_map {
+                // Chain: sinks of instance j-1 precede sources of instance j.
+                let sinks: Vec<NodeId> = app.graph().sinks().map(|n| prev[n.index()]).collect();
+                let sources: Vec<NodeId> = app.graph().sources().map(|n| map[n.index()]).collect();
+                for &s in &sinks {
+                    for &t in &sources {
+                        b.add_dependency(s, t).expect("chain edges stay acyclic");
+                    }
+                }
+            }
+            prev_map = Some(map);
+        }
+    }
+    let merged = b.build()?;
+
+    // Strip edges implied by longer paths (see module docs).
+    let reduced = ftqs_graph::reduction::transitive_reduction(merged.graph());
+    if reduced.edge_count() == merged.graph().edge_count() {
+        return Ok(merged);
+    }
+    let mut b = Application::builder(merged.period(), *merged.faults());
+    for p in merged.processes() {
+        b.add_process(merged.process(p).clone());
+    }
+    for (from, to) in reduced.edges() {
+        b.add_dependency(from, to)
+            .expect("reduced edges stay acyclic");
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftqs_core::ftss::ftss;
+    use ftqs_core::{ExecutionTimes, FtssConfig, ScheduleContext, UtilityFunction};
+
+    fn t(ms: u64) -> Time {
+        Time::from_ms(ms)
+    }
+
+    fn et(b: u64, w: u64) -> ExecutionTimes {
+        ExecutionTimes::uniform(t(b), t(w)).unwrap()
+    }
+
+    fn fast_app() -> Application {
+        let mut b = Application::builder(t(100), FaultModel::new(1, t(2)));
+        let a = b.add_hard("sense", et(5, 10), t(60));
+        let c = b.add_soft(
+            "log",
+            et(5, 10),
+            UtilityFunction::step(10.0, [(t(50), 5.0), (t(90), 0.0)]).unwrap(),
+        );
+        b.add_dependency(a, c).unwrap();
+        b.build().unwrap()
+    }
+
+    fn slow_app() -> Application {
+        let mut b = Application::builder(t(150), FaultModel::new(1, t(2)));
+        b.add_soft("report", et(5, 10), UtilityFunction::constant(7.0).unwrap());
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        assert!(matches!(merge(&[]), Err(ApplicationError::Empty)));
+    }
+
+    #[test]
+    fn merged_shape_and_period() {
+        let m = merge(&[fast_app(), slow_app()]).unwrap();
+        assert_eq!(m.period(), t(300));
+        // 3 activations x 2 processes + 2 activations x 1 process.
+        assert_eq!(m.len(), 8);
+        assert_eq!(m.faults().k, 1);
+    }
+
+    #[test]
+    fn deadlines_shift_by_release() {
+        let m = merge(&[fast_app(), slow_app()]).unwrap();
+        let mut deadlines: Vec<u64> = m
+            .hard_processes()
+            .map(|p| m.process(p).criticality().deadline().unwrap().as_ms())
+            .collect();
+        deadlines.sort_unstable();
+        assert_eq!(deadlines, vec![60, 160, 260]);
+    }
+
+    #[test]
+    fn utilities_shift_by_release() {
+        let m = merge(&[fast_app(), slow_app()]).unwrap();
+        // The instance-1 "log" process holds its full value until 50+100.
+        let log1 = m
+            .processes()
+            .find(|&p| m.process(p).name() == "log.1")
+            .expect("log.1 exists");
+        let u = m.process(log1).criticality().utility().unwrap();
+        assert_eq!(u.value(t(150)), 10.0);
+        assert_eq!(u.value(t(151)), 5.0);
+        assert_eq!(u.zero_from(), Some(t(190)));
+    }
+
+    #[test]
+    fn activations_are_chained() {
+        // Merged with the slow app the hyper-period is 300, so the fast
+        // graph activates three times; log.0 (sink of instance 0) must
+        // precede sense.1 (source of instance 1).
+        let m = merge(&[fast_app(), slow_app()]).unwrap();
+        let log0 = m.processes().find(|&p| m.process(p).name() == "log.0").unwrap();
+        let sense1 = m.processes().find(|&p| m.process(p).name() == "sense.1").unwrap();
+        assert!(m.graph().has_edge(log0, sense1));
+        // A single-app merge degenerates to one activation, unchained.
+        let single = merge(&[fast_app()]).unwrap();
+        assert_eq!(single.len(), 2);
+    }
+
+    #[test]
+    fn merged_application_is_schedulable() {
+        let m = merge(&[fast_app(), slow_app()]).unwrap();
+        let s = ftss(&m, &ScheduleContext::root(&m), &FtssConfig::default())
+            .expect("merged app schedulable");
+        assert!(s.analyze(&m).is_schedulable());
+        // Every hard activation is scheduled.
+        for h in m.hard_processes() {
+            assert!(s.position_of(h).is_some());
+        }
+    }
+
+    #[test]
+    fn per_process_recovery_overrides_survive_merge() {
+        let mut b = Application::builder(t(100), FaultModel::new(1, t(2)));
+        b.add_process(
+            ftqs_core::Process::hard("x", et(5, 10), t(90)).with_recovery_overhead(t(1)),
+        );
+        let app = b.build().unwrap();
+        let m = merge(&[app]).unwrap();
+        let p = m.processes().next().unwrap();
+        assert_eq!(m.recovery_overhead(p), t(1));
+    }
+}

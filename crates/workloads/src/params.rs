@@ -1,0 +1,149 @@
+//! Parameters of the synthetic application generator.
+
+use ftqs_core::Time;
+
+/// Task-graph topology family used by the synthetic generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Topology {
+    /// Layered TGFF-style graphs (the default; see
+    /// [`ftqs_graph::generate::layered`]).
+    #[default]
+    Layered,
+    /// Series-parallel graphs (see
+    /// [`ftqs_graph::generate::series_parallel`]).
+    SeriesParallel,
+}
+
+/// Knobs of [`generate`](crate::synthetic::generate), defaulting to the
+/// paper's evaluation setup (§6): WCETs uniform in `[10, 100]` ms, BCETs
+/// uniform in `[0, wcet]`, `k = 3` faults, µ = 15 ms, roughly half the
+/// processes hard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorParams {
+    /// Number of processes.
+    pub processes: usize,
+    /// Task-graph topology family.
+    pub topology: Topology,
+    /// Fraction of processes that are hard (0.0..=1.0).
+    pub hard_ratio: f64,
+    /// WCET range in milliseconds (inclusive).
+    pub wcet_range: (u64, u64),
+    /// Fault budget `k`.
+    pub k: usize,
+    /// Recovery overhead µ.
+    pub mu: Time,
+    /// Maximum width of a graph layer.
+    pub max_width: usize,
+    /// Probability of extra edges between consecutive layers.
+    pub edge_prob: f64,
+    /// Deadline laxity: hard deadlines are placed at the reference
+    /// worst-case completion times scaled by a factor drawn uniformly from
+    /// this range. Values below ~1.0 tend to produce unschedulable
+    /// applications.
+    pub deadline_laxity: (f64, f64),
+    /// Period laxity: the period is the reference worst-case makespan
+    /// (including the shared fault delay) scaled by this factor.
+    pub period_laxity: f64,
+    /// Peak soft utility range.
+    pub utility_peak: (f64, f64),
+}
+
+impl Default for GeneratorParams {
+    fn default() -> Self {
+        GeneratorParams {
+            processes: 20,
+            topology: Topology::default(),
+            hard_ratio: 0.5,
+            wcet_range: (10, 100),
+            k: 3,
+            mu: Time::from_ms(15),
+            max_width: 4,
+            edge_prob: 0.25,
+            deadline_laxity: (0.75, 1.1),
+            period_laxity: 1.05,
+            utility_peak: (20.0, 100.0),
+        }
+    }
+}
+
+impl GeneratorParams {
+    /// The paper's §6 setup for a given application size.
+    #[must_use]
+    pub fn paper(processes: usize) -> Self {
+        GeneratorParams {
+            processes,
+            ..GeneratorParams::default()
+        }
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical parameters (zero processes, inverted ranges,
+    /// ratios outside `[0, 1]`). Generation is test infrastructure; loud
+    /// failure beats silently odd workloads.
+    pub fn validate(&self) {
+        assert!(self.processes > 0, "need at least one process");
+        assert!(
+            (0.0..=1.0).contains(&self.hard_ratio),
+            "hard_ratio must be a fraction"
+        );
+        assert!(
+            self.wcet_range.0 <= self.wcet_range.1 && self.wcet_range.1 > 0,
+            "invalid wcet range"
+        );
+        assert!(self.max_width > 0, "max_width must be positive");
+        assert!(
+            self.deadline_laxity.0 <= self.deadline_laxity.1,
+            "invalid deadline laxity"
+        );
+        assert!(self.period_laxity > 0.0, "period laxity must be positive");
+        assert!(
+            self.utility_peak.0 <= self.utility_peak.1 && self.utility_peak.0 >= 0.0,
+            "invalid utility peak range"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let p = GeneratorParams::default();
+        assert_eq!(p.wcet_range, (10, 100));
+        assert_eq!(p.k, 3);
+        assert_eq!(p.mu, Time::from_ms(15));
+        assert!((p.hard_ratio - 0.5).abs() < f64::EPSILON);
+        p.validate();
+    }
+
+    #[test]
+    fn paper_sets_size() {
+        let p = GeneratorParams::paper(35);
+        assert_eq!(p.processes, 35);
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn zero_processes_invalid() {
+        GeneratorParams {
+            processes: 0,
+            ..GeneratorParams::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "hard_ratio")]
+    fn bad_ratio_invalid() {
+        GeneratorParams {
+            hard_ratio: 1.5,
+            ..GeneratorParams::default()
+        }
+        .validate();
+    }
+}

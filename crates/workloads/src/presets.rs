@@ -1,0 +1,72 @@
+//! Experiment presets matching the paper's evaluation section (§6).
+//!
+//! Each preset bundles the workload parameters of one experiment so the
+//! bench harness, the examples and the integration tests all draw from the
+//! same definitions.
+
+use crate::params::GeneratorParams;
+
+/// Application sizes of the Fig. 9 sweep: "10, 15, 20, 25, 30, 35, 40, 45,
+/// and 50 processes".
+pub const FIG9_SIZES: [usize; 9] = [10, 15, 20, 25, 30, 35, 40, 45, 50];
+
+/// Applications per size in the paper (450 total over 9 sizes).
+pub const FIG9_APPS_PER_SIZE: usize = 50;
+
+/// Fault counts evaluated in Fig. 9b and Table 1.
+pub const FAULT_COUNTS: [usize; 4] = [0, 1, 2, 3];
+
+/// Tree-size sweep of Table 1 (number of schedules in the quasi-static
+/// tree).
+pub const TABLE1_NODES: [usize; 8] = [1, 2, 8, 13, 23, 34, 79, 89];
+
+/// Table 1 uses "50 applications with 30 processes each ... 50/50" split.
+pub const TABLE1_APPS: usize = 50;
+
+/// Parameters of one Fig. 9 cell.
+#[must_use]
+pub fn fig9_params(size: usize) -> GeneratorParams {
+    GeneratorParams::paper(size)
+}
+
+/// Parameters of the Table 1 experiment (30 processes, 50/50 hard/soft).
+#[must_use]
+pub fn table1_params() -> GeneratorParams {
+    GeneratorParams {
+        processes: 30,
+        hard_ratio: 0.5,
+        ..GeneratorParams::default()
+    }
+}
+
+/// Deterministic seed for application `index` of experiment `tag`, so every
+/// harness regenerates identical workloads.
+#[must_use]
+pub fn app_seed(tag: u64, index: usize) -> u64 {
+    0xDA7E_2008u64 ^ tag.rotate_left(17) ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_covers_450_apps() {
+        assert_eq!(FIG9_SIZES.len() * FIG9_APPS_PER_SIZE, 450);
+    }
+
+    #[test]
+    fn table1_matches_paper() {
+        let p = table1_params();
+        assert_eq!(p.processes, 30);
+        assert!((p.hard_ratio - 0.5).abs() < f64::EPSILON);
+        assert_eq!(TABLE1_NODES[0], 1);
+        assert_eq!(*TABLE1_NODES.last().unwrap(), 89);
+    }
+
+    #[test]
+    fn seeds_differ_across_indices_and_tags() {
+        assert_ne!(app_seed(1, 0), app_seed(1, 1));
+        assert_ne!(app_seed(1, 0), app_seed(2, 0));
+    }
+}

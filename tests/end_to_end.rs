@@ -1,0 +1,165 @@
+//! Cross-crate integration tests: generate → synthesize → simulate.
+
+use ftqs::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn generated_app(size: usize, seed: u64) -> Application {
+    let params = GeneratorParams::paper(size);
+    let mut rng = StdRng::seed_from_u64(seed);
+    ftqs::workloads::synthetic::generate_schedulable(&params, &mut rng, 50)
+}
+
+#[test]
+fn full_pipeline_runs_for_every_paper_size() {
+    for &size in &[10usize, 25, 50] {
+        let app = generated_app(size, 0xE2E + size as u64);
+        let tree = ftqs(&app, &FtqsConfig::with_budget(8)).expect("schedulable");
+        let mc = MonteCarlo {
+            scenarios: 200,
+            seed: 1,
+            threads: 2,
+        };
+        for faults in 0..=3 {
+            let eval = mc.evaluate(&app, &tree, faults);
+            assert_eq!(eval.deadline_misses, 0, "size {size}, {faults} faults");
+            assert!(eval.utility.mean() >= 0.0);
+        }
+    }
+}
+
+#[test]
+fn ftqs_never_loses_to_ftss_in_no_fault_expectation() {
+    // The tree only switches when the expected suffix utility strictly
+    // improves, so its Monte Carlo mean must dominate the static schedule's
+    // (up to sampling noise; identical scenario streams make this exact
+    // per-scenario, hence also in the mean).
+    for seed in 0..5u64 {
+        let app = generated_app(15, 100 + seed);
+        let root = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default())
+            .expect("schedulable");
+        let single = QuasiStaticTree::single(root);
+        let tree = ftqs(&app, &FtqsConfig::with_budget(12)).expect("schedulable");
+        let mc = MonteCarlo {
+            scenarios: 500,
+            seed: 42,
+            threads: 2,
+        };
+        let u_tree = mc.evaluate(&app, &tree, 0).utility.mean();
+        let u_static = mc.evaluate(&app, &single, 0).utility.mean();
+        assert!(
+            u_tree >= u_static * 0.98,
+            "seed {seed}: tree {u_tree} << static {u_static}"
+        );
+    }
+}
+
+#[test]
+fn ftss_dominates_ftsf_on_average() {
+    let mut wins = 0usize;
+    let mut total = 0usize;
+    for seed in 0..8u64 {
+        let app = generated_app(20, 200 + seed);
+        let Ok(root) = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()) else {
+            continue;
+        };
+        let Ok(base) = ftsf(&app, &FtssConfig::default()) else {
+            continue;
+        };
+        let mc = MonteCarlo {
+            scenarios: 300,
+            seed: 9,
+            threads: 2,
+        };
+        let u_ftss = mc
+            .evaluate(&app, &QuasiStaticTree::single(root), 3)
+            .utility
+            .mean();
+        let u_ftsf = mc
+            .evaluate(&app, &QuasiStaticTree::single(base), 3)
+            .utility
+            .mean();
+        total += 1;
+        if u_ftss + 1e-9 >= u_ftsf {
+            wins += 1;
+        }
+    }
+    assert!(total >= 6, "most generated apps must be schedulable");
+    assert!(
+        wins * 10 >= total * 8,
+        "FTSS must dominate FTSF in >= 80% of instances ({wins}/{total})"
+    );
+}
+
+#[test]
+fn identical_scenarios_make_comparisons_deterministic() {
+    let app = generated_app(12, 555);
+    let tree = ftqs(&app, &FtqsConfig::with_budget(6)).expect("schedulable");
+    let mc = MonteCarlo {
+        scenarios: 100,
+        seed: 31,
+        threads: 1,
+    };
+    let a = mc.evaluate(&app, &tree, 2).utility.mean();
+    let b = mc.evaluate(&app, &tree, 2).utility.mean();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn cruise_controller_end_to_end() {
+    let app = cruise_controller().expect("valid model");
+    let tree = ftqs(&app, &FtqsConfig::with_budget(16)).expect("schedulable");
+    assert!(tree.len() > 1, "the CC must profit from quasi-static schedules");
+    let mc = MonteCarlo {
+        scenarios: 500,
+        seed: 4,
+        threads: 2,
+    };
+    let mut prev = f64::INFINITY;
+    for faults in 0..=2 {
+        let eval = mc.evaluate(&app, &tree, faults);
+        assert_eq!(eval.deadline_misses, 0);
+        assert!(eval.utility.mean() <= prev + 1e-9, "utility grows with faults?");
+        prev = eval.utility.mean();
+    }
+}
+
+#[test]
+fn serialized_tree_round_trips_structurally() {
+    // The quasi-static tree is the artifact an embedded runtime consumes;
+    // its serde representation must survive a round trip.
+    let app = generated_app(10, 777);
+    let tree = ftqs(&app, &FtqsConfig::with_budget(6)).expect("schedulable");
+    let json = serde_json::to_string(&tree).expect("serializes");
+    let back: QuasiStaticTree = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back.len(), tree.len());
+    assert_eq!(back.root(), tree.root());
+    for ((_, a), (_, b)) in tree.iter().zip(back.iter()) {
+        assert_eq!(a.schedule.order_key(), b.schedule.order_key());
+        assert_eq!(a.arcs, b.arcs);
+        assert_eq!(a.depth, b.depth);
+    }
+}
+
+#[test]
+fn stale_semantics_match_paper_example_across_crates() {
+    // §2.1 worked example driven through the public API.
+    let ms = Time::from_ms;
+    let et = ExecutionTimes::uniform(ms(10), ms(20)).expect("valid envelope");
+    let u = UtilityFunction::constant(30.0).expect("valid utility");
+    let mut b = Application::builder(ms(10_000), FaultModel::none());
+    let p1 = b.add_soft("P1", et, u.clone());
+    let p2 = b.add_soft("P2", et, u.clone());
+    let p3 = b.add_soft("P3", et, u.clone());
+    let p4 = b.add_soft("P4", et, u);
+    b.add_dependency(p1, p3).expect("edge");
+    b.add_dependency(p2, p3).expect("edge");
+    b.add_dependency(p3, p4).expect("edge");
+    let app = b.build().expect("valid app");
+
+    let mut dropped = vec![false; app.len()];
+    dropped[p1.index()] = true;
+    let alpha = StaleCoefficients::compute(&app, &dropped);
+    assert!((alpha.get(p3) - 2.0 / 3.0).abs() < 1e-12);
+    assert!((alpha.get(p4) - 5.0 / 6.0).abs() < 1e-12);
+}

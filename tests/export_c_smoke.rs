@@ -1,0 +1,111 @@
+//! End-to-end check of the embedded C export: the generated header must
+//! compile under a strict C compiler and the table walk an embedded
+//! runtime would perform must find the expected switch arc.
+//!
+//! Skips silently when no C compiler is available on the host.
+
+use ftqs::prelude::*;
+use std::io::Write as _;
+use std::process::Command;
+
+const RUNTIME_SMOKE_C: &str = r#"
+#include "fig1_tree.h"
+#include <stdio.h>
+
+int main(void) {
+    const ftqs_node_t *node = &fig1_tree[0];
+    unsigned total = 0;
+    for (uint16_t i = 0; i < node->entry_count; i++) {
+        total += node->entries[i].process;
+    }
+    uint16_t next = 0xFFFF;
+    for (uint16_t a = 0; a < node->arc_count; a++) {
+        const ftqs_arc_t *arc = &node->arcs[a];
+        if (arc->pivot_pos == 0 && 30u >= arc->lo && 30u <= arc->hi) {
+            next = arc->child;
+            break;
+        }
+    }
+    printf("%u %u %d\n", node->entry_count, total, (int)next);
+    return next == 0xFFFF;
+}
+"#;
+
+fn c_compiler() -> Option<&'static str> {
+    for cc in ["cc", "gcc", "clang"] {
+        if Command::new(cc)
+            .arg("--version")
+            .output()
+            .map(|o| o.status.success())
+            .unwrap_or(false)
+        {
+            return Some(cc);
+        }
+    }
+    None
+}
+
+#[test]
+fn generated_header_compiles_and_switches() {
+    let Some(cc) = c_compiler() else {
+        eprintln!("no C compiler found; skipping C export smoke test");
+        return;
+    };
+
+    // The paper's Fig. 1 application, exported with a small tree.
+    let ms = Time::from_ms;
+    let mut b = Application::builder(ms(300), FaultModel::new(1, ms(10)));
+    let p1 = b.add_hard(
+        "P1",
+        ExecutionTimes::uniform(ms(30), ms(70)).expect("envelope"),
+        ms(180),
+    );
+    let p2 = b.add_soft(
+        "P2",
+        ExecutionTimes::uniform(ms(30), ms(70)).expect("envelope"),
+        UtilityFunction::step(40.0, [(ms(90), 20.0), (ms(200), 10.0), (ms(250), 0.0)])
+            .expect("utility"),
+    );
+    let p3 = b.add_soft(
+        "P3",
+        ExecutionTimes::uniform(ms(40), ms(80)).expect("envelope"),
+        UtilityFunction::step(40.0, [(ms(110), 30.0), (ms(150), 10.0), (ms(220), 0.0)])
+            .expect("utility"),
+    );
+    b.add_dependency(p1, p2).expect("edge");
+    b.add_dependency(p1, p3).expect("edge");
+    let app = b.build().expect("valid app");
+    let tree = ftqs(&app, &FtqsConfig::with_budget(4)).expect("schedulable");
+    assert!(tree.len() >= 2, "need a switchable tree for the smoke test");
+
+    let dir = std::env::temp_dir().join(format!("ftqs_c_smoke_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let header = ftqs::core::export::tree_to_c(&app, &tree, "fig1");
+    std::fs::write(dir.join("fig1_tree.h"), header).expect("write header");
+    let mut f = std::fs::File::create(dir.join("smoke.c")).expect("create c file");
+    f.write_all(RUNTIME_SMOKE_C.as_bytes()).expect("write c file");
+    drop(f);
+
+    let bin = dir.join("smoke");
+    let compile = Command::new(cc)
+        .args(["-std=c99", "-Wall", "-Wextra", "-Werror", "-o"])
+        .arg(&bin)
+        .arg(dir.join("smoke.c"))
+        .arg(format!("-I{}", dir.display()))
+        .output()
+        .expect("compiler invocation");
+    assert!(
+        compile.status.success(),
+        "C compilation failed:\n{}",
+        String::from_utf8_lossy(&compile.stderr)
+    );
+
+    let run = Command::new(&bin).output().expect("smoke binary runs");
+    assert!(
+        run.status.success(),
+        "runtime walk found no switch arc: {}",
+        String::from_utf8_lossy(&run.stdout)
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
