@@ -23,8 +23,8 @@ fn bench_slack_models(c: &mut Criterion) {
     let params = presets::table1_params();
     let mut rng = StdRng::seed_from_u64(presets::app_seed(0xAB1A, 0));
     let app = synthetic::generate_schedulable(&params, &mut rng, 50);
-    let schedule = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default())
-        .expect("schedulable");
+    let schedule =
+        ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).expect("schedulable");
     let k = app.faults().k;
     let items: Vec<SlackItem> = schedule
         .entries()

@@ -24,6 +24,25 @@ fn bench_ftss(c: &mut Criterion) {
     group.finish();
 }
 
+/// The pre-optimization FTSS (per-probe clones, batch knapsack re-solves),
+/// preserved in `ftqs_core::oracle` — bench it alongside the optimized
+/// scheduler so the speedup is visible in one run.
+fn bench_ftss_reference(c: &mut Criterion) {
+    use ftqs_core::oracle::ftss_reference;
+    let mut group = c.benchmark_group("ftss_synthesis_reference");
+    group.sample_size(10);
+    for &size in &[10usize, 20, 30, 40, 50] {
+        let params = presets::fig9_params(size);
+        let mut rng = StdRng::seed_from_u64(presets::app_seed(0xF755, size));
+        let app = synthetic::generate_schedulable(&params, &mut rng, 50);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &app, |b, app| {
+            let cfg = FtssConfig::default();
+            b.iter(|| ftss_reference(app, &ScheduleContext::root(app), &cfg).expect("schedulable"));
+        });
+    }
+    group.finish();
+}
+
 fn bench_ftsf(c: &mut Criterion) {
     let mut group = c.benchmark_group("ftsf_synthesis");
     for &size in &[10usize, 30, 50] {
@@ -38,5 +57,5 @@ fn bench_ftsf(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ftss, bench_ftsf);
+criterion_group!(benches, bench_ftss, bench_ftss_reference, bench_ftsf);
 criterion_main!(benches);

@@ -39,8 +39,8 @@ fn bench_static_vs_tree(c: &mut Criterion) {
     let params = presets::fig9_params(30);
     let mut rng = StdRng::seed_from_u64(presets::app_seed(0x51AC, 0));
     let app = synthetic::generate_schedulable(&params, &mut rng, 50);
-    let root = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default())
-        .expect("schedulable");
+    let root =
+        ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).expect("schedulable");
     let single = QuasiStaticTree::single(root);
     let tree = ftqs(&app, &FtqsConfig::with_budget(32)).expect("schedulable");
     let sampler = ScenarioSampler::new(&app);

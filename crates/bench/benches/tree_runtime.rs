@@ -38,5 +38,28 @@ fn bench_tree_by_size(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_tree_budget, bench_tree_by_size);
+/// The serial pre-optimization FTQS preserved in `ftqs_core::oracle`,
+/// benched at the same sizes so the optimized/baseline gap is visible in
+/// one run.
+fn bench_tree_by_size_reference(c: &mut Criterion) {
+    use ftqs_core::oracle::ftqs_reference;
+    let mut group = c.benchmark_group("ftqs_synthesis_by_size_reference");
+    group.sample_size(10);
+    for &size in &[10usize, 20, 30] {
+        let params = presets::fig9_params(size);
+        let mut rng = StdRng::seed_from_u64(presets::app_seed(0x7AB2, size));
+        let app = synthetic::generate_schedulable(&params, &mut rng, 50);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &app, |b, app| {
+            b.iter(|| ftqs_reference(app, &FtqsConfig::with_budget(16)).expect("schedulable"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tree_budget,
+    bench_tree_by_size,
+    bench_tree_by_size_reference
+);
 criterion_main!(benches);

@@ -1,0 +1,154 @@
+//! Machine-readable synthesis-performance snapshot: `BENCH_synthesis.json`.
+//!
+//! Times FTSS and FTQS synthesis (optimized hot paths vs the preserved
+//! straightforward baselines in `ftqs_core::oracle`) on seeded synthetic
+//! applications of 10, 20 and 40 processes, and writes median
+//! nanoseconds plus speedup factors as JSON. Future PRs regenerate the
+//! file on the same machine to track the performance trajectory.
+//!
+//! Usage: `cargo run --release -p ftqs-bench --bin bench_synthesis
+//! [--out PATH] [--reps N] [--budget M] [--skip-baseline]`
+//!
+//! Defaults: out `BENCH_synthesis.json`, 9 timed reps per measurement
+//! (median reported), FTQS budget 16 (the `FtqsConfig` default).
+
+use ftqs_bench::Options;
+use ftqs_core::ftqs::{ftqs, FtqsConfig};
+use ftqs_core::ftss::ftss;
+use ftqs_core::oracle::{ftqs_reference, ftss_reference};
+use ftqs_core::{Application, FtssConfig, ScheduleContext};
+use ftqs_workloads::{presets, synthetic};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const SIZES: [usize; 3] = [10, 20, 40];
+
+fn median_ns(reps: usize, mut run: impl FnMut()) -> u128 {
+    // Warm-up pass, then `reps` timed passes.
+    run();
+    let mut samples: Vec<u128> = (0..reps.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            run();
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+struct Row {
+    algorithm: &'static str,
+    processes: usize,
+    optimized_ns: u128,
+    baseline_ns: Option<u128>,
+}
+
+fn main() {
+    let opts = Options::from_env();
+    let out_path: String = opts.value("--out", "BENCH_synthesis.json".to_string());
+    let reps: usize = opts.value("--reps", 9usize);
+    let budget: usize = opts.value("--budget", FtqsConfig::default().max_schedules);
+    let skip_baseline = opts.flag("--skip-baseline");
+
+    let ftss_cfg = FtssConfig::default();
+    let ftqs_cfg = FtqsConfig::with_budget(budget);
+    let mut rows: Vec<Row> = Vec::new();
+
+    for &size in &SIZES {
+        let params = presets::fig9_params(size);
+        let mut rng = StdRng::seed_from_u64(presets::app_seed(0xBE9C, size));
+        let app: Application = synthetic::generate_schedulable(&params, &mut rng, 50);
+        let ctx = ScheduleContext::root(&app);
+
+        let ftss_ns = median_ns(reps, || {
+            ftss(&app, &ctx, &ftss_cfg).expect("schedulable");
+        });
+        let ftss_base = (!skip_baseline).then(|| {
+            median_ns(reps, || {
+                ftss_reference(&app, &ctx, &ftss_cfg).expect("schedulable");
+            })
+        });
+        rows.push(Row {
+            algorithm: "ftss",
+            processes: size,
+            optimized_ns: ftss_ns,
+            baseline_ns: ftss_base,
+        });
+        eprintln!(
+            "ftss/{size}: optimized {ftss_ns} ns{}",
+            match ftss_base {
+                Some(b) => format!(
+                    ", baseline {b} ns, speedup {:.2}x",
+                    b as f64 / ftss_ns as f64
+                ),
+                None => String::new(),
+            }
+        );
+
+        let ftqs_ns = median_ns(reps, || {
+            ftqs(&app, &ftqs_cfg).expect("schedulable");
+        });
+        let ftqs_base = (!skip_baseline).then(|| {
+            // The baseline is substantially slower; a few reps suffice for
+            // a stable median without hour-long runs at 40 processes.
+            median_ns(reps.min(5), || {
+                ftqs_reference(&app, &ftqs_cfg).expect("schedulable");
+            })
+        });
+        rows.push(Row {
+            algorithm: "ftqs",
+            processes: size,
+            optimized_ns: ftqs_ns,
+            baseline_ns: ftqs_base,
+        });
+        eprintln!(
+            "ftqs/{size}: optimized {ftqs_ns} ns{}",
+            match ftqs_base {
+                Some(b) => format!(
+                    ", baseline {b} ns, speedup {:.2}x",
+                    b as f64 / ftqs_ns as f64
+                ),
+                None => String::new(),
+            }
+        );
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"ftqs-bench-synthesis/1\",");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"ftqs_budget\": {budget},");
+    let _ = writeln!(
+        json,
+        "  \"parallel_feature\": {},",
+        cfg!(feature = "parallel")
+    );
+    let _ = writeln!(
+        json,
+        "  \"threads\": {},",
+        std::thread::available_parallelism().map_or(1, usize::from)
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"algorithm\": \"{}\", \"processes\": {}, \"optimized_median_ns\": {}",
+            r.algorithm, r.processes, r.optimized_ns
+        );
+        if let Some(b) = r.baseline_ns {
+            let _ = write!(
+                json,
+                ", \"baseline_median_ns\": {b}, \"speedup\": {:.2}",
+                b as f64 / r.optimized_ns.max(1) as f64
+            );
+        }
+        json.push('}');
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_synthesis.json");
+    println!("wrote {out_path}");
+}

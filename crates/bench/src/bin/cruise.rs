@@ -30,7 +30,11 @@ fn main() {
     println!("  FTQS budget {budget} schedules, {scenarios} scenarios, seed {seed}\n");
 
     let set = SchedulerSet::build(&app, budget).expect("the CC is schedulable");
-    println!("  quasi-static tree: {} schedules (depth {})", set.ftqs.len(), set.ftqs.depth());
+    println!(
+        "  quasi-static tree: {} schedules (depth {})",
+        set.ftqs.len(),
+        set.ftqs.depth()
+    );
 
     let u_ftqs = no_fault_utility(&app, &set.ftqs, &mc);
     let u_ftss = no_fault_utility(&app, &set.ftss, &mc);

@@ -16,7 +16,14 @@ use rand::SeedableRng;
 fn main() {
     let opts = Options::from_env();
     let full = opts.flag("--full");
-    let apps: usize = opts.value("--apps", if full { presets::FIG9_APPS_PER_SIZE } else { 10 });
+    let apps: usize = opts.value(
+        "--apps",
+        if full {
+            presets::FIG9_APPS_PER_SIZE
+        } else {
+            10
+        },
+    );
     let scenarios: usize = opts.value("--scenarios", if full { 20_000 } else { 1_000 });
     let seed: u64 = opts.value("--seed", 1u64);
 
@@ -27,13 +34,9 @@ fn main() {
     };
 
     println!("Fig. 9a — no-fault utility normalized to FTQS (100%)");
-    println!(
-        "  {apps} application(s) per size, {scenarios} scenarios each, seed {seed}\n"
-    );
+    println!("  {apps} application(s) per size, {scenarios} scenarios each, seed {seed}\n");
     print_row(
-        &["size", "FTQS", "FTSS", "FTSF", "FTSF/FTSS"]
-            .map(String::from)
-            .to_vec(),
+        &["size", "FTQS", "FTSS", "FTSF", "FTSF/FTSS"].map(String::from),
         10,
     );
 

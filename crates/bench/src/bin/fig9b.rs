@@ -15,7 +15,14 @@ use rand::SeedableRng;
 fn main() {
     let opts = Options::from_env();
     let full = opts.flag("--full");
-    let apps: usize = opts.value("--apps", if full { presets::FIG9_APPS_PER_SIZE } else { 10 });
+    let apps: usize = opts.value(
+        "--apps",
+        if full {
+            presets::FIG9_APPS_PER_SIZE
+        } else {
+            10
+        },
+    );
     let scenarios: usize = opts.value("--scenarios", if full { 20_000 } else { 1_000 });
     let seed: u64 = opts.value("--seed", 1u64);
 
@@ -33,8 +40,7 @@ fn main() {
         &[
             "size", "FTQS f0", "FTQS f1", "FTQS f2", "FTQS f3", "FTSS f3", "FTSF f3",
         ]
-        .map(String::from)
-        .to_vec(),
+        .map(String::from),
         9,
     );
 

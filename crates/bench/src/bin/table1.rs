@@ -41,9 +41,7 @@ fn main() {
         "  {apps} application(s) of 30 processes (50/50 hard/soft), {scenarios} scenarios, policy {policy:?}, seed {seed}\n"
     );
     print_row(
-        &["nodes", "kept", "0f", "1f", "2f", "3f", "time", "memory"]
-            .map(String::from)
-            .to_vec(),
+        &["nodes", "kept", "0f", "1f", "2f", "3f", "time", "memory"].map(String::from),
         8,
     );
 
@@ -80,8 +78,8 @@ fn main() {
             kept_total += tree.len();
             memory_total += tree.memory_footprint_bytes();
             let sweep = fault_sweep(app, &tree, &mc);
-            for f in 0..4 {
-                norm[f] += normalize(sweep.by_faults[f], base.by_faults[f]);
+            for (f, slot) in norm.iter_mut().enumerate() {
+                *slot += normalize(sweep.by_faults[f], base.by_faults[f]);
             }
         }
         let n = set.len().max(1) as f64;

@@ -154,7 +154,12 @@ fn render_tree_text(app: &Application, tree: &QuasiStaticTree) -> String {
             .iter()
             .map(|&p| app.process(p).name())
             .collect();
-        let _ = writeln!(out, "node {id} (depth {}): {}", node.depth, order.join(" -> "));
+        let _ = writeln!(
+            out,
+            "node {id} (depth {}): {}",
+            node.depth,
+            order.join(" -> ")
+        );
         for arc in &node.arcs {
             let _ = writeln!(
                 out,
@@ -370,7 +375,12 @@ mod tests {
         assert!(s.contains("FTQS"));
         assert!(s.contains("greedy"));
         // One row per fault count 0..=k (k = 1 for the example).
-        assert_eq!(s.lines().filter(|l| l.trim_start().starts_with(char::is_numeric)).count(), 2);
+        assert_eq!(
+            s.lines()
+                .filter(|l| l.trim_start().starts_with(char::is_numeric))
+                .count(),
+            2
+        );
     }
 
     #[test]

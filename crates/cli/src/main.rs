@@ -18,7 +18,8 @@ use ftqs_cli::{
 };
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: ftqs <info|schedule|tree|graph|simulate|compare|trace|export> <spec> [options]
+const USAGE: &str =
+    "usage: ftqs <info|schedule|tree|graph|simulate|compare|trace|export> <spec> [options]
   <spec>: a spec file path, '-' for stdin, or '--example' for the paper's Fig. 1
 
   tree     --budget N (default 8), --dot or --json

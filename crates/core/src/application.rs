@@ -184,12 +184,16 @@ impl Application {
 
     /// Iterates over the ids of hard processes (the set `H`).
     pub fn hard_processes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.graph.nodes().filter(|&n| self.graph.payload(n).is_hard())
+        self.graph
+            .nodes()
+            .filter(|&n| self.graph.payload(n).is_hard())
     }
 
     /// Iterates over the ids of soft processes (the set `S`).
     pub fn soft_processes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.graph.nodes().filter(|&n| self.graph.payload(n).is_soft())
+        self.graph
+            .nodes()
+            .filter(|&n| self.graph.payload(n).is_soft())
     }
 
     /// Returns `true` if `id` is hard.
@@ -225,7 +229,9 @@ impl Application {
     /// Panics if `id` is not a process of this application.
     #[must_use]
     pub fn recovery_overhead(&self, id: NodeId) -> Time {
-        self.process(id).recovery_overhead().unwrap_or(self.faults.mu)
+        self.process(id)
+            .recovery_overhead()
+            .unwrap_or(self.faults.mu)
     }
 
     /// The per-fault recovery penalty of a process: `wcet + µ`.

@@ -18,7 +18,7 @@
 //! * the expected (all-AET) utility, with stale-value coefficients and
 //!   runtime-dropping emulation.
 
-use crate::wcdelay::{worst_case_fault_delay, SlackItem};
+use crate::wcdelay::{worst_case_fault_delay, FaultDelayAccumulator, SlackItem};
 use crate::{Application, Time};
 use ftqs_graph::NodeId;
 use serde::{Deserialize, Serialize};
@@ -194,6 +194,90 @@ impl ScheduleAnalysis {
         let n = entries.len();
         let start = schedule.context().start;
 
+        // Per-entry slack items and WCET prefix sums, computed once.
+        let items: Vec<SlackItem> = entries
+            .iter()
+            .map(|e| SlackItem::new(app.recovery_penalty(e.process), e.reexecutions))
+            .collect();
+
+        // Forward pass: nominal and worst-case completions. The incremental
+        // accumulator answers each prefix's worst `k`-fault delay in O(k)
+        // instead of re-sorting the prefix.
+        let mut nominal_completion = Vec::with_capacity(n);
+        let mut worst_completion = Vec::with_capacity(n);
+        let mut violation = None;
+        let mut wcet_sum = start;
+        let mut acc = FaultDelayAccumulator::new();
+        for (e, &item) in entries.iter().zip(&items) {
+            let times = app.process(e.process).times();
+            wcet_sum += times.wcet();
+            acc.push(item);
+            let wc = wcet_sum + acc.delay(k);
+            nominal_completion.push(wcet_sum);
+            worst_completion.push(wc);
+            if let Some(d) = app.process(e.process).criticality().deadline() {
+                if wc > d && violation.is_none() {
+                    violation = Some(HardViolation {
+                        process: e.process,
+                        deadline: d,
+                        worst_completion: wc,
+                    });
+                }
+            }
+        }
+
+        // Backward pass: latest safe start per position and remaining-fault
+        // budget. For position `i` and budget `r`:
+        //   min over hard j >= i of  d_j - sum(wcet i..=j) - maxdelay(items i..=j, r)
+        // Grown from each hard anchor `j` downward: extending the window
+        // from `i + 1` to `i` only adds item `i` to the multiset, so one
+        // accumulator serves all `i` for a fixed `j` — O(H·n·k) overall
+        // instead of re-solving the knapsack per (i, j, r) triple.
+        let mut hard_safe_start = vec![vec![Time::MAX; k + 1]; n];
+        let mut window = FaultDelayAccumulator::new();
+        for j in 0..n {
+            let Some(d) = app.process(entries[j].process).criticality().deadline() else {
+                continue;
+            };
+            window.clear();
+            let mut window_wcet = Time::ZERO;
+            for i in (0..=j).rev() {
+                window_wcet += app.process(entries[i].process).times().wcet();
+                window.push(items[i]);
+                let row = &mut hard_safe_start[i];
+                for (r, slot) in row.iter_mut().enumerate() {
+                    let latest = d.saturating_sub(window_wcet + window.delay(r));
+                    if latest < *slot {
+                        *slot = latest;
+                    }
+                }
+            }
+        }
+
+        ScheduleAnalysis {
+            nominal_completion,
+            worst_completion,
+            hard_safe_start,
+            violation,
+            k,
+        }
+    }
+
+    /// The straightforward pre-optimization analysis: per-prefix and
+    /// per-window batch re-solves of [`worst_case_fault_delay`].
+    ///
+    /// Kept as the differential-testing oracle (see [`crate::oracle`]) and
+    /// as the baseline the synthesis benches measure speedups against. Not
+    /// intended for production use — [`FSchedule::analyze`] computes the
+    /// identical tables incrementally.
+    #[must_use]
+    #[allow(clippy::needless_range_loop)] // kept verbatim as the baseline
+    pub fn of_reference(app: &Application, schedule: &FSchedule) -> Self {
+        let k = app.faults().k;
+        let entries = schedule.entries();
+        let n = entries.len();
+        let start = schedule.context().start;
+
         // Forward pass: nominal and worst-case completions.
         let mut nominal_completion = Vec::with_capacity(n);
         let mut worst_completion = Vec::with_capacity(n);
@@ -221,9 +305,7 @@ impl ScheduleAnalysis {
             }
         }
 
-        // Backward pass: latest safe start per position and remaining-fault
-        // budget. For position `i` and budget `r`:
-        //   min over hard j >= i of  d_j - sum(wcet i..=j) - maxdelay(items i..=j, r)
+        // Backward pass, batch-re-solved per (i, j, r).
         let mut hard_safe_start = vec![vec![Time::MAX; k + 1]; n];
         for i in 0..n {
             let mut suffix_wcet = Time::ZERO;
@@ -397,10 +479,36 @@ fn suffix_utility_pass(
     start: Time,
     duration: impl Fn(&crate::ExecutionTimes) -> Time,
 ) -> f64 {
-    let k = app.faults().k;
     let mut dropped = schedule.dropped_mask(app);
     // Entries before `from` are treated as completed (not dropped).
     let mut alpha = StaleAlpha::new(app, &dropped);
+    suffix_utility_core(
+        app,
+        schedule,
+        analysis,
+        from,
+        start,
+        duration,
+        &mut dropped,
+        &mut alpha,
+    )
+}
+
+/// The shared pass body, operating on caller-provided dropped/alpha state
+/// (fresh for the one-shot entry points, copied from precomputed bases by
+/// the sweep-scratch entry points — identical arithmetic either way).
+#[allow(clippy::too_many_arguments)]
+fn suffix_utility_core(
+    app: &Application,
+    schedule: &FSchedule,
+    analysis: &ScheduleAnalysis,
+    from: usize,
+    start: Time,
+    duration: impl Fn(&crate::ExecutionTimes) -> Time,
+    dropped: &mut [bool],
+    alpha: &mut StaleAlpha,
+) -> f64 {
+    let k = app.faults().k;
     let mut now = start;
     let mut total = 0.0;
     for (pos, e) in schedule.entries().iter().enumerate().skip(from) {
@@ -420,10 +528,77 @@ fn suffix_utility_pass(
     total
 }
 
+/// Precomputed per-schedule base state for repeated suffix-utility
+/// evaluations of the *same* schedule at many start times — the interval-
+/// partitioning sweep evaluates hundreds of completion-time samples per
+/// arc, and rebuilding the dropped mask and stale-coefficient seed per
+/// sample dominated small-application synthesis.
+#[derive(Debug, Clone)]
+pub(crate) struct SuffixUtilityBase {
+    dropped: Vec<bool>,
+    alpha: StaleAlpha,
+}
+
+impl SuffixUtilityBase {
+    /// Captures `schedule`'s static state (context drops + static drops).
+    pub(crate) fn of(app: &Application, schedule: &FSchedule) -> Self {
+        let dropped = schedule.dropped_mask(app);
+        let alpha = StaleAlpha::new(app, &dropped);
+        SuffixUtilityBase { dropped, alpha }
+    }
+}
+
+/// Reusable mutable state for one sweep evaluation (copied from a
+/// [`SuffixUtilityBase`] per pass instead of reallocated).
+#[derive(Debug, Default)]
+pub(crate) struct SuffixUtilityScratch {
+    dropped: Vec<bool>,
+    alpha: StaleAlpha,
+}
+
+/// Scratch-buffer variant of [`expected_suffix_utility_est`]: identical
+/// result, no per-call allocation.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn expected_suffix_utility_est_scratch(
+    app: &Application,
+    schedule: &FSchedule,
+    analysis: &ScheduleAnalysis,
+    from: usize,
+    start: Time,
+    estimator: UtilityEstimator,
+    base: &SuffixUtilityBase,
+    scratch: &mut SuffixUtilityScratch,
+) -> f64 {
+    let mut pass = |duration: fn(&crate::ExecutionTimes) -> Time| {
+        scratch.dropped.clear();
+        scratch.dropped.extend_from_slice(&base.dropped);
+        scratch.alpha.copy_from(&base.alpha);
+        suffix_utility_core(
+            app,
+            schedule,
+            analysis,
+            from,
+            start,
+            duration,
+            &mut scratch.dropped,
+            &mut scratch.alpha,
+        )
+    };
+    match estimator {
+        UtilityEstimator::AverageCase => pass(|t| t.aet()),
+        UtilityEstimator::Quantile3 => {
+            let q25 = pass(|t| t.bcet().midpoint(t.aet()));
+            let q50 = pass(|t| t.aet());
+            let q75 = pass(|t| t.aet().midpoint(t.wcet()));
+            0.25 * q25 + 0.5 * q50 + 0.25 * q75
+        }
+    }
+}
+
 /// Incremental stale-coefficient resolver used by schedule evaluation: the
 /// coefficient of a process is computed from its predecessors' coefficients
 /// under the evolving dropped mask.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct StaleAlpha {
     alpha: Vec<f64>,
     resolved: Vec<bool>,
@@ -458,15 +633,26 @@ impl StaleAlpha {
         if self.resolved[id.index()] {
             return self.alpha[id.index()];
         }
-        let preds: Vec<NodeId> = app.graph().predecessors(id).collect();
         let mut sum = 0.0;
-        for p in &preds {
-            sum += self.resolve(app, *p);
+        let mut count = 0usize;
+        for p in app.graph().predecessors(id) {
+            sum += self.resolve(app, p);
+            count += 1;
         }
-        let a = (1.0 + sum) / (1.0 + preds.len() as f64);
+        let a = (1.0 + sum) / (1.0 + count as f64);
         self.alpha[id.index()] = a;
         self.resolved[id.index()] = true;
         a
+    }
+
+    /// Overwrites `self` with `other`'s state, reusing existing buffers
+    /// (the allocation-free replacement for `clone()` in synthesis inner
+    /// loops).
+    pub(crate) fn copy_from(&mut self, other: &StaleAlpha) {
+        self.alpha.clear();
+        self.alpha.extend_from_slice(&other.alpha);
+        self.resolved.clear();
+        self.resolved.extend_from_slice(&other.resolved);
     }
 }
 
@@ -483,11 +669,7 @@ mod tests {
     /// functions: hard P1 (d = 180), soft P2, P3; k = 1, µ = 10, T = 300.
     fn fig1_app() -> (Application, [NodeId; 3]) {
         let mut b = Application::builder(t(300), FaultModel::new(1, t(10)));
-        let p1 = b.add_hard(
-            "P1",
-            ExecutionTimes::uniform(t(30), t(70)).unwrap(),
-            t(180),
-        );
+        let p1 = b.add_hard("P1", ExecutionTimes::uniform(t(30), t(70)).unwrap(), t(180));
         // U2: 40 until 90, 20 until 200, 10 until 250, then 0.
         let p2 = b.add_soft(
             "P2",

@@ -21,12 +21,30 @@
 //!   maximal contiguous interval where the child is strictly better and
 //!   still hard-safe. Arcs with empty intervals — and nodes left
 //!   unreachable — are pruned.
+//!
+//! # Performance
+//!
+//! The two embarrassingly parallel layers run on scoped worker threads
+//! (`parallel` feature, on by default; see [`crate::par`]):
+//!
+//! * **Sub-schedule generation** — the per-pivot FTSS re-runs of one
+//!   expansion are independent of each other, so they are computed in
+//!   budget-sized waves via [`par::par_map_collect`] and committed in
+//!   pivot order, reproducing the serial budget cutoff exactly.
+//! * **Interval partitioning** — each arc's utility sweep reads only its
+//!   own parent/child schedules, so all arcs are swept concurrently.
+//!
+//! The expansion *loop* itself stays serial: each `pick_expansion_candidate`
+//! decision observes every node created so far, exactly as in the paper.
+//! Results are bit-identical to the serial reference implementation
+//! ([`crate::oracle::ftqs_reference`]), which the equivalence tests assert.
 
 use crate::fschedule::{
-    expected_suffix_utility_est, FSchedule, ScheduleAnalysis, ScheduleContext,
-    UtilityEstimator,
+    expected_suffix_utility_est, expected_suffix_utility_est_scratch, FSchedule, ScheduleAnalysis,
+    ScheduleContext, SuffixUtilityBase, SuffixUtilityScratch, UtilityEstimator,
 };
 use crate::ftss::{ftss, FtssConfig};
+use crate::par;
 use crate::tree::{QuasiStaticTree, SwitchArc, TreeNode, TreeNodeId};
 use crate::{Application, SchedulingError, Time};
 use ftqs_graph::NodeId;
@@ -106,8 +124,8 @@ pub fn ftqs(app: &Application, config: &FtqsConfig) -> Result<QuasiStaticTree, S
     // A single-entry root can still profit from sub-schedules when it
     // dropped processes statically (an early pivot completion may revive
     // them), so only trees that provably cannot switch short-circuit.
-    let cannot_switch = root_schedule.entries().len() <= 1
-        && root_schedule.statically_dropped().is_empty();
+    let cannot_switch =
+        root_schedule.entries().len() <= 1 && root_schedule.statically_dropped().is_empty();
     if config.max_schedules == 1 || cannot_switch || root_schedule.entries().is_empty() {
         return Ok(QuasiStaticTree::single(root_schedule));
     }
@@ -199,25 +217,26 @@ impl<'a> TreeBuilder<'a> {
     /// Expected-utility gain of `n` over its parent at `n`'s start time.
     fn improvement_over_parent(&self, n: &BuildNode) -> f64 {
         let Some(parent) = n.parent else { return 0.0 };
-        let Some(pivot_pos) = n.pivot_pos else { return 0.0 };
+        let Some(pivot_pos) = n.pivot_pos else {
+            return 0.0;
+        };
         let p = &self.nodes[parent];
         let tc = n.schedule.context().start;
         let est = self.config.estimator;
-        let u_child =
-            expected_suffix_utility_est(self.app, &n.schedule, &n.analysis, 0, tc, est);
-        let u_parent = expected_suffix_utility_est(
-            self.app,
-            &p.schedule,
-            &p.analysis,
-            pivot_pos + 1,
-            tc,
-            est,
-        );
+        let u_child = expected_suffix_utility_est(self.app, &n.schedule, &n.analysis, 0, tc, est);
+        let u_parent =
+            expected_suffix_utility_est(self.app, &p.schedule, &p.analysis, pivot_pos + 1, tc, est);
         u_child - u_parent
     }
 
     /// `CreateSubschedules`: one candidate child per pivot position of
     /// `parent`'s schedule.
+    ///
+    /// The per-pivot FTSS re-runs are independent, so they execute in
+    /// parallel waves sized to the remaining schedule budget; committing
+    /// happens serially in pivot order, which reproduces the serial budget
+    /// cutoff bit-for-bit (a wave may compute a few children the budget
+    /// then discards — wasted work, never different output).
     fn expand(&mut self, parent: TreeNodeId) {
         self.nodes[parent].expanded = true;
         let parent_entries = self.nodes[parent].schedule.entries().to_vec();
@@ -232,73 +251,111 @@ impl<'a> TreeBuilder<'a> {
         } else {
             parent_entries.len()
         };
-        for p in 0..positions {
-            if self.nodes.len() >= self.config.max_schedules {
-                break;
-            }
-            // Child context: parent prefix + entries[0..=p] completed;
-            // start = best-case completion of the pivot. The parent's
-            // *static* drops are deliberately NOT inherited: they were
-            // synthesis-time decisions under worst-case assumptions, not
-            // runtime events, so the child's FTSS run reconsiders every
-            // unscheduled process ("the rest of the processes are scheduled
-            // with the FTSS heuristic") and can revive soft processes when
-            // an early pivot completion frees up time.
-            let mut ctx = ScheduleContext {
-                start: parent_ctx.start,
-                completed: parent_ctx.completed.clone(),
-                dropped: parent_ctx.dropped.clone(),
-            };
-            let mut bcet_sum = parent_ctx.start;
-            for e in &parent_entries[..=p] {
-                ctx.completed[e.process.index()] = true;
-                bcet_sum += self.app.process(e.process).times().bcet();
-            }
-            ctx.start = bcet_sum;
-
-            let Ok(child) = ftss(self.app, &ctx, &self.config.ftss) else {
-                continue; // suffix infeasible from this optimistic start: skip
-            };
-            // Discard children identical to the parent's own suffix — a
-            // switch to them would be a no-op.
-            let parent_suffix = &parent_entries[p + 1..];
-            let same_order = child.entries() == parent_suffix
-                && child.statically_dropped().is_empty();
-            if same_order || child.entries().is_empty() {
-                continue;
-            }
-            let distance = suffix_distance(
-                &parent_suffix.iter().map(|e| e.process).collect::<Vec<_>>(),
-                &child.order_key(),
-            );
-            let analysis = child.analyze(self.app);
-            self.nodes.push(BuildNode {
-                schedule: child,
-                analysis,
-                parent: Some(parent),
-                pivot_pos: Some(p),
-                depth: parent_depth + 1,
-                expanded: false,
-                parent_distance: distance,
-                intervals: Vec::new(),
+        let mut next_pos = 0usize;
+        while next_pos < positions && self.nodes.len() < self.config.max_schedules {
+            let remaining_budget = self.config.max_schedules - self.nodes.len();
+            let wave_end = (next_pos + remaining_budget).min(positions);
+            let wave_base = next_pos;
+            let children = par::par_map_collect(wave_end - wave_base, |i| {
+                self.build_child(
+                    &parent_entries,
+                    &parent_ctx,
+                    parent,
+                    parent_depth,
+                    wave_base + i,
+                )
             });
+            for child in children {
+                if self.nodes.len() >= self.config.max_schedules {
+                    break;
+                }
+                if let Some(node) = child {
+                    self.nodes.push(node);
+                }
+            }
+            next_pos = wave_end;
         }
+    }
+
+    /// Builds the candidate child for pivot position `p` of `parent`, or
+    /// `None` when the suffix is infeasible from the optimistic start or
+    /// the child collapses onto the parent's own suffix. Pure with respect
+    /// to the node list — safe to run for several positions concurrently.
+    fn build_child(
+        &self,
+        parent_entries: &[crate::fschedule::ScheduleEntry],
+        parent_ctx: &ScheduleContext,
+        parent: TreeNodeId,
+        parent_depth: usize,
+        p: usize,
+    ) -> Option<BuildNode> {
+        // Child context: parent prefix + entries[0..=p] completed;
+        // start = best-case completion of the pivot. The parent's
+        // *static* drops are deliberately NOT inherited: they were
+        // synthesis-time decisions under worst-case assumptions, not
+        // runtime events, so the child's FTSS run reconsiders every
+        // unscheduled process ("the rest of the processes are scheduled
+        // with the FTSS heuristic") and can revive soft processes when
+        // an early pivot completion frees up time.
+        let mut ctx = ScheduleContext {
+            start: parent_ctx.start,
+            completed: parent_ctx.completed.clone(),
+            dropped: parent_ctx.dropped.clone(),
+        };
+        let mut bcet_sum = parent_ctx.start;
+        for e in &parent_entries[..=p] {
+            ctx.completed[e.process.index()] = true;
+            bcet_sum += self.app.process(e.process).times().bcet();
+        }
+        ctx.start = bcet_sum;
+
+        // Suffix infeasible from this optimistic start: skip.
+        let child = ftss(self.app, &ctx, &self.config.ftss).ok()?;
+        // Discard children identical to the parent's own suffix — a
+        // switch to them would be a no-op.
+        let parent_suffix = &parent_entries[p + 1..];
+        let same_order = child.entries() == parent_suffix && child.statically_dropped().is_empty();
+        if same_order || child.entries().is_empty() {
+            return None;
+        }
+        let distance = suffix_distance(
+            &parent_suffix.iter().map(|e| e.process).collect::<Vec<_>>(),
+            &child.order_key(),
+        );
+        let analysis = child.analyze(self.app);
+        Some(BuildNode {
+            schedule: child,
+            analysis,
+            parent: Some(parent),
+            pivot_pos: Some(p),
+            depth: parent_depth + 1,
+            expanded: false,
+            parent_distance: distance,
+            intervals: Vec::new(),
+        })
     }
 
     /// Interval partitioning (Fig. 7 line 10): assign each non-root node
     /// the completion-time interval in which switching to it beats staying
     /// with the parent.
+    ///
+    /// Each node's sweep reads only its own and its parent's schedule, so
+    /// the (sample-count × node-count) utility evaluations — the dominant
+    /// cost of large-budget synthesis — run across all nodes in parallel.
     fn partition_intervals(&mut self) {
-        for i in 1..self.nodes.len() {
-            let (parent, pivot_pos) = {
-                let n = &self.nodes[i];
-                (
-                    n.parent.expect("non-root node has a parent"),
-                    n.pivot_pos.expect("non-root node has a pivot"),
-                )
-            };
-            let intervals = self.switch_intervals(parent, i, pivot_pos);
-            self.nodes[i].intervals = intervals;
+        let n = self.nodes.len();
+        if n <= 1 {
+            return;
+        }
+        let intervals = par::par_map_collect(n - 1, |idx| {
+            let i = idx + 1;
+            let node = &self.nodes[i];
+            let parent = node.parent.expect("non-root node has a parent");
+            let pivot_pos = node.pivot_pos.expect("non-root node has a pivot");
+            self.switch_intervals(parent, i, pivot_pos)
+        });
+        for (idx, iv) in intervals.into_iter().enumerate() {
+            self.nodes[idx + 1].intervals = iv;
         }
     }
 
@@ -332,6 +389,14 @@ impl<'a> TreeBuilder<'a> {
         let range = hi_sweep.as_ms() - lo.as_ms();
         let step = (range / u64::from(self.config.interval_samples)).max(1);
 
+        // Hoisted per-arc state: the schedules' dropped masks and stale
+        // seeds are start-time independent, so the hundreds of sweep
+        // samples below share them through a scratch buffer instead of
+        // reallocating per utility pass.
+        let child_base = SuffixUtilityBase::of(app, &cn.schedule);
+        let parent_base = SuffixUtilityBase::of(app, &pn.schedule);
+        let mut scratch = SuffixUtilityScratch::default();
+
         let mut runs: Vec<(Time, Time)> = Vec::new();
         let mut run_start: Option<Time> = None;
         let mut last_good = Time::ZERO;
@@ -340,15 +405,25 @@ impl<'a> TreeBuilder<'a> {
             let tc = Time::from_ms(tc_ms);
             let good = tc <= child_safe && {
                 let est = self.config.estimator;
-                let u_child =
-                    expected_suffix_utility_est(app, &cn.schedule, &cn.analysis, 0, tc, est);
-                let u_parent = expected_suffix_utility_est(
+                let u_child = expected_suffix_utility_est_scratch(
+                    app,
+                    &cn.schedule,
+                    &cn.analysis,
+                    0,
+                    tc,
+                    est,
+                    &child_base,
+                    &mut scratch,
+                );
+                let u_parent = expected_suffix_utility_est_scratch(
                     app,
                     &pn.schedule,
                     &pn.analysis,
                     pivot_pos + 1,
                     tc,
                     est,
+                    &parent_base,
+                    &mut scratch,
                 );
                 u_child > u_parent + 1e-9
             };
@@ -508,7 +583,10 @@ mod tests {
         let (app, [p1, p2, p3]) = fig1_app();
         let tree = ftqs(&app, &FtqsConfig::with_budget(1)).unwrap();
         assert_eq!(tree.len(), 1);
-        assert_eq!(tree.node(tree.root()).schedule.order_key(), vec![p1, p3, p2]);
+        assert_eq!(
+            tree.node(tree.root()).schedule.order_key(),
+            vec![p1, p3, p2]
+        );
         let _ = p2;
     }
 
@@ -539,10 +617,20 @@ mod tests {
                 let ca = cn.schedule.analyze(&app);
                 let ra = root.schedule.analyze(&app);
                 let u_child = crate::fschedule::expected_suffix_utility_est(
-                    &app, &cn.schedule, &ca, 0, tc, est,
+                    &app,
+                    &cn.schedule,
+                    &ca,
+                    0,
+                    tc,
+                    est,
                 );
                 let u_parent = crate::fschedule::expected_suffix_utility_est(
-                    &app, &root.schedule, &ra, 1, tc, est,
+                    &app,
+                    &root.schedule,
+                    &ra,
+                    1,
+                    tc,
+                    est,
                 );
                 assert!(
                     u_child > u_parent,
@@ -645,10 +733,7 @@ mod tests {
             .switch_target(tree.root(), 0, t(20))
             .expect("early completion of head must switch");
         assert!(
-            tree.node(child)
-                .schedule
-                .order_key()
-                .contains(&fragile),
+            tree.node(child).schedule.order_key().contains(&fragile),
             "the child must revive the dropped process"
         );
     }

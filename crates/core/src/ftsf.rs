@@ -15,9 +15,7 @@
 //! 3. while the worst-case analysis reports a hard-deadline violation, drop
 //!    the soft entry with the lowest expected utility contribution.
 
-use crate::fschedule::{
-    expected_suffix_utility, FSchedule, ScheduleContext, ScheduleEntry,
-};
+use crate::fschedule::{expected_suffix_utility, FSchedule, ScheduleContext, ScheduleEntry};
 use crate::ftss::{ftss, FtssConfig};
 use crate::{Application, FaultModel, SchedulingError, Time};
 
@@ -72,7 +70,7 @@ pub fn ftsf(app: &Application, config: &FtssConfig) -> Result<FSchedule, Schedul
                     .expect("soft process has a utility function")
                     .value(now);
                 let contribution = a * u;
-                if cheapest.map_or(true, |(c, _)| contribution < c) {
+                if cheapest.is_none_or(|(c, _)| contribution < c) {
                     cheapest = Some((contribution, pos));
                 }
             }
@@ -163,12 +161,7 @@ mod tests {
     fn ftsf_never_beats_ftss_on_fig1() {
         let (app, _) = fig1_app(300);
         let baseline = ftsf(&app, &FtssConfig::default()).unwrap();
-        let smart = ftss(
-            &app,
-            &ScheduleContext::root(&app),
-            &FtssConfig::default(),
-        )
-        .unwrap();
+        let smart = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).unwrap();
         assert!(expected_utility(&app, &baseline) <= expected_utility(&app, &smart) + 1e-9);
     }
 
@@ -178,8 +171,16 @@ mod tests {
         // leave room for both soft processes in the worst case... choose a
         // tight hard deadline instead, forcing dropping.
         let mut b = Application::builder(t(400), FaultModel::new(2, t(10)));
-        let cheap = b.add_soft("cheap", et(50, 100), UtilityFunction::constant(1.0).unwrap());
-        let rich = b.add_soft("rich", et(50, 100), UtilityFunction::constant(100.0).unwrap());
+        let cheap = b.add_soft(
+            "cheap",
+            et(50, 100),
+            UtilityFunction::constant(1.0).unwrap(),
+        );
+        let rich = b.add_soft(
+            "rich",
+            et(50, 100),
+            UtilityFunction::constant(100.0).unwrap(),
+        );
         // Hard process must finish by 380 even with 2 faults (2x110 = 220
         // delay + own 100 wcet = 320 alone). Any soft in front (100 wcet)
         // busts it: 100 + 320 = 420 > 380 - so FTSF must drop soft entries

@@ -27,12 +27,48 @@
 //! while the utility is maximized for average execution times": all
 //! schedulability tests use WCET + shared fault delay, all utility
 //! estimates use AET.
+//!
+//! # Performance
+//!
+//! FTSS is the synthesis inner loop — FTQS re-runs it once per tree-node
+//! pivot position — so its hot paths are allocation-free and mostly
+//! incremental:
+//!
+//! * The committed prefix's slack items live in a
+//!   [`FaultDelayAccumulator`] instead of being cloned and re-sorted per
+//!   probe.
+//! * `SiH` schedulability probes collapse to integer comparisons against
+//!   cached *suffix slacks*: the pending hard set's EDF order only changes
+//!   when a hard process is committed, and a soft candidate's slack item
+//!   carries no allowance, so `slack[r] = min_j (d_j − W_j − D_j(r))` is
+//!   rebuilt at most once per commit and answers both soft-candidate
+//!   probes (`start ≤ slack[k]`) and re-execution probes (`∀t: start +
+//!   t·penalty ≤ slack[k−t]`, via the knapsack decomposition over one
+//!   added item) in O(k).
+//! * Hard-candidate probes exploit that every probe item carries the full
+//!   `k` allowance: the shared delay folds to `max_t (t·p_max +
+//!   D_C(k−t))` over the committed-only delay table, so the precedence-
+//!   heap walk performs no accumulator mutation at all.
+//! * All hypothetical-schedule state (`Si′`/`Si″` soft placements and
+//!   ready lists, probe membership marks, scratch stale coefficients)
+//!   lives in a [`SynthesisScratch`] of dense `NodeId`-indexed tables
+//!   reused across iterations; per-call set membership uses generation
+//!   stamps, so nothing is re-zeroed.
+//! * `Si′`/`Si″` estimates track soft-subgraph readiness by indegree with
+//!   per-candidate stale coefficients cached at readiness (they are
+//!   constant within an estimate), and the MU priority reads dense model
+//!   tables plus precomputed soft-successor lists.
+//!
+//! The straightforward implementation is preserved verbatim in
+//! [`crate::oracle::ftss_reference`]; equivalence tests pin this optimized
+//! scheduler to bit-identical output (`tests/equivalence.rs`).
 
 use crate::fschedule::{FSchedule, ScheduleContext, ScheduleEntry, StaleAlpha};
-use crate::priority::{mu_priority, PriorityContext};
-use crate::wcdelay::{worst_case_fault_delay, SlackItem};
-use crate::{Application, SchedulingError, Time};
+use crate::wcdelay::{worst_case_fault_delay, FaultDelayAccumulator, SlackItem};
+use crate::{Application, SchedulingError, Time, UtilityFunction};
 use ftqs_graph::NodeId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Tuning knobs of [`ftss`]. The defaults reproduce the paper's heuristic;
 /// the switches exist for the ablation experiments in the bench crate.
@@ -55,6 +91,65 @@ impl Default for FtssConfig {
             soft_reexecution: true,
             successor_weight: 0.5,
         }
+    }
+}
+
+/// Reusable buffers for the FTSS inner loops (see the module's
+/// *Performance* notes): dense `NodeId`-indexed tables for hypothetical
+/// schedules, a deadline heap for the `SiH` walk, scratch stale
+/// coefficients, and the accumulator undo log. One instance lives for a
+/// whole synthesis run; every probe borrows it instead of allocating.
+#[derive(Debug)]
+struct SynthesisScratch {
+    /// Generation-stamped membership/placement marks, by node index.
+    /// `mark[i] == stamp` means "in the current probe's set".
+    mark: Vec<u32>,
+    /// Current generation; bumped per probe instead of clearing `mark`.
+    stamp: u32,
+    /// Pending-predecessor counts within the current probe's node set
+    /// (hard set for `SiH` walks, soft set for `Si′`/`Si″` estimates).
+    pending_degree: Vec<u32>,
+    /// Deadline-ordered ready heap for the `SiH` hard-suffix walk.
+    heap: BinaryHeap<Reverse<(Time, NodeId)>>,
+    /// Pending soft processes of the current `Si′`/`Si″` estimate.
+    pending_soft: Vec<NodeId>,
+    /// Ready (un-gated, unplaced) soft candidates of the current estimate,
+    /// with their cached hypothetical stale coefficients — a candidate's
+    /// coefficient cannot change while it stays ready, so it is computed
+    /// once at readiness instead of once per selection round.
+    ready_soft: Vec<(NodeId, f64)>,
+    /// Scratch stale coefficients (copied from the committed state).
+    alpha: StaleAlpha,
+    /// Probe items currently pushed onto the accumulator, for rollback.
+    undo: Vec<SlackItem>,
+    /// Per-budget delay buffer for batched accumulator queries.
+    delay_buf: Vec<Time>,
+}
+
+impl SynthesisScratch {
+    fn for_app(app: &Application) -> Self {
+        let n = app.len();
+        SynthesisScratch {
+            mark: vec![0; n],
+            stamp: 0,
+            pending_degree: vec![0; n],
+            heap: BinaryHeap::new(),
+            pending_soft: Vec::with_capacity(n),
+            ready_soft: Vec::with_capacity(n),
+            alpha: StaleAlpha::new(app, &vec![false; n]),
+            undo: Vec::with_capacity(n),
+            delay_buf: Vec::new(),
+        }
+    }
+
+    /// Opens a fresh mark generation (O(1) except after `u32` wrap-around).
+    fn next_stamp(&mut self) -> u32 {
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            self.mark.fill(0);
+            self.stamp = 1;
+        }
+        self.stamp
     }
 }
 
@@ -90,7 +185,50 @@ struct Scheduler<'a> {
     alpha: StaleAlpha,
     avg_clock: Time,
     wcet_clock: Time,
+    /// Committed slack items, in schedule order (cold paths only).
     slack_items: Vec<SlackItem>,
+    /// The same items as an incremental multiset (hot-path probes).
+    acc: FaultDelayAccumulator,
+    scratch: SynthesisScratch,
+    // Dense model tables, indexed by node index — the probe inner loops
+    // run thousands of times per synthesis and must not chase
+    // `Application` payloads repeatedly.
+    wcet_of: Vec<Time>,
+    aet_of: Vec<Time>,
+    penalty_of: Vec<Time>,
+    /// Hard deadline per node; `Time::MAX` for soft nodes (never read).
+    deadline_of: Vec<Time>,
+    hard_of: Vec<bool>,
+    /// Utility function per node (`None` for hard nodes).
+    utility_of: Vec<Option<&'a UtilityFunction>>,
+    /// MU-priority density denominator per node (`max(aet, 1)` as f64).
+    denom_of: Vec<f64>,
+    /// All hard / soft process ids, in node-index order (the same order
+    /// `app.hard_processes()` / `app.soft_processes()` yield).
+    hards: Vec<NodeId>,
+    softs: Vec<NodeId>,
+    /// Soft successors per node, with their cached density denominators
+    /// and AETs — hard successors never contribute to the MU lookahead
+    /// term, so they are filtered out once instead of per evaluation.
+    soft_succs: Vec<Vec<(NodeId, f64, Time)>>,
+    /// Pending hard processes in EDF-with-precedence order. The pending
+    /// hard set only shrinks when a hard process is *committed* (hard
+    /// processes are never dropped), so this order is reused by every
+    /// soft-candidate `SiH` probe in between — each probe becomes a linear
+    /// walk instead of a heap rebuild.
+    edf_cache: Vec<NodeId>,
+    edf_cache_valid: bool,
+    /// Cached `slack[r] = min_j (d_j − W_j − D_j(r))` over the EDF suffix
+    /// (ms, signed), for every remaining budget `r ≤ k`, where `D_j(r)` is
+    /// the worst `r`-fault delay of the committed prefix plus the hard
+    /// items up to `j`. Because the greedy knapsack optimum decomposes
+    /// over one extra item — `delay(C ∪ {(p,a)}, k) = max_t (t·p +
+    /// delay(C, k−t))` — both soft-candidate probes (`start ≤ slack[k]`)
+    /// and re-execution-allowance probes (`∀t ≤ a: start + t·p ≤
+    /// slack[k−t]`) become O(k) lookups. Invalidated whenever a process is
+    /// committed (the prefix grows).
+    slack_by_budget: Vec<i128>,
+    soft_slack_valid: bool,
 }
 
 impl<'a> Scheduler<'a> {
@@ -118,6 +256,40 @@ impl<'a> Scheduler<'a> {
             .map(|i| !resolved[i] && pending_preds[i] == 0)
             .collect();
         let alpha = StaleAlpha::new(app, &dropped);
+        let mut wcet_of = Vec::with_capacity(n);
+        let mut aet_of = Vec::with_capacity(n);
+        let mut penalty_of = Vec::with_capacity(n);
+        let mut deadline_of = Vec::with_capacity(n);
+        let mut hard_of = Vec::with_capacity(n);
+        let mut hards = Vec::new();
+        let mut softs = Vec::new();
+        let mut utility_of = Vec::with_capacity(n);
+        let mut denom_of = Vec::with_capacity(n);
+        for node in app.processes() {
+            let p = app.process(node);
+            wcet_of.push(p.times().wcet());
+            aet_of.push(p.times().aet());
+            penalty_of.push(app.recovery_penalty(node));
+            deadline_of.push(p.criticality().deadline().unwrap_or(Time::MAX));
+            hard_of.push(p.is_hard());
+            utility_of.push(p.criticality().utility());
+            denom_of.push(p.times().aet().as_ms().max(1) as f64);
+            if p.is_hard() {
+                hards.push(node);
+            } else {
+                softs.push(node);
+            }
+        }
+        let soft_succs = app
+            .processes()
+            .map(|node| {
+                app.graph()
+                    .successors(node)
+                    .filter(|j| !hard_of[j.index()])
+                    .map(|j| (j, denom_of[j.index()], aet_of[j.index()]))
+                    .collect()
+            })
+            .collect();
         Scheduler {
             app,
             ctx,
@@ -133,7 +305,54 @@ impl<'a> Scheduler<'a> {
             avg_clock: ctx.start,
             wcet_clock: ctx.start,
             slack_items: Vec::new(),
+            acc: FaultDelayAccumulator::new(),
+            scratch: SynthesisScratch::for_app(app),
+            wcet_of,
+            aet_of,
+            penalty_of,
+            deadline_of,
+            hard_of,
+            utility_of,
+            denom_of,
+            hards,
+            softs,
+            soft_succs,
+            edf_cache: Vec::new(),
+            edf_cache_valid: false,
+            slack_by_budget: Vec::new(),
+            soft_slack_valid: false,
         }
+    }
+
+    /// Mean-utility-density priority (the `MU` function of
+    /// [`crate::priority`]) computed from the dense model tables — the
+    /// identical formula and float-operation order, minus the payload
+    /// chasing; this runs O(s²) times per `Si′`/`Si″` estimate.
+    fn mu_priority_fast(
+        &self,
+        s: NodeId,
+        now: Time,
+        alpha: f64,
+        mut is_pending: impl FnMut(NodeId) -> bool,
+    ) -> f64 {
+        let u = self.utility_of[s.index()].expect("MU priority is defined for soft processes only");
+        let own_completion = now + self.aet_of[s.index()];
+        let mut score = alpha * u.value(own_completion) / self.denom_of[s.index()];
+        let w = self.config.successor_weight;
+        if w != 0.0 {
+            let mut succ_sum = 0.0;
+            // Soft successors only — hard successors pass the pending gate
+            // but carry no utility, contributing nothing to the sum.
+            for &(j, denom_j, aet_j) in &self.soft_succs[s.index()] {
+                if !is_pending(j) {
+                    continue;
+                }
+                let uj = self.utility_of[j.index()].expect("soft successor has a utility function");
+                succ_sum += uj.value(own_completion + aet_j) / denom_j;
+            }
+            score += w * succ_sum;
+        }
+        score
     }
 
     fn run(mut self) -> Result<FSchedule, SchedulingError> {
@@ -148,7 +367,7 @@ impl<'a> Scheduler<'a> {
             while schedulable.is_empty() {
                 let ready_soft: Vec<NodeId> = self
                     .ready_nodes()
-                    .filter(|&n| !self.app.is_hard(n))
+                    .filter(|&n| !self.hard_of[n.index()])
                     .collect();
                 if ready_soft.is_empty() {
                     return Err(self.unschedulable_diagnosis());
@@ -200,18 +419,22 @@ impl<'a> Scheduler<'a> {
         loop {
             let candidates: Vec<NodeId> = self
                 .ready_nodes()
-                .filter(|&n| !self.app.is_hard(n))
+                .filter(|&n| !self.hard_of[n.index()])
                 .collect();
             let mut dropped_any = false;
+            // `Si′` (nothing extra dropped) only changes when a drop
+            // commits, so it is computed once and refreshed after drops
+            // instead of per candidate.
+            let mut with = self.soft_suffix_estimate(None);
             for pi in candidates {
                 if !self.ready[pi.index()] || self.resolved[pi.index()] {
                     continue;
                 }
-                let with = self.soft_suffix_estimate(None);
                 let without = self.soft_suffix_estimate(Some(pi));
                 if with <= without {
                     self.drop_process(pi);
                     dropped_any = true;
+                    with = self.soft_suffix_estimate(None);
                 }
             }
             if !dropped_any {
@@ -227,63 +450,84 @@ impl<'a> Scheduler<'a> {
     ///
     /// Hard predecessors are treated as satisfied — they will execute, so
     /// they neither gate readiness nor degrade stale coefficients here.
-    fn soft_suffix_estimate(&self, extra_drop: Option<NodeId>) -> f64 {
+    ///
+    /// Placement state and the hypothetical stale coefficients live in
+    /// [`SynthesisScratch`]; the only per-call cost beyond the list
+    /// scheduling itself is one `memcpy` of the committed coefficients.
+    fn soft_suffix_estimate(&mut self, extra_drop: Option<NodeId>) -> f64 {
         let app = self.app;
-        let mut alpha = self.alpha.clone();
+        self.scratch.alpha.copy_from(&self.alpha);
         if let Some(d) = extra_drop {
-            alpha.mark_dropped(d);
+            self.scratch.alpha.mark_dropped(d);
         }
         // Pending soft processes to place.
-        let pending_soft: Vec<NodeId> = app
-            .soft_processes()
-            .filter(|&s| self.is_pending(s) && Some(s) != extra_drop)
-            .collect();
+        {
+            let resolved = &self.resolved;
+            let softs = &self.softs;
+            self.scratch.pending_soft.clear();
+            self.scratch.pending_soft.extend(
+                softs
+                    .iter()
+                    .copied()
+                    .filter(|&s| !resolved[s.index()] && Some(s) != extra_drop),
+            );
+        }
         // Readiness within the soft-induced subgraph: a pending soft is
         // ready when none of its pending soft ancestors is unplaced.
-        let mut placed = vec![false; app.len()];
+        // Tracked by in-set predecessor counts feeding a ready list:
+        // `mark == in_set` marks the estimate's candidate set,
+        // `mark == placed` marks hypothetically placed candidates.
+        let in_set = self.scratch.next_stamp();
+        let placed = self.scratch.next_stamp();
+        for idx in 0..self.scratch.pending_soft.len() {
+            let s = self.scratch.pending_soft[idx];
+            self.scratch.mark[s.index()] = in_set;
+        }
         let mut now = self.avg_clock;
+        self.scratch.ready_soft.clear();
+        for idx in 0..self.scratch.pending_soft.len() {
+            let s = self.scratch.pending_soft[idx];
+            let degree = app
+                .graph()
+                .predecessors(s)
+                .filter(|p| self.scratch.mark[p.index()] == in_set)
+                .count();
+            self.scratch.pending_degree[s.index()] = degree as u32;
+            if degree == 0 {
+                let a = alpha_preview(app, &mut self.scratch.alpha, s);
+                self.scratch.ready_soft.push((s, a));
+            }
+        }
         let mut total = 0.0;
-        let mut remaining = pending_soft.len();
-        while remaining > 0 {
-            // Ready softs: all pending-soft predecessors placed.
-            let mut best: Option<(f64, NodeId)> = None;
-            for &s in &pending_soft {
-                if placed[s.index()] {
-                    continue;
-                }
-                let gated = app.graph().predecessors(s).any(|p| {
-                    !placed[p.index()]
-                        && self.is_pending(p)
-                        && !app.is_hard(p)
-                        && Some(p) != extra_drop
-                });
-                if gated {
-                    continue;
-                }
-                let a = alpha_preview(app, &mut alpha, s);
-                let pr = mu_priority(
-                    &PriorityContext {
-                        app,
-                        now,
-                        alpha: a,
-                        successor_weight: self.config.successor_weight,
-                    },
-                    s,
-                    |j| self.is_pending(j) && !placed[j.index()] && Some(j) != extra_drop,
-                );
-                if best.map_or(true, |(bp, bn)| pr > bp || (pr == bp && s < bn)) {
-                    best = Some((pr, s));
+        while !self.scratch.ready_soft.is_empty() {
+            // Argmax of the MU priority over the ready candidates (ties by
+            // smallest id) — order-independent, so the ready list needs no
+            // particular ordering and placed entries are swap-removed.
+            let mut best: Option<(f64, NodeId, usize)> = None;
+            for pos in 0..self.scratch.ready_soft.len() {
+                let (s, a) = self.scratch.ready_soft[pos];
+                let mark = &self.scratch.mark;
+                let pr = self.mu_priority_fast(s, now, a, |j| mark[j.index()] == in_set);
+                if best.is_none_or(|(bp, bn, _)| pr > bp || (pr == bp && s < bn)) {
+                    best = Some((pr, s, pos));
                 }
             }
-            let Some((_, s)) = best else {
-                break; // only gated softs remain (cycle impossible; gated by hard handled above)
-            };
-            placed[s.index()] = true;
-            remaining -= 1;
-            now += app.process(s).times().aet();
-            let a = alpha.resolve(app, s);
-            if let Some(u) = app.process(s).criticality().utility() {
-                total += a * u.value(now);
+            let Some((_, s, pos)) = best else { break };
+            self.scratch.ready_soft.swap_remove(pos);
+            self.scratch.mark[s.index()] = placed;
+            now += self.aet_of[s.index()];
+            let av = self.scratch.alpha.resolve(app, s);
+            if let Some(u) = self.utility_of[s.index()] {
+                total += av * u.value(now);
+            }
+            for j in app.graph().successors(s) {
+                if self.scratch.mark[j.index()] == in_set {
+                    self.scratch.pending_degree[j.index()] -= 1;
+                    if self.scratch.pending_degree[j.index()] == 0 {
+                        let aj = alpha_preview(app, &mut self.scratch.alpha, j);
+                        self.scratch.ready_soft.push((j, aj));
+                    }
+                }
             }
         }
         total
@@ -291,102 +535,243 @@ impl<'a> Scheduler<'a> {
 
     // ----- GetSchedulable (FTSS line 4) ----------------------------------
 
-    fn schedulable_set(&self, ready: &[NodeId]) -> Vec<NodeId> {
-        ready
-            .iter()
-            .copied()
-            .filter(|&n| self.leads_to_schedulable(n))
-            .collect()
+    fn schedulable_set(&mut self, ready: &[NodeId]) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(ready.len());
+        for &n in ready {
+            if self.leads_to_schedulable(n) {
+                out.push(n);
+            }
+        }
+        out
     }
 
     /// The `SiH` test: candidate first (with `k` re-executions if hard,
     /// none yet if soft), then every unscheduled hard process in
     /// deadline-order list-scheduling, all soft dropped; every hard
     /// deadline must hold at WCET plus the shared `k`-fault delay.
-    fn leads_to_schedulable(&self, candidate: NodeId) -> bool {
-        let app = self.app;
-        let mut wcet = self.wcet_clock;
-        let mut items = self.slack_items.clone();
-        let candidate_hard = app.is_hard(candidate);
-        wcet += app.process(candidate).times().wcet();
-        items.push(SlackItem::new(
-            app.recovery_penalty(candidate),
-            if candidate_hard { self.k } else { 0 },
-        ));
-        if candidate_hard {
-            let d = app
-                .process(candidate)
-                .criticality()
-                .deadline()
-                .expect("hard process has a deadline");
-            if wcet + worst_case_fault_delay(&items, self.k) > d {
-                return false;
+    ///
+    /// Neither probe path mutates the accumulator: soft candidates compare
+    /// against the cached suffix slack, hard candidates fold their
+    /// full-allowance items into `folded_delay` over the committed-only
+    /// delay table.
+    fn leads_to_schedulable(&mut self, candidate: NodeId) -> bool {
+        let candidate_hard = self.hard_of[candidate.index()];
+        let wcet = self.wcet_clock + self.wcet_of[candidate.index()];
+        if !candidate_hard {
+            // A soft candidate's slack item carries no allowance, so the
+            // whole probe collapses to one comparison against the cached
+            // suffix slack (no deadline of its own to check either).
+            if !self.soft_slack_valid {
+                self.rebuild_soft_slack();
             }
+            return wcet.as_ms() as i128 <= self.slack_by_budget[self.k];
         }
-        self.hard_suffix_feasible(candidate, wcet, &mut items)
+        // Hard candidate: every probe item (the candidate's own and the
+        // suffix hards') has allowance k, so the shared delay folds to
+        // `max_t (t · p_max + D_C(k−t))` over the committed-only delays
+        // D_C — no accumulator mutation anywhere in the probe.
+        let k = self.k;
+        self.scratch.delay_buf.resize(k + 1, Time::ZERO);
+        self.acc.delay_upto(&mut self.scratch.delay_buf);
+        let p_cand = self.penalty_of[candidate.index()];
+        let d = self.deadline_of[candidate.index()];
+        if wcet + folded_delay(&self.scratch.delay_buf, p_cand, k) > d {
+            return false;
+        }
+        self.hard_suffix_feasible_excluding(candidate, wcet, p_cand)
     }
 
-    /// List-schedules the remaining hard processes (excluding `skip`) by
-    /// earliest deadline under precedence, checking each deadline.
-    fn hard_suffix_feasible(&self, skip: NodeId, mut wcet: Time, items: &mut Vec<SlackItem>) -> bool {
+    /// Feasibility of granting the just-picked soft process a slack item
+    /// `(penalty, allowance)` on top of the committed prefix: by the
+    /// knapsack decomposition (see [`Self::slack_by_budget`]), every hard
+    /// deadline holds iff `start + t·penalty ≤ slack[k − t]` for every
+    /// fault split `t ≤ min(allowance, k)`.
+    fn reexecution_feasible(&mut self, start: Time, penalty: Time, allowance: usize) -> bool {
+        if !self.soft_slack_valid {
+            self.rebuild_soft_slack();
+        }
+        let base = start.as_ms() as i128;
+        let p = penalty.as_ms() as i128;
+        (0..=allowance.min(self.k))
+            .all(|t| base + t as i128 * p <= self.slack_by_budget[self.k - t])
+    }
+
+    /// Recomputes [`Self::slack_by_budget`] from the cached EDF order and
+    /// the committed shared-slack state.
+    fn rebuild_soft_slack(&mut self) {
+        if !self.edf_cache_valid {
+            self.rebuild_edf_cache();
+        }
+        let k = self.k;
+        let undo_mark = self.scratch.undo.len();
+        self.slack_by_budget.clear();
+        self.slack_by_budget.resize(k + 1, i128::MAX);
+        let mut w = Time::ZERO;
+        self.scratch.delay_buf.clear();
+        self.scratch.delay_buf.resize(k + 1, Time::ZERO);
+        for i in 0..self.edf_cache.len() {
+            let h = self.edf_cache[i];
+            w += self.wcet_of[h.index()];
+            let item = SlackItem::new(self.penalty_of[h.index()], k);
+            self.acc.push(item);
+            self.scratch.undo.push(item);
+            let d = self.deadline_of[h.index()].as_ms() as i128;
+            self.acc.delay_upto(&mut self.scratch.delay_buf);
+            for r in 0..=k {
+                let need = (w + self.scratch.delay_buf[r]).as_ms() as i128;
+                let slot = &mut self.slack_by_budget[r];
+                *slot = (*slot).min(d - need);
+            }
+        }
+        self.rollback_probe(undo_mark);
+        self.soft_slack_valid = true;
+    }
+
+    /// Rebuilds [`Self::edf_cache`]: the pending hard processes in
+    /// earliest-deadline order under precedence (ties by node id), exactly
+    /// the order the heap walk of
+    /// [`Self::hard_suffix_feasible_excluding`] visits.
+    fn rebuild_edf_cache(&mut self) {
         let app = self.app;
-        let hards: Vec<NodeId> = app
-            .hard_processes()
-            .filter(|&h| h != skip && self.is_pending(h))
-            .collect();
-        if hards.is_empty() {
+        self.edf_cache.clear();
+        let stamp = self.scratch.next_stamp();
+        for i in 0..self.hards.len() {
+            let h = self.hards[i];
+            if !self.resolved[h.index()] {
+                self.scratch.mark[h.index()] = stamp;
+            }
+        }
+        self.scratch.heap.clear();
+        for i in 0..self.hards.len() {
+            let h = self.hards[i];
+            if self.scratch.mark[h.index()] != stamp {
+                continue;
+            }
+            let preds = app
+                .graph()
+                .predecessors(h)
+                .filter(|p| self.scratch.mark[p.index()] == stamp)
+                .count();
+            self.scratch.pending_degree[h.index()] = preds as u32;
+            if preds == 0 {
+                self.scratch
+                    .heap
+                    .push(Reverse((self.deadline_of[h.index()], h)));
+            }
+        }
+        while let Some(Reverse((_, h))) = self.scratch.heap.pop() {
+            self.edf_cache.push(h);
+            for su in app.graph().successors(h) {
+                if self.scratch.mark[su.index()] == stamp {
+                    self.scratch.pending_degree[su.index()] -= 1;
+                    if self.scratch.pending_degree[su.index()] == 0 {
+                        self.scratch
+                            .heap
+                            .push(Reverse((self.deadline_of[su.index()], su)));
+                    }
+                }
+            }
+        }
+        self.edf_cache_valid = true;
+    }
+
+    /// The general `SiH` walk with `skip` excluded from the hard set (used
+    /// for hard candidates, whose own entry precedes the suffix).
+    fn hard_suffix_feasible_excluding(
+        &mut self,
+        skip: NodeId,
+        mut wcet: Time,
+        p_cand: Time,
+    ) -> bool {
+        let app = self.app;
+        let k = self.k;
+        // Membership pass: the pending hard set, excluding `skip`.
+        let stamp = self.scratch.next_stamp();
+        let mut count = 0usize;
+        for i in 0..self.hards.len() {
+            let h = self.hards[i];
+            if h != skip && !self.resolved[h.index()] {
+                self.scratch.mark[h.index()] = stamp;
+                count += 1;
+            }
+        }
+        if count == 0 {
             return true;
         }
         // Precedence among the remaining hard processes only: soft (and the
         // candidate) are assumed dropped/already placed, so they do not
-        // gate hard readiness here.
-        let mut placed = vec![false; app.len()];
-        let mut count = hards.len();
-        while count > 0 {
-            let mut best: Option<(Time, NodeId)> = None;
-            for &h in &hards {
-                if placed[h.index()] {
-                    continue;
-                }
-                let gated = app
-                    .graph()
-                    .predecessors(h)
-                    .any(|p| hards.contains(&p) && !placed[p.index()]);
-                if gated {
-                    continue;
-                }
-                let d = app
-                    .process(h)
-                    .criticality()
-                    .deadline()
-                    .expect("hard process has a deadline");
-                if best.map_or(true, |(bd, bn)| d < bd || (d == bd && h < bn)) {
-                    best = Some((d, h));
-                }
+        // gate hard readiness here. Readiness is tracked by in-set
+        // predecessor counts feeding a (deadline, id)-ordered heap — the
+        // same earliest-deadline-first selection as a repeated min-scan.
+        self.scratch.heap.clear();
+        for i in 0..self.hards.len() {
+            let h = self.hards[i];
+            if self.scratch.mark[h.index()] != stamp {
+                continue;
             }
-            let Some((d, h)) = best else {
-                return false;
-            };
-            placed[h.index()] = true;
-            count -= 1;
-            wcet += app.process(h).times().wcet();
-            items.push(SlackItem::new(app.recovery_penalty(h), self.k));
-            if wcet + worst_case_fault_delay(items, self.k) > d {
-                return false;
+            let preds = app
+                .graph()
+                .predecessors(h)
+                .filter(|p| self.scratch.mark[p.index()] == stamp)
+                .count();
+            self.scratch.pending_degree[h.index()] = preds as u32;
+            if preds == 0 {
+                self.scratch
+                    .heap
+                    .push(Reverse((self.deadline_of[h.index()], h)));
             }
         }
-        true
+        // Walk, folding every k-allowance item into the running maximum
+        // penalty: `delay = max_t (t · p_max + D_C(k−t))` is exact because
+        // the budget never exceeds any single item's allowance, so the
+        // greedy optimum takes its in-probe units from the largest penalty
+        // alone. `cur_delay` only changes when `p_max` grows.
+        let mut p_max = p_cand;
+        let mut cur_delay = folded_delay(&self.scratch.delay_buf, p_max, k);
+        while let Some(Reverse((d, h))) = self.scratch.heap.pop() {
+            count -= 1;
+            wcet += self.wcet_of[h.index()];
+            let p_h = self.penalty_of[h.index()];
+            if p_h > p_max {
+                p_max = p_h;
+                cur_delay = folded_delay(&self.scratch.delay_buf, p_max, k);
+            }
+            if wcet + cur_delay > d {
+                return false;
+            }
+            for s in app.graph().successors(h) {
+                if self.scratch.mark[s.index()] == stamp {
+                    self.scratch.pending_degree[s.index()] -= 1;
+                    if self.scratch.pending_degree[s.index()] == 0 {
+                        self.scratch
+                            .heap
+                            .push(Reverse((self.deadline_of[s.index()], s)));
+                    }
+                }
+            }
+        }
+        count == 0
+    }
+
+    /// Removes every probe item pushed after `undo_mark`, restoring the
+    /// committed accumulator state exactly.
+    fn rollback_probe(&mut self, undo_mark: usize) {
+        while self.scratch.undo.len() > undo_mark {
+            let item = self.scratch.undo.pop().expect("undo log is non-empty");
+            self.acc.remove(item);
+        }
     }
 
     // ----- ForcedDropping (FTSS lines 5-9) --------------------------------
 
     fn forced_dropping(&mut self, ready_soft: &[NodeId]) {
+        // No state changes inside the loop, so `Si′` is loop-invariant.
+        let with = self.soft_suffix_estimate(None);
         let mut best: Option<(f64, NodeId)> = None;
         for &s in ready_soft {
-            let with = self.soft_suffix_estimate(None);
             let without = self.soft_suffix_estimate(Some(s));
             let loss = with - without;
-            if best.map_or(true, |(bl, bn)| loss < bl || (loss == bl && s < bn)) {
+            if best.is_none_or(|(bl, bn)| loss < bl || (loss == bl && s < bn)) {
                 best = Some((loss, s));
             }
         }
@@ -401,23 +786,15 @@ impl<'a> Scheduler<'a> {
         let softs: Vec<NodeId> = schedulable
             .iter()
             .copied()
-            .filter(|&n| !self.app.is_hard(n))
+            .filter(|&n| !self.hard_of[n.index()])
             .collect();
         if !softs.is_empty() {
             let mut best: Option<(f64, NodeId)> = None;
             for &s in &softs {
                 let a = alpha_preview(self.app, &mut self.alpha, s);
-                let pr = mu_priority(
-                    &PriorityContext {
-                        app: self.app,
-                        now: self.avg_clock,
-                        alpha: a,
-                        successor_weight: self.config.successor_weight,
-                    },
-                    s,
-                    |j| self.is_pending(j),
-                );
-                if best.map_or(true, |(bp, bn)| pr > bp || (pr == bp && s < bn)) {
+                let resolved = &self.resolved;
+                let pr = self.mu_priority_fast(s, self.avg_clock, a, |j| !resolved[j.index()]);
+                if best.is_none_or(|(bp, bn)| pr > bp || (pr == bp && s < bn)) {
                     best = Some((pr, s));
                 }
             }
@@ -426,27 +803,16 @@ impl<'a> Scheduler<'a> {
         schedulable
             .iter()
             .copied()
-            .filter(|&n| self.app.is_hard(n))
-            .min_by_key(|&h| {
-                (
-                    self.app
-                        .process(h)
-                        .criticality()
-                        .deadline()
-                        .expect("hard process has a deadline"),
-                    h,
-                )
-            })
+            .filter(|&n| self.hard_of[n.index()])
+            .min_by_key(|&h| (self.deadline_of[h.index()], h))
     }
 
     // ----- Schedule + AddRecoverySlack (FTSS lines 13-15) -----------------
 
     fn schedule(&mut self, best: NodeId) {
-        let app = self.app;
-        let times = *app.process(best).times();
-        let hard = app.is_hard(best);
+        let hard = self.hard_of[best.index()];
 
-        self.wcet_clock += times.wcet();
+        self.wcet_clock += self.wcet_of[best.index()];
         let reexecutions = if hard {
             self.k
         } else if self.config.soft_reexecution {
@@ -454,14 +820,21 @@ impl<'a> Scheduler<'a> {
         } else {
             0
         };
-        self.slack_items
-            .push(SlackItem::new(app.recovery_penalty(best), reexecutions));
+        let item = SlackItem::new(self.penalty_of[best.index()], reexecutions);
+        self.slack_items.push(item);
+        self.acc.push(item);
+        // A zero-allowance commit adds nothing to the shared-slack
+        // multiset and (for soft processes) leaves the pending hard set
+        // untouched, so the suffix-slack cache stays valid.
+        if hard || reexecutions > 0 {
+            self.soft_slack_valid = false;
+        }
         self.entries.push(ScheduleEntry {
             process: best,
             reexecutions,
         });
-        self.avg_clock += times.aet();
-        self.alpha.resolve(app, best);
+        self.avg_clock += self.aet_of[best.index()];
+        self.alpha.resolve(self.app, best);
         self.mark_resolved(best);
     }
 
@@ -470,48 +843,32 @@ impl<'a> Scheduler<'a> {
     /// schedulable (shared slack grows) and must still produce positive
     /// utility at its worst-case completion ("it is evaluated with the
     /// dropping heuristic", paper §5.2).
-    fn soft_reexecution_allowance(&self, best: NodeId) -> usize {
+    fn soft_reexecution_allowance(&mut self, best: NodeId) -> usize {
         let app = self.app;
         let u = app
             .process(best)
             .criticality()
             .utility()
             .expect("soft process has a utility function");
-        let penalty = app.recovery_penalty(best);
+        let penalty = self.penalty_of[best.index()];
         let completion_base = self.wcet_clock; // includes best's own wcet
+        let period = app.period();
         let mut granted = 0usize;
         while granted < self.k {
             let try_allow = granted + 1;
             // Worst-case completion of the re-executed process itself.
-            let mut items = self.slack_items.clone();
-            items.push(SlackItem::new(penalty, try_allow));
             let own_wc = completion_base + penalty * try_allow as u64;
-            let beneficial = u.value(own_wc) > 0.0 && own_wc <= app.period();
+            let beneficial = u.value(own_wc) > 0.0 && own_wc <= period;
             if !beneficial {
                 break;
             }
-            let mut wcet = self.wcet_clock;
-            let feasible = {
-                let mut probe_items = items.clone();
-                self.hard_suffix_feasible_with(best, &mut wcet, &mut probe_items)
-            };
+            let feasible = self.reexecution_feasible(self.wcet_clock, penalty, try_allow);
             if !feasible {
                 break;
             }
             granted = try_allow;
         }
         granted
-    }
-
-    fn hard_suffix_feasible_with(
-        &self,
-        scheduled: NodeId,
-        wcet: &mut Time,
-        items: &mut Vec<SlackItem>,
-    ) -> bool {
-        // Same check as `hard_suffix_feasible`, but `scheduled` is already
-        // part of the prefix (its item is in `items`).
-        self.hard_suffix_feasible(scheduled, *wcet, items)
     }
 
     // ----- bookkeeping ----------------------------------------------------
@@ -525,6 +882,9 @@ impl<'a> Scheduler<'a> {
     }
 
     fn mark_resolved(&mut self, n: NodeId) {
+        if self.hard_of[n.index()] {
+            self.edf_cache_valid = false;
+        }
         self.resolved[n.index()] = true;
         self.ready[n.index()] = false;
         for s in self.app.graph().successors(n) {
@@ -539,7 +899,9 @@ impl<'a> Scheduler<'a> {
 
     fn unschedulable_diagnosis(&self) -> SchedulingError {
         // Report the tightest-deadline pending hard process with the best
-        // achievable worst-case completion (every soft dropped).
+        // achievable worst-case completion (every soft dropped). Cold path
+        // (executed at most once per synthesis); stays on the simple batch
+        // analysis.
         let app = self.app;
         let mut wcet = self.wcet_clock;
         let mut items = self.slack_items.clone();
@@ -592,16 +954,32 @@ impl<'a> Scheduler<'a> {
     }
 }
 
+/// `max_t (t · p_max + committed[k − t])` — the exact worst-case delay of
+/// the committed multiset plus any set of full-allowance items whose
+/// largest penalty is `p_max` (see the probe docs in [`Scheduler`]).
+fn folded_delay(committed: &[Time], p_max: Time, k: usize) -> Time {
+    let mut best = Time::ZERO;
+    for (t, &rest) in committed.iter().take(k + 1).rev().enumerate() {
+        // iterating r = k..=0 as rest = committed[r], t = k − r
+        let v = p_max * t as u64 + rest;
+        if v > best {
+            best = v;
+        }
+    }
+    best
+}
+
 /// Computes the stale coefficient `id` would execute with, without
 /// committing it (predecessors are resolved as needed — they are already
 /// decided for ready processes).
 fn alpha_preview(app: &Application, alpha: &mut StaleAlpha, id: NodeId) -> f64 {
-    let preds: Vec<NodeId> = app.graph().predecessors(id).collect();
     let mut sum = 0.0;
-    for p in &preds {
-        sum += alpha.resolve(app, *p);
+    let mut count = 0usize;
+    for p in app.graph().predecessors(id) {
+        sum += alpha.resolve(app, p);
+        count += 1;
     }
-    (1.0 + sum) / (1.0 + preds.len() as f64)
+    (1.0 + sum) / (1.0 + count as f64)
 }
 
 #[cfg(test)]
@@ -822,11 +1200,7 @@ mod tests {
     #[test]
     fn soft_reexecution_respects_hard_deadlines() {
         let mut b = Application::builder(t(1000), FaultModel::new(2, t(10)));
-        let sid = b.add_soft(
-            "S",
-            et(100, 100),
-            UtilityFunction::constant(100.0).unwrap(),
-        );
+        let sid = b.add_soft("S", et(100, 100), UtilityFunction::constant(100.0).unwrap());
         // Hard process right after; granting S re-executions would consume
         // the shared budget with penalty 110 each and push H past 420:
         // 100 + 100 + min-delay... With S allowances 2: delay = 2x110 = 220
@@ -841,6 +1215,7 @@ mod tests {
         // deadline in the worst case.
         let hpos = s.position_of(h).unwrap();
         assert!(a.worst_completion(hpos) <= t(350));
+        let _ = sid;
     }
 
     #[test]
@@ -865,5 +1240,26 @@ mod tests {
         let a = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).unwrap();
         let b = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn matches_reference_on_fig1_and_subcontexts() {
+        // Unit-level pin of the optimized scheduler to the straightforward
+        // oracle (the broad randomized equivalence suite lives in
+        // tests/equivalence.rs).
+        let (app, [p1, ..]) = fig1_app();
+        let cfg = FtssConfig::default();
+        let root = ScheduleContext::root(&app);
+        assert_eq!(
+            ftss(&app, &root, &cfg).unwrap(),
+            crate::oracle::ftss_reference(&app, &root, &cfg).unwrap()
+        );
+        let mut sub = ScheduleContext::root(&app);
+        sub.completed[p1.index()] = true;
+        sub.start = t(30);
+        assert_eq!(
+            ftss(&app, &sub, &cfg).unwrap(),
+            crate::oracle::ftss_reference(&app, &sub, &cfg).unwrap()
+        );
     }
 }

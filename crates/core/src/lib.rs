@@ -70,6 +70,8 @@ pub mod fschedule;
 pub mod ftqs;
 pub mod ftsf;
 pub mod ftss;
+pub mod oracle;
+pub mod par;
 pub mod priority;
 mod process;
 mod stale;
@@ -89,4 +91,4 @@ pub use process::{Criticality, ExecutionTimes, ExecutionTimesError, Process};
 pub use stale::StaleCoefficients;
 pub use time::Time;
 pub use tree::{QuasiStaticTree, SwitchArc, TreeNode, TreeNodeId};
-pub use utility::{UtilityFunction, UtilityError};
+pub use utility::{UtilityError, UtilityFunction};

@@ -1,0 +1,90 @@
+//! Minimal deterministic fork-join helper for the synthesis hot paths.
+//!
+//! The build environment cannot fetch rayon, so the embarrassingly
+//! parallel layers of FTQS (per-pivot sub-schedule generation, per-arc
+//! interval-partitioning sweeps) use this scoped-thread fork-join instead.
+//! The contract mirrors rayon's indexed `par_iter().map().collect()`:
+//!
+//! * `f(i)` is called exactly once for every `i in 0..count`,
+//! * the result vector is ordered by `i` regardless of thread count,
+//! * with the `parallel` feature disabled (or a single-CPU host, or tiny
+//!   inputs) the calls happen inline on the caller's thread.
+//!
+//! Each worker owns a contiguous index chunk, so outputs are collected
+//! without locks and the work distribution is deterministic.
+
+/// Applies `f` to every index in `0..count`, in parallel when worthwhile,
+/// returning results in index order.
+pub fn par_map_collect<T, F>(count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = worker_count(count);
+    if threads <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let chunk = count.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(count);
+            if lo >= hi {
+                break;
+            }
+            handles.push(scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>()));
+        }
+        for h in handles {
+            chunks.push(h.join().expect("parallel synthesis worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(count);
+    for c in chunks {
+        out.extend(c);
+    }
+    out
+}
+
+/// How many workers to use for `count` items: 1 unless the `parallel`
+/// feature is on, the host has multiple CPUs, and the input is big enough
+/// to amortize thread spawns.
+fn worker_count(count: usize) -> usize {
+    if !cfg!(feature = "parallel") || count < 2 {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map_or(1, usize::from)
+        .min(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_index_order() {
+        let out = par_map_collect(1000, |i| i * 2);
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert!(par_map_collect(0, |i| i).is_empty());
+        assert_eq!(par_map_collect(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn matches_serial_map_for_odd_sizes() {
+        for count in [2usize, 3, 17, 63, 64, 65] {
+            let par = par_map_collect(count, |i| i as u64 * 3 + 1);
+            let ser: Vec<u64> = (0..count).map(|i| i as u64 * 3 + 1).collect();
+            assert_eq!(par, ser, "count {count}");
+        }
+    }
+}

@@ -135,10 +135,7 @@ mod tests {
             alpha: 1.0,
             successor_weight: 0.0,
         };
-        let degraded = PriorityContext {
-            alpha: 0.5,
-            ..base
-        };
+        let degraded = PriorityContext { alpha: 0.5, ..base };
         let p1 = mu_priority(&base, a, |_| true);
         let p2 = mu_priority(&degraded, a, |_| true);
         assert!((p2 - p1 * 0.5).abs() < 1e-12);
@@ -148,11 +145,7 @@ mod tests {
     fn soft_successors_raise_priority() {
         let mut b = Application::builder(t(1000), FaultModel::none());
         let et = ExecutionTimes::uniform(t(10), t(30)).unwrap();
-        let parent = b.add_soft(
-            "parent",
-            et,
-            UtilityFunction::constant(1.0).unwrap(),
-        );
+        let parent = b.add_soft("parent", et, UtilityFunction::constant(1.0).unwrap());
         let child = b.add_soft(
             "child",
             et,

@@ -29,7 +29,9 @@ impl fmt::Display for ExecutionTimesError {
                 f,
                 "execution times must satisfy bcet <= aet <= wcet (got {bcet}, {aet}, {wcet})"
             ),
-            ExecutionTimesError::ZeroWcet => write!(f, "worst-case execution time must be positive"),
+            ExecutionTimesError::ZeroWcet => {
+                write!(f, "worst-case execution time must be positive")
+            }
         }
     }
 }

@@ -139,7 +139,7 @@ mod tests {
     #[test]
     fn no_drops_computes_to_ones() {
         let app = soft_app(4, &[(0, 2), (1, 2), (2, 3)]);
-        let a = StaleCoefficients::compute(&app, &vec![false; 4]);
+        let a = StaleCoefficients::compute(&app, &[false; 4]);
         assert!(a.as_slice().iter().all(|&x| (x - 1.0).abs() < 1e-12));
     }
 
@@ -166,10 +166,7 @@ mod tests {
 
     #[test]
     fn coefficients_stay_in_unit_interval() {
-        let app = soft_app(
-            6,
-            &[(0, 2), (1, 2), (2, 3), (2, 4), (3, 5), (4, 5), (0, 5)],
-        );
+        let app = soft_app(6, &[(0, 2), (1, 2), (2, 3), (2, 4), (3, 5), (4, 5), (0, 5)]);
         for mask in 0..(1u32 << 6) {
             let dropped: Vec<bool> = (0..6).map(|i| mask & (1 << i) != 0).collect();
             let a = StaleCoefficients::compute(&app, &dropped);
@@ -182,7 +179,7 @@ mod tests {
     #[test]
     fn dropping_more_never_raises_any_alpha() {
         let app = soft_app(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
-        let base = StaleCoefficients::compute(&app, &vec![false; 5]);
+        let base = StaleCoefficients::compute(&app, &[false; 5]);
         for d in 0..5 {
             let mut dropped = vec![false; 5];
             dropped[d] = true;

@@ -175,10 +175,19 @@ mod tests {
     #[test]
     fn midpoint_matches_paper_fig1() {
         // Fig. 1: BCET 30, WCET 70 -> AET 50; BCET 40, WCET 80 -> AET 60.
-        assert_eq!(Time::from_ms(30).midpoint(Time::from_ms(70)), Time::from_ms(50));
-        assert_eq!(Time::from_ms(40).midpoint(Time::from_ms(80)), Time::from_ms(60));
+        assert_eq!(
+            Time::from_ms(30).midpoint(Time::from_ms(70)),
+            Time::from_ms(50)
+        );
+        assert_eq!(
+            Time::from_ms(40).midpoint(Time::from_ms(80)),
+            Time::from_ms(60)
+        );
         // Rounding down for odd sums.
-        assert_eq!(Time::from_ms(1).midpoint(Time::from_ms(2)), Time::from_ms(1));
+        assert_eq!(
+            Time::from_ms(1).midpoint(Time::from_ms(2)),
+            Time::from_ms(1)
+        );
         // No overflow near the top of the range.
         assert_eq!(Time::MAX.midpoint(Time::MAX), Time::MAX);
     }

@@ -189,7 +189,8 @@ impl QuasiStaticTree {
     #[must_use]
     pub fn to_dot(&self, app: &crate::Application) -> String {
         use std::fmt::Write as _;
-        let mut out = String::from("digraph quasi_static_tree {\n  rankdir=TB;\n  node [shape=box];\n");
+        let mut out =
+            String::from("digraph quasi_static_tree {\n  rankdir=TB;\n  node [shape=box];\n");
         for (id, node) in self.iter() {
             let order: Vec<&str> = node
                 .schedule
@@ -228,11 +229,7 @@ mod tests {
 
     fn tiny_app() -> (Application, [NodeId; 2]) {
         let mut b = Application::builder(t(300), FaultModel::new(1, t(10)));
-        let a = b.add_hard(
-            "A",
-            ExecutionTimes::uniform(t(10), t(30)).unwrap(),
-            t(200),
-        );
+        let a = b.add_hard("A", ExecutionTimes::uniform(t(10), t(30)).unwrap(), t(200));
         let c = b.add_soft(
             "B",
             ExecutionTimes::uniform(t(10), t(30)).unwrap(),

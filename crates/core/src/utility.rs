@@ -75,7 +75,10 @@ enum Kind {
     Constant(f64),
     /// `initial` for `t <= first breakpoint time`; after each breakpoint
     /// `(b, v)` the value is `v` for `b < t <= next b`.
-    Step { initial: f64, steps: Vec<(Time, f64)> },
+    Step {
+        initial: f64,
+        steps: Vec<(Time, f64)>,
+    },
     /// Linear interpolation between `points`; clamped to the first value
     /// before the first point and to the last value after the last point.
     Linear { points: Vec<(Time, f64)> },
@@ -253,10 +256,7 @@ impl UtilityFunction {
                 if *initial == 0.0 {
                     return Some(Time::ZERO);
                 }
-                steps
-                    .iter()
-                    .find(|&&(_, v)| v == 0.0)
-                    .map(|&(t, _)| t)
+                steps.iter().find(|&&(_, v)| v == 0.0).map(|&(t, _)| t)
             }
             Kind::Linear { points } => {
                 let last = points[points.len() - 1];
@@ -377,11 +377,17 @@ mod tests {
         for probe in [0u64, 10, 30, 31, 90, 91, 500] {
             assert_eq!(s.value(t(probe + 100)), u.value(t(probe)), "at {probe}");
         }
-        assert_eq!(s.value(t(50)), 40.0, "initial value holds before the offset");
+        assert_eq!(
+            s.value(t(50)),
+            40.0,
+            "initial value holds before the offset"
+        );
         assert_eq!(s.zero_from(), Some(t(190)));
 
         // Linear and constant shapes shift too.
-        let r = UtilityFunction::ramp(10.0, t(20), t(40)).unwrap().shifted(t(5));
+        let r = UtilityFunction::ramp(10.0, t(20), t(40))
+            .unwrap()
+            .shifted(t(5));
         assert_eq!(r.value(t(25)), 10.0);
         assert_eq!(r.value(t(45)), 0.0);
         let c = UtilityFunction::constant(3.0).unwrap().shifted(t(1000));

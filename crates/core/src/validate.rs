@@ -88,12 +88,18 @@ impl fmt::Display for ValidationError {
             ValidationError::PrecedenceViolation {
                 process,
                 predecessor,
-            } => write!(f, "process {process} runs before its predecessor {predecessor}"),
+            } => write!(
+                f,
+                "process {process} runs before its predecessor {predecessor}"
+            ),
             ValidationError::AllowanceExceedsBudget {
                 process,
                 allowance,
                 k,
-            } => write!(f, "allowance {allowance} of process {process} exceeds budget k = {k}"),
+            } => write!(
+                f,
+                "allowance {allowance} of process {process} exceeds budget k = {k}"
+            ),
             ValidationError::ContextShape => write!(f, "context masks have the wrong length"),
             ValidationError::Unschedulable(p) => {
                 write!(f, "hard process {p} misses its deadline in the worst case")
@@ -105,10 +111,16 @@ impl fmt::Display for ValidationError {
                 write!(f, "arc of node {node} has an inverted interval")
             }
             ValidationError::ArcPivotOutOfRange { node, pivot_pos } => {
-                write!(f, "arc of node {node} pivots on out-of-range position {pivot_pos}")
+                write!(
+                    f,
+                    "arc of node {node} pivots on out-of-range position {pivot_pos}"
+                )
             }
             ValidationError::OverlappingArcs { node, pivot_pos } => {
-                write!(f, "arcs of node {node} overlap at pivot position {pivot_pos}")
+                write!(
+                    f,
+                    "arcs of node {node} overlap at pivot position {pivot_pos}"
+                )
             }
         }
     }
@@ -122,10 +134,7 @@ impl Error for ValidationError {}
 /// # Errors
 ///
 /// The first [`ValidationError`] found, scanning entries in order.
-pub fn validate_schedule(
-    app: &Application,
-    schedule: &FSchedule,
-) -> Result<(), ValidationError> {
+pub fn validate_schedule(app: &Application, schedule: &FSchedule) -> Result<(), ValidationError> {
     let n = app.len();
     let ctx = schedule.context();
     if ctx.completed.len() != n || ctx.dropped.len() != n {
@@ -259,11 +268,7 @@ mod tests {
 
     fn fig1_app() -> (Application, [NodeId; 3]) {
         let mut b = Application::builder(t(300), FaultModel::new(1, t(10)));
-        let p1 = b.add_hard(
-            "P1",
-            ExecutionTimes::uniform(t(30), t(70)).unwrap(),
-            t(180),
-        );
+        let p1 = b.add_hard("P1", ExecutionTimes::uniform(t(30), t(70)).unwrap(), t(180));
         let p2 = b.add_soft(
             "P2",
             ExecutionTimes::uniform(t(30), t(70)).unwrap(),
@@ -298,9 +303,18 @@ mod tests {
         let (app, [p1, p2, p3]) = fig1_app();
         let s = FSchedule::new(
             vec![
-                ScheduleEntry { process: p2, reexecutions: 0 },
-                ScheduleEntry { process: p1, reexecutions: 1 },
-                ScheduleEntry { process: p3, reexecutions: 0 },
+                ScheduleEntry {
+                    process: p2,
+                    reexecutions: 0,
+                },
+                ScheduleEntry {
+                    process: p1,
+                    reexecutions: 1,
+                },
+                ScheduleEntry {
+                    process: p3,
+                    reexecutions: 0,
+                },
             ],
             vec![],
             ScheduleContext::root(&app),
@@ -318,7 +332,10 @@ mod tests {
     fn missing_process_is_caught() {
         let (app, [p1, _p2, _p3]) = fig1_app();
         let s = FSchedule::new(
-            vec![ScheduleEntry { process: p1, reexecutions: 1 }],
+            vec![ScheduleEntry {
+                process: p1,
+                reexecutions: 1,
+            }],
             vec![],
             ScheduleContext::root(&app),
         );
@@ -333,8 +350,14 @@ mod tests {
         let (app, [p1, p2, p3]) = fig1_app();
         let s = FSchedule::new(
             vec![
-                ScheduleEntry { process: p2, reexecutions: 0 },
-                ScheduleEntry { process: p3, reexecutions: 0 },
+                ScheduleEntry {
+                    process: p2,
+                    reexecutions: 0,
+                },
+                ScheduleEntry {
+                    process: p3,
+                    reexecutions: 0,
+                },
             ],
             vec![p1],
             ScheduleContext::root(&app),
@@ -350,9 +373,18 @@ mod tests {
         let (app, [p1, p2, p3]) = fig1_app();
         let s = FSchedule::new(
             vec![
-                ScheduleEntry { process: p1, reexecutions: 5 },
-                ScheduleEntry { process: p2, reexecutions: 0 },
-                ScheduleEntry { process: p3, reexecutions: 0 },
+                ScheduleEntry {
+                    process: p1,
+                    reexecutions: 5,
+                },
+                ScheduleEntry {
+                    process: p2,
+                    reexecutions: 0,
+                },
+                ScheduleEntry {
+                    process: p3,
+                    reexecutions: 0,
+                },
             ],
             vec![],
             ScheduleContext::root(&app),
@@ -368,9 +400,18 @@ mod tests {
         let (app, [p1, p2, p3]) = fig1_app();
         let s = FSchedule::new(
             vec![
-                ScheduleEntry { process: p1, reexecutions: 1 },
-                ScheduleEntry { process: p2, reexecutions: 0 },
-                ScheduleEntry { process: p2, reexecutions: 0 },
+                ScheduleEntry {
+                    process: p1,
+                    reexecutions: 1,
+                },
+                ScheduleEntry {
+                    process: p2,
+                    reexecutions: 0,
+                },
+                ScheduleEntry {
+                    process: p2,
+                    reexecutions: 0,
+                },
             ],
             vec![p3],
             ScheduleContext::root(&app),
@@ -395,16 +436,18 @@ mod tests {
             ExecutionTimes::uniform(t(100), t(150)).unwrap(),
             UtilityFunction::constant(5.0).unwrap(),
         );
-        let h = b.add_hard(
-            "H",
-            ExecutionTimes::uniform(t(50), t(100)).unwrap(),
-            t(200),
-        );
+        let h = b.add_hard("H", ExecutionTimes::uniform(t(50), t(100)).unwrap(), t(200));
         let app = b.build().unwrap();
         let bad = FSchedule::new(
             vec![
-                ScheduleEntry { process: s1, reexecutions: 1 },
-                ScheduleEntry { process: h, reexecutions: 1 },
+                ScheduleEntry {
+                    process: s1,
+                    reexecutions: 1,
+                },
+                ScheduleEntry {
+                    process: h,
+                    reexecutions: 1,
+                },
             ],
             vec![],
             ScheduleContext::root(&app),
@@ -417,7 +460,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = ValidationError::OverlappingArcs { node: 3, pivot_pos: 1 };
+        let e = ValidationError::OverlappingArcs {
+            node: 3,
+            pivot_pos: 1,
+        };
         assert!(e.to_string().contains("node 3"));
     }
 }

@@ -58,7 +58,7 @@ pub fn worst_case_fault_delay(items: &[SlackItem], k: usize) -> Time {
         .copied()
         .filter(|it| it.allowance > 0 && it.penalty > Time::ZERO)
         .collect();
-    penalties.sort_by(|a, b| b.penalty.cmp(&a.penalty));
+    penalties.sort_by_key(|it| std::cmp::Reverse(it.penalty));
     let mut remaining = k;
     let mut total = Time::ZERO;
     for it in penalties {
@@ -72,12 +72,181 @@ pub fn worst_case_fault_delay(items: &[SlackItem], k: usize) -> Time {
     total
 }
 
+/// Incremental worst-case fault-delay analysis over a *multiset* of slack
+/// items.
+///
+/// The greedy bounded-knapsack of [`worst_case_fault_delay`] only depends
+/// on the multiset of `(penalty, allowance)` pairs, not on their order:
+/// faults load onto the largest penalties first. The accumulator therefore
+/// maintains a penalty-keyed allowance histogram — a dense vector sorted
+/// by descending penalty, which beats tree maps by a wide margin at
+/// schedule-sized populations — so that
+///
+/// * [`push`](FaultDelayAccumulator::push)/
+///   [`remove`](FaultDelayAccumulator::remove) are one binary search plus
+///   a small memmove (`d` = distinct penalties, ≤ the schedule length),
+///   and
+/// * [`delay`](FaultDelayAccumulator::delay) walks at most `k + 1`
+///   histogram buckets from the top — every bucket visited consumes at
+///   least one fault of the budget.
+///
+/// This replaces the per-prefix O(n log n) re-sorts of the batch function
+/// in every synthesis hot path (schedule analysis, FTSS schedulability
+/// probes, re-execution allowance search). Scheduling heuristics use it as
+/// an undo-log structure: probe items are pushed, queried, and removed
+/// again, restoring the exact previous state (the multiset is oblivious to
+/// insertion order).
+///
+/// # Example
+///
+/// ```
+/// use ftqs_core::wcdelay::{worst_case_fault_delay, FaultDelayAccumulator, SlackItem};
+/// use ftqs_core::Time;
+///
+/// let items = [
+///     SlackItem::new(Time::from_ms(80), 3),
+///     SlackItem::new(Time::from_ms(50), 3),
+/// ];
+/// let mut acc = FaultDelayAccumulator::new();
+/// for &it in &items {
+///     acc.push(it);
+/// }
+/// assert_eq!(acc.delay(4), worst_case_fault_delay(&items, 4));
+/// acc.remove(items[0]);
+/// assert_eq!(acc.delay(4), worst_case_fault_delay(&items[1..], 4));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultDelayAccumulator {
+    /// `(penalty, total allowance)` buckets, sorted by penalty descending.
+    buckets: Vec<(Time, u64)>,
+    /// Number of effective (allowance > 0, penalty > 0) items held.
+    len: usize,
+}
+
+impl FaultDelayAccumulator {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        FaultDelayAccumulator::default()
+    }
+
+    /// Index of `penalty`'s bucket in the descending-sorted vector, or the
+    /// insertion point keeping the order.
+    fn bucket_of(&self, penalty: Time) -> Result<usize, usize> {
+        // partition_point: count of buckets with penalty strictly greater.
+        let idx = self.buckets.partition_point(|&(p, _)| p > penalty);
+        if self.buckets.get(idx).is_some_and(|&(p, _)| p == penalty) {
+            Ok(idx)
+        } else {
+            Err(idx)
+        }
+    }
+
+    /// Adds one slack item to the multiset. Items with zero allowance or
+    /// zero penalty contribute nothing and are ignored (matching the
+    /// filter of [`worst_case_fault_delay`]).
+    pub fn push(&mut self, item: SlackItem) {
+        if item.allowance == 0 || item.penalty == Time::ZERO {
+            return;
+        }
+        match self.bucket_of(item.penalty) {
+            Ok(i) => self.buckets[i].1 += item.allowance as u64,
+            Err(i) => self
+                .buckets
+                .insert(i, (item.penalty, item.allowance as u64)),
+        }
+        self.len += 1;
+    }
+
+    /// Removes one previously pushed item from the multiset.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the item was never pushed — the accumulator
+    /// is an undo-log structure, not a general set.
+    pub fn remove(&mut self, item: SlackItem) {
+        if item.allowance == 0 || item.penalty == Time::ZERO {
+            return;
+        }
+        match self.bucket_of(item.penalty) {
+            Ok(i) if self.buckets[i].1 >= item.allowance as u64 => {
+                self.buckets[i].1 -= item.allowance as u64;
+                if self.buckets[i].1 == 0 {
+                    self.buckets.remove(i);
+                }
+                self.len -= 1;
+            }
+            _ => debug_assert!(false, "removed item {item:?} was never pushed"),
+        }
+    }
+
+    /// Removes every item.
+    pub fn clear(&mut self) {
+        self.buckets.clear();
+        self.len = 0;
+    }
+
+    /// Worst-case fault delay of the current multiset under budget `k`:
+    /// the greedy optimum, computed from the top of the penalty histogram
+    /// in at most `k + 1` bucket visits.
+    #[must_use]
+    pub fn delay(&self, k: usize) -> Time {
+        let mut remaining = k as u64;
+        let mut total = Time::ZERO;
+        for &(penalty, count) in &self.buckets {
+            if remaining == 0 {
+                break;
+            }
+            let take = count.min(remaining);
+            total += penalty * take;
+            remaining -= take;
+        }
+        total
+    }
+
+    /// Fills `out[r]` with [`Self::delay`]`(r)` for every `r < out.len()`
+    /// in a single walk over the histogram — the cumulative sum of the
+    /// `out.len() - 1` largest penalty units.
+    pub fn delay_upto(&self, out: &mut [Time]) {
+        let mut cum = Time::ZERO;
+        let mut filled = 1usize; // out[0] = 0 faults = zero delay
+        if let Some(first) = out.first_mut() {
+            *first = Time::ZERO;
+        }
+        'walk: for &(penalty, count) in &self.buckets {
+            for _ in 0..count {
+                if filled >= out.len() {
+                    break 'walk;
+                }
+                cum += penalty;
+                out[filled] = cum;
+                filled += 1;
+            }
+        }
+        for slot in out.iter_mut().skip(filled.max(1)) {
+            *slot = cum;
+        }
+    }
+
+    /// Number of effective items currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the multiset is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 /// Incremental prefix analysis: scheduling heuristics push items one by one
 /// (in schedule order) and query the worst-case delay of the prefix after
 /// each push.
 ///
-/// Recomputing greedily per push is O(n log n); prefixes are short (≤ a few
-/// hundred processes) so this costs microseconds in practice.
+/// Retained as the simple reference structure; the synthesis hot paths use
+/// [`FaultDelayAccumulator`], which answers the same queries incrementally.
 #[derive(Debug, Clone, Default)]
 pub struct PrefixDelay {
     items: Vec<SlackItem>,
@@ -202,6 +371,81 @@ mod tests {
         ];
         for k in 0..6 {
             assert!(worst_case_fault_delay(&raised, k) >= worst_case_fault_delay(&items, k));
+        }
+    }
+
+    #[test]
+    fn accumulator_matches_batch_on_simple_sets() {
+        let items = [
+            SlackItem::new(ms(80), 3),
+            SlackItem::new(ms(50), 3),
+            SlackItem::new(ms(100), 0),    // ignored: zero allowance
+            SlackItem::new(Time::ZERO, 2), // ignored: zero penalty
+        ];
+        let mut acc = FaultDelayAccumulator::new();
+        for &it in &items {
+            acc.push(it);
+        }
+        assert_eq!(acc.len(), 2);
+        for k in 0..8 {
+            assert_eq!(acc.delay(k), worst_case_fault_delay(&items, k), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn accumulator_remove_restores_previous_state() {
+        let mut acc = FaultDelayAccumulator::new();
+        acc.push(SlackItem::new(ms(40), 1));
+        let before = acc.delay(3);
+        let probe = SlackItem::new(ms(90), 2);
+        acc.push(probe);
+        assert_eq!(acc.delay(3), ms(90 + 90 + 40));
+        acc.remove(probe);
+        assert_eq!(acc.delay(3), before);
+        assert_eq!(acc.len(), 1);
+        acc.clear();
+        assert!(acc.is_empty());
+        assert_eq!(acc.delay(3), Time::ZERO);
+    }
+
+    /// ISSUE property: the accumulator is equivalent to the batch greedy
+    /// under random interleavings of pushes and removes, for every budget.
+    #[test]
+    fn accumulator_equals_batch_under_random_push_remove_sequences() {
+        // Tiny deterministic LCG so this unit test needs no dev-deps.
+        let mut state = 0x3C6E_F372_FE94_F82Au64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for case in 0..200 {
+            let mut live: Vec<SlackItem> = Vec::new();
+            let mut acc = FaultDelayAccumulator::new();
+            let ops = 1 + (next() % 40) as usize;
+            for _ in 0..ops {
+                let remove = !live.is_empty() && next() % 3 == 0;
+                if remove {
+                    let idx = (next() as usize) % live.len();
+                    let item = live.swap_remove(idx);
+                    acc.remove(item);
+                } else {
+                    let item = SlackItem::new(
+                        ms(next() % 120), // zero penalties exercised too
+                        (next() % 4) as usize,
+                    );
+                    live.push(item);
+                    acc.push(item);
+                }
+                for k in 0..=5 {
+                    assert_eq!(
+                        acc.delay(k),
+                        worst_case_fault_delay(&live, k),
+                        "case {case}, k = {k}, live = {live:?}"
+                    );
+                }
+            }
         }
     }
 

@@ -1,0 +1,282 @@
+//! Differential tests: the optimized synthesis pipeline (incremental
+//! fault-delay accumulation, scratch-buffer FTSS, parallel FTQS expansion)
+//! must produce **bit-identical** output to the straightforward reference
+//! implementations preserved in `ftqs_core::oracle` — schedule orders,
+//! re-execution allowances, static drops, analysis tables, tree arcs, and
+//! expected utilities. Any divergence is an optimization bug, never an
+//! accepted approximation.
+//!
+//! Workloads are generated from explicit seeds (8–30 processes, varying
+//! deadline tightness so forced dropping and re-execution denial trigger);
+//! the acceptance bar is ≥ 20 schedulable seeded workloads checked per
+//! property.
+
+use ftqs_core::fschedule::{expected_suffix_utility_est, ScheduleAnalysis, UtilityEstimator};
+use ftqs_core::ftqs::{ftqs, ExpansionPolicy, FtqsConfig};
+use ftqs_core::ftss::ftss;
+use ftqs_core::oracle::{ftqs_reference, ftss_reference};
+use ftqs_core::{
+    Application, ExecutionTimes, FaultModel, FtssConfig, ScheduleContext, Time, UtilityFunction,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a mixed hard/soft application from a seed. Deadline laxity is
+/// drawn per seed so the corpus spans comfortable and tight instances.
+fn seeded_application(seed: u64) -> Option<Application> {
+    let mut rng = StdRng::seed_from_u64(0xE901 ^ seed.wrapping_mul(0x9E37_79B9));
+    let n = rng.gen_range(8usize..=30);
+    let k = rng.gen_range(1usize..=3);
+    let mu = rng.gen_range(2u64..=15);
+    let laxity = rng.gen_range(0.8f64..=1.6);
+
+    // Rough worst-case makespan to place period and deadlines.
+    let mut wcets = Vec::with_capacity(n);
+    let mut bcets = Vec::with_capacity(n);
+    let mut total_wcet = 0u64;
+    let mut max_penalty = 0u64;
+    for _ in 0..n {
+        let w = rng.gen_range(10u64..=100);
+        let bc = rng.gen_range(0u64..=w);
+        total_wcet += w;
+        max_penalty = max_penalty.max(w + mu);
+        wcets.push(w);
+        bcets.push(bc);
+    }
+    let bound = total_wcet + max_penalty * k as u64;
+    let period = (bound as f64 * 1.1).ceil() as u64;
+
+    let mut b = Application::builder(Time::from_ms(period), FaultModel::new(k, Time::from_ms(mu)));
+    let mut ids = Vec::with_capacity(n);
+    let mut wc_ref = 0u64;
+    for i in 0..n {
+        let et = ExecutionTimes::uniform(Time::from_ms(bcets[i]), Time::from_ms(wcets[i])).ok()?;
+        wc_ref += wcets[i];
+        let hard = rng.gen::<f64>() < 0.5;
+        let id = if hard {
+            let d = (((wc_ref + max_penalty * k as u64) as f64) * laxity).ceil() as u64;
+            b.add_hard(format!("P{i}"), et, Time::from_ms(d.min(period)))
+        } else {
+            let peak = rng.gen_range(10f64..=100.0);
+            let anchor = (wc_ref / 2).max(20);
+            let hold = anchor * 6 / 10 + rng.gen_range(0..=anchor * 4 / 10);
+            let mid = hold + 1 + rng.gen_range(anchor / 6..=anchor / 2 + 1);
+            let zero = mid + 1 + rng.gen_range(anchor / 6..=anchor / 2 + 1);
+            let u = UtilityFunction::step(
+                peak,
+                [
+                    (Time::from_ms(hold), peak * 0.5),
+                    (Time::from_ms(mid), peak * 0.2),
+                    (Time::from_ms(zero), 0.0),
+                ],
+            )
+            .ok()?;
+            b.add_soft(format!("P{i}"), et, u)
+        };
+        ids.push(id);
+    }
+    // Random forward edges (id-ordered, so always acyclic).
+    let edges = rng.gen_range(n / 2..n * 2);
+    for _ in 0..edges {
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        if i < j {
+            let _ = b.add_dependency(ids[i], ids[j]);
+        }
+    }
+    b.build().ok()
+}
+
+/// Collects at least `want` seeded workloads that FTSS can schedule.
+fn schedulable_corpus(want: usize) -> Vec<(u64, Application)> {
+    let cfg = FtssConfig::default();
+    let mut out = Vec::new();
+    for seed in 0..200u64 {
+        if out.len() >= want {
+            break;
+        }
+        let Some(app) = seeded_application(seed) else {
+            continue;
+        };
+        if ftss(&app, &ScheduleContext::root(&app), &cfg).is_ok() {
+            out.push((seed, app));
+        }
+    }
+    assert!(
+        out.len() >= want,
+        "only {} schedulable workloads found — generator drifted",
+        out.len()
+    );
+    out
+}
+
+fn assert_analyses_equal(app: &Application, seed: u64, s: &ftqs_core::FSchedule) {
+    let fast = s.analyze(app);
+    let slow = ScheduleAnalysis::of_reference(app, s);
+    let k = app.faults().k;
+    assert_eq!(fast.is_schedulable(), slow.is_schedulable(), "seed {seed}");
+    assert_eq!(fast.violation(), slow.violation(), "seed {seed}");
+    for pos in 0..s.entries().len() {
+        assert_eq!(
+            fast.nominal_completion(pos),
+            slow.nominal_completion(pos),
+            "seed {seed} pos {pos}"
+        );
+        assert_eq!(
+            fast.worst_completion(pos),
+            slow.worst_completion(pos),
+            "seed {seed} pos {pos}"
+        );
+        for r in 0..=k {
+            assert_eq!(
+                fast.hard_safe_start(pos, r),
+                slow.hard_safe_start(pos, r),
+                "seed {seed} pos {pos} r {r}"
+            );
+        }
+    }
+}
+
+#[test]
+fn ftss_matches_reference_on_20_plus_workloads() {
+    let corpus = schedulable_corpus(24);
+    let configs = [
+        FtssConfig::default(),
+        FtssConfig {
+            dropping: false,
+            ..FtssConfig::default()
+        },
+        FtssConfig {
+            soft_reexecution: false,
+            ..FtssConfig::default()
+        },
+    ];
+    for (seed, app) in &corpus {
+        for cfg in &configs {
+            let ctx = ScheduleContext::root(app);
+            let fast = ftss(app, &ctx, cfg);
+            let slow = ftss_reference(app, &ctx, cfg);
+            match (fast, slow) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a, b, "seed {seed}: schedules diverge under {cfg:?}");
+                    assert_analyses_equal(app, *seed, &a);
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "seed {seed}: errors diverge"),
+                (a, b) => panic!("seed {seed}: feasibility diverges: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn ftss_matches_reference_from_sub_schedule_contexts() {
+    // FTQS re-runs FTSS from mid-schedule contexts; equivalence must hold
+    // there too (this exercises the context-restricted ready-set setup).
+    let corpus = schedulable_corpus(20);
+    let cfg = FtssConfig::default();
+    for (seed, app) in &corpus {
+        let root = ftss(app, &ScheduleContext::root(app), &cfg).expect("corpus is schedulable");
+        let entries = root.entries();
+        // Pivot on the first, middle, and second-to-last positions.
+        let picks = [0, entries.len() / 2, entries.len().saturating_sub(2)];
+        for &p in &picks {
+            if p + 1 >= entries.len() {
+                continue;
+            }
+            let mut ctx = ScheduleContext::root(app);
+            let mut start = Time::ZERO;
+            for e in &entries[..=p] {
+                ctx.completed[e.process.index()] = true;
+                start += app.process(e.process).times().bcet();
+            }
+            ctx.start = start;
+            let fast = ftss(app, &ctx, &cfg);
+            let slow = ftss_reference(app, &ctx, &cfg);
+            match (fast, slow) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "seed {seed} pivot {p}"),
+                (Err(a), Err(b)) => assert_eq!(a, b, "seed {seed} pivot {p}"),
+                (a, b) => panic!("seed {seed} pivot {p}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn ftqs_trees_match_reference_on_20_plus_workloads() {
+    let corpus = schedulable_corpus(20);
+    for (seed, app) in &corpus {
+        for budget in [4usize, 12] {
+            let cfg = FtqsConfig::with_budget(budget);
+            let fast = ftqs(app, &cfg).expect("corpus is schedulable");
+            let slow = ftqs_reference(app, &cfg).expect("corpus is schedulable");
+            assert_eq!(fast.len(), slow.len(), "seed {seed} budget {budget}");
+            assert_eq!(fast.root(), slow.root(), "seed {seed} budget {budget}");
+            for ((i, a), (_, b)) in fast.iter().zip(slow.iter()) {
+                assert_eq!(
+                    a.schedule, b.schedule,
+                    "seed {seed} budget {budget} node {i}: schedules diverge"
+                );
+                assert_eq!(
+                    a.arcs, b.arcs,
+                    "seed {seed} budget {budget} node {i}: arcs diverge"
+                );
+                assert_eq!(a.parent, b.parent, "seed {seed} node {i}");
+                assert_eq!(a.depth, b.depth, "seed {seed} node {i}");
+            }
+        }
+    }
+}
+
+#[test]
+fn ftqs_policies_match_reference() {
+    let corpus = schedulable_corpus(20);
+    for (seed, app) in corpus.iter().take(8) {
+        for policy in [
+            ExpansionPolicy::MostSimilar,
+            ExpansionPolicy::Fifo,
+            ExpansionPolicy::BestImprovement,
+        ] {
+            let cfg = FtqsConfig {
+                max_schedules: 6,
+                policy,
+                ..FtqsConfig::default()
+            };
+            let fast = ftqs(app, &cfg).expect("schedulable");
+            let slow = ftqs_reference(app, &cfg).expect("schedulable");
+            assert_eq!(fast.len(), slow.len(), "seed {seed} {policy:?}");
+            for ((i, a), (_, b)) in fast.iter().zip(slow.iter()) {
+                assert_eq!(a.schedule, b.schedule, "seed {seed} {policy:?} node {i}");
+                assert_eq!(a.arcs, b.arcs, "seed {seed} {policy:?} node {i}");
+            }
+        }
+    }
+}
+
+#[test]
+fn expected_utilities_match_reference_tables() {
+    // The utility estimator consumes analysis tables; evaluated on both
+    // table variants it must agree everywhere the tree comparison samples.
+    let corpus = schedulable_corpus(20);
+    let cfg = FtssConfig::default();
+    for (seed, app) in &corpus {
+        let s = ftss(app, &ScheduleContext::root(app), &cfg).expect("schedulable");
+        let fast = s.analyze(app);
+        let slow = ScheduleAnalysis::of_reference(app, &s);
+        for est in [UtilityEstimator::AverageCase, UtilityEstimator::Quantile3] {
+            for tc in
+                (0..=app.period().as_ms()).step_by((app.period().as_ms() / 16).max(1) as usize)
+            {
+                let t = Time::from_ms(tc);
+                for from in [0usize, s.entries().len() / 2] {
+                    let a = expected_suffix_utility_est(app, &s, &fast, from, t, est);
+                    let b = expected_suffix_utility_est(app, &s, &slow, from, t, est);
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "seed {seed} est {est:?} tc {tc} from {from}"
+                    );
+                }
+            }
+        }
+    }
+}

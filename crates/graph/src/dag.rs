@@ -269,7 +269,11 @@ impl<N: fmt::Display> Dag<N> {
     /// Renders a compact single-line description, e.g. for log messages.
     #[must_use]
     pub fn to_summary(&self) -> String {
-        format!("dag({} nodes, {} edges)", self.node_count(), self.edge_count())
+        format!(
+            "dag({} nodes, {} edges)",
+            self.node_count(),
+            self.edge_count()
+        )
     }
 }
 
@@ -368,7 +372,10 @@ mod tests {
     #[test]
     fn add_edge_rejects_duplicate() {
         let (mut g, [a, b, ..]) = diamond();
-        assert_eq!(g.add_edge(a, b), Err(GraphError::DuplicateEdge { from: a, to: b }));
+        assert_eq!(
+            g.add_edge(a, b),
+            Err(GraphError::DuplicateEdge { from: a, to: b })
+        );
     }
 
     #[test]

@@ -55,7 +55,10 @@ impl fmt::Display for GraphError {
                 "graph is not polar: found {sources} source(s) and {sinks} sink(s)"
             ),
             GraphError::InvalidPeriod => {
-                write!(f, "hyper-period requires a non-empty graph set with non-zero periods")
+                write!(
+                    f,
+                    "hyper-period requires a non-empty graph set with non-zero periods"
+                )
             }
         }
     }

@@ -117,8 +117,14 @@ impl Default for SeriesParallelParams {
 ///
 /// Panics if `nodes < 2` or `max_branches < 2`.
 pub fn series_parallel<R: Randomness>(params: &SeriesParallelParams, rng: &mut R) -> Dag<()> {
-    assert!(params.nodes >= 2, "series-parallel needs at least two nodes");
-    assert!(params.max_branches >= 2, "parallel splits need >= 2 branches");
+    assert!(
+        params.nodes >= 2,
+        "series-parallel needs at least two nodes"
+    );
+    assert!(
+        params.max_branches >= 2,
+        "parallel splits need >= 2 branches"
+    );
     let mut g = Dag::with_capacity(params.nodes + 1);
     let src = g.add_node(());
     let sink = g.add_node(());

@@ -82,9 +82,7 @@ pub fn gcd(mut a: u64, mut b: u64) -> u64 {
 /// # Ok(())
 /// # }
 /// ```
-pub fn merge_hyperperiod<N: Clone>(
-    graphs: &[(Dag<N>, u64)],
-) -> Result<HyperGraph<N>, GraphError> {
+pub fn merge_hyperperiod<N: Clone>(graphs: &[(Dag<N>, u64)]) -> Result<HyperGraph<N>, GraphError> {
     if graphs.is_empty() || graphs.iter().any(|&(_, p)| p == 0) {
         return Err(GraphError::InvalidPeriod);
     }

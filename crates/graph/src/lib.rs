@@ -44,8 +44,8 @@
 #![warn(missing_debug_implementations)]
 
 mod dag;
-mod error;
 pub mod dot;
+mod error;
 pub mod generate;
 pub mod hyper;
 mod node;

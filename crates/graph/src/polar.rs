@@ -68,7 +68,8 @@ pub fn polarize<N>(mut g: Dag<N>, mut virtual_payload: impl FnMut() -> N) -> Pol
     } else {
         let s = g.add_node(virtual_payload());
         for old in sources {
-            g.add_edge(s, old).expect("virtual source edge cannot cycle");
+            g.add_edge(s, old)
+                .expect("virtual source edge cannot cycle");
         }
         (s, true)
     };

@@ -76,9 +76,9 @@ pub fn transitive_reduction<N: Clone>(g: &Dag<N>) -> Dag<N> {
         for &v in &succs {
             // Is v reachable from u through one of u's *other* successors?
             let vi = v.index();
-            let redundant = succs.iter().any(|&w| {
-                w != v && (reach[w.index()][vi / 64] >> (vi % 64)) & 1 == 1
-            });
+            let redundant = succs
+                .iter()
+                .any(|&w| w != v && (reach[w.index()][vi / 64] >> (vi % 64)) & 1 == 1);
             if !redundant {
                 out.add_edge(u, v).expect("subset of an acyclic graph");
             }
@@ -135,7 +135,16 @@ mod tests {
     fn preserves_reachability() {
         let mut g = Dag::new();
         let ids: Vec<_> = (0..6).map(|_| g.add_node(())).collect();
-        let edges = [(0, 1), (1, 2), (0, 2), (2, 3), (1, 3), (3, 4), (0, 5), (5, 4)];
+        let edges = [
+            (0, 1),
+            (1, 2),
+            (0, 2),
+            (2, 3),
+            (1, 3),
+            (3, 4),
+            (0, 5),
+            (5, 4),
+        ];
         for (i, j) in edges {
             g.add_edge(ids[i], ids[j]).unwrap();
         }

@@ -65,7 +65,8 @@ pub fn is_topological_order<N>(g: &Dag<N>, order: &[NodeId]) -> bool {
         }
         position[n.index()] = pos;
     }
-    g.edges().all(|(from, to)| position[from.index()] < position[to.index()])
+    g.edges()
+        .all(|(from, to)| position[from.index()] < position[to.index()])
 }
 
 /// Assigns each node its ASAP level: sources get level 0, every other node

@@ -85,7 +85,9 @@ pub fn render(app: &Application, trace: &Trace, width: usize) -> String {
                     rows[process.index()].faults.push(col(*at));
                 }
             }
-            TraceEvent::Dropped { process, reason, .. } => {
+            TraceEvent::Dropped {
+                process, reason, ..
+            } => {
                 rows[process.index()].note = Some(format!("(dropped: {reason})"));
             }
             TraceEvent::Switched { .. } => {}
@@ -134,9 +136,7 @@ mod tests {
     use crate::online::OnlineScheduler;
     use crate::scenario::ExecutionScenario;
     use ftqs_core::ftss::ftss;
-    use ftqs_core::{
-        ExecutionTimes, FaultModel, FtssConfig, ScheduleContext, UtilityFunction,
-    };
+    use ftqs_core::{ExecutionTimes, FaultModel, FtssConfig, ScheduleContext, UtilityFunction};
 
     fn t(ms: u64) -> Time {
         Time::from_ms(ms)
@@ -144,11 +144,7 @@ mod tests {
 
     fn app() -> Application {
         let mut b = Application::builder(t(300), FaultModel::new(1, t(10)));
-        let p1 = b.add_hard(
-            "P1",
-            ExecutionTimes::uniform(t(30), t(70)).unwrap(),
-            t(180),
-        );
+        let p1 = b.add_hard("P1", ExecutionTimes::uniform(t(30), t(70)).unwrap(), t(180));
         let p2 = b.add_soft(
             "P2",
             ExecutionTimes::uniform(t(30), t(70)).unwrap(),

@@ -62,8 +62,10 @@ impl<'a> GreedyOnlineScheduler<'a> {
         let k = app.faults().k;
         let n = app.len();
 
-        let mut pending_preds: Vec<usize> =
-            app.processes().map(|p| app.graph().predecessors(p).count()).collect();
+        let mut pending_preds: Vec<usize> = app
+            .processes()
+            .map(|p| app.graph().predecessors(p).count())
+            .collect();
         let mut resolved = vec![false; n];
         let mut dropped = vec![false; n];
         let mut completions: Vec<Option<Time>> = vec![None; n];
@@ -175,8 +177,7 @@ impl<'a> GreedyOnlineScheduler<'a> {
                         .criticality()
                         .utility()
                         .expect("soft process has a utility");
-                    let density = u.value(now + times.aet())
-                        / times.aet().as_ms().max(1) as f64;
+                    let density = u.value(now + times.aet()) / times.aet().as_ms().max(1) as f64;
                     (p, density)
                 })
                 .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
@@ -220,9 +221,7 @@ impl<'a> GreedyOnlineScheduler<'a> {
                         .criticality()
                         .utility()
                         .expect("soft process has a utility");
-                    let worthwhile = u
-                        .value(now + mu + app.process(p).times().aet())
-                        > 0.0;
+                    let worthwhile = u.value(now + mu + app.process(p).times().aet()) > 0.0;
                     worthwhile && self.hard_safe(&resolved, p, now + mu, k - faults_seen)
                 };
                 if !retry {
@@ -242,7 +241,13 @@ impl<'a> GreedyOnlineScheduler<'a> {
                 let preds: Vec<NodeId> = app.graph().predecessors(p).collect();
                 let sum: f64 = preds
                     .iter()
-                    .map(|q| if dropped[q.index()] { 0.0 } else { alpha[q.index()] })
+                    .map(|q| {
+                        if dropped[q.index()] {
+                            0.0
+                        } else {
+                            alpha[q.index()]
+                        }
+                    })
                     .sum();
                 let a = (1.0 + sum) / (1.0 + preds.len() as f64);
                 alpha[p.index()] = a;
@@ -335,11 +340,7 @@ mod tests {
 
     fn fig1_app() -> Application {
         let mut b = Application::builder(t(300), FaultModel::new(1, t(10)));
-        let p1 = b.add_hard(
-            "P1",
-            ExecutionTimes::uniform(t(30), t(70)).unwrap(),
-            t(180),
-        );
+        let p1 = b.add_hard("P1", ExecutionTimes::uniform(t(30), t(70)).unwrap(), t(180));
         let p2 = b.add_soft(
             "P2",
             ExecutionTimes::uniform(t(30), t(70)).unwrap(),
@@ -375,7 +376,10 @@ mod tests {
             for _ in 0..500 {
                 let sc = sampler.sample(&mut rng, f);
                 let out = g.run(&sc);
-                assert!(out.deadline_miss.is_none(), "deadline missed with {f} faults");
+                assert!(
+                    out.deadline_miss.is_none(),
+                    "deadline missed with {f} faults"
+                );
             }
         }
     }
@@ -405,8 +409,7 @@ mod tests {
     fn greedy_recovers_hard_faults() {
         let app = fig1_app();
         let attempts = app.faults().k + 1;
-        let mut faulty: Vec<Vec<bool>> =
-            app.processes().map(|_| vec![false; attempts]).collect();
+        let mut faulty: Vec<Vec<bool>> = app.processes().map(|_| vec![false; attempts]).collect();
         faulty[0][0] = true;
         let sc = ExecutionScenario::from_tables(
             app.processes()

@@ -4,7 +4,14 @@
 //! execution scenarios per fault count (0, 1, 2, 3 faults) and reports the
 //! average utility (§6). [`MonteCarlo`] reproduces that harness, replaying
 //! identical scenarios against every scheduler under comparison and
-//! parallelizing across threads with `crossbeam` scoped threads.
+//! splitting scenario batches across scoped worker threads (enabled by the
+//! `parallel` feature, on by default).
+//!
+//! Results are independent of the thread count: scenario `i` derives its
+//! seed from `(base_seed, i)` alone, and per-thread partial statistics are
+//! merged with Welford/Chan combination, so serial and parallel runs agree
+//! to floating-point merge order (means are exactly equal; see the
+//! `parallel_means_match_serial` test).
 
 use crate::online::OnlineScheduler;
 use crate::scenario::ScenarioSampler;
@@ -20,7 +27,8 @@ pub struct MonteCarlo {
     pub scenarios: usize,
     /// Base RNG seed; scenario `i` derives its own deterministic stream.
     pub seed: u64,
-    /// Number of worker threads (1 = sequential).
+    /// Number of worker threads (1 = sequential). Ignored (forced to 1)
+    /// when the `parallel` feature is disabled.
     pub threads: usize,
 }
 
@@ -35,7 +43,11 @@ impl Default for MonteCarlo {
 }
 
 fn available_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, usize::from)
+    if cfg!(feature = "parallel") {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        1
+    }
 }
 
 /// Aggregated outcome of one evaluation run.
@@ -67,11 +79,13 @@ impl MonteCarlo {
         tree: &QuasiStaticTree,
         fault_count: usize,
     ) -> Evaluation {
-        let threads = self.threads.max(1).min(self.scenarios.max(1));
-        let chunk = self.scenarios.div_ceil(threads.max(1));
+        let threads = effective_threads(self.threads, self.scenarios);
+        if threads <= 1 {
+            return evaluate_range(app, tree, fault_count, self.seed, 0, self.scenarios);
+        }
+        let chunk = self.scenarios.div_ceil(threads);
         let mut partials: Vec<Evaluation> = Vec::new();
-
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for t in 0..threads {
                 let lo = t * chunk;
@@ -80,28 +94,14 @@ impl MonteCarlo {
                     break;
                 }
                 let seed = self.seed;
-                handles.push(scope.spawn(move |_| {
-                    let runner = OnlineScheduler::new(app, tree);
-                    let sampler = ScenarioSampler::new(app);
-                    let mut eval = Evaluation::default();
-                    for i in lo..hi {
-                        let mut rng = StdRng::seed_from_u64(scenario_seed(seed, i as u64));
-                        let scenario = sampler.sample(&mut rng, fault_count);
-                        let out = runner.run(&scenario);
-                        eval.utility.add(out.utility);
-                        eval.faults.add(out.faults_hit as f64);
-                        if out.deadline_miss.is_some() {
-                            eval.deadline_misses += 1;
-                        }
-                    }
-                    eval
-                }));
+                handles.push(
+                    scope.spawn(move || evaluate_range(app, tree, fault_count, seed, lo, hi)),
+                );
             }
             for h in handles {
                 partials.push(h.join().expect("worker thread panicked"));
             }
-        })
-        .expect("crossbeam scope failed");
+        });
 
         let mut total = Evaluation::default();
         for p in &partials {
@@ -128,6 +128,41 @@ impl MonteCarlo {
     }
 }
 
+/// Clamp the requested thread count to something useful; the `parallel`
+/// feature gate forces serial execution when disabled.
+fn effective_threads(requested: usize, scenarios: usize) -> usize {
+    if cfg!(feature = "parallel") {
+        requested.max(1).min(scenarios.max(1))
+    } else {
+        1
+    }
+}
+
+/// Evaluates the scenario index range `lo..hi` — the per-thread worker.
+fn evaluate_range(
+    app: &Application,
+    tree: &QuasiStaticTree,
+    fault_count: usize,
+    seed: u64,
+    lo: usize,
+    hi: usize,
+) -> Evaluation {
+    let runner = OnlineScheduler::new(app, tree);
+    let sampler = ScenarioSampler::new(app);
+    let mut eval = Evaluation::default();
+    for i in lo..hi {
+        let mut rng = StdRng::seed_from_u64(scenario_seed(seed, i as u64));
+        let scenario = sampler.sample(&mut rng, fault_count);
+        let out = runner.run(&scenario);
+        eval.utility.add(out.utility);
+        eval.faults.add(out.faults_hit as f64);
+        if out.deadline_miss.is_some() {
+            eval.deadline_misses += 1;
+        }
+    }
+    eval
+}
+
 /// SplitMix64-style mixing so per-scenario seeds are decorrelated.
 fn scenario_seed(base: u64, i: u64) -> u64 {
     let mut z = base ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
@@ -140,9 +175,7 @@ fn scenario_seed(base: u64, i: u64) -> u64 {
 mod tests {
     use super::*;
     use ftqs_core::ftqs::{ftqs, FtqsConfig};
-    use ftqs_core::{
-        ExecutionTimes, FaultModel, Time, UtilityFunction,
-    };
+    use ftqs_core::{ExecutionTimes, FaultModel, Time, UtilityFunction};
 
     fn t(ms: u64) -> Time {
         Time::from_ms(ms)
@@ -150,11 +183,7 @@ mod tests {
 
     fn fig1_app() -> Application {
         let mut b = Application::builder(t(300), FaultModel::new(1, t(10)));
-        let p1 = b.add_hard(
-            "P1",
-            ExecutionTimes::uniform(t(30), t(70)).unwrap(),
-            t(180),
-        );
+        let p1 = b.add_hard("P1", ExecutionTimes::uniform(t(30), t(70)).unwrap(), t(180));
         let p2 = b.add_soft(
             "P2",
             ExecutionTimes::uniform(t(30), t(70)).unwrap(),
@@ -194,14 +223,37 @@ mod tests {
             seed: 7,
             threads: 1,
         };
-        let par = MonteCarlo {
-            threads: 4,
-            ..base
-        };
+        let par = MonteCarlo { threads: 4, ..base };
         let a = base.evaluate(&app, &tree, 1);
         let b = par.evaluate(&app, &tree, 1);
         assert!((a.utility.mean() - b.utility.mean()).abs() < 1e-9);
         assert_eq!(a.utility.count(), b.utility.count());
+    }
+
+    #[test]
+    fn parallel_means_match_serial_across_thread_counts() {
+        // The ISSUE-mandated property: for a fixed seed, the parallel
+        // evaluation's statistics must match the serial ones for every
+        // thread split (each scenario's seed depends only on its index).
+        let app = fig1_app();
+        let tree = ftqs(&app, &FtqsConfig::with_budget(6)).unwrap();
+        let serial = MonteCarlo {
+            scenarios: 257, // deliberately not divisible by the thread counts
+            seed: 0xC0FFEE,
+            threads: 1,
+        };
+        let reference = serial.evaluate(&app, &tree, 1);
+        for threads in [2usize, 3, 5, 8] {
+            let par = MonteCarlo { threads, ..serial };
+            let got = par.evaluate(&app, &tree, 1);
+            assert_eq!(got.utility.count(), reference.utility.count());
+            assert!(
+                (got.utility.mean() - reference.utility.mean()).abs() < 1e-9,
+                "{threads} threads diverged"
+            );
+            assert!((got.faults.mean() - reference.faults.mean()).abs() < 1e-9);
+            assert_eq!(got.deadline_misses, reference.deadline_misses);
+        }
     }
 
     #[test]

@@ -19,9 +19,7 @@
 
 use crate::scenario::ExecutionScenario;
 use crate::trace::{DropReason, Trace, TraceEvent};
-use ftqs_core::{
-    Application, FSchedule, QuasiStaticTree, ScheduleAnalysis, Time, TreeNodeId,
-};
+use ftqs_core::{Application, FSchedule, QuasiStaticTree, ScheduleAnalysis, Time, TreeNodeId};
 use ftqs_graph::NodeId;
 
 /// Result of simulating one operation cycle.
@@ -162,8 +160,7 @@ impl<'a> OnlineScheduler<'a> {
                     true // hard processes always re-execute (within k, which
                          // the scenario respects by construction)
                 } else {
-                    let lst =
-                        analysis.latest_start(app, &entry, pos, k - faults_seen);
+                    let lst = analysis.latest_start(app, &entry, pos, k - faults_seen);
                     attempt < entry.reexecutions && now + mu <= lst
                 };
                 if !may_recover {
@@ -184,7 +181,13 @@ impl<'a> OnlineScheduler<'a> {
                     let preds: Vec<NodeId> = app.graph().predecessors(p).collect();
                     let sum: f64 = preds
                         .iter()
-                        .map(|q| if dropped[q.index()] { 0.0 } else { alpha[q.index()] })
+                        .map(|q| {
+                            if dropped[q.index()] {
+                                0.0
+                            } else {
+                                alpha[q.index()]
+                            }
+                        })
                         .sum();
                     let a = (1.0 + sum) / (1.0 + preds.len() as f64);
                     alpha[p.index()] = a;
@@ -267,9 +270,7 @@ mod tests {
     use super::*;
     use ftqs_core::ftqs::{ftqs, FtqsConfig};
     use ftqs_core::ftss::ftss;
-    use ftqs_core::{
-        ExecutionTimes, FaultModel, FtssConfig, ScheduleContext, UtilityFunction,
-    };
+    use ftqs_core::{ExecutionTimes, FaultModel, FtssConfig, ScheduleContext, UtilityFunction};
 
     fn t(ms: u64) -> Time {
         Time::from_ms(ms)
@@ -303,8 +304,9 @@ mod tests {
         durs: &[(NodeId, [u64; 2])],
         faults: &[(NodeId, usize)],
     ) -> ExecutionScenario {
-        let mut durations: Vec<Vec<Time>> =
-            app.processes().map(|p| {
+        let mut durations: Vec<Vec<Time>> = app
+            .processes()
+            .map(|p| {
                 let w = app.process(p).times().wcet();
                 vec![w; 2]
             })

@@ -56,10 +56,7 @@ impl ExecutionScenario {
             .processes()
             .map(|p| vec![app.process(p).times().aet(); attempts])
             .collect();
-        let faulty = app
-            .processes()
-            .map(|_| vec![false; attempts])
-            .collect();
+        let faulty = app.processes().map(|_| vec![false; attempts]).collect();
         ExecutionScenario {
             durations,
             faulty,

@@ -135,17 +135,29 @@ impl Trace {
                     process,
                     attempt,
                     at,
-                } => writeln!(out, "{at:>8}  start    {} (attempt {attempt})", name(*process)),
+                } => writeln!(
+                    out,
+                    "{at:>8}  start    {} (attempt {attempt})",
+                    name(*process)
+                ),
                 TraceEvent::Completed {
                     process,
                     at,
                     utility,
-                } => writeln!(out, "{at:>8}  done     {} (utility {utility:.1})", name(*process)),
+                } => writeln!(
+                    out,
+                    "{at:>8}  done     {} (utility {utility:.1})",
+                    name(*process)
+                ),
                 TraceEvent::Fault {
                     process,
                     attempt,
                     at,
-                } => writeln!(out, "{at:>8}  FAULT    {} (attempt {attempt})", name(*process)),
+                } => writeln!(
+                    out,
+                    "{at:>8}  FAULT    {} (attempt {attempt})",
+                    name(*process)
+                ),
                 TraceEvent::Dropped {
                     process,
                     at,

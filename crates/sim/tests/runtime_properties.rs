@@ -1,24 +1,31 @@
-//! Property-based tests of the online runtime: whatever the execution
+//! Property-style tests of the online runtime: whatever the execution
 //! times and fault pattern, the scheduler must (a) never miss a hard
 //! deadline, (b) complete every hard process, (c) keep time consistent,
 //! and (d) credit utility consistently with the stale-coefficient rules.
+//! Cases are generated from explicit seed loops (no proptest in this
+//! environment); the failing seed triple is in every assertion message.
 
 use ftqs_core::ftqs::{ftqs, FtqsConfig};
 use ftqs_core::ftss::ftss;
 use ftqs_core::{
-    Application, ExecutionTimes, FaultModel, FtssConfig, QuasiStaticTree,
-    ScheduleContext, StaleCoefficients, Time, UtilityFunction,
+    Application, ExecutionTimes, FaultModel, FtssConfig, QuasiStaticTree, ScheduleContext,
+    StaleCoefficients, Time, UtilityFunction,
 };
 use ftqs_sim::{ExecutionScenario, GreedyOnlineScheduler, OnlineScheduler, ScenarioSampler};
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-/// A fixed family of mixed applications (seeded), paired with arbitrary
-/// scenario seeds and fault counts — proptest explores the scenario space
-/// while the applications stay schedulable by construction.
-fn arb_case() -> impl Strategy<Value = (u64, u64, usize)> {
-    (0u64..8, any::<u64>(), 0usize..=3)
+/// One generated case: which application family, which scenario stream,
+/// how many planned faults — mirrors the original proptest strategy.
+fn cases() -> impl Iterator<Item = (u64, u64, usize)> {
+    (0..48u64).map(|i| {
+        let mut rng = StdRng::seed_from_u64(0xCA5E ^ i);
+        (
+            rng.gen_range(0u64..8),
+            rng.gen::<u64>(),
+            rng.gen_range(0usize..=3),
+        )
+    })
 }
 
 fn build_app(seed: u64) -> Application {
@@ -28,11 +35,9 @@ fn build_app(seed: u64) -> Application {
     synthetic::generate_schedulable(&params, &mut rng, 50)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn tree_runtime_never_misses_hard_deadlines((app_seed, sc_seed, faults) in arb_case()) {
+#[test]
+fn tree_runtime_never_misses_hard_deadlines() {
+    for (app_seed, sc_seed, faults) in cases() {
         let app = build_app(app_seed);
         let faults = faults.min(app.faults().k);
         let tree = ftqs(&app, &FtqsConfig::with_budget(6)).expect("schedulable");
@@ -40,33 +45,49 @@ proptest! {
         let sampler = ScenarioSampler::new(&app);
         let sc = sampler.sample(&mut StdRng::seed_from_u64(sc_seed), faults);
         let out = runner.run(&sc);
-        prop_assert!(out.deadline_miss.is_none());
+        assert!(
+            out.deadline_miss.is_none(),
+            "case {app_seed}/{sc_seed}/{faults}"
+        );
         // Every hard process completed.
         for h in app.hard_processes() {
-            prop_assert!(out.completions[h.index()].is_some(), "hard process not run");
+            assert!(
+                out.completions[h.index()].is_some(),
+                "hard process not run; case {app_seed}/{sc_seed}/{faults}"
+            );
         }
     }
+}
 
-    #[test]
-    fn greedy_runtime_never_misses_hard_deadlines((app_seed, sc_seed, faults) in arb_case()) {
+#[test]
+fn greedy_runtime_never_misses_hard_deadlines() {
+    for (app_seed, sc_seed, faults) in cases() {
         let app = build_app(app_seed);
         let faults = faults.min(app.faults().k);
         let runner = GreedyOnlineScheduler::new(&app);
         let sampler = ScenarioSampler::new(&app);
         let sc = sampler.sample(&mut StdRng::seed_from_u64(sc_seed), faults);
         let out = runner.run(&sc);
-        prop_assert!(out.deadline_miss.is_none());
+        assert!(
+            out.deadline_miss.is_none(),
+            "case {app_seed}/{sc_seed}/{faults}"
+        );
         for h in app.hard_processes() {
-            prop_assert!(out.completions[h.index()].is_some());
+            assert!(
+                out.completions[h.index()].is_some(),
+                "case {app_seed}/{sc_seed}/{faults}"
+            );
         }
     }
+}
 
-    #[test]
-    fn completions_are_strictly_ordered_and_positive((app_seed, sc_seed, faults) in arb_case()) {
+#[test]
+fn completions_are_strictly_ordered_and_positive() {
+    for (app_seed, sc_seed, faults) in cases() {
         let app = build_app(app_seed);
         let faults = faults.min(app.faults().k);
-        let root = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default())
-            .expect("schedulable");
+        let root =
+            ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).expect("schedulable");
         let order = root.order_key();
         let tree = QuasiStaticTree::single(root);
         let runner = OnlineScheduler::new(&app, &tree);
@@ -79,23 +100,28 @@ proptest! {
         let mut prev = Time::ZERO;
         for p in order {
             if let Some(at) = out.completions[p.index()] {
-                prop_assert!(at >= prev, "completions must not regress");
+                assert!(
+                    at >= prev,
+                    "completions regress; case {app_seed}/{sc_seed}/{faults}"
+                );
                 prev = at;
             }
         }
-        prop_assert!(out.makespan >= prev);
+        assert!(out.makespan >= prev, "case {app_seed}/{sc_seed}/{faults}");
     }
+}
 
-    #[test]
-    fn utility_matches_stale_recomputation((app_seed, sc_seed, faults) in arb_case()) {
+#[test]
+fn utility_matches_stale_recomputation() {
+    for (app_seed, sc_seed, faults) in cases() {
         // Recompute the total utility from the outcome's completions and
         // the final dropped set (no revival happens in a 1-node tree, so
         // the final-mask StaleCoefficients equal the runtime-incremental
         // alphas).
         let app = build_app(app_seed);
         let faults = faults.min(app.faults().k);
-        let root = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default())
-            .expect("schedulable");
+        let root =
+            ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).expect("schedulable");
         let tree = QuasiStaticTree::single(root);
         let runner = OnlineScheduler::new(&app, &tree);
         let sampler = ScenarioSampler::new(&app);
@@ -116,12 +142,17 @@ proptest! {
                 expect += alpha.get(p) * u.value(at);
             }
         }
-        prop_assert!((out.utility - expect).abs() < 1e-9,
-            "runtime utility {} != recomputed {expect}", out.utility);
+        assert!(
+            (out.utility - expect).abs() < 1e-9,
+            "runtime utility {} != recomputed {expect}; case {app_seed}/{sc_seed}/{faults}",
+            out.utility
+        );
     }
+}
 
-    #[test]
-    fn faults_hit_never_exceed_plan((app_seed, sc_seed, faults) in arb_case()) {
+#[test]
+fn faults_hit_never_exceed_plan() {
+    for (app_seed, sc_seed, faults) in cases() {
         let app = build_app(app_seed);
         let faults = faults.min(app.faults().k);
         let tree = ftqs(&app, &FtqsConfig::with_budget(4)).expect("schedulable");
@@ -129,8 +160,14 @@ proptest! {
         let sampler = ScenarioSampler::new(&app);
         let sc = sampler.sample(&mut StdRng::seed_from_u64(sc_seed), faults);
         let out = runner.run(&sc);
-        prop_assert!(out.faults_hit <= faults);
-        prop_assert!(out.trace.fault_count() <= faults);
+        assert!(
+            out.faults_hit <= faults,
+            "case {app_seed}/{sc_seed}/{faults}"
+        );
+        assert!(
+            out.trace.fault_count() <= faults,
+            "case {app_seed}/{sc_seed}/{faults}"
+        );
     }
 }
 
@@ -141,13 +178,21 @@ proptest! {
 fn exhaustive_fault_placements_on_small_app() {
     let ms = Time::from_ms;
     let mut b = Application::builder(ms(400), FaultModel::new(2, ms(5)));
-    let h1 = b.add_hard("H1", ExecutionTimes::uniform(ms(10), ms(40)).unwrap(), ms(200));
+    let h1 = b.add_hard(
+        "H1",
+        ExecutionTimes::uniform(ms(10), ms(40)).unwrap(),
+        ms(200),
+    );
     let s1 = b.add_soft(
         "S1",
         ExecutionTimes::uniform(ms(10), ms(40)).unwrap(),
         UtilityFunction::step(20.0, [(ms(120), 10.0), (ms(300), 0.0)]).unwrap(),
     );
-    let h2 = b.add_hard("H2", ExecutionTimes::uniform(ms(10), ms(40)).unwrap(), ms(380));
+    let h2 = b.add_hard(
+        "H2",
+        ExecutionTimes::uniform(ms(10), ms(40)).unwrap(),
+        ms(380),
+    );
     b.add_dependency(h1, s1).unwrap();
     b.add_dependency(h1, h2).unwrap();
     let app = b.build().unwrap();

@@ -54,44 +54,111 @@ pub fn cruise_controller() -> Result<Application, ApplicationError> {
         Process::soft(name, et(bcet, wcet), u).with_recovery_overhead(mu10(wcet))
     };
     let step = |peak: f64, points: [(u64, f64); 3]| {
-        UtilityFunction::step(
-            peak,
-            points.map(|(t, v)| (Time::from_ms(t), v)),
-        )
-        .expect("fixed utility tables are valid")
+        UtilityFunction::step(peak, points.map(|(t, v)| (Time::from_ms(t), v)))
+            .expect("fixed utility tables are valid")
     };
 
     // --- Sensor acquisition (soft: stale sensor values degrade, they do
     // not endanger the actuators thanks to the hard safety monitor). ------
-    let wheel_fl = b.add_process(soft("wheel_speed_fl", 2, 6, step(12.0, [(40, 8.0), (90, 4.0), (160, 0.0)])));
-    let wheel_fr = b.add_process(soft("wheel_speed_fr", 2, 6, step(12.0, [(40, 8.0), (90, 4.0), (160, 0.0)])));
-    let wheel_rl = b.add_process(soft("wheel_speed_rl", 2, 6, step(12.0, [(40, 8.0), (90, 4.0), (160, 0.0)])));
-    let wheel_rr = b.add_process(soft("wheel_speed_rr", 2, 6, step(12.0, [(40, 8.0), (90, 4.0), (160, 0.0)])));
-    let engine_rpm = b.add_process(soft("engine_rpm", 2, 8, step(14.0, [(50, 9.0), (110, 4.0), (180, 0.0)])));
-    let throttle_pos = b.add_process(soft("throttle_position", 2, 8, step(14.0, [(50, 9.0), (110, 4.0), (180, 0.0)])));
+    let wheel_fl = b.add_process(soft(
+        "wheel_speed_fl",
+        2,
+        6,
+        step(12.0, [(40, 8.0), (90, 4.0), (160, 0.0)]),
+    ));
+    let wheel_fr = b.add_process(soft(
+        "wheel_speed_fr",
+        2,
+        6,
+        step(12.0, [(40, 8.0), (90, 4.0), (160, 0.0)]),
+    ));
+    let wheel_rl = b.add_process(soft(
+        "wheel_speed_rl",
+        2,
+        6,
+        step(12.0, [(40, 8.0), (90, 4.0), (160, 0.0)]),
+    ));
+    let wheel_rr = b.add_process(soft(
+        "wheel_speed_rr",
+        2,
+        6,
+        step(12.0, [(40, 8.0), (90, 4.0), (160, 0.0)]),
+    ));
+    let engine_rpm = b.add_process(soft(
+        "engine_rpm",
+        2,
+        8,
+        step(14.0, [(50, 9.0), (110, 4.0), (180, 0.0)]),
+    ));
+    let throttle_pos = b.add_process(soft(
+        "throttle_position",
+        2,
+        8,
+        step(14.0, [(50, 9.0), (110, 4.0), (180, 0.0)]),
+    ));
 
     // --- Driver interface (hard where it gates actuation). ---------------
     // Brake/clutch detection must always deactivate the CC: hard.
     let brake_pedal = b.add_process(hard("brake_pedal_monitor", 2, 8, 60));
     let clutch = b.add_process(hard("clutch_monitor", 2, 8, 70));
-    let buttons = b.add_process(soft("driver_buttons", 2, 10, step(10.0, [(60, 6.0), (140, 3.0), (220, 0.0)])));
+    let buttons = b.add_process(soft(
+        "driver_buttons",
+        2,
+        10,
+        step(10.0, [(60, 6.0), (140, 3.0), (220, 0.0)]),
+    ));
 
     // --- Signal conditioning / estimation. --------------------------------
-    let wheel_filter = b.add_process(soft("wheel_speed_filter", 4, 12, step(16.0, [(70, 10.0), (140, 5.0), (220, 0.0)])));
+    let wheel_filter = b.add_process(soft(
+        "wheel_speed_filter",
+        4,
+        12,
+        step(16.0, [(70, 10.0), (140, 5.0), (220, 0.0)]),
+    ));
     let speed_est = b.add_process(hard("vehicle_speed_estimator", 6, 16, 120));
-    let accel_est = b.add_process(soft("acceleration_estimator", 4, 12, step(14.0, [(90, 9.0), (160, 4.0), (240, 0.0)])));
-    let slope_est = b.add_process(soft("road_slope_estimator", 4, 14, step(10.0, [(100, 6.0), (180, 3.0), (260, 0.0)])));
-    let rpm_filter = b.add_process(soft("rpm_filter", 3, 10, step(10.0, [(80, 6.0), (150, 3.0), (230, 0.0)])));
+    let accel_est = b.add_process(soft(
+        "acceleration_estimator",
+        4,
+        12,
+        step(14.0, [(90, 9.0), (160, 4.0), (240, 0.0)]),
+    ));
+    let slope_est = b.add_process(soft(
+        "road_slope_estimator",
+        4,
+        14,
+        step(10.0, [(100, 6.0), (180, 3.0), (260, 0.0)]),
+    ));
+    let rpm_filter = b.add_process(soft(
+        "rpm_filter",
+        3,
+        10,
+        step(10.0, [(80, 6.0), (150, 3.0), (230, 0.0)]),
+    ));
 
     // --- Mode logic & set-speed management. --------------------------------
     let mode_logic = b.add_process(hard("mode_logic", 4, 12, 150));
-    let setpoint = b.add_process(soft("setpoint_manager", 3, 10, step(12.0, [(100, 8.0), (180, 4.0), (260, 0.0)])));
-    let resume_logic = b.add_process(soft("resume_logic", 2, 8, step(8.0, [(110, 5.0), (190, 2.0), (270, 0.0)])));
+    let setpoint = b.add_process(soft(
+        "setpoint_manager",
+        3,
+        10,
+        step(12.0, [(100, 8.0), (180, 4.0), (260, 0.0)]),
+    ));
+    let resume_logic = b.add_process(soft(
+        "resume_logic",
+        2,
+        8,
+        step(8.0, [(110, 5.0), (190, 2.0), (270, 0.0)]),
+    ));
 
     // --- Control law (hard: feeds the actuators). --------------------------
     let speed_error = b.add_process(hard("speed_error", 2, 8, 170));
     let pi_controller = b.add_process(hard("pi_controller", 5, 14, 200));
-    let feedforward = b.add_process(soft("slope_feedforward", 3, 10, step(12.0, [(150, 8.0), (220, 4.0), (280, 0.0)])));
+    let feedforward = b.add_process(soft(
+        "slope_feedforward",
+        3,
+        10,
+        step(12.0, [(150, 8.0), (220, 4.0), (280, 0.0)]),
+    ));
     let limiter = b.add_process(hard("command_limiter", 2, 6, 215));
 
     // --- Actuation (hard). --------------------------------------------------
@@ -99,15 +166,60 @@ pub fn cruise_controller() -> Result<Application, ApplicationError> {
     let safety_monitor = b.add_process(hard("actuation_safety_monitor", 2, 8, 255));
 
     // --- Comfort / diagnosis / telemetry (soft). ----------------------------
-    let jerk_limiter = b.add_process(soft("jerk_shaping", 3, 10, step(10.0, [(200, 6.0), (250, 3.0), (290, 0.0)])));
-    let display = b.add_process(soft("driver_display", 3, 12, step(14.0, [(180, 9.0), (240, 4.0), (295, 0.0)])));
-    let chime = b.add_process(soft("audible_feedback", 2, 6, step(6.0, [(200, 4.0), (260, 2.0), (295, 0.0)])));
-    let diag_engine = b.add_process(soft("diagnosis_engine", 4, 14, step(12.0, [(210, 8.0), (260, 4.0), (298, 0.0)])));
-    let dtc_logger = b.add_process(soft("dtc_logger", 3, 12, step(8.0, [(220, 5.0), (270, 2.0), (298, 0.0)])));
-    let can_tx = b.add_process(soft("can_status_tx", 2, 8, step(10.0, [(220, 6.0), (270, 3.0), (298, 0.0)])));
-    let trip_computer = b.add_process(soft("trip_computer", 3, 12, step(8.0, [(230, 5.0), (280, 2.0), (299, 0.0)])));
-    let adaptive_tuner = b.add_process(soft("gain_adaptation", 4, 14, step(10.0, [(230, 6.0), (280, 3.0), (299, 0.0)])));
-    let telemetry = b.add_process(soft("telemetry_uplink", 3, 10, step(6.0, [(240, 4.0), (285, 2.0), (299, 0.0)])));
+    let jerk_limiter = b.add_process(soft(
+        "jerk_shaping",
+        3,
+        10,
+        step(10.0, [(200, 6.0), (250, 3.0), (290, 0.0)]),
+    ));
+    let display = b.add_process(soft(
+        "driver_display",
+        3,
+        12,
+        step(14.0, [(180, 9.0), (240, 4.0), (295, 0.0)]),
+    ));
+    let chime = b.add_process(soft(
+        "audible_feedback",
+        2,
+        6,
+        step(6.0, [(200, 4.0), (260, 2.0), (295, 0.0)]),
+    ));
+    let diag_engine = b.add_process(soft(
+        "diagnosis_engine",
+        4,
+        14,
+        step(12.0, [(210, 8.0), (260, 4.0), (298, 0.0)]),
+    ));
+    let dtc_logger = b.add_process(soft(
+        "dtc_logger",
+        3,
+        12,
+        step(8.0, [(220, 5.0), (270, 2.0), (298, 0.0)]),
+    ));
+    let can_tx = b.add_process(soft(
+        "can_status_tx",
+        2,
+        8,
+        step(10.0, [(220, 6.0), (270, 3.0), (298, 0.0)]),
+    ));
+    let trip_computer = b.add_process(soft(
+        "trip_computer",
+        3,
+        12,
+        step(8.0, [(230, 5.0), (280, 2.0), (299, 0.0)]),
+    ));
+    let adaptive_tuner = b.add_process(soft(
+        "gain_adaptation",
+        4,
+        14,
+        step(10.0, [(230, 6.0), (280, 3.0), (299, 0.0)]),
+    ));
+    let telemetry = b.add_process(soft(
+        "telemetry_uplink",
+        3,
+        10,
+        step(6.0, [(240, 4.0), (285, 2.0), (299, 0.0)]),
+    ));
 
     // --- Dependencies -------------------------------------------------------
     let dep = |b: &mut ftqs_core::ApplicationBuilder, from: NodeId, to: NodeId| {

@@ -32,9 +32,7 @@
 //! paths, and redundant predecessors would dilute the stale-value
 //! coefficients (they divide by `1 + |DP(Pi)|`).
 
-use ftqs_core::{
-    Application, ApplicationError, Criticality, FaultModel, Process, Time,
-};
+use ftqs_core::{Application, ApplicationError, Criticality, FaultModel, Process, Time};
 use ftqs_graph::hyper::lcm;
 use ftqs_graph::NodeId;
 
@@ -73,12 +71,13 @@ pub fn merge(apps: &[Application]) -> Result<Application, ApplicationError> {
     if apps.is_empty() {
         return Err(ApplicationError::Empty);
     }
-    let hyperperiod = apps
-        .iter()
-        .map(|a| a.period().as_ms())
-        .fold(1, lcm);
+    let hyperperiod = apps.iter().map(|a| a.period().as_ms()).fold(1, lcm);
     let k = apps.iter().map(|a| a.faults().k).max().unwrap_or(0);
-    let mu = apps.iter().map(|a| a.faults().mu).max().unwrap_or(Time::ZERO);
+    let mu = apps
+        .iter()
+        .map(|a| a.faults().mu)
+        .max()
+        .unwrap_or(Time::ZERO);
 
     let mut b = Application::builder(Time::from_ms(hyperperiod), FaultModel::new(k, mu));
     for app in apps {
@@ -218,8 +217,14 @@ mod tests {
         // graph activates three times; log.0 (sink of instance 0) must
         // precede sense.1 (source of instance 1).
         let m = merge(&[fast_app(), slow_app()]).unwrap();
-        let log0 = m.processes().find(|&p| m.process(p).name() == "log.0").unwrap();
-        let sense1 = m.processes().find(|&p| m.process(p).name() == "sense.1").unwrap();
+        let log0 = m
+            .processes()
+            .find(|&p| m.process(p).name() == "log.0")
+            .unwrap();
+        let sense1 = m
+            .processes()
+            .find(|&p| m.process(p).name() == "sense.1")
+            .unwrap();
         assert!(m.graph().has_edge(log0, sense1));
         // A single-app merge degenerates to one activation, unchained.
         let single = merge(&[fast_app()]).unwrap();
@@ -241,9 +246,7 @@ mod tests {
     #[test]
     fn per_process_recovery_overrides_survive_merge() {
         let mut b = Application::builder(t(100), FaultModel::new(1, t(2)));
-        b.add_process(
-            ftqs_core::Process::hard("x", et(5, 10), t(90)).with_recovery_overhead(t(1)),
-        );
+        b.add_process(ftqs_core::Process::hard("x", et(5, 10), t(90)).with_recovery_overhead(t(1)));
         let app = b.build().unwrap();
         let m = merge(&[app]).unwrap();
         let p = m.processes().next().unwrap();

@@ -27,8 +27,7 @@
 //! formatting).
 
 use ftqs_core::{
-    Application, ApplicationBuilder, ExecutionTimes, FaultModel, Process, Time,
-    UtilityFunction,
+    Application, ApplicationBuilder, ExecutionTimes, FaultModel, Process, Time, UtilityFunction,
 };
 use ftqs_graph::NodeId;
 use std::collections::HashMap;
@@ -108,8 +107,7 @@ pub fn parse(input: &str) -> Result<Application, ParseSpecError> {
                 let bcet = parse_u64(&mut tok, lineno, "bcet")?;
                 let wcet = parse_u64(&mut tok, lineno, "wcet")?;
                 let rest: Vec<&str> = tok.collect();
-                let process =
-                    parse_process_tail(&name, kind, bcet, wcet, &rest, lineno)?;
+                let process = parse_process_tail(&name, kind, bcet, wcet, &rest, lineno)?;
                 names.insert(name, processes.len());
                 processes.push(PendingProcess {
                     process,
@@ -160,7 +158,9 @@ fn parse_u64<'a>(
     line: usize,
     what: &str,
 ) -> Result<u64, ParseSpecError> {
-    let raw = tok.next().ok_or_else(|| err(line, format!("missing {what}")))?;
+    let raw = tok
+        .next()
+        .ok_or_else(|| err(line, format!("missing {what}")))?;
     raw.parse()
         .map_err(|_| err(line, format!("invalid {what}: '{raw}'")))
 }
@@ -248,7 +248,12 @@ fn parse_process_tail(
             let u = UtilityFunction::step(p, steps).map_err(|e| err(line, e.to_string()))?;
             Process::soft(name, times, u)
         }
-        other => return Err(err(line, format!("expected 'hard' or 'soft', got '{other}'"))),
+        other => {
+            return Err(err(
+                line,
+                format!("expected 'hard' or 'soft', got '{other}'"),
+            ))
+        }
     };
     Ok(match recovery {
         Some(mu) => process.with_recovery_overhead(Time::from_ms(mu)),
@@ -393,19 +398,17 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_are_ignored() {
-        let app = parse(
-            "# header\n\nperiod 100\nfaults 0 0\nprocess A soft 1 2 utility 5 # trailing\n",
-        )
-        .unwrap();
+        let app =
+            parse("# header\n\nperiod 100\nfaults 0 0\nprocess A soft 1 2 utility 5 # trailing\n")
+                .unwrap();
         assert_eq!(app.len(), 1);
     }
 
     #[test]
     fn explicit_aet_and_recovery() {
-        let app = parse(
-            "period 100\nfaults 1 5\nprocess A hard 10 30 aet 12 deadline 90 recovery 3\n",
-        )
-        .unwrap();
+        let app =
+            parse("period 100\nfaults 1 5\nprocess A hard 10 30 aet 12 deadline 90 recovery 3\n")
+                .unwrap();
         let p = app.processes().next().unwrap();
         assert_eq!(app.process(p).times().aet(), Time::from_ms(12));
         assert_eq!(app.recovery_overhead(p), Time::from_ms(3));
@@ -417,7 +420,11 @@ mod tests {
             ("period 100\nbogus x\n", 2, "unknown directive"),
             ("period 100\nprocess A hard 10 30\n", 2, "needs 'deadline'"),
             ("period 100\nprocess A soft 10 30\n", 2, "needs 'utility'"),
-            ("period 100\nprocess A soft 30 10 utility 5\n", 2, "bcet <= aet <= wcet"),
+            (
+                "period 100\nprocess A soft 30 10 utility 5\n",
+                2,
+                "bcet <= aet <= wcet",
+            ),
             (
                 "period 100\nprocess A soft 1 2 utility 5\nedge A B\n",
                 3,
@@ -443,10 +450,8 @@ mod tests {
 
     #[test]
     fn duplicate_process_is_rejected() {
-        let e = parse(
-            "period 100\nprocess A soft 1 2 utility 5\nprocess A soft 1 2 utility 5\n",
-        )
-        .unwrap_err();
+        let e = parse("period 100\nprocess A soft 1 2 utility 5\nprocess A soft 1 2 utility 5\n")
+            .unwrap_err();
         assert!(e.message.contains("duplicate"));
     }
 

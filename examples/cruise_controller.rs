@@ -43,12 +43,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .iter()
             .map(|&p| app.process(p).name())
             .collect();
-        println!("  statically dropped soft processes: {}", dropped.join(", "));
+        println!(
+            "  statically dropped soft processes: {}",
+            dropped.join(", ")
+        );
     }
 
     // Quasi-static tree with the paper's 39-schedule budget.
     let tree = ftqs::core::ftqs::ftqs(&app, &FtqsConfig::with_budget(39))?;
-    println!("\nquasi-static tree: {} schedules, depth {}", tree.len(), tree.depth());
+    println!(
+        "\nquasi-static tree: {} schedules, depth {}",
+        tree.len(),
+        tree.depth()
+    );
 
     // Monte Carlo comparison.
     let mc = MonteCarlo {

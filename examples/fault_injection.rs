@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let runner = OnlineScheduler::new(&app, &tree);
     let sampler = ScenarioSampler::new(&app);
 
-    println!("\n{:>7}  {:>10}  {:>9}  {:>9}  {:>8}", "faults", "utility", "switches", "drops", "misses");
+    println!(
+        "\n{:>7}  {:>10}  {:>9}  {:>9}  {:>8}",
+        "faults", "utility", "switches", "drops", "misses"
+    );
     for faults in 0..=k {
         let mut rng = StdRng::seed_from_u64(1000 + faults as u64);
         let mut utility = ftqs::sim::stats::Accumulator::new();
@@ -55,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             switches as f64 / CYCLES as f64,
             drops as f64 / CYCLES as f64,
         );
-        assert_eq!(misses, 0, "hard deadlines must hold under any fault pattern");
+        assert_eq!(
+            misses, 0,
+            "hard deadlines must hold under any fault pattern"
+        );
     }
     println!("\nno hard deadline was ever missed — the recovery slack absorbed every fault.");
     Ok(())

@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         threads: std::thread::available_parallelism().map_or(1, usize::from),
     };
 
-    println!("\n{:>7}  {:>6}  {:>6}  {:>10}  {:>10}", "budget", "nodes", "depth", "u(0 faults)", "u(3 faults)");
+    println!(
+        "\n{:>7}  {:>6}  {:>6}  {:>10}  {:>10}",
+        "budget", "nodes", "depth", "u(0 faults)", "u(3 faults)"
+    );
     for budget in [1usize, 2, 4, 8, 16, 32] {
         let tree = ftqs::core::ftqs::ftqs(&app, &FtqsConfig::with_budget(budget))?;
         let u0 = mc.evaluate(&app, &tree, 0).utility.mean();
@@ -63,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let out = runner.run(&sc);
         if out.trace.switch_count() > 0 {
             println!("\na cycle that switched schedules:");
-            print!("{}", out.trace.render(|n| app.process(n).name().to_string()));
+            print!(
+                "{}",
+                out.trace.render(|n| app.process(n).name().to_string())
+            );
             break;
         }
     }

@@ -30,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     b.add_dependency(p1, p2)?;
     b.add_dependency(p1, p3)?;
     let app = b.build()?;
-    println!("application: {} processes, period {}", app.len(), app.period());
+    println!(
+        "application: {} processes, period {}",
+        app.len(),
+        app.period()
+    );
 
     // --- Static fault-tolerant schedule (FTSS) ---------------------------
     let schedule = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default())?;
@@ -49,7 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Quasi-static tree (FTQS) -----------------------------------------
     let tree = ftqs::core::ftqs::ftqs(&app, &FtqsConfig::with_budget(8))?;
-    println!("\nquasi-static tree: {} schedules, depth {}", tree.len(), tree.depth());
+    println!(
+        "\nquasi-static tree: {} schedules, depth {}",
+        tree.len(),
+        tree.depth()
+    );
     for (id, node) in tree.iter() {
         let order: Vec<&str> = node
             .schedule
@@ -57,7 +65,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .iter()
             .map(|&p| app.process(p).name())
             .collect();
-        println!("  node {id}: [{}] ({} switch arcs)", order.join(", "), node.arcs.len());
+        println!(
+            "  node {id}: [{}] ({} switch arcs)",
+            order.join(", "),
+            node.arcs.len()
+        );
     }
 
     // --- Replay three cycles ----------------------------------------------
@@ -102,7 +114,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         out.deadline_miss.is_none()
     );
     println!("\ntrace of the faulty cycle:");
-    print!("{}", out.trace.render(|n| app.process(n).name().to_string()));
+    print!(
+        "{}",
+        out.trace.render(|n| app.process(n).name().to_string())
+    );
 
     Ok(())
 }

@@ -57,9 +57,9 @@ pub mod prelude {
     pub use ftqs_core::ftsf::ftsf;
     pub use ftqs_core::ftss::ftss;
     pub use ftqs_core::{
-        Application, Criticality, ExecutionTimes, FSchedule, FaultModel, FtssConfig,
-        Process, QuasiStaticTree, ScheduleContext, SchedulingError, StaleCoefficients,
-        Time, UtilityFunction,
+        Application, Criticality, ExecutionTimes, FSchedule, FaultModel, FtssConfig, Process,
+        QuasiStaticTree, ScheduleContext, SchedulingError, StaleCoefficients, Time,
+        UtilityFunction,
     };
     pub use ftqs_graph::{Dag, NodeId};
     pub use ftqs_sim::{

@@ -36,8 +36,8 @@ fn ftqs_never_loses_to_ftss_in_no_fault_expectation() {
     // per-scenario, hence also in the mean).
     for seed in 0..5u64 {
         let app = generated_app(15, 100 + seed);
-        let root = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default())
-            .expect("schedulable");
+        let root =
+            ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).expect("schedulable");
         let single = QuasiStaticTree::single(root);
         let tree = ftqs(&app, &FtqsConfig::with_budget(12)).expect("schedulable");
         let mc = MonteCarlo {
@@ -109,7 +109,10 @@ fn identical_scenarios_make_comparisons_deterministic() {
 fn cruise_controller_end_to_end() {
     let app = cruise_controller().expect("valid model");
     let tree = ftqs(&app, &FtqsConfig::with_budget(16)).expect("schedulable");
-    assert!(tree.len() > 1, "the CC must profit from quasi-static schedules");
+    assert!(
+        tree.len() > 1,
+        "the CC must profit from quasi-static schedules"
+    );
     let mc = MonteCarlo {
         scenarios: 500,
         seed: 4,
@@ -119,7 +122,10 @@ fn cruise_controller_end_to_end() {
     for faults in 0..=2 {
         let eval = mc.evaluate(&app, &tree, faults);
         assert_eq!(eval.deadline_misses, 0);
-        assert!(eval.utility.mean() <= prev + 1e-9, "utility grows with faults?");
+        assert!(
+            eval.utility.mean() <= prev + 1e-9,
+            "utility grows with faults?"
+        );
         prev = eval.utility.mean();
     }
 }

@@ -32,17 +32,13 @@ int main(void) {
 "#;
 
 fn c_compiler() -> Option<&'static str> {
-    for cc in ["cc", "gcc", "clang"] {
-        if Command::new(cc)
+    ["cc", "gcc", "clang"].into_iter().find(|cc| {
+        Command::new(cc)
             .arg("--version")
             .output()
             .map(|o| o.status.success())
             .unwrap_or(false)
-        {
-            return Some(cc);
-        }
-    }
-    None
+    })
 }
 
 #[test]
@@ -83,7 +79,8 @@ fn generated_header_compiles_and_switches() {
     let header = ftqs::core::export::tree_to_c(&app, &tree, "fig1");
     std::fs::write(dir.join("fig1_tree.h"), header).expect("write header");
     let mut f = std::fs::File::create(dir.join("smoke.c")).expect("create c file");
-    f.write_all(RUNTIME_SMOKE_C.as_bytes()).expect("write c file");
+    f.write_all(RUNTIME_SMOKE_C.as_bytes())
+        .expect("write c file");
     drop(f);
 
     let bin = dir.join("smoke");

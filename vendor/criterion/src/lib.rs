@@ -1,0 +1,235 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkId`], [`Bencher::iter`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros — backed by a
+//! plain wall-clock sampler: per benchmark it warms up, sizes an iteration
+//! batch, takes `sample_size` samples, and prints the median ns/iter in a
+//! stable, machine-greppable one-line format:
+//!
+//! ```text
+//! bench: <group>/<id> ... median <N> ns/iter (<samples> samples)
+//! ```
+//!
+//! Set `FTQS_BENCH_JSON=<path>` to additionally append one JSON line per
+//! benchmark (`{"name": ..., "median_ns": ...}`) — the bench-trajectory
+//! tooling consumes this.
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-exported opaque value barrier.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(name, 20, &mut f);
+        self
+    }
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id rendered from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f` with a fixed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.label);
+        run_benchmark(&name, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure with no extra input.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_benchmark(&name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (prints nothing extra; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the measured
+/// routine.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: BencherMode,
+    /// Iterations per timing sample (sized during calibration).
+    batch: u64,
+    /// Accumulated duration of the last [`Bencher::iter`] call.
+    elapsed: Duration,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BencherMode {
+    Calibrate,
+    Measure,
+}
+
+impl Bencher {
+    /// Runs the measured routine `batch` times and records the elapsed time.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        match self.mode {
+            BencherMode::Calibrate => {
+                // One untimed pass to warm caches, then size the batch so a
+                // sample lasts ~5 ms (bounded to keep slow benches usable).
+                let t0 = Instant::now();
+                black_box(routine());
+                let once = t0.elapsed().max(Duration::from_nanos(20));
+                let target = Duration::from_millis(5);
+                self.batch = (target.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+                self.elapsed = once;
+            }
+            BencherMode::Measure => {
+                let t0 = Instant::now();
+                for _ in 0..self.batch {
+                    black_box(routine());
+                }
+                self.elapsed = t0.elapsed();
+            }
+        }
+    }
+}
+
+fn run_benchmark(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        mode: BencherMode::Calibrate,
+        batch: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let batch = bencher.batch;
+
+    let mut samples_ns: Vec<u128> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            mode: BencherMode::Measure,
+            batch,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() / u128::from(batch.max(1)));
+    }
+    samples_ns.sort_unstable();
+    let median = samples_ns[samples_ns.len() / 2];
+    println!("bench: {name} ... median {median} ns/iter ({sample_size} samples)");
+
+    if let Ok(path) = std::env::var("FTQS_BENCH_JSON") {
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(file, "{{\"name\":\"{name}\",\"median_ns\":{median}}}");
+        }
+    }
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut count = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(1), &5u64, |b, &x| {
+            b.iter(|| {
+                count += 1;
+                x * 2
+            });
+        });
+        group.finish();
+        assert!(count > 0, "routine must have run");
+    }
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+}

@@ -1,0 +1,339 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container building this repository has no network access, so the
+//! real serde cannot be fetched. This crate keeps the workspace's
+//! `#[derive(Serialize, Deserialize)]` and `serde_json` round trips working
+//! through a small *value model*: `Serialize` lowers any supported type to
+//! a [`Value`] tree, `Deserialize` rebuilds it, and the companion
+//! `serde_json` stand-in renders/parses JSON text for [`Value`].
+//!
+//! Only the shapes this workspace serializes are supported — integer and
+//! float scalars, booleans, strings, `Option`, `Vec`, 2-tuples, and derived
+//! structs/enums — which is exactly what the quasi-static tree artifacts
+//! need. The derive macros live in the sibling `serde_derive` crate and are
+//! re-exported under the usual names, so `use serde::{Serialize,
+//! Deserialize}` resolves both the traits and the derives.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A serialized value tree (the stand-in's data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (used for `Option::None`).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Non-negative integer, kept exact (u64 range).
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (arrays, tuples).
+    Seq(Vec<Value>),
+    /// Map with string keys in insertion order (structs, enum wrappers).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a struct field by name.
+    ///
+    /// # Errors
+    ///
+    /// [`DeError`] if `self` is not a map or lacks the field.
+    pub fn get_field(&self, name: &str) -> Result<&Value, DeError> {
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| DeError::new(format!("missing field `{name}`"))),
+            _ => Err(DeError::new(format!(
+                "expected map with field `{name}`, found {self:?}"
+            ))),
+        }
+    }
+
+    /// Returns element `i` of a sequence.
+    ///
+    /// # Errors
+    ///
+    /// [`DeError`] if `self` is not a sequence or too short.
+    pub fn seq_item(&self, i: usize) -> Result<&Value, DeError> {
+        match self {
+            Value::Seq(items) => items
+                .get(i)
+                .ok_or_else(|| DeError::new(format!("sequence too short for index {i}"))),
+            _ => Err(DeError::new("expected sequence")),
+        }
+    }
+
+    /// Splits an enum encoding into `(variant_name, payload)`.
+    ///
+    /// Unit variants are encoded as `Str(name)`; data variants as a
+    /// single-entry map `{name: payload}`.
+    ///
+    /// # Errors
+    ///
+    /// [`DeError`] on any other shape.
+    pub fn enum_variant(&self) -> Result<(&str, Option<&Value>), DeError> {
+        match self {
+            Value::Str(s) => Ok((s, None)),
+            Value::Map(entries) if entries.len() == 1 => {
+                Ok((entries[0].0.as_str(), Some(&entries[0].1)))
+            }
+            _ => Err(DeError::new("expected enum encoding")),
+        }
+    }
+}
+
+/// Deserialization failure (shape mismatch, missing field, parse error).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Lowers a value to the [`Value`] data model.
+pub trait Serialize {
+    /// Serializes `self` into a value tree.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Rebuilds a value from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Deserializes from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// [`DeError`] when the value's shape does not match `Self`.
+    fn deserialize_value(value: &Value) -> Result<Self, DeError>;
+}
+
+// ----- scalar impls --------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::U64(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::U64(x) => <$t>::try_from(*x)
+                        .map_err(|_| DeError::new("integer out of range")),
+                    _ => Err(DeError::new(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn serialize_value(&self) -> Value {
+        Value::U64(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::U64(x) => usize::try_from(*x).map_err(|_| DeError::new("usize out of range")),
+            _ => Err(DeError::new("expected usize")),
+        }
+    }
+}
+
+impl Serialize for i64 {
+    fn serialize_value(&self) -> Value {
+        if *self >= 0 {
+            Value::U64(*self as u64)
+        } else {
+            Value::I64(*self)
+        }
+    }
+}
+
+impl Deserialize for i64 {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::I64(x) => Ok(*x),
+            Value::U64(x) => i64::try_from(*x).map_err(|_| DeError::new("i64 out of range")),
+            _ => Err(DeError::new("expected i64")),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::F64(x) => Ok(*x),
+            Value::U64(x) => Ok(*x as f64),
+            Value::I64(x) => Ok(*x as f64),
+            _ => Err(DeError::new("expected number")),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::new("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::new("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+// ----- composite impls -----------------------------------------------------
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::deserialize_value).collect(),
+            _ => Err(DeError::new("expected sequence")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.serialize_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(vec![self.0.serialize_value(), self.1.serialize_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Seq(items) if items.len() == 2 => Ok((
+                A::deserialize_value(&items[0])?,
+                B::deserialize_value(&items[1])?,
+            )),
+            _ => Err(DeError::new("expected 2-tuple")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [0u64, 1, u64::MAX] {
+            let val = v.serialize_value();
+            assert_eq!(u64::deserialize_value(&val).unwrap(), v);
+        }
+        assert_eq!(
+            f64::deserialize_value(&1.5f64.serialize_value()).unwrap(),
+            1.5
+        );
+        assert!(bool::deserialize_value(&true.serialize_value()).unwrap());
+    }
+
+    #[test]
+    fn composites_round_trip() {
+        let v: Vec<Option<u32>> = vec![Some(1), None, Some(3)];
+        let val = v.serialize_value();
+        assert_eq!(Vec::<Option<u32>>::deserialize_value(&val).unwrap(), v);
+        let pair = (7u64, 2.5f64);
+        assert_eq!(
+            <(u64, f64)>::deserialize_value(&pair.serialize_value()).unwrap(),
+            pair
+        );
+    }
+
+    #[test]
+    fn field_lookup_reports_missing() {
+        let m = Value::Map(vec![("a".into(), Value::U64(1))]);
+        assert!(m.get_field("a").is_ok());
+        assert!(m.get_field("b").is_err());
+    }
+}

@@ -1,0 +1,417 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment of this repository has no network access, so the
+//! real serde cannot be fetched. This proc-macro crate derives the
+//! workspace-local `serde` facade's value-model traits (see
+//! `vendor/serde`): `Serialize` lowers a type to `serde::Value`,
+//! `Deserialize` rebuilds it. The parser is hand-rolled over
+//! `proc_macro::TokenStream` (no `syn`/`quote`) and supports exactly the
+//! shapes this workspace uses:
+//!
+//! * structs with named fields (optionally generic over plain type
+//!   parameters, e.g. `Dag<N>`),
+//! * tuple structs (a single field is treated as a transparent newtype),
+//! * enums with unit, single-field tuple, and named-field variants.
+//!
+//! Field and variant *types* never need to be parsed: deserialization code
+//! is emitted against the struct/variant constructors, so type inference
+//! binds each `Deserialize::deserialize_value` call to the right impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-model lowering).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(input);
+    item.gen_serialize().parse().expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize` (value-model reconstruction).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(input);
+    item.gen_deserialize()
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Fields of one struct or enum variant.
+enum Fields {
+    Unit,
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields; only the arity matters.
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+struct Item {
+    name: String,
+    /// Plain type-parameter names (`Dag<N>` -> `["N"]`).
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+impl Item {
+    fn parse(input: TokenStream) -> Item {
+        let mut tokens = input.into_iter().peekable();
+        // Skip attributes (`#[...]`, including doc comments) and visibility.
+        let mut is_enum = false;
+        loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next(); // the bracketed attribute body
+                }
+                Some(TokenTree::Ident(id)) => {
+                    let s = id.to_string();
+                    if s == "pub" {
+                        // Possible `pub(crate)` group follows.
+                        if let Some(TokenTree::Group(g)) = tokens.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                tokens.next();
+                            }
+                        }
+                    } else if s == "struct" {
+                        break;
+                    } else if s == "enum" {
+                        is_enum = true;
+                        break;
+                    }
+                }
+                Some(_) => {}
+                None => panic!("derive input ended before `struct`/`enum`"),
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected type name, got {other:?}"),
+        };
+        // Optional generics: only plain `<A, B>` lists are supported.
+        let mut generics = Vec::new();
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '<' {
+                tokens.next();
+                loop {
+                    match tokens.next() {
+                        Some(TokenTree::Punct(p)) if p.as_char() == '>' => break,
+                        Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+                        Some(TokenTree::Ident(id)) => generics.push(id.to_string()),
+                        other => panic!("unsupported generics token {other:?}"),
+                    }
+                }
+            }
+        }
+        let kind = if is_enum {
+            let body = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body, got {other:?}"),
+            };
+            Kind::Enum(parse_variants(body))
+        } else {
+            match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Kind::Struct(Fields::Named(parse_named_fields(g.stream())))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Kind::Struct(Fields::Tuple(parse_tuple_arity(g.stream())))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Struct(Fields::Unit),
+                other => panic!("expected struct body, got {other:?}"),
+            }
+        };
+        Item {
+            name,
+            generics,
+            kind,
+        }
+    }
+
+    /// `impl<...> serde::Trait for Name<...>` header with per-parameter
+    /// trait bounds.
+    fn impl_header(&self, trait_path: &str) -> String {
+        if self.generics.is_empty() {
+            format!("impl {trait_path} for {}", self.name)
+        } else {
+            let bounded: Vec<String> = self
+                .generics
+                .iter()
+                .map(|g| format!("{g}: {trait_path}"))
+                .collect();
+            format!(
+                "impl<{}> {trait_path} for {}<{}>",
+                bounded.join(", "),
+                self.name,
+                self.generics.join(", ")
+            )
+        }
+    }
+
+    fn gen_serialize(&self) -> String {
+        let body = match &self.kind {
+            Kind::Struct(fields) => serialize_fields_expr(fields, &self.name, None),
+            Kind::Enum(variants) => {
+                let mut arms = String::new();
+                for v in variants {
+                    arms.push_str(&serialize_variant_arm(&self.name, v));
+                }
+                format!("match self {{ {arms} }}")
+            }
+        };
+        format!(
+            "#[automatically_derived]\n{header} {{\n fn serialize_value(&self) -> ::serde::Value {{ {body} }}\n}}\n",
+            header = self.impl_header("::serde::Serialize")
+        )
+    }
+
+    fn gen_deserialize(&self) -> String {
+        let body = match &self.kind {
+            Kind::Struct(fields) => deserialize_fields_expr(fields, &self.name),
+            Kind::Enum(variants) => {
+                let mut arms = String::new();
+                for v in variants {
+                    arms.push_str(&deserialize_variant_arm(&self.name, v));
+                }
+                format!(
+                    "let (tag, inner) = value.enum_variant()?;\n match tag {{ {arms} \
+                     _ => Err(::serde::DeError::new(\"unknown enum variant\")), }}"
+                )
+            }
+        };
+        format!(
+            "#[automatically_derived]\n{header} {{\n fn deserialize_value(value: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{ {body} }}\n}}\n",
+            header = self.impl_header("::serde::Deserialize")
+        )
+    }
+}
+
+/// Serialization expression for struct fields (`self.x`) or, when
+/// `bound_prefix` is given, for match-bound variant fields.
+fn serialize_fields_expr(fields: &Fields, type_name: &str, bound_prefix: Option<&str>) -> String {
+    let _ = type_name;
+    match fields {
+        Fields::Unit => "::serde::Value::Seq(::std::vec::Vec::new())".to_string(),
+        Fields::Named(names) => {
+            let mut entries = String::new();
+            for n in names {
+                let access = match bound_prefix {
+                    Some(_) => n.clone(),
+                    None => format!("&self.{n}"),
+                };
+                entries.push_str(&format!(
+                    "(::std::string::String::from(\"{n}\"), ::serde::Serialize::serialize_value({access})),"
+                ));
+            }
+            format!("::serde::Value::Map(::std::vec![{entries}])")
+        }
+        Fields::Tuple(1) => {
+            let access = match bound_prefix {
+                Some(_) => "f0".to_string(),
+                None => "&self.0".to_string(),
+            };
+            format!("::serde::Serialize::serialize_value({access})")
+        }
+        Fields::Tuple(n) => {
+            let mut items = String::new();
+            for i in 0..*n {
+                let access = match bound_prefix {
+                    Some(_) => format!("f{i}"),
+                    None => format!("&self.{i}"),
+                };
+                items.push_str(&format!("::serde::Serialize::serialize_value({access}),"));
+            }
+            format!("::serde::Value::Seq(::std::vec![{items}])")
+        }
+    }
+}
+
+fn serialize_variant_arm(type_name: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.fields {
+        Fields::Unit => format!(
+            "{type_name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+        ),
+        Fields::Named(names) => {
+            let binds = names.join(", ");
+            let inner = serialize_fields_expr(&v.fields, type_name, Some(""));
+            format!(
+                "{type_name}::{vn} {{ {binds} }} => ::serde::Value::Map(::std::vec![\
+                 (::std::string::String::from(\"{vn}\"), {inner})]),\n"
+            )
+        }
+        Fields::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let inner = serialize_fields_expr(&v.fields, type_name, Some(""));
+            format!(
+                "{type_name}::{vn}({}) => ::serde::Value::Map(::std::vec![\
+                 (::std::string::String::from(\"{vn}\"), {inner})]),\n",
+                binds.join(", ")
+            )
+        }
+    }
+}
+
+/// Deserialization expression constructing `ctor` from `value`.
+fn deserialize_fields_expr(fields: &Fields, ctor: &str) -> String {
+    match fields {
+        Fields::Unit => format!("Ok({ctor})"),
+        Fields::Named(names) => {
+            let mut inits = String::new();
+            for n in names {
+                inits.push_str(&format!(
+                    "{n}: ::serde::Deserialize::deserialize_value(value.get_field(\"{n}\")?)?,"
+                ));
+            }
+            format!("Ok({ctor} {{ {inits} }})")
+        }
+        Fields::Tuple(1) => {
+            format!("Ok({ctor}(::serde::Deserialize::deserialize_value(value)?))")
+        }
+        Fields::Tuple(n) => {
+            let mut items = String::new();
+            for i in 0..*n {
+                items.push_str(&format!(
+                    "::serde::Deserialize::deserialize_value(value.seq_item({i})?)?,"
+                ));
+            }
+            format!("Ok({ctor}({items}))")
+        }
+    }
+}
+
+fn deserialize_variant_arm(type_name: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.fields {
+        Fields::Unit => format!("\"{vn}\" => Ok({type_name}::{vn}),\n"),
+        _ => {
+            let inner = deserialize_fields_expr(&v.fields, &format!("{type_name}::{vn}"))
+                .replace("value.", "value_inner.");
+            format!(
+                "\"{vn}\" => {{ let value_inner = inner.ok_or_else(|| \
+                 ::serde::DeError::new(\"missing enum payload\"))?; {inner} }}\n"
+            )
+        }
+    }
+}
+
+/// Parses `{ a: T, pub b: U, ... }` field names, skipping attributes,
+/// visibility, and the type tokens after each `:` up to the next top-level
+/// comma.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let name = loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break Some(id.to_string()),
+                Some(other) => panic!("unexpected token before field name: {other:?}"),
+                None => break None,
+            }
+        };
+        let Some(name) = name else { break };
+        names.push(name);
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field name, got {other:?}"),
+        }
+        // Skip the type until a top-level comma. Angle brackets do not nest
+        // in token trees, so track their depth explicitly.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => {}
+                None => break,
+            }
+        }
+    }
+    names
+}
+
+/// Counts the fields of a tuple struct/variant body `(T, U, ...)`.
+fn parse_tuple_arity(body: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut saw_any = false;
+    let mut angle_depth = 0i32;
+    for t in body {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => arity += 1,
+            _ => saw_any = true,
+        }
+    }
+    if saw_any {
+        arity + 1
+    } else {
+        arity
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes before the variant name.
+        let name = loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) => break Some(id.to_string()),
+                Some(other) => panic!("unexpected token before variant: {other:?}"),
+                None => break None,
+            }
+        };
+        let Some(name) = name else { break };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let stream = g.stream();
+                tokens.next();
+                Fields::Named(parse_named_fields(stream))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let stream = g.stream();
+                tokens.next();
+                Fields::Tuple(parse_tuple_arity(stream))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Skip a possible discriminant and the separating comma.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                    tokens.next();
+                    break;
+                }
+                Some(_) => {
+                    tokens.next();
+                }
+                None => break,
+            }
+        }
+    }
+    variants
+}
