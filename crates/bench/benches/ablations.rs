@@ -9,10 +9,9 @@
 //!   `DetermineDropping` step disabled.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ftqs_core::ftqs::{ftqs, ExpansionPolicy, FtqsConfig};
-use ftqs_core::ftss::ftss;
+use ftqs_core::ftqs::ExpansionPolicy;
 use ftqs_core::wcdelay::{worst_case_fault_delay, SlackItem};
-use ftqs_core::{FtssConfig, ScheduleContext, Time};
+use ftqs_core::{Engine, FtssConfig, SynthesisRequest, Time};
 use ftqs_workloads::{presets, synthetic};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -23,8 +22,12 @@ fn bench_slack_models(c: &mut Criterion) {
     let params = presets::table1_params();
     let mut rng = StdRng::seed_from_u64(presets::app_seed(0xAB1A, 0));
     let app = synthetic::generate_schedulable(&params, &mut rng, 50);
-    let schedule =
-        ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).expect("schedulable");
+    let schedule = Engine::new()
+        .session()
+        .synthesize(&app, &SynthesisRequest::ftss())
+        .expect("schedulable")
+        .root_schedule()
+        .clone();
     let k = app.faults().k;
     let items: Vec<SlackItem> = schedule
         .entries()
@@ -73,12 +76,9 @@ fn bench_expansion_policies(c: &mut Criterion) {
         ("best_improvement", ExpansionPolicy::BestImprovement),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
-            let cfg = FtqsConfig {
-                max_schedules: 16,
-                policy,
-                ..FtqsConfig::default()
-            };
-            b.iter(|| ftqs(&app, &cfg).expect("schedulable"));
+            let mut session = Engine::new().session();
+            let req = SynthesisRequest::ftqs(16).with_expansion_policy(policy);
+            b.iter(|| session.synthesize(&app, &req).expect("schedulable"));
         });
     }
     group.finish();
@@ -100,7 +100,9 @@ fn bench_dropping(c: &mut Criterion) {
                     dropping,
                     ..FtssConfig::default()
                 };
-                b.iter(|| ftss(&app, &ScheduleContext::root(&app), &cfg).expect("schedulable"));
+                let mut session = Engine::new().with_ftss_config(cfg).session();
+                let req = SynthesisRequest::ftss();
+                b.iter(|| session.synthesize(&app, &req).expect("schedulable"));
             },
         );
     }

@@ -3,9 +3,7 @@
 //! experiment.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ftqs_core::ftsf::ftsf;
-use ftqs_core::ftss::ftss;
-use ftqs_core::{FtssConfig, ScheduleContext};
+use ftqs_core::{Engine, FtssConfig, ScheduleContext, SynthesisRequest};
 use ftqs_workloads::{presets, synthetic};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -17,8 +15,9 @@ fn bench_ftss(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(presets::app_seed(0xF755, size));
         let app = synthetic::generate_schedulable(&params, &mut rng, 50);
         group.bench_with_input(BenchmarkId::from_parameter(size), &app, |b, app| {
-            let cfg = FtssConfig::default();
-            b.iter(|| ftss(app, &ScheduleContext::root(app), &cfg).expect("schedulable"));
+            let mut session = Engine::new().session();
+            let req = SynthesisRequest::ftss();
+            b.iter(|| session.synthesize(app, &req).expect("schedulable"));
         });
     }
     group.finish();
@@ -50,8 +49,9 @@ fn bench_ftsf(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(presets::app_seed(0xF75F, size));
         let app = synthetic::generate_schedulable(&params, &mut rng, 50);
         group.bench_with_input(BenchmarkId::from_parameter(size), &app, |b, app| {
-            let cfg = FtssConfig::default();
-            b.iter(|| ftsf(app, &cfg).expect("schedulable"));
+            let mut session = Engine::new().session();
+            let req = SynthesisRequest::ftsf();
+            b.iter(|| session.synthesize(app, &req).expect("schedulable"));
         });
     }
     group.finish();

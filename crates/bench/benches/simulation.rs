@@ -3,9 +3,7 @@
 //! versus computing schedules online.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ftqs_core::ftqs::{ftqs, FtqsConfig};
-use ftqs_core::ftss::ftss;
-use ftqs_core::{FtssConfig, QuasiStaticTree, ScheduleContext};
+use ftqs_core::{Engine, SynthesisRequest};
 use ftqs_sim::{OnlineScheduler, ScenarioSampler};
 use ftqs_workloads::{presets, synthetic};
 use rand::rngs::StdRng;
@@ -17,7 +15,11 @@ fn bench_cycle(c: &mut Criterion) {
         let params = presets::fig9_params(size);
         let mut rng = StdRng::seed_from_u64(presets::app_seed(0x51AB, size));
         let app = synthetic::generate_schedulable(&params, &mut rng, 50);
-        let tree = ftqs(&app, &FtqsConfig::with_budget(16)).expect("schedulable");
+        let tree = Engine::new()
+            .session()
+            .synthesize(&app, &SynthesisRequest::ftqs(16))
+            .expect("schedulable")
+            .into_tree();
         let runner = OnlineScheduler::new(&app, &tree);
         let sampler = ScenarioSampler::new(&app);
         let scenarios: Vec<_> = (0..64)
@@ -39,10 +41,15 @@ fn bench_static_vs_tree(c: &mut Criterion) {
     let params = presets::fig9_params(30);
     let mut rng = StdRng::seed_from_u64(presets::app_seed(0x51AC, 0));
     let app = synthetic::generate_schedulable(&params, &mut rng, 50);
-    let root =
-        ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).expect("schedulable");
-    let single = QuasiStaticTree::single(root);
-    let tree = ftqs(&app, &FtqsConfig::with_budget(32)).expect("schedulable");
+    let mut session = Engine::new().session();
+    let single = session
+        .synthesize(&app, &SynthesisRequest::ftss())
+        .expect("schedulable")
+        .into_tree();
+    let tree = session
+        .synthesize(&app, &SynthesisRequest::ftqs(32))
+        .expect("schedulable")
+        .into_tree();
     let sampler = ScenarioSampler::new(&app);
     let sc = sampler.sample(&mut StdRng::seed_from_u64(5), 2);
 

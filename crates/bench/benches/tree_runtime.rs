@@ -4,7 +4,7 @@
 //! the growth with the budget is the reproduced shape).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ftqs_core::ftqs::{ftqs, FtqsConfig};
+use ftqs_core::{Engine, SynthesisRequest};
 use ftqs_workloads::{presets, synthetic};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -18,7 +18,9 @@ fn bench_tree_budget(c: &mut Criterion) {
     group.sample_size(10);
     for &m in &presets::TABLE1_NODES {
         group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
-            b.iter(|| ftqs(&app, &FtqsConfig::with_budget(m)).expect("schedulable"));
+            let mut session = Engine::new().session();
+            let req = SynthesisRequest::ftqs(m);
+            b.iter(|| session.synthesize(&app, &req).expect("schedulable"));
         });
     }
     group.finish();
@@ -32,7 +34,9 @@ fn bench_tree_by_size(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(presets::app_seed(0x7AB2, size));
         let app = synthetic::generate_schedulable(&params, &mut rng, 50);
         group.bench_with_input(BenchmarkId::from_parameter(size), &app, |b, app| {
-            b.iter(|| ftqs(app, &FtqsConfig::with_budget(16)).expect("schedulable"));
+            let mut session = Engine::new().session();
+            let req = SynthesisRequest::ftqs(16);
+            b.iter(|| session.synthesize(app, &req).expect("schedulable"));
         });
     }
     group.finish();
@@ -42,6 +46,7 @@ fn bench_tree_by_size(c: &mut Criterion) {
 /// benched at the same sizes so the optimized/baseline gap is visible in
 /// one run.
 fn bench_tree_by_size_reference(c: &mut Criterion) {
+    use ftqs_core::ftqs::FtqsConfig;
     use ftqs_core::oracle::ftqs_reference;
     let mut group = c.benchmark_group("ftqs_synthesis_by_size_reference");
     group.sample_size(10);

@@ -10,7 +10,8 @@
 //! [--scenarios N] [--seed N] [--policy most-similar|fifo|best] [--full]`
 
 use ftqs_bench::{fault_sweep, normalize, print_row, Options};
-use ftqs_core::ftqs::{ftqs, ExpansionPolicy, FtqsConfig};
+use ftqs_core::ftqs::ExpansionPolicy;
+use ftqs_core::{Engine, SynthesisRequest};
 use ftqs_sim::MonteCarlo;
 use ftqs_workloads::{presets, synthetic};
 use rand::rngs::StdRng;
@@ -53,10 +54,14 @@ fn main() {
     }
 
     // FTSS baseline per app (the 1-node tree).
+    let mut session = Engine::new().session();
     let baselines: Vec<_> = set
         .iter()
         .map(|app| {
-            let tree = ftqs(app, &FtqsConfig::with_budget(1)).expect("schedulable by filter");
+            let tree = session
+                .synthesize(app, &SynthesisRequest::ftqs(1))
+                .expect("schedulable by filter")
+                .into_tree();
             fault_sweep(app, &tree, &mc)
         })
         .collect();
@@ -67,14 +72,13 @@ fn main() {
         let mut memory_total = 0usize;
         let mut synth_time = std::time::Duration::ZERO;
         for (app, base) in set.iter().zip(&baselines) {
-            let cfg = FtqsConfig {
-                max_schedules: m,
-                policy,
-                ..FtqsConfig::default()
-            };
+            let request = SynthesisRequest::ftqs(m).with_expansion_policy(policy);
             let t0 = Instant::now();
-            let tree = ftqs(app, &cfg).expect("schedulable by filter");
+            let report = session
+                .synthesize(app, &request)
+                .expect("schedulable by filter");
             synth_time += t0.elapsed();
+            let tree = report.into_tree();
             kept_total += tree.len();
             memory_total += tree.memory_footprint_bytes();
             let sweep = fault_sweep(app, &tree, &mc);

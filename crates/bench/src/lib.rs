@@ -39,10 +39,7 @@
 
 #![warn(missing_docs)]
 
-use ftqs_core::ftqs::{ftqs, FtqsConfig};
-use ftqs_core::ftsf::ftsf;
-use ftqs_core::ftss::ftss;
-use ftqs_core::{Application, FtssConfig, QuasiStaticTree, ScheduleContext, SchedulingError};
+use ftqs_core::{Application, Engine, Error, QuasiStaticTree, SynthesisRequest};
 use ftqs_sim::MonteCarlo;
 
 /// The three schedulers of the paper's evaluation, synthesized for one
@@ -59,22 +56,44 @@ pub struct SchedulerSet {
 }
 
 impl SchedulerSet {
-    /// Builds all three schedulers with an FTQS budget of `m` schedules.
+    /// Builds all three schedulers with an FTQS budget of `m` schedules,
+    /// through a one-shot engine session.
     ///
     /// # Errors
     ///
-    /// Propagates [`SchedulingError`] when the application is
+    /// Propagates the engine [`Error`] when the application is
     /// unschedulable (callers typically skip such instances, as the paper's
     /// generator only retains schedulable ones).
-    pub fn build(app: &Application, m: usize) -> Result<SchedulerSet, SchedulingError> {
-        let ftss_cfg = FtssConfig::default();
-        let root = ftss(app, &ScheduleContext::root(app), &ftss_cfg)?;
-        let tree = ftqs(app, &FtqsConfig::with_budget(m))?;
-        let baseline = ftsf(app, &ftss_cfg)?;
+    pub fn build(app: &Application, m: usize) -> Result<SchedulerSet, Error> {
+        SchedulerSet::build_with(&mut Engine::new().session(), app, m)
+    }
+
+    /// Builds all three schedulers through a caller-provided session —
+    /// batch experiments (hundreds of applications) reuse one session so
+    /// the synthesis scratch is allocated once per worker, not per app.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine [`Error`] when the application is
+    /// unschedulable.
+    pub fn build_with(
+        session: &mut ftqs_core::Session,
+        app: &Application,
+        m: usize,
+    ) -> Result<SchedulerSet, Error> {
+        let tree = session
+            .synthesize(app, &SynthesisRequest::ftqs(m))?
+            .into_tree();
+        let root = session
+            .synthesize(app, &SynthesisRequest::ftss())?
+            .into_tree();
+        let baseline = session
+            .synthesize(app, &SynthesisRequest::ftsf())?
+            .into_tree();
         Ok(SchedulerSet {
             ftqs: tree,
-            ftss: QuasiStaticTree::single(root),
-            ftsf: QuasiStaticTree::single(baseline),
+            ftss: root,
+            ftsf: baseline,
         })
     }
 }

@@ -2,27 +2,75 @@
 //!
 //! Drives the whole pipeline from application spec files (see
 //! [`ftqs_workloads::spec`]): inspect, synthesize FTSS schedules and FTQS
-//! trees, export DOT/JSON, simulate cycles, and compare schedulers.
+//! trees through the [`ftqs_core::Engine`]/[`ftqs_core::Session`] API,
+//! export DOT/JSON/C, simulate cycles, and compare schedulers.
 //!
-//! The command implementations return their output as `String` so the
-//! binary stays a thin argv dispatcher and everything is unit-testable.
+//! Every command implementation returns its output as `String` so the
+//! binary stays a thin argv dispatcher ([`run`] is the dispatcher itself,
+//! unit-testable without a process). `info`, `schedule`, `tree`, and
+//! `compare` accept `--format json` and then emit machine-readable
+//! reports: `schedule`/`tree` serialize the engine's
+//! [`ftqs_core::SynthesisReport`] verbatim (stable field order via serde
+//! declaration order), `info` and `compare` serialize the CLI-level
+//! [`InfoReport`]/[`CompareReport`] structs.
 
 #![warn(missing_docs)]
 
-use ftqs_core::ftqs::{ftqs, FtqsConfig};
-use ftqs_core::ftsf::ftsf;
-use ftqs_core::ftss::ftss;
-use ftqs_core::validate::validate_tree;
-use ftqs_core::{Application, FtssConfig, QuasiStaticTree, ScheduleContext, Time};
+use ftqs_core::{Application, Engine, QuasiStaticTree, SynthesisRequest, Time};
 use ftqs_sim::{ExecutionScenario, GreedyOnlineScheduler, OnlineScheduler, ScenarioSampler};
 use ftqs_workloads::spec;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt::Write as _;
 
-/// Boxed error alias for command results.
+/// Boxed error alias for command results (spec/I-O errors plus the typed
+/// [`ftqs_core::Error`] from synthesis).
 pub type CliError = Box<dyn Error>;
+
+/// Output format of the report-emitting commands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// Human-readable text (the default).
+    #[default]
+    Text,
+    /// Machine-readable JSON with a stable field order.
+    Json,
+}
+
+/// Output format of [`tree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeFormat {
+    /// Human-readable listing.
+    Text,
+    /// Graphviz digraph.
+    Dot,
+    /// The serialized [`ftqs_core::SynthesisReport`] (the artifact an embedded
+    /// runtime or a batch pipeline would load).
+    Json,
+}
+
+/// Usage banner shared by the binary and error paths.
+pub const USAGE: &str =
+    "usage: ftqs <info|schedule|tree|graph|simulate|compare|trace|export> <spec> [options]
+  <spec>: a spec file path, '-' for stdin, or '--example' for the paper's Fig. 1
+
+  info     --format text|json
+  schedule --format text|json
+  tree     --budget N (default 8), --dot | --json | --format json
+  simulate --cycles N (1000), --faults F (0), --seed S (1), --budget N (8), --trace
+  compare  --scenarios N (500), --budget N (8), --seed S (1), --format text|json
+  trace    --budget N (8)
+  export   --budget N (8), --prefix SYM (ftqs; must be a C identifier)";
+
+/// The engine configuration every command synthesizes with: defaults plus
+/// structural validation (CLI artifacts leave the process, so they are
+/// checked before they are printed).
+#[must_use]
+pub fn engine() -> Engine {
+    Engine::new().with_validation(true)
+}
 
 /// Loads an application: `--example` yields the paper's Fig. 1 spec, `-`
 /// reads stdin, anything else is a file path.
@@ -39,117 +87,163 @@ pub fn load(source: &str) -> Result<Application, CliError> {
     Ok(spec::parse(&text)?)
 }
 
+/// Machine-readable result of `ftqs info`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InfoReport {
+    /// Total process count.
+    pub processes: usize,
+    /// Hard process count.
+    pub hard: usize,
+    /// Soft process count.
+    pub soft: usize,
+    /// Application period in milliseconds.
+    pub period_ms: u64,
+    /// Fault budget `k`.
+    pub k: usize,
+    /// Recovery overhead µ in milliseconds.
+    pub mu_ms: u64,
+    /// Sum of worst-case execution times in milliseconds.
+    pub total_wcet_ms: u64,
+    /// Whether FTSS finds a schedulable solution.
+    pub schedulable: bool,
+    /// Entries in the FTSS schedule (0 when unschedulable).
+    pub scheduled: usize,
+    /// Statically dropped soft processes (0 when unschedulable).
+    pub dropped: usize,
+    /// The error message when unschedulable.
+    pub error: Option<String>,
+}
+
 /// `ftqs info <spec>` — application summary and schedulability.
 ///
 /// # Errors
 ///
 /// Load/parse errors.
-pub fn info(source: &str) -> Result<String, CliError> {
+pub fn info(source: &str, format: OutputFormat) -> Result<String, CliError> {
     let app = load(source)?;
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{} processes ({} hard / {} soft), period {}, k = {}, mu = {}",
-        app.len(),
-        app.hard_processes().count(),
-        app.soft_processes().count(),
-        app.period(),
-        app.faults().k,
-        app.faults().mu
-    );
-    let _ = writeln!(out, "total WCET {}", app.total_wcet());
-    match ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()) {
-        Ok(s) => {
+    let mut session = engine().session();
+    let outcome = session.synthesize(&app, &SynthesisRequest::ftss());
+    let report = InfoReport {
+        processes: app.len(),
+        hard: app.hard_processes().count(),
+        soft: app.soft_processes().count(),
+        period_ms: app.period().as_ms(),
+        k: app.faults().k,
+        mu_ms: app.faults().mu.as_ms(),
+        total_wcet_ms: app.total_wcet().as_ms(),
+        schedulable: outcome.is_ok(),
+        scheduled: outcome
+            .as_ref()
+            .map_or(0, |r| r.root_schedule().entries().len()),
+        dropped: outcome.as_ref().map_or(0, |r| r.dropped.count),
+        error: outcome.as_ref().err().map(ToString::to_string),
+    };
+    match format {
+        OutputFormat::Json => Ok(to_json_line(&report)?),
+        OutputFormat::Text => {
+            let mut out = String::new();
             let _ = writeln!(
                 out,
-                "FTSS: schedulable ({} scheduled, {} dropped)",
-                s.entries().len(),
-                s.statically_dropped().len()
+                "{} processes ({} hard / {} soft), period {}, k = {}, mu = {}",
+                report.processes,
+                report.hard,
+                report.soft,
+                app.period(),
+                report.k,
+                app.faults().mu
             );
-        }
-        Err(e) => {
-            let _ = writeln!(out, "FTSS: UNSCHEDULABLE — {e}");
+            let _ = writeln!(out, "total WCET {}", app.total_wcet());
+            if report.schedulable {
+                let _ = writeln!(
+                    out,
+                    "FTSS: schedulable ({} scheduled, {} dropped)",
+                    report.scheduled, report.dropped
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "FTSS: UNSCHEDULABLE — {}",
+                    report.error.as_deref().unwrap_or("unknown")
+                );
+            }
+            Ok(out)
         }
     }
-    Ok(out)
 }
 
-/// `ftqs schedule <spec>` — the FTSS schedule with worst-case analysis.
+/// `ftqs schedule <spec>` — the FTSS schedule with worst-case analysis;
+/// `--format json` emits the engine's [`ftqs_core::SynthesisReport`].
 ///
 /// # Errors
 ///
-/// Load/parse errors or [`ftqs_core::SchedulingError`].
-pub fn schedule(source: &str) -> Result<String, CliError> {
+/// Load/parse errors or [`ftqs_core::Error`].
+pub fn schedule(source: &str, format: OutputFormat) -> Result<String, CliError> {
     let app = load(source)?;
-    let s = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default())?;
-    let a = s.analyze(&app);
-    let k = app.faults().k;
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{:<4} {:<20} {:>5} {:>7} {:>9} {:>9} {:>10}",
-        "#", "process", "kind", "reexec", "nominal", "worst", "lst(k)"
-    );
-    for (pos, e) in s.entries().iter().enumerate() {
-        let p = app.process(e.process);
-        let lst = a.latest_start(&app, e, pos, k);
-        let lst_str = if lst == Time::MAX {
-            "-".to_string()
-        } else {
-            lst.to_string()
-        };
-        let _ = writeln!(
-            out,
-            "{:<4} {:<20} {:>5} {:>7} {:>9} {:>9} {:>10}",
-            pos,
-            p.name(),
-            if p.is_hard() { "hard" } else { "soft" },
-            e.reexecutions,
-            a.nominal_completion(pos).to_string(),
-            a.worst_completion(pos).to_string(),
-            lst_str,
-        );
+    let mut session = engine().session();
+    let report = session.synthesize(&app, &SynthesisRequest::ftss())?;
+    match format {
+        OutputFormat::Json => Ok(to_json_pretty(&report)?),
+        OutputFormat::Text => {
+            let s = report.root_schedule();
+            let a = s.analyze(&app);
+            let k = app.faults().k;
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "{:<4} {:<20} {:>5} {:>7} {:>9} {:>9} {:>10}",
+                "#", "process", "kind", "reexec", "nominal", "worst", "lst(k)"
+            );
+            for (pos, e) in s.entries().iter().enumerate() {
+                let p = app.process(e.process);
+                let lst = a.latest_start(&app, e, pos, k);
+                let lst_str = if lst == Time::MAX {
+                    "-".to_string()
+                } else {
+                    lst.to_string()
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<4} {:<20} {:>5} {:>7} {:>9} {:>9} {:>10}",
+                    pos,
+                    p.name(),
+                    if p.is_hard() { "hard" } else { "soft" },
+                    e.reexecutions,
+                    a.nominal_completion(pos).to_string(),
+                    a.worst_completion(pos).to_string(),
+                    lst_str,
+                );
+            }
+            for d in s.statically_dropped() {
+                let _ = writeln!(out, "dropped: {}", app.process(*d).name());
+            }
+            Ok(out)
+        }
     }
-    for d in s.statically_dropped() {
-        let _ = writeln!(out, "dropped: {}", app.process(*d).name());
-    }
-    Ok(out)
 }
 
 /// `ftqs tree <spec> [--budget N] [--dot|--json]` — synthesize the
-/// quasi-static tree; default output is a readable listing.
+/// quasi-static tree; default output is a readable listing, `--json` (or
+/// `--format json`) the serialized [`ftqs_core::SynthesisReport`].
 ///
 /// # Errors
 ///
 /// Load/parse/synthesis errors; JSON serialization errors.
 pub fn tree(source: &str, budget: usize, format: TreeFormat) -> Result<String, CliError> {
     let app = load(source)?;
-    let tree = ftqs(&app, &FtqsConfig::with_budget(budget))?;
-    validate_tree(&app, &tree)?;
+    let mut session = engine().session();
+    let report = session.synthesize(&app, &SynthesisRequest::ftqs(budget))?;
     match format {
-        TreeFormat::Text => Ok(render_tree_text(&app, &tree)),
-        TreeFormat::Dot => Ok(tree.to_dot(&app)),
-        TreeFormat::Json => Ok(serde_json::to_string_pretty(&tree)?),
+        TreeFormat::Text => Ok(render_tree_text(&app, &report.tree)),
+        TreeFormat::Dot => Ok(report.tree.to_dot(&app)),
+        TreeFormat::Json => Ok(to_json_pretty(&report)?),
     }
-}
-
-/// Output format of [`tree`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TreeFormat {
-    /// Human-readable listing.
-    Text,
-    /// Graphviz digraph.
-    Dot,
-    /// Serialized tree (the artifact an embedded runtime would load).
-    Json,
 }
 
 fn render_tree_text(app: &Application, tree: &QuasiStaticTree) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{} schedules, depth {}", tree.len(), tree.depth());
-    for (id, node) in tree.iter() {
-        let order: Vec<&str> = node
-            .schedule
+    for (id, node, schedule) in tree.iter_schedules() {
+        let order: Vec<&str> = schedule
             .order_key()
             .iter()
             .map(|&p| app.process(p).name())
@@ -200,7 +294,10 @@ pub fn simulate(
 ) -> Result<String, CliError> {
     let app = load(source)?;
     let faults = faults.min(app.faults().k);
-    let tree = ftqs(&app, &FtqsConfig::with_budget(budget))?;
+    let mut session = engine().session();
+    let tree = session
+        .synthesize(&app, &SynthesisRequest::ftqs(budget))?
+        .into_tree();
     let runner = OnlineScheduler::new(&app, &tree);
     let sampler = ScenarioSampler::new(&app);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -235,6 +332,35 @@ pub fn simulate(
     Ok(out)
 }
 
+/// One row of a [`CompareReport`]: mean utilities at one fault count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompareRow {
+    /// Number of injected faults per scenario.
+    pub faults: usize,
+    /// Mean utility of the quasi-static tree.
+    pub ftqs: f64,
+    /// Mean utility of the single FTSS schedule.
+    pub ftss: f64,
+    /// Mean utility of the FTSF baseline.
+    pub ftsf: f64,
+    /// Mean utility of the purely online greedy scheduler.
+    pub greedy: f64,
+}
+
+/// Machine-readable result of `ftqs compare`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompareReport {
+    /// Scenarios evaluated per fault count.
+    pub scenarios: usize,
+    /// FTQS schedule budget.
+    pub budget: usize,
+    /// Scenario-stream seed.
+    pub seed: u64,
+    /// One row per fault count `0..=k`, identical scenario streams per
+    /// row across schedulers.
+    pub rows: Vec<CompareRow>,
+}
+
 /// `ftqs compare <spec> [--scenarios N] [--budget N] [--seed S]` — mean
 /// utility of FTQS / FTSS / FTSF / the purely online greedy scheduler over
 /// identical scenarios, per fault count.
@@ -247,22 +373,24 @@ pub fn compare(
     scenarios: usize,
     budget: usize,
     seed: u64,
+    format: OutputFormat,
 ) -> Result<String, CliError> {
     let app = load(source)?;
     let k = app.faults().k;
-    let tree = ftqs(&app, &FtqsConfig::with_budget(budget))?;
-    let root = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default())?;
-    let single = QuasiStaticTree::single(root);
-    let baseline = QuasiStaticTree::single(ftsf(&app, &FtssConfig::default())?);
+    let mut session = engine().session();
+    let tree = session
+        .synthesize(&app, &SynthesisRequest::ftqs(budget))?
+        .into_tree();
+    let single = session
+        .synthesize(&app, &SynthesisRequest::ftss())?
+        .into_tree();
+    let baseline = session
+        .synthesize(&app, &SynthesisRequest::ftsf())?
+        .into_tree();
     let greedy = GreedyOnlineScheduler::new(&app);
     let sampler = ScenarioSampler::new(&app);
 
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{:>7} {:>10} {:>10} {:>10} {:>10}",
-        "faults", "FTQS", "FTSS", "FTSF", "greedy"
-    );
+    let mut rows = Vec::with_capacity(k + 1);
     for f in 0..=k {
         let mut sums = [0.0f64; 4];
         let mut rng = StdRng::seed_from_u64(seed ^ (f as u64) << 32);
@@ -278,33 +406,80 @@ pub fn compare(
             sums[3] += greedy.run(&sc).utility;
         }
         let n = scenarios.max(1) as f64;
-        let _ = writeln!(
-            out,
-            "{f:>7} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
-            sums[0] / n,
-            sums[1] / n,
-            sums[2] / n,
-            sums[3] / n
-        );
+        rows.push(CompareRow {
+            faults: f,
+            ftqs: sums[0] / n,
+            ftss: sums[1] / n,
+            ftsf: sums[2] / n,
+            greedy: sums[3] / n,
+        });
     }
-    let _ = writeln!(
-        out,
-        "\n(identical scenario streams per row; greedy decides online at O(n^2) per decision)"
-    );
-    Ok(out)
+    let report = CompareReport {
+        scenarios,
+        budget,
+        seed,
+        rows,
+    };
+    match format {
+        OutputFormat::Json => Ok(to_json_pretty(&report)?),
+        OutputFormat::Text => {
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "{:>7} {:>10} {:>10} {:>10} {:>10}",
+                "faults", "FTQS", "FTSS", "FTSF", "greedy"
+            );
+            for r in &report.rows {
+                let _ = writeln!(
+                    out,
+                    "{:>7} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+                    r.faults, r.ftqs, r.ftss, r.ftsf, r.greedy
+                );
+            }
+            let _ = writeln!(
+                out,
+                "\n(identical scenario streams per row; greedy decides online at O(n^2) per decision)"
+            );
+            Ok(out)
+        }
+    }
 }
 
 /// `ftqs export <spec> [--budget N] [--prefix SYM]` — emit the
-/// quasi-static tree as a C header for an embedded runtime.
+/// quasi-static tree as a C header for an embedded runtime. The prefix is
+/// interpolated into C identifiers, so it must be one.
 ///
 /// # Errors
 ///
-/// Load/parse/synthesis errors.
+/// Load/parse/synthesis errors; an invalid `prefix`.
 pub fn export_c(source: &str, budget: usize, prefix: &str) -> Result<String, CliError> {
+    if !is_c_identifier(prefix) {
+        return Err(format!(
+            "--prefix '{prefix}' is not a valid C identifier \
+             (expected [A-Za-z_][A-Za-z0-9_]*)"
+        )
+        .into());
+    }
     let app = load(source)?;
-    let tree = ftqs(&app, &FtqsConfig::with_budget(budget))?;
-    validate_tree(&app, &tree)?;
+    // The session from engine() validates every synthesized tree before
+    // reporting it, so the header is emitted from a checked artifact.
+    let mut session = engine().session();
+    let tree = session
+        .synthesize(&app, &SynthesisRequest::ftqs(budget))?
+        .into_tree();
     Ok(ftqs_core::export::tree_to_c(&app, &tree, prefix))
+}
+
+/// `true` if `s` is a valid C identifier (what `export --prefix` splices
+/// into the generated header).
+#[must_use]
+pub fn is_c_identifier(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
 /// Simulate one [`ExecutionScenario::average_case`] cycle and render its
@@ -315,7 +490,10 @@ pub fn export_c(source: &str, budget: usize, prefix: &str) -> Result<String, Cli
 /// Load/parse/synthesis errors.
 pub fn trace_average(source: &str, budget: usize) -> Result<String, CliError> {
     let app = load(source)?;
-    let tree = ftqs(&app, &FtqsConfig::with_budget(budget))?;
+    let mut session = engine().session();
+    let tree = session
+        .synthesize(&app, &SynthesisRequest::ftqs(budget))?
+        .into_tree();
     let runner = OnlineScheduler::new(&app, &tree);
     let out = runner.run(&ExecutionScenario::average_case(&app));
     Ok(format!(
@@ -325,24 +503,149 @@ pub fn trace_average(source: &str, budget: usize) -> Result<String, CliError> {
     ))
 }
 
+fn to_json_pretty<T: Serialize>(value: &T) -> Result<String, CliError> {
+    let mut s = serde_json::to_string_pretty(value)?;
+    s.push('\n');
+    Ok(s)
+}
+
+fn to_json_line<T: Serialize>(value: &T) -> Result<String, CliError> {
+    let mut s = serde_json::to_string(value)?;
+    s.push('\n');
+    Ok(s)
+}
+
+// ---------------------------------------------------------------------------
+// argv dispatch (the `ftqs` binary is a thin wrapper around `run`)
+// ---------------------------------------------------------------------------
+
+/// Parses the value following flag `name` as a number; absent flag →
+/// `default`, malformed or missing value → a hard error naming the flag.
+fn parse_value(args: &[String], name: &str, default: u64) -> Result<u64, CliError> {
+    let Some(i) = args.iter().position(|a| a == name) else {
+        return Ok(default);
+    };
+    let raw = args
+        .get(i + 1)
+        .ok_or_else(|| format!("missing value for {name}"))?;
+    raw.parse()
+        .map_err(|_| format!("invalid value for {name}: '{raw}' is not a number").into())
+}
+
+/// Parses `--format text|json`; absent → `Text`, anything else → error.
+fn parse_format(args: &[String]) -> Result<OutputFormat, CliError> {
+    let Some(i) = args.iter().position(|a| a == "--format") else {
+        return Ok(OutputFormat::Text);
+    };
+    match args.get(i + 1).map(String::as_str) {
+        Some("json") => Ok(OutputFormat::Json),
+        Some("text") => Ok(OutputFormat::Text),
+        Some(other) => Err(format!("invalid value for --format: '{other}' (text|json)").into()),
+        None => Err("missing value for --format".into()),
+    }
+}
+
+/// Dispatches one CLI invocation (`args` excludes the program name) and
+/// returns the textual output.
+///
+/// # Errors
+///
+/// Unknown commands/flags, malformed numeric flags, and every command
+/// error (load/parse/synthesis/serialization).
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let cmd = args.first().ok_or("missing command")?;
+    let spec = args.get(1).ok_or("missing spec argument")?;
+    let value = |name: &str, default: u64| parse_value(args, name, default);
+    let flag = |name: &str| args.iter().any(|a| a == name);
+
+    match cmd.as_str() {
+        "info" => info(spec, parse_format(args)?),
+        "schedule" => schedule(spec, parse_format(args)?),
+        "tree" => {
+            // Validate --format even when --dot/--json decide the output,
+            // so a typo like `--format jsn` is reported, not ignored.
+            let format_flag = parse_format(args)?;
+            let format = if flag("--dot") {
+                TreeFormat::Dot
+            } else if flag("--json") || format_flag == OutputFormat::Json {
+                TreeFormat::Json
+            } else {
+                TreeFormat::Text
+            };
+            tree(spec, value("--budget", 8)? as usize, format)
+        }
+        "graph" => graph(spec),
+        "simulate" => simulate(
+            spec,
+            value("--cycles", 1000)? as usize,
+            value("--faults", 0)? as usize,
+            value("--seed", 1)?,
+            value("--budget", 8)? as usize,
+            flag("--trace"),
+        ),
+        "compare" => compare(
+            spec,
+            value("--scenarios", 500)? as usize,
+            value("--budget", 8)? as usize,
+            value("--seed", 1)?,
+            parse_format(args)?,
+        ),
+        "trace" => trace_average(spec, value("--budget", 8)? as usize),
+        "export" => {
+            let prefix = match args.iter().position(|a| a == "--prefix") {
+                Some(i) => args
+                    .get(i + 1)
+                    .cloned()
+                    .ok_or("missing value for --prefix")?,
+                None => "ftqs".to_string(),
+            };
+            export_c(spec, value("--budget", 8)? as usize, &prefix)
+        }
+        other => Err(format!("unknown command '{other}'").into()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ftqs_core::SynthesisReport;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(ToString::to_string).collect()
+    }
 
     #[test]
     fn info_reports_fig1() {
-        let s = info("--example").unwrap();
+        let s = info("--example", OutputFormat::Text).unwrap();
         assert!(s.contains("3 processes (1 hard / 2 soft)"));
         assert!(s.contains("schedulable"));
     }
 
     #[test]
+    fn info_json_is_machine_readable() {
+        let s = info("--example", OutputFormat::Json).unwrap();
+        let report: InfoReport = serde_json::from_str(s.trim()).unwrap();
+        assert_eq!(report.processes, 3);
+        assert_eq!(report.hard, 1);
+        assert!(report.schedulable);
+        assert_eq!(report.error, None);
+    }
+
+    #[test]
     fn schedule_lists_all_entries() {
-        let s = schedule("--example").unwrap();
+        let s = schedule("--example", OutputFormat::Text).unwrap();
         assert!(s.contains("P1"));
         assert!(s.contains("P2"));
         assert!(s.contains("P3"));
         assert!(s.contains("hard"));
+    }
+
+    #[test]
+    fn schedule_json_is_a_synthesis_report() {
+        let s = schedule("--example", OutputFormat::Json).unwrap();
+        let report: SynthesisReport = serde_json::from_str(&s).unwrap();
+        assert_eq!(report.stats.schedules, 1);
+        assert_eq!(report.tree.root_schedule().entries().len(), 3);
     }
 
     #[test]
@@ -352,7 +655,9 @@ mod tests {
         let dot = tree("--example", 4, TreeFormat::Dot).unwrap();
         assert!(dot.starts_with("digraph"));
         let json = tree("--example", 4, TreeFormat::Json).unwrap();
-        assert!(json.contains("\"nodes\""));
+        assert!(json.contains("\"tree\""));
+        let report: SynthesisReport = serde_json::from_str(&json).unwrap();
+        assert!(report.stats.schedules >= 2);
     }
 
     #[test]
@@ -371,7 +676,7 @@ mod tests {
 
     #[test]
     fn compare_lists_all_schedulers() {
-        let s = compare("--example", 50, 4, 3).unwrap();
+        let s = compare("--example", 50, 4, 3, OutputFormat::Text).unwrap();
         assert!(s.contains("FTQS"));
         assert!(s.contains("greedy"));
         // One row per fault count 0..=k (k = 1 for the example).
@@ -381,6 +686,15 @@ mod tests {
                 .count(),
             2
         );
+    }
+
+    #[test]
+    fn compare_json_round_trips() {
+        let s = compare("--example", 50, 4, 3, OutputFormat::Json).unwrap();
+        let report: CompareReport = serde_json::from_str(&s).unwrap();
+        assert_eq!(report.rows.len(), 2);
+        assert_eq!(report.scenarios, 50);
+        assert!(report.rows[0].ftqs >= report.rows[0].ftss - 1e-9);
     }
 
     #[test]
@@ -400,5 +714,101 @@ mod tests {
         let c = export_c("--example", 4, "fig1").unwrap();
         assert!(c.contains("#include <stdint.h>"));
         assert!(c.contains("fig1_tree"));
+    }
+
+    #[test]
+    fn export_rejects_non_identifier_prefixes() {
+        for bad in ["", "1abc", "my-prefix", "a b", "x;", "π", "a\"b"] {
+            let err = export_c("--example", 4, bad).unwrap_err().to_string();
+            assert!(err.contains("C identifier"), "'{bad}' slipped through");
+        }
+        for good in ["ftqs", "_t", "A9_b"] {
+            assert!(export_c("--example", 4, good).is_ok(), "'{good}' rejected");
+        }
+    }
+
+    // ----- argv dispatch ---------------------------------------------------
+
+    #[test]
+    fn run_dispatches_every_command() {
+        for cmd in ["info", "schedule", "tree", "graph", "trace"] {
+            assert!(run(&args(&[cmd, "--example"])).is_ok(), "{cmd} failed");
+        }
+        assert!(run(&args(&["simulate", "--example", "--cycles", "5"])).is_ok());
+        assert!(run(&args(&["compare", "--example", "--scenarios", "5"])).is_ok());
+        assert!(run(&args(&["export", "--example", "--prefix", "x"])).is_ok());
+    }
+
+    #[test]
+    fn run_rejects_unknown_commands_and_missing_args() {
+        assert!(run(&[]).is_err());
+        assert!(run(&args(&["info"])).is_err());
+        assert!(run(&args(&["frobnicate", "--example"])).is_err());
+    }
+
+    #[test]
+    fn malformed_numeric_flags_are_hard_errors() {
+        // Historically `--budget abc` silently fell back to the default.
+        let err = run(&args(&["tree", "--example", "--budget", "abc"]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("--budget"), "error must name the flag: {err}");
+        assert!(err.contains("abc"), "error must show the input: {err}");
+
+        let err = run(&args(&["simulate", "--example", "--cycles", "1e3"]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("--cycles"));
+
+        // A flag present with no value is also an error.
+        let err = run(&args(&["tree", "--example", "--budget"]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("missing value"));
+
+        // Absent flags still use defaults.
+        assert!(run(&args(&["tree", "--example"])).is_ok());
+    }
+
+    #[test]
+    fn format_flag_is_validated() {
+        assert!(run(&args(&["info", "--example", "--format", "json"])).is_ok());
+        assert!(run(&args(&["info", "--example", "--format", "text"])).is_ok());
+        let err = run(&args(&["info", "--example", "--format", "xml"]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("--format"));
+        // A --format typo is reported even when --dot/--json already
+        // decide the output.
+        let err = run(&args(&["tree", "--example", "--dot", "--format", "jsn"]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("--format"));
+    }
+
+    #[test]
+    fn export_prefix_without_value_is_a_hard_error() {
+        let err = run(&args(&["export", "--example", "--prefix"]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("missing value for --prefix"), "{err}");
+    }
+
+    #[test]
+    fn tree_json_via_format_flag_matches_legacy_json_flag() {
+        let a = run(&args(&["tree", "--example", "--json"])).unwrap();
+        let b = run(&args(&["tree", "--example", "--format", "json"])).unwrap();
+        let ra: SynthesisReport = serde_json::from_str(&a).unwrap();
+        let rb: SynthesisReport = serde_json::from_str(&b).unwrap();
+        assert_eq!(ra.stats, rb.stats);
+    }
+
+    #[test]
+    fn c_identifier_predicate() {
+        assert!(is_c_identifier("_x9"));
+        assert!(is_c_identifier("ftqs"));
+        assert!(!is_c_identifier(""));
+        assert!(!is_c_identifier("9x"));
+        assert!(!is_c_identifier("a-b"));
     }
 }

@@ -1,98 +1,41 @@
 //! `ftqs` — CLI for fault-tolerant quasi-static scheduling.
 //!
+//! Every command loads a spec and drives the `ftqs_core::Engine` /
+//! `Session` synthesis API; `info`, `schedule`, `tree`, and `compare`
+//! also emit machine-readable reports with `--format json`:
+//!
 //! ```text
-//! ftqs info <spec>                          summary + schedulability
-//! ftqs schedule <spec>                      FTSS schedule with analysis
-//! ftqs tree <spec> [--budget N] [--dot|--json]
+//! ftqs info <spec> [--format json]          summary + schedulability (InfoReport)
+//! ftqs schedule <spec> [--format json]      FTSS schedule with analysis (SynthesisReport)
+//! ftqs tree <spec> [--budget N] [--dot|--json|--format json]
+//!                                           FTQS tree (SynthesisReport)
 //! ftqs graph <spec>                         task graph as Graphviz DOT
 //! ftqs simulate <spec> [--cycles N] [--faults F] [--seed S] [--budget N] [--trace]
-//! ftqs compare <spec> [--scenarios N] [--budget N] [--seed S]
+//! ftqs compare <spec> [--scenarios N] [--budget N] [--seed S] [--format json]
+//!                                           FTQS/FTSS/FTSF/greedy (CompareReport)
 //! ftqs trace <spec> [--budget N]            trace one average-case cycle
+//! ftqs export <spec> [--budget N] [--prefix SYM]
+//!                                           C header (prefix must be a C identifier)
 //! ```
 //!
 //! `<spec>` is a spec file path, `-` for stdin, or `--example` for the
-//! paper's Fig. 1 application.
+//! paper's Fig. 1 application. Malformed numeric flags (e.g. `--budget
+//! abc`) are hard errors, never silent defaults. The dispatcher itself is
+//! [`ftqs_cli::run`], unit-tested in the library.
 
-use ftqs_cli::{
-    compare, export_c, graph, info, schedule, simulate, trace_average, tree, TreeFormat,
-};
 use std::process::ExitCode;
-
-const USAGE: &str =
-    "usage: ftqs <info|schedule|tree|graph|simulate|compare|trace|export> <spec> [options]
-  <spec>: a spec file path, '-' for stdin, or '--example' for the paper's Fig. 1
-
-  tree     --budget N (default 8), --dot or --json
-  simulate --cycles N (1000), --faults F (0), --seed S (1), --budget N (8), --trace
-  compare  --scenarios N (500), --budget N (8), --seed S (1)
-  trace    --budget N (8)
-  export   --budget N (8), --prefix SYM (ftqs)   (emits a C header)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
+    match ftqs_cli::run(&args) {
         Ok(output) => {
             print!("{output}");
             ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("{USAGE}");
+            eprintln!("{}", ftqs_cli::USAGE);
             ExitCode::FAILURE
         }
-    }
-}
-
-fn run(args: &[String]) -> Result<String, ftqs_cli::CliError> {
-    let cmd = args.first().ok_or("missing command")?;
-    let spec = args.get(1).ok_or("missing spec argument")?;
-    let value = |name: &str, default: u64| -> u64 {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1))
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
-    };
-    let flag = |name: &str| args.iter().any(|a| a == name);
-
-    match cmd.as_str() {
-        "info" => info(spec),
-        "schedule" => schedule(spec),
-        "tree" => {
-            let format = if flag("--dot") {
-                TreeFormat::Dot
-            } else if flag("--json") {
-                TreeFormat::Json
-            } else {
-                TreeFormat::Text
-            };
-            tree(spec, value("--budget", 8) as usize, format)
-        }
-        "graph" => graph(spec),
-        "simulate" => simulate(
-            spec,
-            value("--cycles", 1000) as usize,
-            value("--faults", 0) as usize,
-            value("--seed", 1),
-            value("--budget", 8) as usize,
-            flag("--trace"),
-        ),
-        "compare" => compare(
-            spec,
-            value("--scenarios", 500) as usize,
-            value("--budget", 8) as usize,
-            value("--seed", 1),
-        ),
-        "trace" => trace_average(spec, value("--budget", 8) as usize),
-        "export" => {
-            let prefix = args
-                .iter()
-                .position(|a| a == "--prefix")
-                .and_then(|i| args.get(i + 1))
-                .cloned()
-                .unwrap_or_else(|| "ftqs".to_string());
-            export_c(spec, value("--budget", 8) as usize, &prefix)
-        }
-        other => Err(format!("unknown command '{other}'").into()),
     }
 }

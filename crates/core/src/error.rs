@@ -1,8 +1,8 @@
-//! Error types of the scheduling algorithms.
+//! Error types of the scheduling algorithms and the synthesis engine.
 
+use crate::validate::ValidationError;
 use crate::Time;
 use ftqs_graph::NodeId;
-use std::error::Error;
 use std::fmt;
 
 /// Why schedule synthesis failed.
@@ -45,7 +45,69 @@ impl fmt::Display for SchedulingError {
     }
 }
 
-impl Error for SchedulingError {}
+impl std::error::Error for SchedulingError {}
+
+/// The unified error of the [`crate::Engine`]/[`crate::Session`] synthesis
+/// API: everything [`crate::Session::synthesize`] can fail with, as one
+/// typed enum instead of per-call-site `Box<dyn Error>` plumbing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Synthesis itself failed (hard deadlines infeasible, zero budget).
+    Scheduling(SchedulingError),
+    /// The synthesized artifact failed post-synthesis validation — only
+    /// reachable when validation is enabled and indicates a synthesis bug,
+    /// surfaced instead of handed to a runtime.
+    Validation(ValidationError),
+    /// The request was malformed before synthesis even started (e.g. an
+    /// FTQS budget of zero schedules).
+    InvalidRequest {
+        /// What was wrong with the request.
+        message: String,
+    },
+}
+
+impl Error {
+    /// Convenience constructor for [`Error::InvalidRequest`].
+    #[must_use]
+    pub fn invalid_request(message: impl Into<String>) -> Self {
+        Error::InvalidRequest {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Scheduling(e) => write!(f, "synthesis failed: {e}"),
+            Error::Validation(e) => write!(f, "synthesized artifact is invalid: {e}"),
+            Error::InvalidRequest { message } => write!(f, "invalid synthesis request: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Scheduling(e) => Some(e),
+            Error::Validation(e) => Some(e),
+            Error::InvalidRequest { .. } => None,
+        }
+    }
+}
+
+impl From<SchedulingError> for Error {
+    fn from(e: SchedulingError) -> Self {
+        Error::Scheduling(e)
+    }
+}
+
+impl From<ValidationError> for Error {
+    fn from(e: ValidationError) -> Self {
+        Error::Validation(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -645,6 +645,16 @@ impl StaleAlpha {
         a
     }
 
+    /// Resets to the all-unresolved state for `n` processes, reusing the
+    /// buffers — equivalent to `StaleAlpha::new` over an empty dropped
+    /// mask.
+    pub(crate) fn reset(&mut self, n: usize) {
+        self.alpha.clear();
+        self.alpha.resize(n, 0.0);
+        self.resolved.clear();
+        self.resolved.resize(n, false);
+    }
+
     /// Overwrites `self` with `other`'s state, reusing existing buffers
     /// (the allocation-free replacement for `clone()` in synthesis inner
     /// loops).

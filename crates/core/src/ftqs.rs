@@ -43,9 +43,9 @@ use crate::fschedule::{
     expected_suffix_utility_est, expected_suffix_utility_est_scratch, FSchedule, ScheduleAnalysis,
     ScheduleContext, SuffixUtilityBase, SuffixUtilityScratch, UtilityEstimator,
 };
-use crate::ftss::{ftss, FtssConfig};
+use crate::ftss::{ftss_with, FtssConfig, SynthesisScratch};
 use crate::par;
-use crate::tree::{QuasiStaticTree, SwitchArc, TreeNode, TreeNodeId};
+use crate::tree::{QuasiStaticTree, ScheduleArena, ScheduleId, SwitchArc, TreeNode, TreeNodeId};
 use crate::{Application, SchedulingError, Time};
 use ftqs_graph::NodeId;
 
@@ -111,16 +111,37 @@ impl FtqsConfig {
 /// Synthesizes the fault-tolerant quasi-static tree for `app`
 /// (`SchedulingStrategy` of Fig. 6: FTSS root, then FTQS expansion).
 ///
+/// Deprecated shim over the [`crate::Engine`]/[`crate::Session`] API: it
+/// allocates a fresh `SynthesisScratch` per call. Batch callers should
+/// synthesize through a `Session` (policy
+/// [`crate::SynthesisPolicy::Ftqs`]) to reuse the scratch across runs.
+///
 /// # Errors
 ///
 /// * [`SchedulingError::ZeroTreeBudget`] if `config.max_schedules == 0`.
 /// * [`SchedulingError::Unschedulable`] if the root f-schedule does not
 ///   exist (hard deadlines infeasible).
+#[deprecated(
+    since = "0.2.0",
+    note = "use ftqs_core::Engine / Session::synthesize with SynthesisPolicy::Ftqs"
+)]
 pub fn ftqs(app: &Application, config: &FtqsConfig) -> Result<QuasiStaticTree, SchedulingError> {
+    let mut scratch = SynthesisScratch::new();
+    ftqs_with(app, config, &mut scratch)
+}
+
+/// FTQS over a caller-provided scratch (used for the serial root FTSS run;
+/// the parallel expansion waves keep per-worker scratches) — the entry
+/// point behind [`crate::Session::synthesize`].
+pub(crate) fn ftqs_with(
+    app: &Application,
+    config: &FtqsConfig,
+    scratch: &mut SynthesisScratch,
+) -> Result<QuasiStaticTree, SchedulingError> {
     if config.max_schedules == 0 {
         return Err(SchedulingError::ZeroTreeBudget);
     }
-    let root_schedule = ftss(app, &ScheduleContext::root(app), &config.ftss)?;
+    let root_schedule = ftss_with(app, &ScheduleContext::root(app), &config.ftss, scratch)?;
     // A single-entry root can still profit from sub-schedules when it
     // dropped processes statically (an early pivot completion may revive
     // them), so only trees that provably cannot switch short-circuit.
@@ -136,9 +157,12 @@ pub fn ftqs(app: &Application, config: &FtqsConfig) -> Result<QuasiStaticTree, S
     Ok(builder.finish())
 }
 
-/// Per-node bookkeeping during tree construction.
+/// Per-node bookkeeping during tree construction. Schedules live in the
+/// builder's [`ScheduleArena`]; the node only carries the handle, so
+/// neither expansion nor [`TreeBuilder::finish`] ever clones an
+/// `FSchedule`.
 struct BuildNode {
-    schedule: FSchedule,
+    schedule: ScheduleId,
     analysis: ScheduleAnalysis,
     parent: Option<TreeNodeId>,
     pivot_pos: Option<usize>,
@@ -154,9 +178,18 @@ struct BuildNode {
     intervals: Vec<(Time, Time)>,
 }
 
+/// A candidate child computed by a (possibly parallel) expansion worker,
+/// before the serial commit step assigns it an arena slot.
+struct PendingChild {
+    schedule: FSchedule,
+    analysis: ScheduleAnalysis,
+    parent_distance: usize,
+}
+
 struct TreeBuilder<'a> {
     app: &'a Application,
     config: &'a FtqsConfig,
+    arena: ScheduleArena,
     nodes: Vec<BuildNode>,
 }
 
@@ -165,12 +198,19 @@ impl<'a> TreeBuilder<'a> {
         TreeBuilder {
             app,
             config,
+            arena: ScheduleArena::new(),
             nodes: Vec::new(),
         }
     }
 
+    /// The schedule of build node `n`.
+    fn sched(&self, n: &BuildNode) -> &FSchedule {
+        self.arena.get(n.schedule)
+    }
+
     fn push_root(&mut self, schedule: FSchedule) {
         let analysis = schedule.analyze(self.app);
+        let schedule = self.arena.alloc(schedule);
         self.nodes.push(BuildNode {
             schedule,
             analysis,
@@ -221,11 +261,13 @@ impl<'a> TreeBuilder<'a> {
             return 0.0;
         };
         let p = &self.nodes[parent];
-        let tc = n.schedule.context().start;
+        let n_sched = self.sched(n);
+        let p_sched = self.sched(p);
+        let tc = n_sched.context().start;
         let est = self.config.estimator;
-        let u_child = expected_suffix_utility_est(self.app, &n.schedule, &n.analysis, 0, tc, est);
+        let u_child = expected_suffix_utility_est(self.app, n_sched, &n.analysis, 0, tc, est);
         let u_parent =
-            expected_suffix_utility_est(self.app, &p.schedule, &p.analysis, pivot_pos + 1, tc, est);
+            expected_suffix_utility_est(self.app, p_sched, &p.analysis, pivot_pos + 1, tc, est);
         u_child - u_parent
     }
 
@@ -239,14 +281,15 @@ impl<'a> TreeBuilder<'a> {
     /// then discards — wasted work, never different output).
     fn expand(&mut self, parent: TreeNodeId) {
         self.nodes[parent].expanded = true;
-        let parent_entries = self.nodes[parent].schedule.entries().to_vec();
-        let parent_ctx = self.nodes[parent].schedule.context().clone();
+        let parent_sched = self.sched(&self.nodes[parent]);
+        let parent_entries = parent_sched.entries().to_vec();
+        let parent_ctx = parent_sched.context().clone();
         let parent_depth = self.nodes[parent].depth;
 
         // The parent does not pivot on its last entry by default (an empty
         // suffix cannot be reordered) — but a pivot there can still revive
         // statically dropped processes, so we include it when drops exist.
-        let positions = if self.nodes[parent].schedule.statically_dropped().is_empty() {
+        let positions = if parent_sched.statically_dropped().is_empty() {
             parent_entries.len().saturating_sub(1)
         } else {
             parent_entries.len()
@@ -256,25 +299,41 @@ impl<'a> TreeBuilder<'a> {
             let remaining_budget = self.config.max_schedules - self.nodes.len();
             let wave_end = (next_pos + remaining_budget).min(positions);
             let wave_base = next_pos;
-            let children = par::par_map_collect(wave_end - wave_base, |i| {
-                self.build_child(
-                    &parent_entries,
-                    &parent_ctx,
-                    parent,
-                    parent_depth,
-                    wave_base + i,
-                )
-            });
-            for child in children {
+            let children =
+                par::par_map_collect_with(wave_end - wave_base, SynthesisScratch::new, |scr, i| {
+                    self.build_child(&parent_entries, &parent_ctx, scr, wave_base + i)
+                });
+            for (offset, child) in children.into_iter().enumerate() {
                 if self.nodes.len() >= self.config.max_schedules {
                     break;
                 }
-                if let Some(node) = child {
-                    self.nodes.push(node);
+                if let Some(pending) = child {
+                    self.commit_child(pending, parent, parent_depth, wave_base + offset);
                 }
             }
             next_pos = wave_end;
         }
+    }
+
+    /// Serial commit of a computed child: one arena allocation, one node.
+    fn commit_child(
+        &mut self,
+        pending: PendingChild,
+        parent: TreeNodeId,
+        parent_depth: usize,
+        pivot_pos: usize,
+    ) {
+        let schedule = self.arena.alloc(pending.schedule);
+        self.nodes.push(BuildNode {
+            schedule,
+            analysis: pending.analysis,
+            parent: Some(parent),
+            pivot_pos: Some(pivot_pos),
+            depth: parent_depth + 1,
+            expanded: false,
+            parent_distance: pending.parent_distance,
+            intervals: Vec::new(),
+        });
     }
 
     /// Builds the candidate child for pivot position `p` of `parent`, or
@@ -285,10 +344,9 @@ impl<'a> TreeBuilder<'a> {
         &self,
         parent_entries: &[crate::fschedule::ScheduleEntry],
         parent_ctx: &ScheduleContext,
-        parent: TreeNodeId,
-        parent_depth: usize,
+        scratch: &mut SynthesisScratch,
         p: usize,
-    ) -> Option<BuildNode> {
+    ) -> Option<PendingChild> {
         // Child context: parent prefix + entries[0..=p] completed;
         // start = best-case completion of the pivot. The parent's
         // *static* drops are deliberately NOT inherited: they were
@@ -309,8 +367,9 @@ impl<'a> TreeBuilder<'a> {
         }
         ctx.start = bcet_sum;
 
-        // Suffix infeasible from this optimistic start: skip.
-        let child = ftss(self.app, &ctx, &self.config.ftss).ok()?;
+        // Suffix infeasible from this optimistic start: skip. The scratch
+        // is per expansion worker and re-primed by `ftss_with`.
+        let child = ftss_with(self.app, &ctx, &self.config.ftss, scratch).ok()?;
         // Discard children identical to the parent's own suffix — a
         // switch to them would be a no-op.
         let parent_suffix = &parent_entries[p + 1..];
@@ -323,15 +382,10 @@ impl<'a> TreeBuilder<'a> {
             &child.order_key(),
         );
         let analysis = child.analyze(self.app);
-        Some(BuildNode {
+        Some(PendingChild {
             schedule: child,
             analysis,
-            parent: Some(parent),
-            pivot_pos: Some(p),
-            depth: parent_depth + 1,
-            expanded: false,
             parent_distance: distance,
-            intervals: Vec::new(),
         })
     }
 
@@ -374,11 +428,13 @@ impl<'a> TreeBuilder<'a> {
         let k = app.faults().k;
         let pn = &self.nodes[parent];
         let cn = &self.nodes[child];
+        let p_sched = self.sched(pn);
+        let c_sched = self.sched(cn);
 
         // Completion-time range of the pivot: from the child's optimistic
         // start (all-BCET prefix) to the latest time the suffix could still
         // begin — bounded by the period.
-        let lo = cn.schedule.context().start;
+        let lo = c_sched.context().start;
         let hi_sweep = app.period();
         if lo > hi_sweep {
             return Vec::new();
@@ -393,8 +449,8 @@ impl<'a> TreeBuilder<'a> {
         // seeds are start-time independent, so the hundreds of sweep
         // samples below share them through a scratch buffer instead of
         // reallocating per utility pass.
-        let child_base = SuffixUtilityBase::of(app, &cn.schedule);
-        let parent_base = SuffixUtilityBase::of(app, &pn.schedule);
+        let child_base = SuffixUtilityBase::of(app, c_sched);
+        let parent_base = SuffixUtilityBase::of(app, p_sched);
         let mut scratch = SuffixUtilityScratch::default();
 
         let mut runs: Vec<(Time, Time)> = Vec::new();
@@ -407,7 +463,7 @@ impl<'a> TreeBuilder<'a> {
                 let est = self.config.estimator;
                 let u_child = expected_suffix_utility_est_scratch(
                     app,
-                    &cn.schedule,
+                    c_sched,
                     &cn.analysis,
                     0,
                     tc,
@@ -417,7 +473,7 @@ impl<'a> TreeBuilder<'a> {
                 );
                 let u_parent = expected_suffix_utility_est_scratch(
                     app,
-                    &pn.schedule,
+                    p_sched,
                     &pn.analysis,
                     pivot_pos + 1,
                     tc,
@@ -451,8 +507,10 @@ impl<'a> TreeBuilder<'a> {
             .collect()
     }
 
-    /// Drops arc-less children and re-indexes into the final tree.
-    fn finish(self) -> QuasiStaticTree {
+    /// Drops arc-less children and re-indexes into the final tree. Kept
+    /// schedules are *moved* through arena compaction — no `FSchedule` is
+    /// cloned here, which the arena's allocation counter pins in tests.
+    fn finish(mut self) -> QuasiStaticTree {
         let n = self.nodes.len();
         // A node is kept if it is the root or has a non-empty interval and
         // its parent is kept.
@@ -462,6 +520,13 @@ impl<'a> TreeBuilder<'a> {
             let node = &self.nodes[i];
             keep[i] = !node.intervals.is_empty() && keep[node.parent.expect("non-root")];
         }
+        let mut keep_sched = vec![false; self.arena.len()];
+        for i in 0..n {
+            if keep[i] {
+                keep_sched[self.nodes[i].schedule.index()] = true;
+            }
+        }
+        let sched_remap = self.arena.compact(&keep_sched);
         let mut remap = vec![usize::MAX; n];
         let mut out: Vec<TreeNode> = Vec::new();
         for i in 0..n {
@@ -471,7 +536,7 @@ impl<'a> TreeBuilder<'a> {
             remap[i] = out.len();
             let node = &self.nodes[i];
             out.push(TreeNode {
-                schedule: node.schedule.clone(),
+                schedule: sched_remap[node.schedule.index()].expect("kept node keeps its schedule"),
                 parent: node.parent.map(|p| remap[p]),
                 arcs: Vec::new(),
                 depth: node.depth,
@@ -485,7 +550,7 @@ impl<'a> TreeBuilder<'a> {
             let node = &self.nodes[i];
             let parent = remap[node.parent.expect("non-root")];
             let pivot_pos = node.pivot_pos.expect("non-root node has a pivot");
-            let pivot = self.nodes[node.parent.unwrap()].schedule.entries()[pivot_pos].process;
+            let pivot = self.arena.get(out[parent].schedule).entries()[pivot_pos].process;
             for &(lo, hi) in &node.intervals {
                 out[parent].arcs.push(SwitchArc {
                     pivot_pos,
@@ -514,7 +579,7 @@ impl<'a> TreeBuilder<'a> {
                 true
             });
         }
-        QuasiStaticTree::new(out, 0)
+        QuasiStaticTree::new(self.arena, out, 0)
     }
 }
 
@@ -537,7 +602,10 @@ fn suffix_distance(reference: &[NodeId], other: &[NodeId]) -> usize {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // unit tests double as coverage of the wrappers
+
     use super::*;
+    use crate::ftss::ftss;
     use crate::{ExecutionTimes, FaultModel, UtilityFunction};
 
     fn t(ms: u64) -> Time {
@@ -583,10 +651,7 @@ mod tests {
         let (app, [p1, p2, p3]) = fig1_app();
         let tree = ftqs(&app, &FtqsConfig::with_budget(1)).unwrap();
         assert_eq!(tree.len(), 1);
-        assert_eq!(
-            tree.node(tree.root()).schedule.order_key(),
-            vec![p1, p3, p2]
-        );
+        assert_eq!(tree.root_schedule().order_key(), vec![p1, p3, p2]);
         let _ = p2;
     }
 
@@ -599,13 +664,13 @@ mod tests {
         let (app, [p1, p2, p3]) = fig1_app();
         let tree = ftqs(&app, &FtqsConfig::with_budget(4)).unwrap();
         assert!(tree.len() >= 2, "expected at least one sub-schedule");
-        let root = tree.node(tree.root());
-        assert_eq!(root.schedule.order_key(), vec![p1, p3, p2]);
+        let root_sched = tree.root_schedule();
+        assert_eq!(root_sched.order_key(), vec![p1, p3, p2]);
         // Completing P1 at its bcet (30) must switch to a child that runs
         // P2 before P3.
         let target = tree.switch_target(tree.root(), 0, t(30));
         let child = target.expect("early completion of P1 triggers a switch");
-        assert_eq!(tree.node(child).schedule.order_key(), vec![p2, p3]);
+        assert_eq!(tree.node_schedule(child).order_key(), vec![p2, p3]);
         // Wherever a switch triggers, it must improve the estimated suffix
         // utility over staying with the parent (checked with the same
         // estimator the tree was built with).
@@ -613,24 +678,13 @@ mod tests {
         for tc_ms in (30..=300).step_by(5) {
             let tc = t(tc_ms);
             if let Some(c) = tree.switch_target(tree.root(), 0, tc) {
-                let cn = tree.node(c);
-                let ca = cn.schedule.analyze(&app);
-                let ra = root.schedule.analyze(&app);
-                let u_child = crate::fschedule::expected_suffix_utility_est(
-                    &app,
-                    &cn.schedule,
-                    &ca,
-                    0,
-                    tc,
-                    est,
-                );
+                let c_sched = tree.node_schedule(c);
+                let ca = c_sched.analyze(&app);
+                let ra = root_sched.analyze(&app);
+                let u_child =
+                    crate::fschedule::expected_suffix_utility_est(&app, c_sched, &ca, 0, tc, est);
                 let u_parent = crate::fschedule::expected_suffix_utility_est(
-                    &app,
-                    &root.schedule,
-                    &ra,
-                    1,
-                    tc,
-                    est,
+                    &app, root_sched, &ra, 1, tc, est,
                 );
                 assert!(
                     u_child > u_parent,
@@ -646,6 +700,29 @@ mod tests {
         for m in 1..=6 {
             let tree = ftqs(&app, &FtqsConfig::with_budget(m)).unwrap();
             assert!(tree.len() <= m, "budget {m} produced {} nodes", tree.len());
+        }
+    }
+
+    #[test]
+    fn finish_moves_schedules_instead_of_cloning() {
+        // Every candidate schedule is arena-allocated exactly once during
+        // growth, and growth is capped at the budget — so a `finish()`
+        // that cloned kept schedules back into the arena would push the
+        // cumulative allocation counter past the budget.
+        let (app, _) = fig1_app();
+        for m in 2..=8 {
+            let tree = ftqs(&app, &FtqsConfig::with_budget(m)).unwrap();
+            let allocations = tree.arena().allocations();
+            assert!(
+                allocations <= m,
+                "budget {m}: {allocations} arena allocations — finish() cloned schedules"
+            );
+            assert!(allocations >= tree.len(), "kept nodes were all allocated");
+            assert_eq!(
+                tree.arena().len(),
+                tree.len(),
+                "compaction leaves exactly one schedule per kept node"
+            );
         }
     }
 
@@ -733,7 +810,7 @@ mod tests {
             .switch_target(tree.root(), 0, t(20))
             .expect("early completion of head must switch");
         assert!(
-            tree.node(child).schedule.order_key().contains(&fragile),
+            tree.node_schedule(child).order_key().contains(&fragile),
             "the child must revive the dropped process"
         );
     }

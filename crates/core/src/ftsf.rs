@@ -16,20 +16,39 @@
 //!    the soft entry with the lowest expected utility contribution.
 
 use crate::fschedule::{expected_suffix_utility, FSchedule, ScheduleContext, ScheduleEntry};
-use crate::ftss::{ftss, FtssConfig};
+use crate::ftss::{ftss_with, FtssConfig, SynthesisScratch};
 use crate::{Application, FaultModel, SchedulingError, Time};
 
 /// Synthesizes the FTSF baseline schedule for `app`.
+///
+/// Deprecated shim over the [`crate::Engine`]/[`crate::Session`] API; a
+/// `Session` (policy [`crate::SynthesisPolicy::Ftsf`]) reuses its scratch
+/// buffers across batch runs.
 ///
 /// # Errors
 ///
 /// [`SchedulingError::Unschedulable`] if hard deadlines cannot be met even
 /// after dropping every soft process.
+#[deprecated(
+    since = "0.2.0",
+    note = "use ftqs_core::Engine / Session::synthesize with SynthesisPolicy::Ftsf"
+)]
 pub fn ftsf(app: &Application, config: &FtssConfig) -> Result<FSchedule, SchedulingError> {
+    let mut scratch = SynthesisScratch::new();
+    ftsf_with(app, config, &mut scratch)
+}
+
+/// FTSF over a caller-provided scratch — the entry point behind
+/// [`crate::Session::synthesize`].
+pub(crate) fn ftsf_with(
+    app: &Application,
+    config: &FtssConfig,
+    scratch: &mut SynthesisScratch,
+) -> Result<FSchedule, SchedulingError> {
     // Step 1: value-maximal non-fault-tolerant schedule (k = 0).
     let fault_free = clone_with_fault_model(app, FaultModel::none());
     let ctx = ScheduleContext::root(&fault_free);
-    let base = ftss(&fault_free, &ctx, config)?;
+    let base = ftss_with(&fault_free, &ctx, config, scratch)?;
 
     // Step 2: recovery slacks for hard processes only.
     let k = app.faults().k;
@@ -111,6 +130,8 @@ pub fn expected_utility(app: &Application, schedule: &FSchedule) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // unit tests double as coverage of the wrappers
+
     use super::*;
     use crate::ftss::ftss;
     use crate::{ExecutionTimes, UtilityFunction};

@@ -16,7 +16,7 @@
 //!    processes remain, the soft process whose dropping costs the least
 //!    utility is dropped.
 //! 4. **GetBestProcess** — among the schedulable candidates, the soft
-//!    process with the highest [`mu_priority`] wins; if no soft candidate
+//!    process with the highest [`crate::priority::mu_priority`] wins; if no soft candidate
 //!    exists, the hard process with the earliest deadline is taken.
 //! 5. **AddRecoverySlack** — a hard process is granted all `k`
 //!    re-executions; a soft process is granted re-executions one by one
@@ -51,7 +51,7 @@
 //!   heap walk performs no accumulator mutation at all.
 //! * All hypothetical-schedule state (`Si′`/`Si″` soft placements and
 //!   ready lists, probe membership marks, scratch stale coefficients)
-//!   lives in a [`SynthesisScratch`] of dense `NodeId`-indexed tables
+//!   lives in a `SynthesisScratch` of dense `NodeId`-indexed tables
 //!   reused across iterations; per-call set membership uses generation
 //!   stamps, so nothing is re-zeroed.
 //! * `Si′`/`Si″` estimates track soft-subgraph readiness by indegree with
@@ -97,10 +97,15 @@ impl Default for FtssConfig {
 /// Reusable buffers for the FTSS inner loops (see the module's
 /// *Performance* notes): dense `NodeId`-indexed tables for hypothetical
 /// schedules, a deadline heap for the `SiH` walk, scratch stale
-/// coefficients, and the accumulator undo log. One instance lives for a
-/// whole synthesis run; every probe borrows it instead of allocating.
-#[derive(Debug)]
-struct SynthesisScratch {
+/// coefficients, and the accumulator undo log. Every probe borrows it
+/// instead of allocating.
+///
+/// One instance serves any number of synthesis runs over any number of
+/// applications: a [`crate::Session`] owns one and re-primes it per call
+/// (`SynthesisScratch::prepare` reuses the buffers), amortizing the
+/// allocation work across whole batch runs instead of per run.
+#[derive(Debug, Default)]
+pub(crate) struct SynthesisScratch {
     /// Generation-stamped membership/placement marks, by node index.
     /// `mark[i] == stamp` means "in the current probe's set".
     mark: Vec<u32>,
@@ -127,19 +132,28 @@ struct SynthesisScratch {
 }
 
 impl SynthesisScratch {
-    fn for_app(app: &Application) -> Self {
+    /// An empty scratch, ready to serve any application.
+    #[must_use]
+    pub(crate) fn new() -> Self {
+        SynthesisScratch::default()
+    }
+
+    /// Re-primes the buffers for an application of `app.len()` processes,
+    /// reusing existing capacity. Equivalent to a freshly built scratch —
+    /// synthesis results never depend on what a previous run left behind.
+    pub(crate) fn prepare(&mut self, app: &Application) {
         let n = app.len();
-        SynthesisScratch {
-            mark: vec![0; n],
-            stamp: 0,
-            pending_degree: vec![0; n],
-            heap: BinaryHeap::new(),
-            pending_soft: Vec::with_capacity(n),
-            ready_soft: Vec::with_capacity(n),
-            alpha: StaleAlpha::new(app, &vec![false; n]),
-            undo: Vec::with_capacity(n),
-            delay_buf: Vec::new(),
-        }
+        self.mark.clear();
+        self.mark.resize(n, 0);
+        self.stamp = 0;
+        self.pending_degree.clear();
+        self.pending_degree.resize(n, 0);
+        self.heap.clear();
+        self.pending_soft.clear();
+        self.ready_soft.clear();
+        self.alpha.reset(n);
+        self.undo.clear();
+        self.delay_buf.clear();
     }
 
     /// Opens a fresh mark generation (O(1) except after `u32` wrap-around).
@@ -156,17 +170,39 @@ impl SynthesisScratch {
 /// Runs FTSS for `app` from `ctx`, producing an f-schedule over every
 /// pending process (each one is either scheduled or statically dropped).
 ///
+/// Deprecated shim over the [`crate::Engine`]/[`crate::Session`] API: it
+/// allocates a fresh `SynthesisScratch` per call. Batch callers should
+/// synthesize through a `Session` (policy [`crate::SynthesisPolicy::Ftss`])
+/// to reuse the scratch across runs.
+///
 /// # Errors
 ///
 /// [`SchedulingError::Unschedulable`] if some hard process cannot meet its
 /// deadline in the worst-case `k`-fault scenario even with every soft
 /// process dropped.
+#[deprecated(
+    since = "0.2.0",
+    note = "use ftqs_core::Engine / Session::synthesize with SynthesisPolicy::Ftss"
+)]
 pub fn ftss(
     app: &Application,
     ctx: &ScheduleContext,
     config: &FtssConfig,
 ) -> Result<FSchedule, SchedulingError> {
-    Scheduler::new(app, ctx, config).run()
+    let mut scratch = SynthesisScratch::new();
+    ftss_with(app, ctx, config, &mut scratch)
+}
+
+/// FTSS over a caller-provided scratch — the non-allocating entry point
+/// behind [`crate::Session::synthesize`] and the FTQS tree builder.
+pub(crate) fn ftss_with(
+    app: &Application,
+    ctx: &ScheduleContext,
+    config: &FtssConfig,
+    scratch: &mut SynthesisScratch,
+) -> Result<FSchedule, SchedulingError> {
+    scratch.prepare(app);
+    Scheduler::new(app, ctx, config, scratch).run()
 }
 
 struct Scheduler<'a> {
@@ -189,7 +225,7 @@ struct Scheduler<'a> {
     slack_items: Vec<SlackItem>,
     /// The same items as an incremental multiset (hot-path probes).
     acc: FaultDelayAccumulator,
-    scratch: SynthesisScratch,
+    scratch: &'a mut SynthesisScratch,
     // Dense model tables, indexed by node index — the probe inner loops
     // run thousands of times per synthesis and must not chase
     // `Application` payloads repeatedly.
@@ -232,7 +268,12 @@ struct Scheduler<'a> {
 }
 
 impl<'a> Scheduler<'a> {
-    fn new(app: &'a Application, ctx: &'a ScheduleContext, config: &'a FtssConfig) -> Self {
+    fn new(
+        app: &'a Application,
+        ctx: &'a ScheduleContext,
+        config: &'a FtssConfig,
+        scratch: &'a mut SynthesisScratch,
+    ) -> Self {
         let n = app.len();
         let mut dropped = ctx.dropped.clone();
         dropped.resize(n, false);
@@ -306,7 +347,7 @@ impl<'a> Scheduler<'a> {
             wcet_clock: ctx.start,
             slack_items: Vec::new(),
             acc: FaultDelayAccumulator::new(),
-            scratch: SynthesisScratch::for_app(app),
+            scratch,
             wcet_of,
             aet_of,
             penalty_of,
@@ -452,7 +493,7 @@ impl<'a> Scheduler<'a> {
     /// they neither gate readiness nor degrade stale coefficients here.
     ///
     /// Placement state and the hypothetical stale coefficients live in
-    /// [`SynthesisScratch`]; the only per-call cost beyond the list
+    /// `SynthesisScratch`; the only per-call cost beyond the list
     /// scheduling itself is one `memcpy` of the committed coefficients.
     fn soft_suffix_estimate(&mut self, extra_drop: Option<NodeId>) -> f64 {
         let app = self.app;
@@ -984,6 +1025,8 @@ fn alpha_preview(app: &Application, alpha: &mut StaleAlpha, id: NodeId) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // unit tests double as coverage of the wrappers
+
     use super::*;
     use crate::fschedule::expected_suffix_utility;
     use crate::{ExecutionTimes, FaultModel, UtilityFunction};

@@ -13,25 +13,28 @@
 //! * The **model**: [`Application`] (a DAG of [`Process`]es with a period
 //!   and a [`FaultModel`]), [`UtilityFunction`]s for soft processes and
 //!   [`StaleCoefficients`] for dropped-output degradation.
+//! * The **engine** ([`Engine`] / [`Session`]): the unified front door.
+//!   A [`SynthesisRequest`] selects the policy — [`SynthesisPolicy::Ftss`]
+//!   (one fault-tolerant static schedule, §5.2),
+//!   [`SynthesisPolicy::Ftqs`] (the quasi-static tree of schedules, §5.1)
+//!   or [`SynthesisPolicy::Ftsf`] (the straightforward baseline, §6) —
+//!   and every policy returns a structured, serializable
+//!   [`SynthesisReport`] or the unified [`enum@Error`]. Sessions own the
+//!   synthesis scratch buffers and are reused across batch runs.
 //! * **f-schedules** ([`fschedule`]): fixed process orders with
 //!   re-execution allowances, analyzed against the worst distribution of
 //!   `k` faults ([`wcdelay`]).
-//! * **FTSS** ([`ftss`]): the list-scheduling heuristic producing a single
-//!   fault-tolerant schedule that guarantees hard deadlines at worst-case
-//!   times while maximizing average-case utility (with utility-driven
-//!   dropping of soft processes).
-//! * **FTQS** ([`ftqs`]): the quasi-static tree of schedules, switched at
-//!   run time based on actual process completion times (and hence fault
-//!   occurrences), with interval partitioning of switch conditions.
-//! * **FTSF** ([`ftsf`]): the straightforward baseline of the paper's
-//!   evaluation.
+//! * **Trees** ([`tree`]): [`QuasiStaticTree`] with arena-backed schedule
+//!   storage ([`ScheduleArena`] / [`ScheduleId`]) — nodes hold handles,
+//!   and tree assembly moves schedules instead of cloning them.
+//! * The **oracle** ([`oracle`]): the pre-optimization reference
+//!   implementations; engine output is pinned bit-identical to them.
 //!
 //! ## Quick start
 //!
 //! ```
 //! use ftqs_core::{
-//!     ftqs::{ftqs, FtqsConfig},
-//!     Application, ExecutionTimes, FaultModel, Time, UtilityFunction,
+//!     Application, Engine, ExecutionTimes, FaultModel, SynthesisRequest, Time, UtilityFunction,
 //! };
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -53,9 +56,21 @@
 //! b.add_dependency(p1, p3)?;
 //! let app = b.build()?;
 //!
-//! // Synthesize a quasi-static tree with at most 8 schedules.
-//! let tree = ftqs(&app, &FtqsConfig::with_budget(8))?;
-//! assert!(tree.len() >= 1);
+//! // One engine, one reusable session, any number of synthesis runs.
+//! let engine = Engine::new();
+//! let mut session = engine.session();
+//!
+//! // A quasi-static tree with at most 8 schedules, as a structured report.
+//! let report = session.synthesize(&app, &SynthesisRequest::ftqs(8))?;
+//! assert!(report.stats.schedules >= 1);
+//! println!(
+//!     "{} schedules, expected utility {:.1}",
+//!     report.stats.schedules, report.utility.expected_average_case
+//! );
+//!
+//! // The same session (and its scratch buffers) serves the next run.
+//! let single = session.synthesize(&app, &SynthesisRequest::ftss())?;
+//! assert_eq!(single.stats.schedules, 1);
 //! # Ok(())
 //! # }
 //! ```
@@ -64,6 +79,7 @@
 #![warn(missing_debug_implementations)]
 
 mod application;
+mod engine;
 mod error;
 pub mod export;
 pub mod fschedule;
@@ -82,7 +98,11 @@ pub mod validate;
 pub mod wcdelay;
 
 pub use application::{Application, ApplicationBuilder, ApplicationError, FaultModel};
-pub use error::SchedulingError;
+pub use engine::{
+    DropReport, Engine, Session, SynthesisPolicy, SynthesisReport, SynthesisRequest, TimingReport,
+    TreeStats, UtilityReport,
+};
+pub use error::{Error, SchedulingError};
 pub use fschedule::{
     FSchedule, ScheduleAnalysis, ScheduleContext, ScheduleEntry, UtilityEstimator,
 };
@@ -90,5 +110,5 @@ pub use ftss::FtssConfig;
 pub use process::{Criticality, ExecutionTimes, ExecutionTimesError, Process};
 pub use stale::StaleCoefficients;
 pub use time::Time;
-pub use tree::{QuasiStaticTree, SwitchArc, TreeNode, TreeNodeId};
+pub use tree::{QuasiStaticTree, ScheduleArena, ScheduleId, SwitchArc, TreeNode, TreeNodeId};
 pub use utility::{UtilityError, UtilityFunction};

@@ -778,20 +778,15 @@ impl<'a> TreeBuilder<'a> {
             keep[i] = !node.intervals.is_empty() && keep[node.parent.expect("non-root")];
         }
         let mut remap = vec![usize::MAX; n];
-        let mut out: Vec<TreeNode> = Vec::new();
+        let mut kept = 0usize;
         for i in 0..n {
-            if !keep[i] {
-                continue;
+            if keep[i] {
+                remap[i] = kept;
+                kept += 1;
             }
-            remap[i] = out.len();
-            let node = &self.nodes[i];
-            out.push(TreeNode {
-                schedule: node.schedule.clone(),
-                parent: node.parent.map(|p| remap[p]),
-                arcs: Vec::new(),
-                depth: node.depth,
-            });
         }
+        // Arcs per kept node, wired before the schedules are moved out.
+        let mut arcs: Vec<Vec<SwitchArc>> = vec![Vec::new(); kept];
         for i in 1..n {
             if !keep[i] {
                 continue;
@@ -801,7 +796,7 @@ impl<'a> TreeBuilder<'a> {
             let pivot_pos = node.pivot_pos.expect("non-root node has a pivot");
             let pivot = self.nodes[node.parent.unwrap()].schedule.entries()[pivot_pos].process;
             for &(lo, hi) in &node.intervals {
-                out[parent].arcs.push(SwitchArc {
+                arcs[parent].push(SwitchArc {
                     pivot_pos,
                     pivot,
                     lo,
@@ -809,6 +804,20 @@ impl<'a> TreeBuilder<'a> {
                     child: remap[i],
                 });
             }
+        }
+        let mut arena = crate::tree::ScheduleArena::new();
+        let mut out: Vec<TreeNode> = Vec::with_capacity(kept);
+        for (i, node) in self.nodes.into_iter().enumerate() {
+            if !keep[i] {
+                continue;
+            }
+            let schedule = arena.alloc(node.schedule);
+            out.push(TreeNode {
+                schedule,
+                parent: node.parent.map(|p| remap[p]),
+                arcs: std::mem::take(&mut arcs[remap[i]]),
+                depth: node.depth,
+            });
         }
         for node in &mut out {
             node.arcs.sort_by_key(|a| (a.pivot_pos, a.lo));
@@ -826,7 +835,7 @@ impl<'a> TreeBuilder<'a> {
                 true
             });
         }
-        QuasiStaticTree::new(out, 0)
+        QuasiStaticTree::new(arena, out, 0)
     }
 }
 

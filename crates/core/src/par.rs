@@ -13,6 +13,27 @@
 //! Each worker owns a contiguous index chunk, so outputs are collected
 //! without locks and the work distribution is deterministic.
 
+use std::cell::Cell;
+
+thread_local! {
+    /// Per-request worker cap installed by [`with_max_workers`]; `None`
+    /// means "use every available CPU".
+    static MAX_WORKERS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with the calling thread's worker cap set to `cap` (restoring
+/// the previous cap afterwards). `Some(1)` forces fully serial execution.
+/// Outputs are bit-identical at any setting — the cap only bounds how many
+/// scoped workers [`par_map_collect`] spawns.
+pub(crate) fn with_max_workers<R>(cap: Option<usize>, f: impl FnOnce() -> R) -> R {
+    MAX_WORKERS.with(|w| {
+        let previous = w.replace(cap);
+        let result = f();
+        w.set(previous);
+        result
+    })
+}
+
 /// Applies `f` to every index in `0..count`, in parallel when worthwhile,
 /// returning results in index order.
 pub fn par_map_collect<T, F>(count: usize, f: F) -> Vec<T>
@@ -20,14 +41,31 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    par_map_collect_with(count, || (), |(), i| f(i))
+}
+
+/// [`par_map_collect`] with per-worker mutable state: `init` runs once per
+/// worker (once total on the serial path) and the state is threaded
+/// through that worker's whole index chunk. This is how the FTQS
+/// expansion reuses one `SynthesisScratch` per worker instead of
+/// allocating one per candidate child — state must never influence
+/// results (outputs stay bit-identical at any worker count).
+pub fn par_map_collect_with<S, T, Init, F>(count: usize, init: Init, f: F) -> Vec<T>
+where
+    T: Send,
+    Init: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     let threads = worker_count(count);
     if threads <= 1 {
-        return (0..count).map(f).collect();
+        let mut state = init();
+        return (0..count).map(|i| f(&mut state, i)).collect();
     }
     let chunk = count.div_ceil(threads);
     let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let f = &f;
+        let init = &init;
         let mut handles = Vec::with_capacity(threads);
         for t in 0..threads {
             let lo = t * chunk;
@@ -35,7 +73,10 @@ where
             if lo >= hi {
                 break;
             }
-            handles.push(scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>()));
+            handles.push(scope.spawn(move || {
+                let mut state = init();
+                (lo..hi).map(|i| f(&mut state, i)).collect::<Vec<T>>()
+            }));
         }
         for h in handles {
             chunks.push(h.join().expect("parallel synthesis worker panicked"));
@@ -50,14 +91,15 @@ where
 
 /// How many workers to use for `count` items: 1 unless the `parallel`
 /// feature is on, the host has multiple CPUs, and the input is big enough
-/// to amortize thread spawns.
+/// to amortize thread spawns. Respects the per-request cap installed by
+/// [`with_max_workers`].
 fn worker_count(count: usize) -> usize {
     if !cfg!(feature = "parallel") || count < 2 {
         return 1;
     }
-    std::thread::available_parallelism()
-        .map_or(1, usize::from)
-        .min(count)
+    let available = std::thread::available_parallelism().map_or(1, usize::from);
+    let cap = MAX_WORKERS.with(Cell::get).unwrap_or(usize::MAX);
+    available.min(cap).min(count)
 }
 
 #[cfg(test)]

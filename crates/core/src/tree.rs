@@ -1,10 +1,18 @@
-//! The fault-tolerant quasi-static tree Φ (paper §5.1).
+//! The fault-tolerant quasi-static tree Φ (paper §5.1), with arena-backed
+//! schedule storage.
 //!
 //! Each tree node holds an f-schedule; each arc records a *schedule switch*:
 //! "if the pivot process completes within this time interval, switch to the
 //! child schedule". The online scheduler starts at the root, executes the
 //! current node's schedule, and after every (final, post-re-execution)
 //! process completion consults the outgoing arcs of the current node.
+//!
+//! Schedules live in a [`ScheduleArena`] owned by the tree; nodes refer to
+//! them by [`ScheduleId`]. During synthesis the tree builder allocates each
+//! candidate schedule into the arena exactly once and the final pruning
+//! pass *moves* the kept schedules — large-budget trees (Table 1's 89-node
+//! column) are assembled without ever cloning an `FSchedule`. The arena
+//! keeps a cumulative allocation counter so tests can pin that property.
 //!
 //! Two representation notes relative to the paper's Fig. 5:
 //!
@@ -24,6 +32,98 @@ use serde::{Deserialize, Serialize};
 
 /// Index of a node within a [`QuasiStaticTree`].
 pub type TreeNodeId = usize;
+
+/// Handle to an [`FSchedule`] stored in a [`ScheduleArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ScheduleId(usize);
+
+impl ScheduleId {
+    /// The arena slot index this handle refers to.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Bump storage for the f-schedules of one quasi-static tree.
+///
+/// Synthesis allocates every candidate schedule here exactly once
+/// ([`ScheduleArena::alloc`]); the pruning pass that assembles the final
+/// tree *moves* kept schedules instead of cloning them. The cumulative
+/// [`ScheduleArena::allocations`] counter survives compaction, so
+/// `allocations() <= schedule budget` is an observable guarantee that no
+/// hidden copies were made.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleArena {
+    schedules: Vec<FSchedule>,
+    /// Total `alloc` calls ever made (monotonic; preserved by compaction).
+    allocated: usize,
+}
+
+impl ScheduleArena {
+    /// An empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        ScheduleArena::default()
+    }
+
+    /// Stores `schedule` and returns its handle.
+    pub fn alloc(&mut self, schedule: FSchedule) -> ScheduleId {
+        let id = ScheduleId(self.schedules.len());
+        self.schedules.push(schedule);
+        self.allocated += 1;
+        id
+    }
+
+    /// The schedule behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this arena.
+    #[must_use]
+    pub fn get(&self, id: ScheduleId) -> &FSchedule {
+        &self.schedules[id.0]
+    }
+
+    /// Number of schedules currently stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.schedules.len()
+    }
+
+    /// `true` if the arena holds no schedules.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.schedules.is_empty()
+    }
+
+    /// Total number of [`ScheduleArena::alloc`] calls ever made, including
+    /// schedules later discarded by compaction. A tree whose builder never
+    /// clones schedules reports `allocations() == number of candidate
+    /// schedules created`, which synthesis caps at the schedule budget.
+    #[must_use]
+    pub fn allocations(&self) -> usize {
+        self.allocated
+    }
+
+    /// Keeps only the slots selected by `keep` (indexed by arena slot),
+    /// *moving* the survivors into a dense arena. Returns the remapping
+    /// `old slot -> new id` (`None` for discarded slots). The cumulative
+    /// allocation counter is preserved — compaction is not an allocation.
+    pub(crate) fn compact(&mut self, keep: &[bool]) -> Vec<Option<ScheduleId>> {
+        debug_assert_eq!(keep.len(), self.schedules.len());
+        let mut remap = vec![None; self.schedules.len()];
+        let mut kept = Vec::with_capacity(keep.iter().filter(|&&k| k).count());
+        for (i, schedule) in std::mem::take(&mut self.schedules).into_iter().enumerate() {
+            if keep[i] {
+                remap[i] = Some(ScheduleId(kept.len()));
+                kept.push(schedule);
+            }
+        }
+        self.schedules = kept;
+        remap
+    }
+}
 
 /// A completion-time-triggered switch from a parent schedule to a child.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -51,11 +151,14 @@ impl SwitchArc {
     }
 }
 
-/// One node of the quasi-static tree: a schedule plus its switch arcs.
+/// One node of the quasi-static tree: a schedule handle plus switch arcs.
+///
+/// Resolve the handle through the owning tree:
+/// [`QuasiStaticTree::schedule`] or [`QuasiStaticTree::node_schedule`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TreeNode {
-    /// The f-schedule executed while this node is current.
-    pub schedule: FSchedule,
+    /// Handle of the f-schedule executed while this node is current.
+    pub schedule: ScheduleId,
     /// Parent node, `None` for the root.
     pub parent: Option<TreeNodeId>,
     /// Outgoing switch arcs, sorted by `(pivot_pos, lo)`.
@@ -66,30 +169,68 @@ pub struct TreeNode {
 
 /// The synthesized quasi-static tree Φ.
 ///
-/// Produced by [`crate::ftqs::ftqs`]; consumed by the online scheduler in
+/// Produced by [`crate::Session::synthesize`] (or the deprecated
+/// [`crate::ftqs::ftqs`] wrapper); consumed by the online scheduler in
 /// `ftqs-sim`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct QuasiStaticTree {
+    arena: ScheduleArena,
     nodes: Vec<TreeNode>,
     root: TreeNodeId,
 }
 
+/// Deserialization validates the handle invariants (`root` in range,
+/// every node's schedule id inside the arena, every arc child a valid
+/// node) so a malformed or hand-edited artifact fails at load time with a
+/// descriptive error instead of panicking later inside an index lookup.
+impl serde::Deserialize for QuasiStaticTree {
+    fn deserialize_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let arena: ScheduleArena =
+            serde::Deserialize::deserialize_value(value.get_field("arena")?)?;
+        let nodes: Vec<TreeNode> =
+            serde::Deserialize::deserialize_value(value.get_field("nodes")?)?;
+        let root: TreeNodeId = serde::Deserialize::deserialize_value(value.get_field("root")?)?;
+        if root >= nodes.len() {
+            return Err(serde::DeError::new("tree root is not a valid node index"));
+        }
+        for node in &nodes {
+            if node.schedule.0 >= arena.len() {
+                return Err(serde::DeError::new(
+                    "tree node references a schedule outside the arena",
+                ));
+            }
+            if node.parent.is_some_and(|p| p >= nodes.len()) {
+                return Err(serde::DeError::new("tree node has an out-of-range parent"));
+            }
+            if node.arcs.iter().any(|a| a.child >= nodes.len()) {
+                return Err(serde::DeError::new("switch arc targets a missing child"));
+            }
+        }
+        Ok(QuasiStaticTree { arena, nodes, root })
+    }
+}
+
 impl QuasiStaticTree {
-    /// Builds a tree from its nodes. `nodes[root]` must exist and arcs must
-    /// reference valid children; [`crate::ftqs::ftqs`] guarantees this.
+    /// Builds a tree from its parts. `nodes[root]` must exist, every node's
+    /// schedule handle must point into `arena`, and arcs must reference
+    /// valid children; synthesis guarantees this.
     #[must_use]
-    pub fn new(nodes: Vec<TreeNode>, root: TreeNodeId) -> Self {
+    pub fn new(arena: ScheduleArena, nodes: Vec<TreeNode>, root: TreeNodeId) -> Self {
         debug_assert!(root < nodes.len());
-        QuasiStaticTree { nodes, root }
+        debug_assert!(nodes.iter().all(|n| n.schedule.0 < arena.len()));
+        QuasiStaticTree { arena, nodes, root }
     }
 
     /// A tree containing only `root_schedule` — the degenerate FTQS with
     /// `M = 1`, equivalent to plain FTSS.
     #[must_use]
     pub fn single(root_schedule: FSchedule) -> Self {
+        let mut arena = ScheduleArena::new();
+        let schedule = arena.alloc(root_schedule);
         QuasiStaticTree {
+            arena,
             nodes: vec![TreeNode {
-                schedule: root_schedule,
+                schedule,
                 parent: None,
                 arcs: Vec::new(),
                 depth: 0,
@@ -114,6 +255,39 @@ impl QuasiStaticTree {
         &self.nodes[id]
     }
 
+    /// Resolves a schedule handle against the tree's arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this tree's arena.
+    #[must_use]
+    pub fn schedule(&self, id: ScheduleId) -> &FSchedule {
+        self.arena.get(id)
+    }
+
+    /// The schedule of node `id` (shorthand for
+    /// `tree.schedule(tree.node(id).schedule)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn node_schedule(&self, id: TreeNodeId) -> &FSchedule {
+        self.arena.get(self.nodes[id].schedule)
+    }
+
+    /// The schedule executed at the root.
+    #[must_use]
+    pub fn root_schedule(&self) -> &FSchedule {
+        self.node_schedule(self.root)
+    }
+
+    /// The arena holding this tree's schedules.
+    #[must_use]
+    pub fn arena(&self) -> &ScheduleArena {
+        &self.arena
+    }
+
     /// Number of schedules in the tree (the paper's "nodes" column of
     /// Table 1).
     #[must_use]
@@ -130,6 +304,14 @@ impl QuasiStaticTree {
     /// Iterates over all nodes with their ids.
     pub fn iter(&self) -> impl Iterator<Item = (TreeNodeId, &TreeNode)> {
         self.nodes.iter().enumerate()
+    }
+
+    /// Iterates over all nodes with their ids and resolved schedules.
+    pub fn iter_schedules(&self) -> impl Iterator<Item = (TreeNodeId, &TreeNode, &FSchedule)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(id, n)| (id, n, self.arena.get(n.schedule)))
     }
 
     /// Looks up the switch target for completing the entry at `pos` of node
@@ -149,13 +331,22 @@ impl QuasiStaticTree {
         self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
     }
 
+    /// Total number of switch arcs across all nodes.
+    #[must_use]
+    pub fn arc_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.arcs.len()).sum()
+    }
+
     /// Precomputes the analyses of every node's schedule against `app`.
     ///
     /// Index the result by [`TreeNodeId`]. The online scheduler needs the
     /// latest-start tables of whichever node is current.
     #[must_use]
     pub fn analyses(&self, app: &crate::Application) -> Vec<ScheduleAnalysis> {
-        self.nodes.iter().map(|n| n.schedule.analyze(app)).collect()
+        self.nodes
+            .iter()
+            .map(|n| self.arena.get(n.schedule).analyze(app))
+            .collect()
     }
 
     /// Estimated memory footprint of the tree in the form an embedded
@@ -175,8 +366,9 @@ impl QuasiStaticTree {
         self.nodes
             .iter()
             .map(|n| {
-                let entries = n.schedule.entries().len() * (ID + ID);
-                let drops = n.schedule.statically_dropped().len() * ID;
+                let schedule = self.arena.get(n.schedule);
+                let entries = schedule.entries().len() * (ID + ID);
+                let drops = schedule.statically_dropped().len() * ID;
                 let arcs = n.arcs.len() * (ID + ID + 2 * TIME + ID);
                 entries + drops + arcs + ID // parent link
             })
@@ -191,9 +383,8 @@ impl QuasiStaticTree {
         use std::fmt::Write as _;
         let mut out =
             String::from("digraph quasi_static_tree {\n  rankdir=TB;\n  node [shape=box];\n");
-        for (id, node) in self.iter() {
-            let order: Vec<&str> = node
-                .schedule
+        for (id, _, schedule) in self.iter_schedules() {
+            let order: Vec<&str> = schedule
                 .order_key()
                 .iter()
                 .map(|&p| app.process(p).name())
@@ -257,7 +448,10 @@ mod tests {
         let tree = QuasiStaticTree::single(s);
         assert_eq!(tree.len(), 1);
         assert_eq!(tree.depth(), 0);
+        assert_eq!(tree.arena().len(), 1);
+        assert_eq!(tree.arena().allocations(), 1);
         assert!(tree.switch_target(tree.root(), 0, t(10)).is_none());
+        assert_eq!(tree.root_schedule().entries().len(), 2);
     }
 
     #[test]
@@ -277,6 +471,59 @@ mod tests {
     }
 
     #[test]
+    fn arena_compaction_moves_and_keeps_the_allocation_counter() {
+        let (app, [a, c]) = tiny_app();
+        let mut arena = ScheduleArena::new();
+        let s0 = arena.alloc(FSchedule::new(
+            vec![entry(a, 1), entry(c, 0)],
+            vec![],
+            ScheduleContext::root(&app),
+        ));
+        let s1 = arena.alloc(FSchedule::new(
+            vec![entry(a, 1)],
+            vec![c],
+            ScheduleContext::root(&app),
+        ));
+        let s2 = arena.alloc(FSchedule::new(
+            vec![entry(c, 0)],
+            vec![],
+            ScheduleContext::root(&app),
+        ));
+        assert_eq!(arena.allocations(), 3);
+        let remap = arena.compact(&[true, false, true]);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.allocations(), 3, "compaction is not an allocation");
+        assert_eq!(remap[s0.index()], Some(ScheduleId(0)));
+        assert_eq!(remap[s1.index()], None);
+        let s2_new = remap[s2.index()].unwrap();
+        assert_eq!(arena.get(s2_new).entries()[0].process, c);
+    }
+
+    #[test]
+    fn deserializing_malformed_trees_fails_cleanly() {
+        let (app, [a, c]) = tiny_app();
+        let s = FSchedule::new(
+            vec![entry(a, 1), entry(c, 0)],
+            vec![],
+            ScheduleContext::root(&app),
+        );
+        let tree = QuasiStaticTree::single(s);
+        let json = serde_json::to_string(&tree).unwrap();
+
+        // Round trip of the intact artifact works.
+        assert!(serde_json::from_str::<QuasiStaticTree>(&json).is_ok());
+
+        // A schedule handle outside the arena must fail at load time, not
+        // panic at first use.
+        let bad_schedule = json.replace("\"schedule\":0", "\"schedule\":7");
+        assert!(serde_json::from_str::<QuasiStaticTree>(&bad_schedule).is_err());
+
+        // An out-of-range root likewise.
+        let bad_root = json.replace("\"root\":0", "\"root\":3");
+        assert!(serde_json::from_str::<QuasiStaticTree>(&bad_root).is_err());
+    }
+
+    #[test]
     fn switch_target_finds_matching_arc() {
         let (app, [a, c]) = tiny_app();
         let root_sched = FSchedule::new(
@@ -289,9 +536,12 @@ mod tests {
         child_ctx.start = t(10);
         let child_sched = FSchedule::new(vec![entry(c, 0)], vec![], child_ctx);
 
+        let mut arena = ScheduleArena::new();
+        let root_id = arena.alloc(root_sched);
+        let child_id = arena.alloc(child_sched);
         let nodes = vec![
             TreeNode {
-                schedule: root_sched,
+                schedule: root_id,
                 parent: None,
                 arcs: vec![SwitchArc {
                     pivot_pos: 0,
@@ -303,19 +553,21 @@ mod tests {
                 depth: 0,
             },
             TreeNode {
-                schedule: child_sched,
+                schedule: child_id,
                 parent: Some(0),
                 arcs: vec![],
                 depth: 1,
             },
         ];
-        let tree = QuasiStaticTree::new(nodes, 0);
+        let tree = QuasiStaticTree::new(arena, nodes, 0);
         assert_eq!(tree.switch_target(0, 0, t(15)), Some(1));
         assert_eq!(tree.switch_target(0, 0, t(25)), None);
         assert_eq!(tree.switch_target(0, 1, t(15)), None);
         assert_eq!(tree.node(1).parent, Some(0));
         assert_eq!(tree.depth(), 1);
+        assert_eq!(tree.arc_count(), 1);
         assert_eq!(tree.analyses(&app).len(), 2);
+        assert_eq!(tree.node_schedule(1).entries().len(), 1);
 
         let dot = tree.to_dot(&app);
         assert!(dot.contains("digraph quasi_static_tree"));

@@ -217,8 +217,8 @@ pub fn validate_schedule(app: &Application, schedule: &FSchedule) -> Result<(), 
 ///
 /// The first [`ValidationError`] found, scanning nodes in index order.
 pub fn validate_tree(app: &Application, tree: &QuasiStaticTree) -> Result<(), ValidationError> {
-    for (id, node) in tree.iter() {
-        validate_schedule(app, &node.schedule)?;
+    for (id, node, schedule) in tree.iter_schedules() {
+        validate_schedule(app, schedule)?;
         let mut last_per_pos: Vec<(usize, Time)> = Vec::new();
         for arc in &node.arcs {
             if arc.child >= tree.len() {
@@ -230,7 +230,7 @@ pub fn validate_tree(app: &Application, tree: &QuasiStaticTree) -> Result<(), Va
             if arc.lo > arc.hi {
                 return Err(ValidationError::EmptyArcInterval { node: id });
             }
-            if arc.pivot_pos >= node.schedule.entries().len() {
+            if arc.pivot_pos >= schedule.entries().len() {
                 return Err(ValidationError::ArcPivotOutOfRange {
                     node: id,
                     pivot_pos: arc.pivot_pos,
@@ -256,6 +256,8 @@ pub fn validate_tree(app: &Application, tree: &QuasiStaticTree) -> Result<(), Va
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // unit tests double as coverage of the wrappers
+
     use super::*;
     use crate::fschedule::{ScheduleContext, ScheduleEntry};
     use crate::ftqs::{ftqs, FtqsConfig};

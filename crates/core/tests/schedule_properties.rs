@@ -5,13 +5,11 @@
 //! seeds (no proptest in this environment); a failing seed reproduces the
 //! case exactly.
 
-use ftqs_core::ftqs::{ftqs, ExpansionPolicy, FtqsConfig};
-use ftqs_core::ftsf::ftsf;
-use ftqs_core::ftss::ftss;
+use ftqs_core::ftqs::ExpansionPolicy;
 use ftqs_core::validate::{validate_schedule, validate_tree};
 use ftqs_core::wcdelay::{worst_case_fault_delay, SlackItem};
 use ftqs_core::{
-    Application, ExecutionTimes, FaultModel, FtssConfig, ScheduleContext, Time, UtilityFunction,
+    Application, Engine, ExecutionTimes, FaultModel, SynthesisRequest, Time, UtilityFunction,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -61,17 +59,25 @@ fn random_application(seed: u64) -> Option<Application> {
 
 const CASES: u64 = 64;
 
+/// One session serves every seed of a test — exactly the batch-reuse the
+/// `Session` API exists for.
+fn session() -> ftqs_core::Session {
+    Engine::new().session()
+}
+
 #[test]
 fn ftss_schedules_always_validate() {
+    let mut session = session();
     for seed in 0..CASES {
         let Some(app) = random_application(seed) else {
             continue;
         };
-        if let Ok(s) = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()) {
+        if let Ok(r) = session.synthesize(&app, &SynthesisRequest::ftss()) {
+            let s = r.root_schedule();
             assert!(
-                validate_schedule(&app, &s).is_ok(),
+                validate_schedule(&app, s).is_ok(),
                 "seed {seed}: {:?}",
-                validate_schedule(&app, &s)
+                validate_schedule(&app, s)
             );
         }
     }
@@ -79,15 +85,17 @@ fn ftss_schedules_always_validate() {
 
 #[test]
 fn ftsf_schedules_always_validate() {
+    let mut session = session();
     for seed in 0..CASES {
         let Some(app) = random_application(seed) else {
             continue;
         };
-        if let Ok(s) = ftsf(&app, &FtssConfig::default()) {
+        if let Ok(r) = session.synthesize(&app, &SynthesisRequest::ftsf()) {
+            let s = r.root_schedule();
             assert!(
-                validate_schedule(&app, &s).is_ok(),
+                validate_schedule(&app, s).is_ok(),
                 "seed {seed}: {:?}",
-                validate_schedule(&app, &s)
+                validate_schedule(&app, s)
             );
         }
     }
@@ -95,15 +103,16 @@ fn ftsf_schedules_always_validate() {
 
 #[test]
 fn ftqs_trees_always_validate() {
+    let mut session = session();
     for seed in 0..CASES {
         let Some(app) = random_application(seed) else {
             continue;
         };
-        if let Ok(tree) = ftqs(&app, &FtqsConfig::with_budget(6)) {
+        if let Ok(r) = session.synthesize(&app, &SynthesisRequest::ftqs(6)) {
             assert!(
-                validate_tree(&app, &tree).is_ok(),
+                validate_tree(&app, &r.tree).is_ok(),
                 "seed {seed}: {:?}",
-                validate_tree(&app, &tree)
+                validate_tree(&app, &r.tree)
             );
         }
     }
@@ -111,6 +120,7 @@ fn ftqs_trees_always_validate() {
 
 #[test]
 fn every_policy_yields_valid_trees() {
+    let mut session = session();
     for seed in 0..CASES {
         let Some(app) = random_application(seed) else {
             continue;
@@ -120,14 +130,10 @@ fn every_policy_yields_valid_trees() {
             ExpansionPolicy::Fifo,
             ExpansionPolicy::BestImprovement,
         ] {
-            let cfg = FtqsConfig {
-                max_schedules: 4,
-                policy,
-                ..FtqsConfig::default()
-            };
-            if let Ok(tree) = ftqs(&app, &cfg) {
+            let req = SynthesisRequest::ftqs(4).with_expansion_policy(policy);
+            if let Ok(r) = session.synthesize(&app, &req) {
                 assert!(
-                    validate_tree(&app, &tree).is_ok(),
+                    validate_tree(&app, &r.tree).is_ok(),
                     "seed {seed}, {policy:?}"
                 );
             }
@@ -137,11 +143,13 @@ fn every_policy_yields_valid_trees() {
 
 #[test]
 fn worst_completion_monotone_in_position() {
+    let mut session = session();
     for seed in 0..CASES {
         let Some(app) = random_application(seed) else {
             continue;
         };
-        if let Ok(s) = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()) {
+        if let Ok(r) = session.synthesize(&app, &SynthesisRequest::ftss()) {
+            let s = r.root_schedule();
             let a = s.analyze(&app);
             for pos in 1..s.entries().len() {
                 assert!(
@@ -163,11 +171,13 @@ fn worst_completion_monotone_in_position() {
 
 #[test]
 fn hard_safe_start_monotone_in_remaining_faults() {
+    let mut session = session();
     for seed in 0..CASES {
         let Some(app) = random_application(seed) else {
             continue;
         };
-        if let Ok(s) = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()) {
+        if let Ok(r) = session.synthesize(&app, &SynthesisRequest::ftss()) {
+            let s = r.root_schedule();
             let a = s.analyze(&app);
             let k = app.faults().k;
             for pos in 0..s.entries().len() {

@@ -17,16 +17,16 @@ use std::fmt::Write as _;
 /// # Example
 ///
 /// ```
-/// use ftqs_core::ftss::ftss;
-/// use ftqs_core::{FtssConfig, ScheduleContext};
+/// use ftqs_core::{Engine, SynthesisRequest};
 /// use ftqs_sim::{gantt, ExecutionScenario, OnlineScheduler};
 /// # use ftqs_core::{Application, ExecutionTimes, FaultModel, Time, UtilityFunction};
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// # let mut b = Application::builder(Time::from_ms(300), FaultModel::new(1, Time::from_ms(10)));
 /// # b.add_hard("P1", ExecutionTimes::uniform(30.into(), 70.into())?, Time::from_ms(180));
 /// # let app = b.build()?;
-/// let s = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default())?;
-/// let out = OnlineScheduler::run_static(&app, &s, &ExecutionScenario::average_case(&app));
+/// let report = Engine::new().session().synthesize(&app, &SynthesisRequest::ftss())?;
+/// let out =
+///     OnlineScheduler::run_static(&app, report.root_schedule(), &ExecutionScenario::average_case(&app));
 /// let chart = gantt::render(&app, &out.trace, 60);
 /// assert!(chart.contains("P1"));
 /// # Ok(())
@@ -135,8 +135,19 @@ mod tests {
     use super::*;
     use crate::online::OnlineScheduler;
     use crate::scenario::ExecutionScenario;
-    use ftqs_core::ftss::ftss;
-    use ftqs_core::{ExecutionTimes, FaultModel, FtssConfig, ScheduleContext, UtilityFunction};
+    use ftqs_core::{
+        Application, Engine, ExecutionTimes, FSchedule, FaultModel, SynthesisRequest,
+        UtilityFunction,
+    };
+
+    fn synth_ftss(app: &Application) -> FSchedule {
+        Engine::new()
+            .session()
+            .synthesize(app, &SynthesisRequest::ftss())
+            .unwrap()
+            .root_schedule()
+            .clone()
+    }
 
     fn t(ms: u64) -> Time {
         Time::from_ms(ms)
@@ -157,7 +168,7 @@ mod tests {
     #[test]
     fn renders_all_process_rows() {
         let app = app();
-        let s = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).unwrap();
+        let s = synth_ftss(&app);
         let out = OnlineScheduler::run_static(&app, &s, &ExecutionScenario::average_case(&app));
         let chart = render(&app, &out.trace, 60);
         assert!(chart.contains("P1"));
@@ -169,7 +180,7 @@ mod tests {
     #[test]
     fn faulty_run_marks_fault_position() {
         let app = app();
-        let s = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).unwrap();
+        let s = synth_ftss(&app);
         let sc = ExecutionScenario::from_tables(
             vec![vec![t(70); 2], vec![t(50); 2]],
             vec![vec![true, false], vec![false, false]],

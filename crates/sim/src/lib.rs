@@ -17,14 +17,17 @@
 //! * [`Trace`] — per-cycle event logs for inspection and debugging.
 //!
 //! ```
-//! use ftqs_core::ftqs::{ftqs, FtqsConfig};
+//! use ftqs_core::{Engine, SynthesisRequest};
 //! use ftqs_sim::{MonteCarlo, OnlineScheduler, ExecutionScenario};
 //! # use ftqs_core::{Application, ExecutionTimes, FaultModel, Time, UtilityFunction};
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! # let mut b = Application::builder(Time::from_ms(300), FaultModel::new(1, Time::from_ms(10)));
 //! # b.add_hard("P1", ExecutionTimes::uniform(30.into(), 70.into())?, Time::from_ms(180));
 //! # let app = b.build()?;
-//! let tree = ftqs(&app, &FtqsConfig::with_budget(8))?;
+//! let tree = Engine::new()
+//!     .session()
+//!     .synthesize(&app, &SynthesisRequest::ftqs(8))?
+//!     .into_tree();
 //! let mc = MonteCarlo { scenarios: 1_000, seed: 1, threads: 2 };
 //! let eval = mc.evaluate(&app, &tree, 1); // scenarios with one fault
 //! assert_eq!(eval.deadline_misses, 0);

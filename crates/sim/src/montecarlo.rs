@@ -174,8 +174,15 @@ fn scenario_seed(base: u64, i: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ftqs_core::ftqs::{ftqs, FtqsConfig};
-    use ftqs_core::{ExecutionTimes, FaultModel, Time, UtilityFunction};
+    use ftqs_core::{Engine, ExecutionTimes, FaultModel, SynthesisRequest, Time, UtilityFunction};
+
+    fn synth_tree(app: &Application, budget: usize) -> QuasiStaticTree {
+        Engine::new()
+            .session()
+            .synthesize(app, &SynthesisRequest::ftqs(budget))
+            .unwrap()
+            .into_tree()
+    }
 
     fn t(ms: u64) -> Time {
         Time::from_ms(ms)
@@ -202,7 +209,7 @@ mod tests {
     #[test]
     fn evaluation_is_deterministic_for_fixed_seed() {
         let app = fig1_app();
-        let tree = ftqs(&app, &FtqsConfig::with_budget(4)).unwrap();
+        let tree = synth_tree(&app, 4);
         let mc = MonteCarlo {
             scenarios: 200,
             seed: 42,
@@ -217,7 +224,7 @@ mod tests {
     #[test]
     fn thread_count_does_not_change_results() {
         let app = fig1_app();
-        let tree = ftqs(&app, &FtqsConfig::with_budget(4)).unwrap();
+        let tree = synth_tree(&app, 4);
         let base = MonteCarlo {
             scenarios: 300,
             seed: 7,
@@ -236,7 +243,7 @@ mod tests {
         // evaluation's statistics must match the serial ones for every
         // thread split (each scenario's seed depends only on its index).
         let app = fig1_app();
-        let tree = ftqs(&app, &FtqsConfig::with_budget(6)).unwrap();
+        let tree = synth_tree(&app, 6);
         let serial = MonteCarlo {
             scenarios: 257, // deliberately not divisible by the thread counts
             seed: 0xC0FFEE,
@@ -259,7 +266,7 @@ mod tests {
     #[test]
     fn more_faults_never_help_on_average() {
         let app = fig1_app();
-        let tree = ftqs(&app, &FtqsConfig::with_budget(6)).unwrap();
+        let tree = synth_tree(&app, 6);
         let mc = MonteCarlo {
             scenarios: 500,
             seed: 3,

@@ -50,14 +50,17 @@ pub struct SimOutcome {
 /// # Example
 ///
 /// ```
-/// use ftqs_core::{ftqs::{ftqs, FtqsConfig}};
+/// use ftqs_core::{Engine, SynthesisRequest};
 /// use ftqs_sim::{ExecutionScenario, OnlineScheduler};
 /// # use ftqs_core::{Application, ExecutionTimes, FaultModel, Time, UtilityFunction};
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// # let mut b = Application::builder(Time::from_ms(300), FaultModel::new(1, Time::from_ms(10)));
 /// # let p1 = b.add_hard("P1", ExecutionTimes::uniform(30.into(), 70.into())?, Time::from_ms(180));
 /// # let app = b.build()?;
-/// let tree = ftqs(&app, &FtqsConfig::with_budget(4))?;
+/// let tree = Engine::new()
+///     .session()
+///     .synthesize(&app, &SynthesisRequest::ftqs(4))?
+///     .into_tree();
 /// let runner = OnlineScheduler::new(&app, &tree);
 /// let outcome = runner.run(&ExecutionScenario::average_case(&app));
 /// assert!(outcome.deadline_miss.is_none());
@@ -101,7 +104,7 @@ impl<'a> OnlineScheduler<'a> {
         let mut deadline_miss = None;
 
         // Register the root schedule's static drops.
-        for &d in self.tree.node(node).schedule.statically_dropped() {
+        for &d in self.tree.node_schedule(node).statically_dropped() {
             dropped[d.index()] = true;
             trace.push(TraceEvent::Dropped {
                 process: d,
@@ -111,7 +114,7 @@ impl<'a> OnlineScheduler<'a> {
         }
 
         loop {
-            let schedule = &self.tree.node(node).schedule;
+            let schedule = self.tree.node_schedule(node);
             let analysis = &self.analyses[node];
             if pos >= schedule.entries().len() {
                 break;
@@ -216,7 +219,7 @@ impl<'a> OnlineScheduler<'a> {
                         node = next;
                         pos = 0;
                         // The child schedule carries its own static drops.
-                        for &d in self.tree.node(node).schedule.statically_dropped() {
+                        for &d in self.tree.node_schedule(node).statically_dropped() {
                             if !dropped[d.index()] && completions[d.index()].is_none() {
                                 dropped[d.index()] = true;
                                 trace.push(TraceEvent::Dropped {
@@ -268,12 +271,27 @@ impl<'a> OnlineScheduler<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ftqs_core::ftqs::{ftqs, FtqsConfig};
-    use ftqs_core::ftss::ftss;
-    use ftqs_core::{ExecutionTimes, FaultModel, FtssConfig, ScheduleContext, UtilityFunction};
+    use ftqs_core::{Engine, ExecutionTimes, FaultModel, SynthesisRequest, UtilityFunction};
 
     fn t(ms: u64) -> Time {
         Time::from_ms(ms)
+    }
+
+    fn synth_tree(app: &Application, budget: usize) -> QuasiStaticTree {
+        Engine::new()
+            .session()
+            .synthesize(app, &SynthesisRequest::ftqs(budget))
+            .unwrap()
+            .into_tree()
+    }
+
+    fn synth_ftss(app: &Application) -> FSchedule {
+        Engine::new()
+            .session()
+            .synthesize(app, &SynthesisRequest::ftss())
+            .unwrap()
+            .root_schedule()
+            .clone()
     }
 
     fn et(b: u64, w: u64) -> ExecutionTimes {
@@ -326,7 +344,7 @@ mod tests {
         // FTSS's root is S2 = P1, P3, P2; in the average case utilities are
         // U3(110) + U2(160) = 40 + 20 = 60 (Fig. 4b2).
         let (app, _) = fig1_app();
-        let s = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).unwrap();
+        let s = synth_ftss(&app);
         let out = OnlineScheduler::run_static(&app, &s, &ExecutionScenario::average_case(&app));
         assert_eq!(out.utility, 60.0);
         assert!(out.deadline_miss.is_none());
@@ -338,7 +356,7 @@ mod tests {
         // When P1 finishes at 30, the tree switches to the P2-first child
         // and harvests Fig. 4b5's utility 70 instead of 60.
         let (app, [p1, ..]) = fig1_app();
-        let tree = ftqs(&app, &FtqsConfig::with_budget(4)).unwrap();
+        let tree = synth_tree(&app, 4);
         let runner = OnlineScheduler::new(&app, &tree);
         let sc = scenario_with(&app, &[(p1, [30, 30])], &[]);
         // Soft processes at AET for comparability.
@@ -360,7 +378,7 @@ mod tests {
     #[test]
     fn fault_on_hard_process_triggers_reexecution() {
         let (app, [p1, ..]) = fig1_app();
-        let s = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).unwrap();
+        let s = synth_ftss(&app);
         // P1 faults on its first attempt (70ms), recovers (10ms), runs again
         // (70ms): completes at 150 <= 180. Worst case of Fig. 4b1/b2.
         let sc = scenario_with(&app, &[], &[(p1, 0)]);
@@ -373,7 +391,7 @@ mod tests {
     #[test]
     fn soft_process_without_allowance_is_abandoned_on_fault() {
         let (app, [_, p2, p3]) = fig1_app();
-        let s = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).unwrap();
+        let s = synth_ftss(&app);
         // Fault P3 (scheduled right after P1). Whether it re-executes
         // depends on its granted allowance; if abandoned, it must be marked
         // dropped and P2 still runs.
@@ -393,7 +411,7 @@ mod tests {
         // 230, P2 would complete at 300 = T, which is allowed (not > LST
         // = T - bcet = 270... start 230 <= 270: executes).
         let (app, [p1, p2, _]) = fig1_app();
-        let s = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).unwrap();
+        let s = synth_ftss(&app);
         let sc = scenario_with(&app, &[], &[(p1, 0)]);
         let out = OnlineScheduler::run_static(&app, &s, &sc);
         assert!(out.completions[p2.index()].is_some());
@@ -417,7 +435,7 @@ mod tests {
         b.add_dependency(src, mid).unwrap();
         b.add_dependency(mid, snk).unwrap();
         let app = b.build().unwrap();
-        let s = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).unwrap();
+        let s = synth_ftss(&app);
         assert_eq!(s.order_key(), vec![src, mid, snk]);
         assert_eq!(
             s.entries()[1].reexecutions,
@@ -443,7 +461,7 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
         let (app, _) = fig1_app();
-        let tree = ftqs(&app, &FtqsConfig::with_budget(6)).unwrap();
+        let tree = synth_tree(&app, 6);
         let runner = OnlineScheduler::new(&app, &tree);
         let sampler = crate::scenario::ScenarioSampler::new(&app);
         let mut rng = StdRng::seed_from_u64(7);

@@ -5,11 +5,9 @@
 //! Cases are generated from explicit seed loops (no proptest in this
 //! environment); the failing seed triple is in every assertion message.
 
-use ftqs_core::ftqs::{ftqs, FtqsConfig};
-use ftqs_core::ftss::ftss;
 use ftqs_core::{
-    Application, ExecutionTimes, FaultModel, FtssConfig, QuasiStaticTree, ScheduleContext,
-    StaleCoefficients, Time, UtilityFunction,
+    Application, Engine, ExecutionTimes, FSchedule, FaultModel, QuasiStaticTree, StaleCoefficients,
+    SynthesisRequest, Time, UtilityFunction,
 };
 use ftqs_sim::{ExecutionScenario, GreedyOnlineScheduler, OnlineScheduler, ScenarioSampler};
 use rand::rngs::StdRng;
@@ -17,6 +15,23 @@ use rand::{Rng, SeedableRng};
 
 /// One generated case: which application family, which scenario stream,
 /// how many planned faults — mirrors the original proptest strategy.
+fn synth_tree(app: &Application, budget: usize) -> QuasiStaticTree {
+    Engine::new()
+        .session()
+        .synthesize(app, &SynthesisRequest::ftqs(budget))
+        .expect("schedulable")
+        .into_tree()
+}
+
+fn synth_ftss(app: &Application) -> FSchedule {
+    Engine::new()
+        .session()
+        .synthesize(app, &SynthesisRequest::ftss())
+        .expect("schedulable")
+        .root_schedule()
+        .clone()
+}
+
 fn cases() -> impl Iterator<Item = (u64, u64, usize)> {
     (0..48u64).map(|i| {
         let mut rng = StdRng::seed_from_u64(0xCA5E ^ i);
@@ -40,7 +55,7 @@ fn tree_runtime_never_misses_hard_deadlines() {
     for (app_seed, sc_seed, faults) in cases() {
         let app = build_app(app_seed);
         let faults = faults.min(app.faults().k);
-        let tree = ftqs(&app, &FtqsConfig::with_budget(6)).expect("schedulable");
+        let tree = synth_tree(&app, 6);
         let runner = OnlineScheduler::new(&app, &tree);
         let sampler = ScenarioSampler::new(&app);
         let sc = sampler.sample(&mut StdRng::seed_from_u64(sc_seed), faults);
@@ -86,8 +101,7 @@ fn completions_are_strictly_ordered_and_positive() {
     for (app_seed, sc_seed, faults) in cases() {
         let app = build_app(app_seed);
         let faults = faults.min(app.faults().k);
-        let root =
-            ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).expect("schedulable");
+        let root = synth_ftss(&app);
         let order = root.order_key();
         let tree = QuasiStaticTree::single(root);
         let runner = OnlineScheduler::new(&app, &tree);
@@ -120,8 +134,7 @@ fn utility_matches_stale_recomputation() {
         // alphas).
         let app = build_app(app_seed);
         let faults = faults.min(app.faults().k);
-        let root =
-            ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).expect("schedulable");
+        let root = synth_ftss(&app);
         let tree = QuasiStaticTree::single(root);
         let runner = OnlineScheduler::new(&app, &tree);
         let sampler = ScenarioSampler::new(&app);
@@ -155,7 +168,7 @@ fn faults_hit_never_exceed_plan() {
     for (app_seed, sc_seed, faults) in cases() {
         let app = build_app(app_seed);
         let faults = faults.min(app.faults().k);
-        let tree = ftqs(&app, &FtqsConfig::with_budget(4)).expect("schedulable");
+        let tree = synth_tree(&app, 4);
         let runner = OnlineScheduler::new(&app, &tree);
         let sampler = ScenarioSampler::new(&app);
         let sc = sampler.sample(&mut StdRng::seed_from_u64(sc_seed), faults);
@@ -196,7 +209,7 @@ fn exhaustive_fault_placements_on_small_app() {
     b.add_dependency(h1, s1).unwrap();
     b.add_dependency(h1, h2).unwrap();
     let app = b.build().unwrap();
-    let tree = ftqs(&app, &FtqsConfig::with_budget(4)).unwrap();
+    let tree = synth_tree(&app, 4);
     let runner = OnlineScheduler::new(&app, &tree);
 
     let attempts = app.faults().k + 1;

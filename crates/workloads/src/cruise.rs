@@ -278,6 +278,8 @@ pub fn cruise_controller() -> Result<Application, ApplicationError> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // unit tests double as coverage of the wrappers
+
     use super::*;
     use ftqs_core::ftss::ftss;
     use ftqs_core::{FtssConfig, ScheduleContext};

@@ -142,6 +142,8 @@ pub fn merge(apps: &[Application]) -> Result<Application, ApplicationError> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // unit tests double as coverage of the wrappers
+
     use super::*;
     use ftqs_core::ftss::ftss;
     use ftqs_core::{ExecutionTimes, FtssConfig, ScheduleContext, UtilityFunction};

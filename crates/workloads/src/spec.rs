@@ -356,6 +356,8 @@ edge P1 P3
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // unit tests double as coverage of the wrappers
+
     use super::*;
 
     #[test]

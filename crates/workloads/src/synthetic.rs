@@ -180,11 +180,11 @@ pub fn generate_schedulable<R: Rng>(
     rng: &mut R,
     max_tries: usize,
 ) -> Application {
-    use ftqs_core::ftss::ftss;
-    use ftqs_core::{FtssConfig, ScheduleContext};
+    use ftqs_core::{Engine, SynthesisRequest};
+    let mut session = Engine::new().session();
     for _ in 0..max_tries {
         let app = generate(params, rng);
-        if ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).is_ok() {
+        if session.synthesize(&app, &SynthesisRequest::ftss()).is_ok() {
             return app;
         }
     }
@@ -193,6 +193,8 @@ pub fn generate_schedulable<R: Rng>(
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // unit tests double as coverage of the wrappers
+
     use super::*;
     use ftqs_core::ftss::ftss;
     use ftqs_core::{FtssConfig, ScheduleContext};

@@ -19,8 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         app.faults().k
     );
 
-    // Static fault-tolerant schedule.
-    let schedule = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default())?;
+    // Static fault-tolerant schedule (one session serves all three runs).
+    let mut session = Engine::new().session();
+    let ftss_report = session.synthesize(&app, &SynthesisRequest::ftss())?;
+    let schedule = ftss_report.root_schedule();
     let analysis = schedule.analyze(&app);
     println!("\nhard processes under FTSS (worst case with k = 2 faults):");
     for (pos, e) in schedule.entries().iter().enumerate() {
@@ -50,7 +52,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Quasi-static tree with the paper's 39-schedule budget.
-    let tree = ftqs::core::ftqs::ftqs(&app, &FtqsConfig::with_budget(39))?;
+    let tree = session
+        .synthesize(&app, &SynthesisRequest::ftqs(39))?
+        .into_tree();
     println!(
         "\nquasi-static tree: {} schedules, depth {}",
         tree.len(),
@@ -63,8 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 1,
         threads: std::thread::available_parallelism().map_or(1, usize::from),
     };
-    let single = QuasiStaticTree::single(schedule);
-    let baseline = QuasiStaticTree::single(ftsf(&app, &FtssConfig::default())?);
+    let single = ftss_report.tree.clone();
+    let baseline = session
+        .synthesize(&app, &SynthesisRequest::ftsf())?
+        .into_tree();
     println!("\nmean utility over {} scenarios:", mc.scenarios);
     for (name, t) in [("FTQS", &tree), ("FTSS", &single), ("FTSF", &baseline)] {
         for faults in [0usize, 1, 2] {

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         app.faults().mu
     );
 
-    let tree = ftqs::core::ftqs::ftqs(&app, &FtqsConfig::with_budget(20))?;
+    let tree = Engine::new()
+        .session()
+        .synthesize(&app, &SynthesisRequest::ftqs(20))?
+        .into_tree();
     let runner = OnlineScheduler::new(&app, &tree);
     let sampler = ScenarioSampler::new(&app);
 

@@ -27,23 +27,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         threads: std::thread::available_parallelism().map_or(1, usize::from),
     };
 
+    // One engine session synthesizes every budget below.
+    let mut session = Engine::new().session();
     println!(
         "\n{:>7}  {:>6}  {:>6}  {:>10}  {:>10}",
         "budget", "nodes", "depth", "u(0 faults)", "u(3 faults)"
     );
     for budget in [1usize, 2, 4, 8, 16, 32] {
-        let tree = ftqs::core::ftqs::ftqs(&app, &FtqsConfig::with_budget(budget))?;
-        let u0 = mc.evaluate(&app, &tree, 0).utility.mean();
-        let u3 = mc.evaluate(&app, &tree, 3).utility.mean();
+        let report = session.synthesize(&app, &SynthesisRequest::ftqs(budget))?;
+        let u0 = mc.evaluate(&app, &report.tree, 0).utility.mean();
+        let u3 = mc.evaluate(&app, &report.tree, 3).utility.mean();
         println!(
             "{budget:>7}  {:>6}  {:>6}  {u0:>10.2}  {u3:>10.2}",
-            tree.len(),
-            tree.depth()
+            report.stats.schedules, report.stats.depth
         );
     }
 
     // Dissect the largest tree.
-    let tree = ftqs::core::ftqs::ftqs(&app, &FtqsConfig::with_budget(16))?;
+    let tree = session
+        .synthesize(&app, &SynthesisRequest::ftqs(16))?
+        .into_tree();
     println!("\nswitch arcs of the 16-budget tree:");
     for (id, node) in tree.iter() {
         for arc in &node.arcs {

@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- Static fault-tolerant schedule (FTSS) ---------------------------
-    let schedule = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default())?;
+    // One engine session serves both synthesis runs below.
+    let mut session = Engine::new().session();
+    let ftss_report = session.synthesize(&app, &SynthesisRequest::ftss())?;
+    let schedule = ftss_report.root_schedule();
     let names: Vec<&str> = schedule
         .order_key()
         .iter()
@@ -52,15 +55,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- Quasi-static tree (FTQS) -----------------------------------------
-    let tree = ftqs::core::ftqs::ftqs(&app, &FtqsConfig::with_budget(8))?;
+    let report = session.synthesize(&app, &SynthesisRequest::ftqs(8))?;
     println!(
-        "\nquasi-static tree: {} schedules, depth {}",
-        tree.len(),
-        tree.depth()
+        "\nquasi-static tree: {} schedules, depth {}, synthesized in {} us",
+        report.stats.schedules, report.stats.depth, report.timing.synthesis_micros
     );
-    for (id, node) in tree.iter() {
-        let order: Vec<&str> = node
-            .schedule
+    let tree = report.tree;
+    for (id, node, sched) in tree.iter_schedules() {
+        let order: Vec<&str> = sched
             .order_key()
             .iter()
             .map(|&p| app.process(p).name())

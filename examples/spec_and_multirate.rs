@@ -63,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The merged application is an ordinary single-node application: the
     // whole synthesis pipeline applies unchanged.
-    let tree = ftqs::core::ftqs::ftqs(&merged, &FtqsConfig::with_budget(12))?;
+    let tree = Engine::new()
+        .session()
+        .synthesize(&merged, &SynthesisRequest::ftqs(12))?
+        .into_tree();
     println!("\nquasi-static tree: {} schedules", tree.len());
 
     // Round-trip through the spec format: the merged application can be

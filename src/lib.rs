@@ -19,8 +19,8 @@
 //!
 //! ## Example
 //!
-//! Build the paper's running example, synthesize a quasi-static tree, and
-//! simulate a cycle:
+//! Build the paper's running example, synthesize a quasi-static tree
+//! through the engine, and simulate a cycle:
 //!
 //! ```
 //! use ftqs::prelude::*;
@@ -36,8 +36,9 @@
 //! b.add_dependency(p1, p2)?;
 //! let app = b.build()?;
 //!
-//! let tree = ftqs::core::ftqs::ftqs(&app, &FtqsConfig::with_budget(8))?;
-//! let runner = OnlineScheduler::new(&app, &tree);
+//! let mut session = Engine::new().session();
+//! let report = session.synthesize(&app, &SynthesisRequest::ftqs(8))?;
+//! let runner = OnlineScheduler::new(&app, &report.tree);
 //! let outcome = runner.run(&ExecutionScenario::average_case(&app));
 //! assert!(outcome.deadline_miss.is_none());
 //! # Ok(())
@@ -53,13 +54,11 @@ pub use ftqs_workloads as workloads;
 
 /// The types almost every user of the library needs.
 pub mod prelude {
-    pub use ftqs_core::ftqs::{ftqs, ExpansionPolicy, FtqsConfig};
-    pub use ftqs_core::ftsf::ftsf;
-    pub use ftqs_core::ftss::ftss;
+    pub use ftqs_core::ftqs::ExpansionPolicy;
     pub use ftqs_core::{
-        Application, Criticality, ExecutionTimes, FSchedule, FaultModel, FtssConfig, Process,
-        QuasiStaticTree, ScheduleContext, SchedulingError, StaleCoefficients, Time,
-        UtilityFunction,
+        Application, Criticality, Engine, Error, ExecutionTimes, FSchedule, FaultModel, FtssConfig,
+        Process, QuasiStaticTree, ScheduleContext, SchedulingError, Session, StaleCoefficients,
+        SynthesisPolicy, SynthesisReport, SynthesisRequest, Time, UtilityFunction,
     };
     pub use ftqs_graph::{Dag, NodeId};
     pub use ftqs_sim::{

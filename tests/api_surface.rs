@@ -1,0 +1,110 @@
+//! Public-API surface smoke test: the deprecated free-function wrappers
+//! (`ftss`, `ftqs`, `ftsf`) must keep compiling against the new
+//! `Engine`/`Session` types and producing artifacts that interoperate
+//! with them — callers migrating incrementally may hold a mix of both.
+#![allow(deprecated)]
+
+use ftqs::prelude::*;
+use ftqs_core::ftqs::{ftqs, FtqsConfig};
+use ftqs_core::ftsf::ftsf;
+use ftqs_core::ftss::ftss;
+
+fn fig1() -> Application {
+    let ms = Time::from_ms;
+    let mut b = Application::builder(ms(300), FaultModel::new(1, ms(10)));
+    let p1 = b.add_hard(
+        "P1",
+        ExecutionTimes::uniform(ms(30), ms(70)).unwrap(),
+        ms(180),
+    );
+    let p2 = b.add_soft(
+        "P2",
+        ExecutionTimes::uniform(ms(30), ms(70)).unwrap(),
+        UtilityFunction::step(40.0, [(ms(90), 20.0), (ms(200), 10.0), (ms(250), 0.0)]).unwrap(),
+    );
+    let p3 = b.add_soft(
+        "P3",
+        ExecutionTimes::uniform(ms(40), ms(80)).unwrap(),
+        UtilityFunction::step(40.0, [(ms(110), 30.0), (ms(150), 10.0), (ms(220), 0.0)]).unwrap(),
+    );
+    b.add_dependency(p1, p2).unwrap();
+    b.add_dependency(p1, p3).unwrap();
+    b.build().unwrap()
+}
+
+#[test]
+fn wrappers_compile_and_agree_with_the_engine() {
+    let app = fig1();
+    let mut session = Engine::new().session();
+
+    // ftss wrapper: same FSchedule type the engine reports.
+    let legacy = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).unwrap();
+    let report = session.synthesize(&app, &SynthesisRequest::ftss()).unwrap();
+    assert_eq!(&legacy, report.root_schedule());
+
+    // ftqs wrapper: produces the same arena-backed QuasiStaticTree type.
+    let legacy_tree: QuasiStaticTree = ftqs(&app, &FtqsConfig::with_budget(4)).unwrap();
+    let engine_tree = session
+        .synthesize(&app, &SynthesisRequest::ftqs(4))
+        .unwrap()
+        .into_tree();
+    assert_eq!(legacy_tree.len(), engine_tree.len());
+    for ((_, a), (_, b)) in legacy_tree.iter().zip(engine_tree.iter()) {
+        assert_eq!(
+            legacy_tree.schedule(a.schedule),
+            engine_tree.schedule(b.schedule)
+        );
+        assert_eq!(a.arcs, b.arcs);
+    }
+
+    // ftsf wrapper.
+    let legacy_base = ftsf(&app, &FtssConfig::default()).unwrap();
+    let base_report = session.synthesize(&app, &SynthesisRequest::ftsf()).unwrap();
+    assert_eq!(&legacy_base, base_report.root_schedule());
+}
+
+#[test]
+fn wrapper_artifacts_feed_the_new_consumers() {
+    let app = fig1();
+    // A wrapper-built tree drives the online scheduler, the exporter, and
+    // serde exactly like an engine-built one.
+    let tree = ftqs(&app, &FtqsConfig::with_budget(4)).unwrap();
+    let out = OnlineScheduler::new(&app, &tree).run(&ExecutionScenario::average_case(&app));
+    assert!(out.deadline_miss.is_none());
+
+    let header = ftqs::core::export::tree_to_c(&app, &tree, "smoke");
+    assert!(header.contains("smoke_tree"));
+
+    let json = serde_json::to_string(&tree).unwrap();
+    let back: QuasiStaticTree = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.len(), tree.len());
+
+    // And a wrapper-built schedule wraps into the arena-backed single tree.
+    let schedule = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).unwrap();
+    let single = QuasiStaticTree::single(schedule);
+    assert_eq!(single.arena().allocations(), 1);
+}
+
+#[test]
+fn wrapper_errors_are_the_engine_error_source() {
+    // The wrappers return SchedulingError; the engine wraps the identical
+    // value in ftqs_core::Error::Scheduling.
+    let ms = Time::from_ms;
+    let mut b = Application::builder(ms(100), FaultModel::new(3, ms(10)));
+    b.add_hard(
+        "H",
+        ExecutionTimes::uniform(ms(50), ms(90)).unwrap(),
+        ms(95),
+    );
+    let app = b.build().unwrap();
+
+    let legacy = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).unwrap_err();
+    let engine = Engine::new()
+        .session()
+        .synthesize(&app, &SynthesisRequest::ftss())
+        .unwrap_err();
+    match engine {
+        Error::Scheduling(e) => assert_eq!(e, legacy),
+        other => panic!("expected Error::Scheduling, got {other:?}"),
+    }
+}

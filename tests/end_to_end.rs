@@ -4,6 +4,10 @@ use ftqs::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+fn session() -> Session {
+    Engine::new().session()
+}
+
 fn generated_app(size: usize, seed: u64) -> Application {
     let params = GeneratorParams::paper(size);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -14,7 +18,10 @@ fn generated_app(size: usize, seed: u64) -> Application {
 fn full_pipeline_runs_for_every_paper_size() {
     for &size in &[10usize, 25, 50] {
         let app = generated_app(size, 0xE2E + size as u64);
-        let tree = ftqs(&app, &FtqsConfig::with_budget(8)).expect("schedulable");
+        let tree = session()
+            .synthesize(&app, &SynthesisRequest::ftqs(8))
+            .expect("schedulable")
+            .into_tree();
         let mc = MonteCarlo {
             scenarios: 200,
             seed: 1,
@@ -36,10 +43,15 @@ fn ftqs_never_loses_to_ftss_in_no_fault_expectation() {
     // per-scenario, hence also in the mean).
     for seed in 0..5u64 {
         let app = generated_app(15, 100 + seed);
-        let root =
-            ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).expect("schedulable");
-        let single = QuasiStaticTree::single(root);
-        let tree = ftqs(&app, &FtqsConfig::with_budget(12)).expect("schedulable");
+        let mut session = session();
+        let single = session
+            .synthesize(&app, &SynthesisRequest::ftss())
+            .expect("schedulable")
+            .into_tree();
+        let tree = session
+            .synthesize(&app, &SynthesisRequest::ftqs(12))
+            .expect("schedulable")
+            .into_tree();
         let mc = MonteCarlo {
             scenarios: 500,
             seed: 42,
@@ -60,10 +72,11 @@ fn ftss_dominates_ftsf_on_average() {
     let mut total = 0usize;
     for seed in 0..8u64 {
         let app = generated_app(20, 200 + seed);
-        let Ok(root) = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()) else {
+        let mut session = session();
+        let Ok(root) = session.synthesize(&app, &SynthesisRequest::ftss()) else {
             continue;
         };
-        let Ok(base) = ftsf(&app, &FtssConfig::default()) else {
+        let Ok(base) = session.synthesize(&app, &SynthesisRequest::ftsf()) else {
             continue;
         };
         let mc = MonteCarlo {
@@ -71,14 +84,8 @@ fn ftss_dominates_ftsf_on_average() {
             seed: 9,
             threads: 2,
         };
-        let u_ftss = mc
-            .evaluate(&app, &QuasiStaticTree::single(root), 3)
-            .utility
-            .mean();
-        let u_ftsf = mc
-            .evaluate(&app, &QuasiStaticTree::single(base), 3)
-            .utility
-            .mean();
+        let u_ftss = mc.evaluate(&app, &root.tree, 3).utility.mean();
+        let u_ftsf = mc.evaluate(&app, &base.tree, 3).utility.mean();
         total += 1;
         if u_ftss + 1e-9 >= u_ftsf {
             wins += 1;
@@ -94,7 +101,10 @@ fn ftss_dominates_ftsf_on_average() {
 #[test]
 fn identical_scenarios_make_comparisons_deterministic() {
     let app = generated_app(12, 555);
-    let tree = ftqs(&app, &FtqsConfig::with_budget(6)).expect("schedulable");
+    let tree = session()
+        .synthesize(&app, &SynthesisRequest::ftqs(6))
+        .expect("schedulable")
+        .into_tree();
     let mc = MonteCarlo {
         scenarios: 100,
         seed: 31,
@@ -108,7 +118,10 @@ fn identical_scenarios_make_comparisons_deterministic() {
 #[test]
 fn cruise_controller_end_to_end() {
     let app = cruise_controller().expect("valid model");
-    let tree = ftqs(&app, &FtqsConfig::with_budget(16)).expect("schedulable");
+    let tree = session()
+        .synthesize(&app, &SynthesisRequest::ftqs(16))
+        .expect("schedulable")
+        .into_tree();
     assert!(
         tree.len() > 1,
         "the CC must profit from quasi-static schedules"
@@ -135,13 +148,21 @@ fn serialized_tree_round_trips_structurally() {
     // The quasi-static tree is the artifact an embedded runtime consumes;
     // its serde representation must survive a round trip.
     let app = generated_app(10, 777);
-    let tree = ftqs(&app, &FtqsConfig::with_budget(6)).expect("schedulable");
-    let json = serde_json::to_string(&tree).expect("serializes");
-    let back: QuasiStaticTree = serde_json::from_str(&json).expect("deserializes");
-    assert_eq!(back.len(), tree.len());
-    assert_eq!(back.root(), tree.root());
-    for ((_, a), (_, b)) in tree.iter().zip(back.iter()) {
-        assert_eq!(a.schedule.order_key(), b.schedule.order_key());
+    let report = session()
+        .synthesize(&app, &SynthesisRequest::ftqs(6))
+        .expect("schedulable");
+    let tree = &report.tree;
+    let json = serde_json::to_string(&report).expect("serializes");
+    let back: SynthesisReport = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back.stats, report.stats);
+    assert_eq!(back.tree.len(), tree.len());
+    assert_eq!(back.tree.root(), tree.root());
+    for ((id, a), (_, b)) in tree.iter().zip(back.tree.iter()) {
+        assert_eq!(
+            tree.schedule(a.schedule).order_key(),
+            back.tree.schedule(b.schedule).order_key(),
+            "node {id}"
+        );
         assert_eq!(a.arcs, b.arcs);
         assert_eq!(a.depth, b.depth);
     }

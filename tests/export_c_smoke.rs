@@ -71,7 +71,11 @@ fn generated_header_compiles_and_switches() {
     b.add_dependency(p1, p2).expect("edge");
     b.add_dependency(p1, p3).expect("edge");
     let app = b.build().expect("valid app");
-    let tree = ftqs(&app, &FtqsConfig::with_budget(4)).expect("schedulable");
+    let tree = Engine::new()
+        .session()
+        .synthesize(&app, &SynthesisRequest::ftqs(4))
+        .expect("schedulable")
+        .into_tree();
     assert!(tree.len() >= 2, "need a switchable tree for the smoke test");
 
     let dir = std::env::temp_dir().join(format!("ftqs_c_smoke_{}", std::process::id()));
