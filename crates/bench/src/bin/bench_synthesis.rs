@@ -3,8 +3,12 @@
 //! Times FTSS and FTQS synthesis (optimized hot paths vs the preserved
 //! straightforward baselines in `ftqs_core::oracle`) on seeded synthetic
 //! applications of 10, 20 and 40 processes, and writes median
-//! nanoseconds plus speedup factors as JSON. Future PRs regenerate the
-//! file on the same machine to track the performance trajectory.
+//! nanoseconds plus speedup factors as JSON. FTQS is measured in both
+//! expansion modes — `ftqs` is the default checkpointed-incremental
+//! pipeline, `ftqs_rerun` the preserved per-pivot re-derivation
+//! (`ExpansionMode::Rerun`) — so the incremental-vs-rerun A/B ratio is
+//! directly readable per process count. Future PRs regenerate the file on
+//! the same machine to track the performance trajectory.
 //!
 //! Usage: `cargo run --release -p ftqs-bench --bin bench_synthesis
 //! [--out PATH] [--reps N] [--budget M] [--skip-baseline]`
@@ -15,7 +19,9 @@
 use ftqs_bench::Options;
 use ftqs_core::ftqs::FtqsConfig;
 use ftqs_core::oracle::{ftqs_reference, ftss_reference};
-use ftqs_core::{Application, Engine, FtssConfig, ScheduleContext, SynthesisRequest};
+use ftqs_core::{
+    Application, Engine, ExpansionMode, FtssConfig, ScheduleContext, SynthesisRequest,
+};
 use ftqs_workloads::{presets, synthetic};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -58,6 +64,7 @@ fn main() {
     let mut session = Engine::new().session();
     let ftss_req = SynthesisRequest::ftss();
     let ftqs_req = SynthesisRequest::ftqs(budget);
+    let ftqs_rerun_req = SynthesisRequest::ftqs(budget).with_expansion_mode(ExpansionMode::Rerun);
     let ftss_cfg = FtssConfig::default();
     let ftqs_cfg = FtqsConfig::with_budget(budget);
     let mut rows: Vec<Row> = Vec::new();
@@ -119,10 +126,29 @@ fn main() {
                 None => String::new(),
             }
         );
+
+        // The incremental-vs-rerun A/B row: identical trees, the only
+        // difference is whether per-pivot runs restore a checkpoint or
+        // re-derive their context. Shares the oracle baseline above.
+        let ftqs_rerun_ns = median_ns(reps, || {
+            session
+                .synthesize(&app, &ftqs_rerun_req)
+                .expect("schedulable");
+        });
+        rows.push(Row {
+            algorithm: "ftqs_rerun",
+            processes: size,
+            optimized_ns: ftqs_rerun_ns,
+            baseline_ns: ftqs_base,
+        });
+        eprintln!(
+            "ftqs_rerun/{size}: optimized {ftqs_rerun_ns} ns (incremental is {:.2}x faster)",
+            ftqs_rerun_ns as f64 / ftqs_ns as f64
+        );
     }
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": \"ftqs-bench-synthesis/1\",");
+    let _ = writeln!(json, "  \"schema\": \"ftqs-bench-synthesis/2\",");
     let _ = writeln!(json, "  \"reps\": {reps},");
     let _ = writeln!(json, "  \"ftqs_budget\": {budget},");
     let _ = writeln!(

@@ -72,6 +72,25 @@ fn tree_json_matches_golden() {
 }
 
 #[test]
+fn tree_json_exposes_checkpoint_counters() {
+    // The expansion stats are part of the public report schema: batch
+    // pipelines A/B the incremental expansion by reading these counters.
+    let actual = tree("--example", 4, TreeFormat::Json).unwrap();
+    for field in [
+        "\"expansion\"",
+        "\"snapshots\"",
+        "\"restores\"",
+        "\"prefix_steps_saved\"",
+        "\"prefix_steps_rerun\"",
+    ] {
+        assert!(
+            actual.contains(field),
+            "tree --format json lost the {field} checkpoint counter"
+        );
+    }
+}
+
+#[test]
 fn compare_json_matches_golden() {
     let actual = compare("--example", 50, 4, 3, OutputFormat::Json).unwrap();
     assert_matches_golden(

@@ -60,7 +60,7 @@
 //! ```
 
 use crate::fschedule::UtilityEstimator;
-use crate::ftqs::{ftqs_with, ExpansionPolicy, FtqsConfig};
+use crate::ftqs::{ftqs_with, ExpansionMode, ExpansionPolicy, ExpansionStats, FtqsConfig};
 use crate::ftsf::ftsf_with;
 use crate::ftss::{ftss_with, FtssConfig, SynthesisScratch};
 use crate::tree::QuasiStaticTree;
@@ -93,6 +93,7 @@ pub enum SynthesisPolicy {
 pub struct Engine {
     ftss: FtssConfig,
     expansion: ExpansionPolicy,
+    mode: ExpansionMode,
     interval_samples: u32,
     estimator: UtilityEstimator,
     validate: bool,
@@ -104,6 +105,7 @@ impl Default for Engine {
         Engine {
             ftss: d.ftss,
             expansion: d.policy,
+            mode: d.mode,
             interval_samples: d.interval_samples,
             estimator: d.estimator,
             validate: false,
@@ -129,6 +131,15 @@ impl Engine {
     #[must_use]
     pub fn with_expansion_policy(mut self, policy: ExpansionPolicy) -> Self {
         self.expansion = policy;
+        self
+    }
+
+    /// Sets the default FTQS expansion mode (checkpointed-incremental vs
+    /// per-pivot rerun; see [`ExpansionMode`]). Both modes produce
+    /// bit-identical trees — this is an A/B performance knob.
+    #[must_use]
+    pub fn with_expansion_mode(mut self, mode: ExpansionMode) -> Self {
+        self.mode = mode;
         self
     }
 
@@ -174,6 +185,7 @@ impl Engine {
         FtqsConfig {
             max_schedules: budget,
             policy: request.expansion.unwrap_or(self.expansion),
+            mode: request.expansion_mode.unwrap_or(self.mode),
             interval_samples: request.interval_samples.unwrap_or(self.interval_samples),
             estimator: request.estimator.unwrap_or(self.estimator),
             ftss: self.ftss.clone(),
@@ -189,6 +201,7 @@ impl Engine {
 pub struct SynthesisRequest {
     policy: SynthesisPolicy,
     expansion: Option<ExpansionPolicy>,
+    expansion_mode: Option<ExpansionMode>,
     interval_samples: Option<u32>,
     estimator: Option<UtilityEstimator>,
     validate: Option<bool>,
@@ -203,6 +216,7 @@ impl SynthesisRequest {
         SynthesisRequest {
             policy,
             expansion: None,
+            expansion_mode: None,
             interval_samples: None,
             estimator: None,
             validate: None,
@@ -239,6 +253,15 @@ impl SynthesisRequest {
     #[must_use]
     pub fn with_expansion_policy(mut self, policy: ExpansionPolicy) -> Self {
         self.expansion = Some(policy);
+        self
+    }
+
+    /// Overrides the engine's FTQS expansion mode for this request
+    /// (checkpointed-incremental vs per-pivot rerun; bit-identical output
+    /// either way).
+    #[must_use]
+    pub fn with_expansion_mode(mut self, mode: ExpansionMode) -> Self {
+        self.expansion_mode = Some(mode);
         self
     }
 
@@ -326,12 +349,12 @@ impl Session {
         let started = Instant::now();
         let scratch = &mut self.scratch;
         let engine = &self.engine;
-        let tree =
+        let (tree, expansion) =
             crate::par::with_max_workers(request.max_parallelism, || match request.policy {
                 SynthesisPolicy::Ftss => {
                     let schedule =
                         ftss_with(app, &ScheduleContext::root(app), &engine.ftss, scratch)?;
-                    Ok::<_, Error>(QuasiStaticTree::single(schedule))
+                    Ok::<_, Error>((QuasiStaticTree::single(schedule), ExpansionStats::default()))
                 }
                 SynthesisPolicy::Ftqs { budget } => {
                     let config = engine.ftqs_config(budget, request);
@@ -339,7 +362,7 @@ impl Session {
                 }
                 SynthesisPolicy::Ftsf => {
                     let schedule = ftsf_with(app, &engine.ftss, scratch)?;
-                    Ok(QuasiStaticTree::single(schedule))
+                    Ok((QuasiStaticTree::single(schedule), ExpansionStats::default()))
                 }
             })?;
         if request.validate.unwrap_or(engine.validate) {
@@ -351,6 +374,7 @@ impl Session {
             app,
             request.policy,
             tree,
+            expansion,
             synthesis_micros,
         ))
     }
@@ -406,6 +430,10 @@ pub struct TreeStats {
     /// Cumulative schedule-arena allocations during synthesis (capped by
     /// the FTQS budget; proves the tree was assembled without cloning).
     pub schedule_allocations: usize,
+    /// Checkpoint/restore accounting of the FTQS expansion (all zero for
+    /// FTSS/FTSF policies and, except `prefix_steps_rerun`, under
+    /// [`ExpansionMode::Rerun`]).
+    pub expansion: ExpansionStats,
 }
 
 /// Expected-utility accounting of the root schedule.
@@ -437,6 +465,7 @@ impl SynthesisReport {
         app: &Application,
         policy: SynthesisPolicy,
         tree: QuasiStaticTree,
+        expansion: ExpansionStats,
         synthesis_micros: u64,
     ) -> Self {
         let root = tree.root_schedule();
@@ -453,6 +482,7 @@ impl SynthesisReport {
                 arcs: tree.arc_count(),
                 memory_bytes: tree.memory_footprint_bytes(),
                 schedule_allocations: tree.arena().allocations(),
+                expansion,
             },
             utility: UtilityReport {
                 expected_average_case: crate::ftsf::expected_utility(app, root),
@@ -562,6 +592,73 @@ mod tests {
             .synthesize(&app, &SynthesisRequest::ftqs(0))
             .unwrap_err();
         assert!(matches!(err, Error::InvalidRequest { .. }));
+        // The diagnosis names the problem instead of echoing internals.
+        assert!(err.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn degenerate_all_dropped_tree_is_a_scheduling_error() {
+        // Every process is soft and worthless: FTSS statically drops them
+        // all, the root schedule is empty, and the expansion loop has no
+        // pivot. The engine must return a typed error, not an entry-less
+        // single-node "tree".
+        let mut b = Application::builder(t(1000), FaultModel::none());
+        for i in 0..2 {
+            b.add_soft(
+                format!("dead{i}"),
+                ExecutionTimes::uniform(t(100), t(200)).unwrap(),
+                UtilityFunction::step(10.0, [(t(50), 0.0)]).unwrap(),
+            );
+        }
+        let app = b.build().unwrap();
+        let mut session = Engine::new().session();
+        let err = session
+            .synthesize(&app, &SynthesisRequest::ftqs(4))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Scheduling(crate::SchedulingError::EmptyRootSchedule)
+        ));
+        // Both expansion modes agree on the diagnosis.
+        let err = session
+            .synthesize(
+                &app,
+                &SynthesisRequest::ftqs(4).with_expansion_mode(ExpansionMode::Rerun),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Scheduling(crate::SchedulingError::EmptyRootSchedule)
+        ));
+    }
+
+    #[test]
+    fn expansion_mode_override_keeps_output_identical() {
+        let app = fig1_app();
+        let engine = Engine::new().with_expansion_mode(ExpansionMode::Rerun);
+        let mut session = engine.session();
+        let rerun = session
+            .synthesize(&app, &SynthesisRequest::ftqs(6))
+            .unwrap();
+        assert_eq!(rerun.stats.expansion.snapshots, 0, "engine default applied");
+        let incremental = session
+            .synthesize(
+                &app,
+                &SynthesisRequest::ftqs(6).with_expansion_mode(ExpansionMode::Incremental),
+            )
+            .unwrap();
+        assert!(
+            incremental.stats.expansion.snapshots >= 1,
+            "request override wins"
+        );
+        assert_eq!(incremental.tree.len(), rerun.tree.len());
+        for ((_, a), (_, b)) in incremental.tree.iter().zip(rerun.tree.iter()) {
+            assert_eq!(
+                incremental.tree.schedule(a.schedule),
+                rerun.tree.schedule(b.schedule)
+            );
+            assert_eq!(a.arcs, b.arcs);
+        }
     }
 
     #[test]

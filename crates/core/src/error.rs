@@ -25,6 +25,10 @@ pub enum SchedulingError {
     },
     /// The quasi-static tree was requested with a zero schedule budget.
     ZeroTreeBudget,
+    /// FTQS has nothing to expand: the root f-schedule contains no entries
+    /// (every process was statically dropped or already completed by the
+    /// context), so no pivot exists and no tree can be grown.
+    EmptyRootSchedule,
 }
 
 impl fmt::Display for SchedulingError {
@@ -40,6 +44,13 @@ impl fmt::Display for SchedulingError {
             ),
             SchedulingError::ZeroTreeBudget => {
                 write!(f, "quasi-static tree needs a budget of at least one schedule")
+            }
+            SchedulingError::EmptyRootSchedule => {
+                write!(
+                    f,
+                    "quasi-static tree has an empty root schedule: every process was \
+                     statically dropped or already completed, leaving no pivot to expand"
+                )
             }
         }
     }
@@ -124,6 +135,16 @@ mod tests {
         assert!(msg.contains("n4"));
         assert!(msg.contains("100ms"));
         assert!(msg.contains("140ms"));
+    }
+
+    #[test]
+    fn degenerate_tree_errors_have_diagnoses() {
+        assert!(SchedulingError::ZeroTreeBudget
+            .to_string()
+            .contains("at least one schedule"));
+        assert!(SchedulingError::EmptyRootSchedule
+            .to_string()
+            .contains("no pivot"));
     }
 
     #[test]

@@ -598,7 +598,7 @@ pub(crate) fn expected_suffix_utility_est_scratch(
 /// Incremental stale-coefficient resolver used by schedule evaluation: the
 /// coefficient of a process is computed from its predecessors' coefficients
 /// under the evolving dropped mask.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub(crate) struct StaleAlpha {
     alpha: Vec<f64>,
     resolved: Vec<bool>,

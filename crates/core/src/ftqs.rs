@@ -24,30 +24,51 @@
 //!
 //! # Performance
 //!
+//! Sub-schedule creation is **incremental** by default
+//! ([`ExpansionMode::Incremental`]): the per-pivot FTSS runs of one parent
+//! share the parent's entire committed context, so the builder initializes
+//! that context once per expanded parent, snapshots it through the
+//! [`crate::Session`] scratch's checkpoint API (see [`crate::ftss`]'s
+//! *Staged pipeline* notes), and restores per pivot — an O(n) copy plus a
+//! one-entry cursor advance instead of a from-scratch re-derivation of
+//! model tables, predecessor counts and readiness per sub-schedule. The
+//! from-scratch path is preserved behind [`ExpansionMode::Rerun`] for A/B
+//! measurement (`bench_synthesis` reports both), and
+//! [`ExpansionStats`] in the synthesis report counts snapshots, restores,
+//! and prefix steps saved vs. re-derived.
+//!
 //! The two embarrassingly parallel layers run on scoped worker threads
 //! (`parallel` feature, on by default; see [`crate::par`]):
 //!
 //! * **Sub-schedule generation** — the per-pivot FTSS re-runs of one
 //!   expansion are independent of each other, so they are computed in
 //!   budget-sized waves via [`par::par_map_collect`] and committed in
-//!   pivot order, reproducing the serial budget cutoff exactly.
+//!   pivot order, reproducing the serial budget cutoff exactly. Under the
+//!   incremental mode every worker owns a *private* checkpoint copy (a
+//!   [`crate::ftss`] `PrefixCursor`) advanced over its contiguous pivot
+//!   chunk, so checkpoints never leak across waves or workers.
 //! * **Interval partitioning** — each arc's utility sweep reads only its
 //!   own parent/child schedules, so all arcs are swept concurrently.
 //!
 //! The expansion *loop* itself stays serial: each `pick_expansion_candidate`
 //! decision observes every node created so far, exactly as in the paper.
 //! Results are bit-identical to the serial reference implementation
-//! ([`crate::oracle::ftqs_reference`]), which the equivalence tests assert.
+//! ([`crate::oracle::ftqs_reference`]) in both expansion modes and at any
+//! worker count, which the equivalence tests assert.
 
 use crate::fschedule::{
     expected_suffix_utility_est, expected_suffix_utility_est_scratch, FSchedule, ScheduleAnalysis,
     ScheduleContext, SuffixUtilityBase, SuffixUtilityScratch, UtilityEstimator,
 };
-use crate::ftss::{ftss_with, FtssConfig, SynthesisScratch};
+use crate::ftss::{
+    ftss_from_context, ftss_resume, ftss_with, AppModel, FtssConfig, PrefixCheckpoint,
+    PrefixCursor, SynthesisScratch,
+};
 use crate::par;
 use crate::tree::{QuasiStaticTree, ScheduleArena, ScheduleId, SwitchArc, TreeNode, TreeNodeId};
 use crate::{Application, SchedulingError, Time};
 use ftqs_graph::NodeId;
+use serde::{Deserialize, Serialize};
 
 /// Which generated sub-schedule to expand next (the paper's
 /// `FindMostSimilarSubschedule`, made pluggable for the ablation benches).
@@ -65,6 +86,50 @@ pub enum ExpansionPolicy {
     BestImprovement,
 }
 
+/// How the per-pivot FTSS runs of one parent expansion obtain their
+/// starting state. Both modes produce bit-identical trees; the flag exists
+/// for A/B measurement of the checkpointed pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum ExpansionMode {
+    /// Snapshot the parent's committed context once per expansion and
+    /// restore it per pivot (advancing a cursor by one entry), instead of
+    /// re-deriving the context from scratch for every sub-schedule.
+    #[default]
+    Incremental,
+    /// Re-run the full FTSS initialization per pivot — the historical
+    /// behavior, kept as the A/B baseline.
+    Rerun,
+}
+
+/// Checkpoint/restore accounting of one FTQS synthesis, reported in
+/// [`crate::TreeStats`].
+///
+/// The step counters describe the **idealized serial expansion schedule**
+/// — one cursor advancing monotonically over a parent's pivots — which
+/// makes them deterministic at any worker count. Parallel waves perform a
+/// bounded amount of extra cursor catch-up (each worker chunk and each
+/// new wave re-advances its private cursor to its first pivot) that is
+/// deliberately *not* charged here: the counters compare algorithmic
+/// schedules, not thread-level work. All counters are zero under
+/// [`ExpansionMode::Rerun`] except `prefix_steps_rerun`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExpansionStats {
+    /// Committed-prefix snapshots captured (one per expanded parent with
+    /// at least one pivot, under the incremental mode).
+    pub snapshots: usize,
+    /// Pivot FTSS runs whose starting state was restored from a snapshot.
+    pub restores: usize,
+    /// Committed-prefix steps (context entries marked completed) recovered
+    /// from snapshots instead of being re-derived per pivot, in the
+    /// idealized serial schedule (see the type docs).
+    pub prefix_steps_saved: usize,
+    /// Committed-prefix steps derived per pivot in that schedule: the
+    /// one-entry cursor advance under the incremental mode, the full
+    /// per-pivot context re-derivation under the rerun mode.
+    pub prefix_steps_rerun: usize,
+}
+
 /// Configuration of [`ftqs`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct FtqsConfig {
@@ -72,6 +137,8 @@ pub struct FtqsConfig {
     pub max_schedules: usize,
     /// Parent-selection policy for tree expansion.
     pub policy: ExpansionPolicy,
+    /// How per-pivot sub-schedule runs obtain their starting state.
+    pub mode: ExpansionMode,
     /// Maximum number of completion-time samples per arc during interval
     /// partitioning. The sweep step is `max(1, range / samples)` ms; 256
     /// keeps synthesis fast with millisecond-level accuracy on the paper's
@@ -89,6 +156,7 @@ impl Default for FtqsConfig {
         FtqsConfig {
             max_schedules: 16,
             policy: ExpansionPolicy::MostSimilar,
+            mode: ExpansionMode::default(),
             interval_samples: 256,
             estimator: UtilityEstimator::default(),
             ftss: FtssConfig::default(),
@@ -119,6 +187,8 @@ impl FtqsConfig {
 /// # Errors
 ///
 /// * [`SchedulingError::ZeroTreeBudget`] if `config.max_schedules == 0`.
+/// * [`SchedulingError::EmptyRootSchedule`] if the root f-schedule has no
+///   entries (no pivot exists to expand).
 /// * [`SchedulingError::Unschedulable`] if the root f-schedule does not
 ///   exist (hard deadlines infeasible).
 #[deprecated(
@@ -127,34 +197,48 @@ impl FtqsConfig {
 )]
 pub fn ftqs(app: &Application, config: &FtqsConfig) -> Result<QuasiStaticTree, SchedulingError> {
     let mut scratch = SynthesisScratch::new();
-    ftqs_with(app, config, &mut scratch)
+    ftqs_with(app, config, &mut scratch).map(|(tree, _)| tree)
 }
 
-/// FTQS over a caller-provided scratch (used for the serial root FTSS run;
-/// the parallel expansion waves keep per-worker scratches) — the entry
-/// point behind [`crate::Session::synthesize`].
+/// FTQS over a caller-provided scratch — the entry point behind
+/// [`crate::Session::synthesize`]. The scratch serves the serial root FTSS
+/// run and the per-parent checkpoint captures; parallel expansion waves
+/// keep worker-private scratches and cursors. Returns the tree plus the
+/// checkpoint accounting.
 pub(crate) fn ftqs_with(
     app: &Application,
     config: &FtqsConfig,
     scratch: &mut SynthesisScratch,
-) -> Result<QuasiStaticTree, SchedulingError> {
+) -> Result<(QuasiStaticTree, ExpansionStats), SchedulingError> {
     if config.max_schedules == 0 {
         return Err(SchedulingError::ZeroTreeBudget);
     }
-    let root_schedule = ftss_with(app, &ScheduleContext::root(app), &config.ftss, scratch)?;
+    let model = AppModel::build(app);
+    let root_schedule =
+        ftss_from_context(&model, &ScheduleContext::root(app), &config.ftss, scratch)?;
+    if root_schedule.entries().is_empty() {
+        // Every process was statically dropped (or pre-completed): there is
+        // no pivot to expand and no schedule to execute — a degenerate
+        // "tree" that deserves a diagnosis, not a silent empty artifact.
+        return Err(SchedulingError::EmptyRootSchedule);
+    }
     // A single-entry root can still profit from sub-schedules when it
     // dropped processes statically (an early pivot completion may revive
     // them), so only trees that provably cannot switch short-circuit.
     let cannot_switch =
         root_schedule.entries().len() <= 1 && root_schedule.statically_dropped().is_empty();
-    if config.max_schedules == 1 || cannot_switch || root_schedule.entries().is_empty() {
-        return Ok(QuasiStaticTree::single(root_schedule));
+    if config.max_schedules == 1 || cannot_switch {
+        return Ok((
+            QuasiStaticTree::single(root_schedule),
+            ExpansionStats::default(),
+        ));
     }
-    let mut builder = TreeBuilder::new(app, config);
+    let mut builder = TreeBuilder::new(app, config, model, scratch);
     builder.push_root(root_schedule);
     builder.grow();
     builder.partition_intervals();
-    Ok(builder.finish())
+    let stats = builder.stats;
+    Ok((builder.finish(), stats))
 }
 
 /// Per-node bookkeeping during tree construction. Schedules live in the
@@ -186,20 +270,42 @@ struct PendingChild {
     parent_distance: usize,
 }
 
-struct TreeBuilder<'a> {
-    app: &'a Application,
-    config: &'a FtqsConfig,
-    arena: ScheduleArena,
-    nodes: Vec<BuildNode>,
+/// Worker-private state of one incremental expansion wave: a cursor over
+/// the parent's pivots plus the scratch the per-pivot runs execute in.
+/// Never shared — each worker builds its own from the parent's base
+/// checkpoint, so no committed state leaks across workers or waves.
+struct ExpansionWorker {
+    cursor: PrefixCursor,
+    scratch: SynthesisScratch,
 }
 
-impl<'a> TreeBuilder<'a> {
-    fn new(app: &'a Application, config: &'a FtqsConfig) -> Self {
+struct TreeBuilder<'a, 's> {
+    app: &'a Application,
+    config: &'a FtqsConfig,
+    model: AppModel<'a>,
+    /// The session scratch: runs the root synthesis and captures the
+    /// per-parent base checkpoints (serial side only).
+    scratch: &'s mut SynthesisScratch,
+    arena: ScheduleArena,
+    nodes: Vec<BuildNode>,
+    stats: ExpansionStats,
+}
+
+impl<'a, 's> TreeBuilder<'a, 's> {
+    fn new(
+        app: &'a Application,
+        config: &'a FtqsConfig,
+        model: AppModel<'a>,
+        scratch: &'s mut SynthesisScratch,
+    ) -> Self {
         TreeBuilder {
             app,
             config,
+            model,
+            scratch,
             arena: ScheduleArena::new(),
             nodes: Vec::new(),
+            stats: ExpansionStats::default(),
         }
     }
 
@@ -279,6 +385,11 @@ impl<'a> TreeBuilder<'a> {
     /// happens serially in pivot order, which reproduces the serial budget
     /// cutoff bit-for-bit (a wave may compute a few children the budget
     /// then discards — wasted work, never different output).
+    ///
+    /// Under [`ExpansionMode::Incremental`] the parent's committed context
+    /// is derived once, captured as a checkpoint, and restored per pivot
+    /// (each worker advancing a private cursor); under
+    /// [`ExpansionMode::Rerun`] every pivot re-derives it from scratch.
     fn expand(&mut self, parent: TreeNodeId) {
         self.nodes[parent].expanded = true;
         let parent_sched = self.sched(&self.nodes[parent]);
@@ -294,15 +405,77 @@ impl<'a> TreeBuilder<'a> {
         } else {
             parent_entries.len()
         };
+        if positions == 0 {
+            return;
+        }
+        let incremental = self.config.mode == ExpansionMode::Incremental;
+        // Best-case pivot completions, shared by every pivot of this
+        // parent: bcet_at[p] = start + Σ bcet(entries[0..=p]).
+        let mut bcet_at = Vec::with_capacity(positions);
+        let mut bcet_sum = parent_ctx.start;
+        for e in &parent_entries[..positions] {
+            bcet_sum += self.app.process(e.process).times().bcet();
+            bcet_at.push(bcet_sum);
+        }
+        // One snapshot per expanded parent: the committed context every
+        // pivot of this expansion shares.
+        let mut base = PrefixCheckpoint::default();
+        let parent_completed = parent_ctx.completed.iter().filter(|&&c| c).count();
+        if incremental {
+            self.scratch.prefix_init(&self.model, &parent_ctx);
+            self.scratch.checkpoint(&mut base);
+            self.stats.snapshots += 1;
+        }
+
         let mut next_pos = 0usize;
         while next_pos < positions && self.nodes.len() < self.config.max_schedules {
             let remaining_budget = self.config.max_schedules - self.nodes.len();
             let wave_end = (next_pos + remaining_budget).min(positions);
             let wave_base = next_pos;
-            let children =
+            let children = if incremental {
+                let this = &*self;
+                let base = &base;
+                par::par_map_collect_with(
+                    wave_end - wave_base,
+                    || ExpansionWorker {
+                        cursor: PrefixCursor::new(base),
+                        scratch: SynthesisScratch::new(),
+                    },
+                    |worker, i| {
+                        this.build_child_incremental(
+                            &parent_entries,
+                            &parent_ctx,
+                            &bcet_at,
+                            worker,
+                            wave_base + i,
+                        )
+                    },
+                )
+            } else {
                 par::par_map_collect_with(wave_end - wave_base, SynthesisScratch::new, |scr, i| {
-                    self.build_child(&parent_entries, &parent_ctx, scr, wave_base + i)
-                });
+                    self.build_child_rerun(
+                        &parent_entries,
+                        &parent_ctx,
+                        &bcet_at,
+                        scr,
+                        wave_base + i,
+                    )
+                })
+            };
+            // Checkpoint accounting, computed on the (deterministic) wave
+            // schedule: a from-scratch derivation of pivot p's context
+            // marks `parent_completed + p + 1` processes completed; the
+            // incremental path recovers all but the cursor's one-entry
+            // advance from the snapshot.
+            for pivot in wave_base..wave_end {
+                if incremental {
+                    self.stats.restores += 1;
+                    self.stats.prefix_steps_saved += parent_completed + pivot;
+                    self.stats.prefix_steps_rerun += 1;
+                } else {
+                    self.stats.prefix_steps_rerun += parent_completed + pivot + 1;
+                }
+            }
             for (offset, child) in children.into_iter().enumerate() {
                 if self.nodes.len() >= self.config.max_schedules {
                     break;
@@ -336,42 +509,81 @@ impl<'a> TreeBuilder<'a> {
         });
     }
 
-    /// Builds the candidate child for pivot position `p` of `parent`, or
-    /// `None` when the suffix is infeasible from the optimistic start or
-    /// the child collapses onto the parent's own suffix. Pure with respect
-    /// to the node list — safe to run for several positions concurrently.
-    fn build_child(
+    /// The explicit context pivot `p` of `parent_entries` starts from:
+    /// parent prefix + entries[0..=p] completed, start = best-case
+    /// completion of the pivot. The parent's *static* drops are
+    /// deliberately NOT inherited: they were synthesis-time decisions
+    /// under worst-case assumptions, not runtime events, so the child's
+    /// FTSS run reconsiders every unscheduled process ("the rest of the
+    /// processes are scheduled with the FTSS heuristic") and can revive
+    /// soft processes when an early pivot completion frees up time.
+    fn child_context(
         &self,
         parent_entries: &[crate::fschedule::ScheduleEntry],
         parent_ctx: &ScheduleContext,
-        scratch: &mut SynthesisScratch,
+        bcet_at: &[Time],
         p: usize,
-    ) -> Option<PendingChild> {
-        // Child context: parent prefix + entries[0..=p] completed;
-        // start = best-case completion of the pivot. The parent's
-        // *static* drops are deliberately NOT inherited: they were
-        // synthesis-time decisions under worst-case assumptions, not
-        // runtime events, so the child's FTSS run reconsiders every
-        // unscheduled process ("the rest of the processes are scheduled
-        // with the FTSS heuristic") and can revive soft processes when
-        // an early pivot completion frees up time.
+    ) -> ScheduleContext {
         let mut ctx = ScheduleContext {
-            start: parent_ctx.start,
+            start: bcet_at[p],
             completed: parent_ctx.completed.clone(),
             dropped: parent_ctx.dropped.clone(),
         };
-        let mut bcet_sum = parent_ctx.start;
         for e in &parent_entries[..=p] {
             ctx.completed[e.process.index()] = true;
-            bcet_sum += self.app.process(e.process).times().bcet();
         }
-        ctx.start = bcet_sum;
+        ctx
+    }
 
-        // Suffix infeasible from this optimistic start: skip. The scratch
-        // is per expansion worker and re-primed by `ftss_with`.
+    /// Builds the candidate child for pivot position `p` of `parent` by
+    /// restoring the worker's private checkpoint and advancing its cursor
+    /// one entry, or `None` when the suffix is infeasible from the
+    /// optimistic start or the child collapses onto the parent's own
+    /// suffix. Pure with respect to the node list — safe to run for
+    /// several positions concurrently (workers receive contiguous
+    /// ascending pivot chunks; see [`crate::par`]).
+    fn build_child_incremental(
+        &self,
+        parent_entries: &[crate::fschedule::ScheduleEntry],
+        parent_ctx: &ScheduleContext,
+        bcet_at: &[Time],
+        worker: &mut ExpansionWorker,
+        p: usize,
+    ) -> Option<PendingChild> {
+        worker.cursor.advance_to(&self.model, parent_entries, p);
+        let ctx = self.child_context(parent_entries, parent_ctx, bcet_at, p);
+        worker.scratch.restore(worker.cursor.checkpoint());
+        worker.scratch.begin_run_at(ctx.start);
+        // Suffix infeasible from this optimistic start: skip.
+        let child = ftss_resume(&self.model, &ctx, &self.config.ftss, &mut worker.scratch).ok()?;
+        self.accept_child(parent_entries, p, child)
+    }
+
+    /// The from-scratch sibling of [`Self::build_child_incremental`]
+    /// ([`ExpansionMode::Rerun`]): every pivot re-derives its prefix state
+    /// and model tables through a plain `ftss_with` call.
+    fn build_child_rerun(
+        &self,
+        parent_entries: &[crate::fschedule::ScheduleEntry],
+        parent_ctx: &ScheduleContext,
+        bcet_at: &[Time],
+        scratch: &mut SynthesisScratch,
+        p: usize,
+    ) -> Option<PendingChild> {
+        let ctx = self.child_context(parent_entries, parent_ctx, bcet_at, p);
         let child = ftss_with(self.app, &ctx, &self.config.ftss, scratch).ok()?;
-        // Discard children identical to the parent's own suffix — a
-        // switch to them would be a no-op.
+        self.accept_child(parent_entries, p, child)
+    }
+
+    /// Shared tail of both child builders: discard children identical to
+    /// the parent's own suffix (a switch to them would be a no-op),
+    /// compute the similarity distance, and analyze.
+    fn accept_child(
+        &self,
+        parent_entries: &[crate::fschedule::ScheduleEntry],
+        p: usize,
+        child: FSchedule,
+    ) -> Option<PendingChild> {
         let parent_suffix = &parent_entries[p + 1..];
         let same_order = child.entries() == parent_suffix && child.statically_dropped().is_empty();
         if same_order || child.entries().is_empty() {
@@ -647,6 +859,26 @@ mod tests {
     }
 
     #[test]
+    fn all_dropped_root_is_an_empty_root_error() {
+        // Every process is soft and worthless: FTSS statically drops them
+        // all, leaving no pivot — FTQS must diagnose this instead of
+        // emitting an entry-less tree.
+        let mut b = Application::builder(t(1000), FaultModel::none());
+        for i in 0..3 {
+            b.add_soft(
+                format!("dead{i}"),
+                et(100, 200),
+                UtilityFunction::step(10.0, [(t(50), 0.0)]).unwrap(),
+            );
+        }
+        let app = b.build().unwrap();
+        assert!(matches!(
+            ftqs(&app, &FtqsConfig::with_budget(4)),
+            Err(SchedulingError::EmptyRootSchedule)
+        ));
+    }
+
+    #[test]
     fn budget_one_is_plain_ftss() {
         let (app, [p1, p2, p3]) = fig1_app();
         let tree = ftqs(&app, &FtqsConfig::with_budget(1)).unwrap();
@@ -749,6 +981,62 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn rerun_mode_produces_identical_trees() {
+        let (app, _) = fig1_app();
+        for m in 2..=8 {
+            let incremental = ftqs(&app, &FtqsConfig::with_budget(m)).unwrap();
+            let rerun = ftqs(
+                &app,
+                &FtqsConfig {
+                    mode: ExpansionMode::Rerun,
+                    ..FtqsConfig::with_budget(m)
+                },
+            )
+            .unwrap();
+            assert_eq!(incremental.len(), rerun.len(), "budget {m}");
+            for ((i, a), (_, b)) in incremental.iter().zip(rerun.iter()) {
+                assert_eq!(
+                    incremental.schedule(a.schedule),
+                    rerun.schedule(b.schedule),
+                    "budget {m} node {i}"
+                );
+                assert_eq!(a.arcs, b.arcs, "budget {m} node {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn expansion_stats_count_snapshots_and_restores() {
+        let (app, _) = fig1_app();
+        let mut scratch = SynthesisScratch::new();
+        let (tree, stats) = ftqs_with(&app, &FtqsConfig::with_budget(4), &mut scratch).unwrap();
+        assert!(tree.len() >= 2);
+        assert!(stats.snapshots >= 1, "one snapshot per expanded parent");
+        assert!(
+            stats.restores >= tree.len() - 1,
+            "every committed child came from a restore"
+        );
+        assert_eq!(
+            stats.restores, stats.prefix_steps_rerun,
+            "incremental mode replays exactly one step per restore"
+        );
+
+        let (_, rerun_stats) = ftqs_with(
+            &app,
+            &FtqsConfig {
+                mode: ExpansionMode::Rerun,
+                ..FtqsConfig::with_budget(4)
+            },
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(rerun_stats.snapshots, 0);
+        assert_eq!(rerun_stats.restores, 0);
+        assert_eq!(rerun_stats.prefix_steps_saved, 0);
+        assert!(rerun_stats.prefix_steps_rerun >= stats.prefix_steps_rerun);
     }
 
     #[test]

@@ -21,6 +21,20 @@
 //!   and every policy returns a structured, serializable
 //!   [`SynthesisReport`] or the unified [`enum@Error`]. Sessions own the
 //!   synthesis scratch buffers and are reused across batch runs.
+//! * The **staged synthesis pipeline** ([`ftss`]): the FTSS list
+//!   scheduler is an explicit state machine of *commit steps* over a
+//!   committed-prefix state object — immutable dense model tables shared
+//!   by every run, a resumable committed prefix (schedule entries, drops,
+//!   clocks, fault accumulator, probe caches), and transient per-probe
+//!   buffers. Runs can be paused, snapshotted in O(prefix) through the
+//!   session scratch's checkpoint/restore API, and resumed
+//!   bit-identically. FTQS expansion ([`ftqs`]) builds on this: it
+//!   snapshots the parent's context once per expanded tree node and
+//!   restores per pivot (each parallel worker holding a private
+//!   checkpoint cursor) instead of re-deriving the shared prefix for
+//!   every sub-schedule; [`ExpansionMode`] keeps the historical re-run
+//!   path available for A/B measurement and [`ExpansionStats`] reports
+//!   the snapshot/restore accounting.
 //! * **f-schedules** ([`fschedule`]): fixed process orders with
 //!   re-execution allowances, analyzed against the worst distribution of
 //!   `k` faults ([`wcdelay`]).
@@ -106,6 +120,7 @@ pub use error::{Error, SchedulingError};
 pub use fschedule::{
     FSchedule, ScheduleAnalysis, ScheduleContext, ScheduleEntry, UtilityEstimator,
 };
+pub use ftqs::{ExpansionMode, ExpansionPolicy, ExpansionStats};
 pub use ftss::FtssConfig;
 pub use process::{Criticality, ExecutionTimes, ExecutionTimesError, Process};
 pub use stale::StaleCoefficients;

@@ -12,6 +12,13 @@
 //!
 //! Each worker owns a contiguous index chunk, so outputs are collected
 //! without locks and the work distribution is deterministic.
+//!
+//! The chunk shape is part of the contract: a worker's state sees its
+//! indices as one **contiguous ascending run** (and the serial path sees
+//! the whole range ascending). The incremental FTQS expansion relies on
+//! this — each worker advances a private committed-prefix cursor that
+//! only moves forward through the pivot positions (see `PrefixCursor` in
+//! [`crate::ftss`]). A test below pins the guarantee.
 
 use std::cell::Cell;
 
@@ -46,9 +53,10 @@ where
 
 /// [`par_map_collect`] with per-worker mutable state: `init` runs once per
 /// worker (once total on the serial path) and the state is threaded
-/// through that worker's whole index chunk. This is how the FTQS
-/// expansion reuses one `SynthesisScratch` per worker instead of
-/// allocating one per candidate child — state must never influence
+/// through that worker's indices — always a contiguous ascending run (see
+/// the module docs). This is how the FTQS expansion reuses one
+/// `SynthesisScratch` and one forward-only checkpoint cursor per worker
+/// instead of allocating per candidate child — state must never influence
 /// results (outputs stay bit-identical at any worker count).
 pub fn par_map_collect_with<S, T, Init, F>(count: usize, init: Init, f: F) -> Vec<T>
 where
@@ -119,6 +127,38 @@ mod tests {
     fn empty_and_single_inputs() {
         assert!(par_map_collect(0, |i| i).is_empty());
         assert_eq!(par_map_collect(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn worker_state_sees_contiguous_ascending_chunks() {
+        // Pin the contract the expansion cursors rely on: every state
+        // instance observes exactly one ascending run of consecutive
+        // indices, with no gaps and no revisits.
+        for count in [1usize, 2, 7, 64, 65, 1000] {
+            // Each item reports (first index its state saw, own index).
+            let out = par_map_collect_with(
+                count,
+                || None::<usize>,
+                |first, i| {
+                    let f = *first.get_or_insert(i);
+                    assert!(i >= f, "index {i} before its chunk start {f}");
+                    (f, i)
+                },
+            );
+            assert_eq!(out.len(), count);
+            let mut prev: Option<(usize, usize)> = None;
+            for &(first, i) in &out {
+                assert_eq!(i, prev.map_or(0, |(_, pi)| pi + 1), "index order broken");
+                if let Some((pf, pi)) = prev {
+                    if first == pf {
+                        assert_eq!(i, pi + 1, "gap inside a chunk");
+                    } else {
+                        assert_eq!(first, i, "a chunk must start at its first index");
+                    }
+                }
+                prev = Some((first, i));
+            }
+        }
     }
 
     #[test]

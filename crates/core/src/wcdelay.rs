@@ -115,7 +115,7 @@ pub fn worst_case_fault_delay(items: &[SlackItem], k: usize) -> Time {
 /// acc.remove(items[0]);
 /// assert_eq!(acc.delay(4), worst_case_fault_delay(&items[1..], 4));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultDelayAccumulator {
     /// `(penalty, total allowance)` buckets, sorted by penalty descending.
     buckets: Vec<(Time, u64)>,
@@ -184,6 +184,15 @@ impl FaultDelayAccumulator {
     pub fn clear(&mut self) {
         self.buckets.clear();
         self.len = 0;
+    }
+
+    /// Overwrites `self` with `other`'s multiset, reusing the existing
+    /// bucket allocation — the allocation-free replacement for `clone()`
+    /// in checkpoint/restore paths.
+    pub fn copy_from(&mut self, other: &FaultDelayAccumulator) {
+        self.buckets.clear();
+        self.buckets.extend_from_slice(&other.buckets);
+        self.len = other.len;
     }
 
     /// Worst-case fault delay of the current multiset under budget `k`:
@@ -447,6 +456,24 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn copy_from_replicates_the_multiset_exactly() {
+        let mut a = FaultDelayAccumulator::new();
+        a.push(SlackItem::new(ms(40), 2));
+        a.push(SlackItem::new(ms(90), 1));
+        let mut b = FaultDelayAccumulator::new();
+        b.push(SlackItem::new(ms(7), 3)); // stale content must vanish
+        b.copy_from(&a);
+        assert_eq!(a, b);
+        for k in 0..=4 {
+            assert_eq!(a.delay(k), b.delay(k), "k = {k}");
+        }
+        // Mutating the copy leaves the original untouched.
+        b.push(SlackItem::new(ms(100), 1));
+        assert_ne!(a, b);
+        assert_eq!(a.len(), 2);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! would catch immediately.
 
 use ftqs_core::fschedule::{expected_suffix_utility_est, ScheduleAnalysis, UtilityEstimator};
-use ftqs_core::ftqs::{ExpansionPolicy, FtqsConfig};
+use ftqs_core::ftqs::{ExpansionMode, ExpansionPolicy, FtqsConfig};
 use ftqs_core::oracle::{ftqs_reference, ftss_reference};
 use ftqs_core::{
     Application, Engine, Error, ExecutionTimes, FaultModel, FtssConfig, QuasiStaticTree,
@@ -240,6 +240,80 @@ fn engine_ftqs_trees_match_reference_on_20_plus_workloads() {
                 .expect("corpus is schedulable");
             assert_trees_equal(&fast.tree, &slow, &format!("seed {seed} budget {budget}"));
         }
+    }
+}
+
+#[test]
+fn deep_trees_match_reference_in_both_expansion_modes() {
+    // Large budgets force many pivots per parent and multi-wave
+    // expansions — the checkpoint-restore path is exercised hard, and the
+    // preserved rerun path must agree with it and with the oracle.
+    let corpus = schedulable_corpus(20);
+    let mut session = Engine::new().session();
+    for (seed, app) in corpus.iter().take(10) {
+        for budget in [24usize, 40] {
+            let incremental = session
+                .synthesize(app, &SynthesisRequest::ftqs(budget))
+                .expect("corpus is schedulable");
+            let rerun = session
+                .synthesize(
+                    app,
+                    &SynthesisRequest::ftqs(budget).with_expansion_mode(ExpansionMode::Rerun),
+                )
+                .expect("corpus is schedulable");
+            assert_trees_equal(
+                &incremental.tree,
+                &rerun.tree,
+                &format!("seed {seed} budget {budget} (incremental vs rerun)"),
+            );
+            let slow = ftqs_reference(app, &FtqsConfig::with_budget(budget))
+                .expect("corpus is schedulable");
+            assert_trees_equal(
+                &incremental.tree,
+                &slow,
+                &format!("seed {seed} budget {budget} (incremental vs oracle)"),
+            );
+            // Checkpoint accounting: incremental snapshots once per
+            // expanded parent and restores per pivot; the rerun report
+            // carries no checkpoint activity.
+            if incremental.tree.len() > 1 {
+                let stats = incremental.stats.expansion;
+                assert!(stats.snapshots >= 1, "seed {seed} budget {budget}");
+                assert!(
+                    stats.restores >= incremental.tree.len() - 1,
+                    "seed {seed} budget {budget}: every kept child was restored"
+                );
+                assert_eq!(
+                    stats.restores, stats.prefix_steps_rerun,
+                    "seed {seed}: incremental replays one step per restore"
+                );
+            }
+            assert_eq!(rerun.stats.expansion.snapshots, 0, "seed {seed}");
+            assert_eq!(rerun.stats.expansion.restores, 0, "seed {seed}");
+            assert_eq!(rerun.stats.expansion.prefix_steps_saved, 0, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn expansion_stats_are_deterministic_across_worker_counts() {
+    // The counters describe the serial expansion schedule, so a serial cap
+    // must reproduce them exactly (and the trees must match, proving
+    // worker-private checkpoints leak nothing across parallel waves).
+    let corpus = schedulable_corpus(12);
+    let mut session = Engine::new().session();
+    for (seed, app) in &corpus {
+        let parallel = session
+            .synthesize(app, &SynthesisRequest::ftqs(24))
+            .expect("schedulable");
+        let serial = session
+            .synthesize(app, &SynthesisRequest::ftqs(24).with_max_parallelism(1))
+            .expect("schedulable");
+        assert_trees_equal(&parallel.tree, &serial.tree, &format!("seed {seed}"));
+        assert_eq!(
+            parallel.stats.expansion, serial.stats.expansion,
+            "seed {seed}: checkpoint counters depend on worker count"
+        );
     }
 }
 
