@@ -1,0 +1,104 @@
+//! Micro-benchmarks for the batched utility-sweep primitives behind FTQS
+//! interval partitioning: the interpreted per-sample
+//! [`UtilityFunction::value`] walk against the compiled flat-table
+//! [`CompiledUtility`] — branchless scalar evaluation, the
+//! O(samples + breakpoints) `sweep_into` grid merge, and the fused
+//! `accumulate_shifted` form the segmented suffix sweep is built on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftqs_core::{Time, UtilityFunction};
+
+/// A step utility with `n` breakpoints descending to zero, the paper's
+/// dominant shape (Fig. 2 / Fig. 4a).
+fn step_utility(n: u64) -> UtilityFunction {
+    let peak = 100.0;
+    let steps = (1..=n).map(|i| {
+        let frac = 1.0 - i as f64 / n as f64;
+        (Time::from_ms(i * 40), peak * frac)
+    });
+    UtilityFunction::step(peak, steps).expect("valid step utility")
+}
+
+/// A piecewise-linear descent over the same horizon.
+fn linear_utility(n: u64) -> UtilityFunction {
+    let peak = 100.0;
+    let points = (0..=n).map(|i| {
+        let frac = 1.0 - i as f64 / n as f64;
+        (Time::from_ms(i * 40), peak * frac)
+    });
+    UtilityFunction::linear(points).expect("valid linear utility")
+}
+
+const SAMPLES: usize = 256;
+
+fn bench_scalar_value(c: &mut Criterion) {
+    let mut group = c.benchmark_group("utility_sweep/scalar");
+    for &breakpoints in &[4u64, 8, 16] {
+        for (shape, f) in [
+            ("step", step_utility(breakpoints)),
+            ("linear", linear_utility(breakpoints)),
+        ] {
+            let compiled = f.compiled();
+            group.bench_with_input(
+                BenchmarkId::new(format!("interpreted_{shape}"), breakpoints),
+                &f,
+                |b, f| {
+                    b.iter(|| -> f64 {
+                        (0..SAMPLES as u64)
+                            .map(|i| f.value(Time::from_ms(i * 3)))
+                            .sum()
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("compiled_{shape}"), breakpoints),
+                &compiled,
+                |b, compiled| {
+                    b.iter(|| -> f64 {
+                        (0..SAMPLES as u64)
+                            .map(|i| compiled.value(Time::from_ms(i * 3)))
+                            .sum()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_grid_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("utility_sweep/grid");
+    for &breakpoints in &[4u64, 8, 16] {
+        let f = step_utility(breakpoints);
+        let compiled = f.compiled();
+        let mut out = vec![0.0f64; SAMPLES];
+        // Per-sample scalar walk over the grid — the pre-batching inner
+        // loop of interval partitioning.
+        group.bench_with_input(BenchmarkId::new("per_sample", breakpoints), &f, |b, f| {
+            b.iter(|| {
+                for (i, slot) in out.iter_mut().enumerate() {
+                    *slot = f.value(Time::from_ms(i as u64 * 3));
+                }
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("sweep_into", breakpoints),
+            &compiled,
+            |b, compiled| {
+                b.iter(|| compiled.sweep_into(Time::ZERO, Time::from_ms(3), &mut out));
+            },
+        );
+        let grid: Vec<u64> = (0..SAMPLES as u64).map(|i| i * 3).collect();
+        group.bench_with_input(
+            BenchmarkId::new("accumulate_shifted", breakpoints),
+            &compiled,
+            |b, compiled| {
+                b.iter(|| compiled.accumulate_shifted(&grid, 57, 0.75, &mut out));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalar_value, bench_grid_sweep);
+criterion_main!(benches);

@@ -10,6 +10,12 @@
 //! directly readable per process count. Future PRs regenerate the file on
 //! the same machine to track the performance trajectory.
 //!
+//! Schema `ftqs-bench-synthesis/3`: measured with batched, segmented
+//! interval-partitioning sweeps (compiled utility tables) — the dominant
+//! cost at the sweep-bound sizes (10/20 processes). Numbers are not
+//! directly comparable to `/2` files, which measured the per-sample
+//! scalar sweep.
+//!
 //! Usage: `cargo run --release -p ftqs-bench --bin bench_synthesis
 //! [--out PATH] [--reps N] [--budget M] [--skip-baseline]`
 //!
@@ -148,7 +154,7 @@ fn main() {
     }
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": \"ftqs-bench-synthesis/2\",");
+    let _ = writeln!(json, "  \"schema\": \"ftqs-bench-synthesis/3\",");
     let _ = writeln!(json, "  \"reps\": {reps},");
     let _ = writeln!(json, "  \"ftqs_budget\": {budget},");
     let _ = writeln!(

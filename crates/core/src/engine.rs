@@ -341,10 +341,24 @@ impl Session {
                 )));
             }
         }
-        if let SynthesisPolicy::Ftqs { budget: 0 } = request.policy {
-            return Err(Error::invalid_request(
-                "FTQS needs a schedule budget of at least one schedule",
-            ));
+        if let SynthesisPolicy::Ftqs { budget } = request.policy {
+            if budget == 0 {
+                return Err(Error::invalid_request(
+                    "FTQS needs a schedule budget of at least one schedule",
+                ));
+            }
+            // A zero sample count would make the sweep-step division
+            // `range / samples` panic inside interval partitioning; reject
+            // it up front where the knob is set.
+            if request
+                .interval_samples
+                .unwrap_or(self.engine.interval_samples)
+                == 0
+            {
+                return Err(Error::invalid_request(
+                    "FTQS interval partitioning needs at least one completion-time sample per arc",
+                ));
+            }
         }
         let started = Instant::now();
         let scratch = &mut self.scratch;
@@ -594,6 +608,35 @@ mod tests {
         assert!(matches!(err, Error::InvalidRequest { .. }));
         // The diagnosis names the problem instead of echoing internals.
         assert!(err.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn zero_interval_samples_is_an_invalid_request() {
+        // Regression: a zero sample count used to reach the sweep-step
+        // division `range / samples` and panic inside interval
+        // partitioning. Both the request override and the engine default
+        // must be rejected up front.
+        let app = fig1_app();
+        let mut session = Engine::new().session();
+        let err = session
+            .synthesize(&app, &SynthesisRequest::ftqs(4).with_interval_samples(0))
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidRequest { .. }));
+        assert!(err.to_string().contains("sample"));
+
+        let mut bad_default = Engine::new().with_interval_samples(0).session();
+        let err = bad_default
+            .synthesize(&app, &SynthesisRequest::ftqs(4))
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidRequest { .. }));
+        // A request override can still rescue a bad engine default, and
+        // FTSS/FTSF never sweep, so the knob does not apply to them.
+        assert!(bad_default
+            .synthesize(&app, &SynthesisRequest::ftqs(4).with_interval_samples(1))
+            .is_ok());
+        assert!(bad_default
+            .synthesize(&app, &SynthesisRequest::ftss())
+            .is_ok());
     }
 
     #[test]

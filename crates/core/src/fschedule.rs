@@ -17,6 +17,17 @@
 //!   the table the online scheduler uses for runtime dropping decisions,
 //! * the expected (all-AET) utility, with stale-value coefficients and
 //!   runtime-dropping emulation.
+//!
+//! Expected-utility evaluation comes in two forms: the scalar
+//! [`expected_suffix_utility_est`] (one start time per call — the oracle
+//! and the expansion heuristics use it) and the crate-internal segmented
+//! sweep behind `SweepScratch`, which evaluates a whole ascending grid of
+//! start times at once for FTQS interval partitioning. The sweep batches
+//! per-entry utility lookups through [`crate::CompiledUtility`] tables and
+//! walks the suffix once per drop-set *segment* instead of once per
+//! sample, while updating the per-sample accumulators in entry order so
+//! its results stay bit-identical to the scalar walk (see
+//! [`crate::ftqs`]'s Performance notes for the design).
 
 use crate::wcdelay::{worst_case_fault_delay, FaultDelayAccumulator, SlackItem};
 use crate::{Application, Time};
@@ -494,9 +505,9 @@ fn suffix_utility_pass(
     )
 }
 
-/// The shared pass body, operating on caller-provided dropped/alpha state
-/// (fresh for the one-shot entry points, copied from precomputed bases by
-/// the sweep-scratch entry points — identical arithmetic either way).
+/// The shared pass body of the scalar (one start time) evaluation; the
+/// batched sweep ([`sweep_pass`]) reproduces this walk's decisions and
+/// addition order segment-by-segment over a whole sample grid.
 #[allow(clippy::too_many_arguments)]
 fn suffix_utility_core(
     app: &Application,
@@ -533,65 +544,301 @@ fn suffix_utility_core(
 /// partitioning sweep evaluates hundreds of completion-time samples per
 /// arc, and rebuilding the dropped mask and stale-coefficient seed per
 /// sample dominated small-application synthesis.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct SuffixUtilityBase {
     dropped: Vec<bool>,
     alpha: StaleAlpha,
 }
 
 impl SuffixUtilityBase {
-    /// Captures `schedule`'s static state (context drops + static drops).
-    pub(crate) fn of(app: &Application, schedule: &FSchedule) -> Self {
-        let dropped = schedule.dropped_mask(app);
-        let alpha = StaleAlpha::new(app, &dropped);
-        SuffixUtilityBase { dropped, alpha }
+    /// Re-captures `schedule`'s static state in place, reusing the
+    /// buffers — equivalent to capturing a fresh base from the
+    /// schedule's dropped mask, without the per-arc allocations.
+    pub(crate) fn rebuild(&mut self, app: &Application, schedule: &FSchedule) {
+        self.dropped.clear();
+        self.dropped.extend_from_slice(&schedule.context().dropped);
+        self.dropped.resize(app.len(), false);
+        for &d in schedule.statically_dropped() {
+            self.dropped[d.index()] = true;
+        }
+        self.alpha.reset(app.len());
+        for (i, &d) in self.dropped.iter().enumerate() {
+            if d {
+                self.alpha.mark_dropped(NodeId::from_index(i));
+            }
+        }
     }
 }
 
-/// Reusable mutable state for one sweep evaluation (copied from a
-/// [`SuffixUtilityBase`] per pass instead of reallocated).
-#[derive(Debug, Default)]
-pub(crate) struct SuffixUtilityScratch {
-    dropped: Vec<bool>,
-    alpha: StaleAlpha,
+/// Per-process [`CompiledUtility`] tables for one application, built once
+/// per synthesis and shared read-only by every interval-sweep worker.
+/// Indexed by node; hard processes (no utility function) hold `None`.
+#[derive(Debug)]
+pub(crate) struct CompiledUtilities {
+    per_process: Vec<Option<crate::CompiledUtility>>,
 }
 
-/// Scratch-buffer variant of [`expected_suffix_utility_est`]: identical
-/// result, no per-call allocation.
+impl CompiledUtilities {
+    /// Compiles every soft process's utility function of `app`.
+    pub(crate) fn build(app: &Application) -> Self {
+        let mut per_process = vec![None; app.len()];
+        for id in app.processes() {
+            per_process[id.index()] = app
+                .process(id)
+                .criticality()
+                .utility()
+                .map(|u| u.compiled());
+        }
+        CompiledUtilities { per_process }
+    }
+
+    fn get(&self, id: NodeId) -> Option<&crate::CompiledUtility> {
+        self.per_process[id.index()].as_ref()
+    }
+}
+
+/// One suffix entry kept (not dropped) by a sweep segment's walk: within
+/// the segment its completion is `tc + completion_offset`, contributing
+/// `alpha * utility(tc + completion_offset)` for every sample `tc`.
+#[derive(Debug, Clone, Copy)]
+struct KeptEntry {
+    process: NodeId,
+    completion_offset: u64,
+    alpha: f64,
+}
+
+/// Transient state of one segmented sweep pass (the per-segment suffix
+/// walk); lives in [`SweepScratch`] so passes allocate nothing.
+#[derive(Debug, Default)]
+struct SweepWalk {
+    alpha: StaleAlpha,
+    kept: Vec<KeptEntry>,
+}
+
+/// Per-estimator-quantile sample buffers of one sweep evaluation.
+#[derive(Debug, Default)]
+struct QuantileBufs {
+    q25: Vec<f64>,
+    q50: Vec<f64>,
+    q75: Vec<f64>,
+}
+
+/// Reusable buffers for one arc's batched interval-partitioning sweep:
+/// the sample grid, the child/parent estimator curves over it, and the
+/// per-segment walk state. Owned by the synthesis scratch (serial sweeps
+/// and the first parallel worker) or created once per extra worker — the
+/// sweep itself allocates nothing per arc.
+#[derive(Debug, Default)]
+pub(crate) struct SweepScratch {
+    /// Ascending completion-time samples (ms) of the current arc.
+    pub(crate) grid: Vec<u64>,
+    /// Estimated suffix utility of switching to the child, per sample.
+    pub(crate) child_out: Vec<f64>,
+    /// Estimated suffix utility of staying with the parent, per sample.
+    pub(crate) parent_out: Vec<f64>,
+    child_base: SuffixUtilityBase,
+    parent_base: SuffixUtilityBase,
+    walk: SweepWalk,
+    quantiles: QuantileBufs,
+}
+
+impl SweepScratch {
+    /// Evaluates one arc: builds the sample grid (`lo`, `lo + step`, …,
+    /// clamped to end exactly at `hi` — the same sequence the scalar
+    /// sweep visits) and fills `child_out` / `parent_out` with the
+    /// estimator curves of the child suffix (from position 0) and the
+    /// parent suffix (from `parent_from`). Every value is bit-identical
+    /// to the per-sample scalar evaluation the oracle performs.
+    ///
+    /// Samples past `eval_up_to` are never useful to the caller (the
+    /// scalar sweep short-circuits them on its hard-safety bound without
+    /// ever evaluating utilities there), so the curves are only computed
+    /// for the grid prefix `<= eval_up_to` — `child_out.len()` reports
+    /// how many samples were evaluated.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn eval_arc(
+        &mut self,
+        app: &Application,
+        compiled: &CompiledUtilities,
+        estimator: UtilityEstimator,
+        lo: Time,
+        hi: Time,
+        step: u64,
+        eval_up_to: Time,
+        child: (&FSchedule, &ScheduleAnalysis),
+        parent: (&FSchedule, &ScheduleAnalysis),
+        parent_from: usize,
+    ) {
+        debug_assert!(lo <= hi && step > 0);
+        self.grid.clear();
+        let (lo, hi) = (lo.as_ms(), hi.as_ms());
+        let mut tc = lo;
+        loop {
+            self.grid.push(tc);
+            if tc >= hi {
+                break;
+            }
+            tc = (tc + step).min(hi);
+        }
+        self.child_base.rebuild(app, child.0);
+        self.parent_base.rebuild(app, parent.0);
+        let n = self.grid.partition_point(|&tc| tc <= eval_up_to.as_ms());
+        self.child_out.clear();
+        self.child_out.resize(n, 0.0);
+        self.parent_out.clear();
+        self.parent_out.resize(n, 0.0);
+        let eval_grid = &self.grid[..n];
+        sweep_est(
+            app,
+            child.0,
+            child.1,
+            0,
+            estimator,
+            &self.child_base,
+            compiled,
+            eval_grid,
+            &mut self.walk,
+            &mut self.quantiles,
+            &mut self.child_out,
+        );
+        sweep_est(
+            app,
+            parent.0,
+            parent.1,
+            parent_from,
+            estimator,
+            &self.parent_base,
+            compiled,
+            eval_grid,
+            &mut self.walk,
+            &mut self.quantiles,
+            &mut self.parent_out,
+        );
+    }
+}
+
+/// Batched sibling of [`expected_suffix_utility_est`]: fills
+/// `out[i]` with the estimate at start time `grid[i]`, for the whole
+/// ascending grid at once.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn expected_suffix_utility_est_scratch(
+fn sweep_est(
     app: &Application,
     schedule: &FSchedule,
     analysis: &ScheduleAnalysis,
     from: usize,
-    start: Time,
     estimator: UtilityEstimator,
     base: &SuffixUtilityBase,
-    scratch: &mut SuffixUtilityScratch,
-) -> f64 {
-    let mut pass = |duration: fn(&crate::ExecutionTimes) -> Time| {
-        scratch.dropped.clear();
-        scratch.dropped.extend_from_slice(&base.dropped);
-        scratch.alpha.copy_from(&base.alpha);
-        suffix_utility_core(
-            app,
-            schedule,
-            analysis,
-            from,
-            start,
-            duration,
-            &mut scratch.dropped,
-            &mut scratch.alpha,
-        )
+    compiled: &CompiledUtilities,
+    grid: &[u64],
+    walk: &mut SweepWalk,
+    quantiles: &mut QuantileBufs,
+    out: &mut [f64],
+) {
+    let mut pass = |duration: fn(&crate::ExecutionTimes) -> Time, out: &mut [f64]| {
+        sweep_pass(
+            app, schedule, analysis, from, duration, base, compiled, grid, walk, out,
+        );
     };
     match estimator {
-        UtilityEstimator::AverageCase => pass(|t| t.aet()),
+        UtilityEstimator::AverageCase => pass(|t| t.aet(), out),
         UtilityEstimator::Quantile3 => {
-            let q25 = pass(|t| t.bcet().midpoint(t.aet()));
-            let q50 = pass(|t| t.aet());
-            let q75 = pass(|t| t.aet().midpoint(t.wcet()));
-            0.25 * q25 + 0.5 * q50 + 0.25 * q75
+            let n = grid.len();
+            quantiles.q25.clear();
+            quantiles.q25.resize(n, 0.0);
+            quantiles.q50.clear();
+            quantiles.q50.resize(n, 0.0);
+            quantiles.q75.clear();
+            quantiles.q75.resize(n, 0.0);
+            pass(|t| t.bcet().midpoint(t.aet()), &mut quantiles.q25);
+            pass(|t| t.aet(), &mut quantiles.q50);
+            pass(|t| t.aet().midpoint(t.wcet()), &mut quantiles.q75);
+            // Combined exactly as the scalar estimator combines its three
+            // passes, per sample.
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = 0.25 * quantiles.q25[i] + 0.5 * quantiles.q50[i] + 0.25 * quantiles.q75[i];
+            }
         }
+    }
+}
+
+/// One duration-quantile pass of the segmented sweep.
+///
+/// The scalar pass re-walks the suffix for every sample. Here the walk
+/// runs once per *segment* — a maximal run of ascending samples over
+/// which the drop set is fixed. Within a segment every kept entry `e`
+/// completes at `tc + completion_offset(e)` (the offset is the sum of
+/// kept durations before it, a constant), so its contribution over all
+/// the segment's samples is one [`crate::CompiledUtility`] merge fill,
+/// shifted by the offset and scaled by the entry's stale coefficient.
+/// Segment boundaries are the drop-set change events: a kept soft entry
+/// crosses its latest-start bound at `tc = lst - offset`, and the walk at
+/// the next segment's first sample re-derives the cascaded consequences
+/// (offsets shrink when an entry drops, which can revive later entries).
+///
+/// Bit-identity with the scalar pass holds because (a) within a segment
+/// the scalar walk provably makes the same drop decisions at every
+/// sample, (b) the accumulator rows are updated in entry order, so each
+/// sample's f64 additions happen in the scalar walk's order, and (c) the
+/// compiled per-term arithmetic `alpha * value(t)` matches the
+/// interpreted term bit for bit.
+#[allow(clippy::too_many_arguments)]
+fn sweep_pass(
+    app: &Application,
+    schedule: &FSchedule,
+    analysis: &ScheduleAnalysis,
+    from: usize,
+    duration: fn(&crate::ExecutionTimes) -> Time,
+    base: &SuffixUtilityBase,
+    compiled: &CompiledUtilities,
+    grid: &[u64],
+    walk: &mut SweepWalk,
+    out: &mut [f64],
+) {
+    debug_assert_eq!(grid.len(), out.len());
+    out.fill(0.0);
+    let k = app.faults().k;
+    let entries = schedule.entries();
+    let mut s = 0usize;
+    while s < grid.len() {
+        let tc = grid[s];
+        walk.alpha.copy_from(&base.alpha);
+        walk.kept.clear();
+        let mut offset = 0u64;
+        // Largest sweep value for which this walk's drop set still holds.
+        let mut segment_end_tc = u64::MAX;
+        for (pos, e) in entries.iter().enumerate().skip(from) {
+            let times = app.process(e.process).times();
+            if !app.is_hard(e.process) {
+                let lst = analysis.latest_start(app, e, pos, k).as_ms();
+                if tc + offset > lst {
+                    walk.alpha.mark_dropped(e.process);
+                    continue;
+                }
+                segment_end_tc = segment_end_tc.min(lst - offset);
+            }
+            offset += duration(times).as_ms();
+            let alpha = walk.alpha.resolve(app, e.process);
+            if compiled.get(e.process).is_some() {
+                walk.kept.push(KeptEntry {
+                    process: e.process,
+                    completion_offset: offset,
+                    alpha,
+                });
+            }
+        }
+        let mut end = s + 1;
+        while end < grid.len() && grid[end] <= segment_end_tc {
+            end += 1;
+        }
+        let seg_grid = &grid[s..end];
+        let seg_out = &mut out[s..end];
+        for ke in &walk.kept {
+            let u = compiled
+                .get(ke.process)
+                .expect("kept entries have utilities");
+            u.accumulate_shifted(seg_grid, ke.completion_offset, ke.alpha, seg_out);
+        }
+        s = end;
     }
 }
 
@@ -866,6 +1113,76 @@ mod tests {
         let mut sa = StaleAlpha::new(&app, &dropped);
         // P2's single predecessor P1 is dropped: alpha = (1+0)/(1+1) = 0.5.
         assert!((sa.resolve(&app, p2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_sweep_is_bit_identical_to_scalar_estimates() {
+        // The segmented sweep must reproduce the per-sample scalar
+        // estimator bit for bit — including across drop-set segment
+        // boundaries (late start times drop soft entries).
+        let (app, [p1, p2, p3]) = fig1_app();
+        let child = schedule_of(&app, &[(p2, 0), (p3, 0)]);
+        let parent = schedule_of(&app, &[(p1, 1), (p3, 0), (p2, 0)]);
+        let ca = child.analyze(&app);
+        let pa = parent.analyze(&app);
+        let compiled = CompiledUtilities::build(&app);
+        let mut sweep = SweepScratch::default();
+        for est in [UtilityEstimator::AverageCase, UtilityEstimator::Quantile3] {
+            for step in [1u64, 7, 50] {
+                sweep.eval_arc(
+                    &app,
+                    &compiled,
+                    est,
+                    Time::from_ms(30),
+                    app.period(),
+                    step,
+                    Time::MAX,
+                    (&child, &ca),
+                    (&parent, &pa),
+                    1,
+                );
+                assert!(sweep.grid.len() >= 2);
+                assert_eq!(*sweep.grid.last().unwrap(), app.period().as_ms());
+                assert_eq!(sweep.child_out.len(), sweep.grid.len());
+                for (i, &tc) in sweep.grid.iter().enumerate() {
+                    let tc = Time::from_ms(tc);
+                    let want_child = expected_suffix_utility_est(&app, &child, &ca, 0, tc, est);
+                    let want_parent = expected_suffix_utility_est(&app, &parent, &pa, 1, tc, est);
+                    assert_eq!(
+                        want_child.to_bits(),
+                        sweep.child_out[i].to_bits(),
+                        "{est:?} step {step} tc {tc}: child {want_child} vs {}",
+                        sweep.child_out[i]
+                    );
+                    assert_eq!(
+                        want_parent.to_bits(),
+                        sweep.parent_out[i].to_bits(),
+                        "{est:?} step {step} tc {tc}: parent {want_parent} vs {}",
+                        sweep.parent_out[i]
+                    );
+                }
+            }
+        }
+        // The evaluation clamp: only the grid prefix up to the bound is
+        // computed (the scalar sweep never evaluates past it either).
+        sweep.eval_arc(
+            &app,
+            &compiled,
+            UtilityEstimator::Quantile3,
+            Time::from_ms(30),
+            app.period(),
+            1,
+            Time::from_ms(100),
+            (&child, &ca),
+            (&parent, &pa),
+            1,
+        );
+        assert_eq!(sweep.child_out.len(), 71, "samples 30..=100 at step 1");
+        assert_eq!(sweep.parent_out.len(), 71);
+        assert!(
+            sweep.grid.len() > 71,
+            "the grid itself still spans the range"
+        );
     }
 
     #[test]

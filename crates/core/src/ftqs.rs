@@ -48,7 +48,35 @@
 //!   [`crate::ftss`] `PrefixCursor`) advanced over its contiguous pivot
 //!   chunk, so checkpoints never leak across waves or workers.
 //! * **Interval partitioning** — each arc's utility sweep reads only its
-//!   own parent/child schedules, so all arcs are swept concurrently.
+//!   own parent/child schedules, so all arcs are swept concurrently, each
+//!   worker owning one set of sweep buffers (the session scratch seeds
+//!   the first; see [`par::par_map_collect_seeded`]).
+//!
+//! Interval partitioning itself is **batched and segmented** rather than
+//! per-sample. The scalar formulation evaluates up to `interval_samples ×
+//! 3` (Quantile3) suffix-utility passes per arc, each pass re-walking the
+//! suffix and re-interpreting every breakpoint of every soft entry's
+//! utility function. The batched sweep instead:
+//!
+//! 1. compiles every utility function once per synthesis into a flat
+//!    structure-of-arrays table ([`crate::CompiledUtility`]) with a
+//!    branchless scalar `value()` and O(samples + breakpoints) grid
+//!    merges;
+//! 2. splits the ascending sample grid into *segments* over which the
+//!    suffix's runtime drop set is fixed — within a segment every kept
+//!    entry completes at `tc + constant`, so its contribution over all of
+//!    the segment's samples is one shifted, stale-alpha-scaled compiled
+//!    fill; segment boundaries (kept entries crossing their latest-start
+//!    thresholds) are found by the per-segment forward walk;
+//! 3. updates the per-sample accumulator rows *in entry order*, so each
+//!    sample's f64 additions happen in exactly the order the scalar walk
+//!    adds them — which is why the batched curves, and therefore the
+//!    extracted switch intervals, are bit-identical to the oracle's
+//!    per-sample sweep and not merely numerically close.
+//!
+//! Samples beyond the child's hard-safety bound are skipped entirely
+//! (they can never produce a switch), mirroring the scalar sweep's
+//! short-circuit.
 //!
 //! The expansion *loop* itself stays serial: each `pick_expansion_candidate`
 //! decision observes every node created so far, exactly as in the paper.
@@ -57,8 +85,8 @@
 //! worker count, which the equivalence tests assert.
 
 use crate::fschedule::{
-    expected_suffix_utility_est, expected_suffix_utility_est_scratch, FSchedule, ScheduleAnalysis,
-    ScheduleContext, SuffixUtilityBase, SuffixUtilityScratch, UtilityEstimator,
+    expected_suffix_utility_est, CompiledUtilities, FSchedule, ScheduleAnalysis, ScheduleContext,
+    SweepScratch, UtilityEstimator,
 };
 use crate::ftss::{
     ftss_from_context, ftss_resume, ftss_with, AppModel, FtssConfig, PrefixCheckpoint,
@@ -142,7 +170,9 @@ pub struct FtqsConfig {
     /// Maximum number of completion-time samples per arc during interval
     /// partitioning. The sweep step is `max(1, range / samples)` ms; 256
     /// keeps synthesis fast with millisecond-level accuracy on the paper's
-    /// time scales.
+    /// time scales. Zero is rejected by the [`crate::Engine`]/
+    /// [`crate::Session`] front door as an invalid request; the deprecated
+    /// direct entry points clamp it to one sample.
     pub interval_samples: u32,
     /// How the expected suffix utility is estimated when comparing a
     /// sub-schedule against its parent (see [`UtilityEstimator`]).
@@ -608,18 +638,28 @@ impl<'a, 's> TreeBuilder<'a, 's> {
     /// Each node's sweep reads only its own and its parent's schedule, so
     /// the (sample-count × node-count) utility evaluations — the dominant
     /// cost of large-budget synthesis — run across all nodes in parallel.
+    /// The per-process compiled utility tables are built once and shared
+    /// read-only; the sweep buffers come from the session scratch (serial
+    /// path and first worker) or once per extra worker, so the sweeps
+    /// allocate nothing per arc.
     fn partition_intervals(&mut self) {
         let n = self.nodes.len();
         if n <= 1 {
             return;
         }
-        let intervals = par::par_map_collect(n - 1, |idx| {
-            let i = idx + 1;
-            let node = &self.nodes[i];
-            let parent = node.parent.expect("non-root node has a parent");
-            let pivot_pos = node.pivot_pos.expect("non-root node has a pivot");
-            self.switch_intervals(parent, i, pivot_pos)
-        });
+        let compiled = CompiledUtilities::build(self.app);
+        let mut sweep = std::mem::take(&mut self.scratch.sweep);
+        let this = &*self;
+        let compiled = &compiled;
+        let intervals =
+            par::par_map_collect_seeded(n - 1, &mut sweep, SweepScratch::default, |sw, idx| {
+                let i = idx + 1;
+                let node = &this.nodes[i];
+                let parent = node.parent.expect("non-root node has a parent");
+                let pivot_pos = node.pivot_pos.expect("non-root node has a pivot");
+                this.switch_intervals(parent, i, pivot_pos, compiled, sw)
+            });
+        self.scratch.sweep = sweep;
         for (idx, iv) in intervals.into_iter().enumerate() {
             self.nodes[idx + 1].intervals = iv;
         }
@@ -630,11 +670,20 @@ impl<'a, 's> TreeBuilder<'a, 's> {
     /// (the paper switches whenever the sub-schedule "gives higher utility",
     /// which can hold on several disjoint completion-time ranges — compare
     /// the `tc(P1/2)` conditions of Fig. 5).
+    ///
+    /// The child and parent estimator curves are evaluated over the whole
+    /// sample grid in one batched call each ([`SweepScratch::eval_arc`]'s
+    /// segmented sweep); the switch runs are then extracted from the two
+    /// curves. Sample times, per-sample values, and hence the extracted
+    /// intervals are bit-identical to the scalar per-sample sweep the
+    /// oracle performs.
     fn switch_intervals(
         &self,
         parent: TreeNodeId,
         child: TreeNodeId,
         pivot_pos: usize,
+        compiled: &CompiledUtilities,
+        sweep: &mut SweepScratch,
     ) -> Vec<(Time, Time)> {
         let app = self.app;
         let k = app.faults().k;
@@ -655,46 +704,32 @@ impl<'a, 's> TreeBuilder<'a, 's> {
         let child_safe = cn.analysis.hard_safe_start(0, k);
 
         let range = hi_sweep.as_ms() - lo.as_ms();
-        let step = (range / u64::from(self.config.interval_samples)).max(1);
+        // `max(1)` on the sample count guards the deprecated direct-config
+        // path; the engine rejects zero before it ever reaches here.
+        let step = (range / u64::from(self.config.interval_samples.max(1))).max(1);
 
-        // Hoisted per-arc state: the schedules' dropped masks and stale
-        // seeds are start-time independent, so the hundreds of sweep
-        // samples below share them through a scratch buffer instead of
-        // reallocating per utility pass.
-        let child_base = SuffixUtilityBase::of(app, c_sched);
-        let parent_base = SuffixUtilityBase::of(app, p_sched);
-        let mut scratch = SuffixUtilityScratch::default();
+        // Evaluation stops at `child_safe`: later samples can never be
+        // good, exactly as the scalar sweep's short-circuit never
+        // evaluated them.
+        sweep.eval_arc(
+            app,
+            compiled,
+            self.config.estimator,
+            lo,
+            hi_sweep,
+            step,
+            child_safe,
+            (c_sched, &cn.analysis),
+            (p_sched, &pn.analysis),
+            pivot_pos + 1,
+        );
 
         let mut runs: Vec<(Time, Time)> = Vec::new();
         let mut run_start: Option<Time> = None;
         let mut last_good = Time::ZERO;
-        let mut tc_ms = lo.as_ms();
-        loop {
+        for (i, &tc_ms) in sweep.grid[..sweep.child_out.len()].iter().enumerate() {
             let tc = Time::from_ms(tc_ms);
-            let good = tc <= child_safe && {
-                let est = self.config.estimator;
-                let u_child = expected_suffix_utility_est_scratch(
-                    app,
-                    c_sched,
-                    &cn.analysis,
-                    0,
-                    tc,
-                    est,
-                    &child_base,
-                    &mut scratch,
-                );
-                let u_parent = expected_suffix_utility_est_scratch(
-                    app,
-                    p_sched,
-                    &pn.analysis,
-                    pivot_pos + 1,
-                    tc,
-                    est,
-                    &parent_base,
-                    &mut scratch,
-                );
-                u_child > u_parent + 1e-9
-            };
+            let good = sweep.child_out[i] > sweep.parent_out[i] + 1e-9;
             if good {
                 if run_start.is_none() {
                     run_start = Some(tc);
@@ -703,10 +738,6 @@ impl<'a, 's> TreeBuilder<'a, 's> {
             } else if let Some(start) = run_start.take() {
                 runs.push((start, last_good));
             }
-            if tc_ms >= hi_sweep.as_ms() {
-                break;
-            }
-            tc_ms = (tc_ms + step).min(hi_sweep.as_ms());
         }
         if let Some(start) = run_start {
             runs.push((start, last_good));
@@ -856,6 +887,20 @@ mod tests {
             ftqs(&app, &cfg),
             Err(SchedulingError::ZeroTreeBudget)
         ));
+    }
+
+    #[test]
+    fn zero_interval_samples_clamps_on_the_direct_config_path() {
+        // The Engine front door rejects a zero sample count as an invalid
+        // request; the deprecated direct-config path must clamp to one
+        // sample instead of panicking on `range / 0`.
+        let (app, _) = fig1_app();
+        let cfg = FtqsConfig {
+            interval_samples: 0,
+            ..FtqsConfig::with_budget(4)
+        };
+        let tree = ftqs(&app, &cfg).expect("clamped sweep still synthesizes");
+        assert!(!tree.is_empty());
     }
 
     #[test]

@@ -99,7 +99,7 @@
 //! [`crate::oracle::ftss_reference`]; equivalence tests pin this optimized
 //! scheduler to bit-identical output (`tests/equivalence.rs`).
 
-use crate::fschedule::{FSchedule, ScheduleContext, ScheduleEntry, StaleAlpha};
+use crate::fschedule::{FSchedule, ScheduleContext, ScheduleEntry, StaleAlpha, SweepScratch};
 use crate::wcdelay::{worst_case_fault_delay, FaultDelayAccumulator, SlackItem};
 use crate::{Application, SchedulingError, Time, UtilityFunction};
 use ftqs_graph::NodeId;
@@ -492,6 +492,10 @@ impl ProbeScratch {
 pub(crate) struct SynthesisScratch {
     prefix: CommittedPrefix,
     probe: ProbeScratch,
+    /// Interval-sweep buffers (grid, estimator curves, segment walk) for
+    /// the FTQS partitioning phase — session-owned so batch runs amortize
+    /// them; excluded from checkpoints (transient, like the probe half).
+    pub(crate) sweep: SweepScratch,
 }
 
 impl SynthesisScratch {
@@ -676,7 +680,11 @@ impl<'s, 'app> Scheduler<'s, 'app> {
         scratch: &'s mut SynthesisScratch,
     ) -> Self {
         scratch.probe.prepare(model.app.len());
-        let SynthesisScratch { prefix, probe } = scratch;
+        let SynthesisScratch {
+            prefix,
+            probe,
+            sweep: _,
+        } = scratch;
         Scheduler {
             model,
             config,

@@ -126,4 +126,4 @@ pub use process::{Criticality, ExecutionTimes, ExecutionTimesError, Process};
 pub use stale::StaleCoefficients;
 pub use time::Time;
 pub use tree::{QuasiStaticTree, ScheduleArena, ScheduleId, SwitchArc, TreeNode, TreeNodeId};
-pub use utility::{UtilityError, UtilityFunction};
+pub use utility::{CompiledUtility, UtilityError, UtilityFunction};

@@ -60,20 +60,42 @@ where
 /// results (outputs stay bit-identical at any worker count).
 pub fn par_map_collect_with<S, T, Init, F>(count: usize, init: Init, f: F) -> Vec<T>
 where
+    S: Send,
+    T: Send,
+    Init: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let mut seed = init();
+    par_map_collect_seeded(count, &mut seed, init, f)
+}
+
+/// [`par_map_collect_with`] with a caller-owned *seed* state: the serial
+/// path — and the worker owning the **first** chunk on the parallel path —
+/// threads `seed` through its indices, while every additional worker
+/// builds its own state with `init`. This lets a long-lived scratch (e.g.
+/// the session-owned interval-sweep buffers) serve the whole range on
+/// single-worker hosts and the first chunk elsewhere, with at most
+/// `workers - 1` extra states built per call — never one per item.
+///
+/// The chunk contract of the module docs applies unchanged, and state
+/// must never influence results.
+pub fn par_map_collect_seeded<S, T, Init, F>(count: usize, seed: &mut S, init: Init, f: F) -> Vec<T>
+where
+    S: Send,
     T: Send,
     Init: Fn() -> S + Sync,
     F: Fn(&mut S, usize) -> T + Sync,
 {
     let threads = worker_count(count);
     if threads <= 1 {
-        let mut state = init();
-        return (0..count).map(|i| f(&mut state, i)).collect();
+        return (0..count).map(|i| f(seed, i)).collect();
     }
     let chunk = count.div_ceil(threads);
     let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let f = &f;
         let init = &init;
+        let mut seed = Some(seed);
         let mut handles = Vec::with_capacity(threads);
         for t in 0..threads {
             let lo = t * chunk;
@@ -81,9 +103,17 @@ where
             if lo >= hi {
                 break;
             }
+            let seeded = seed.take();
             handles.push(scope.spawn(move || {
-                let mut state = init();
-                (lo..hi).map(|i| f(&mut state, i)).collect::<Vec<T>>()
+                let mut own;
+                let state = match seeded {
+                    Some(s) => s,
+                    None => {
+                        own = init();
+                        &mut own
+                    }
+                };
+                (lo..hi).map(|i| f(state, i)).collect::<Vec<T>>()
             }));
         }
         for h in handles {

@@ -246,6 +246,17 @@ impl UtilityFunction {
         UtilityFunction { kind }
     }
 
+    /// Compiles this function into the flat [`CompiledUtility`] form used
+    /// by batched evaluation (see that type's docs). The compiled form is
+    /// bit-identical to [`UtilityFunction::value`] at every integer time —
+    /// except that a literal `-0.0` value (admitted by validation, since
+    /// it is non-negative) evaluates as `+0.0`; the two compare equal
+    /// everywhere and sums of scaled utilities are unaffected.
+    #[must_use]
+    pub fn compiled(&self) -> CompiledUtility {
+        CompiledUtility::new(self)
+    }
+
     /// The earliest time after which the utility is (and stays) zero, or
     /// `None` if the utility never reaches zero.
     #[must_use]
@@ -259,24 +270,231 @@ impl UtilityFunction {
                 steps.iter().find(|&&(_, v)| v == 0.0).map(|&(t, _)| t)
             }
             Kind::Linear { points } => {
-                let last = points[points.len() - 1];
-                if last.1 > 0.0 {
+                if points[points.len() - 1].1 > 0.0 {
                     return None;
                 }
-                // Walk back to the segment where the value hits zero.
-                if points[0].1 == 0.0 {
-                    return Some(points[0].0);
+                // Non-increasing and ending at zero: the first zero-valued
+                // point is where the descent lands (interpolation from a
+                // positive value reaches zero exactly at that point).
+                points.iter().find(|&&(_, v)| v == 0.0).map(|&(t, _)| t)
+            }
+        }
+    }
+}
+
+/// A [`UtilityFunction`] compiled into flat, sorted structure-of-arrays
+/// breakpoint tables for branchless scalar evaluation and batched sweeps.
+///
+/// All three shapes normalize into the same layout: `bounds` partitions
+/// the time axis into *slots* — slot `i` covers `bounds[i-1] < t <=
+/// bounds[i]` (with slot `bounds.len()` covering everything past the last
+/// bound) — and each slot evaluates the single expression
+///
+/// ```text
+/// value(t) = base[i] + delta[i] * ((t - seg_start[i]) / denom[i])
+/// ```
+///
+/// with `delta = 0` for flat slots, so [`CompiledUtility::value`] is a
+/// predication-free count-then-index: the slot is the number of bounds
+/// strictly below `t` (a branchless accumulating loop the vectorizer
+/// flattens), followed by one fused evaluation. The expression mirrors
+/// [`UtilityFunction::value`]'s arithmetic term for term, so results are
+/// **bit-identical** to the interpreted walk — the property tests pin
+/// this on dense grids for every shape.
+///
+/// [`CompiledUtility::sweep_into`] evaluates a whole ascending sample
+/// grid in one forward merge over the slots — O(samples + breakpoints)
+/// instead of the O(samples × breakpoints) of repeated scalar walks — and
+/// [`CompiledUtility::accumulate_shifted`] is the fused
+/// `acc[j] += scale * value(grid[j] + offset)` form the interval-
+/// partitioning sweep is built on (see [`crate::ftqs`]'s Performance
+/// notes).
+///
+/// Construction normalizes `-0.0` values to `+0.0` (the two compare equal
+/// everywhere; normalizing keeps the flat-slot evaluation exact).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledUtility {
+    /// Slot boundaries in milliseconds, non-decreasing.
+    bounds: Vec<u64>,
+    /// Per-slot base value (`bounds.len() + 1` entries).
+    base: Vec<f64>,
+    /// Per-slot linear descent `v1 - v0`; `0.0` for flat slots.
+    delta: Vec<f64>,
+    /// Per-slot segment start time for the interpolation numerator.
+    seg_start: Vec<u64>,
+    /// Per-slot segment length `(t1 - t0) as f64`; `1.0` for flat slots.
+    denom: Vec<f64>,
+}
+
+impl CompiledUtility {
+    /// Compiles `function` (see [`UtilityFunction::compiled`]).
+    #[must_use]
+    pub fn new(function: &UtilityFunction) -> Self {
+        let mut c = CompiledUtility {
+            bounds: Vec::new(),
+            base: Vec::new(),
+            delta: Vec::new(),
+            seg_start: Vec::new(),
+            denom: Vec::new(),
+        };
+        match &function.kind {
+            Kind::Constant(v) => c.push_flat(*v),
+            Kind::Step { initial, steps } => {
+                c.push_flat(*initial);
+                for &(t, v) in steps {
+                    c.bounds.push(t.as_ms());
+                    c.push_flat(v);
                 }
+            }
+            Kind::Linear { points } if points.len() == 1 => c.push_flat(points[0].1),
+            Kind::Linear { points } => {
+                // Slot 0: clamped to the first value up to and including
+                // the first point.
+                c.push_flat(points[0].1);
+                c.bounds.push(points[0].0.as_ms());
                 for w in points.windows(2) {
                     let (t0, v0) = w[0];
                     let (t1, v1) = w[1];
-                    if v0 > 0.0 && v1 == 0.0 {
-                        return Some(t1);
-                    }
-                    let _ = (t0, v0);
+                    c.base.push(v0 + 0.0);
+                    c.delta.push(v1 - v0);
+                    c.seg_start.push(t0.as_ms());
+                    c.denom.push((t1 - t0).as_f64());
+                    c.bounds.push(t1.as_ms());
                 }
-                Some(last.0)
+                // The interpreted walk returns the clamped last value
+                // *at* the last point (before interpolation would), so
+                // the final interpolating slot ends one integer ms short
+                // of it. `t_last - 1` may collide with the previous bound
+                // when points are adjacent milliseconds; the duplicate
+                // merely makes the last interpolating slot unreachable,
+                // which is exactly right.
+                let last = points[points.len() - 1];
+                *c.bounds.last_mut().expect("at least one segment") = last.0.as_ms() - 1;
+                c.push_flat(last.1);
             }
+        }
+        debug_assert_eq!(c.base.len(), c.bounds.len() + 1);
+        c
+    }
+
+    /// Appends one flat slot worth `v` (normalizing `-0.0`).
+    fn push_flat(&mut self, v: f64) {
+        self.base.push(v + 0.0);
+        self.delta.push(0.0);
+        self.seg_start.push(0);
+        self.denom.push(1.0);
+    }
+
+    /// The slot containing `t`: the number of bounds strictly below it.
+    /// Branchless — the comparison folds to an integer accumulate.
+    #[inline]
+    fn slot_of(&self, t_ms: u64) -> usize {
+        let mut idx = 0usize;
+        for &b in &self.bounds {
+            idx += usize::from(b < t_ms);
+        }
+        idx
+    }
+
+    /// The single per-slot evaluation expression; flat slots degrade to
+    /// `base + 0.0 * (t / 1.0)`, which is exact for the normalized
+    /// non-negative values stored here.
+    #[inline]
+    fn eval_in_slot(&self, idx: usize, t_ms: u64) -> f64 {
+        self.base[idx] + self.delta[idx] * ((t_ms - self.seg_start[idx]) as f64 / self.denom[idx])
+    }
+
+    /// Evaluates the utility of completing at time `t` — bit-identical to
+    /// [`UtilityFunction::value`] on the source function.
+    #[must_use]
+    pub fn value(&self, t: Time) -> f64 {
+        let t_ms = t.as_ms();
+        self.eval_in_slot(self.slot_of(t_ms), t_ms)
+    }
+
+    /// Fills `out[i] = value(lo + i·step)` for the whole ascending sample
+    /// grid in one forward merge pass over the slots: each slot's sample
+    /// range is located once and filled with a tight loop the compiler
+    /// autovectorizes, so the cost is O(samples + breakpoints).
+    ///
+    /// `step` must be non-zero.
+    pub fn sweep_into(&self, lo: Time, step: Time, out: &mut [f64]) {
+        let lo = lo.as_ms();
+        let step = step.as_ms();
+        assert!(step > 0, "sweep grids need a non-zero step");
+        let n = out.len();
+        let mut i = 0usize;
+        for idx in 0..=self.bounds.len() {
+            if i >= n {
+                break;
+            }
+            // Samples in slot `idx`: those with `lo + i·step <= hi`.
+            let end = match self.bounds.get(idx) {
+                Some(&hi) if hi < lo => i,
+                Some(&hi) => n.min(((hi - lo) / step + 1) as usize),
+                None => n,
+            };
+            if end <= i {
+                continue;
+            }
+            if self.delta[idx] == 0.0 {
+                out[i..end].fill(self.base[idx] + 0.0);
+            } else {
+                let (base, delta) = (self.base[idx], self.delta[idx]);
+                let (t0, denom) = (self.seg_start[idx], self.denom[idx]);
+                for (j, slot) in out.iter_mut().enumerate().take(end).skip(i) {
+                    let t = lo + j as u64 * step;
+                    *slot = base + delta * ((t - t0) as f64 / denom);
+                }
+            }
+            i = end;
+        }
+    }
+
+    /// Accumulates `acc[j] += scale * value(grid[j] + offset)` over an
+    /// ascending (not necessarily uniform) sample grid, in one forward
+    /// merge pass. This is the workhorse of the segmented suffix-utility
+    /// sweep: `offset` is an entry's completion offset from the sweep
+    /// variable and `scale` its stale-value coefficient, and the per-
+    /// sample arithmetic (`scale * value`) matches the scalar
+    /// `alpha * utility.value(now)` term bit for bit.
+    pub fn accumulate_shifted(&self, grid: &[u64], offset: u64, scale: f64, acc: &mut [f64]) {
+        debug_assert_eq!(grid.len(), acc.len());
+        debug_assert!(grid.windows(2).all(|w| w[0] <= w[1]), "grid must ascend");
+        let n = grid.len();
+        let mut i = 0usize;
+        for idx in 0..=self.bounds.len() {
+            if i >= n {
+                break;
+            }
+            let mut end = i;
+            match self.bounds.get(idx) {
+                Some(&hi) => {
+                    while end < n && grid[end] + offset <= hi {
+                        end += 1;
+                    }
+                }
+                None => end = n,
+            }
+            if end <= i {
+                continue;
+            }
+            if self.delta[idx] == 0.0 {
+                // Hoisting `scale * base` out of the loop keeps the same
+                // bits: every sample in the slot adds the identical term.
+                let term = scale * (self.base[idx] + 0.0);
+                for slot in &mut acc[i..end] {
+                    *slot += term;
+                }
+            } else {
+                let (base, delta) = (self.base[idx], self.delta[idx]);
+                let (t0, denom) = (self.seg_start[idx], self.denom[idx]);
+                for (slot, &g) in acc[i..end].iter_mut().zip(&grid[i..end]) {
+                    let t = g + offset;
+                    *slot += scale * (base + delta * ((t - t0) as f64 / denom));
+                }
+            }
+            i = end;
         }
     }
 }

@@ -247,11 +247,15 @@ fn engine_ftqs_trees_match_reference_on_20_plus_workloads() {
 fn deep_trees_match_reference_in_both_expansion_modes() {
     // Large budgets force many pivots per parent and multi-wave
     // expansions — the checkpoint-restore path is exercised hard, and the
-    // preserved rerun path must agree with it and with the oracle.
+    // preserved rerun path must agree with it and with the oracle. The
+    // tree comparison also pins the batched, segmented interval sweep:
+    // every arc the oracle's per-sample scalar sweep keeps (and its exact
+    // interval bounds) must come out bit-identical from the compiled-
+    // utility grid evaluation, in both expansion modes.
     let corpus = schedulable_corpus(20);
     let mut session = Engine::new().session();
     for (seed, app) in corpus.iter().take(10) {
-        for budget in [24usize, 40] {
+        for budget in [16usize, 24, 40] {
             let incremental = session
                 .synthesize(app, &SynthesisRequest::ftqs(budget))
                 .expect("corpus is schedulable");
