@@ -3,18 +3,18 @@
 //! Times FTSS and FTQS synthesis (optimized hot paths vs the preserved
 //! straightforward baselines in `ftqs_core::oracle`) on seeded synthetic
 //! applications of 10, 20 and 40 processes, and writes median
-//! nanoseconds plus speedup factors as JSON. FTQS is measured in both
-//! expansion modes — `ftqs` is the default checkpointed-incremental
+//! nanoseconds plus speedup factors as JSON. FTQS is measured in all
+//! three expansion modes — `ftqs` is the default checkpointed-incremental
 //! pipeline, `ftqs_rerun` the preserved per-pivot re-derivation
-//! (`ExpansionMode::Rerun`) — so the incremental-vs-rerun A/B ratio is
+//! (`ExpansionMode::Rerun`), and `ftqs_replay` the decision-replay
+//! pipeline (`ExpansionMode::Replay`) — so the mode A/B ratios are
 //! directly readable per process count. Future PRs regenerate the file on
 //! the same machine to track the performance trajectory.
 //!
-//! Schema `ftqs-bench-synthesis/3`: measured with batched, segmented
-//! interval-partitioning sweeps (compiled utility tables) — the dominant
-//! cost at the sweep-bound sizes (10/20 processes). Numbers are not
-//! directly comparable to `/2` files, which measured the per-sample
-//! scalar sweep.
+//! Schema `ftqs-bench-synthesis/4`: adds the `ftqs_replay` rows and is
+//! measured with the committed-delay/folded-slack probe caches of the
+//! decision-replay PR — absolute numbers are not directly comparable to
+//! `/3` files.
 //!
 //! Usage: `cargo run --release -p ftqs-bench --bin bench_synthesis
 //! [--out PATH] [--reps N] [--budget M] [--skip-baseline]`
@@ -71,6 +71,7 @@ fn main() {
     let ftss_req = SynthesisRequest::ftss();
     let ftqs_req = SynthesisRequest::ftqs(budget);
     let ftqs_rerun_req = SynthesisRequest::ftqs(budget).with_expansion_mode(ExpansionMode::Rerun);
+    let ftqs_replay_req = SynthesisRequest::ftqs(budget).with_expansion_mode(ExpansionMode::Replay);
     let ftss_cfg = FtssConfig::default();
     let ftqs_cfg = FtqsConfig::with_budget(budget);
     let mut rows: Vec<Row> = Vec::new();
@@ -151,10 +152,34 @@ fn main() {
             "ftqs_rerun/{size}: optimized {ftqs_rerun_ns} ns (incremental is {:.2}x faster)",
             ftqs_rerun_ns as f64 / ftqs_ns as f64
         );
+
+        // The decision-replay A/B row: identical trees again; pivot runs
+        // record decision logs and reuse the neighbor's logged estimates
+        // wherever the guards prove them exact.
+        let ftqs_replay_ns = median_ns(reps, || {
+            session
+                .synthesize(&app, &ftqs_replay_req)
+                .expect("schedulable");
+        });
+        let replay_stats = session
+            .synthesize(&app, &ftqs_replay_req)
+            .expect("schedulable")
+            .stats
+            .expansion;
+        rows.push(Row {
+            algorithm: "ftqs_replay",
+            processes: size,
+            optimized_ns: ftqs_replay_ns,
+            baseline_ns: ftqs_base,
+        });
+        eprintln!(
+            "ftqs_replay/{size}: optimized {ftqs_replay_ns} ns ({} steps replayed, {} searched)",
+            replay_stats.steps_replayed, replay_stats.steps_searched
+        );
     }
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": \"ftqs-bench-synthesis/3\",");
+    let _ = writeln!(json, "  \"schema\": \"ftqs-bench-synthesis/4\",");
     let _ = writeln!(json, "  \"reps\": {reps},");
     let _ = writeln!(json, "  \"ftqs_budget\": {budget},");
     let _ = writeln!(

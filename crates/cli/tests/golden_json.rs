@@ -82,6 +82,8 @@ fn tree_json_exposes_checkpoint_counters() {
         "\"restores\"",
         "\"prefix_steps_saved\"",
         "\"prefix_steps_rerun\"",
+        "\"steps_replayed\"",
+        "\"steps_searched\"",
     ] {
         assert!(
             actual.contains(field),

@@ -26,10 +26,8 @@
 //!   statistics, expected utility, dropped-process accounting, and
 //!   synthesis timing — and fails with the unified [`enum@crate::Error`].
 //!
-//! Results are **bit-identical** to the deprecated free functions
-//! ([`crate::ftss::ftss`], [`crate::ftqs::ftqs`], [`crate::ftsf::ftsf`])
-//! and therefore to the reference implementations in [`crate::oracle`];
-//! the equivalence tests pin this.
+//! Results are **bit-identical** to the reference implementations in
+//! [`crate::oracle`]; the equivalence tests pin this.
 //!
 //! # Example
 //!
@@ -571,31 +569,39 @@ mod tests {
     }
 
     #[test]
-    fn engine_matches_deprecated_wrappers_bit_for_bit() {
-        #![allow(deprecated)]
+    fn engine_matches_reference_implementations_bit_for_bit() {
         let app = fig1_app();
         let mut session = Engine::new().session();
         let report = session
             .synthesize(&app, &SynthesisRequest::ftqs(6))
             .unwrap();
-        let legacy = crate::ftqs::ftqs(&app, &FtqsConfig::with_budget(6)).unwrap();
-        assert_eq!(report.tree.len(), legacy.len());
-        for ((i, a), (_, b)) in report.tree.iter().zip(legacy.iter()) {
+        let oracle = crate::oracle::ftqs_reference(&app, &FtqsConfig::with_budget(6)).unwrap();
+        assert_eq!(report.tree.len(), oracle.len());
+        for ((i, a), (_, b)) in report.tree.iter().zip(oracle.iter()) {
             assert_eq!(
                 report.tree.schedule(a.schedule),
-                legacy.schedule(b.schedule)
+                oracle.schedule(b.schedule)
             );
             assert_eq!(a.arcs, b.arcs, "node {i}");
         }
 
         let ftss_report = session.synthesize(&app, &SynthesisRequest::ftss()).unwrap();
-        let legacy_ftss =
-            crate::ftss::ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).unwrap();
-        assert_eq!(ftss_report.root_schedule(), &legacy_ftss);
+        let oracle_ftss = crate::oracle::ftss_reference(
+            &app,
+            &ScheduleContext::root(&app),
+            &FtssConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(ftss_report.root_schedule(), &oracle_ftss);
 
         let ftsf_report = session.synthesize(&app, &SynthesisRequest::ftsf()).unwrap();
-        let legacy_ftsf = crate::ftsf::ftsf(&app, &FtssConfig::default()).unwrap();
-        assert_eq!(ftsf_report.root_schedule(), &legacy_ftsf);
+        let direct_ftsf = crate::ftsf::ftsf_with(
+            &app,
+            &FtssConfig::default(),
+            &mut crate::ftss::SynthesisScratch::new(),
+        )
+        .unwrap();
+        assert_eq!(ftsf_report.root_schedule(), &direct_ftsf);
     }
 
     #[test]

@@ -80,20 +80,21 @@ impl ScheduleContext {
 
 /// A fault-tolerant static schedule (f-schedule) for one application.
 ///
-/// Produced by [`ftss`](crate::ftss::ftss) and, for sub-schedules of the
-/// quasi-static tree, by re-running FTSS from a [`ScheduleContext`].
+/// Produced by the FTSS policy of [`crate::Session::synthesize`] and, for
+/// sub-schedules of the quasi-static tree, by re-running FTSS from a
+/// [`ScheduleContext`].
 ///
 /// # Example
 ///
 /// ```
-/// use ftqs_core::{fschedule::{FSchedule, ScheduleContext}, ftss::ftss, FtssConfig};
+/// use ftqs_core::{Engine, SynthesisRequest};
 /// # use ftqs_core::{Application, ExecutionTimes, FaultModel, Time, UtilityFunction};
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// # let mut b = Application::builder(Time::from_ms(300), FaultModel::new(1, Time::from_ms(10)));
 /// # let p1 = b.add_hard("P1", ExecutionTimes::uniform(30.into(), 70.into())?, Time::from_ms(180));
 /// # let app = b.build()?;
-/// let schedule = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default())?;
-/// let analysis = schedule.analyze(&app);
+/// let report = Engine::new().session().synthesize(&app, &SynthesisRequest::ftss())?;
+/// let analysis = report.root_schedule().analyze(&app);
 /// assert!(analysis.is_schedulable());
 /// # Ok(())
 /// # }
@@ -107,8 +108,8 @@ pub struct FSchedule {
 
 impl FSchedule {
     /// Assembles an f-schedule from its parts. Scheduling heuristics use
-    /// this; most callers obtain schedules from [`crate::ftss::ftss`] or
-    /// [`crate::ftsf::ftsf`].
+    /// this; most callers obtain schedules through
+    /// [`crate::Session::synthesize`].
     #[must_use]
     pub fn new(
         entries: Vec<ScheduleEntry>,

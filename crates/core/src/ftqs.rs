@@ -37,12 +37,25 @@
 //! [`ExpansionStats`] in the synthesis report counts snapshots, restores,
 //! and prefix steps saved vs. re-derived.
 //!
+//! [`ExpansionMode::Replay`] adds **decision replay** on top of the
+//! shared context: every FTSS run records its decisions (drops, commits,
+//! and the suffix-utility estimates feeding the drop verdicts, each with
+//! a proven-exact reuse window) as a `DecisionLog`, and each worker
+//! advances one shared logical run pivot-by-pivot over its contiguous
+//! chunk — pivot `p` replays the log captured at pivot `p − 1` (the
+//! parent's own log seeds chunk starts), reusing logged estimates while
+//! the guards hold and falling back to full per-step search from the
+//! first divergent step. Trees remain bit-identical to the oracle in
+//! every mode; `ExpansionStats` reports replayed vs searched step counts
+//! (see the *Decision replay* notes in [`crate::ftss`] for the guard
+//! conditions and the lockstep/fallback mechanics).
+//!
 //! The two embarrassingly parallel layers run on scoped worker threads
 //! (`parallel` feature, on by default; see [`crate::par`]):
 //!
 //! * **Sub-schedule generation** — the per-pivot FTSS re-runs of one
 //!   expansion are independent of each other, so they are computed in
-//!   budget-sized waves via [`par::par_map_collect`] and committed in
+//!   budget-sized waves via [`par::par_map_collect_with`] and committed in
 //!   pivot order, reproducing the serial budget cutoff exactly. Under the
 //!   incremental mode every worker owns a *private* checkpoint copy (a
 //!   [`crate::ftss`] `PrefixCursor`) advanced over its contiguous pivot
@@ -89,8 +102,8 @@ use crate::fschedule::{
     SweepScratch, UtilityEstimator,
 };
 use crate::ftss::{
-    ftss_from_context, ftss_resume, ftss_with, AppModel, FtssConfig, PrefixCheckpoint,
-    PrefixCursor, SynthesisScratch,
+    ftss_from_context, ftss_resume, ftss_resume_replay, ftss_with, AppModel, DecisionLog,
+    FtssConfig, PrefixCheckpoint, PrefixCursor, ReplayRunStats, SynthesisScratch,
 };
 use crate::par;
 use crate::tree::{QuasiStaticTree, ScheduleArena, ScheduleId, SwitchArc, TreeNode, TreeNodeId};
@@ -115,8 +128,9 @@ pub enum ExpansionPolicy {
 }
 
 /// How the per-pivot FTSS runs of one parent expansion obtain their
-/// starting state. Both modes produce bit-identical trees; the flag exists
-/// for A/B measurement of the checkpointed pipeline.
+/// starting state — and, for [`ExpansionMode::Replay`], their scheduling
+/// decisions. All modes produce bit-identical trees; the flag exists for
+/// A/B measurement of the checkpointed and decision-replay pipelines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[non_exhaustive]
 pub enum ExpansionMode {
@@ -128,19 +142,34 @@ pub enum ExpansionMode {
     /// Re-run the full FTSS initialization per pivot — the historical
     /// behavior, kept as the A/B baseline.
     Rerun,
+    /// [`ExpansionMode::Incremental`] context sharing plus *decision
+    /// replay*: every run records its scheduling decisions as a
+    /// `DecisionLog`, and each pivot run replays the parent's logged
+    /// decisions — skipping the dominant `DetermineDropping` search —
+    /// for every commit step whose guard conditions (structural lockstep
+    /// plus the flat-cell avg-clock window) prove the logged drops exact,
+    /// falling back to full per-step search from the first divergent
+    /// step. See the decision-replay notes in [`crate::ftss`].
+    Replay,
 }
 
 /// Checkpoint/restore accounting of one FTQS synthesis, reported in
 /// [`crate::TreeStats`].
 ///
-/// The step counters describe the **idealized serial expansion schedule**
-/// — one cursor advancing monotonically over a parent's pivots — which
-/// makes them deterministic at any worker count. Parallel waves perform a
-/// bounded amount of extra cursor catch-up (each worker chunk and each
-/// new wave re-advances its private cursor to its first pivot) that is
-/// deliberately *not* charged here: the counters compare algorithmic
-/// schedules, not thread-level work. All counters are zero under
-/// [`ExpansionMode::Rerun`] except `prefix_steps_rerun`.
+/// The prefix-step counters describe the **idealized serial expansion
+/// schedule** — one cursor advancing monotonically over a parent's pivots
+/// — which makes them deterministic at any worker count. Parallel waves
+/// perform a bounded amount of extra cursor catch-up (each worker chunk
+/// and each new wave re-advances its private cursor to its first pivot)
+/// that is deliberately *not* charged here: the counters compare
+/// algorithmic schedules, not thread-level work. All counters are zero
+/// under [`ExpansionMode::Rerun`] except `prefix_steps_rerun`.
+///
+/// The replay counters (`steps_replayed`/`steps_searched`, nonzero only
+/// under [`ExpansionMode::Replay`]) additionally depend on which log each
+/// pivot run replayed — workers chain logs across their own contiguous
+/// chunks — so their split may vary with the worker count; their *sum*
+/// (total pivot-run commit steps) and every synthesized tree do not.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExpansionStats {
     /// Committed-prefix snapshots captured (one per expanded parent with
@@ -156,9 +185,22 @@ pub struct ExpansionStats {
     /// one-entry cursor advance under the incremental mode, the full
     /// per-pivot context re-derivation under the rerun mode.
     pub prefix_steps_rerun: usize,
+    /// FTSS commit steps whose `DetermineDropping`/`ForcedDropping`
+    /// estimates were *all* served from a decision log under proven
+    /// guards — summed over every pivot run of every expansion wave
+    /// (including candidate children later discarded as identical to the
+    /// parent's suffix, which is where full-log replays land). Steps
+    /// that needed no estimates at all (no ready soft candidate) count
+    /// as neither replayed nor searched. Nonzero only under
+    /// [`ExpansionMode::Replay`].
+    pub steps_replayed: usize,
+    /// FTSS commit steps of those same pivot runs that computed at least
+    /// one estimate honestly (guard miss, lockstep lost, or log
+    /// exhausted). Zero outside [`ExpansionMode::Replay`].
+    pub steps_searched: usize,
 }
 
-/// Configuration of [`ftqs`].
+/// Configuration of the FTQS tree synthesis.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FtqsConfig {
     /// Maximum number of different schedules kept in the tree (`M`).
@@ -171,8 +213,8 @@ pub struct FtqsConfig {
     /// partitioning. The sweep step is `max(1, range / samples)` ms; 256
     /// keeps synthesis fast with millisecond-level accuracy on the paper's
     /// time scales. Zero is rejected by the [`crate::Engine`]/
-    /// [`crate::Session`] front door as an invalid request; the deprecated
-    /// direct entry points clamp it to one sample.
+    /// [`crate::Session`] front door as an invalid request; crate-internal
+    /// direct-config callers clamp it to one sample.
     pub interval_samples: u32,
     /// How the expected suffix utility is estimated when comparing a
     /// sub-schedule against its parent (see [`UtilityEstimator`]).
@@ -206,30 +248,6 @@ impl FtqsConfig {
     }
 }
 
-/// Synthesizes the fault-tolerant quasi-static tree for `app`
-/// (`SchedulingStrategy` of Fig. 6: FTSS root, then FTQS expansion).
-///
-/// Deprecated shim over the [`crate::Engine`]/[`crate::Session`] API: it
-/// allocates a fresh `SynthesisScratch` per call. Batch callers should
-/// synthesize through a `Session` (policy
-/// [`crate::SynthesisPolicy::Ftqs`]) to reuse the scratch across runs.
-///
-/// # Errors
-///
-/// * [`SchedulingError::ZeroTreeBudget`] if `config.max_schedules == 0`.
-/// * [`SchedulingError::EmptyRootSchedule`] if the root f-schedule has no
-///   entries (no pivot exists to expand).
-/// * [`SchedulingError::Unschedulable`] if the root f-schedule does not
-///   exist (hard deadlines infeasible).
-#[deprecated(
-    since = "0.2.0",
-    note = "use ftqs_core::Engine / Session::synthesize with SynthesisPolicy::Ftqs"
-)]
-pub fn ftqs(app: &Application, config: &FtqsConfig) -> Result<QuasiStaticTree, SchedulingError> {
-    let mut scratch = SynthesisScratch::new();
-    ftqs_with(app, config, &mut scratch).map(|(tree, _)| tree)
-}
-
 /// FTQS over a caller-provided scratch — the entry point behind
 /// [`crate::Session::synthesize`]. The scratch serves the serial root FTSS
 /// run and the per-parent checkpoint captures; parallel expansion waves
@@ -244,8 +262,27 @@ pub(crate) fn ftqs_with(
         return Err(SchedulingError::ZeroTreeBudget);
     }
     let model = AppModel::build(app);
-    let root_schedule =
-        ftss_from_context(&model, &ScheduleContext::root(app), &config.ftss, scratch)?;
+    let replay = config.mode == ExpansionMode::Replay;
+    let root_ctx = ScheduleContext::root(app);
+    let mut root_log = None;
+    let root_schedule = if replay {
+        // The root run is captured so the first expansion wave can replay
+        // its decisions across the root's pivots.
+        let mut log = DecisionLog::default();
+        scratch.prefix_init(&model, &root_ctx);
+        let (result, _) = ftss_resume_replay(
+            &model,
+            &root_ctx,
+            &config.ftss,
+            scratch,
+            None,
+            Some(&mut log),
+        );
+        root_log = Some(std::sync::Arc::new(log));
+        result?
+    } else {
+        ftss_from_context(&model, &root_ctx, &config.ftss, scratch)?
+    };
     if root_schedule.entries().is_empty() {
         // Every process was statically dropped (or pre-completed): there is
         // no pivot to expand and no schedule to execute — a degenerate
@@ -265,6 +302,7 @@ pub(crate) fn ftqs_with(
     }
     let mut builder = TreeBuilder::new(app, config, model, scratch);
     builder.push_root(root_schedule);
+    builder.nodes[0].log = root_log;
     builder.grow();
     builder.partition_intervals();
     let stats = builder.stats;
@@ -290,6 +328,10 @@ struct BuildNode {
     parent_distance: usize,
     /// Switch intervals assigned by interval partitioning (one arc each).
     intervals: Vec<(Time, Time)>,
+    /// This node's recorded decision sequence ([`ExpansionMode::Replay`]
+    /// only): shared read-only with every worker replaying it when this
+    /// node is expanded.
+    log: Option<std::sync::Arc<DecisionLog>>,
 }
 
 /// A candidate child computed by a (possibly parallel) expansion worker,
@@ -298,15 +340,44 @@ struct PendingChild {
     schedule: FSchedule,
     analysis: ScheduleAnalysis,
     parent_distance: usize,
+    /// The child run's own decision log (replay mode only), kept for the
+    /// child's future expansion.
+    log: Option<std::sync::Arc<DecisionLog>>,
+}
+
+/// A computed pivot slot of one expansion wave: the candidate child (if
+/// any survived) plus the run's replay accounting — kept even when the
+/// child is discarded, because full-log replays are exactly the runs that
+/// collapse onto the parent's suffix.
+struct PendingSlot {
+    child: Option<PendingChild>,
+    replay: ReplayRunStats,
 }
 
 /// Worker-private state of one incremental expansion wave: a cursor over
 /// the parent's pivots plus the scratch the per-pivot runs execute in.
 /// Never shared — each worker builds its own from the parent's base
 /// checkpoint, so no committed state leaks across workers or waves.
+///
+/// Under [`ExpansionMode::Replay`] the worker additionally chains decision
+/// logs across its contiguous ascending pivot chunk: the log captured by
+/// the pivot-`q` run becomes the preferred replay source for the next
+/// pivot of the same chunk — neighboring pivots make near-identical
+/// decisions (including revivals of statically dropped processes the
+/// parent's own log knows nothing about) and sit one entry's
+/// best-vs-average gap apart on the clock, so both lockstep and the guard
+/// windows hold far more often than against the parent's log, which
+/// remains the fallback at chunk starts.
 struct ExpansionWorker {
     cursor: PrefixCursor,
     scratch: SynthesisScratch,
+    /// Log of this worker's most recent *successful* pivot run, with its
+    /// pivot position (replay mode only). Shared with the committed child
+    /// node when the run's candidate was kept.
+    prev_log: Option<(std::sync::Arc<DecisionLog>, usize)>,
+    /// Recycled log buffer for the next pivot run's capture (reclaimed
+    /// from sole-owner retired logs).
+    spare_log: DecisionLog,
 }
 
 struct TreeBuilder<'a, 's> {
@@ -356,6 +427,7 @@ impl<'a, 's> TreeBuilder<'a, 's> {
             expanded: false,
             parent_distance: 0,
             intervals: Vec::new(),
+            log: None,
         });
     }
 
@@ -438,7 +510,17 @@ impl<'a, 's> TreeBuilder<'a, 's> {
         if positions == 0 {
             return;
         }
-        let incremental = self.config.mode == ExpansionMode::Incremental;
+        // Replay shares the parent context exactly like the incremental
+        // mode and additionally replays the parent's decision log.
+        let incremental = matches!(
+            self.config.mode,
+            ExpansionMode::Incremental | ExpansionMode::Replay
+        );
+        let parent_log = if self.config.mode == ExpansionMode::Replay {
+            self.nodes[parent].log.clone()
+        } else {
+            None
+        };
         // Best-case pivot completions, shared by every pivot of this
         // parent: bcet_at[p] = start + Σ bcet(entries[0..=p]).
         let mut bcet_at = Vec::with_capacity(positions);
@@ -462,14 +544,17 @@ impl<'a, 's> TreeBuilder<'a, 's> {
             let remaining_budget = self.config.max_schedules - self.nodes.len();
             let wave_end = (next_pos + remaining_budget).min(positions);
             let wave_base = next_pos;
-            let children = if incremental {
+            let slots = if incremental {
                 let this = &*self;
                 let base = &base;
+                let parent_log = parent_log.as_deref();
                 par::par_map_collect_with(
                     wave_end - wave_base,
                     || ExpansionWorker {
                         cursor: PrefixCursor::new(base),
                         scratch: SynthesisScratch::new(),
+                        prev_log: None,
+                        spare_log: DecisionLog::default(),
                     },
                     |worker, i| {
                         this.build_child_incremental(
@@ -478,6 +563,7 @@ impl<'a, 's> TreeBuilder<'a, 's> {
                             &bcet_at,
                             worker,
                             wave_base + i,
+                            parent_log,
                         )
                     },
                 )
@@ -496,8 +582,11 @@ impl<'a, 's> TreeBuilder<'a, 's> {
             // schedule: a from-scratch derivation of pivot p's context
             // marks `parent_completed + p + 1` processes completed; the
             // incremental path recovers all but the cursor's one-entry
-            // advance from the snapshot.
-            for pivot in wave_base..wave_end {
+            // advance from the snapshot. Replay accounting sums every
+            // pivot run the wave computed — the wave extent is decided
+            // before dispatch, so the counters stay worker-count
+            // invariant.
+            for (pivot, slot) in (wave_base..wave_end).zip(&slots) {
                 if incremental {
                     self.stats.restores += 1;
                     self.stats.prefix_steps_saved += parent_completed + pivot;
@@ -505,12 +594,14 @@ impl<'a, 's> TreeBuilder<'a, 's> {
                 } else {
                     self.stats.prefix_steps_rerun += parent_completed + pivot + 1;
                 }
+                self.stats.steps_replayed += slot.replay.steps_replayed;
+                self.stats.steps_searched += slot.replay.steps_searched;
             }
-            for (offset, child) in children.into_iter().enumerate() {
+            for (offset, slot) in slots.into_iter().enumerate() {
                 if self.nodes.len() >= self.config.max_schedules {
                     break;
                 }
-                if let Some(pending) = child {
+                if let Some(pending) = slot.child {
                     self.commit_child(pending, parent, parent_depth, wave_base + offset);
                 }
             }
@@ -536,6 +627,7 @@ impl<'a, 's> TreeBuilder<'a, 's> {
             expanded: false,
             parent_distance: pending.parent_distance,
             intervals: Vec::new(),
+            log: pending.log,
         });
     }
 
@@ -567,11 +659,17 @@ impl<'a, 's> TreeBuilder<'a, 's> {
 
     /// Builds the candidate child for pivot position `p` of `parent` by
     /// restoring the worker's private checkpoint and advancing its cursor
-    /// one entry, or `None` when the suffix is infeasible from the
-    /// optimistic start or the child collapses onto the parent's own
-    /// suffix. Pure with respect to the node list — safe to run for
+    /// one entry; the slot's child is `None` when the suffix is infeasible
+    /// from the optimistic start or the child collapses onto the parent's
+    /// own suffix. Pure with respect to the node list — safe to run for
     /// several positions concurrently (workers receive contiguous
     /// ascending pivot chunks; see [`crate::par`]).
+    ///
+    /// With `parent_log` present ([`ExpansionMode::Replay`]), the run
+    /// replays the parent's decisions under the per-step guards and
+    /// records its own log for the child's future expansion; the replay
+    /// cursor lives inside this single run, so workers never share replay
+    /// state (the log itself is read-only).
     fn build_child_incremental(
         &self,
         parent_entries: &[crate::fschedule::ScheduleEntry],
@@ -579,14 +677,67 @@ impl<'a, 's> TreeBuilder<'a, 's> {
         bcet_at: &[Time],
         worker: &mut ExpansionWorker,
         p: usize,
-    ) -> Option<PendingChild> {
+        parent_log: Option<&DecisionLog>,
+    ) -> PendingSlot {
         worker.cursor.advance_to(&self.model, parent_entries, p);
         let ctx = self.child_context(parent_entries, parent_ctx, bcet_at, p);
         worker.scratch.restore(worker.cursor.checkpoint());
         worker.scratch.begin_run_at(ctx.start);
-        // Suffix infeasible from this optimistic start: skip.
-        let child = ftss_resume(&self.model, &ctx, &self.config.ftss, &mut worker.scratch).ok()?;
-        self.accept_child(parent_entries, p, child)
+        if let Some(parent_log) = parent_log {
+            let ExpansionWorker {
+                scratch,
+                prev_log,
+                spare_log,
+                ..
+            } = worker;
+            // Prefer the chained neighbor log (see [`ExpansionWorker`]);
+            // the replay source never affects output, only how much search
+            // the guards can prove away.
+            let source: (&DecisionLog, usize) = match prev_log {
+                Some((log, q)) if *q < p => (log, p - *q),
+                _ => (parent_log, p + 1),
+            };
+            let mut own_log = std::mem::take(spare_log);
+            own_log.clear();
+            let (result, replay) = ftss_resume_replay(
+                &self.model,
+                &ctx,
+                &self.config.ftss,
+                scratch,
+                Some(source),
+                Some(&mut own_log),
+            );
+            // Suffix infeasible from this optimistic start: skip.
+            let child = match result {
+                Ok(child) => {
+                    let own_log = std::sync::Arc::new(own_log);
+                    let kept = self.accept_child(parent_entries, p, child).map(|mut c| {
+                        c.log = Some(own_log.clone());
+                        c
+                    });
+                    if let Some((old, _)) = prev_log.replace((own_log, p)) {
+                        // Reclaim the retired log's buffers when this
+                        // worker was its only holder.
+                        if let Some(old) = std::sync::Arc::into_inner(old) {
+                            *spare_log = old;
+                        }
+                    }
+                    kept
+                }
+                Err(_) => {
+                    *spare_log = own_log;
+                    None
+                }
+            };
+            return PendingSlot { child, replay };
+        }
+        let child = ftss_resume(&self.model, &ctx, &self.config.ftss, &mut worker.scratch)
+            .ok()
+            .and_then(|child| self.accept_child(parent_entries, p, child));
+        PendingSlot {
+            child,
+            replay: ReplayRunStats::default(),
+        }
     }
 
     /// The from-scratch sibling of [`Self::build_child_incremental`]
@@ -599,10 +750,15 @@ impl<'a, 's> TreeBuilder<'a, 's> {
         bcet_at: &[Time],
         scratch: &mut SynthesisScratch,
         p: usize,
-    ) -> Option<PendingChild> {
+    ) -> PendingSlot {
         let ctx = self.child_context(parent_entries, parent_ctx, bcet_at, p);
-        let child = ftss_with(self.app, &ctx, &self.config.ftss, scratch).ok()?;
-        self.accept_child(parent_entries, p, child)
+        let child = ftss_with(self.app, &ctx, &self.config.ftss, scratch)
+            .ok()
+            .and_then(|child| self.accept_child(parent_entries, p, child));
+        PendingSlot {
+            child,
+            replay: ReplayRunStats::default(),
+        }
     }
 
     /// Shared tail of both child builders: discard children identical to
@@ -628,6 +784,7 @@ impl<'a, 's> TreeBuilder<'a, 's> {
             schedule: child,
             analysis,
             parent_distance: distance,
+            log: None,
         })
     }
 
@@ -704,8 +861,8 @@ impl<'a, 's> TreeBuilder<'a, 's> {
         let child_safe = cn.analysis.hard_safe_start(0, k);
 
         let range = hi_sweep.as_ms() - lo.as_ms();
-        // `max(1)` on the sample count guards the deprecated direct-config
-        // path; the engine rejects zero before it ever reaches here.
+        // `max(1)` on the sample count guards crate-internal direct-config
+        // callers; the engine rejects zero before it ever reaches here.
         let step = (range / u64::from(self.config.interval_samples.max(1))).max(1);
 
         // Evaluation stops at `child_safe`: later samples can never be
@@ -845,11 +1002,23 @@ fn suffix_distance(reference: &[NodeId], other: &[NodeId]) -> usize {
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // unit tests double as coverage of the wrappers
-
     use super::*;
-    use crate::ftss::ftss;
     use crate::{ExecutionTimes, FaultModel, UtilityFunction};
+
+    /// One-shot FTQS over a fresh scratch (test convenience; production
+    /// callers go through [`crate::Engine`]/[`crate::Session`]).
+    fn ftqs(app: &Application, config: &FtqsConfig) -> Result<QuasiStaticTree, SchedulingError> {
+        ftqs_with(app, config, &mut SynthesisScratch::new()).map(|(tree, _)| tree)
+    }
+
+    /// One-shot FTSS over a fresh scratch.
+    fn ftss(
+        app: &Application,
+        ctx: &ScheduleContext,
+        config: &FtssConfig,
+    ) -> Result<FSchedule, SchedulingError> {
+        ftss_with(app, ctx, config, &mut SynthesisScratch::new())
+    }
 
     fn t(ms: u64) -> Time {
         Time::from_ms(ms)
@@ -892,7 +1061,7 @@ mod tests {
     #[test]
     fn zero_interval_samples_clamps_on_the_direct_config_path() {
         // The Engine front door rejects a zero sample count as an invalid
-        // request; the deprecated direct-config path must clamp to one
+        // request; crate-internal direct-config callers must clamp to one
         // sample instead of panicking on `range / 0`.
         let (app, _) = fig1_app();
         let cfg = FtqsConfig {
@@ -1051,6 +1220,90 @@ mod tests {
                 assert_eq!(a.arcs, b.arcs, "budget {m} node {i}");
             }
         }
+    }
+
+    #[test]
+    fn replay_mode_produces_identical_trees_and_reports_replay_activity() {
+        let (app, _) = fig1_app();
+        for m in 2..=8 {
+            let incremental = ftqs(&app, &FtqsConfig::with_budget(m)).unwrap();
+            let mut scratch = SynthesisScratch::new();
+            let (replay, stats) = ftqs_with(
+                &app,
+                &FtqsConfig {
+                    mode: ExpansionMode::Replay,
+                    ..FtqsConfig::with_budget(m)
+                },
+                &mut scratch,
+            )
+            .unwrap();
+            assert_eq!(incremental.len(), replay.len(), "budget {m}");
+            for ((i, a), (_, b)) in incremental.iter().zip(replay.iter()) {
+                assert_eq!(
+                    incremental.schedule(a.schedule),
+                    replay.schedule(b.schedule),
+                    "budget {m} node {i}"
+                );
+                assert_eq!(a.arcs, b.arcs, "budget {m} node {i}");
+            }
+            if replay.len() > 1 {
+                assert!(
+                    stats.steps_replayed + stats.steps_searched > 0,
+                    "budget {m}: replay mode must account its pivot-run steps"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replay_mode_falls_back_on_revived_drops_and_still_matches() {
+        // The revival workload of `children_can_revive_statically_dropped_
+        // processes`: children genuinely diverge from the parent's logged
+        // decisions (the drop verdict flips at the pivot's best-case
+        // completion), so replay must fall back to search — and still
+        // produce the identical tree.
+        let mut b = Application::builder(t(400), FaultModel::new(1, t(5)));
+        let head = b.add_soft(
+            "head",
+            et(20, 120),
+            UtilityFunction::constant(50.0).unwrap(),
+        );
+        let fragile = b.add_soft(
+            "fragile",
+            et(10, 20),
+            UtilityFunction::step(60.0, [(t(70), 0.0)]).unwrap(),
+        );
+        b.add_dependency(head, fragile).unwrap();
+        let app = b.build().unwrap();
+
+        let incremental = ftqs(&app, &FtqsConfig::with_budget(4)).unwrap();
+        let mut scratch = SynthesisScratch::new();
+        let (replay, stats) = ftqs_with(
+            &app,
+            &FtqsConfig {
+                mode: ExpansionMode::Replay,
+                ..FtqsConfig::with_budget(4)
+            },
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(incremental.len(), replay.len());
+        for ((_, a), (_, b)) in incremental.iter().zip(replay.iter()) {
+            assert_eq!(
+                incremental.schedule(a.schedule),
+                replay.schedule(b.schedule)
+            );
+            assert_eq!(a.arcs, b.arcs);
+        }
+        assert!(
+            stats.steps_searched > 0,
+            "revival must force searched steps"
+        );
+        // The revived child exists and replay found it through fallback.
+        let child = replay
+            .switch_target(replay.root(), 0, t(20))
+            .expect("early completion of head must switch");
+        assert!(replay.node_schedule(child).order_key().contains(&fragile));
     }
 
     #[test]

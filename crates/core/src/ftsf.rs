@@ -19,25 +19,6 @@ use crate::fschedule::{expected_suffix_utility, FSchedule, ScheduleContext, Sche
 use crate::ftss::{ftss_with, FtssConfig, SynthesisScratch};
 use crate::{Application, FaultModel, SchedulingError, Time};
 
-/// Synthesizes the FTSF baseline schedule for `app`.
-///
-/// Deprecated shim over the [`crate::Engine`]/[`crate::Session`] API; a
-/// `Session` (policy [`crate::SynthesisPolicy::Ftsf`]) reuses its scratch
-/// buffers across batch runs.
-///
-/// # Errors
-///
-/// [`SchedulingError::Unschedulable`] if hard deadlines cannot be met even
-/// after dropping every soft process.
-#[deprecated(
-    since = "0.2.0",
-    note = "use ftqs_core::Engine / Session::synthesize with SynthesisPolicy::Ftsf"
-)]
-pub fn ftsf(app: &Application, config: &FtssConfig) -> Result<FSchedule, SchedulingError> {
-    let mut scratch = SynthesisScratch::new();
-    ftsf_with(app, config, &mut scratch)
-}
-
 /// FTSF over a caller-provided scratch — the entry point behind
 /// [`crate::Session::synthesize`].
 pub(crate) fn ftsf_with(
@@ -130,12 +111,23 @@ pub fn expected_utility(app: &Application, schedule: &FSchedule) -> f64 {
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // unit tests double as coverage of the wrappers
-
     use super::*;
-    use crate::ftss::ftss;
     use crate::{ExecutionTimes, UtilityFunction};
     use ftqs_graph::NodeId;
+
+    /// One-shot FTSF / FTSS over fresh scratches (test convenience;
+    /// production callers go through [`crate::Engine`]/[`crate::Session`]).
+    fn ftsf(app: &Application, config: &FtssConfig) -> Result<FSchedule, SchedulingError> {
+        ftsf_with(app, config, &mut SynthesisScratch::new())
+    }
+
+    fn ftss(
+        app: &Application,
+        ctx: &ScheduleContext,
+        config: &FtssConfig,
+    ) -> Result<FSchedule, SchedulingError> {
+        ftss_with(app, ctx, config, &mut SynthesisScratch::new())
+    }
 
     fn t(ms: u64) -> Time {
         Time::from_ms(ms)

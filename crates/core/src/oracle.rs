@@ -38,7 +38,7 @@ use ftqs_graph::NodeId;
 /// # Errors
 ///
 /// [`SchedulingError::Unschedulable`] under the same conditions as
-/// [`crate::ftss::ftss`].
+/// the optimized engine FTSS path.
 pub fn ftss_reference(
     app: &Application,
     ctx: &ScheduleContext,
@@ -533,7 +533,7 @@ fn alpha_preview(app: &Application, alpha: &mut StaleAlpha, id: NodeId) -> f64 {
 ///
 /// # Errors
 ///
-/// Same conditions as [`crate::ftqs::ftqs`].
+/// Same conditions as the optimized engine FTQS path.
 pub fn ftqs_reference(
     app: &Application,
     config: &FtqsConfig,

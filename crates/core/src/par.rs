@@ -3,9 +3,11 @@
 //! The build environment cannot fetch rayon, so the embarrassingly
 //! parallel layers of FTQS (per-pivot sub-schedule generation, per-arc
 //! interval-partitioning sweeps) use this scoped-thread fork-join instead.
-//! The contract mirrors rayon's indexed `par_iter().map().collect()`:
+//! The contract mirrors rayon's indexed `par_iter().map().collect()`
+//! (state-threading included, so callers that need no per-worker state
+//! pass `()`):
 //!
-//! * `f(i)` is called exactly once for every `i in 0..count`,
+//! * `f(state, i)` is called exactly once for every `i in 0..count`,
 //! * the result vector is ordered by `i` regardless of thread count,
 //! * with the `parallel` feature disabled (or a single-CPU host, or tiny
 //!   inputs) the calls happen inline on the caller's thread.
@@ -18,7 +20,13 @@
 //! the whole range ascending). The incremental FTQS expansion relies on
 //! this — each worker advances a private committed-prefix cursor that
 //! only moves forward through the pivot positions (see `PrefixCursor` in
-//! [`crate::ftss`]). A test below pins the guarantee.
+//! [`crate::ftss`]) — and so does decision replay, whose workers chain
+//! worker-private decision-log cursors across their chunk (pivot `p`
+//! replays the log captured at pivot `p − 1`; replay sources never
+//! affect outputs, only how much search the guards can skip, so trees
+//! stay bit-identical at any worker count even though the replayed-step
+//! counters may differ with the chunk layout). A test below pins the
+//! guarantee.
 
 use std::cell::Cell;
 
@@ -31,7 +39,7 @@ thread_local! {
 /// Runs `f` with the calling thread's worker cap set to `cap` (restoring
 /// the previous cap afterwards). `Some(1)` forces fully serial execution.
 /// Outputs are bit-identical at any setting — the cap only bounds how many
-/// scoped workers [`par_map_collect`] spawns.
+/// scoped workers [`par_map_collect_with`] spawns.
 pub(crate) fn with_max_workers<R>(cap: Option<usize>, f: impl FnOnce() -> R) -> R {
     MAX_WORKERS.with(|w| {
         let previous = w.replace(cap);
@@ -41,18 +49,8 @@ pub(crate) fn with_max_workers<R>(cap: Option<usize>, f: impl FnOnce() -> R) -> 
     })
 }
 
-/// Applies `f` to every index in `0..count`, in parallel when worthwhile,
-/// returning results in index order.
-pub fn par_map_collect<T, F>(count: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    par_map_collect_with(count, || (), |(), i| f(i))
-}
-
-/// [`par_map_collect`] with per-worker mutable state: `init` runs once per
-/// worker (once total on the serial path) and the state is threaded
+/// Indexed fork-join map with per-worker mutable state: `init` runs once
+/// per worker (once total on the serial path) and the state is threaded
 /// through that worker's indices — always a contiguous ascending run (see
 /// the module docs). This is how the FTQS expansion reuses one
 /// `SynthesisScratch` and one forward-only checkpoint cursor per worker
@@ -146,7 +144,7 @@ mod tests {
 
     #[test]
     fn preserves_index_order() {
-        let out = par_map_collect(1000, |i| i * 2);
+        let out = par_map_collect_with(1000, || (), |(), i| i * 2);
         assert_eq!(out.len(), 1000);
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, i * 2);
@@ -155,8 +153,8 @@ mod tests {
 
     #[test]
     fn empty_and_single_inputs() {
-        assert!(par_map_collect(0, |i| i).is_empty());
-        assert_eq!(par_map_collect(1, |i| i + 7), vec![7]);
+        assert!(par_map_collect_with(0, || (), |(), i| i).is_empty());
+        assert_eq!(par_map_collect_with(1, || (), |(), i| i + 7), vec![7]);
     }
 
     #[test]
@@ -194,7 +192,7 @@ mod tests {
     #[test]
     fn matches_serial_map_for_odd_sizes() {
         for count in [2usize, 3, 17, 63, 64, 65] {
-            let par = par_map_collect(count, |i| i as u64 * 3 + 1);
+            let par = par_map_collect_with(count, || (), |(), i| i as u64 * 3 + 1);
             let ser: Vec<u64> = (0..count).map(|i| i as u64 * 3 + 1).collect();
             assert_eq!(par, ser, "count {count}");
         }

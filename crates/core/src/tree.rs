@@ -169,9 +169,8 @@ pub struct TreeNode {
 
 /// The synthesized quasi-static tree Φ.
 ///
-/// Produced by [`crate::Session::synthesize`] (or the deprecated
-/// [`crate::ftqs::ftqs`] wrapper); consumed by the online scheduler in
-/// `ftqs-sim`.
+/// Produced by [`crate::Session::synthesize`]; consumed by the online
+/// scheduler in `ftqs-sim`.
 #[derive(Debug, Clone, Serialize)]
 pub struct QuasiStaticTree {
     arena: ScheduleArena,

@@ -256,13 +256,10 @@ pub fn validate_tree(app: &Application, tree: &QuasiStaticTree) -> Result<(), Va
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // unit tests double as coverage of the wrappers
-
     use super::*;
     use crate::fschedule::{ScheduleContext, ScheduleEntry};
-    use crate::ftqs::{ftqs, FtqsConfig};
-    use crate::ftss::ftss;
-    use crate::{ExecutionTimes, FaultModel, FtssConfig, UtilityFunction};
+    use crate::{Engine, SynthesisRequest};
+    use crate::{ExecutionTimes, FaultModel, UtilityFunction};
 
     fn t(ms: u64) -> Time {
         Time::from_ms(ms)
@@ -289,14 +286,24 @@ mod tests {
     #[test]
     fn synthesized_schedules_validate() {
         let (app, _) = fig1_app();
-        let s = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).unwrap();
+        let s = Engine::new()
+            .session()
+            .synthesize(&app, &SynthesisRequest::ftss())
+            .unwrap()
+            .into_tree()
+            .root_schedule()
+            .clone();
         validate_schedule(&app, &s).unwrap();
     }
 
     #[test]
     fn synthesized_trees_validate() {
         let (app, _) = fig1_app();
-        let tree = ftqs(&app, &FtqsConfig::with_budget(8)).unwrap();
+        let tree = Engine::new()
+            .session()
+            .synthesize(&app, &SynthesisRequest::ftqs(8))
+            .unwrap()
+            .into_tree();
         validate_tree(&app, &tree).unwrap();
     }
 

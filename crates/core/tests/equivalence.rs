@@ -191,43 +191,6 @@ fn engine_ftss_matches_reference_on_20_plus_workloads() {
 }
 
 #[test]
-fn deprecated_ftss_wrapper_matches_reference_from_sub_schedule_contexts() {
-    #![allow(deprecated)]
-    // FTQS re-runs FTSS from mid-schedule contexts; equivalence must hold
-    // there too (this exercises the context-restricted ready-set setup;
-    // mid-schedule contexts are reachable through the deprecated wrapper,
-    // which shares the exact code path the tree builder uses).
-    let corpus = schedulable_corpus(20);
-    let cfg = FtssConfig::default();
-    for (seed, app) in &corpus {
-        let root = ftqs_core::ftss::ftss(app, &ScheduleContext::root(app), &cfg)
-            .expect("corpus is schedulable");
-        let entries = root.entries();
-        // Pivot on the first, middle, and second-to-last positions.
-        let picks = [0, entries.len() / 2, entries.len().saturating_sub(2)];
-        for &p in &picks {
-            if p + 1 >= entries.len() {
-                continue;
-            }
-            let mut ctx = ScheduleContext::root(app);
-            let mut start = Time::ZERO;
-            for e in &entries[..=p] {
-                ctx.completed[e.process.index()] = true;
-                start += app.process(e.process).times().bcet();
-            }
-            ctx.start = start;
-            let fast = ftqs_core::ftss::ftss(app, &ctx, &cfg);
-            let slow = ftss_reference(app, &ctx, &cfg);
-            match (fast, slow) {
-                (Ok(a), Ok(b)) => assert_eq!(a, b, "seed {seed} pivot {p}"),
-                (Err(a), Err(b)) => assert_eq!(a, b, "seed {seed} pivot {p}"),
-                (a, b) => panic!("seed {seed} pivot {p}: {a:?} vs {b:?}"),
-            }
-        }
-    }
-}
-
-#[test]
 fn engine_ftqs_trees_match_reference_on_20_plus_workloads() {
     let corpus = schedulable_corpus(20);
     let mut session = Engine::new().session();
@@ -244,16 +207,18 @@ fn engine_ftqs_trees_match_reference_on_20_plus_workloads() {
 }
 
 #[test]
-fn deep_trees_match_reference_in_both_expansion_modes() {
+fn deep_trees_match_reference_in_all_expansion_modes() {
     // Large budgets force many pivots per parent and multi-wave
-    // expansions — the checkpoint-restore path is exercised hard, and the
-    // preserved rerun path must agree with it and with the oracle. The
-    // tree comparison also pins the batched, segmented interval sweep:
-    // every arc the oracle's per-sample scalar sweep keeps (and its exact
-    // interval bounds) must come out bit-identical from the compiled-
-    // utility grid evaluation, in both expansion modes.
+    // expansions — the checkpoint-restore and decision-replay paths are
+    // exercised hard, and the preserved rerun path must agree with both
+    // and with the oracle. The tree comparison also pins the batched,
+    // segmented interval sweep: every arc the oracle's per-sample scalar
+    // sweep keeps (and its exact interval bounds) must come out
+    // bit-identical from the compiled-utility grid evaluation, in every
+    // expansion mode.
     let corpus = schedulable_corpus(20);
     let mut session = Engine::new().session();
+    let mut replayed_total = 0usize;
     for (seed, app) in corpus.iter().take(10) {
         for budget in [16usize, 24, 40] {
             let incremental = session
@@ -265,10 +230,21 @@ fn deep_trees_match_reference_in_both_expansion_modes() {
                     &SynthesisRequest::ftqs(budget).with_expansion_mode(ExpansionMode::Rerun),
                 )
                 .expect("corpus is schedulable");
+            let replay = session
+                .synthesize(
+                    app,
+                    &SynthesisRequest::ftqs(budget).with_expansion_mode(ExpansionMode::Replay),
+                )
+                .expect("corpus is schedulable");
             assert_trees_equal(
                 &incremental.tree,
                 &rerun.tree,
                 &format!("seed {seed} budget {budget} (incremental vs rerun)"),
+            );
+            assert_trees_equal(
+                &incremental.tree,
+                &replay.tree,
+                &format!("seed {seed} budget {budget} (incremental vs replay)"),
             );
             let slow = ftqs_reference(app, &FtqsConfig::with_budget(budget))
                 .expect("corpus is schedulable");
@@ -279,7 +255,8 @@ fn deep_trees_match_reference_in_both_expansion_modes() {
             );
             // Checkpoint accounting: incremental snapshots once per
             // expanded parent and restores per pivot; the rerun report
-            // carries no checkpoint activity.
+            // carries no checkpoint activity; only replay reports
+            // replayed/searched step counts.
             if incremental.tree.len() > 1 {
                 let stats = incremental.stats.expansion;
                 assert!(stats.snapshots >= 1, "seed {seed} budget {budget}");
@@ -292,11 +269,21 @@ fn deep_trees_match_reference_in_both_expansion_modes() {
                     "seed {seed}: incremental replays one step per restore"
                 );
             }
+            assert_eq!(
+                incremental.stats.expansion.steps_replayed, 0,
+                "seed {seed}: replay counters stay zero outside Replay mode"
+            );
             assert_eq!(rerun.stats.expansion.snapshots, 0, "seed {seed}");
             assert_eq!(rerun.stats.expansion.restores, 0, "seed {seed}");
             assert_eq!(rerun.stats.expansion.prefix_steps_saved, 0, "seed {seed}");
+            assert_eq!(rerun.stats.expansion.steps_replayed, 0, "seed {seed}");
+            replayed_total += replay.stats.expansion.steps_replayed;
         }
     }
+    assert!(
+        replayed_total > 0,
+        "the corpus must exercise actual decision replay"
+    );
 }
 
 #[test]

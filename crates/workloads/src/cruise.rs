@@ -278,11 +278,18 @@ pub fn cruise_controller() -> Result<Application, ApplicationError> {
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // unit tests double as coverage of the wrappers
-
     use super::*;
-    use ftqs_core::ftss::ftss;
-    use ftqs_core::{FtssConfig, ScheduleContext};
+
+    /// One-shot FTSS through the engine (test convenience).
+    fn ftss_schedule(
+        app: &ftqs_core::Application,
+    ) -> Result<ftqs_core::FSchedule, ftqs_core::Error> {
+        Ok(ftqs_core::Engine::new()
+            .session()
+            .synthesize(app, &ftqs_core::SynthesisRequest::ftss())?
+            .root_schedule()
+            .clone())
+    }
 
     #[test]
     fn shape_matches_the_paper() {
@@ -306,8 +313,7 @@ mod tests {
     #[test]
     fn cruise_controller_is_ftss_schedulable() {
         let app = cruise_controller().unwrap();
-        let s = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default())
-            .expect("the CC must be schedulable");
+        let s = ftss_schedule(&app).expect("the CC must be schedulable");
         assert!(s.analyze(&app).is_schedulable());
         // All 9 hard processes are scheduled (never dropped).
         for h in app.hard_processes() {

@@ -142,11 +142,19 @@ pub fn merge(apps: &[Application]) -> Result<Application, ApplicationError> {
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // unit tests double as coverage of the wrappers
-
     use super::*;
-    use ftqs_core::ftss::ftss;
-    use ftqs_core::{ExecutionTimes, FtssConfig, ScheduleContext, UtilityFunction};
+    use ftqs_core::{ExecutionTimes, UtilityFunction};
+
+    /// One-shot FTSS through the engine (test convenience).
+    fn ftss_schedule(
+        app: &ftqs_core::Application,
+    ) -> Result<ftqs_core::FSchedule, ftqs_core::Error> {
+        Ok(ftqs_core::Engine::new()
+            .session()
+            .synthesize(app, &ftqs_core::SynthesisRequest::ftss())?
+            .root_schedule()
+            .clone())
+    }
 
     fn t(ms: u64) -> Time {
         Time::from_ms(ms)
@@ -236,8 +244,7 @@ mod tests {
     #[test]
     fn merged_application_is_schedulable() {
         let m = merge(&[fast_app(), slow_app()]).unwrap();
-        let s = ftss(&m, &ScheduleContext::root(&m), &FtssConfig::default())
-            .expect("merged app schedulable");
+        let s = ftss_schedule(&m).expect("merged app schedulable");
         assert!(s.analyze(&m).is_schedulable());
         // Every hard activation is scheduled.
         for h in m.hard_processes() {

@@ -356,9 +356,18 @@ edge P1 P3
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // unit tests double as coverage of the wrappers
-
     use super::*;
+
+    /// One-shot FTSS through the engine (test convenience).
+    fn ftss_schedule(
+        app: &ftqs_core::Application,
+    ) -> Result<ftqs_core::FSchedule, ftqs_core::Error> {
+        Ok(ftqs_core::Engine::new()
+            .session()
+            .synthesize(app, &ftqs_core::SynthesisRequest::ftss())?
+            .root_schedule()
+            .clone())
+    }
 
     #[test]
     fn fig1_spec_parses() {
@@ -469,10 +478,8 @@ mod tests {
 
     #[test]
     fn parsed_spec_is_schedulable_end_to_end() {
-        use ftqs_core::ftss::ftss;
-        use ftqs_core::{FtssConfig, ScheduleContext};
         let app = parse(FIG1_SPEC).unwrap();
-        let s = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).unwrap();
+        let s = ftss_schedule(&app).unwrap();
         assert!(s.analyze(&app).is_schedulable());
     }
 }

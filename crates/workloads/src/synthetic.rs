@@ -193,13 +193,20 @@ pub fn generate_schedulable<R: Rng>(
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // unit tests double as coverage of the wrappers
-
     use super::*;
-    use ftqs_core::ftss::ftss;
-    use ftqs_core::{FtssConfig, ScheduleContext};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    /// One-shot FTSS through the engine (test convenience).
+    fn ftss_schedule(
+        app: &ftqs_core::Application,
+    ) -> Result<ftqs_core::FSchedule, ftqs_core::Error> {
+        Ok(ftqs_core::Engine::new()
+            .session()
+            .synthesize(app, &ftqs_core::SynthesisRequest::ftss())?
+            .root_schedule()
+            .clone())
+    }
 
     #[test]
     fn generated_app_matches_parameters() {
@@ -243,7 +250,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(77 + seed);
             for _ in 0..total / 3 {
                 let app = generate(&params, &mut rng);
-                if ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).is_ok() {
+                if ftss_schedule(&app).is_ok() {
                     ok += 1;
                 }
             }
@@ -256,7 +263,7 @@ mod tests {
         let params = GeneratorParams::paper(10);
         let mut rng = StdRng::seed_from_u64(123);
         let app = generate_schedulable(&params, &mut rng, 50);
-        assert!(ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).is_ok());
+        assert!(ftss_schedule(&app).is_ok());
     }
 
     #[test]
@@ -292,7 +299,7 @@ mod tests {
         let ok = (0..10).any(|i| {
             let mut rng = StdRng::seed_from_u64(100 + i);
             let app = generate(&params, &mut rng);
-            ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).is_ok()
+            ftss_schedule(&app).is_ok()
         });
         assert!(ok);
     }

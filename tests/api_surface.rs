@@ -1,13 +1,12 @@
-//! Public-API surface smoke test: the deprecated free-function wrappers
-//! (`ftss`, `ftqs`, `ftsf`) must keep compiling against the new
-//! `Engine`/`Session` types and producing artifacts that interoperate
-//! with them — callers migrating incrementally may hold a mix of both.
-#![allow(deprecated)]
+//! Public-API surface smoke test: the [`Engine`]/[`Session`] front door is
+//! the *only* synthesis entry point (the pre-0.2 free-function wrappers
+//! `ftss`/`ftqs`/`ftsf` are gone), and the artifacts it produces feed
+//! every downstream consumer — the online scheduler, the C exporter, and
+//! serde round-trips.
 
 use ftqs::prelude::*;
-use ftqs_core::ftqs::{ftqs, FtqsConfig};
-use ftqs_core::ftsf::ftsf;
-use ftqs_core::ftss::ftss;
+use ftqs_core::ftqs::{ExpansionMode, ExpansionPolicy};
+use ftqs_core::UtilityEstimator;
 
 fn fig1() -> Application {
     let ms = Time::from_ms;
@@ -33,42 +32,95 @@ fn fig1() -> Application {
 }
 
 #[test]
-fn wrappers_compile_and_agree_with_the_engine() {
+fn engine_session_covers_every_policy() {
     let app = fig1();
     let mut session = Engine::new().session();
 
-    // ftss wrapper: same FSchedule type the engine reports.
-    let legacy = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).unwrap();
-    let report = session.synthesize(&app, &SynthesisRequest::ftss()).unwrap();
-    assert_eq!(&legacy, report.root_schedule());
+    let ftss = session.synthesize(&app, &SynthesisRequest::ftss()).unwrap();
+    assert_eq!(ftss.stats.schedules, 1);
+    assert!(ftss.root_schedule().analyze(&app).is_schedulable());
 
-    // ftqs wrapper: produces the same arena-backed QuasiStaticTree type.
-    let legacy_tree: QuasiStaticTree = ftqs(&app, &FtqsConfig::with_budget(4)).unwrap();
-    let engine_tree = session
+    let ftqs = session
         .synthesize(&app, &SynthesisRequest::ftqs(4))
-        .unwrap()
-        .into_tree();
-    assert_eq!(legacy_tree.len(), engine_tree.len());
-    for ((_, a), (_, b)) in legacy_tree.iter().zip(engine_tree.iter()) {
-        assert_eq!(
-            legacy_tree.schedule(a.schedule),
-            engine_tree.schedule(b.schedule)
-        );
-        assert_eq!(a.arcs, b.arcs);
-    }
+        .unwrap();
+    assert!(ftqs.stats.schedules >= 2);
 
-    // ftsf wrapper.
-    let legacy_base = ftsf(&app, &FtssConfig::default()).unwrap();
-    let base_report = session.synthesize(&app, &SynthesisRequest::ftsf()).unwrap();
-    assert_eq!(&legacy_base, base_report.root_schedule());
+    let ftsf = session.synthesize(&app, &SynthesisRequest::ftsf()).unwrap();
+    assert_eq!(ftsf.stats.schedules, 1);
+    assert_eq!(session.completed(), 3);
 }
 
 #[test]
-fn wrapper_artifacts_feed_the_new_consumers() {
+fn request_overrides_compose_on_one_builder() {
+    // Every per-request knob stays reachable through the builder chain —
+    // the compile-time shape of the public request surface.
     let app = fig1();
-    // A wrapper-built tree drives the online scheduler, the exporter, and
-    // serde exactly like an engine-built one.
-    let tree = ftqs(&app, &FtqsConfig::with_budget(4)).unwrap();
+    let mut session = Engine::new().session();
+    let request = SynthesisRequest::ftqs(6)
+        .with_expansion_policy(ExpansionPolicy::MostSimilar)
+        .with_expansion_mode(ExpansionMode::Replay)
+        .with_interval_samples(128)
+        .with_estimator(UtilityEstimator::AverageCase)
+        .with_validation(true)
+        .with_max_processes(16)
+        .with_max_parallelism(2);
+    let report = session.synthesize(&app, &request).unwrap();
+    assert!(report.stats.schedules >= 2);
+
+    // All three expansion modes produce identical trees through the same
+    // session.
+    let base = session
+        .synthesize(&app, &SynthesisRequest::ftqs(6))
+        .unwrap();
+    for mode in [
+        ExpansionMode::Incremental,
+        ExpansionMode::Rerun,
+        ExpansionMode::Replay,
+    ] {
+        let alt = session
+            .synthesize(&app, &SynthesisRequest::ftqs(6).with_expansion_mode(mode))
+            .unwrap();
+        assert_eq!(alt.tree.len(), base.tree.len(), "{mode:?}");
+        for ((_, a), (_, b)) in alt.tree.iter().zip(base.tree.iter()) {
+            assert_eq!(
+                alt.tree.schedule(a.schedule),
+                base.tree.schedule(b.schedule)
+            );
+            assert_eq!(a.arcs, b.arcs);
+        }
+    }
+}
+
+#[test]
+fn engine_errors_are_typed() {
+    let ms = Time::from_ms;
+    let mut b = Application::builder(ms(100), FaultModel::new(3, ms(10)));
+    b.add_hard(
+        "H",
+        ExecutionTimes::uniform(ms(50), ms(90)).unwrap(),
+        ms(95),
+    );
+    let app = b.build().unwrap();
+    let err = Engine::new()
+        .session()
+        .synthesize(&app, &SynthesisRequest::ftss())
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        Error::Scheduling(SchedulingError::Unschedulable { .. })
+    ));
+}
+
+#[test]
+fn engine_artifacts_feed_the_downstream_consumers() {
+    let app = fig1();
+    // An engine-built tree drives the online scheduler, the exporter, and
+    // serde.
+    let tree = Engine::new()
+        .session()
+        .synthesize(&app, &SynthesisRequest::ftqs(4))
+        .unwrap()
+        .into_tree();
     let out = OnlineScheduler::new(&app, &tree).run(&ExecutionScenario::average_case(&app));
     assert!(out.deadline_miss.is_none());
 
@@ -78,33 +130,16 @@ fn wrapper_artifacts_feed_the_new_consumers() {
     let json = serde_json::to_string(&tree).unwrap();
     let back: QuasiStaticTree = serde_json::from_str(&json).unwrap();
     assert_eq!(back.len(), tree.len());
+    for ((_, a), (_, b)) in back.iter().zip(tree.iter()) {
+        assert_eq!(back.schedule(a.schedule), tree.schedule(b.schedule));
+        assert_eq!(a.arcs, b.arcs);
+    }
 
-    // And a wrapper-built schedule wraps into the arena-backed single tree.
-    let schedule = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).unwrap();
-    let single = QuasiStaticTree::single(schedule);
-    assert_eq!(single.arena().allocations(), 1);
-}
-
-#[test]
-fn wrapper_errors_are_the_engine_error_source() {
-    // The wrappers return SchedulingError; the engine wraps the identical
-    // value in ftqs_core::Error::Scheduling.
-    let ms = Time::from_ms;
-    let mut b = Application::builder(ms(100), FaultModel::new(3, ms(10)));
-    b.add_hard(
-        "H",
-        ExecutionTimes::uniform(ms(50), ms(90)).unwrap(),
-        ms(95),
-    );
-    let app = b.build().unwrap();
-
-    let legacy = ftss(&app, &ScheduleContext::root(&app), &FtssConfig::default()).unwrap_err();
-    let engine = Engine::new()
+    // A single-schedule report wraps into the arena-backed single tree.
+    let single = Engine::new()
         .session()
         .synthesize(&app, &SynthesisRequest::ftss())
-        .unwrap_err();
-    match engine {
-        Error::Scheduling(e) => assert_eq!(e, legacy),
-        other => panic!("expected Error::Scheduling, got {other:?}"),
-    }
+        .unwrap()
+        .into_tree();
+    assert_eq!(single.arena().allocations(), 1);
 }
