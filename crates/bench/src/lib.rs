@@ -40,7 +40,7 @@
 #![warn(missing_docs)]
 
 use ftqs_core::{Application, Engine, Error, QuasiStaticTree, SynthesisRequest};
-use ftqs_sim::MonteCarlo;
+use ftqs_sim::{Evaluation, FaultModel, MonteCarlo};
 
 /// The three schedulers of the paper's evaluation, synthesized for one
 /// application. All are executed through the same online runtime — FTSS
@@ -130,6 +130,37 @@ pub fn no_fault_utility(app: &Application, tree: &QuasiStaticTree, mc: &MonteCar
     let eval = mc.evaluate(app, tree, 0);
     assert_eq!(eval.deadline_misses, 0, "hard deadline missed");
     eval.utility.mean()
+}
+
+/// Evaluates `tree` across a fault-intensity grid under one fault model —
+/// the robustness analogue of [`fault_sweep`], allowing intensities beyond
+/// the design budget and tolerating (counting) deadline misses.
+///
+/// For duration-bounded models (everything except `wcet-stress`), the
+/// in-model cells (`intensity <= k`) are asserted miss-free — the paper's
+/// guarantee must hold wherever its assumptions do.
+#[must_use]
+pub fn degradation_sweep(
+    app: &Application,
+    tree: &QuasiStaticTree,
+    mc: &MonteCarlo,
+    model: FaultModel,
+    intensities: &[usize],
+) -> Vec<Evaluation> {
+    let k = app.faults().k;
+    let duration_bounded = !matches!(model, FaultModel::WcetStress { .. });
+    let evals = mc.evaluate_intensity_sweep(app, tree, model, intensities);
+    for (&intensity, eval) in intensities.iter().zip(&evals) {
+        if duration_bounded && intensity <= k {
+            assert_eq!(
+                eval.deadline_misses,
+                0,
+                "hard deadline missed in-model ({} model, {intensity} faults) — scheduler bug",
+                model.name()
+            );
+        }
+    }
+    evals
 }
 
 /// Percentage of `value` relative to `reference` (100 = equal); 100 when
@@ -231,6 +262,36 @@ mod tests {
         };
         let sweep = fault_sweep(&app, &set.ftqs, &mc);
         assert!(sweep.by_faults[0] + 1e-9 >= sweep.by_faults[3]);
+    }
+
+    #[test]
+    fn degradation_sweep_covers_out_of_model_cells() {
+        let params = GeneratorParams::paper(10);
+        let mut rng = StdRng::seed_from_u64(9);
+        let app = synthetic::generate_schedulable(&params, &mut rng, 20);
+        let set = SchedulerSet::build(&app, 4).unwrap();
+        let mc = MonteCarlo {
+            scenarios: 100,
+            seed: 13,
+            threads: 1,
+        };
+        let k = app.faults().k;
+        let intensities = ftqs_workloads::presets::robustness_intensities(k);
+        let evals = degradation_sweep(&app, &set.ftqs, &mc, FaultModel::Independent, &intensities);
+        assert_eq!(evals.len(), 2 * k + 1);
+        // In-model cells miss-free (asserted inside); utility should not
+        // improve as intensity grows past the design point.
+        assert!(evals[0].utility.mean() + 1e-9 >= evals[2 * k].utility.mean());
+    }
+
+    #[test]
+    fn every_preset_model_resolves_for_the_robustness_grid() {
+        for name in ftqs_workloads::presets::ROBUSTNESS_MODELS {
+            assert!(
+                FaultModel::preset(name).is_some(),
+                "preset {name} missing from ftqs_sim::FaultModel"
+            );
+        }
     }
 
     #[test]

@@ -7,17 +7,27 @@
 //!
 //! Every command implementation returns its output as `String` so the
 //! binary stays a thin argv dispatcher ([`run`] is the dispatcher itself,
-//! unit-testable without a process). `info`, `schedule`, `tree`, and
-//! `compare` accept `--format json` and then emit machine-readable
-//! reports: `schedule`/`tree` serialize the engine's
+//! unit-testable without a process). `info`, `schedule`, `tree`,
+//! `compare`, and `robustness` accept `--format json` and then emit
+//! machine-readable reports: `schedule`/`tree` serialize the engine's
 //! [`ftqs_core::SynthesisReport`] verbatim (stable field order via serde
-//! declaration order), `info` and `compare` serialize the CLI-level
-//! [`InfoReport`]/[`CompareReport`] structs.
+//! declaration order), the others serialize the CLI-level
+//! [`InfoReport`]/[`CompareReport`]/[`RobustnessReport`] structs.
+//!
+//! `simulate` and `robustness` expose the sim crate's fault-injection
+//! subsystem: `--model` selects a [`ftqs_sim::FaultModel`] preset and
+//! `--faults` (or the swept intensity grid) may exceed the design budget
+//! `k`, in which case cycles run to completion and the reports carry
+//! degradation statistics ([`ftqs_sim::DegradationVerdict`] aggregation)
+//! instead of treating a hard miss as a scheduler bug.
 
 #![warn(missing_docs)]
 
 use ftqs_core::{Application, Engine, QuasiStaticTree, SynthesisRequest, Time};
-use ftqs_sim::{ExecutionScenario, GreedyOnlineScheduler, OnlineScheduler, ScenarioSampler};
+use ftqs_sim::{
+    DegradationVerdict, ExecutionScenario, FaultModel, GreedyOnlineScheduler, MonteCarlo,
+    OnlineScheduler, ScenarioSampler, FAULT_MODEL_NAMES,
+};
 use ftqs_workloads::spec;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -53,16 +63,19 @@ pub enum TreeFormat {
 
 /// Usage banner shared by the binary and error paths.
 pub const USAGE: &str =
-    "usage: ftqs <info|schedule|tree|graph|simulate|compare|trace|export> <spec> [options]
+    "usage: ftqs <info|schedule|tree|graph|simulate|compare|robustness|trace|export> <spec> [options]
   <spec>: a spec file path, '-' for stdin, or '--example' for the paper's Fig. 1
 
-  info     --format text|json
-  schedule --format text|json
-  tree     --budget N (default 8), --dot | --json | --format json
-  simulate --cycles N (1000), --faults F (0), --seed S (1), --budget N (8), --trace
-  compare  --scenarios N (500), --budget N (8), --seed S (1), --format text|json
-  trace    --budget N (8)
-  export   --budget N (8), --prefix SYM (ftqs; must be a C identifier)";
+  info       --format text|json
+  schedule   --format text|json
+  tree       --budget N (default 8), --dot | --json | --format json
+  simulate   --cycles N (1000), --faults F (0; may exceed k), --seed S (1),
+             --budget N (8), --model independent|bursty|intermittent|wcet-stress, --trace
+  compare    --scenarios N (500), --budget N (8), --seed S (1), --format text|json
+  robustness --scenarios N (500), --budget N (8), --seed S (1),
+             --model NAME (default: all models), --format text|json
+  trace      --budget N (8)
+  export     --budget N (8), --prefix SYM (ftqs; must be a C identifier)";
 
 /// The engine configuration every command synthesizes with: defaults plus
 /// structural validation (CLI artifacts leave the process, so they are
@@ -278,41 +291,76 @@ pub fn graph(source: &str) -> Result<String, CliError> {
     Ok(ftqs_graph::dot::to_dot(app.graph(), "application"))
 }
 
-/// `ftqs simulate <spec> [--cycles N] [--faults F] [--seed S] [--budget N]
-/// [--trace]` — run Monte Carlo cycles against the quasi-static tree.
+/// Resolves a `--model` argument to a [`FaultModel`] preset.
 ///
 /// # Errors
 ///
-/// Load/parse/synthesis errors.
+/// An unknown name — the error lists the valid presets.
+pub fn parse_model(name: &str) -> Result<FaultModel, CliError> {
+    FaultModel::preset(name).ok_or_else(|| {
+        format!(
+            "unknown fault model '{name}' (expected one of: {})",
+            FAULT_MODEL_NAMES.join(", ")
+        )
+        .into()
+    })
+}
+
+/// `ftqs simulate <spec> [--cycles N] [--faults F] [--seed S] [--budget N]
+/// [--model NAME] [--trace]` — run Monte Carlo cycles against the
+/// quasi-static tree.
+///
+/// `--faults` may exceed the design budget `k` and `--model` selects a
+/// fault process beyond the paper's independent-uniform one; such
+/// out-of-contract cycles run to completion and the summary reports how
+/// often the runtime degraded or missed a hard deadline. Only when the
+/// contract holds (independent model, `faults <= k`) is a hard-deadline
+/// miss a hard error, because then it can only be a scheduler bug.
+///
+/// # Errors
+///
+/// Load/parse/synthesis errors; an unknown `--model`; an in-contract
+/// deadline miss.
 pub fn simulate(
     source: &str,
     cycles: usize,
     faults: usize,
     seed: u64,
     budget: usize,
+    model_name: &str,
     show_trace: bool,
 ) -> Result<String, CliError> {
     let app = load(source)?;
-    let faults = faults.min(app.faults().k);
+    let model = parse_model(model_name)?;
+    let k = app.faults().k;
+    let in_contract = model == FaultModel::Independent && faults <= k;
     let mut session = engine().session();
     let tree = session
         .synthesize(&app, &SynthesisRequest::ftqs(budget))?
         .into_tree();
     let runner = OnlineScheduler::new(&app, &tree);
-    let sampler = ScenarioSampler::new(&app);
+    let sampler = ScenarioSampler::with_model(&app, model);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut utility = ftqs_sim::stats::Accumulator::new();
     let mut switches = 0usize;
+    let mut misses = 0usize;
+    let mut degraded = 0usize;
     let mut first_trace: Option<String> = None;
     for _ in 0..cycles {
         let sc = sampler.sample(&mut rng, faults);
         let out = runner.run(&sc);
-        if out.deadline_miss.is_some() {
-            return Err(format!(
-                "hard deadline missed — scheduler bug or invalid schedule ({:?})",
-                out.deadline_miss
-            )
-            .into());
+        match out.verdict {
+            DegradationVerdict::HardMiss { .. } if in_contract => {
+                return Err(format!(
+                    "hard deadline missed in-contract — scheduler bug or invalid \
+                     schedule ({:?})",
+                    out.deadline_miss
+                )
+                .into());
+            }
+            DegradationVerdict::HardMiss { .. } => misses += 1,
+            DegradationVerdict::Degraded { .. } => degraded += 1,
+            DegradationVerdict::InModel => {}
         }
         utility.add(out.utility);
         switches += out.trace.switch_count();
@@ -323,9 +371,18 @@ pub fn simulate(
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{cycles} cycles with {faults} fault(s): utility {utility}, {:.2} switches/cycle",
+        "{cycles} cycles with {faults} fault(s) ({} model): utility {utility}, \
+         {:.2} switches/cycle",
+        model.name(),
         switches as f64 / cycles.max(1) as f64
     );
+    if !in_contract {
+        let _ = writeln!(
+            out,
+            "out of contract (k = {k}): {degraded} degraded cycle(s), \
+             {misses} hard-deadline miss(es)"
+        );
+    }
     if let Some(t) = first_trace {
         let _ = writeln!(out, "\nfirst cycle trace:\n{t}");
     }
@@ -445,6 +502,177 @@ pub fn compare(
     }
 }
 
+/// One cell of a [`RobustnessReport`]: one (model, intensity, policy)
+/// combination.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessCell {
+    /// Fault-model preset name.
+    pub model: String,
+    /// Planned faults per cycle (may exceed the design budget `k`).
+    pub intensity: usize,
+    /// Scheduling policy (`ftqs`, `ftss`, or `ftsf`).
+    pub policy: String,
+    /// Mean total utility.
+    pub utility_mean: f64,
+    /// Fraction of scenarios that missed a hard deadline.
+    pub miss_rate: f64,
+    /// Fraction of scenarios that degraded without a hard miss.
+    pub degraded_rate: f64,
+    /// Mean materialized faults per cycle.
+    pub faults_mean: f64,
+    /// Mean WCET overruns per cycle.
+    pub overruns_mean: f64,
+}
+
+/// Machine-readable result of `ftqs robustness`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessReport {
+    /// Scenarios evaluated per cell.
+    pub scenarios: usize,
+    /// FTQS schedule budget.
+    pub budget: usize,
+    /// Scenario-stream seed.
+    pub seed: u64,
+    /// The application's design fault budget.
+    pub k: usize,
+    /// Fault intensities swept (`0..=2k`).
+    pub intensities: Vec<usize>,
+    /// Fault-model presets swept.
+    pub models: Vec<String>,
+    /// One cell per model × intensity × policy, in that nesting order.
+    pub cells: Vec<RobustnessCell>,
+}
+
+/// `ftqs robustness <spec> [--scenarios N] [--budget N] [--seed S]
+/// [--model NAME] [--format text|json]` — degradation sweep past the
+/// design point: evaluates FTQS / FTSS / FTSF at fault intensities
+/// `0..=2k` under each fault-model preset (or just `--model`), reporting
+/// mean utility, hard-miss rate, and degradation rate per cell.
+///
+/// # Errors
+///
+/// Load/parse/synthesis errors; an unknown `--model`.
+pub fn robustness(
+    source: &str,
+    scenarios: usize,
+    budget: usize,
+    seed: u64,
+    model_filter: Option<&str>,
+    format: OutputFormat,
+) -> Result<String, CliError> {
+    let app = load(source)?;
+    let k = app.faults().k;
+    let models: Vec<FaultModel> = match model_filter {
+        Some(name) => vec![parse_model(name)?],
+        None => FAULT_MODEL_NAMES
+            .iter()
+            .map(|n| parse_model(n))
+            .collect::<Result<_, _>>()?,
+    };
+    let intensities: Vec<usize> = (0..=2 * k).collect();
+    let mut session = engine().session();
+    let tree = session
+        .synthesize(&app, &SynthesisRequest::ftqs(budget))?
+        .into_tree();
+    let single = session
+        .synthesize(&app, &SynthesisRequest::ftss())?
+        .into_tree();
+    let baseline = session
+        .synthesize(&app, &SynthesisRequest::ftsf())?
+        .into_tree();
+    let policies = [("ftqs", &tree), ("ftss", &single), ("ftsf", &baseline)];
+    let mc = MonteCarlo {
+        scenarios,
+        seed,
+        threads: std::thread::available_parallelism().map_or(1, usize::from),
+    };
+
+    let mut cells = Vec::with_capacity(models.len() * intensities.len() * policies.len());
+    for &model in &models {
+        // Evaluate policy-major so each tree's sweep shares its sampler
+        // state, then interleave into intensity-major report order.
+        let sweeps: Vec<Vec<ftqs_sim::Evaluation>> = policies
+            .iter()
+            .map(|(_, t)| mc.evaluate_intensity_sweep(&app, t, model, &intensities))
+            .collect();
+        for (fi, &intensity) in intensities.iter().enumerate() {
+            for (pi, (policy, _)) in policies.iter().enumerate() {
+                let e = &sweeps[pi][fi];
+                cells.push(RobustnessCell {
+                    model: model.name().to_string(),
+                    intensity,
+                    policy: (*policy).to_string(),
+                    utility_mean: e.utility.mean(),
+                    miss_rate: e.miss_rate(),
+                    degraded_rate: e.degraded_rate(),
+                    faults_mean: e.faults.mean(),
+                    overruns_mean: e.overruns.mean(),
+                });
+            }
+        }
+    }
+    let report = RobustnessReport {
+        scenarios,
+        budget,
+        seed,
+        k,
+        intensities,
+        models: models.iter().map(|m| m.name().to_string()).collect(),
+        cells,
+    };
+    match format {
+        OutputFormat::Json => Ok(to_json_pretty(&report)?),
+        OutputFormat::Text => {
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "design budget k = {k}; intensities 0..={} ({} in-model, {} beyond); \
+                 {scenarios} scenarios per cell",
+                2 * k,
+                k + 1,
+                k
+            );
+            for model in &report.models {
+                let _ = writeln!(out, "\nmodel {model}");
+                let _ = writeln!(
+                    out,
+                    "{:>7} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                    "faults", "FTQS", "FTSS", "FTSF", "miss", "degraded"
+                );
+                for &f in &report.intensities {
+                    let row: Vec<&RobustnessCell> = report
+                        .cells
+                        .iter()
+                        .filter(|c| c.model == *model && c.intensity == f)
+                        .collect();
+                    let by = |policy: &str| {
+                        row.iter()
+                            .find(|c| c.policy == policy)
+                            .map_or(0.0, |c| c.utility_mean)
+                    };
+                    // Rates of the FTQS cell — the paper's primary policy.
+                    let ftqs = row.iter().find(|c| c.policy == "ftqs");
+                    let _ = writeln!(
+                        out,
+                        "{:>7} {:>10.2} {:>10.2} {:>10.2} {:>10.4} {:>10.4}",
+                        f,
+                        by("ftqs"),
+                        by("ftss"),
+                        by("ftsf"),
+                        ftqs.map_or(0.0, |c| c.miss_rate),
+                        ftqs.map_or(0.0, |c| c.degraded_rate),
+                    );
+                }
+            }
+            let _ = writeln!(
+                out,
+                "\n(miss/degraded rates are the FTQS policy's; --format json has all cells)"
+            );
+            Ok(out)
+        }
+    }
+}
+
 /// `ftqs export <spec> [--budget N] [--prefix SYM]` — emit the
 /// quasi-static tree as a C header for an embedded runtime. The prefix is
 /// interpolated into C identifiers, so it must be one.
@@ -532,6 +760,18 @@ fn parse_value(args: &[String], name: &str, default: u64) -> Result<u64, CliErro
         .map_err(|_| format!("invalid value for {name}: '{raw}' is not a number").into())
 }
 
+/// Parses the value following a string-valued flag `name`; absent flag →
+/// `None`, flag without a value → a hard error naming the flag.
+fn parse_str(args: &[String], name: &str) -> Result<Option<String>, CliError> {
+    let Some(i) = args.iter().position(|a| a == name) else {
+        return Ok(None);
+    };
+    args.get(i + 1)
+        .cloned()
+        .map(Some)
+        .ok_or_else(|| format!("missing value for {name}").into())
+}
+
 /// Parses `--format text|json`; absent → `Text`, anything else → error.
 fn parse_format(args: &[String]) -> Result<OutputFormat, CliError> {
     let Some(i) = args.iter().position(|a| a == "--format") else {
@@ -581,6 +821,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             value("--faults", 0)? as usize,
             value("--seed", 1)?,
             value("--budget", 8)? as usize,
+            parse_str(args, "--model")?
+                .as_deref()
+                .unwrap_or("independent"),
             flag("--trace"),
         ),
         "compare" => compare(
@@ -588,6 +831,14 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             value("--scenarios", 500)? as usize,
             value("--budget", 8)? as usize,
             value("--seed", 1)?,
+            parse_format(args)?,
+        ),
+        "robustness" => robustness(
+            spec,
+            value("--scenarios", 500)? as usize,
+            value("--budget", 8)? as usize,
+            value("--seed", 1)?,
+            parse_str(args, "--model")?.as_deref(),
             parse_format(args)?,
         ),
         "trace" => trace_average(spec, value("--budget", 8)? as usize),
@@ -669,9 +920,32 @@ mod tests {
 
     #[test]
     fn simulate_accumulates_cycles() {
-        let s = simulate("--example", 50, 1, 7, 4, true).unwrap();
+        let s = simulate("--example", 50, 1, 7, 4, "independent", true).unwrap();
         assert!(s.contains("50 cycles"));
+        assert!(s.contains("independent model"));
         assert!(s.contains("trace"));
+        // In contract: no degradation summary line.
+        assert!(!s.contains("out of contract"));
+    }
+
+    #[test]
+    fn simulate_runs_out_of_contract_without_erroring() {
+        // Fig. 1 has k = 1; planning 4 faults under the intermittent model
+        // is far out of contract — the command must complete and report
+        // degradation statistics instead of failing.
+        let s = simulate("--example", 40, 4, 7, 4, "intermittent", false).unwrap();
+        assert!(s.contains("4 fault(s) (intermittent model)"));
+        assert!(s.contains("out of contract (k = 1)"));
+        assert!(s.contains("degraded cycle(s)"));
+    }
+
+    #[test]
+    fn simulate_rejects_unknown_model() {
+        let err = simulate("--example", 10, 0, 1, 4, "cosmic-rays", false)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("cosmic-rays"), "{err}");
+        assert!(err.contains("independent"), "must list presets: {err}");
     }
 
     #[test]
@@ -695,6 +969,53 @@ mod tests {
         assert_eq!(report.rows.len(), 2);
         assert_eq!(report.scenarios, 50);
         assert!(report.rows[0].ftqs >= report.rows[0].ftss - 1e-9);
+    }
+
+    #[test]
+    fn robustness_sweeps_all_models_and_crosses_the_budget() {
+        let s = robustness("--example", 30, 4, 3, None, OutputFormat::Text).unwrap();
+        assert!(s.contains("design budget k = 1"));
+        for model in FAULT_MODEL_NAMES {
+            assert!(s.contains(&format!("model {model}")), "missing {model}");
+        }
+        // Intensities 0..=2k with k = 1 → rows for f = 0, 1, 2 per model.
+        assert!(s.contains("FTQS") && s.contains("FTSF"));
+    }
+
+    #[test]
+    fn robustness_json_round_trips() {
+        let s = robustness("--example", 30, 4, 3, None, OutputFormat::Json).unwrap();
+        let report: RobustnessReport = serde_json::from_str(&s).unwrap();
+        assert_eq!(report.k, 1);
+        assert_eq!(report.intensities, vec![0, 1, 2]);
+        assert_eq!(report.models.len(), FAULT_MODEL_NAMES.len());
+        // models × intensities × policies.
+        assert_eq!(report.cells.len(), 4 * 3 * 3);
+        // In-model cells of duration-bounded models never miss.
+        for c in report
+            .cells
+            .iter()
+            .filter(|c| c.model != "wcet-stress" && c.intensity <= report.k)
+        {
+            assert_eq!(
+                c.miss_rate, 0.0,
+                "in-model miss: {}/{}/{}",
+                c.model, c.intensity, c.policy
+            );
+        }
+    }
+
+    #[test]
+    fn robustness_model_filter_narrows_the_sweep() {
+        let s = robustness("--example", 20, 4, 3, Some("bursty"), OutputFormat::Json).unwrap();
+        let report: RobustnessReport = serde_json::from_str(&s).unwrap();
+        assert_eq!(report.models, vec!["bursty".to_string()]);
+        assert!(report.cells.iter().all(|c| c.model == "bursty"));
+
+        let err = robustness("--example", 20, 4, 3, Some("nope"), OutputFormat::Text)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("unknown fault model"), "{err}");
     }
 
     #[test]
@@ -735,8 +1056,36 @@ mod tests {
             assert!(run(&args(&[cmd, "--example"])).is_ok(), "{cmd} failed");
         }
         assert!(run(&args(&["simulate", "--example", "--cycles", "5"])).is_ok());
+        assert!(run(&args(&[
+            "simulate",
+            "--example",
+            "--cycles",
+            "5",
+            "--faults",
+            "3",
+            "--model",
+            "bursty"
+        ]))
+        .is_ok());
         assert!(run(&args(&["compare", "--example", "--scenarios", "5"])).is_ok());
+        assert!(run(&args(&[
+            "robustness",
+            "--example",
+            "--scenarios",
+            "5",
+            "--model",
+            "independent"
+        ]))
+        .is_ok());
         assert!(run(&args(&["export", "--example", "--prefix", "x"])).is_ok());
+    }
+
+    #[test]
+    fn model_flag_without_value_is_a_hard_error() {
+        let err = run(&args(&["simulate", "--example", "--model"]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("missing value for --model"), "{err}");
     }
 
     #[test]

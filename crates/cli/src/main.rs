@@ -1,8 +1,8 @@
 //! `ftqs` — CLI for fault-tolerant quasi-static scheduling.
 //!
 //! Every command loads a spec and drives the `ftqs_core::Engine` /
-//! `Session` synthesis API; `info`, `schedule`, `tree`, and `compare`
-//! also emit machine-readable reports with `--format json`:
+//! `Session` synthesis API; `info`, `schedule`, `tree`, `compare`, and
+//! `robustness` also emit machine-readable reports with `--format json`:
 //!
 //! ```text
 //! ftqs info <spec> [--format json]          summary + schedulability (InfoReport)
@@ -10,9 +10,12 @@
 //! ftqs tree <spec> [--budget N] [--dot|--json|--format json]
 //!                                           FTQS tree (SynthesisReport)
 //! ftqs graph <spec>                         task graph as Graphviz DOT
-//! ftqs simulate <spec> [--cycles N] [--faults F] [--seed S] [--budget N] [--trace]
+//! ftqs simulate <spec> [--cycles N] [--faults F] [--seed S] [--budget N]
+//!                      [--model NAME] [--trace]
 //! ftqs compare <spec> [--scenarios N] [--budget N] [--seed S] [--format json]
 //!                                           FTQS/FTSS/FTSF/greedy (CompareReport)
+//! ftqs robustness <spec> [--scenarios N] [--budget N] [--seed S] [--model NAME]
+//!                        [--format json]   degradation sweep 0..=2k (RobustnessReport)
 //! ftqs trace <spec> [--budget N]            trace one average-case cycle
 //! ftqs export <spec> [--budget N] [--prefix SYM]
 //!                                           C header (prefix must be a C identifier)

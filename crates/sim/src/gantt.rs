@@ -43,7 +43,8 @@ pub fn render(app: &Application, trace: &Trace, width: usize) -> String {
             | TraceEvent::Completed { at, .. }
             | TraceEvent::Fault { at, .. }
             | TraceEvent::Dropped { at, .. }
-            | TraceEvent::Switched { at, .. } => *at,
+            | TraceEvent::Switched { at, .. }
+            | TraceEvent::DeadlineMiss { at, .. } => *at,
         })
         .max()
         .unwrap_or(Time::ZERO)
@@ -89,6 +90,9 @@ pub fn render(app: &Application, trace: &Trace, width: usize) -> String {
                 process, reason, ..
             } => {
                 rows[process.index()].note = Some(format!("(dropped: {reason})"));
+            }
+            TraceEvent::DeadlineMiss { process, .. } => {
+                rows[process.index()].note = Some("(MISSED DEADLINE)".to_string());
             }
             TraceEvent::Switched { .. } => {}
         }

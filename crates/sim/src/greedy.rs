@@ -17,6 +17,14 @@
 //! hitting the worst penalties, every remaining hard process still meets
 //! its deadline; soft candidates are only started when the hard suffix
 //! stays feasible.
+//!
+//! On the `expect()`s below: `Application` can only be constructed through
+//! its builder, whose `Criticality` enum makes "soft ⇔ has a utility
+//! function" and "hard ⇔ has a deadline" type-level invariants. The
+//! `expect()`s in this module assert those invariants on values filtered
+//! by `is_hard`; no input reachable from the public API can trip them
+//! (malformed-application errors are surfaced as `Error::Validation` at
+//! build time, not here).
 
 use crate::scenario::ExecutionScenario;
 use crate::trace::{DropReason, Trace, TraceEvent};
@@ -124,7 +132,8 @@ impl<'a> GreedyOnlineScheduler<'a> {
 
             // Hard-safety filter: starting `p` now must keep every
             // remaining hard process feasible under the remaining faults.
-            let budget = k - faults_seen;
+            // Saturating: out-of-model scenarios can exceed the budget.
+            let budget = k.saturating_sub(faults_seen);
             let mut safe: Vec<NodeId> = candidates
                 .iter()
                 .copied()
@@ -180,7 +189,7 @@ impl<'a> GreedyOnlineScheduler<'a> {
                     let density = u.value(now + times.aet()) / times.aet().as_ms().max(1) as f64;
                     (p, density)
                 })
-                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .max_by(|a, b| a.1.total_cmp(&b.1))
                 .map(|(p, _)| p)
                 .or_else(|| {
                     safe.iter()
@@ -202,8 +211,7 @@ impl<'a> GreedyOnlineScheduler<'a> {
                     at: now,
                 });
                 now += scenario.duration(p, attempt);
-                let faulty = faults_seen < k && scenario.is_faulty(p, attempt);
-                if !faulty {
+                if !scenario.is_faulty(p, attempt) {
                     break true;
                 }
                 faults_seen += 1;
@@ -222,7 +230,8 @@ impl<'a> GreedyOnlineScheduler<'a> {
                         .utility()
                         .expect("soft process has a utility");
                     let worthwhile = u.value(now + mu + app.process(p).times().aet()) > 0.0;
-                    worthwhile && self.hard_safe(&resolved, p, now + mu, k - faults_seen)
+                    worthwhile
+                        && self.hard_safe(&resolved, p, now + mu, k.saturating_sub(faults_seen))
                 };
                 if !retry {
                     break false;

@@ -8,12 +8,19 @@
 //! scenarios.
 //!
 //! * [`ExecutionScenario`] / [`ScenarioSampler`] — one concrete outcome of
-//!   the environment (per-attempt durations, fault plan).
+//!   the environment (per-attempt durations, fault plan), drawn from a
+//!   pluggable [`FaultModel`] (independent-uniform as in the paper, plus
+//!   bursty, intermittent and WCET-stress variants for robustness
+//!   studies — not to be confused with the *design-side*
+//!   `ftqs_core::FaultModel`, which is the `(k, µ)` contract).
 //! * [`OnlineScheduler`] — the runtime of the paper's §3: executes a
 //!   [`QuasiStaticTree`](ftqs_core::QuasiStaticTree), re-executing faulted
 //!   processes inside the shared recovery slack and switching schedules on
-//!   completion-time conditions.
-//! * [`MonteCarlo`] — the 20,000-scenario evaluation harness of §6.
+//!   completion-time conditions. Out-of-model scenarios (more than `k`
+//!   faults, WCET overruns) degrade gracefully and are labelled with a
+//!   [`DegradationVerdict`].
+//! * [`MonteCarlo`] — the 20,000-scenario evaluation harness of §6, with
+//!   per-intensity degradation aggregation for the robustness bench.
 //! * [`Trace`] — per-cycle event logs for inspection and debugging.
 //!
 //! ```
@@ -48,6 +55,6 @@ pub mod trace;
 
 pub use greedy::{GreedyOnlineScheduler, GreedyOutcome};
 pub use montecarlo::{Evaluation, MonteCarlo};
-pub use online::{OnlineScheduler, SimOutcome};
-pub use scenario::{ExecutionScenario, ScenarioSampler};
+pub use online::{DegradationVerdict, OnlineScheduler, SimOutcome};
+pub use scenario::{ExecutionScenario, FaultModel, ScenarioSampler, FAULT_MODEL_NAMES};
 pub use trace::{DropReason, Trace, TraceEvent};

@@ -12,9 +12,15 @@
 //! merged with Welford/Chan combination, so serial and parallel runs agree
 //! to floating-point merge order (means are exactly equal; see the
 //! `parallel_means_match_serial` test).
+//!
+//! Beyond the paper's harness, [`MonteCarlo::evaluate_with_model`] runs the
+//! same machinery under any [`FaultModel`] and any fault intensity —
+//! including out-of-model intensities beyond the design budget `k` — and
+//! [`Evaluation`] aggregates the resulting [`DegradationVerdict`]s into
+//! hard-miss and degradation rates alongside the utility curve.
 
-use crate::online::OnlineScheduler;
-use crate::scenario::ScenarioSampler;
+use crate::online::{DegradationVerdict, OnlineScheduler};
+use crate::scenario::{FaultModel, ScenarioSampler};
 use crate::stats::Accumulator;
 use ftqs_core::{Application, QuasiStaticTree};
 use rand::rngs::StdRng;
@@ -55,10 +61,49 @@ fn available_threads() -> usize {
 pub struct Evaluation {
     /// Utility statistics over all scenarios.
     pub utility: Accumulator,
-    /// Hard-deadline misses observed (must stay 0 for correct schedulers).
+    /// Hard-deadline misses observed (must stay 0 for correct schedulers
+    /// on in-model scenarios; out-of-model intensities can be non-zero).
     pub deadline_misses: u64,
+    /// Scenarios that ran out-of-contract without a hard miss
+    /// ([`DegradationVerdict::Degraded`]).
+    pub degraded: u64,
     /// Average number of materialized faults per scenario.
     pub faults: Accumulator,
+    /// WCET overruns per scenario (non-zero only under
+    /// `FaultModel::WcetStress` or hand-built scenarios).
+    pub overruns: Accumulator,
+}
+
+impl Evaluation {
+    /// Fraction of scenarios ending in a hard-deadline miss.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        let n = self.utility.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / n as f64
+        }
+    }
+
+    /// Fraction of scenarios that degraded without a hard miss.
+    #[must_use]
+    pub fn degraded_rate(&self) -> f64 {
+        let n = self.utility.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.degraded as f64 / n as f64
+        }
+    }
+
+    fn merge(&mut self, other: &Evaluation) {
+        self.utility.merge(&other.utility);
+        self.faults.merge(&other.faults);
+        self.overruns.merge(&other.overruns);
+        self.deadline_misses += other.deadline_misses;
+        self.degraded += other.degraded;
+    }
 }
 
 impl MonteCarlo {
@@ -69,9 +114,8 @@ impl MonteCarlo {
     /// of thread count or tree, so different schedulers evaluated with the
     /// same config face identical environments.
     ///
-    /// # Panics
-    ///
-    /// Panics if `fault_count` exceeds the application's fault budget.
+    /// `fault_count` may exceed the application's fault budget; see
+    /// [`MonteCarlo::evaluate_with_model`] for the out-of-model semantics.
     #[must_use]
     pub fn evaluate(
         &self,
@@ -79,9 +123,29 @@ impl MonteCarlo {
         tree: &QuasiStaticTree,
         fault_count: usize,
     ) -> Evaluation {
+        self.evaluate_with_model(app, tree, FaultModel::Independent, fault_count)
+    }
+
+    /// Evaluates `tree` under an explicit [`FaultModel`], planning exactly
+    /// `fault_count` faults per scenario.
+    ///
+    /// With [`FaultModel::Independent`] and `fault_count <= k` this is
+    /// bit-identical to [`MonteCarlo::evaluate`] (same scenarios, same
+    /// statistics). Intensities beyond `k` and the non-default models
+    /// produce out-of-model scenarios: runs never panic, and the
+    /// per-scenario `DegradationVerdict`s are pooled into
+    /// [`Evaluation::deadline_misses`] and [`Evaluation::degraded`].
+    #[must_use]
+    pub fn evaluate_with_model(
+        &self,
+        app: &Application,
+        tree: &QuasiStaticTree,
+        model: FaultModel,
+        fault_count: usize,
+    ) -> Evaluation {
         let threads = effective_threads(self.threads, self.scenarios);
         if threads <= 1 {
-            return evaluate_range(app, tree, fault_count, self.seed, 0, self.scenarios);
+            return evaluate_range(app, tree, model, fault_count, self.seed, 0, self.scenarios);
         }
         let chunk = self.scenarios.div_ceil(threads);
         let mut partials: Vec<Evaluation> = Vec::new();
@@ -94,9 +158,10 @@ impl MonteCarlo {
                     break;
                 }
                 let seed = self.seed;
-                handles.push(
-                    scope.spawn(move || evaluate_range(app, tree, fault_count, seed, lo, hi)),
-                );
+                handles
+                    .push(scope.spawn(move || {
+                        evaluate_range(app, tree, model, fault_count, seed, lo, hi)
+                    }));
             }
             for h in handles {
                 partials.push(h.join().expect("worker thread panicked"));
@@ -105,9 +170,7 @@ impl MonteCarlo {
 
         let mut total = Evaluation::default();
         for p in &partials {
-            total.utility.merge(&p.utility);
-            total.faults.merge(&p.faults);
-            total.deadline_misses += p.deadline_misses;
+            total.merge(p);
         }
         total
     }
@@ -126,6 +189,23 @@ impl MonteCarlo {
             .map(|&f| self.evaluate(app, tree, f))
             .collect()
     }
+
+    /// Sweeps fault intensity under one [`FaultModel`] — one
+    /// [`Evaluation`] per entry of `intensities`, which may extend past
+    /// the design budget (the robustness harness sweeps `0..=2k`).
+    #[must_use]
+    pub fn evaluate_intensity_sweep(
+        &self,
+        app: &Application,
+        tree: &QuasiStaticTree,
+        model: FaultModel,
+        intensities: &[usize],
+    ) -> Vec<Evaluation> {
+        intensities
+            .iter()
+            .map(|&f| self.evaluate_with_model(app, tree, model, f))
+            .collect()
+    }
 }
 
 /// Clamp the requested thread count to something useful; the `parallel`
@@ -142,13 +222,14 @@ fn effective_threads(requested: usize, scenarios: usize) -> usize {
 fn evaluate_range(
     app: &Application,
     tree: &QuasiStaticTree,
+    model: FaultModel,
     fault_count: usize,
     seed: u64,
     lo: usize,
     hi: usize,
 ) -> Evaluation {
     let runner = OnlineScheduler::new(app, tree);
-    let sampler = ScenarioSampler::new(app);
+    let sampler = ScenarioSampler::with_model(app, model);
     let mut eval = Evaluation::default();
     for i in lo..hi {
         let mut rng = StdRng::seed_from_u64(scenario_seed(seed, i as u64));
@@ -156,8 +237,11 @@ fn evaluate_range(
         let out = runner.run(&scenario);
         eval.utility.add(out.utility);
         eval.faults.add(out.faults_hit as f64);
-        if out.deadline_miss.is_some() {
-            eval.deadline_misses += 1;
+        eval.overruns.add(out.wcet_overruns as f64);
+        match out.verdict {
+            DegradationVerdict::HardMiss { .. } => eval.deadline_misses += 1,
+            DegradationVerdict::Degraded { .. } => eval.degraded += 1,
+            DegradationVerdict::InModel => {}
         }
     }
     eval
@@ -174,7 +258,9 @@ fn scenario_seed(base: u64, i: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ftqs_core::{Engine, ExecutionTimes, FaultModel, SynthesisRequest, Time, UtilityFunction};
+    use ftqs_core::{
+        Engine, ExecutionTimes, FaultModel as DesignFaults, SynthesisRequest, Time, UtilityFunction,
+    };
 
     fn synth_tree(app: &Application, budget: usize) -> QuasiStaticTree {
         Engine::new()
@@ -189,7 +275,7 @@ mod tests {
     }
 
     fn fig1_app() -> Application {
-        let mut b = Application::builder(t(300), FaultModel::new(1, t(10)));
+        let mut b = Application::builder(t(300), DesignFaults::new(1, t(10)));
         let p1 = b.add_hard("P1", ExecutionTimes::uniform(t(30), t(70)).unwrap(), t(180));
         let p2 = b.add_soft(
             "P2",
@@ -279,6 +365,89 @@ mod tests {
         );
         assert!(evals[1].faults.mean() > 0.0);
         assert_eq!(evals[0].deadline_misses + evals[1].deadline_misses, 0);
+    }
+
+    #[test]
+    fn independent_model_means_are_pinned_bit_identical() {
+        // Goldens captured from the pre-FaultModel sampler: the default
+        // model must reproduce fig9/table1-style means bit-for-bit.
+        let app = fig1_app();
+        let tree = synth_tree(&app, 4);
+        let mc = MonteCarlo {
+            scenarios: 200,
+            seed: 42,
+            threads: 1,
+        };
+        let f0 = mc.evaluate(&app, &tree, 0);
+        let f1 = mc.evaluate(&app, &tree, 1);
+        assert_eq!(f0.utility.mean().to_bits(), 0x404b933333333334);
+        assert_eq!(f1.utility.mean().to_bits(), 0x403c7fffffffffff);
+        // And the explicit-model path is the same machinery.
+        let via_model = mc.evaluate_with_model(&app, &tree, FaultModel::Independent, 1);
+        assert_eq!(via_model.utility.mean().to_bits(), 0x403c7fffffffffff);
+    }
+
+    #[test]
+    fn out_of_model_intensities_aggregate_verdicts() {
+        // k = 1; planning 2 or 3 faults is out-of-model. Runs must complete
+        // and every scenario lands in exactly one verdict bucket.
+        let app = fig1_app();
+        let tree = synth_tree(&app, 4);
+        let mc = MonteCarlo {
+            scenarios: 300,
+            seed: 11,
+            threads: 2,
+        };
+        for f in [2usize, 3] {
+            let e = mc.evaluate_with_model(&app, &tree, FaultModel::Independent, f);
+            assert_eq!(e.utility.count(), 300);
+            let in_model = 300 - e.deadline_misses - e.degraded;
+            assert!(
+                e.deadline_misses + e.degraded > 0,
+                "{f} planned faults never exceeded the budget of 1?"
+            );
+            // Planned faults can land on dropped processes, so some runs
+            // may still be in-model; the three buckets always partition.
+            assert!(in_model <= 300);
+        }
+    }
+
+    #[test]
+    fn wcet_stress_model_reports_overruns_and_degradation() {
+        let app = fig1_app();
+        let tree = synth_tree(&app, 4);
+        let mc = MonteCarlo {
+            scenarios: 200,
+            seed: 5,
+            threads: 1,
+        };
+        let model = FaultModel::WcetStress {
+            overrun_prob: 0.5,
+            overrun_factor: 1.5,
+        };
+        let e = mc.evaluate_with_model(&app, &tree, model, 0);
+        assert!(e.overruns.mean() > 0.0, "stressor produced no overruns");
+        assert!(
+            e.deadline_misses + e.degraded > 0,
+            "overruns must surface as degradation or misses"
+        );
+        assert!(e.miss_rate() + e.degraded_rate() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn intensity_sweep_covers_out_of_model_range() {
+        let app = fig1_app();
+        let tree = synth_tree(&app, 4);
+        let mc = MonteCarlo {
+            scenarios: 100,
+            seed: 23,
+            threads: 1,
+        };
+        let intensities = [0usize, 1, 2];
+        let evals = mc.evaluate_intensity_sweep(&app, &tree, FaultModel::Independent, &intensities);
+        assert_eq!(evals.len(), 3);
+        assert_eq!(evals[0].deadline_misses + evals[0].degraded, 0);
+        assert!(evals[0].utility.mean() >= evals[2].utility.mean());
     }
 
     #[test]

@@ -16,11 +16,78 @@
 //!   the current tree node's switch arcs and may move to a sub-schedule
 //!   ("the scheduler will switch to the best one depending on the
 //!   occurrence of faults and the actual execution times").
+//!
+//! # Degradation semantics
+//!
+//! The synthesized schedules are provably safe only *inside* the design
+//! contract: at most `k` faults, every duration within `[bcet, wcet]`.
+//! The runtime, however, must stay total when the environment breaks that
+//! contract (see the out-of-model scenarios in `crate::scenario`). Rather
+//! than panicking or silently mis-indexing, [`OnlineScheduler::run`]
+//! always completes the cycle and labels it with a
+//! [`DegradationVerdict`]:
+//!
+//! * **[`DegradationVerdict::InModel`]** — the materialized faults stayed
+//!   within `k` and no duration exceeded its WCET. All guarantees hold;
+//!   `deadline_miss` is `None` by the paper's construction. Note this is
+//!   judged on *materialized* behaviour: a scenario that *plans* more
+//!   than `k` faults but lands the excess on processes the scheduler
+//!   drops still executes in-model.
+//! * **[`DegradationVerdict::Degraded`]** — the contract was broken
+//!   (faults beyond the budget and/or WCET overruns) yet every hard
+//!   deadline still held; soft utility is whatever could be salvaged.
+//!   Past the budget the runtime keeps its policy: hard processes always
+//!   re-execute after a fault, soft processes re-execute while their
+//!   allowance and latest-start bound permit, with all internal budget
+//!   arithmetic saturating at zero.
+//! * **[`DegradationVerdict::HardMiss`]** — a hard process completed
+//!   after its deadline (the first such miss is reported, with a
+//!   [`TraceEvent::DeadlineMiss`] in the trace). The cycle is still run
+//!   to completion so utility/makespan describe the whole degraded
+//!   cycle.
+//!
+//! `crate::montecarlo` aggregates these verdicts into hard-miss rates and
+//! utility-degradation curves per fault intensity.
 
 use crate::scenario::ExecutionScenario;
 use crate::trace::{DropReason, Trace, TraceEvent};
 use ftqs_core::{Application, FSchedule, QuasiStaticTree, ScheduleAnalysis, Time, TreeNodeId};
 use ftqs_graph::NodeId;
+
+/// How gracefully one simulated cycle degraded relative to the design
+/// contract (`k` faults, WCET-bounded durations) — see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DegradationVerdict {
+    /// Materialized behaviour stayed within the design contract; all of
+    /// the paper's guarantees hold.
+    InModel,
+    /// The contract was broken but every hard deadline still held; soft
+    /// utility was salvaged on a best-effort basis.
+    Degraded {
+        /// Materialized faults beyond the design budget `k`.
+        faults_beyond_budget: usize,
+        /// Execution attempts whose duration exceeded the process WCET.
+        wcet_overruns: usize,
+    },
+    /// A hard process completed after its deadline (first miss reported;
+    /// the cycle still ran to completion).
+    HardMiss {
+        /// The hard process that missed.
+        process: NodeId,
+        /// Its deadline.
+        deadline: Time,
+        /// When it actually completed.
+        completed_at: Time,
+    },
+}
+
+impl DegradationVerdict {
+    /// Whether this cycle kept every hard deadline.
+    #[must_use]
+    pub fn hard_deadlines_held(&self) -> bool {
+        !matches!(self, DegradationVerdict::HardMiss { .. })
+    }
+}
 
 /// Result of simulating one operation cycle.
 #[derive(Debug, Clone)]
@@ -31,13 +98,19 @@ pub struct SimOutcome {
     /// never reached), indexed by node index.
     pub completions: Vec<Option<Time>>,
     /// A hard process that missed its deadline, if any — the scheduler
-    /// guarantees this stays `None`; the field exists so tests and property
-    /// checks can assert it.
+    /// guarantees this stays `None` for in-model scenarios; out-of-model
+    /// injection can populate it (see [`SimOutcome::verdict`]).
     pub deadline_miss: Option<NodeId>,
     /// Time at which the last process finished.
     pub makespan: Time,
     /// Faults that actually materialized (hit an executing process).
     pub faults_hit: usize,
+    /// Execution attempts whose duration exceeded the process WCET
+    /// (non-zero only under `FaultModel::WcetStress` or hand-built
+    /// scenarios).
+    pub wcet_overruns: usize,
+    /// How gracefully the cycle degraded relative to the design contract.
+    pub verdict: DegradationVerdict,
     /// Full event trace.
     pub trace: Trace,
 }
@@ -101,7 +174,8 @@ impl<'a> OnlineScheduler<'a> {
         let mut dropped: Vec<bool> = vec![false; app.len()];
         let mut alpha: Vec<f64> = vec![0.0; app.len()];
         let mut utility = 0.0;
-        let mut deadline_miss = None;
+        let mut deadline_miss: Option<(NodeId, Time, Time)> = None;
+        let mut wcet_overruns = 0usize;
 
         // Register the root schedule's static drops.
         for &d in self.tree.node_schedule(node).statically_dropped() {
@@ -122,7 +196,9 @@ impl<'a> OnlineScheduler<'a> {
             let entry = schedule.entries()[pos];
             let p = entry.process;
             let hard = app.is_hard(p);
-            let remaining = k - faults_seen;
+            // Saturate: out-of-model scenarios can push faults_seen past k,
+            // and the latest-start tables are only defined up to k.
+            let remaining = k.saturating_sub(faults_seen);
 
             // Runtime dropping decision for soft processes.
             if !hard {
@@ -147,9 +223,12 @@ impl<'a> OnlineScheduler<'a> {
                     attempt,
                     at: now,
                 });
-                now += scenario.duration(p, attempt);
-                let faulty = faults_seen < k && scenario.is_faulty(p, attempt);
-                if !faulty {
+                let d = scenario.duration(p, attempt);
+                if d > app.process(p).times().wcet() {
+                    wcet_overruns += 1;
+                }
+                now += d;
+                if !scenario.is_faulty(p, attempt) {
                     break Some(now);
                 }
                 faults_seen += 1;
@@ -160,10 +239,12 @@ impl<'a> OnlineScheduler<'a> {
                 });
                 let mu = app.recovery_overhead(p);
                 let may_recover = if hard {
-                    true // hard processes always re-execute (within k, which
-                         // the scenario respects by construction)
+                    true // hard processes always re-execute, even past the
+                         // budget — degradation shows up as a late (or
+                         // missed) deadline, never an abandoned hard process
                 } else {
-                    let lst = analysis.latest_start(app, &entry, pos, k - faults_seen);
+                    let lst =
+                        analysis.latest_start(app, &entry, pos, k.saturating_sub(faults_seen));
                     attempt < entry.reexecutions && now + mu <= lst
                 };
                 if !may_recover {
@@ -205,8 +286,15 @@ impl<'a> OnlineScheduler<'a> {
                         utility: credited,
                     });
                     if let Some(d) = app.process(p).criticality().deadline() {
-                        if at > d && deadline_miss.is_none() {
-                            deadline_miss = Some(p);
+                        if at > d {
+                            trace.push(TraceEvent::DeadlineMiss {
+                                process: p,
+                                at,
+                                deadline: d,
+                            });
+                            if deadline_miss.is_none() {
+                                deadline_miss = Some((p, d, at));
+                            }
                         }
                     }
                     // Consult switch arcs on the final completion.
@@ -245,12 +333,26 @@ impl<'a> OnlineScheduler<'a> {
             }
         }
 
+        let verdict = match deadline_miss {
+            Some((process, deadline, completed_at)) => DegradationVerdict::HardMiss {
+                process,
+                deadline,
+                completed_at,
+            },
+            None if faults_seen > k || wcet_overruns > 0 => DegradationVerdict::Degraded {
+                faults_beyond_budget: faults_seen.saturating_sub(k),
+                wcet_overruns,
+            },
+            None => DegradationVerdict::InModel,
+        };
         SimOutcome {
             utility,
             completions,
-            deadline_miss,
+            deadline_miss: deadline_miss.map(|(p, _, _)| p),
             makespan: now,
             faults_hit: faults_seen.min(trace.fault_count()),
+            wcet_overruns,
+            verdict,
             trace,
         }
     }
@@ -454,6 +556,91 @@ mod tests {
         assert!((out.utility - 9.0).abs() < 1e-9, "got {}", out.utility);
         assert_eq!(out.trace.fault_count(), 1);
         assert!(out.completions[mid.index()].is_none());
+    }
+
+    #[test]
+    fn in_model_cycles_report_in_model_verdict() {
+        let (app, _) = fig1_app();
+        let s = synth_ftss(&app);
+        let out = OnlineScheduler::run_static(&app, &s, &ExecutionScenario::average_case(&app));
+        assert_eq!(out.verdict, DegradationVerdict::InModel);
+        assert!(out.verdict.hard_deadlines_held());
+        assert_eq!(out.wcet_overruns, 0);
+    }
+
+    #[test]
+    fn wcet_overrun_within_deadline_reports_degraded() {
+        // P1 overruns its WCET of 70 but still meets its deadline of 180:
+        // the cycle is out-of-contract yet all hard deadlines held.
+        let (app, [p1, ..]) = fig1_app();
+        let s = synth_ftss(&app);
+        let sc = scenario_with(&app, &[(p1, [100, 100])], &[]);
+        let out = OnlineScheduler::run_static(&app, &s, &sc);
+        assert!(out.deadline_miss.is_none());
+        assert_eq!(out.wcet_overruns, 1);
+        assert_eq!(
+            out.verdict,
+            DegradationVerdict::Degraded {
+                faults_beyond_budget: 0,
+                wcet_overruns: 1
+            }
+        );
+    }
+
+    #[test]
+    fn hard_miss_verdict_carries_deadline_details() {
+        // P1 takes 200 > its 180 deadline: the run still completes and the
+        // verdict pinpoints the miss.
+        let (app, [p1, ..]) = fig1_app();
+        let s = synth_ftss(&app);
+        let sc = scenario_with(&app, &[(p1, [200, 200])], &[]);
+        let out = OnlineScheduler::run_static(&app, &s, &sc);
+        assert_eq!(out.deadline_miss, Some(p1));
+        assert!(!out.verdict.hard_deadlines_held());
+        assert_eq!(
+            out.verdict,
+            DegradationVerdict::HardMiss {
+                process: p1,
+                deadline: t(180),
+                completed_at: t(200),
+            }
+        );
+        assert!(out
+            .trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::DeadlineMiss { .. })));
+    }
+
+    #[test]
+    fn faults_beyond_budget_materialize_and_are_counted() {
+        // k = 1 but the scenario plans 2 faults on the hard process P1: both
+        // materialize (hard processes always re-execute) and the verdict
+        // reports one fault beyond budget — or a hard miss if the deadline
+        // fell. With WCET durations: 70 + 10 + 70 + 10 + 70 = 230 > 180, so
+        // this is a HardMiss; with BCET-ish durations it would be Degraded.
+        let (app, [p1, ..]) = fig1_app();
+        let s = synth_ftss(&app);
+        let mut durations: Vec<Vec<Time>> = app
+            .processes()
+            .map(|p| vec![app.process(p).times().wcet(); 3])
+            .collect();
+        durations[p1.index()] = vec![t(30); 3];
+        let mut faulty: Vec<Vec<bool>> = app.processes().map(|_| vec![false; 3]).collect();
+        faulty[p1.index()] = vec![true, true, false];
+        let sc = ExecutionScenario::from_tables(durations, faulty);
+        let out = OnlineScheduler::run_static(&app, &s, &sc);
+        // 30 + 10 + 30 + 10 + 30 = 110 <= 180: deadlines hold.
+        assert_eq!(out.completions[p1.index()], Some(t(110)));
+        assert_eq!(out.faults_hit, 2);
+        assert!(out.deadline_miss.is_none());
+        assert_eq!(
+            out.verdict,
+            DegradationVerdict::Degraded {
+                faults_beyond_budget: 1,
+                wcet_overruns: 0
+            }
+        );
     }
 
     #[test]

@@ -9,10 +9,142 @@
 //!
 //! The same scenario is replayed against every scheduler under comparison,
 //! so FTQS/FTSS/FTSF differences are never sampling noise.
+//!
+//! # Fault-model taxonomy
+//!
+//! The synthesis side assumes the paper's design contract: at most `k`
+//! transient faults per cycle, independently placed, with every duration
+//! inside `[bcet, wcet]` (`ftqs_core::FaultModel` carries that contract's
+//! parameters `k` and µ). This module's [`FaultModel`] is the *environment*
+//! side: the stochastic process that actually generates faults and
+//! durations in a simulated cycle, which may or may not respect the
+//! contract. Four families are provided:
+//!
+//! * [`FaultModel::Independent`] — the paper's model and the default.
+//!   Durations integer-uniform in `[bcet, wcet]`, fault targets drawn
+//!   uniformly with replacement. This variant is pinned **bit-identical**
+//!   to the sampler every previous evaluation (fig9, Table 1) used: the
+//!   same seed produces the same [`ExecutionScenario`], so Monte Carlo
+//!   means are provably unchanged (see the `independent_model_is_bit_identical_to_legacy_sampler`
+//!   test and the pinned goldens in `montecarlo`).
+//! * [`FaultModel::Bursty`] — correlated faults: a materialized fault
+//!   raises the near-term hazard. Modeled as the discrete analogue of a
+//!   two-state (calm/burst) Markov process: after each fault the chain is
+//!   in the burst state, where with probability `locality` the next fault
+//!   strikes within `window` positions of the previous target (processes
+//!   adjacent in the application are adjacent in schedule time), and with
+//!   probability `1 - locality` the chain relaxes to the calm state's
+//!   uniform draw.
+//! * [`FaultModel::Intermittent`] — a struck process is likelier to fault
+//!   again on re-execution (an intermittent physical cause rather than a
+//!   one-shot transient): after each fault, with probability `reoccur` the
+//!   next fault hits the *same* process's next attempt.
+//! * [`FaultModel::WcetStress`] — an execution-time stressor: fault
+//!   placement stays independent, but each attempt's duration exceeds the
+//!   WCET with probability `overrun_prob` (uniform in
+//!   `(wcet, overrun_factor · wcet]`), violating the analysis assumption
+//!   that WCETs are safe bounds.
+//!
+//! # Out-of-model scenarios
+//!
+//! [`ScenarioSampler::sample`] accepts any `fault_count`, including counts
+//! beyond the application's design budget `k`; attempt tables are sized to
+//! the *planned fault load* (`max(k, fault_count) + 1` attempts), not to
+//! `k + 1`. Reads past a process's attempt table saturate to a defined
+//! outcome (the process's WCET, no fault) instead of panicking, so a
+//! runtime that re-executes more often than the plan anticipated stays
+//! total. The online scheduler reports how gracefully it degraded under
+//! such scenarios via `DegradationVerdict` (see `crate::online`).
 
 use ftqs_core::{Application, Time};
 use ftqs_graph::NodeId;
 use rand::Rng;
+
+/// The stochastic environment process generating faults and execution
+/// times for sampled scenarios — see the module docs for the taxonomy.
+///
+/// Not to be confused with `ftqs_core::FaultModel`, which carries the
+/// *design-side* contract (`k`, µ) the schedules were synthesized against;
+/// this type describes what the environment actually does, which the
+/// robustness harness deliberately pushes beyond that contract.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum FaultModel {
+    /// The paper's independent-uniform model (the default) — bit-identical
+    /// to the sampler used by every previous evaluation.
+    #[default]
+    Independent,
+    /// Correlated/bursty faults (two-state Markov analogue): after a
+    /// fault, with probability `locality` the next fault strikes within
+    /// `window` process positions of the previous target.
+    Bursty {
+        /// Probability that the burst state persists (the next fault is
+        /// local to the previous one). Clamped to `[0, 1]` at sampling
+        /// time; `0.0` degenerates to [`FaultModel::Independent`]
+        /// placement.
+        locality: f64,
+        /// Index half-width of the burst neighbourhood.
+        window: usize,
+    },
+    /// Intermittent faults: after a fault, with probability `reoccur` the
+    /// next fault hits the same process's next attempt (it faults again on
+    /// re-execution).
+    Intermittent {
+        /// Probability a struck process is struck again by the next fault.
+        /// Clamped to `[0, 1]` at sampling time; `0.0` degenerates to
+        /// [`FaultModel::Independent`] placement.
+        reoccur: f64,
+    },
+    /// Execution-time stressor: independent fault placement, but each
+    /// attempt overruns its WCET with probability `overrun_prob`.
+    WcetStress {
+        /// Per-attempt probability of exceeding the WCET. Clamped to
+        /// `[0, 1]` at sampling time.
+        overrun_prob: f64,
+        /// Upper bound of the overrun as a multiple of the WCET; overrun
+        /// durations are uniform in `(wcet, overrun_factor · wcet]`
+        /// (at least 1 ms beyond the WCET).
+        overrun_factor: f64,
+    },
+}
+
+/// Canonical preset names accepted by [`FaultModel::preset`], in display
+/// order. `ftqs_workloads::presets::ROBUSTNESS_MODELS` mirrors this list
+/// for the benchmark grid.
+pub const FAULT_MODEL_NAMES: [&str; 4] = ["independent", "bursty", "intermittent", "wcet-stress"];
+
+impl FaultModel {
+    /// The canonical parameterization of the named model family, as swept
+    /// by `bench_robustness` and the CLI `robustness` command. Returns
+    /// `None` for unknown names (see [`FAULT_MODEL_NAMES`]).
+    #[must_use]
+    pub fn preset(name: &str) -> Option<FaultModel> {
+        match name {
+            "independent" => Some(FaultModel::Independent),
+            "bursty" => Some(FaultModel::Bursty {
+                locality: 0.75,
+                window: 2,
+            }),
+            "intermittent" => Some(FaultModel::Intermittent { reoccur: 0.75 }),
+            "wcet-stress" => Some(FaultModel::WcetStress {
+                overrun_prob: 0.1,
+                overrun_factor: 1.5,
+            }),
+            _ => None,
+        }
+    }
+
+    /// The family name (the [`FAULT_MODEL_NAMES`] entry this model belongs
+    /// to, independent of its parameters).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultModel::Independent => "independent",
+            FaultModel::Bursty { .. } => "bursty",
+            FaultModel::Intermittent { .. } => "intermittent",
+            FaultModel::WcetStress { .. } => "wcet-stress",
+        }
+    }
+}
 
 /// One fully-determined execution outcome of the environment.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,13 +154,22 @@ pub struct ExecutionScenario {
     durations: Vec<Vec<Time>>,
     /// `faulty[p][a]`: attempt `a` of process `p` is hit by a fault.
     faulty: Vec<Vec<bool>>,
-    /// Total faults planned (<= the application's `k`).
+    /// Saturation duration per process for attempts beyond the table (the
+    /// WCET for sampled scenarios; the per-process table maximum for
+    /// [`ExecutionScenario::from_tables`]).
+    overflow_duration: Vec<Time>,
+    /// Total faults planned (may exceed the application's `k` for
+    /// out-of-model scenarios).
     fault_count: usize,
 }
 
 impl ExecutionScenario {
     /// Builds a scenario from explicit tables. Used by tests that need an
     /// exact outcome; simulations use [`ScenarioSampler`].
+    ///
+    /// Attempts beyond a process's table saturate to that process's
+    /// maximum tabled duration with no fault (sampled scenarios saturate
+    /// to the WCET; explicit tables have no application to read it from).
     ///
     /// # Panics
     ///
@@ -40,9 +181,14 @@ impl ExecutionScenario {
             assert_eq!(d.len(), f.len(), "attempt counts must agree");
         }
         let fault_count = faulty.iter().flatten().filter(|&&b| b).count();
+        let overflow_duration = durations
+            .iter()
+            .map(|d| d.iter().copied().max().unwrap_or(Time::ZERO))
+            .collect();
         ExecutionScenario {
             durations,
             faulty,
+            overflow_duration,
             fault_count,
         }
     }
@@ -57,31 +203,47 @@ impl ExecutionScenario {
             .map(|p| vec![app.process(p).times().aet(); attempts])
             .collect();
         let faulty = app.processes().map(|_| vec![false; attempts]).collect();
+        let overflow_duration = app
+            .processes()
+            .map(|p| app.process(p).times().wcet())
+            .collect();
         ExecutionScenario {
             durations,
             faulty,
+            overflow_duration,
             fault_count: 0,
         }
     }
 
     /// Execution time of attempt `attempt` of `process`.
     ///
+    /// Attempts beyond the planned table saturate to the process's
+    /// worst-case duration (no `Vec` index panic), so a runtime driven
+    /// past the planned fault load stays total.
+    ///
     /// # Panics
     ///
-    /// Panics if the process or attempt is out of range.
+    /// Panics if the process is out of range.
     #[must_use]
     pub fn duration(&self, process: NodeId, attempt: usize) -> Time {
-        self.durations[process.index()][attempt]
+        let row = &self.durations[process.index()];
+        row.get(attempt)
+            .copied()
+            .unwrap_or(self.overflow_duration[process.index()])
     }
 
-    /// Whether attempt `attempt` of `process` is hit by a fault.
+    /// Whether attempt `attempt` of `process` is hit by a fault. Attempts
+    /// beyond the planned table saturate to `false` (no fault).
     ///
     /// # Panics
     ///
-    /// Panics if the process or attempt is out of range.
+    /// Panics if the process is out of range.
     #[must_use]
     pub fn is_faulty(&self, process: NodeId, attempt: usize) -> bool {
-        self.faulty[process.index()][attempt]
+        self.faulty[process.index()]
+            .get(attempt)
+            .copied()
+            .unwrap_or(false)
     }
 
     /// Number of faults planned in this scenario.
@@ -90,68 +252,147 @@ impl ExecutionScenario {
         self.fault_count
     }
 
-    /// Number of attempt slots per process (`k + 1`).
+    /// Number of attempt slots per process (`max(k, planned faults) + 1`
+    /// for sampled scenarios).
     #[must_use]
     pub fn attempts(&self) -> usize {
         self.durations.first().map_or(0, Vec::len)
     }
 }
 
-/// Samples [`ExecutionScenario`]s for an application.
+/// Samples [`ExecutionScenario`]s for an application under a pluggable
+/// [`FaultModel`].
 ///
-/// Durations are integer-uniform in `[bcet, wcet]` per attempt. Faults are
-/// planned by drawing `fault_count` target processes uniformly (with
-/// replacement); a process drawn `c` times has its first `c` attempts
-/// faulty — so a re-execution can fault again, as in the paper's Fig. 3
-/// worst case. A fault aimed at a process the scheduler never executes
-/// (dropped) does not materialize; applying the identical plan to every
-/// scheduler keeps comparisons fair.
+/// Under the default [`FaultModel::Independent`], durations are
+/// integer-uniform in `[bcet, wcet]` per attempt and faults are planned by
+/// drawing `fault_count` target processes uniformly (with replacement); a
+/// process drawn `c` times has its first `c` attempts faulty — so a
+/// re-execution can fault again, as in the paper's Fig. 3 worst case. A
+/// fault aimed at a process the scheduler never executes (dropped) does
+/// not materialize; applying the identical plan to every scheduler keeps
+/// comparisons fair. The other models perturb exactly one axis each (see
+/// the [`FaultModel`] docs).
 #[derive(Debug)]
 pub struct ScenarioSampler<'a> {
     app: &'a Application,
+    model: FaultModel,
 }
 
 impl<'a> ScenarioSampler<'a> {
-    /// Creates a sampler for `app`.
+    /// Creates a sampler for `app` under the paper's independent-uniform
+    /// model.
     #[must_use]
     pub fn new(app: &'a Application) -> Self {
-        ScenarioSampler { app }
+        ScenarioSampler {
+            app,
+            model: FaultModel::Independent,
+        }
+    }
+
+    /// Creates a sampler for `app` under `model`.
+    #[must_use]
+    pub fn with_model(app: &'a Application, model: FaultModel) -> Self {
+        ScenarioSampler { app, model }
+    }
+
+    /// The fault model this sampler draws from.
+    #[must_use]
+    pub fn model(&self) -> FaultModel {
+        self.model
     }
 
     /// Samples one scenario with exactly `fault_count` planned faults.
     ///
-    /// # Panics
-    ///
-    /// Panics if `fault_count` exceeds the application's fault budget `k`.
+    /// `fault_count` may exceed the application's design budget `k`
+    /// (out-of-model injection); the attempt tables are sized to
+    /// `max(k, fault_count) + 1` so every planned fault has a re-execution
+    /// slot. For `fault_count <= k` under [`FaultModel::Independent`] the
+    /// RNG draw sequence is bit-identical to the historical sampler.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, fault_count: usize) -> ExecutionScenario {
         let k = self.app.faults().k;
-        assert!(
-            fault_count <= k,
-            "scenario cannot plan more faults than the budget k = {k}"
-        );
-        let attempts = k + 1;
+        let attempts = k.max(fault_count) + 1;
         let n = self.app.len();
+
+        // Durations first (matching the historical draw order exactly).
         let mut durations = Vec::with_capacity(n);
         for p in self.app.processes() {
             let t = self.app.process(p).times();
             let (lo, hi) = (t.bcet().as_ms(), t.wcet().as_ms());
-            durations.push(
-                (0..attempts)
+            durations.push(match self.model {
+                FaultModel::WcetStress {
+                    overrun_prob,
+                    overrun_factor,
+                } => (0..attempts)
+                    .map(|_| {
+                        let base = rng.gen_range(lo..=hi);
+                        if rng.gen_bool(overrun_prob.clamp(0.0, 1.0)) {
+                            // Uniform in (wcet, factor * wcet], at least
+                            // 1 ms beyond the WCET even for tiny WCETs.
+                            let extra_max =
+                                ((hi as f64 * (overrun_factor - 1.0)).ceil() as u64).max(1);
+                            Time::from_ms(hi + rng.gen_range(1..=extra_max))
+                        } else {
+                            Time::from_ms(base)
+                        }
+                    })
+                    .collect::<Vec<Time>>(),
+                _ => (0..attempts)
                     .map(|_| Time::from_ms(rng.gen_range(lo..=hi)))
                     .collect::<Vec<Time>>(),
-            );
+            });
         }
+
+        // Fault placement: `fault_count` hits; a process hit `c` times has
+        // its first `c` attempts faulty.
         let mut hits = vec![0usize; n];
-        for _ in 0..fault_count {
-            hits[rng.gen_range(0..n)] += 1;
+        match self.model {
+            FaultModel::Independent | FaultModel::WcetStress { .. } => {
+                for _ in 0..fault_count {
+                    hits[rng.gen_range(0..n)] += 1;
+                }
+            }
+            FaultModel::Bursty { locality, window } => {
+                let locality = locality.clamp(0.0, 1.0);
+                let mut last: Option<usize> = None;
+                for _ in 0..fault_count {
+                    let target = match last {
+                        Some(i) if rng.gen_bool(locality) => {
+                            let lo = i.saturating_sub(window);
+                            let hi = (i + window).min(n - 1);
+                            rng.gen_range(lo..=hi)
+                        }
+                        _ => rng.gen_range(0..n),
+                    };
+                    hits[target] += 1;
+                    last = Some(target);
+                }
+            }
+            FaultModel::Intermittent { reoccur } => {
+                let reoccur = reoccur.clamp(0.0, 1.0);
+                let mut last: Option<usize> = None;
+                for _ in 0..fault_count {
+                    let target = match last {
+                        Some(i) if rng.gen_bool(reoccur) => i,
+                        _ => rng.gen_range(0..n),
+                    };
+                    hits[target] += 1;
+                    last = Some(target);
+                }
+            }
         }
         let faulty = hits
             .iter()
             .map(|&c| (0..attempts).map(|a| a < c).collect())
             .collect();
+        let overflow_duration = self
+            .app
+            .processes()
+            .map(|p| self.app.process(p).times().wcet())
+            .collect();
         ExecutionScenario {
             durations,
             faulty,
+            overflow_duration,
             fault_count,
         }
     }
@@ -160,7 +401,7 @@ impl<'a> ScenarioSampler<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ftqs_core::{ExecutionTimes, FaultModel, UtilityFunction};
+    use ftqs_core::{ExecutionTimes, FaultModel as DesignFaults, UtilityFunction};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -169,7 +410,7 @@ mod tests {
     }
 
     fn app() -> Application {
-        let mut b = Application::builder(t(1000), FaultModel::new(2, t(5)));
+        let mut b = Application::builder(t(1000), DesignFaults::new(2, t(5)));
         let et = ExecutionTimes::uniform(t(10), t(50)).unwrap();
         let a = b.add_hard("H", et, t(900));
         let s = b.add_soft("S", et, UtilityFunction::constant(10.0).unwrap());
@@ -243,12 +484,43 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "budget")]
-    fn oversized_fault_count_panics() {
+    fn oversized_fault_count_sizes_attempt_tables_to_the_load() {
+        // Out-of-model injection: 5 planned faults against a budget of
+        // k = 2 used to panic; now the table grows to fit the plan.
         let app = app();
         let sampler = ScenarioSampler::new(&app);
         let mut rng = StdRng::seed_from_u64(4);
-        let _ = sampler.sample(&mut rng, 3);
+        let sc = sampler.sample(&mut rng, 5);
+        assert_eq!(sc.fault_count(), 5);
+        assert_eq!(sc.attempts(), 6, "max(k, faults) + 1 attempt slots");
+        let planned: usize = app
+            .processes()
+            .map(|p| (0..sc.attempts()).filter(|&a| sc.is_faulty(p, a)).count())
+            .sum();
+        assert_eq!(planned, 5);
+    }
+
+    #[test]
+    fn attempt_overflow_saturates_to_wcet_and_no_fault() {
+        // The latent index-panic path: reads past the attempt table return
+        // (WCET, no fault) instead of panicking.
+        let app = app();
+        let sampler = ScenarioSampler::new(&app);
+        let mut rng = StdRng::seed_from_u64(5);
+        let sc = sampler.sample(&mut rng, 2);
+        let p = app.processes().next().unwrap();
+        for overflow in [sc.attempts(), sc.attempts() + 1, 100] {
+            assert_eq!(sc.duration(p, overflow), t(50), "saturates to WCET");
+            assert!(!sc.is_faulty(p, overflow), "saturates to no fault");
+        }
+        // Explicit tables saturate to their per-process maximum.
+        let manual = ExecutionScenario::from_tables(
+            vec![vec![t(5), t(9)], vec![t(7)]],
+            vec![vec![true, false], vec![false]],
+        );
+        assert_eq!(manual.duration(NodeId::from_index(0), 7), t(9));
+        assert_eq!(manual.duration(NodeId::from_index(1), 7), t(7));
+        assert!(!manual.is_faulty(NodeId::from_index(0), 7));
     }
 
     #[test]
@@ -269,5 +541,137 @@ mod tests {
         let a = sampler.sample(&mut StdRng::seed_from_u64(9), 1);
         let b = sampler.sample(&mut StdRng::seed_from_u64(9), 1);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_models_are_deterministic_and_place_exact_counts() {
+        let app = app();
+        for name in FAULT_MODEL_NAMES {
+            let model = FaultModel::preset(name).unwrap();
+            assert_eq!(model.name(), name);
+            let sampler = ScenarioSampler::with_model(&app, model);
+            for f in [0usize, 1, 2, 4] {
+                let a = sampler.sample(&mut StdRng::seed_from_u64(31), f);
+                let b = sampler.sample(&mut StdRng::seed_from_u64(31), f);
+                assert_eq!(a, b, "{name} not deterministic");
+                assert_eq!(a.fault_count(), f);
+                let planned: usize = app
+                    .processes()
+                    .map(|p| (0..a.attempts()).filter(|&x| a.is_faulty(p, x)).count())
+                    .sum();
+                assert_eq!(planned, f, "{name} planned {planned} != {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_parameter_models_degenerate_to_independent_placement() {
+        // locality/reoccur of 0 consume the same RNG draws as the
+        // independent placement (one gen_bool per post-first fault is the
+        // only difference, so we compare fault sets structurally instead:
+        // every draw falls back to the uniform branch).
+        let app = app();
+        for model in [
+            FaultModel::Bursty {
+                locality: 0.0,
+                window: 1,
+            },
+            FaultModel::Intermittent { reoccur: 0.0 },
+        ] {
+            let sampler = ScenarioSampler::with_model(&app, model);
+            let mut rng = StdRng::seed_from_u64(77);
+            let sc = sampler.sample(&mut rng, 3);
+            assert_eq!(sc.fault_count(), 3);
+        }
+    }
+
+    #[test]
+    fn intermittent_reoccurrence_concentrates_hits() {
+        // With reoccur = 1.0 every fault after the first hits the same
+        // process: one process carries all faults on consecutive attempts.
+        let app = app();
+        let sampler = ScenarioSampler::with_model(&app, FaultModel::Intermittent { reoccur: 1.0 });
+        let mut rng = StdRng::seed_from_u64(11);
+        let sc = sampler.sample(&mut rng, 4);
+        let per_process: Vec<usize> = app
+            .processes()
+            .map(|p| (0..sc.attempts()).filter(|&a| sc.is_faulty(p, a)).count())
+            .collect();
+        assert!(
+            per_process.contains(&4),
+            "all hits on one process: {per_process:?}"
+        );
+    }
+
+    #[test]
+    fn bursty_with_full_locality_stays_in_window() {
+        // 6-process chain app so the window constraint is observable.
+        let mut b = Application::builder(t(5000), DesignFaults::new(2, t(5)));
+        let et = ExecutionTimes::uniform(t(10), t(20)).unwrap();
+        for i in 0..6 {
+            b.add_soft(format!("S{i}"), et, UtilityFunction::constant(1.0).unwrap());
+        }
+        let app = b.build().unwrap();
+        let model = FaultModel::Bursty {
+            locality: 1.0,
+            window: 1,
+        };
+        let sampler = ScenarioSampler::with_model(&app, model);
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..50 {
+            let sc = sampler.sample(&mut rng, 4);
+            let hit: Vec<usize> = app
+                .processes()
+                .filter(|&p| sc.is_faulty(p, 0))
+                .map(NodeId::index)
+                .collect();
+            // All struck processes lie within a contiguous band of width
+            // <= 1 + number of steps the walk can drift; with window 1 and
+            // 4 faults the extreme spread is 3.
+            if let (Some(&lo), Some(&hi)) = (hit.iter().min(), hit.iter().max()) {
+                assert!(hi - lo <= 3, "burst spread {hit:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn wcet_stress_overruns_and_only_overruns_beyond_wcet() {
+        let app = app();
+        let model = FaultModel::WcetStress {
+            overrun_prob: 0.5,
+            overrun_factor: 1.5,
+        };
+        let sampler = ScenarioSampler::with_model(&app, model);
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut overruns = 0usize;
+        let mut total = 0usize;
+        for _ in 0..200 {
+            let sc = sampler.sample(&mut rng, 1);
+            for p in app.processes() {
+                for a in 0..sc.attempts() {
+                    let d = sc.duration(p, a);
+                    total += 1;
+                    if d > t(50) {
+                        overruns += 1;
+                        assert!(d <= t(75), "overrun capped at factor * wcet, got {d}");
+                    } else {
+                        assert!(d >= t(10));
+                    }
+                }
+            }
+        }
+        let rate = overruns as f64 / total as f64;
+        assert!(
+            (0.35..0.65).contains(&rate),
+            "overrun rate {rate} far from configured 0.5"
+        );
+    }
+
+    #[test]
+    fn preset_roundtrip_and_unknown_names() {
+        for name in FAULT_MODEL_NAMES {
+            assert_eq!(FaultModel::preset(name).unwrap().name(), name);
+        }
+        assert!(FaultModel::preset("gaussian").is_none());
     }
 }

@@ -96,6 +96,83 @@ impl fmt::Display for Accumulator {
     }
 }
 
+/// A Bernoulli counter: hits over trials, mergeable like [`Accumulator`].
+///
+/// Used by the robustness harness to pool hard-miss and degradation rates
+/// across scenarios, applications and threads.
+///
+/// # Example
+///
+/// ```
+/// use ftqs_sim::stats::Rate;
+///
+/// let mut r = Rate::new();
+/// r.record(true);
+/// r.record(false);
+/// r.record(false);
+/// assert_eq!(r.hits(), 1);
+/// assert!((r.value() - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Rate {
+    hits: u64,
+    total: u64,
+}
+
+impl Rate {
+    /// An empty rate (0 trials; [`Rate::value`] reports 0).
+    #[must_use]
+    pub fn new() -> Self {
+        Rate::default()
+    }
+
+    /// Records one trial.
+    pub fn record(&mut self, hit: bool) {
+        self.total += 1;
+        self.hits += u64::from(hit);
+    }
+
+    /// Merges another counter (parallel reduction).
+    pub fn merge(&mut self, other: &Rate) {
+        self.hits += other.hits;
+        self.total += other.total;
+    }
+
+    /// Number of hits.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of trials.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Empirical rate in `[0, 1]` (0 when no trials were recorded).
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+}
+
+impl fmt::Display for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} ({:.2}%)",
+            self.hits,
+            self.total,
+            100.0 * self.value()
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,5 +234,21 @@ mod tests {
         a.add(1.0);
         a.add(2.0);
         assert!(a.to_string().contains("n=2"));
+    }
+
+    #[test]
+    fn rate_counts_and_merges() {
+        let mut a = Rate::new();
+        assert_eq!(a.value(), 0.0);
+        a.record(true);
+        a.record(false);
+        let mut b = Rate::new();
+        b.record(true);
+        b.record(true);
+        a.merge(&b);
+        assert_eq!(a.hits(), 3);
+        assert_eq!(a.total(), 4);
+        assert!((a.value() - 0.75).abs() < 1e-12);
+        assert!(a.to_string().contains("3/4"));
     }
 }

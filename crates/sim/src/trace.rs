@@ -57,6 +57,17 @@ pub enum TraceEvent {
         /// Switch time (completion of the pivot).
         at: Time,
     },
+    /// A hard process completed after its deadline (only possible in
+    /// out-of-model scenarios — see `crate::online`'s degradation
+    /// semantics).
+    DeadlineMiss {
+        /// The hard process.
+        process: NodeId,
+        /// Actual completion time.
+        at: Time,
+        /// The deadline it missed.
+        deadline: Time,
+    },
 }
 
 /// Why a soft process produced no fresh output.
@@ -166,6 +177,15 @@ impl Trace {
                 TraceEvent::Switched { from, to, at } => {
                     writeln!(out, "{at:>8}  switch   node {from} -> node {to}")
                 }
+                TraceEvent::DeadlineMiss {
+                    process,
+                    at,
+                    deadline,
+                } => writeln!(
+                    out,
+                    "{at:>8}  MISS     {} (deadline {deadline})",
+                    name(*process)
+                ),
             };
         }
         out
@@ -215,6 +235,20 @@ mod tests {
         assert!(s.contains("P3"));
         assert!(s.contains("past latest start"));
         assert!(s.contains("42ms"));
+    }
+
+    #[test]
+    fn render_marks_deadline_misses() {
+        let mut tr = Trace::new();
+        tr.push(TraceEvent::DeadlineMiss {
+            process: nid(0),
+            at: Time::from_ms(210),
+            deadline: Time::from_ms(180),
+        });
+        let s = tr.render(|n| format!("P{}", n.index() + 1));
+        assert!(s.contains("MISS"));
+        assert!(s.contains("P1"));
+        assert!(s.contains("180ms"));
     }
 
     #[test]

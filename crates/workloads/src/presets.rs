@@ -46,6 +46,26 @@ pub fn app_seed(tag: u64, index: usize) -> u64 {
     0xDA7E_2008u64 ^ tag.rotate_left(17) ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
+/// Fault-model families swept by the robustness experiment, by canonical
+/// preset name (resolved with `ftqs_sim::FaultModel::preset`; this crate
+/// sits below the sim crate, so the grid is plain data here).
+pub const ROBUSTNESS_MODELS: [&str; 4] = ["independent", "bursty", "intermittent", "wcet-stress"];
+
+/// Application sizes of the robustness sweep (a subset of the Fig. 9 sizes
+/// — degradation curves need many scenarios per cell, so the grid stays
+/// tractable).
+pub const ROBUSTNESS_SIZES: [usize; 3] = [10, 20, 30];
+
+/// Applications per size in the robustness sweep.
+pub const ROBUSTNESS_APPS_PER_SIZE: usize = 10;
+
+/// Fault intensities (planned faults per cycle) for a design budget of
+/// `k`: `0..=2k`, crossing the design point at `k`.
+#[must_use]
+pub fn robustness_intensities(k: usize) -> Vec<usize> {
+    (0..=2 * k).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,5 +88,16 @@ mod tests {
     fn seeds_differ_across_indices_and_tags() {
         assert_ne!(app_seed(1, 0), app_seed(1, 1));
         assert_ne!(app_seed(1, 0), app_seed(2, 0));
+    }
+
+    #[test]
+    fn robustness_grid_crosses_the_design_point() {
+        let k = 3;
+        let intensities = robustness_intensities(k);
+        assert_eq!(intensities.first(), Some(&0));
+        assert_eq!(intensities.last(), Some(&(2 * k)));
+        assert!(intensities.contains(&k), "must include the design point");
+        assert!(ROBUSTNESS_SIZES.iter().all(|s| FIG9_SIZES.contains(s)));
+        assert_eq!(ROBUSTNESS_MODELS[0], "independent");
     }
 }

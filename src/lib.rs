@@ -62,7 +62,8 @@ pub mod prelude {
     };
     pub use ftqs_graph::{Dag, NodeId};
     pub use ftqs_sim::{
-        ExecutionScenario, MonteCarlo, OnlineScheduler, ScenarioSampler, SimOutcome,
+        DegradationVerdict, ExecutionScenario, FaultModel as SimFaultModel, MonteCarlo,
+        OnlineScheduler, ScenarioSampler, SimOutcome,
     };
     pub use ftqs_workloads::{cruise_controller, GeneratorParams};
 }
