@@ -1,0 +1,266 @@
+//! Fleet-service throughput: what does the cross-request artifact cache
+//! buy on batched synthesis? Writes `BENCH_service.json`.
+//!
+//! Queues batches of fig9-style preset requests (1k–100k, per
+//! `--depths`) through [`ftqs_service::Service`] in two mixes:
+//!
+//! * **duplicate-heavy** — requests cycle over a small pool of distinct
+//!   applications (64 by default), the fleet-sweep shape where the same
+//!   model is synthesized under many arrival orders; nearly every request
+//!   hits the artifact cache and skips generation + model preparation;
+//! * **all-distinct** — every request names a fresh seed, so every
+//!   request pays the full cold path and the cache can only miss.
+//!
+//! Per (mix, depth) cell the harness reports wall-clock requests/sec,
+//! p50/p99 end-to-end latency (queue wait + service time), and the cache
+//! hit/miss/eviction counters. Synthesis runs for every request either
+//! way — the cache never changes output bits (pinned by the service test
+//! suite), only the time to produce them.
+//!
+//! The headline acceptance is asserted when the 10k depth is swept: the
+//! duplicate-heavy mix must show a hit rate ≥ 50% and beat the
+//! all-distinct mix on requests/sec.
+//!
+//! Usage: `cargo run --release -p ftqs-bench --bin bench_service
+//! [--out PATH] [--size N] [--budget N] [--distinct N] [--seed N]
+//! [--smoke]`
+//!
+//! `--smoke` shrinks the sweep to one 400-request depth per mix and
+//! asserts the duplicate-heavy cache path is exercised (nonzero hits).
+
+use ftqs_bench::{print_row, Options};
+use ftqs_core::{Engine, SynthesisRequest};
+use ftqs_service::{JobSource, Service, ServiceConfig, ServiceRequest, ServiceStats};
+use std::fmt::Write as _;
+
+const QUEUE_CAPACITY: usize = 1024;
+const CACHE_CAPACITY: usize = 256;
+
+#[derive(Debug, Clone, Copy)]
+struct Mix {
+    name: &'static str,
+    /// Distinct seeds the batch cycles over; `None` = one per request.
+    distinct: Option<usize>,
+}
+
+#[derive(Debug)]
+struct Cell {
+    mix: &'static str,
+    requests: usize,
+    distinct: usize,
+    seconds: f64,
+    requests_per_sec: f64,
+    p50_micros: u64,
+    p99_micros: u64,
+    failed: u64,
+    stats: ServiceStats,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[rank]
+}
+
+fn run_cell(mix: Mix, requests: usize, size: usize, budget: usize, seed_base: u64) -> Cell {
+    let distinct = mix.distinct.map_or(requests, |d| d.min(requests));
+    let service = Service::start(ServiceConfig {
+        workers: 0,
+        queue_capacity: QUEUE_CAPACITY,
+        cache_capacity: CACHE_CAPACITY,
+        intra_parallelism: 1,
+        engine: Engine::new(),
+    });
+    let started = std::time::Instant::now();
+    for i in 0..requests {
+        let req = ServiceRequest::new(
+            i as u64,
+            JobSource::Preset {
+                family: "fig9".to_string(),
+                size,
+                seed: seed_base + (i % distinct) as u64,
+            },
+            SynthesisRequest::ftqs(budget),
+        );
+        // Blocking submit: the bounded queue throttles the producer, which
+        // is the intended fleet shape (backpressure, not buffering).
+        service.submit(req).expect("service is running");
+    }
+    let mut latencies: Vec<u64> = Vec::with_capacity(requests);
+    let mut failed = 0u64;
+    for _ in 0..requests {
+        let response = service.recv().expect("every request is answered");
+        latencies.push(response.queued_micros + response.service_micros);
+        failed += u64::from(response.outcome.is_err());
+    }
+    let seconds = started.elapsed().as_secs_f64();
+    let stats = service.shutdown();
+    latencies.sort_unstable();
+    Cell {
+        mix: mix.name,
+        requests,
+        distinct,
+        seconds,
+        requests_per_sec: requests as f64 / seconds,
+        p50_micros: percentile(&latencies, 0.50),
+        p99_micros: percentile(&latencies, 0.99),
+        failed,
+        stats,
+    }
+}
+
+fn main() {
+    let opts = Options::from_env();
+    let out_path: String = opts.value("--out", "BENCH_service.json".to_string());
+    let smoke = opts.flag("--smoke");
+    let size: usize = opts.value("--size", 25);
+    let budget: usize = opts.value("--budget", 4);
+    let distinct_pool: usize = opts.value("--distinct", 64);
+    let seed: u64 = opts.value("--seed", 1);
+    let depths: Vec<usize> = if smoke {
+        vec![400]
+    } else {
+        vec![1_000, 10_000, 100_000]
+    };
+    let mixes = [
+        Mix {
+            name: "duplicate-heavy",
+            distinct: Some(distinct_pool),
+        },
+        Mix {
+            name: "all-distinct",
+            distinct: None,
+        },
+    ];
+
+    println!(
+        "service sweep: fig9 size {size}, ftqs budget {budget}, depths {depths:?}, \
+         duplicate pool {distinct_pool}, queue {QUEUE_CAPACITY}, cache {CACHE_CAPACITY}"
+    );
+    print_row(
+        &[
+            "mix".into(),
+            "requests".into(),
+            "req/s".into(),
+            "p50 µs".into(),
+            "p99 µs".into(),
+            "hit rate".into(),
+            "failed".into(),
+        ],
+        12,
+    );
+
+    // Untimed warmup: the first service in the process pays one-off costs
+    // (binary paging, allocator growth, thread spawn) that would otherwise
+    // land entirely on the first measured cell.
+    let _ = run_cell(mixes[1], 200, size, budget, seed);
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &depth in &depths {
+        for mix in mixes {
+            let cell = run_cell(mix, depth, size, budget, seed);
+            print_row(
+                &[
+                    cell.mix.to_string(),
+                    cell.requests.to_string(),
+                    format!("{:.0}", cell.requests_per_sec),
+                    cell.p50_micros.to_string(),
+                    cell.p99_micros.to_string(),
+                    format!("{:.3}", cell.stats.cache.hit_rate()),
+                    cell.failed.to_string(),
+                ],
+                12,
+            );
+            cells.push(cell);
+        }
+    }
+
+    // The acceptance pair: at depth 10k (or the smoke depth), the
+    // duplicate-heavy mix must actually use the cache and beat the
+    // all-distinct mix on throughput.
+    let headline_depth = if smoke { depths[0] } else { 10_000 };
+    let heavy = cells
+        .iter()
+        .find(|c| c.mix == "duplicate-heavy" && c.requests == headline_depth)
+        .expect("duplicate-heavy cell exists");
+    let cold = cells
+        .iter()
+        .find(|c| c.mix == "all-distinct" && c.requests == headline_depth)
+        .expect("all-distinct cell exists");
+    assert!(
+        heavy.stats.cache.hits > 0,
+        "duplicate-heavy mix must hit the cache"
+    );
+    if smoke {
+        println!(
+            "smoke: duplicate-heavy hit rate {:.3}, {} hits",
+            heavy.stats.cache.hit_rate(),
+            heavy.stats.cache.hits
+        );
+    } else {
+        assert!(
+            heavy.stats.cache.hit_rate() >= 0.5,
+            "duplicate-heavy hit rate {:.3} < 0.5",
+            heavy.stats.cache.hit_rate()
+        );
+        assert!(
+            heavy.requests_per_sec > cold.requests_per_sec,
+            "cache must buy throughput: {:.0} vs {:.0} req/s",
+            heavy.requests_per_sec,
+            cold.requests_per_sec
+        );
+    }
+
+    let workers = cells.first().map_or(0, |c| c.stats.workers);
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"ftqs-bench-service/1\",");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"family\": \"fig9\",");
+    let _ = writeln!(json, "  \"size\": {size},");
+    let _ = writeln!(json, "  \"policy\": \"ftqs\",");
+    let _ = writeln!(json, "  \"budget\": {budget},");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"workers\": {workers},");
+    let _ = writeln!(json, "  \"queue_capacity\": {QUEUE_CAPACITY},");
+    let _ = writeln!(json, "  \"cache_capacity\": {CACHE_CAPACITY},");
+    let _ = writeln!(
+        json,
+        "  \"parallel_feature\": {},",
+        cfg!(feature = "parallel")
+    );
+    let _ = writeln!(
+        json,
+        "  \"latency\": \"p50/p99 are end-to-end micros (queue wait + service) under a \
+         blocking producer, so they are dominated by the bounded queue by design\","
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"mix\": \"{}\", \"requests\": {}, \"distinct\": {}, \
+             \"seconds\": {:.3}, \"requests_per_sec\": {:.1}, \
+             \"p50_micros\": {}, \"p99_micros\": {}, \
+             \"cache_hit_rate\": {:.4}, \"hits\": {}, \"misses\": {}, \
+             \"evictions\": {}, \"failed\": {}}}",
+            c.mix,
+            c.requests,
+            c.distinct,
+            c.seconds,
+            c.requests_per_sec,
+            c.p50_micros,
+            c.p99_micros,
+            c.stats.cache.hit_rate(),
+            c.stats.cache.hits,
+            c.stats.cache.misses,
+            c.stats.cache.evictions,
+            c.failed
+        );
+        json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_service.json");
+    println!("wrote {out_path} ({} cells)", cells.len());
+}

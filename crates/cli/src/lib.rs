@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 use ftqs_core::{Application, Engine, QuasiStaticTree, SynthesisRequest, Time};
+use ftqs_service::{transport, Service, ServiceConfig};
 use ftqs_sim::{
     DegradationVerdict, ExecutionScenario, FaultModel, GreedyOnlineScheduler, MonteCarlo,
     OnlineScheduler, ScenarioSampler, FAULT_MODEL_NAMES,
@@ -64,6 +65,7 @@ pub enum TreeFormat {
 /// Usage banner shared by the binary and error paths.
 pub const USAGE: &str =
     "usage: ftqs <info|schedule|tree|graph|simulate|compare|robustness|trace|export> <spec> [options]
+       ftqs <submit|serve> ... (batch service; see below)
   <spec>: a spec file path, '-' for stdin, or '--example' for the paper's Fig. 1
 
   info       --format text|json
@@ -75,7 +77,17 @@ pub const USAGE: &str =
   robustness --scenarios N (500), --budget N (8), --seed S (1),
              --model NAME (default: all models), --format text|json
   trace      --budget N (8)
-  export     --budget N (8), --prefix SYM (ftqs; must be a C identifier)";
+  export     --budget N (8), --prefix SYM (ftqs; must be a C identifier)
+
+  Service (batched synthesis over newline-delimited JSON):
+  submit     <fig9|series-parallel|polar|hyper> — generate an NDJSON request batch:
+             --count N (16), --size N (15), --seed S (0),
+             --distinct D (=count; D < N makes the batch duplicate-heavy),
+             --policy ftss|ftqs|ftsf (ftqs), --budget N (8)
+  serve      <batch.ndjson|-> — run a batch through the fleet service, one
+             JSON response line per request in completion order:
+             --workers N (0 = one per core), --queue N (1024), --cache N (256),
+             --stats (append a final service-statistics line)";
 
 /// The engine configuration every command synthesizes with: defaults plus
 /// structural validation (CLI artifacts leave the process, so they are
@@ -731,6 +743,100 @@ pub fn trace_average(source: &str, budget: usize) -> Result<String, CliError> {
     ))
 }
 
+/// `ftqs submit <family>` — renders an NDJSON request batch for [`serve`]
+/// (or any transport consumer). Seeds cycle through `distinct` values
+/// starting at `seed`, so `distinct < count` produces the duplicate-heavy
+/// mixes that exercise the service's artifact cache.
+///
+/// # Errors
+///
+/// Unknown family or policy names, or a zero `count`/`size`/`distinct`.
+pub fn submit(
+    family: &str,
+    count: usize,
+    size: usize,
+    seed: u64,
+    distinct: usize,
+    policy: &str,
+    budget: usize,
+) -> Result<String, CliError> {
+    if ftqs_workloads::Family::parse(family).is_none() {
+        let names: Vec<&str> = ftqs_workloads::Family::ALL
+            .iter()
+            .map(|f| f.name())
+            .collect();
+        return Err(format!(
+            "unknown workload family '{family}' (expected one of: {})",
+            names.join(", ")
+        )
+        .into());
+    }
+    if !matches!(policy, "ftss" | "ftqs" | "ftsf") {
+        return Err(format!("unknown policy '{policy}' (ftss|ftqs|ftsf)").into());
+    }
+    if count == 0 || size == 0 || distinct == 0 {
+        return Err("--count, --size, and --distinct must be positive".into());
+    }
+    let mut out = String::new();
+    for i in 0..count {
+        let line = transport::preset_request_line(
+            i as u64,
+            family,
+            size,
+            seed + (i % distinct) as u64,
+            policy,
+            budget,
+        );
+        out.push_str(&line);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// `ftqs serve <batch.ndjson|->` — runs an NDJSON request batch through
+/// the fleet service ([`ftqs_service::Service`]) and returns one JSON
+/// response line per request in completion order. Malformed request
+/// lines answer with a per-line error response; the rest of the batch is
+/// unaffected. With `with_stats`, a final line carries the
+/// [`ftqs_service::ServiceStats`] snapshot (queue/cache counters).
+///
+/// # Errors
+///
+/// I/O errors opening or reading the batch. Per-request failures are
+/// response lines, not errors.
+pub fn serve(
+    batch: &str,
+    workers: usize,
+    queue_capacity: usize,
+    cache_capacity: usize,
+    with_stats: bool,
+) -> Result<String, CliError> {
+    let service = Service::start(ServiceConfig {
+        workers,
+        queue_capacity,
+        cache_capacity,
+        intra_parallelism: 1,
+        engine: engine(),
+    });
+    let mut out = Vec::new();
+    match batch {
+        "-" => {
+            let stdin = std::io::stdin();
+            transport::serve(&service, stdin.lock(), &mut out)?;
+        }
+        path => {
+            let file = std::io::BufReader::new(std::fs::File::open(path)?);
+            transport::serve(&service, file, &mut out)?;
+        }
+    }
+    let stats = service.shutdown();
+    let mut rendered = String::from_utf8(out).expect("responses are UTF-8 JSON");
+    if with_stats {
+        rendered.push_str(&to_json_line(&stats)?);
+    }
+    Ok(rendered)
+}
+
 fn to_json_pretty<T: Serialize>(value: &T) -> Result<String, CliError> {
     let mut s = serde_json::to_string_pretty(value)?;
     s.push('\n');
@@ -842,6 +948,25 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             parse_format(args)?,
         ),
         "trace" => trace_average(spec, value("--budget", 8)? as usize),
+        "submit" => {
+            let count = value("--count", 16)? as usize;
+            submit(
+                spec,
+                count,
+                value("--size", 15)? as usize,
+                value("--seed", 0)?,
+                value("--distinct", count as u64)? as usize,
+                parse_str(args, "--policy")?.as_deref().unwrap_or("ftqs"),
+                value("--budget", 8)? as usize,
+            )
+        }
+        "serve" => serve(
+            spec,
+            value("--workers", 0)? as usize,
+            value("--queue", 1024)? as usize,
+            value("--cache", 256)? as usize,
+            flag("--stats"),
+        ),
         "export" => {
             let prefix = match args.iter().position(|a| a == "--prefix") {
                 Some(i) => args
@@ -1048,6 +1173,91 @@ mod tests {
         }
     }
 
+    // ----- service commands ------------------------------------------------
+
+    #[test]
+    fn submit_generates_parseable_duplicate_heavy_batches() {
+        let batch = submit("fig9", 8, 12, 5, 2, "ftqs", 4).unwrap();
+        let lines: Vec<&str> = batch.lines().collect();
+        assert_eq!(lines.len(), 8);
+        for (i, line) in lines.iter().enumerate() {
+            let req = ftqs_service::transport::parse_request(line).unwrap();
+            assert_eq!(req.id, i as u64);
+        }
+        // Two distinct seeds cycling (5, 6, 5, 6, …), so lines 0 and 2
+        // name the same application while line 1 differs.
+        let source = |line: &str| {
+            ftqs_service::transport::parse_request(line)
+                .unwrap()
+                .source
+                .digest()
+        };
+        assert_eq!(source(lines[0]), source(lines[2]));
+        assert_ne!(source(lines[0]), source(lines[1]));
+    }
+
+    #[test]
+    fn submit_validates_family_and_policy() {
+        let err = submit("escher", 4, 12, 0, 4, "ftqs", 8)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("escher") && err.contains("fig9"), "{err}");
+        let err = submit("fig9", 4, 12, 0, 4, "edf", 8)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("edf"), "{err}");
+        assert!(submit("fig9", 0, 12, 0, 4, "ftqs", 8).is_err());
+    }
+
+    #[test]
+    fn serve_answers_a_submitted_batch_end_to_end() {
+        // submit | serve round trip through a temp file, duplicate-heavy so
+        // the cache path is exercised; the final --stats line must report a
+        // nonzero hit count.
+        let batch = submit("fig9", 6, 12, 5, 1, "ftqs", 4).unwrap();
+        let path = std::env::temp_dir().join("ftqs-cli-serve-test.ndjson");
+        std::fs::write(&path, &batch).unwrap();
+        let out = serve(path.to_str().unwrap(), 1, 16, 8, true).unwrap();
+        std::fs::remove_file(&path).ok();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 7, "6 responses + 1 stats line");
+        for line in &lines[..6] {
+            let response: ftqs_service::transport::WireResponse =
+                serde_json::from_str(line).unwrap();
+            assert!(response.ok, "seed 5 at size 12 is schedulable");
+        }
+        let stats: ftqs_service::ServiceStats = serde_json::from_str(lines[6]).unwrap();
+        assert_eq!(stats.completed, 6);
+        assert_eq!(stats.cache.hits, 5, "one cold build, five hits");
+    }
+
+    #[test]
+    fn serve_keeps_going_past_malformed_lines() {
+        let path = std::env::temp_dir().join("ftqs-cli-serve-poisoned.ndjson");
+        std::fs::write(
+            &path,
+            "{\"id\": 1, \"preset\": {\"family\": \"fig9\", \"size\": 12, \"seed\": 5}}\n\
+             not json\n\
+             {\"id\": 2, \"preset\": {\"family\": \"fig9\", \"size\": 12, \"seed\": 5}}\n",
+        )
+        .unwrap();
+        let out = serve(path.to_str().unwrap(), 1, 16, 8, false).unwrap();
+        std::fs::remove_file(&path).ok();
+        let responses: Vec<ftqs_service::transport::WireResponse> = out
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(responses.len(), 3);
+        assert_eq!(responses.iter().filter(|r| r.ok).count(), 2);
+        let bad = responses.iter().find(|r| !r.ok).unwrap();
+        assert!(bad.error.as_ref().unwrap().contains("line 2"));
+    }
+
+    #[test]
+    fn serve_rejects_missing_batch_files() {
+        assert!(serve("/nonexistent/batch.ndjson", 1, 4, 4, false).is_err());
+    }
+
     // ----- argv dispatch ---------------------------------------------------
 
     #[test]
@@ -1078,6 +1288,37 @@ mod tests {
         ]))
         .is_ok());
         assert!(run(&args(&["export", "--example", "--prefix", "x"])).is_ok());
+        assert!(run(&args(&["submit", "fig9", "--count", "2", "--size", "12"])).is_ok());
+    }
+
+    #[test]
+    fn run_dispatches_submit_into_serve() {
+        let batch = run(&args(&[
+            "submit",
+            "fig9",
+            "--count",
+            "4",
+            "--size",
+            "12",
+            "--seed",
+            "5",
+            "--distinct",
+            "1",
+        ]))
+        .unwrap();
+        let path = std::env::temp_dir().join("ftqs-cli-dispatch.ndjson");
+        std::fs::write(&path, &batch).unwrap();
+        let out = run(&args(&[
+            "serve",
+            path.to_str().unwrap(),
+            "--workers",
+            "1",
+            "--stats",
+        ]))
+        .unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(out.lines().count(), 5, "4 responses + stats");
+        assert!(out.contains("\"ok\": true") || out.contains("\"ok\":true"));
     }
 
     #[test]

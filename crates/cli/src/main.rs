@@ -19,6 +19,14 @@
 //! ftqs trace <spec> [--budget N]            trace one average-case cycle
 //! ftqs export <spec> [--budget N] [--prefix SYM]
 //!                                           C header (prefix must be a C identifier)
+//!
+//! ftqs submit <family> [--count N] [--size N] [--seed S] [--distinct D]
+//!                      [--policy P] [--budget N]
+//!                                           generate an NDJSON request batch
+//! ftqs serve <batch.ndjson|-> [--workers N] [--queue N] [--cache N] [--stats]
+//!                                           batched synthesis through the fleet
+//!                                           service (ftqs_service), one JSON
+//!                                           response line per request
 //! ```
 //!
 //! `<spec>` is a spec file path, `-` for stdin, or `--example` for the

@@ -57,14 +57,18 @@
 //! # }
 //! ```
 
-use crate::fschedule::UtilityEstimator;
-use crate::ftqs::{ftqs_with, ExpansionMode, ExpansionPolicy, ExpansionStats, FtqsConfig};
+use crate::digest::{application_digest, ContentDigest, Hasher};
+use crate::fschedule::{CompiledUtilities, UtilityEstimator};
+use crate::ftqs::{
+    ftqs_prepared, ftqs_with, ExpansionMode, ExpansionPolicy, ExpansionStats, FtqsConfig,
+};
 use crate::ftsf::ftsf_with;
-use crate::ftss::{ftss_with, FtssConfig, SynthesisScratch};
+use crate::ftss::{ftss_from_context, ftss_with, AppModel, FtssConfig, SynthesisScratch};
 use crate::tree::QuasiStaticTree;
 use crate::validate::validate_tree;
 use crate::{Application, Error, FSchedule, ScheduleContext};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Which synthesis pipeline a [`SynthesisRequest`] runs.
@@ -189,6 +193,62 @@ impl Engine {
             ftss: self.ftss.clone(),
         }
     }
+
+    /// Stable content digest of every engine knob that can influence a
+    /// synthesized artifact. Combined with
+    /// [`SynthesisRequest::knob_digest`] and
+    /// [`crate::application_digest`] it forms a canonical cache key:
+    /// equal keys guarantee bit-identical synthesis output.
+    #[must_use]
+    pub fn config_digest(&self) -> ContentDigest {
+        let mut h = Hasher::new();
+        digest_ftss(&mut h, &self.ftss);
+        digest_expansion(&mut h, self.expansion);
+        digest_mode(&mut h, self.mode);
+        h.write_u64(u64::from(self.interval_samples));
+        digest_estimator(&mut h, self.estimator);
+        h.write_u8(u8::from(self.validate));
+        h.finish()
+    }
+}
+
+fn digest_ftss(h: &mut Hasher, ftss: &FtssConfig) {
+    h.write_u8(u8::from(ftss.dropping));
+    h.write_u8(u8::from(ftss.soft_reexecution));
+    h.write_f64(ftss.successor_weight);
+}
+
+fn digest_expansion(h: &mut Hasher, policy: ExpansionPolicy) {
+    h.write_u8(match policy {
+        ExpansionPolicy::MostSimilar => 0,
+        ExpansionPolicy::Fifo => 1,
+        ExpansionPolicy::BestImprovement => 2,
+    });
+}
+
+fn digest_mode(h: &mut Hasher, mode: ExpansionMode) {
+    h.write_u8(match mode {
+        ExpansionMode::Incremental => 0,
+        ExpansionMode::Rerun => 1,
+        ExpansionMode::Replay => 2,
+    });
+}
+
+fn digest_estimator(h: &mut Hasher, estimator: UtilityEstimator) {
+    h.write_u8(match estimator {
+        UtilityEstimator::AverageCase => 0,
+        UtilityEstimator::Quantile3 => 1,
+    });
+}
+
+fn digest_option<T>(h: &mut Hasher, v: Option<T>, f: impl FnOnce(&mut Hasher, T)) {
+    match v {
+        None => h.write_u8(0),
+        Some(v) => {
+            h.write_u8(1);
+            f(h, v);
+        }
+    }
 }
 
 /// One synthesis call: the policy plus per-request overrides and limits.
@@ -301,6 +361,99 @@ impl SynthesisRequest {
         self.max_parallelism = Some(workers.max(1));
         self
     }
+
+    /// Stable content digest of every request knob that can influence the
+    /// synthesized artifact: the policy (including the FTQS budget) and
+    /// the per-request overrides. `max_processes` and `max_parallelism`
+    /// are deliberately excluded — the former only gates acceptance and
+    /// the latter is bit-identical at any setting — so requests differing
+    /// only in those limits share a cache key.
+    #[must_use]
+    pub fn knob_digest(&self) -> ContentDigest {
+        let mut h = Hasher::new();
+        match self.policy {
+            SynthesisPolicy::Ftss => h.write_u8(0),
+            SynthesisPolicy::Ftqs { budget } => {
+                h.write_u8(1);
+                h.write_usize(budget);
+            }
+            SynthesisPolicy::Ftsf => h.write_u8(2),
+        }
+        digest_option(&mut h, self.expansion, digest_expansion);
+        digest_option(&mut h, self.expansion_mode, digest_mode);
+        digest_option(&mut h, self.interval_samples, |h, v| {
+            h.write_u64(u64::from(v));
+        });
+        digest_option(&mut h, self.estimator, digest_estimator);
+        digest_option(&mut h, self.validate, |h, v| h.write_u8(u8::from(v)));
+        h.finish()
+    }
+}
+
+/// An application pre-compiled for repeated synthesis: the dense
+/// [`AppModel`] tables and compiled utility functions every FTSS/FTQS run
+/// needs, built once and shared read-only by any number of sessions.
+///
+/// This is the cacheable synthesis artifact handle. A `PreparedApp` is
+/// immutable, `Send + Sync`, and cheap to share behind an [`Arc`]; the
+/// fleet service keeps them in its cross-request cache keyed by
+/// [`PreparedApp::digest`] combined with [`Engine::config_digest`] /
+/// [`SynthesisRequest::knob_digest`]. [`Session::synthesize_prepared`]
+/// runs against one without re-deriving any per-application table, and
+/// its output is pinned bit-identical to [`Session::synthesize`] on the
+/// same application.
+///
+/// FTSS and FTQS reuse the prepared tables directly. FTSF synthesizes
+/// over a fault-free clone of the application (the baseline deliberately
+/// ignores the fault model during scheduling), so it only reuses the
+/// shared [`Arc`]'d application itself.
+#[derive(Debug)]
+pub struct PreparedApp {
+    app: Arc<Application>,
+    model: AppModel,
+    compiled: CompiledUtilities,
+    digest: ContentDigest,
+}
+
+impl PreparedApp {
+    /// Prepares `app`, cloning it into shared ownership.
+    #[must_use]
+    pub fn new(app: &Application) -> Self {
+        PreparedApp::from_arc(Arc::new(app.clone()))
+    }
+
+    /// Prepares an already-shared application without cloning it.
+    #[must_use]
+    pub fn from_arc(app: Arc<Application>) -> Self {
+        let digest = application_digest(&app);
+        let model = AppModel::build_shared(Arc::clone(&app));
+        let compiled = CompiledUtilities::build(&app);
+        PreparedApp {
+            app,
+            model,
+            compiled,
+            digest,
+        }
+    }
+
+    /// The prepared application.
+    #[must_use]
+    pub fn app(&self) -> &Application {
+        &self.app
+    }
+
+    /// A shared handle to the prepared application.
+    #[must_use]
+    pub fn app_arc(&self) -> Arc<Application> {
+        Arc::clone(&self.app)
+    }
+
+    /// Content digest of the prepared application (see
+    /// [`crate::application_digest`]).
+    #[must_use]
+    pub fn digest(&self) -> ContentDigest {
+        self.digest
+    }
 }
 
 /// A reusable synthesis handle owning the scratch buffers.
@@ -329,6 +482,32 @@ impl Session {
     pub fn synthesize(
         &mut self,
         app: &Application,
+        request: &SynthesisRequest,
+    ) -> Result<SynthesisReport, Error> {
+        self.run(app, None, request)
+    }
+
+    /// Runs one synthesis request against a [`PreparedApp`], reusing its
+    /// pre-built model tables and compiled utilities instead of deriving
+    /// them per call. Output is bit-identical to
+    /// [`Session::synthesize`] on the same application — the prepared
+    /// path only removes redundant work, never changes a result.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Session::synthesize`].
+    pub fn synthesize_prepared(
+        &mut self,
+        prepared: &PreparedApp,
+        request: &SynthesisRequest,
+    ) -> Result<SynthesisReport, Error> {
+        self.run(prepared.app(), Some(prepared), request)
+    }
+
+    fn run(
+        &mut self,
+        app: &Application,
+        prepared: Option<&PreparedApp>,
         request: &SynthesisRequest,
     ) -> Result<SynthesisReport, Error> {
         if let Some(max) = request.max_processes {
@@ -364,15 +543,24 @@ impl Session {
         let (tree, expansion) =
             crate::par::with_max_workers(request.max_parallelism, || match request.policy {
                 SynthesisPolicy::Ftss => {
-                    let schedule =
-                        ftss_with(app, &ScheduleContext::root(app), &engine.ftss, scratch)?;
+                    let ctx = ScheduleContext::root(app);
+                    let schedule = match prepared {
+                        Some(p) => ftss_from_context(&p.model, &ctx, &engine.ftss, scratch)?,
+                        None => ftss_with(app, &ctx, &engine.ftss, scratch)?,
+                    };
                     Ok::<_, Error>((QuasiStaticTree::single(schedule), ExpansionStats::default()))
                 }
                 SynthesisPolicy::Ftqs { budget } => {
                     let config = engine.ftqs_config(budget, request);
-                    Ok(ftqs_with(app, &config, scratch)?)
+                    match prepared {
+                        Some(p) => Ok(ftqs_prepared(&p.model, &p.compiled, &config, scratch)?),
+                        None => Ok(ftqs_with(app, &config, scratch)?),
+                    }
                 }
                 SynthesisPolicy::Ftsf => {
+                    // FTSF schedules a fault-free clone of the
+                    // application, so the fault-aware prepared tables do
+                    // not apply to it.
                     let schedule = ftsf_with(app, &engine.ftss, scratch)?;
                     Ok((QuasiStaticTree::single(schedule), ExpansionStats::default()))
                 }
@@ -751,6 +939,91 @@ mod tests {
         assert!(session
             .synthesize(&app, &SynthesisRequest::ftqs(4).with_validation(false))
             .is_ok());
+    }
+
+    #[test]
+    fn prepared_synthesis_is_bit_identical_to_cold() {
+        // The prepared path must only remove redundant work — for every
+        // policy the tree digest and the utility bits must match the cold
+        // path exactly.
+        let app = fig1_app();
+        let prepared = PreparedApp::new(&app);
+        let mut session = Engine::new().session();
+        for request in [
+            SynthesisRequest::ftss(),
+            SynthesisRequest::ftqs(6),
+            SynthesisRequest::ftqs(6).with_expansion_mode(ExpansionMode::Rerun),
+            SynthesisRequest::ftsf(),
+        ] {
+            let cold = session.synthesize(&app, &request).unwrap();
+            let warm = session.synthesize_prepared(&prepared, &request).unwrap();
+            assert_eq!(
+                crate::tree_digest(&cold.tree),
+                crate::tree_digest(&warm.tree),
+                "{:?}",
+                request.policy()
+            );
+            assert_eq!(
+                cold.utility.expected_average_case.to_bits(),
+                warm.utility.expected_average_case.to_bits(),
+                "{:?}",
+                request.policy()
+            );
+            assert_eq!(cold.dropped, warm.dropped);
+        }
+    }
+
+    #[test]
+    fn prepared_app_reports_a_stable_application_digest() {
+        let app = fig1_app();
+        let prepared = PreparedApp::new(&app);
+        assert_eq!(prepared.digest(), crate::application_digest(&app));
+        assert_eq!(
+            prepared.digest(),
+            PreparedApp::from_arc(prepared.app_arc()).digest()
+        );
+    }
+
+    #[test]
+    fn knob_digests_separate_what_matters_and_ignore_what_does_not() {
+        // Policy, budget and overrides steer synthesis: distinct digests.
+        let base = SynthesisRequest::ftqs(6);
+        assert_ne!(base.knob_digest(), SynthesisRequest::ftss().knob_digest());
+        assert_ne!(base.knob_digest(), SynthesisRequest::ftqs(7).knob_digest());
+        assert_ne!(
+            base.knob_digest(),
+            SynthesisRequest::ftqs(6)
+                .with_expansion_policy(ExpansionPolicy::Fifo)
+                .knob_digest()
+        );
+        assert_ne!(
+            base.knob_digest(),
+            SynthesisRequest::ftqs(6)
+                .with_estimator(UtilityEstimator::AverageCase)
+                .knob_digest()
+        );
+        // Acceptance/latency limits cannot change artifact bits: same key.
+        assert_eq!(
+            base.knob_digest(),
+            SynthesisRequest::ftqs(6)
+                .with_max_processes(100)
+                .with_max_parallelism(1)
+                .knob_digest()
+        );
+        // Engine knobs likewise.
+        let engine = Engine::new();
+        assert_ne!(
+            engine.config_digest(),
+            engine.clone().with_interval_samples(7).config_digest()
+        );
+        assert_ne!(
+            engine.config_digest(),
+            engine
+                .clone()
+                .with_expansion_mode(ExpansionMode::Rerun)
+                .config_digest()
+        );
+        assert_eq!(engine.config_digest(), Engine::new().config_digest());
     }
 
     #[test]

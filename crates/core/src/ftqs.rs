@@ -258,10 +258,27 @@ pub(crate) fn ftqs_with(
     config: &FtqsConfig,
     scratch: &mut SynthesisScratch,
 ) -> Result<(QuasiStaticTree, ExpansionStats), SchedulingError> {
+    let model = AppModel::build(app);
+    let compiled = CompiledUtilities::build(app);
+    ftqs_prepared(&model, &compiled, config, scratch)
+}
+
+/// [`ftqs_with`] over caller-provided shared artifacts: the dense model
+/// tables and compiled utility tables are *not* rebuilt here, so a cache
+/// holding them (the fleet service's [`crate::PreparedApp`])
+/// amortizes both across every request for the same application. Output is
+/// bit-identical to [`ftqs_with`] — the artifacts are pure functions of
+/// the application.
+pub(crate) fn ftqs_prepared(
+    model: &AppModel,
+    compiled: &CompiledUtilities,
+    config: &FtqsConfig,
+    scratch: &mut SynthesisScratch,
+) -> Result<(QuasiStaticTree, ExpansionStats), SchedulingError> {
+    let app = &*model.app;
     if config.max_schedules == 0 {
         return Err(SchedulingError::ZeroTreeBudget);
     }
-    let model = AppModel::build(app);
     let replay = config.mode == ExpansionMode::Replay;
     let root_ctx = ScheduleContext::root(app);
     let mut root_log = None;
@@ -269,9 +286,9 @@ pub(crate) fn ftqs_with(
         // The root run is captured so the first expansion wave can replay
         // its decisions across the root's pivots.
         let mut log = DecisionLog::default();
-        scratch.prefix_init(&model, &root_ctx);
+        scratch.prefix_init(model, &root_ctx);
         let (result, _) = ftss_resume_replay(
-            &model,
+            model,
             &root_ctx,
             &config.ftss,
             scratch,
@@ -281,7 +298,7 @@ pub(crate) fn ftqs_with(
         root_log = Some(std::sync::Arc::new(log));
         result?
     } else {
-        ftss_from_context(&model, &root_ctx, &config.ftss, scratch)?
+        ftss_from_context(model, &root_ctx, &config.ftss, scratch)?
     };
     if root_schedule.entries().is_empty() {
         // Every process was statically dropped (or pre-completed): there is
@@ -300,7 +317,7 @@ pub(crate) fn ftqs_with(
             ExpansionStats::default(),
         ));
     }
-    let mut builder = TreeBuilder::new(app, config, model, scratch);
+    let mut builder = TreeBuilder::new(app, config, model, compiled, scratch);
     builder.push_root(root_schedule);
     builder.nodes[0].log = root_log;
     builder.grow();
@@ -383,7 +400,10 @@ struct ExpansionWorker {
 struct TreeBuilder<'a, 's> {
     app: &'a Application,
     config: &'a FtqsConfig,
-    model: AppModel<'a>,
+    model: &'a AppModel,
+    /// Shared per-process compiled utility tables (cache-friendly: owned
+    /// by the caller, possibly a cross-request artifact cache).
+    compiled: &'a CompiledUtilities,
     /// The session scratch: runs the root synthesis and captures the
     /// per-parent base checkpoints (serial side only).
     scratch: &'s mut SynthesisScratch,
@@ -396,13 +416,15 @@ impl<'a, 's> TreeBuilder<'a, 's> {
     fn new(
         app: &'a Application,
         config: &'a FtqsConfig,
-        model: AppModel<'a>,
+        model: &'a AppModel,
+        compiled: &'a CompiledUtilities,
         scratch: &'s mut SynthesisScratch,
     ) -> Self {
         TreeBuilder {
             app,
             config,
             model,
+            compiled,
             scratch,
             arena: ScheduleArena::new(),
             nodes: Vec::new(),
@@ -534,7 +556,7 @@ impl<'a, 's> TreeBuilder<'a, 's> {
         let mut base = PrefixCheckpoint::default();
         let parent_completed = parent_ctx.completed.iter().filter(|&&c| c).count();
         if incremental {
-            self.scratch.prefix_init(&self.model, &parent_ctx);
+            self.scratch.prefix_init(self.model, &parent_ctx);
             self.scratch.checkpoint(&mut base);
             self.stats.snapshots += 1;
         }
@@ -679,7 +701,7 @@ impl<'a, 's> TreeBuilder<'a, 's> {
         p: usize,
         parent_log: Option<&DecisionLog>,
     ) -> PendingSlot {
-        worker.cursor.advance_to(&self.model, parent_entries, p);
+        worker.cursor.advance_to(self.model, parent_entries, p);
         let ctx = self.child_context(parent_entries, parent_ctx, bcet_at, p);
         worker.scratch.restore(worker.cursor.checkpoint());
         worker.scratch.begin_run_at(ctx.start);
@@ -700,7 +722,7 @@ impl<'a, 's> TreeBuilder<'a, 's> {
             let mut own_log = std::mem::take(spare_log);
             own_log.clear();
             let (result, replay) = ftss_resume_replay(
-                &self.model,
+                self.model,
                 &ctx,
                 &self.config.ftss,
                 scratch,
@@ -731,7 +753,7 @@ impl<'a, 's> TreeBuilder<'a, 's> {
             };
             return PendingSlot { child, replay };
         }
-        let child = ftss_resume(&self.model, &ctx, &self.config.ftss, &mut worker.scratch)
+        let child = ftss_resume(self.model, &ctx, &self.config.ftss, &mut worker.scratch)
             .ok()
             .and_then(|child| self.accept_child(parent_entries, p, child));
         PendingSlot {
@@ -804,10 +826,9 @@ impl<'a, 's> TreeBuilder<'a, 's> {
         if n <= 1 {
             return;
         }
-        let compiled = CompiledUtilities::build(self.app);
         let mut sweep = std::mem::take(&mut self.scratch.sweep);
         let this = &*self;
-        let compiled = &compiled;
+        let compiled = self.compiled;
         let intervals =
             par::par_map_collect_seeded(n - 1, &mut sweep, SweepScratch::default, |sw, idx| {
                 let i = idx + 1;

@@ -186,9 +186,17 @@ impl Default for FtssConfig {
 /// builder derives it once and every pivot run (including parallel
 /// expansion workers) borrows it, instead of re-deriving the tables per
 /// sub-schedule.
+///
+/// The model *owns* its data — the application behind an `Arc`, the
+/// utility functions cloned once at build — so it carries no lifetime and
+/// can live in long-lived caches: the fleet service's artifact cache
+/// stores one model per distinct application
+/// ([`crate::PreparedApp`]) and shares it read-only across
+/// worker threads and requests ([`AppModel::build_shared`] skips even the
+/// application clone for that path).
 #[derive(Debug)]
-pub(crate) struct AppModel<'a> {
-    pub(crate) app: &'a Application,
+pub(crate) struct AppModel {
+    pub(crate) app: std::sync::Arc<Application>,
     k: usize,
     wcet_of: Vec<Time>,
     aet_of: Vec<Time>,
@@ -197,7 +205,7 @@ pub(crate) struct AppModel<'a> {
     deadline_of: Vec<Time>,
     hard_of: Vec<bool>,
     /// Utility function per node (`None` for hard nodes).
-    utility_of: Vec<Option<&'a UtilityFunction>>,
+    utility_of: Vec<Option<UtilityFunction>>,
     /// MU-priority density denominator per node (`max(aet, 1)` as f64).
     denom_of: Vec<f64>,
     /// All hard / soft process ids, in node-index order (the same order
@@ -213,9 +221,17 @@ pub(crate) struct AppModel<'a> {
     hard_succs: Vec<Vec<NodeId>>,
 }
 
-impl<'a> AppModel<'a> {
-    /// Derives the dense tables from `app`.
-    pub(crate) fn build(app: &'a Application) -> Self {
+impl AppModel {
+    /// Derives the dense tables from `app`, cloning it behind a fresh
+    /// `Arc` (one deep copy per synthesis call — negligible against the
+    /// synthesis itself; cached callers use [`AppModel::build_shared`]).
+    pub(crate) fn build(app: &Application) -> Self {
+        AppModel::build_shared(std::sync::Arc::new(app.clone()))
+    }
+
+    /// Derives the dense tables from an already-shared application,
+    /// without cloning it.
+    pub(crate) fn build_shared(app: std::sync::Arc<Application>) -> Self {
         let n = app.len();
         let mut wcet_of = Vec::with_capacity(n);
         let mut aet_of = Vec::with_capacity(n);
@@ -233,7 +249,7 @@ impl<'a> AppModel<'a> {
             penalty_of.push(app.recovery_penalty(node));
             deadline_of.push(p.criticality().deadline().unwrap_or(Time::MAX));
             hard_of.push(p.is_hard());
-            utility_of.push(p.criticality().utility());
+            utility_of.push(p.criticality().utility().cloned());
             denom_of.push(p.times().aet().as_ms().max(1) as f64);
             if p.is_hard() {
                 hards.push(node);
@@ -260,9 +276,10 @@ impl<'a> AppModel<'a> {
                     .collect()
             })
             .collect();
+        let k = app.faults().k;
         AppModel {
             app,
-            k: app.faults().k,
+            k,
             wcet_of,
             aet_of,
             penalty_of,
@@ -350,8 +367,8 @@ impl CommittedPrefix {
     /// reusing every buffer. Processes completed or dropped by the context
     /// start resolved; everything derived (ready set, predecessor counts,
     /// stale coefficients) matches a from-scratch derivation exactly.
-    pub(crate) fn init(&mut self, model: &AppModel<'_>, ctx: &ScheduleContext) {
-        let app = model.app;
+    pub(crate) fn init(&mut self, model: &AppModel, ctx: &ScheduleContext) {
+        let app = &*model.app;
         let n = app.len();
         self.dropped.clear();
         self.dropped.extend_from_slice(&ctx.dropped);
@@ -431,7 +448,7 @@ impl CommittedPrefix {
     /// completed by a pivot), promoting successors whose last pending
     /// predecessor this was. Hard resolutions shrink the pending hard set,
     /// so the derived probe caches are invalidated.
-    fn mark_resolved(&mut self, model: &AppModel<'_>, n: NodeId) {
+    fn mark_resolved(&mut self, model: &AppModel, n: NodeId) {
         if model.hard_of[n.index()] {
             self.edf_cache_valid = false;
             self.soft_slack_valid = false;
@@ -452,7 +469,7 @@ impl CommittedPrefix {
     /// Marks the next pivot entry of the expansion cursor as completed
     /// before the run starts (equivalent to `ctx.completed[p] = true` in a
     /// from-scratch initialization).
-    fn advance_completed(&mut self, model: &AppModel<'_>, process: NodeId) {
+    fn advance_completed(&mut self, model: &AppModel, process: NodeId) {
         debug_assert!(
             !self.resolved[process.index()],
             "a pivot entry is pending until the cursor passes it"
@@ -566,7 +583,7 @@ impl SynthesisScratch {
     /// Initializes the committed prefix for a run of `model.app` from
     /// `ctx` (the state a subsequent [`SynthesisScratch::checkpoint`]
     /// captures).
-    pub(crate) fn prefix_init(&mut self, model: &AppModel<'_>, ctx: &ScheduleContext) {
+    pub(crate) fn prefix_init(&mut self, model: &AppModel, ctx: &ScheduleContext) {
         self.prefix.init(model, ctx);
     }
 
@@ -632,12 +649,7 @@ impl PrefixCursor {
     }
 
     /// Absorbs parent entries until `entries[0..=pivot]` are completed.
-    pub(crate) fn advance_to(
-        &mut self,
-        model: &AppModel<'_>,
-        entries: &[ScheduleEntry],
-        pivot: usize,
-    ) {
+    pub(crate) fn advance_to(&mut self, model: &AppModel, entries: &[ScheduleEntry], pivot: usize) {
         debug_assert!(
             self.advanced <= pivot + 1,
             "cursors only move forward (pivot {pivot}, already at {})",
@@ -821,7 +833,7 @@ pub(crate) fn ftss_with(
 /// FTSS over a shared model: initializes the committed prefix from `ctx`
 /// and runs to completion.
 pub(crate) fn ftss_from_context(
-    model: &AppModel<'_>,
+    model: &AppModel,
     ctx: &ScheduleContext,
     config: &FtssConfig,
     scratch: &mut SynthesisScratch,
@@ -835,7 +847,7 @@ pub(crate) fn ftss_from_context(
 /// paused mid-schedule. `ctx` must be the context the prefix describes; it
 /// is embedded in the resulting [`FSchedule`].
 pub(crate) fn ftss_resume(
-    model: &AppModel<'_>,
+    model: &AppModel,
     ctx: &ScheduleContext,
     config: &FtssConfig,
     scratch: &mut SynthesisScratch,
@@ -852,7 +864,7 @@ pub(crate) fn ftss_resume(
 /// run's future expansion. Output is bit-identical to [`ftss_resume`]
 /// under every combination.
 pub(crate) fn ftss_resume_replay(
-    model: &AppModel<'_>,
+    model: &AppModel,
     ctx: &ScheduleContext,
     config: &FtssConfig,
     scratch: &mut SynthesisScratch,
@@ -926,8 +938,8 @@ impl EvalSink for CollectEval {
     }
 }
 
-struct Scheduler<'s, 'app> {
-    model: &'s AppModel<'app>,
+struct Scheduler<'s> {
+    model: &'s AppModel,
     config: &'s FtssConfig,
     ctx: &'s ScheduleContext,
     prefix: &'s mut CommittedPrefix,
@@ -965,9 +977,9 @@ struct Scheduler<'s, 'app> {
     stats: ReplayRunStats,
 }
 
-impl<'s, 'app> Scheduler<'s, 'app> {
+impl<'s> Scheduler<'s> {
     fn new(
-        model: &'s AppModel<'app>,
+        model: &'s AppModel,
         config: &'s FtssConfig,
         ctx: &'s ScheduleContext,
         scratch: &'s mut SynthesisScratch,
@@ -1016,6 +1028,7 @@ impl<'s, 'app> Scheduler<'s, 'app> {
         mut is_pending: impl FnMut(NodeId) -> bool,
     ) -> f64 {
         let u = self.model.utility_of[s.index()]
+            .as_ref()
             .expect("MU priority is defined for soft processes only");
         let own_completion = now + self.model.aet_of[s.index()];
         let mut score = alpha * sink.eval(u, own_completion) / self.model.denom_of[s.index()];
@@ -1029,6 +1042,7 @@ impl<'s, 'app> Scheduler<'s, 'app> {
                     continue;
                 }
                 let uj = self.model.utility_of[j.index()]
+                    .as_ref()
                     .expect("soft successor has a utility function");
                 succ_sum += sink.eval(uj, own_completion + aet_j) / denom_j;
             }
@@ -1401,7 +1415,7 @@ impl<'s, 'app> Scheduler<'s, 'app> {
         extra_drop: Option<NodeId>,
         sink: &mut E,
     ) -> f64 {
-        let app = self.model.app;
+        let app = &*self.model.app;
         self.probe.alpha.copy_from(&self.prefix.alpha);
         if let Some(d) = extra_drop {
             self.probe.alpha.mark_dropped(d);
@@ -1463,7 +1477,7 @@ impl<'s, 'app> Scheduler<'s, 'app> {
             self.probe.mark[s.index()] = placed;
             now += self.model.aet_of[s.index()];
             let av = self.probe.alpha.resolve(app, s);
-            if let Some(u) = self.model.utility_of[s.index()] {
+            if let Some(u) = self.model.utility_of[s.index()].as_ref() {
                 total += av * sink.eval(u, now);
             }
             for j in app.graph().successors(s) {
@@ -1622,7 +1636,7 @@ impl<'s, 'app> Scheduler<'s, 'app> {
     /// exactly the order the heap walk of
     /// [`Self::hard_suffix_feasible_excluding`] visits.
     fn rebuild_edf_cache(&mut self) {
-        let app = self.model.app;
+        let app = &*self.model.app;
         self.prefix.edf_cache.clear();
         let stamp = self.probe.next_stamp();
         for i in 0..self.model.hards.len() {
@@ -1765,7 +1779,7 @@ impl<'s, 'app> Scheduler<'s, 'app> {
         mut wcet: Time,
         p_cand: Time,
     ) -> bool {
-        let app = self.model.app;
+        let app = &*self.model.app;
         let k = self.model.k;
         // Membership pass: the pending hard set, excluding `skip`.
         let stamp = self.probe.next_stamp();
@@ -1864,7 +1878,7 @@ impl<'s, 'app> Scheduler<'s, 'app> {
         if !softs.is_empty() {
             let mut best: Option<(f64, NodeId)> = None;
             for &s in &softs {
-                let a = alpha_preview(self.model.app, &mut self.prefix.alpha, s);
+                let a = alpha_preview(&self.model.app, &mut self.prefix.alpha, s);
                 let resolved = &self.prefix.resolved;
                 let pr = self.mu_priority_fast(&mut PlainEval, s, self.prefix.avg_clock, a, |j| {
                     !resolved[j.index()]
@@ -1912,7 +1926,7 @@ impl<'s, 'app> Scheduler<'s, 'app> {
             reexecutions,
         });
         self.prefix.avg_clock += self.model.aet_of[best.index()];
-        self.prefix.alpha.resolve(self.model.app, best);
+        self.prefix.alpha.resolve(&self.model.app, best);
         self.prefix.mark_resolved(self.model, best);
         self.probe.step_res.push(LogResolution {
             process: best,
@@ -1927,7 +1941,7 @@ impl<'s, 'app> Scheduler<'s, 'app> {
     /// utility at its worst-case completion ("it is evaluated with the
     /// dropping heuristic", paper §5.2).
     fn soft_reexecution_allowance(&mut self, best: NodeId) -> usize {
-        let app = self.model.app;
+        let app = &*self.model.app;
         let u = app
             .process(best)
             .criticality()
@@ -1977,7 +1991,7 @@ impl<'s, 'app> Scheduler<'s, 'app> {
         // achievable worst-case completion (every soft dropped). Cold path
         // (executed at most once per synthesis); stays on the simple batch
         // analysis.
-        let app = self.model.app;
+        let app = &*self.model.app;
         let mut wcet = self.prefix.wcet_clock;
         let mut items = self.prefix.slack_items.clone();
         let mut worst: Option<(NodeId, Time, Time)> = None;
@@ -2480,7 +2494,7 @@ mod tests {
     /// Captures the decision log of a run over `ctx`, returning the
     /// schedule too.
     fn captured_run(
-        model: &AppModel<'_>,
+        model: &AppModel,
         ctx: &ScheduleContext,
         cfg: &FtssConfig,
     ) -> Result<(FSchedule, DecisionLog), SchedulingError> {

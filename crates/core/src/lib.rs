@@ -93,6 +93,7 @@
 #![warn(missing_debug_implementations)]
 
 mod application;
+pub mod digest;
 mod engine;
 mod error;
 pub mod export;
@@ -112,9 +113,10 @@ pub mod validate;
 pub mod wcdelay;
 
 pub use application::{Application, ApplicationBuilder, ApplicationError, FaultModel};
+pub use digest::{application_digest, tree_digest, ContentDigest};
 pub use engine::{
-    DropReport, Engine, Session, SynthesisPolicy, SynthesisReport, SynthesisRequest, TimingReport,
-    TreeStats, UtilityReport,
+    DropReport, Engine, PreparedApp, Session, SynthesisPolicy, SynthesisReport, SynthesisRequest,
+    TimingReport, TreeStats, UtilityReport,
 };
 pub use error::{Error, SchedulingError};
 pub use fschedule::{

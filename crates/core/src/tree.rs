@@ -43,6 +43,14 @@ impl ScheduleId {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// The handle for arena slot `index` (the inverse of
+    /// [`ScheduleId::index`]; only meaningful against the arena the index
+    /// came from).
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        ScheduleId(index)
+    }
 }
 
 /// Bump storage for the f-schedules of one quasi-static tree.

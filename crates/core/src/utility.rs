@@ -246,6 +246,34 @@ impl UtilityFunction {
         UtilityFunction { kind }
     }
 
+    /// Absorbs this function's exact shape (kind, breakpoints, f64 bit
+    /// patterns) into a content digest — see [`crate::digest`].
+    pub(crate) fn digest_into(&self, h: &mut crate::digest::Hasher) {
+        match &self.kind {
+            Kind::Constant(v) => {
+                h.write_u8(0);
+                h.write_f64(*v);
+            }
+            Kind::Step { initial, steps } => {
+                h.write_u8(1);
+                h.write_f64(*initial);
+                h.write_usize(steps.len());
+                for &(t, v) in steps {
+                    h.write_time(t);
+                    h.write_f64(v);
+                }
+            }
+            Kind::Linear { points } => {
+                h.write_u8(2);
+                h.write_usize(points.len());
+                for &(t, v) in points {
+                    h.write_time(t);
+                    h.write_f64(v);
+                }
+            }
+        }
+    }
+
     /// Compiles this function into the flat [`CompiledUtility`] form used
     /// by batched evaluation (see that type's docs). The compiled form is
     /// bit-identical to [`UtilityFunction::value`] at every integer time —

@@ -1,0 +1,235 @@
+//! The cross-request artifact cache.
+//!
+//! Maps a [`ContentDigest`] cache key (application content combined with
+//! the engine/request knob digests — see [`crate::Service`]) to an
+//! [`Arc<PreparedApp>`]: the owned model tables and compiled utilities a
+//! synthesis run needs. Entries are immutable and shared read-only, so a
+//! hit costs one lock acquisition and one `Arc` clone; the synthesis
+//! itself runs outside the lock.
+//!
+//! Eviction is least-recently-used over a capacity bound. The map is
+//! small (hundreds of entries, each a few hundred KB at most), so LRU is
+//! tracked with a monotonic use-stamp per entry and eviction scans for
+//! the minimum — O(capacity), which at these sizes is cheaper and
+//! simpler than an intrusive list, and never wrong.
+//!
+//! Builds happen *outside* the lock: two workers missing on the same key
+//! concurrently will both build and both insert (last write wins — the
+//! artifacts are bit-identical by construction, so which `Arc` survives
+//! is unobservable). Both misses are counted; the duplicate build is the
+//! accepted cost of not serializing every cold synthesis behind a build
+//! lock.
+
+use ftqs_core::{ContentDigest, PreparedApp};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Counters and occupancy of an [`ArtifactCache`], as one coherent
+/// snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CacheStats {
+    /// Lookups that found a prepared artifact.
+    pub hits: u64,
+    /// Lookups that found nothing (each implies one artifact build).
+    pub misses: u64,
+    /// Entries displaced by the capacity bound.
+    pub evictions: u64,
+    /// Live entries at snapshot time.
+    pub entries: usize,
+    /// The capacity bound.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups (0 when no lookups happened).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: Arc<PreparedApp>,
+    last_used: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    map: HashMap<ContentDigest, Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Bounded, thread-safe LRU cache of prepared synthesis artifacts.
+#[derive(Debug)]
+pub struct ArtifactCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl ArtifactCache {
+    /// An empty cache bounded to `capacity` entries.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        ArtifactCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Looks `key` up, counting a hit or a miss and refreshing recency.
+    #[must_use]
+    pub fn get(&self, key: ContentDigest) -> Option<Arc<PreparedApp>> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let value = Arc::clone(&entry.value);
+                inner.hits += 1;
+                Some(value)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least-recently-used
+    /// entry when the capacity bound is hit. Re-inserting an existing key
+    /// replaces its value without counting an eviction.
+    pub fn insert(&self, key: ContentDigest, value: Arc<PreparedApp>) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            let lru = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k)
+                .expect("capacity > 0 means a non-empty full map");
+            inner.map.remove(&lru);
+            inner.evictions += 1;
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// A coherent snapshot of the counters and occupancy.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache lock");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftqs_core::{
+        application_digest, Application, ExecutionTimes, FaultModel, Time, UtilityFunction,
+    };
+
+    fn app(period_ms: u64) -> Application {
+        let mut b = Application::builder(
+            Time::from_ms(period_ms),
+            FaultModel::new(1, Time::from_ms(10)),
+        );
+        let p1 = b.add_hard(
+            "P1",
+            ExecutionTimes::uniform(Time::from_ms(30), Time::from_ms(70)).unwrap(),
+            Time::from_ms(180),
+        );
+        let p2 = b.add_soft(
+            "P2",
+            ExecutionTimes::uniform(Time::from_ms(30), Time::from_ms(70)).unwrap(),
+            UtilityFunction::step(40.0, [(Time::from_ms(90), 20.0)]).unwrap(),
+        );
+        b.add_dependency(p1, p2).unwrap();
+        b.build().unwrap()
+    }
+
+    fn prepared(period_ms: u64) -> (ContentDigest, Arc<PreparedApp>) {
+        let a = app(period_ms);
+        (application_digest(&a), Arc::new(PreparedApp::new(&a)))
+    }
+
+    #[test]
+    fn hit_miss_and_eviction_counters() {
+        let cache = ArtifactCache::new(2);
+        let (k1, v1) = prepared(300);
+        let (k2, v2) = prepared(400);
+        let (k3, v3) = prepared(500);
+
+        assert!(cache.get(k1).is_none());
+        cache.insert(k1, v1);
+        assert!(cache.get(k1).is_some());
+        cache.insert(k2, v2);
+        // k1 was last touched before k2's insertion, so the third insert
+        // displaces k1.
+        cache.insert(k3, v3);
+        assert!(cache.get(k1).is_none(), "LRU entry evicted");
+        assert!(cache.get(k2).is_some());
+        assert!(cache.get(k3).is_some());
+
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.capacity, 2);
+        assert!((stats.hit_rate() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reinserting_a_key_is_not_an_eviction() {
+        let cache = ArtifactCache::new(1);
+        let (k1, v1) = prepared(300);
+        cache.insert(k1, Arc::clone(&v1));
+        cache.insert(k1, v1);
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn recency_is_refreshed_by_get() {
+        let cache = ArtifactCache::new(2);
+        let (k1, v1) = prepared(300);
+        let (k2, v2) = prepared(400);
+        let (k3, v3) = prepared(500);
+        cache.insert(k1, v1);
+        cache.insert(k2, v2);
+        assert!(cache.get(k1).is_some()); // refresh k1: k2 is now LRU
+        cache.insert(k3, v3);
+        assert!(cache.get(k1).is_some());
+        assert!(cache.get(k2).is_none(), "k2 was the LRU entry");
+    }
+}

@@ -1,0 +1,550 @@
+//! # ftqs-service — the long-lived synthesis fleet service
+//!
+//! Everything below `crates/cli` synthesizes one application per process
+//! invocation. A synthesis *fleet* — sweeping thousands of generated
+//! applications, or serving synthesis requests for a family of related
+//! configurations — pays the fixed costs over and over: application
+//! generation or spec parsing, and the per-application model derivation
+//! ([`AppModel`](ftqs_core::ftss) tables, compiled utilities) that every
+//! run needs before the actual scheduling starts. This crate is the
+//! long-lived server shape for that workload, std-only (no async
+//! runtime — synthesis is CPU-bound, so threads *are* the right
+//! concurrency primitive offline):
+//!
+//! ```text
+//!  submit / NDJSON lines
+//!        │
+//!        ▼
+//!  bounded work queue ──► worker threads (one Session each)
+//!   (backpressure,           │
+//!    never a panic)          ▼
+//!                     artifact cache  ──  ContentDigest key:
+//!                     (LRU, Arc-shared)   app ⊕ engine ⊕ request knobs
+//!                            │
+//!                            ▼
+//!                  completion-order response stream
+//! ```
+//!
+//! * The **work queue** is bounded: [`Service::try_submit`]
+//!   surfaces overload as an explicit [`SubmitError::Backpressure`]
+//!   error the caller can retry, shed, or block on
+//!   ([`Service::submit`]) — the service never panics and never grows
+//!   without bound.
+//! * **Workers** are plain threads, one per core by default, each owning
+//!   a [`ftqs_core::Session`] whose scratch allocations amortize across
+//!   every request the worker serves.
+//! * The **artifact cache** ([`cache`]) shares [`PreparedApp`]s — the
+//!   owned model tables and compiled utilities behind an [`Arc`] —
+//!   across workers, keyed by a canonical [`ContentDigest`] of the job
+//!   source combined with [`Engine::config_digest`] and
+//!   [`SynthesisRequest::knob_digest`]. A hit skips application
+//!   generation/parsing *and* model derivation; the synthesis itself
+//!   always runs, so a cached response is bit-identical to a cold one
+//!   (the cache-correctness tests pin this through
+//!   [`ftqs_core::tree_digest`]).
+//! * **Responses** stream in completion order, tagged with the request
+//!   id, carrying per-request queueing/service timings and the cache
+//!   verdict; [`ServiceStats`] aggregates throughput counters, queue
+//!   gauges, and cache hit/miss/eviction counts.
+//!
+//! The NDJSON transport ([`transport`]) wires the same service to files
+//! and pipes for `ftqs serve` / `ftqs submit`; malformed request lines
+//! produce per-request error responses instead of aborting the batch.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+mod queue;
+pub mod transport;
+
+pub use cache::{ArtifactCache, CacheStats};
+
+use ftqs_core::digest::Hasher;
+use ftqs_core::{
+    Application, ContentDigest, Engine, PreparedApp, SynthesisReport, SynthesisRequest,
+};
+use queue::{PushError, Queue};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Where a job's application comes from. The source is hashed *without*
+/// building the application, so a cache hit skips generation/parsing
+/// entirely.
+#[derive(Debug, Clone)]
+pub enum JobSource {
+    /// An already-built application (in-process callers). Keyed by
+    /// [`ftqs_core::application_digest`] — structurally identical
+    /// applications share a cache entry regardless of provenance.
+    App(Arc<Application>),
+    /// Spec text (see [`ftqs_workloads::spec`]). Keyed by the text
+    /// itself: conservative (formatting changes re-key) but free.
+    Spec(String),
+    /// A deterministic workload-family triple (see
+    /// [`ftqs_workloads::family`]). Keyed by the triple.
+    Preset {
+        /// Canonical family name (see [`ftqs_workloads::Family::name`]).
+        family: String,
+        /// Requested process count.
+        size: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+impl JobSource {
+    /// Canonical content digest of the source (no application build).
+    #[must_use]
+    pub fn digest(&self) -> ContentDigest {
+        let mut h = Hasher::new();
+        match self {
+            JobSource::App(app) => {
+                h.write_u8(0);
+                return h.finish().combine(ftqs_core::application_digest(app));
+            }
+            JobSource::Spec(text) => {
+                h.write_u8(1);
+                h.write_str(text);
+            }
+            JobSource::Preset { family, size, seed } => {
+                h.write_u8(2);
+                h.write_str(family);
+                h.write_usize(*size);
+                h.write_u64(*seed);
+            }
+        }
+        h.finish()
+    }
+
+    /// Builds (or passes through) the application.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::InvalidSource`] on unparseable specs, unknown
+    /// family names, or a zero preset size.
+    pub fn resolve(&self) -> Result<Arc<Application>, ServiceError> {
+        match self {
+            JobSource::App(app) => Ok(Arc::clone(app)),
+            JobSource::Spec(text) => ftqs_workloads::spec::parse(text)
+                .map(Arc::new)
+                .map_err(|e| ServiceError::InvalidSource(e.to_string())),
+            JobSource::Preset { family, size, seed } => {
+                let f = ftqs_workloads::Family::parse(family).ok_or_else(|| {
+                    ServiceError::InvalidSource(format!("unknown workload family '{family}'"))
+                })?;
+                if *size == 0 {
+                    return Err(ServiceError::InvalidSource(
+                        "preset size must be positive".to_string(),
+                    ));
+                }
+                Ok(Arc::new(ftqs_workloads::family::build(f, *size, *seed)))
+            }
+        }
+    }
+}
+
+/// One unit of work: an id (echoed on the response), a job source, and
+/// the synthesis request to run against it.
+#[derive(Debug, Clone)]
+pub struct ServiceRequest {
+    /// Caller-chosen id, echoed verbatim on the response.
+    pub id: u64,
+    /// Where the application comes from.
+    pub source: JobSource,
+    /// What to synthesize.
+    pub request: SynthesisRequest,
+}
+
+impl ServiceRequest {
+    /// Bundles the three parts of a request.
+    #[must_use]
+    pub fn new(id: u64, source: JobSource, request: SynthesisRequest) -> Self {
+        ServiceRequest {
+            id,
+            source,
+            request,
+        }
+    }
+}
+
+/// Why a request failed (carried per-response; other requests in the
+/// batch are unaffected).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The job source could not produce an application.
+    InvalidSource(String),
+    /// Synthesis itself failed (unschedulable, invalid request knobs…).
+    Synthesis(ftqs_core::Error),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::InvalidSource(msg) => write!(f, "invalid job source: {msg}"),
+            ServiceError::Synthesis(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// One completed (or failed) request, delivered in completion order.
+#[derive(Debug, Clone)]
+pub struct ServiceResponse {
+    /// The request's id.
+    pub id: u64,
+    /// The report, or why there is none.
+    pub outcome: Result<SynthesisReport, ServiceError>,
+    /// Whether the prepared artifact came from the cache.
+    pub cache_hit: bool,
+    /// Time spent waiting in the queue, in microseconds.
+    pub queued_micros: u64,
+    /// Time spent resolving + synthesizing, in microseconds.
+    pub service_micros: u64,
+}
+
+/// Why a submission was refused. Overload is an error value, never a
+/// panic and never silent loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full — retry later, shed the request, or use
+    /// the blocking [`Service::submit`].
+    Backpressure {
+        /// The queue's capacity bound.
+        capacity: usize,
+    },
+    /// The service is shutting down.
+    Stopped,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Backpressure { capacity } => {
+                write!(f, "work queue full ({capacity} requests queued)")
+            }
+            SubmitError::Stopped => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Service construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads; `0` means one per available core.
+    pub workers: usize,
+    /// Bound of the work queue (requests awaiting a worker).
+    pub queue_capacity: usize,
+    /// Bound of the artifact cache (prepared applications).
+    pub cache_capacity: usize,
+    /// Per-request synthesis parallelism cap applied by the workers.
+    /// The default `1` keeps each request on its worker's core — the
+    /// fleet saturates cores by running many requests, not by splitting
+    /// one. `0` leaves each request's own setting untouched.
+    pub intra_parallelism: usize,
+    /// The engine configuration every worker session synthesizes with.
+    pub engine: Engine,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 0,
+            queue_capacity: 1024,
+            cache_capacity: 256,
+            intra_parallelism: 1,
+            engine: Engine::new(),
+        }
+    }
+}
+
+/// Aggregate service counters and gauges, as one snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ServiceStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Responses produced (success or failure).
+    pub completed: u64,
+    /// Responses carrying an error outcome.
+    pub failed: u64,
+    /// Queue depth at snapshot time (gauge).
+    pub queue_depth: usize,
+    /// Highest queue depth observed at any submission.
+    pub queue_peak_depth: usize,
+    /// The queue's capacity bound.
+    pub queue_capacity: usize,
+    /// Worker thread count.
+    pub workers: usize,
+    /// Sum of per-request queue-wait times, in microseconds.
+    pub total_queued_micros: u64,
+    /// Sum of per-request service times, in microseconds.
+    pub total_service_micros: u64,
+    /// Artifact-cache counters.
+    pub cache: CacheStats,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    peak_depth: AtomicUsize,
+    queued_micros: AtomicU64,
+    service_micros: AtomicU64,
+}
+
+impl Counters {
+    fn note_depth(&self, depth: usize) {
+        self.peak_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+}
+
+#[derive(Debug)]
+struct Job {
+    req: ServiceRequest,
+    enqueued: Instant,
+}
+
+/// The running fleet service: a bounded queue, a worker pool, and the
+/// shared artifact cache. See the crate docs for the architecture.
+///
+/// Dropping the service closes the queue, drains in-flight work, and
+/// joins the workers ([`Service::shutdown`] does the same and returns
+/// the final stats).
+#[derive(Debug)]
+pub struct Service {
+    queue: Arc<Queue<Job>>,
+    cache: Arc<ArtifactCache>,
+    counters: Arc<Counters>,
+    rx: mpsc::Receiver<ServiceResponse>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+impl Service {
+    /// Starts the worker pool.
+    #[must_use]
+    pub fn start(config: ServiceConfig) -> Self {
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            config.workers
+        };
+        let queue = Arc::new(Queue::new(config.queue_capacity));
+        let cache = Arc::new(ArtifactCache::new(config.cache_capacity));
+        let counters = Arc::new(Counters::default());
+        let (tx, rx) = mpsc::channel();
+        let handles = (0..workers)
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let cache = Arc::clone(&cache);
+                let counters = Arc::clone(&counters);
+                let engine = config.engine.clone();
+                let tx = tx.clone();
+                let intra = config.intra_parallelism;
+                std::thread::Builder::new()
+                    .name(format!("ftqs-worker-{i}"))
+                    .spawn(move || worker_loop(&queue, &cache, &counters, &engine, intra, &tx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Service {
+            queue,
+            cache,
+            counters,
+            rx,
+            handles,
+            workers,
+        }
+    }
+
+    /// Non-blocking submission; overload surfaces as
+    /// [`SubmitError::Backpressure`].
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError`] when the queue is full or the service stopped.
+    pub fn try_submit(&self, req: ServiceRequest) -> Result<(), SubmitError> {
+        let job = Job {
+            req,
+            enqueued: Instant::now(),
+        };
+        match self.queue.try_push(job) {
+            Ok(depth) => {
+                self.note_submitted(depth);
+                Ok(())
+            }
+            Err(PushError::Full(_)) => Err(SubmitError::Backpressure {
+                capacity: self.queue.capacity(),
+            }),
+            Err(PushError::Closed(_)) => Err(SubmitError::Stopped),
+        }
+    }
+
+    /// Blocking submission: waits for queue space instead of failing.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Stopped`] when the service shut down while waiting.
+    pub fn submit(&self, req: ServiceRequest) -> Result<(), SubmitError> {
+        let job = Job {
+            req,
+            enqueued: Instant::now(),
+        };
+        match self.queue.push(job) {
+            Ok(depth) => {
+                self.note_submitted(depth);
+                Ok(())
+            }
+            Err(_) => Err(SubmitError::Stopped),
+        }
+    }
+
+    fn note_submitted(&self, depth: usize) {
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        self.counters.note_depth(depth);
+    }
+
+    /// Next response in completion order; blocks while requests are in
+    /// flight. `None` only after the service stopped and drained.
+    pub fn recv(&self) -> Option<ServiceResponse> {
+        self.rx.recv().ok()
+    }
+
+    /// Like [`Service::recv`] with a timeout; `None` on timeout or
+    /// shutdown.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<ServiceResponse> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Submits a whole batch (blocking on queue space) and collects
+    /// exactly one response per request, in completion order. Assumes no
+    /// other requests are in flight on this service.
+    #[must_use]
+    pub fn run_batch(&self, requests: Vec<ServiceRequest>) -> Vec<ServiceResponse> {
+        let mut expected = 0usize;
+        for req in requests {
+            if self.submit(req).is_ok() {
+                expected += 1;
+            }
+        }
+        (0..expected).filter_map(|_| self.recv()).collect()
+    }
+
+    /// A snapshot of counters, gauges, and cache statistics.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            submitted: self.counters.submitted.load(Ordering::Relaxed),
+            completed: self.counters.completed.load(Ordering::Relaxed),
+            failed: self.counters.failed.load(Ordering::Relaxed),
+            queue_depth: self.queue.len(),
+            queue_peak_depth: self.counters.peak_depth.load(Ordering::Relaxed),
+            queue_capacity: self.queue.capacity(),
+            workers: self.workers,
+            total_queued_micros: self.counters.queued_micros.load(Ordering::Relaxed),
+            total_service_micros: self.counters.service_micros.load(Ordering::Relaxed),
+            cache: self.cache.stats(),
+        }
+    }
+
+    /// Stops accepting work, drains the queue, joins the workers, and
+    /// returns the final statistics. Queued requests are still served;
+    /// undelivered responses remain receivable until the service value
+    /// drops.
+    #[must_use]
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.join_workers();
+        self.stats()
+    }
+
+    fn join_workers(&mut self) {
+        self.queue.close();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.join_workers();
+    }
+}
+
+fn elapsed_micros(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+fn worker_loop(
+    queue: &Queue<Job>,
+    cache: &ArtifactCache,
+    counters: &Counters,
+    engine: &Engine,
+    intra_parallelism: usize,
+    tx: &mpsc::Sender<ServiceResponse>,
+) {
+    let mut session = engine.session();
+    let config_digest = engine.config_digest();
+    while let Some(job) = queue.pop() {
+        let queued_micros = elapsed_micros(job.enqueued);
+        let started = Instant::now();
+        let request = if intra_parallelism == 0 {
+            job.req.request
+        } else {
+            job.req.request.with_max_parallelism(intra_parallelism)
+        };
+        let key = job
+            .req
+            .source
+            .digest()
+            .combine(config_digest)
+            .combine(request.knob_digest());
+        let (outcome, cache_hit) = match cache.get(key) {
+            Some(prepared) => (
+                session
+                    .synthesize_prepared(&prepared, &request)
+                    .map_err(ServiceError::Synthesis),
+                true,
+            ),
+            None => match job.req.source.resolve() {
+                Ok(app) => {
+                    let prepared = Arc::new(PreparedApp::from_arc(app));
+                    cache.insert(key, Arc::clone(&prepared));
+                    (
+                        session
+                            .synthesize_prepared(&prepared, &request)
+                            .map_err(ServiceError::Synthesis),
+                        false,
+                    )
+                }
+                Err(e) => (Err(e), false),
+            },
+        };
+        let service_micros = elapsed_micros(started);
+        counters.completed.fetch_add(1, Ordering::Relaxed);
+        if outcome.is_err() {
+            counters.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        counters
+            .queued_micros
+            .fetch_add(queued_micros, Ordering::Relaxed);
+        counters
+            .service_micros
+            .fetch_add(service_micros, Ordering::Relaxed);
+        // A send failure means the receiver (the Service) is gone; the
+        // queue is closing, so just keep draining.
+        let _ = tx.send(ServiceResponse {
+            id: job.req.id,
+            outcome,
+            cache_hit,
+            queued_micros,
+            service_micros,
+        });
+    }
+}

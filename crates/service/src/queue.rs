@@ -1,0 +1,178 @@
+//! The bounded MPMC work queue feeding the worker pool.
+//!
+//! A deliberately simple `Mutex<VecDeque>` + two `Condvar`s: the service
+//! is synthesis-bound (each job costs 100 µs – 100 ms of CPU), so queue
+//! handoff is never the bottleneck and a lock-free ring would buy
+//! nothing but complexity. What matters is the *shape* of the contract:
+//!
+//! * **bounded** — [`Queue::try_push`] fails with the item returned when
+//!   the queue is full, which the service surfaces as an explicit
+//!   backpressure error instead of unbounded memory growth or a panic;
+//! * **closable** — [`Queue::close`] wakes every blocked producer and
+//!   consumer; consumers drain the remaining items, then observe `None`
+//!   and exit.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum PushError<T> {
+    /// The queue is at capacity; the item is handed back.
+    Full(T),
+    /// The queue was closed; the item is handed back.
+    Closed(T),
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded multi-producer/multi-consumer queue (see the module docs).
+#[derive(Debug)]
+pub(crate) struct Queue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> Queue<T> {
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Queue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current depth (a gauge; racy by nature, exact at the instant read).
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").items.len()
+    }
+
+    /// Non-blocking push; full or closed queues hand the item back.
+    pub(crate) fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocking push: waits for space (or closure). Returns the depth
+    /// after the push, or the item back if the queue closed while
+    /// waiting.
+    pub(crate) fn push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if inner.closed {
+                return Err(PushError::Closed(item));
+            }
+            if inner.items.len() < self.capacity {
+                inner.items.push_back(item);
+                let depth = inner.items.len();
+                drop(inner);
+                self.not_empty.notify_one();
+                return Ok(depth);
+            }
+            inner = self.not_full.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Blocking pop: `Some(item)` while the queue is live or draining,
+    /// `None` once it is closed *and* empty.
+    pub(crate) fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: producers fail fast, consumers drain then exit.
+    pub(crate) fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn try_push_reports_backpressure_and_hands_the_item_back() {
+        let q = Queue::new(2);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3), Ok(2));
+    }
+
+    #[test]
+    fn close_drains_then_stops_consumers_and_rejects_producers() {
+        let q = Queue::new(8);
+        q.try_push('a').unwrap();
+        q.close();
+        assert_eq!(q.try_push('b'), Err(PushError::Closed('b')));
+        assert_eq!(q.pop(), Some('a'));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space() {
+        let q = Arc::new(Queue::new(1));
+        q.try_push(0u32).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(1).is_ok())
+        };
+        // The producer is blocked on a full queue until this pop.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(0));
+        assert!(producer.join().unwrap());
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn consumers_block_until_items_or_close() {
+        let q = Arc::new(Queue::<u8>::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+}

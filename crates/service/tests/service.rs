@@ -1,0 +1,289 @@
+//! Cache-correctness and robustness tests for the fleet service.
+//!
+//! The load-bearing property: a response served from the artifact cache
+//! is *bit-identical* to a cold synthesis of the same request — same
+//! quasi-static tree (pinned through [`ftqs_core::tree_digest`]) and the
+//! same expected utility down to the last mantissa bit.
+
+use ftqs_core::{tree_digest, ContentDigest, Engine, SynthesisReport, SynthesisRequest};
+use ftqs_service::transport::{self, WireResponse};
+use ftqs_service::{JobSource, Service, ServiceConfig, ServiceRequest, SubmitError};
+use ftqs_workloads::family::{build, Family};
+use std::sync::Arc;
+
+fn single_worker_service(cache_capacity: usize) -> Service {
+    Service::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 64,
+        cache_capacity,
+        intra_parallelism: 1,
+        engine: Engine::new(),
+    })
+}
+
+fn preset(id: u64, seed: u64, request: SynthesisRequest) -> ServiceRequest {
+    ServiceRequest::new(
+        id,
+        JobSource::Preset {
+            family: "fig9".to_string(),
+            size: 15,
+            seed,
+        },
+        request,
+    )
+}
+
+fn fingerprint(report: &SynthesisReport) -> (ContentDigest, u64, usize) {
+    (
+        tree_digest(&report.tree),
+        report.utility.expected_average_case.to_bits(),
+        report.dropped.count,
+    )
+}
+
+#[test]
+fn cache_hit_is_bit_identical_to_cold_for_every_policy() {
+    // One worker makes completion order (and therefore which request is
+    // the cold one) deterministic.
+    let service = single_worker_service(16);
+    let requests = [
+        SynthesisRequest::ftss(),
+        SynthesisRequest::ftqs(6),
+        SynthesisRequest::ftsf(),
+    ];
+    for (i, request) in requests.iter().enumerate() {
+        let id = i as u64 * 2;
+        let responses = service.run_batch(vec![
+            preset(id, 9, request.clone()),
+            preset(id + 1, 9, request.clone()),
+        ]);
+        assert_eq!(responses.len(), 2);
+        let cold = &responses[0];
+        let hit = &responses[1];
+        assert_eq!(cold.id, id);
+        assert!(!cold.cache_hit, "first request of a key must be cold");
+        assert!(hit.cache_hit, "identical second request must hit");
+        let cold_report = cold.outcome.as_ref().expect("cold synthesis succeeds");
+        let hit_report = hit.outcome.as_ref().expect("cached synthesis succeeds");
+        assert_eq!(
+            fingerprint(cold_report),
+            fingerprint(hit_report),
+            "cached synthesis must be bit-identical to cold ({request:?})"
+        );
+
+        // And both must match a plain single-shot Session outside the
+        // service entirely.
+        let app = build(Family::Fig9, 15, 9);
+        let direct = Engine::new()
+            .session()
+            .synthesize(&app, request)
+            .expect("direct synthesis succeeds");
+        assert_eq!(fingerprint(cold_report), fingerprint(&direct));
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 6);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.cache.hits, 3);
+}
+
+#[test]
+fn eviction_then_reinsert_stays_bit_identical() {
+    // Capacity 1: seed 1 and seed 2 fight over the single slot, so seed 1
+    // is rebuilt from scratch after being evicted. The rebuilt artifact
+    // must produce the same bits as the original.
+    let service = single_worker_service(1);
+    let request = SynthesisRequest::ftqs(6);
+    let responses = service.run_batch(vec![
+        preset(0, 1, request.clone()), // miss: builds seed 1
+        preset(1, 2, request.clone()), // miss: evicts seed 1
+        preset(2, 1, request.clone()), // miss: rebuilds seed 1
+        preset(3, 1, request.clone()), // hit: cached rebuild
+    ]);
+    assert_eq!(responses.len(), 4);
+    assert_eq!(
+        responses.iter().map(|r| r.cache_hit).collect::<Vec<_>>(),
+        [false, false, false, true]
+    );
+    let first = fingerprint(responses[0].outcome.as_ref().unwrap());
+    let rebuilt = fingerprint(responses[2].outcome.as_ref().unwrap());
+    let rehit = fingerprint(responses[3].outcome.as_ref().unwrap());
+    assert_eq!(first, rebuilt, "evict + rebuild must reproduce the bits");
+    assert_eq!(first, rehit, "cached rebuild must reproduce the bits");
+    let stats = service.shutdown();
+    assert!(stats.cache.evictions >= 2, "capacity-1 thrash must evict");
+    assert_eq!(stats.cache.entries, 1);
+}
+
+#[test]
+fn spec_and_app_sources_share_results_with_presets() {
+    let app = build(Family::Fig9, 12, 4);
+    let spec_text = ftqs_workloads::spec::render(&app);
+    let request = SynthesisRequest::ftqs(4);
+    let service = single_worker_service(8);
+    let responses = service.run_batch(vec![
+        ServiceRequest::new(0, JobSource::App(Arc::new(app)), request.clone()),
+        ServiceRequest::new(1, JobSource::Spec(spec_text), request.clone()),
+    ]);
+    let a = fingerprint(responses[0].outcome.as_ref().unwrap());
+    let b = fingerprint(responses[1].outcome.as_ref().unwrap());
+    assert_eq!(a, b, "same application through any source, same bits");
+    let _ = service.shutdown();
+}
+
+#[test]
+fn invalid_sources_fail_per_request_without_poisoning_the_batch() {
+    let service = single_worker_service(8);
+    let responses = service.run_batch(vec![
+        preset(0, 5, SynthesisRequest::ftss()),
+        ServiceRequest::new(
+            1,
+            JobSource::Preset {
+                family: "no-such-family".to_string(),
+                size: 10,
+                seed: 0,
+            },
+            SynthesisRequest::ftss(),
+        ),
+        ServiceRequest::new(
+            2,
+            JobSource::Spec("this is not a spec".to_string()),
+            SynthesisRequest::ftss(),
+        ),
+        preset(3, 5, SynthesisRequest::ftss()),
+    ]);
+    assert_eq!(responses.len(), 4);
+    let by_id = |id: u64| responses.iter().find(|r| r.id == id).unwrap();
+    assert!(by_id(0).outcome.is_ok());
+    assert!(
+        by_id(1).outcome.is_err(),
+        "unknown family is a per-request error"
+    );
+    assert!(by_id(2).outcome.is_err(), "bad spec is a per-request error");
+    assert!(by_id(3).outcome.is_ok(), "later requests still served");
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 4);
+    assert_eq!(stats.failed, 2);
+}
+
+#[test]
+fn overload_surfaces_as_backpressure_not_a_panic() {
+    // A single worker chewing on a deliberately heavy request keeps the
+    // depth-1 queue occupied long enough for a third submission to bounce.
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 1,
+        cache_capacity: 4,
+        intra_parallelism: 1,
+        engine: Engine::new(),
+    });
+    let heavy = || {
+        ServiceRequest::new(
+            0,
+            JobSource::Preset {
+                family: "fig9".to_string(),
+                size: 30,
+                seed: 12,
+            },
+            SynthesisRequest::ftqs(24),
+        )
+    };
+    let mut accepted = 0u64;
+    let mut bounced = 0u64;
+    for _ in 0..50 {
+        match service.try_submit(heavy()) {
+            Ok(()) => accepted += 1,
+            Err(SubmitError::Backpressure { capacity }) => {
+                assert_eq!(capacity, 1);
+                bounced += 1;
+            }
+            Err(SubmitError::Stopped) => panic!("service is running"),
+        }
+    }
+    assert!(bounced > 0, "a depth-1 queue must bounce a 50-burst");
+    for _ in 0..accepted {
+        let response = service.recv().expect("accepted requests are answered");
+        assert!(response.outcome.is_ok());
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.submitted, accepted);
+    assert_eq!(stats.completed, accepted);
+    assert!(stats.queue_peak_depth <= 1);
+}
+
+#[test]
+fn malformed_ndjson_lines_answer_in_place_and_spare_the_batch() {
+    let service = single_worker_service(8);
+    let input = concat!(
+        "{\"id\": 1, \"preset\": {\"family\": \"fig9\", \"size\": 12, \"seed\": 5}}\n",
+        "this is not json at all\n",
+        "{\"id\": 7, \"preset\": {\"family\": \"fig9\"}}\n",
+        "{\"preset\": {\"family\": \"fig9\", \"size\": 12, \"seed\": 5}}\n",
+        "{\"id\": 3, \"preset\": {\"family\": \"marsaglia\", \"size\": 12, \"seed\": 5}}\n",
+        "\n",
+        "{\"id\": 2, \"preset\": {\"family\": \"fig9\", \"size\": 12, \"seed\": 5}, \"policy\": \"ftss\"}\n",
+    );
+    let mut output = Vec::new();
+    let summary = transport::serve(&service, input.as_bytes(), &mut output).unwrap();
+    assert_eq!(summary.accepted, 3, "ids 1, 3, 2 reach the service");
+    assert_eq!(summary.malformed, 3, "bad JSON, missing size, missing id");
+
+    let lines: Vec<WireResponse> = String::from_utf8(output)
+        .unwrap()
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    assert_eq!(lines.len(), 6, "every line answers exactly once");
+
+    let by_id = |id: u64| lines.iter().find(|r| r.id == id).unwrap();
+    assert!(by_id(1).ok && by_id(1).report.is_some());
+    assert!(by_id(2).ok, "requests after malformed lines still run");
+    assert!(!by_id(3).ok, "unknown family fails per-request");
+    assert!(by_id(3).error.as_ref().unwrap().contains("marsaglia"));
+    assert!(
+        !by_id(7).ok && by_id(7).error.is_some(),
+        "missing 'size' reports against the extracted id"
+    );
+    // Lines with no extractable id (the non-JSON line 2 and the id-less
+    // line 4) report id 0 and name their line number instead.
+    let anonymous: Vec<&str> = lines
+        .iter()
+        .filter(|r| r.id == 0)
+        .map(|r| r.error.as_deref().unwrap())
+        .collect();
+    assert_eq!(anonymous.len(), 2);
+    assert!(anonymous.iter().any(|e| e.contains("line 2")));
+    assert!(anonymous.iter().any(|e| e.contains("line 4")));
+    let _ = service.shutdown();
+}
+
+#[test]
+fn round_trip_of_generated_request_lines() {
+    let line = transport::preset_request_line(42, "polar", 14, 7, "ftqs", 6);
+    let request = transport::parse_request(&line).expect("generated lines parse");
+    assert_eq!(request.id, 42);
+    match &request.source {
+        JobSource::Preset { family, size, seed } => {
+            assert_eq!(family, "polar");
+            assert_eq!(*size, 14);
+            assert_eq!(*seed, 7);
+        }
+        other => panic!("expected preset source, got {other:?}"),
+    }
+    assert_eq!(request.request, SynthesisRequest::ftqs(6));
+}
+
+#[test]
+fn duplicate_heavy_stream_reports_a_high_hit_rate() {
+    // 24 requests over 4 distinct applications: at most 4 misses once the
+    // cache is warm, so the hit rate is at least 20/24.
+    let service = single_worker_service(8);
+    let requests = (0..24)
+        .map(|i| preset(i, i % 4, SynthesisRequest::ftqs(4)))
+        .collect();
+    let responses = service.run_batch(requests);
+    assert_eq!(responses.len(), 24);
+    let stats = service.shutdown();
+    assert_eq!(stats.cache.hits + stats.cache.misses, 24);
+    assert_eq!(stats.cache.misses, 4);
+    assert!(stats.cache.hit_rate() > 0.8);
+}

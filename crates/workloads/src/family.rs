@@ -1,0 +1,249 @@
+//! Preset workload families: one name for every topology pipeline.
+//!
+//! The synthetic generator (Fig. 9 layered graphs, series-parallel
+//! variants) covers single-rate, already-polar applications. The paper's
+//! application model (§2) is broader: arbitrary DAGs are brought into
+//! *polar* form by inserting virtual source/sink nodes, and multi-rate
+//! graph sets are combined into a *hyper-graph* over the LCM of their
+//! periods. This module wires those two graph pipelines
+//! ([`ftqs_graph::polar`], [`ftqs_graph::hyper`]) into the generator's
+//! annotation step ([`crate::synthetic::annotate`]) and names each
+//! pipeline as a [`Family`], so benches, the CLI and the fleet service
+//! can request any of them with a `(family, size, seed)` triple.
+//!
+//! Every family is deterministic under its seed: the same triple yields a
+//! structurally identical application in every process.
+
+use crate::params::{GeneratorParams, Topology};
+use crate::presets;
+use crate::synthetic::{self, NodeRole, RngAdapter};
+use ftqs_core::Application;
+use ftqs_graph::generate::{layered, LayeredParams};
+use ftqs_graph::{hyper, polar, Dag};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A named workload family: a topology pipeline feeding the paper-setup
+/// annotation step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Layered TGFF-style graphs — the paper's Fig. 9 evaluation setup.
+    Fig9,
+    /// Series-parallel graphs (polar by construction).
+    SeriesParallel,
+    /// Multi-source/multi-sink layered graphs brought into polar form
+    /// with virtual source/sink nodes (paper §2's polar application
+    /// model; exercises [`ftqs_graph::polar::polarize`]).
+    Polar,
+    /// Two multi-rate graphs with periods `T` and `2T` unrolled over
+    /// their hyper-period `2T` (paper §2's hyper-graph composition;
+    /// exercises [`ftqs_graph::hyper::merge_hyperperiod`]).
+    Hyper,
+}
+
+impl Family {
+    /// Every family, in canonical order.
+    pub const ALL: [Family; 4] = [
+        Family::Fig9,
+        Family::SeriesParallel,
+        Family::Polar,
+        Family::Hyper,
+    ];
+
+    /// The canonical (CLI-facing) name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Fig9 => "fig9",
+            Family::SeriesParallel => "series-parallel",
+            Family::Polar => "polar",
+            Family::Hyper => "hyper",
+        }
+    }
+
+    /// Parses a canonical name (see [`Family::name`]).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Family> {
+        Family::ALL.into_iter().find(|f| f.name() == s)
+    }
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builds one application of `family` with roughly `size` processes,
+/// deterministically under `seed`.
+///
+/// "Roughly": series-parallel construction may come in a node short, the
+/// polar family adds up to two virtual nodes, and the hyper family hits
+/// `size` only when `size` is divisible by the instance split.
+///
+/// # Panics
+///
+/// Panics if `size` is zero.
+#[must_use]
+pub fn build(family: Family, size: usize, seed: u64) -> Application {
+    assert!(size > 0, "need at least one process");
+    let params = presets::fig9_params(size);
+    let mut rng = StdRng::seed_from_u64(seed);
+    match family {
+        Family::Fig9 => synthetic::generate(&params, &mut rng),
+        Family::SeriesParallel => synthetic::generate(
+            &GeneratorParams {
+                topology: Topology::SeriesParallel,
+                ..params
+            },
+            &mut rng,
+        ),
+        Family::Polar => {
+            // A wide, sparse layered graph has several sources and sinks
+            // with high probability; polarize then annotates the virtual
+            // nodes as near-zero-cost hard processes.
+            let g: Dag<()> = layered(
+                &LayeredParams {
+                    nodes: size,
+                    max_width: params.max_width.max(3),
+                    edge_prob: params.edge_prob,
+                },
+                &mut RngAdapter(&mut rng),
+            );
+            let p = polar::polarize(g, || ());
+            let mut roles = vec![NodeRole::Regular; p.graph.node_count()];
+            if p.added_source {
+                roles[p.source.index()] = NodeRole::Virtual;
+            }
+            if p.added_sink {
+                roles[p.sink.index()] = NodeRole::Virtual;
+            }
+            synthetic::annotate(&p.graph, &roles, &params, &mut rng)
+        }
+        Family::Hyper => {
+            // Graph 1 (period T) activates twice per hyper-period, graph 2
+            // (period 2T) once: sizes third/(size - 2*third) make the
+            // unrolled node count land on `size` exactly.
+            let third = (size / 3).max(1);
+            let rest = size.saturating_sub(2 * third).max(1);
+            let mk = |nodes: usize, rng: &mut StdRng| -> Dag<()> {
+                layered(
+                    &LayeredParams {
+                        nodes,
+                        max_width: params.max_width,
+                        edge_prob: params.edge_prob,
+                    },
+                    &mut RngAdapter(rng),
+                )
+            };
+            let g1 = mk(third, &mut rng);
+            let g2 = mk(rest, &mut rng);
+            let h = hyper::merge_hyperperiod(&[(g1, 1), (g2, 2)]).expect("periods are non-zero");
+            synthetic::annotate(&h.graph, &[], &params, &mut rng)
+        }
+    }
+}
+
+/// Like [`build`], but re-rolls the seed (deterministically) until the
+/// application is FTSS-schedulable — the family analogue of
+/// [`crate::synthetic::generate_schedulable`].
+///
+/// # Panics
+///
+/// Panics if no schedulable application is found within `max_tries`.
+#[must_use]
+pub fn build_schedulable(family: Family, size: usize, seed: u64, max_tries: usize) -> Application {
+    use ftqs_core::{Engine, SynthesisRequest};
+    let mut session = Engine::new().session();
+    for attempt in 0..max_tries as u64 {
+        let app = build(family, size, seed.wrapping_add(attempt));
+        if session.synthesize(&app, &SynthesisRequest::ftss()).is_ok() {
+            return app;
+        }
+    }
+    panic!("no schedulable {family} application of size {size} in {max_tries} tries");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for f in Family::ALL {
+            assert_eq!(Family::parse(f.name()), Some(f));
+            assert_eq!(f.to_string(), f.name());
+        }
+        assert_eq!(Family::parse("nope"), None);
+    }
+
+    #[test]
+    fn families_are_deterministic_under_seed() {
+        for f in Family::ALL {
+            let a = build(f, 12, 42);
+            let b = build(f, 12, 42);
+            assert_eq!(a.len(), b.len(), "{f}");
+            assert_eq!(a.period(), b.period(), "{f}");
+            for (x, y) in a.processes().zip(b.processes()) {
+                assert_eq!(a.process(x), b.process(y), "{f}");
+            }
+            assert_eq!(
+                ftqs_core::application_digest(&a),
+                ftqs_core::application_digest(&b),
+                "{f}"
+            );
+            // And a different seed changes the content.
+            assert_ne!(
+                ftqs_core::application_digest(&a),
+                ftqs_core::application_digest(&build(f, 12, 43)),
+                "{f}"
+            );
+        }
+    }
+
+    #[test]
+    fn polar_family_is_polar_with_virtual_nodes_when_needed() {
+        // Across a few seeds: always exactly one source and one sink, and
+        // at least one seed exercises an inserted virtual node.
+        let mut saw_virtual = false;
+        for seed in 0..8 {
+            let app = build(Family::Polar, 16, seed);
+            assert_eq!(app.graph().sources().count(), 1, "seed {seed}");
+            assert_eq!(app.graph().sinks().count(), 1, "seed {seed}");
+            for p in app.processes() {
+                let proc = app.process(p);
+                if proc.name().starts_with('V') {
+                    saw_virtual = true;
+                    assert!(app.is_hard(p), "virtual nodes are hard");
+                    assert!(proc.times().wcet() <= ftqs_core::Time::from_ms(1));
+                }
+            }
+        }
+        assert!(saw_virtual, "no seed produced a virtual node");
+    }
+
+    #[test]
+    fn hyper_family_unrolls_to_the_requested_size() {
+        let app = build(Family::Hyper, 18, 7);
+        // third = 6 twice + rest = 6 once.
+        assert_eq!(app.len(), 18);
+        // The chained unroll is polarizable topology: still a DAG with
+        // every process present exactly once per activation.
+        assert!(app.hard_processes().count() >= 1);
+        assert!(app.soft_processes().count() >= 1);
+    }
+
+    #[test]
+    fn every_family_yields_schedulable_apps() {
+        for f in Family::ALL {
+            let app = build_schedulable(f, 10, 11, 50);
+            let mut session = ftqs_core::Engine::new().session();
+            assert!(
+                session
+                    .synthesize(&app, &ftqs_core::SynthesisRequest::ftqs(4))
+                    .is_ok(),
+                "{f}"
+            );
+        }
+    }
+}

@@ -8,7 +8,11 @@
 //! * [`cruise`] — the 32-process vehicle cruise controller (9 hard
 //!   actuator-side processes, k = 2, per-process µ = 10 % of WCET);
 //! * [`presets`] — the exact experiment configurations of Fig. 9 and
-//!   Table 1, shared by benches, examples and tests.
+//!   Table 1, shared by benches, examples and tests;
+//! * [`family`] — named topology families (`fig9`, `series-parallel`,
+//!   `polar`, `hyper`) building deterministic applications from a
+//!   `(family, size, seed)` triple, including the paper's §2 polar-form
+//!   and hyper-period graph pipelines.
 //!
 //! ```
 //! use ftqs_workloads::{synthetic, GeneratorParams};
@@ -24,6 +28,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cruise;
+pub mod family;
 pub mod multi;
 mod params;
 pub mod presets;
@@ -31,4 +36,5 @@ pub mod spec;
 pub mod synthetic;
 
 pub use cruise::cruise_controller;
-pub use params::GeneratorParams;
+pub use family::Family;
+pub use params::{GeneratorParams, Topology};

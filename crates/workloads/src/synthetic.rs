@@ -19,7 +19,7 @@ use ftqs_core::{Application, ExecutionTimes, FaultModel, Time, UtilityFunction};
 use ftqs_graph::generate::{
     layered, series_parallel, LayeredParams, Randomness, SeriesParallelParams,
 };
-use ftqs_graph::{topo, NodeId};
+use ftqs_graph::{topo, Dag, NodeId};
 use rand::Rng;
 
 /// Adapter exposing any [`rand::Rng`] to the graph generator's
@@ -44,7 +44,7 @@ impl<R: Rng> Randomness for RngAdapter<'_, R> {
 /// [`generate_schedulable`].
 pub fn generate<R: Rng>(params: &GeneratorParams, rng: &mut R) -> Application {
     params.validate();
-    // 1. Topology.
+    // Topology; everything after it is the shared annotation step.
     let graph = match params.topology {
         Topology::Layered => layered(
             &LayeredParams {
@@ -63,14 +63,63 @@ pub fn generate<R: Rng>(params: &GeneratorParams, rng: &mut R) -> Application {
             &mut RngAdapter(rng),
         ),
     };
-    // Series-parallel construction may come in a node short of the budget;
-    // size assertions below use the actual count.
+    annotate(&graph, &[], params, rng)
+}
+
+/// Role of a node during [`annotate`]: regular nodes draw execution times
+/// and criticality from the generator parameters; virtual nodes (inserted
+/// by polarization) get near-zero cost and a period deadline so they
+/// shape the topology without perturbing the workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NodeRole {
+    /// A generated process: random times, random hard/soft criticality.
+    #[default]
+    Regular,
+    /// A structural node (virtual source/sink): `[0, 1]` ms execution
+    /// envelope, hard with the period as deadline, never dropped.
+    Virtual,
+}
+
+/// Annotates an arbitrary DAG topology into an [`Application`] per the
+/// paper's setup — the generation steps 2–5 of [`generate`], decoupled
+/// from how the graph was obtained. The payload type is irrelevant
+/// (generators produce `Dag<()>`, the hyper-period unroller
+/// `Dag<HyperNode<_>>`); only the shape is read.
+///
+/// `roles` assigns a [`NodeRole`] per node index; missing entries (or an
+/// empty slice) default to [`NodeRole::Regular`]. With all-regular roles
+/// this is exactly [`generate`] minus topology: the same parameter draws
+/// in the same RNG stream order.
+///
+/// # Panics
+///
+/// Panics on an empty graph, a graph with no regular node, or invalid
+/// `params` (see [`GeneratorParams::validate`]).
+pub fn annotate<N, R: Rng>(
+    graph: &Dag<N>,
+    roles: &[NodeRole],
+    params: &GeneratorParams,
+    rng: &mut R,
+) -> Application {
+    params.validate();
+    // Generators may come in a node short of the budget (series-parallel
+    // construction); size assertions below use the actual count.
     let actual = graph.node_count();
-    let order = topo::topological_order(&graph);
+    assert!(actual > 0, "cannot annotate an empty graph");
+    let role = |i: usize| roles.get(i).copied().unwrap_or_default();
+    let regular: Vec<usize> = (0..actual)
+        .filter(|&i| role(i) == NodeRole::Regular)
+        .collect();
+    assert!(!regular.is_empty(), "graph needs at least one regular node");
+    let order = topo::topological_order(graph);
 
     // 2. Execution-time envelopes.
     let times: Vec<ExecutionTimes> = (0..actual)
-        .map(|_| {
+        .map(|i| {
+            if role(i) == NodeRole::Virtual {
+                return ExecutionTimes::uniform(Time::ZERO, Time::from_ms(1))
+                    .expect("virtual envelope is valid");
+            }
             let wcet = rng.gen_range(params.wcet_range.0..=params.wcet_range.1);
             let bcet = rng.gen_range(0..=wcet);
             ExecutionTimes::uniform(Time::from_ms(bcet), Time::from_ms(wcet))
@@ -78,17 +127,19 @@ pub fn generate<R: Rng>(params: &GeneratorParams, rng: &mut R) -> Application {
         })
         .collect();
 
-    // 3. Hard/soft split (at least one process of each kind when the ratio
-    //    allows, so every generated app exercises both code paths).
+    // 3. Hard/soft split over the regular nodes (at least one process of
+    //    each kind when the ratio allows, so every generated app exercises
+    //    both code paths). Virtual nodes are always hard — dropping a
+    //    virtual source/sink would change the topology they exist for.
     let mut hard = vec![false; actual];
-    for h in hard.iter_mut() {
-        *h = rng.gen::<f64>() < params.hard_ratio;
+    for &i in &regular {
+        hard[i] = rng.gen::<f64>() < params.hard_ratio;
     }
-    if params.hard_ratio > 0.0 && !hard.iter().any(|&h| h) {
-        hard[rng.gen_range(0..actual)] = true;
+    if params.hard_ratio > 0.0 && !regular.iter().any(|&i| hard[i]) {
+        hard[regular[rng.gen_range(0..regular.len())]] = true;
     }
-    if params.hard_ratio < 1.0 && hard.iter().all(|&h| h) {
-        hard[rng.gen_range(0..actual)] = false;
+    if params.hard_ratio < 1.0 && regular.iter().all(|&i| hard[i]) {
+        hard[regular[rng.gen_range(0..regular.len())]] = false;
     }
 
     // 4. Reference completions: the deterministic topological schedule at
@@ -120,17 +171,22 @@ pub fn generate<R: Rng>(params: &GeneratorParams, rng: &mut R) -> Application {
     let mut ids: Vec<Option<NodeId>> = vec![None; actual];
     for n in graph.nodes() {
         let i = n.index();
-        let name = format!("P{i}");
-        let id = if hard[i] {
+        let id = if role(i) == NodeRole::Virtual {
+            b.add_hard(format!("V{i}"), times[i], period)
+        } else if hard[i] {
             let laxity = rng.gen_range(params.deadline_laxity.0..=params.deadline_laxity.1);
             let deadline = Time::from_ms(
                 (((wc_ref[i] + fault_headroom).as_ms() as f64) * laxity).ceil() as u64,
             )
             .min(period);
-            b.add_hard(name, times[i], deadline)
+            b.add_hard(format!("P{i}"), times[i], deadline)
         } else {
             let peak = rng.gen_range(params.utility_peak.0..=params.utility_peak.1);
-            b.add_soft(name, times[i], random_step_utility(rng, peak, avg_ref[i]))
+            b.add_soft(
+                format!("P{i}"),
+                times[i],
+                random_step_utility(rng, peak, avg_ref[i]),
+            )
         };
         ids[i] = Some(id);
     }

@@ -244,6 +244,22 @@ impl Serialize for str {
 
 // ----- composite impls -----------------------------------------------------
 
+// Identity impls so callers can (de)serialize into the value model itself
+// and inspect fields dynamically (the real serde_json's `Value` has the
+// same property) — used by the service wire format, where request fields
+// are optional and a derived struct would reject absent keys.
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
 impl<T: Serialize> Serialize for Vec<T> {
     fn serialize_value(&self) -> Value {
         Value::Seq(self.iter().map(Serialize::serialize_value).collect())
