@@ -26,8 +26,9 @@
 use ftqs_core::{Application, Engine, QuasiStaticTree, SynthesisRequest, Time};
 use ftqs_service::{transport, Service, ServiceConfig};
 use ftqs_sim::{
-    DegradationVerdict, ExecutionScenario, FaultModel, GreedyOnlineScheduler, MonteCarlo,
-    OnlineScheduler, ScenarioSampler, FAULT_MODEL_NAMES,
+    DegradationVerdict, ExecutionScenario, FaultModel, FlatRuntime, FlatScenario,
+    GreedyOnlineScheduler, MonteCarlo, NoTrace, OnlineScheduler, RunScratch, ScenarioSampler,
+    Trace, FAULT_MODEL_NAMES,
 };
 use ftqs_workloads::spec;
 use rand::rngs::StdRng;
@@ -350,17 +351,31 @@ pub fn simulate(
     let tree = session
         .synthesize(&app, &SynthesisRequest::ftqs(budget))?
         .into_tree();
-    let runner = OnlineScheduler::new(&app, &tree);
+    // The flat runtime executes the cycles allocation-free; scenarios are
+    // sampled into a reusable flat buffer from a single RNG stream (the
+    // draw sequence is identical to the boxed sampler's).
+    let runtime = FlatRuntime::new(&app, &tree);
     let sampler = ScenarioSampler::with_model(&app, model);
     let mut rng = StdRng::seed_from_u64(seed);
+    let mut scenario = FlatScenario::new();
+    let mut scratch = RunScratch::new();
     let mut utility = ftqs_sim::stats::Accumulator::new();
     let mut switches = 0usize;
     let mut misses = 0usize;
     let mut degraded = 0usize;
     let mut first_trace: Option<String> = None;
-    for _ in 0..cycles {
-        let sc = sampler.sample(&mut rng, faults);
-        let out = runner.run(&sc);
+    for cycle in 0..cycles {
+        sampler.sample_into(&mut rng, faults, &mut scenario);
+        // Only the first cycle records events (and only under --trace);
+        // every other cycle runs with the no-op sink.
+        let out = if show_trace && cycle == 0 {
+            let mut trace = Trace::new();
+            let out = runtime.run_cycle(&scenario, &mut scratch, &mut trace);
+            first_trace = Some(trace.render(|n| app.process(n).name().to_string()));
+            out
+        } else {
+            runtime.run_cycle(&scenario, &mut scratch, &mut NoTrace)
+        };
         match out.verdict {
             DegradationVerdict::HardMiss { .. } if in_contract => {
                 return Err(format!(
@@ -375,10 +390,7 @@ pub fn simulate(
             DegradationVerdict::InModel => {}
         }
         utility.add(out.utility);
-        switches += out.trace.switch_count();
-        if show_trace && first_trace.is_none() {
-            first_trace = Some(out.trace.render(|n| app.process(n).name().to_string()));
-        }
+        switches += out.switches;
     }
     let mut out = String::new();
     let _ = writeln!(

@@ -391,7 +391,7 @@ impl SynthesisRequest {
 }
 
 /// An application pre-compiled for repeated synthesis: the dense
-/// [`AppModel`] tables and compiled utility functions every FTSS/FTQS run
+/// `AppModel` tables and compiled utility functions every FTSS/FTQS run
 /// needs, built once and shared read-only by any number of sessions.
 ///
 /// This is the cacheable synthesis artifact handle. A `PreparedApp` is

@@ -338,6 +338,27 @@ impl QuasiStaticTree {
         self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
     }
 
+    /// Total number of schedule entries across all nodes — the row count
+    /// of any flat (structure-of-arrays) image of the tree, letting
+    /// runtimes preallocate exactly (see `ftqs_sim`'s `FlatRuntime`).
+    #[must_use]
+    pub fn total_entries(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| self.arena.get(n.schedule).entries().len())
+            .sum()
+    }
+
+    /// Total number of statically dropped processes across all nodes —
+    /// the companion preallocation count to [`Self::total_entries`].
+    #[must_use]
+    pub fn total_static_drops(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| self.arena.get(n.schedule).statically_dropped().len())
+            .sum()
+    }
+
     /// Total number of switch arcs across all nodes.
     #[must_use]
     pub fn arc_count(&self) -> usize {

@@ -23,6 +23,45 @@
 //!   per-intensity degradation aggregation for the robustness bench.
 //! * [`Trace`] — per-cycle event logs for inspection and debugging.
 //!
+//! # Runtime: the flat image and batched execution
+//!
+//! [`OnlineScheduler`] is the readable *reference* runtime;
+//! [`FlatRuntime`] + [`BatchRunner`] (module [`runtime`]) are the
+//! production path every Monte Carlo evaluation runs on. The division of
+//! labour:
+//!
+//! * **Flat image layout** — [`FlatRuntime`] is built once per tree and
+//!   holds everything the scenario loop touches as dense
+//!   structure-of-arrays columns: per-process WCET/µ/deadline/compiled
+//!   utility and CSR predecessor lists; per-node CSR ranges of schedule
+//!   entries and static drops; per-entry re-execution allowances,
+//!   *fully precomputed* latest-start tables (`k + 1` values per entry),
+//!   and CSR-sliced switch arcs. The scenario loop performs no
+//!   `TreeNodeId` pointer chasing, no per-node `Vec` walks, and no
+//!   `Application` accessor calls.
+//! * **Batching** — [`BatchRunner`] shares one read-only flat image
+//!   across all worker threads; each worker reuses a
+//!   [`runtime::RunScratch`] (completions/dropped/stale-coefficient
+//!   tables) and a [`FlatScenario`] buffer across its whole range, so
+//!   steady-state execution is allocation-free. Trace recording is
+//!   opt-in through the [`trace::EventSink`] generic — batches pass
+//!   [`trace::NoTrace`] and the event work compiles away.
+//! * **RNG-stream contract** — scenario `i` of a run with base seed `s`
+//!   always draws from a fresh stream seeded
+//!   [`montecarlo::scenario_seed`]`(s, i)`, independent of thread count
+//!   and batch shape, so results are thread-count invariant and every
+//!   scheduler faces identical environments. Sweeps
+//!   ([`MonteCarlo::evaluate_fault_sweep`] /
+//!   [`MonteCarlo::evaluate_intensity_sweep`]) additionally hold the
+//!   attempt-table width fixed at `max(k, max intensity) + 1` across
+//!   columns (**common random numbers**): every column consumes the same
+//!   duration draws and column deltas are pure fault effects.
+//!
+//! The flat runtime is pinned **bit-identical** to [`OnlineScheduler`] —
+//! utilities, verdicts, completions *and traces* — by the
+//! `flat_runtime` integration suite, across fault models × policies ×
+//! in/out-of-model intensities, in both feature configurations.
+//!
 //! ```
 //! use ftqs_core::{Engine, SynthesisRequest};
 //! use ftqs_sim::{MonteCarlo, OnlineScheduler, ExecutionScenario};
@@ -49,6 +88,7 @@ pub mod gantt;
 pub mod greedy;
 pub mod montecarlo;
 pub mod online;
+pub mod runtime;
 pub mod scenario;
 pub mod stats;
 pub mod trace;
@@ -56,5 +96,8 @@ pub mod trace;
 pub use greedy::{GreedyOnlineScheduler, GreedyOutcome};
 pub use montecarlo::{Evaluation, MonteCarlo};
 pub use online::{DegradationVerdict, OnlineScheduler, SimOutcome};
-pub use scenario::{ExecutionScenario, FaultModel, ScenarioSampler, FAULT_MODEL_NAMES};
-pub use trace::{DropReason, Trace, TraceEvent};
+pub use runtime::{BatchRunner, CycleOutcome, FlatRuntime, RunScratch};
+pub use scenario::{
+    ExecutionScenario, FaultModel, FlatScenario, ScenarioSampler, ScenarioView, FAULT_MODEL_NAMES,
+};
+pub use trace::{DropReason, EventSink, NoTrace, Trace, TraceEvent};

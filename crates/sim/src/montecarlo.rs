@@ -8,10 +8,19 @@
 //! `parallel` feature, on by default).
 //!
 //! Results are independent of the thread count: scenario `i` derives its
-//! seed from `(base_seed, i)` alone, and per-thread partial statistics are
-//! merged with Welford/Chan combination, so serial and parallel runs agree
-//! to floating-point merge order (means are exactly equal; see the
-//! `parallel_means_match_serial` test).
+//! seed from `(base_seed, i)` alone (see [`scenario_seed`]), and
+//! per-thread partial statistics are merged with Welford/Chan
+//! combination, so serial and parallel runs agree to floating-point merge
+//! order (means are exactly equal; see the `parallel_means_match_serial`
+//! test).
+//!
+//! Since the flat-runtime work, evaluation executes on
+//! [`FlatRuntime`]/[`BatchRunner`] (see `crate::runtime`): the tree image
+//! and analyses are built once per call (or once per *sweep*, shared
+//! read-only across worker threads and columns), per-worker scratch is
+//! reused across scenarios, and sweeps run under common random numbers.
+//! Outcomes are pinned bit-identical to the reference
+//! `OnlineScheduler`-based harness.
 //!
 //! Beyond the paper's harness, [`MonteCarlo::evaluate_with_model`] runs the
 //! same machinery under any [`FaultModel`] and any fault intensity —
@@ -19,12 +28,11 @@
 //! [`Evaluation`] aggregates the resulting [`DegradationVerdict`]s into
 //! hard-miss and degradation rates alongside the utility curve.
 
-use crate::online::{DegradationVerdict, OnlineScheduler};
-use crate::scenario::{FaultModel, ScenarioSampler};
+use crate::online::DegradationVerdict;
+use crate::runtime::{BatchRunner, CycleOutcome, FlatRuntime};
+use crate::scenario::FaultModel;
 use crate::stats::Accumulator;
 use ftqs_core::{Application, QuasiStaticTree};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Monte Carlo harness configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,12 +105,26 @@ impl Evaluation {
         }
     }
 
-    fn merge(&mut self, other: &Evaluation) {
+    /// Merges another evaluation (parallel reduction; Welford/Chan for
+    /// the statistics).
+    pub fn merge(&mut self, other: &Evaluation) {
         self.utility.merge(&other.utility);
         self.faults.merge(&other.faults);
         self.overruns.merge(&other.overruns);
         self.deadline_misses += other.deadline_misses;
         self.degraded += other.degraded;
+    }
+
+    /// Accumulates one simulated cycle.
+    pub fn record(&mut self, out: &CycleOutcome) {
+        self.utility.add(out.utility);
+        self.faults.add(out.faults_hit as f64);
+        self.overruns.add(out.wcet_overruns as f64);
+        match out.verdict {
+            DegradationVerdict::HardMiss { .. } => self.deadline_misses += 1,
+            DegradationVerdict::Degraded { .. } => self.degraded += 1,
+            DegradationVerdict::InModel => {}
+        }
     }
 }
 
@@ -143,40 +165,37 @@ impl MonteCarlo {
         model: FaultModel,
         fault_count: usize,
     ) -> Evaluation {
-        let threads = effective_threads(self.threads, self.scenarios);
-        if threads <= 1 {
-            return evaluate_range(app, tree, model, fault_count, self.seed, 0, self.scenarios);
-        }
-        let chunk = self.scenarios.div_ceil(threads);
-        let mut partials: Vec<Evaluation> = Vec::new();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for t in 0..threads {
-                let lo = t * chunk;
-                let hi = ((t + 1) * chunk).min(self.scenarios);
-                if lo >= hi {
-                    break;
-                }
-                let seed = self.seed;
-                handles
-                    .push(scope.spawn(move || {
-                        evaluate_range(app, tree, model, fault_count, seed, lo, hi)
-                    }));
-            }
-            for h in handles {
-                partials.push(h.join().expect("worker thread panicked"));
-            }
-        });
+        let runtime = FlatRuntime::new(app, tree);
+        self.evaluate_runtime(app, &runtime, model, fault_count)
+    }
 
-        let mut total = Evaluation::default();
-        for p in &partials {
-            total.merge(p);
-        }
-        total
+    /// [`MonteCarlo::evaluate_with_model`] against a prebuilt
+    /// [`FlatRuntime`] — callers holding the flat image (sweeps, repeated
+    /// evaluations of one tree) skip the per-call image build entirely;
+    /// the image is shared read-only across worker threads.
+    #[must_use]
+    pub fn evaluate_runtime(
+        &self,
+        app: &Application,
+        runtime: &FlatRuntime,
+        model: FaultModel,
+        fault_count: usize,
+    ) -> Evaluation {
+        BatchRunner::new(app, runtime, model).evaluate(self, fault_count)
     }
 
     /// Evaluates across several fault counts, returning one [`Evaluation`]
     /// per entry of `fault_counts` (the paper's 0/1/2/3-fault columns).
+    ///
+    /// The flat runtime image is built once and shared across all columns
+    /// and worker threads, and every column executes under **common
+    /// random numbers**: attempt tables are sized to the sweep's maximum
+    /// (`max(k, max fault count) + 1`), so scenario `i` consumes the same
+    /// duration draws in every column and column deltas are pure fault
+    /// effects. For an in-model sweep (every count `<= k`, the paper's
+    /// fig9b case) this is bit-identical to per-column
+    /// [`MonteCarlo::evaluate`] — all columns already use `k + 1`
+    /// attempts.
     #[must_use]
     pub fn evaluate_fault_sweep(
         &self,
@@ -184,15 +203,14 @@ impl MonteCarlo {
         tree: &QuasiStaticTree,
         fault_counts: &[usize],
     ) -> Vec<Evaluation> {
-        fault_counts
-            .iter()
-            .map(|&f| self.evaluate(app, tree, f))
-            .collect()
+        self.evaluate_intensity_sweep(app, tree, FaultModel::Independent, fault_counts)
     }
 
     /// Sweeps fault intensity under one [`FaultModel`] — one
     /// [`Evaluation`] per entry of `intensities`, which may extend past
-    /// the design budget (the robustness harness sweeps `0..=2k`).
+    /// the design budget (the robustness harness sweeps `0..=2k`). Shares
+    /// the flat image and scenario draws across columns exactly like
+    /// [`MonteCarlo::evaluate_fault_sweep`].
     #[must_use]
     pub fn evaluate_intensity_sweep(
         &self,
@@ -201,16 +219,21 @@ impl MonteCarlo {
         model: FaultModel,
         intensities: &[usize],
     ) -> Vec<Evaluation> {
+        let k = app.faults().k;
+        let max_intensity = intensities.iter().copied().max().unwrap_or(0);
+        let attempts = k.max(max_intensity) + 1;
+        let runtime = FlatRuntime::new(app, tree);
+        let runner = BatchRunner::new(app, &runtime, model);
         intensities
             .iter()
-            .map(|&f| self.evaluate_with_model(app, tree, model, f))
+            .map(|&f| runner.evaluate_with_attempts(self, f, attempts))
             .collect()
     }
 }
 
 /// Clamp the requested thread count to something useful; the `parallel`
 /// feature gate forces serial execution when disabled.
-fn effective_threads(requested: usize, scenarios: usize) -> usize {
+pub(crate) fn effective_threads(requested: usize, scenarios: usize) -> usize {
     if cfg!(feature = "parallel") {
         requested.max(1).min(scenarios.max(1))
     } else {
@@ -218,37 +241,16 @@ fn effective_threads(requested: usize, scenarios: usize) -> usize {
     }
 }
 
-/// Evaluates the scenario index range `lo..hi` — the per-thread worker.
-fn evaluate_range(
-    app: &Application,
-    tree: &QuasiStaticTree,
-    model: FaultModel,
-    fault_count: usize,
-    seed: u64,
-    lo: usize,
-    hi: usize,
-) -> Evaluation {
-    let runner = OnlineScheduler::new(app, tree);
-    let sampler = ScenarioSampler::with_model(app, model);
-    let mut eval = Evaluation::default();
-    for i in lo..hi {
-        let mut rng = StdRng::seed_from_u64(scenario_seed(seed, i as u64));
-        let scenario = sampler.sample(&mut rng, fault_count);
-        let out = runner.run(&scenario);
-        eval.utility.add(out.utility);
-        eval.faults.add(out.faults_hit as f64);
-        eval.overruns.add(out.wcet_overruns as f64);
-        match out.verdict {
-            DegradationVerdict::HardMiss { .. } => eval.deadline_misses += 1,
-            DegradationVerdict::Degraded { .. } => eval.degraded += 1,
-            DegradationVerdict::InModel => {}
-        }
-    }
-    eval
-}
-
 /// SplitMix64-style mixing so per-scenario seeds are decorrelated.
-fn scenario_seed(base: u64, i: u64) -> u64 {
+///
+/// This is the RNG-stream contract of the whole evaluation stack:
+/// scenario `i` of a run with base seed `s` *always* draws from a fresh
+/// `StdRng` seeded with `scenario_seed(s, i)`, regardless of thread
+/// count, batch shape, or runtime (reference or flat) — which is what
+/// makes results thread-count invariant and schedulers comparable under
+/// identical environments.
+#[must_use]
+pub fn scenario_seed(base: u64, i: u64) -> u64 {
     let mut z = base ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

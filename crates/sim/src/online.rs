@@ -50,7 +50,7 @@
 //! utility-degradation curves per fault intensity.
 
 use crate::scenario::ExecutionScenario;
-use crate::trace::{DropReason, Trace, TraceEvent};
+use crate::trace::{DropReason, EventSink, NoTrace, Trace, TraceEvent};
 use ftqs_core::{Application, FSchedule, QuasiStaticTree, ScheduleAnalysis, Time, TreeNodeId};
 use ftqs_graph::NodeId;
 
@@ -158,16 +158,37 @@ impl<'a> OnlineScheduler<'a> {
         }
     }
 
-    /// Simulates one operation cycle under `scenario`.
+    /// Simulates one operation cycle under `scenario`, recording a full
+    /// event trace.
     #[must_use]
     pub fn run(&self, scenario: &ExecutionScenario) -> SimOutcome {
+        let mut trace = Trace::new();
+        let mut out = self.run_with_sink(scenario, &mut trace);
+        out.trace = trace;
+        out
+    }
+
+    /// Simulates one operation cycle without recording events
+    /// ([`SimOutcome::trace`] stays empty) — the event work compiles away
+    /// entirely via the [`NoTrace`] sink.
+    #[must_use]
+    pub fn run_untraced(&self, scenario: &ExecutionScenario) -> SimOutcome {
+        self.run_with_sink(scenario, &mut NoTrace)
+    }
+
+    /// Simulates one operation cycle, sending events to `sink`. The
+    /// returned outcome carries an empty [`Trace`].
+    pub fn run_with_sink<S: EventSink>(
+        &self,
+        scenario: &ExecutionScenario,
+        sink: &mut S,
+    ) -> SimOutcome {
         let app = self.app;
         let k = app.faults().k;
         let mut node: TreeNodeId = self.tree.root();
         let mut pos = 0usize;
         let mut now = Time::ZERO;
         let mut faults_seen = 0usize;
-        let mut trace = Trace::new();
 
         // Per-process outcome state.
         let mut completions: Vec<Option<Time>> = vec![None; app.len()];
@@ -180,7 +201,7 @@ impl<'a> OnlineScheduler<'a> {
         // Register the root schedule's static drops.
         for &d in self.tree.node_schedule(node).statically_dropped() {
             dropped[d.index()] = true;
-            trace.push(TraceEvent::Dropped {
+            sink.record(TraceEvent::Dropped {
                 process: d,
                 at: now,
                 reason: DropReason::Static,
@@ -205,7 +226,7 @@ impl<'a> OnlineScheduler<'a> {
                 let lst = analysis.latest_start(app, &entry, pos, remaining);
                 if now > lst {
                     dropped[p.index()] = true;
-                    trace.push(TraceEvent::Dropped {
+                    sink.record(TraceEvent::Dropped {
                         process: p,
                         at: now,
                         reason: DropReason::PastLatestStart,
@@ -218,7 +239,7 @@ impl<'a> OnlineScheduler<'a> {
             // Execute, re-executing on faults as allowed.
             let mut attempt = 0usize;
             let completed_at: Option<Time> = loop {
-                trace.push(TraceEvent::Started {
+                sink.record(TraceEvent::Started {
                     process: p,
                     attempt,
                     at: now,
@@ -232,7 +253,7 @@ impl<'a> OnlineScheduler<'a> {
                     break Some(now);
                 }
                 faults_seen += 1;
-                trace.push(TraceEvent::Fault {
+                sink.record(TraceEvent::Fault {
                     process: p,
                     attempt,
                     at: now,
@@ -280,14 +301,14 @@ impl<'a> OnlineScheduler<'a> {
                         None => 0.0,
                     };
                     utility += credited;
-                    trace.push(TraceEvent::Completed {
+                    sink.record(TraceEvent::Completed {
                         process: p,
                         at,
                         utility: credited,
                     });
                     if let Some(d) = app.process(p).criticality().deadline() {
                         if at > d {
-                            trace.push(TraceEvent::DeadlineMiss {
+                            sink.record(TraceEvent::DeadlineMiss {
                                 process: p,
                                 at,
                                 deadline: d,
@@ -299,7 +320,7 @@ impl<'a> OnlineScheduler<'a> {
                     }
                     // Consult switch arcs on the final completion.
                     if let Some(next) = self.tree.switch_target(node, pos, at) {
-                        trace.push(TraceEvent::Switched {
+                        sink.record(TraceEvent::Switched {
                             from: node,
                             to: next,
                             at,
@@ -310,7 +331,7 @@ impl<'a> OnlineScheduler<'a> {
                         for &d in self.tree.node_schedule(node).statically_dropped() {
                             if !dropped[d.index()] && completions[d.index()].is_none() {
                                 dropped[d.index()] = true;
-                                trace.push(TraceEvent::Dropped {
+                                sink.record(TraceEvent::Dropped {
                                     process: d,
                                     at: now,
                                     reason: DropReason::Static,
@@ -323,7 +344,7 @@ impl<'a> OnlineScheduler<'a> {
                 }
                 None => {
                     dropped[p.index()] = true;
-                    trace.push(TraceEvent::Dropped {
+                    sink.record(TraceEvent::Dropped {
                         process: p,
                         at: now,
                         reason: DropReason::FaultNoRecovery,
@@ -350,10 +371,13 @@ impl<'a> OnlineScheduler<'a> {
             completions,
             deadline_miss: deadline_miss.map(|(p, _, _)| p),
             makespan: now,
-            faults_hit: faults_seen.min(trace.fault_count()),
+            // Every increment of `faults_seen` records exactly one Fault
+            // event, so this equals the trace's fault count without
+            // consulting the (possibly absent) trace.
+            faults_hit: faults_seen,
             wcet_overruns,
             verdict,
-            trace,
+            trace: Trace::new(),
         }
     }
 

@@ -60,6 +60,65 @@ use ftqs_core::{Application, Time};
 use ftqs_graph::NodeId;
 use rand::Rng;
 
+/// A precomputed uniform integer range, drawn without hardware division.
+///
+/// The vendored `gen_range(lo..=hi)` computes `lo + next_u64() % width`
+/// with a fresh 64-bit division per draw. Duration envelopes are fixed per
+/// process, so the sampler precomputes `m = ceil(2^128 / width)` once and
+/// evaluates the *same remainder* by Lemire's direct method (the
+/// fractional part of `m·x`, scaled by `width`) — a handful of multiplies
+/// replacing the division in the hottest loop of every Monte Carlo run.
+/// Draws are bit-identical to `gen_range` by construction (see the
+/// `fast_range_matches_gen_range_bit_for_bit` test).
+#[derive(Debug, Clone, Copy)]
+struct FastRange {
+    /// Inclusive lower bound.
+    lo: u64,
+    /// Inclusive upper bound.
+    hi: u64,
+    /// `hi - lo + 1`; `0` encodes the degenerate full-u64 range.
+    width: u64,
+    /// `ceil(2^128 / width)`, wrapping (`0` when `width == 1`).
+    magic: u128,
+}
+
+impl FastRange {
+    /// Range of `gen_range(lo..=hi)`.
+    fn inclusive(lo: u64, hi: u64) -> Self {
+        debug_assert!(lo <= hi);
+        let (width, magic) = match (hi - lo).checked_add(1) {
+            Some(w) => (w, (u128::MAX / u128::from(w)).wrapping_add(1)),
+            None => (0, 0),
+        };
+        FastRange {
+            lo,
+            hi,
+            width,
+            magic,
+        }
+    }
+
+    /// Range of `gen_range(lo..hi)` (half-open).
+    fn half_open(lo: u64, hi: u64) -> Self {
+        debug_assert!(lo < hi);
+        FastRange::inclusive(lo, hi - 1)
+    }
+
+    /// One draw, bit-identical to the `gen_range` this range mirrors.
+    #[inline]
+    fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let x = rng.next_u64();
+        if self.width == 0 {
+            return self.lo.wrapping_add(x);
+        }
+        // `x % width` as the high half of (frac(m·x / 2^128) · width).
+        let lowbits = self.magic.wrapping_mul(u128::from(x));
+        let top = (lowbits >> 64) * u128::from(self.width);
+        let bot = ((lowbits & u128::from(u64::MAX)) * u128::from(self.width)) >> 64;
+        self.lo + ((top + bot) >> 64) as u64
+    }
+}
+
 /// The stochastic environment process generating faults and execution
 /// times for sampled scenarios — see the module docs for the taxonomy.
 ///
@@ -260,6 +319,120 @@ impl ExecutionScenario {
     }
 }
 
+/// Read access to one execution outcome, by process *index*.
+///
+/// The online runtimes are generic over this trait so the same scenario
+/// loop runs against the boxed [`ExecutionScenario`] tables (tests,
+/// hand-built outcomes) and the allocation-free [`FlatScenario`] buffer
+/// (Monte Carlo batches). Reads beyond the attempt table must saturate to
+/// a defined outcome (worst-case duration, no fault), never panic.
+pub trait ScenarioView {
+    /// Execution time of attempt `attempt` of the process at `process`
+    /// (its node index). Saturates past the table.
+    fn attempt_duration(&self, process: usize, attempt: usize) -> Time;
+    /// Whether the attempt is hit by a fault. Saturates to `false`.
+    fn attempt_faulty(&self, process: usize, attempt: usize) -> bool;
+    /// Duration and fault flag of one attempt in a single call — the
+    /// per-attempt read of the runtime hot loop. Implementors sharing an
+    /// index computation between the two tables should override this.
+    #[inline]
+    fn attempt(&self, process: usize, attempt: usize) -> (Time, bool) {
+        (
+            self.attempt_duration(process, attempt),
+            self.attempt_faulty(process, attempt),
+        )
+    }
+}
+
+impl ScenarioView for ExecutionScenario {
+    #[inline]
+    fn attempt_duration(&self, process: usize, attempt: usize) -> Time {
+        self.duration(NodeId::from_index(process), attempt)
+    }
+
+    #[inline]
+    fn attempt_faulty(&self, process: usize, attempt: usize) -> bool {
+        self.is_faulty(NodeId::from_index(process), attempt)
+    }
+}
+
+/// A reusable, flat (single-allocation) scenario buffer for batched
+/// simulation.
+///
+/// Holds the same information as [`ExecutionScenario`] — per-attempt
+/// durations, a fault plan, per-process saturation durations — in dense
+/// row-major arrays (`process * attempts + attempt`) that
+/// [`ScenarioSampler::sample_into`] refills without allocating. One
+/// buffer per Monte Carlo worker replaces the two `Vec<Vec<_>>` the boxed
+/// representation allocates per scenario.
+#[derive(Debug, Clone, Default)]
+pub struct FlatScenario {
+    processes: usize,
+    attempts: usize,
+    /// `durations[p * attempts + a]`.
+    durations: Vec<Time>,
+    /// `faulty[p * attempts + a]`.
+    faulty: Vec<bool>,
+    /// Saturation duration per process (the WCET).
+    overflow: Vec<Time>,
+    /// Fault-placement scratch: hits per process.
+    hits: Vec<usize>,
+    fault_count: usize,
+}
+
+impl FlatScenario {
+    /// An empty buffer; the first [`ScenarioSampler::sample_into`] sizes
+    /// it.
+    #[must_use]
+    pub fn new() -> Self {
+        FlatScenario::default()
+    }
+
+    /// Number of processes in the current fill.
+    #[must_use]
+    pub fn processes(&self) -> usize {
+        self.processes
+    }
+
+    /// Number of attempt slots per process in the current fill.
+    #[must_use]
+    pub fn attempts(&self) -> usize {
+        self.attempts
+    }
+
+    /// Number of faults planned in the current fill.
+    #[must_use]
+    pub fn fault_count(&self) -> usize {
+        self.fault_count
+    }
+}
+
+impl ScenarioView for FlatScenario {
+    #[inline]
+    fn attempt_duration(&self, process: usize, attempt: usize) -> Time {
+        if attempt < self.attempts {
+            self.durations[process * self.attempts + attempt]
+        } else {
+            self.overflow[process]
+        }
+    }
+
+    #[inline]
+    fn attempt_faulty(&self, process: usize, attempt: usize) -> bool {
+        attempt < self.attempts && self.faulty[process * self.attempts + attempt]
+    }
+
+    #[inline]
+    fn attempt(&self, process: usize, attempt: usize) -> (Time, bool) {
+        if attempt < self.attempts {
+            let i = process * self.attempts + attempt;
+            (self.durations[i], self.faulty[i])
+        } else {
+            (self.overflow[process], false)
+        }
+    }
+}
+
 /// Samples [`ExecutionScenario`]s for an application under a pluggable
 /// [`FaultModel`].
 ///
@@ -276,6 +449,13 @@ impl ExecutionScenario {
 pub struct ScenarioSampler<'a> {
     app: &'a Application,
     model: FaultModel,
+    /// Per-process `[bcet, wcet]` duration ranges with precomputed
+    /// division-free reciprocals, in process-index order.
+    ranges: Vec<FastRange>,
+    /// Per-process WCET, in process-index order (the saturation value).
+    wcet: Vec<Time>,
+    /// The uniform fault-target range `0..n`.
+    target: FastRange,
 }
 
 impl<'a> ScenarioSampler<'a> {
@@ -283,16 +463,30 @@ impl<'a> ScenarioSampler<'a> {
     /// model.
     #[must_use]
     pub fn new(app: &'a Application) -> Self {
-        ScenarioSampler {
-            app,
-            model: FaultModel::Independent,
-        }
+        ScenarioSampler::with_model(app, FaultModel::Independent)
     }
 
     /// Creates a sampler for `app` under `model`.
     #[must_use]
     pub fn with_model(app: &'a Application, model: FaultModel) -> Self {
-        ScenarioSampler { app, model }
+        let ranges = app
+            .processes()
+            .map(|p| {
+                let t = app.process(p).times();
+                FastRange::inclusive(t.bcet().as_ms(), t.wcet().as_ms())
+            })
+            .collect();
+        let wcet = app
+            .processes()
+            .map(|p| app.process(p).times().wcet())
+            .collect();
+        ScenarioSampler {
+            app,
+            model,
+            ranges,
+            wcet,
+            target: FastRange::half_open(0, app.len() as u64),
+        }
     }
 
     /// The fault model this sampler draws from.
@@ -315,6 +509,49 @@ impl<'a> ScenarioSampler<'a> {
 
         // Durations first (matching the historical draw order exactly).
         let mut durations = Vec::with_capacity(n);
+        for fr in &self.ranges {
+            durations.push(
+                (0..attempts)
+                    .map(|_| self.draw_duration(rng, fr))
+                    .collect::<Vec<Time>>(),
+            );
+        }
+
+        // Fault placement: `fault_count` hits; a process hit `c` times has
+        // its first `c` attempts faulty.
+        let mut hits = vec![0usize; n];
+        self.place_faults(rng, fault_count, &mut hits);
+        let faulty = hits
+            .iter()
+            .map(|&c| (0..attempts).map(|a| a < c).collect())
+            .collect();
+        let overflow_duration = self.wcet.clone();
+        ExecutionScenario {
+            durations,
+            faulty,
+            overflow_duration,
+            fault_count,
+        }
+    }
+
+    /// The pre-optimization sampler, preserved verbatim as a measurement
+    /// baseline (the same convention as `ftqs_core::oracle` on the
+    /// synthesis side): durations drawn through the vendored `gen_range`
+    /// (one hardware division per draw) into freshly boxed per-process
+    /// `Vec`s, exactly as every evaluation before the flat runtime paid
+    /// per scenario. `bench_runtime` times the tree-walk baseline through
+    /// this path; results are identical to [`ScenarioSampler::sample`]
+    /// (asserted by the `reference_sampler_matches_current` test).
+    pub fn sample_reference<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        fault_count: usize,
+    ) -> ExecutionScenario {
+        let k = self.app.faults().k;
+        let attempts = k.max(fault_count) + 1;
+        let n = self.app.len();
+
+        let mut durations = Vec::with_capacity(n);
         for p in self.app.processes() {
             let t = self.app.process(p).times();
             let (lo, hi) = (t.bcet().as_ms(), t.wcet().as_ms());
@@ -326,8 +563,6 @@ impl<'a> ScenarioSampler<'a> {
                     .map(|_| {
                         let base = rng.gen_range(lo..=hi);
                         if rng.gen_bool(overrun_prob.clamp(0.0, 1.0)) {
-                            // Uniform in (wcet, factor * wcet], at least
-                            // 1 ms beyond the WCET even for tiny WCETs.
                             let extra_max =
                                 ((hi as f64 * (overrun_factor - 1.0)).ceil() as u64).max(1);
                             Time::from_ms(hi + rng.gen_range(1..=extra_max))
@@ -342,9 +577,34 @@ impl<'a> ScenarioSampler<'a> {
             });
         }
 
-        // Fault placement: `fault_count` hits; a process hit `c` times has
-        // its first `c` attempts faulty.
         let mut hits = vec![0usize; n];
+        self.place_faults_reference(rng, fault_count, &mut hits);
+        let faulty = hits
+            .iter()
+            .map(|&c| (0..attempts).map(|a| a < c).collect())
+            .collect();
+        let overflow_duration = self
+            .app
+            .processes()
+            .map(|p| self.app.process(p).times().wcet())
+            .collect();
+        ExecutionScenario {
+            durations,
+            faulty,
+            overflow_duration,
+            fault_count,
+        }
+    }
+
+    /// Fault placement of [`ScenarioSampler::sample_reference`]: the
+    /// pre-optimization `gen_range` draws, preserved verbatim.
+    fn place_faults_reference<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        fault_count: usize,
+        hits: &mut [usize],
+    ) {
+        let n = hits.len();
         match self.model {
             FaultModel::Independent | FaultModel::WcetStress { .. } => {
                 for _ in 0..fault_count {
@@ -380,20 +640,167 @@ impl<'a> ScenarioSampler<'a> {
                 }
             }
         }
-        let faulty = hits
-            .iter()
-            .map(|&c| (0..attempts).map(|a| a < c).collect())
-            .collect();
-        let overflow_duration = self
-            .app
-            .processes()
-            .map(|p| self.app.process(p).times().wcet())
-            .collect();
-        ExecutionScenario {
-            durations,
-            faulty,
-            overflow_duration,
-            fault_count,
+    }
+
+    /// Refills `out` with one sampled scenario, allocating nothing after
+    /// the first call on a given buffer.
+    ///
+    /// Draws the *identical* RNG sequence as [`ScenarioSampler::sample`]
+    /// with the same `fault_count` (attempt tables sized to
+    /// `max(k, fault_count) + 1`), so a runtime consuming the flat buffer
+    /// sees bit-identical scenarios.
+    pub fn sample_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        fault_count: usize,
+        out: &mut FlatScenario,
+    ) {
+        let attempts = self.app.faults().k.max(fault_count) + 1;
+        self.sample_into_with_attempts(rng, fault_count, attempts, out);
+    }
+
+    /// [`ScenarioSampler::sample_into`] with an explicit attempt-table
+    /// width — the common-random-numbers hook for intensity sweeps.
+    ///
+    /// Holding `attempts` fixed at `max(k, max swept intensity) + 1`
+    /// across a sweep makes every fault count consume the *same* duration
+    /// draws from the same per-scenario stream, so sweep columns differ
+    /// only in fault placement (common random numbers: column deltas are
+    /// pure fault effects, not sampling noise). With
+    /// `attempts == max(k, fault_count) + 1` the draw sequence is
+    /// bit-identical to [`ScenarioSampler::sample`] — which is why an
+    /// in-model sweep (all intensities `<= k`) is unchanged by CRN: every
+    /// column already uses `k + 1` attempts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attempts < max(k, fault_count) + 1` (a planned fault
+    /// would have no re-execution slot).
+    pub fn sample_into_with_attempts<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        fault_count: usize,
+        attempts: usize,
+        out: &mut FlatScenario,
+    ) {
+        let k = self.app.faults().k;
+        assert!(
+            attempts > k.max(fault_count),
+            "attempt table too narrow: {attempts} slots for k = {k}, {fault_count} faults"
+        );
+        let n = self.app.len();
+
+        out.processes = n;
+        out.attempts = attempts;
+        out.fault_count = fault_count;
+        out.durations.resize(n * attempts, Time::ZERO);
+        out.overflow.clear();
+        out.overflow.extend_from_slice(&self.wcet);
+
+        // Durations first, process-major — the same draw order as
+        // `sample`. The model match is hoisted out of the draw loop: every
+        // non-stress model draws `Time::from_ms(fr.draw(rng))`, exactly
+        // what `draw_duration` computes per call.
+        match self.model {
+            FaultModel::WcetStress { .. } => {
+                for (slots, fr) in out.durations.chunks_exact_mut(attempts).zip(&self.ranges) {
+                    for slot in slots {
+                        *slot = self.draw_duration(rng, fr);
+                    }
+                }
+            }
+            _ => {
+                for (slots, fr) in out.durations.chunks_exact_mut(attempts).zip(&self.ranges) {
+                    for slot in slots {
+                        *slot = Time::from_ms(fr.draw(rng));
+                    }
+                }
+            }
+        }
+
+        // Then fault placement. Steady-state refills overwrite in place.
+        if out.hits.len() == n {
+            out.hits.fill(0);
+        } else {
+            out.hits.clear();
+            out.hits.resize(n, 0);
+        }
+        self.place_faults(rng, fault_count, &mut out.hits);
+        if out.faulty.len() == n * attempts {
+            out.faulty.fill(false);
+        } else {
+            out.faulty.clear();
+            out.faulty.resize(n * attempts, false);
+        }
+        for (p, &c) in out.hits.iter().enumerate() {
+            for a in 0..c {
+                out.faulty[p * attempts + a] = true;
+            }
+        }
+    }
+
+    /// One attempt-duration draw under this sampler's model. Factored out
+    /// so `sample` and `sample_into*` provably consume identical RNG
+    /// sequences.
+    #[inline]
+    fn draw_duration<R: Rng + ?Sized>(&self, rng: &mut R, fr: &FastRange) -> Time {
+        match self.model {
+            FaultModel::WcetStress {
+                overrun_prob,
+                overrun_factor,
+            } => {
+                let base = fr.draw(rng);
+                if rng.gen_bool(overrun_prob.clamp(0.0, 1.0)) {
+                    // Uniform in (wcet, factor * wcet], at least 1 ms
+                    // beyond the WCET even for tiny WCETs.
+                    let extra_max = ((fr.hi as f64 * (overrun_factor - 1.0)).ceil() as u64).max(1);
+                    Time::from_ms(fr.hi + rng.gen_range(1..=extra_max))
+                } else {
+                    Time::from_ms(base)
+                }
+            }
+            _ => Time::from_ms(fr.draw(rng)),
+        }
+    }
+
+    /// Draws the fault plan: `fault_count` hits over `hits` (zeroed by the
+    /// caller). Shared by `sample` and `sample_into*`.
+    fn place_faults<R: Rng + ?Sized>(&self, rng: &mut R, fault_count: usize, hits: &mut [usize]) {
+        let n = hits.len();
+        match self.model {
+            FaultModel::Independent | FaultModel::WcetStress { .. } => {
+                for _ in 0..fault_count {
+                    hits[self.target.draw(rng) as usize] += 1;
+                }
+            }
+            FaultModel::Bursty { locality, window } => {
+                let locality = locality.clamp(0.0, 1.0);
+                let mut last: Option<usize> = None;
+                for _ in 0..fault_count {
+                    let target = match last {
+                        Some(i) if rng.gen_bool(locality) => {
+                            let lo = i.saturating_sub(window);
+                            let hi = (i + window).min(n - 1);
+                            rng.gen_range(lo..=hi)
+                        }
+                        _ => self.target.draw(rng) as usize,
+                    };
+                    hits[target] += 1;
+                    last = Some(target);
+                }
+            }
+            FaultModel::Intermittent { reoccur } => {
+                let reoccur = reoccur.clamp(0.0, 1.0);
+                let mut last: Option<usize> = None;
+                for _ in 0..fault_count {
+                    let target = match last {
+                        Some(i) if rng.gen_bool(reoccur) => i,
+                        _ => self.target.draw(rng) as usize,
+                    };
+                    hits[target] += 1;
+                    last = Some(target);
+                }
+            }
         }
     }
 }
@@ -665,6 +1072,57 @@ mod tests {
             (0.35..0.65).contains(&rate),
             "overrun rate {rate} far from configured 0.5"
         );
+    }
+
+    #[test]
+    fn reference_sampler_matches_current() {
+        // The preserved baseline and the optimized path must draw the
+        // same scenarios from the same streams, for every model.
+        let app = app();
+        for name in FAULT_MODEL_NAMES {
+            let sampler = ScenarioSampler::with_model(&app, FaultModel::preset(name).unwrap());
+            for f in [0usize, 1, 2, 5] {
+                let a = sampler.sample_reference(&mut StdRng::seed_from_u64(0xCAFE + f as u64), f);
+                let b = sampler.sample(&mut StdRng::seed_from_u64(0xCAFE + f as u64), f);
+                assert_eq!(a, b, "{name} f={f}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_range_matches_gen_range_bit_for_bit() {
+        // The division-free draw must reproduce the vendored `gen_range`
+        // exactly for every envelope shape: degenerate points, powers of
+        // two, odd widths, huge and full-u64 ranges.
+        let cases: [(u64, u64); 8] = [
+            (5, 5),
+            (0, 1),
+            (10, 50),
+            (7, 7 + 63),
+            (1, 1_000_000),
+            (0, u64::MAX - 1),
+            (3, u64::MAX),
+            (0, u64::MAX),
+        ];
+        for (lo, hi) in cases {
+            let fr = FastRange::inclusive(lo, hi);
+            let mut a = StdRng::seed_from_u64(lo ^ hi.rotate_left(17) ^ 0xFA57);
+            let mut b = a.clone();
+            for _ in 0..200 {
+                assert_eq!(
+                    fr.draw(&mut a),
+                    b.gen_range(lo..=hi),
+                    "draw diverged for [{lo}, {hi}]"
+                );
+            }
+        }
+        // Half-open construction mirrors `gen_range(lo..hi)`.
+        let fr = FastRange::half_open(0, 17);
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = a.clone();
+        for _ in 0..200 {
+            assert_eq!(fr.draw(&mut a), b.gen_range(0..17u64));
+        }
     }
 
     #[test]

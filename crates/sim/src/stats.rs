@@ -31,6 +31,7 @@ impl Accumulator {
     }
 
     /// Adds one sample.
+    #[inline]
     pub fn add(&mut self, x: f64) {
         self.n += 1;
         let delta = x - self.mean;
@@ -127,6 +128,7 @@ impl Rate {
     }
 
     /// Records one trial.
+    #[inline]
     pub fn record(&mut self, hit: bool) {
         self.total += 1;
         self.hits += u64::from(hit);

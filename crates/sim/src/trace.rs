@@ -3,6 +3,11 @@
 //! Traces make schedule behaviour inspectable — both for debugging the
 //! scheduler itself and for the examples, which render them as a text
 //! Gantt chart.
+//!
+//! Recording is opt-in: the runtimes are generic over an [`EventSink`],
+//! so Monte Carlo batches run with [`NoTrace`] (the no-op sink, which
+//! monomorphizes to zero event work — events are never even constructed)
+//! while debugging and the CLI `--trace` path plug in a real [`Trace`].
 
 use ftqs_core::Time;
 use ftqs_graph::NodeId;
@@ -90,6 +95,33 @@ impl fmt::Display for DropReason {
             DropReason::FaultNoRecovery => "fault without recovery",
         };
         f.write_str(s)
+    }
+}
+
+/// Receives the events of one simulated cycle.
+///
+/// The online runtimes are generic over this trait so that callers who do
+/// not need a trace pay nothing: with [`NoTrace`] the compiler removes the
+/// event construction entirely. [`Trace`] implements it by appending.
+pub trait EventSink {
+    /// Records one event.
+    fn record(&mut self, event: TraceEvent);
+}
+
+/// The no-op [`EventSink`]: the batched Monte Carlo path uses this so the
+/// scenario loop compiles to no event work at all.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoTrace;
+
+impl EventSink for NoTrace {
+    #[inline(always)]
+    fn record(&mut self, _event: TraceEvent) {}
+}
+
+impl EventSink for Trace {
+    #[inline]
+    fn record(&mut self, event: TraceEvent) {
+        self.push(event);
     }
 }
 
