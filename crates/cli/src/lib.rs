@@ -84,11 +84,20 @@ pub const USAGE: &str =
   submit     <fig9|series-parallel|polar|hyper> — generate an NDJSON request batch:
              --count N (16), --size N (15), --seed S (0),
              --distinct D (=count; D < N makes the batch duplicate-heavy),
-             --policy ftss|ftqs|ftsf (ftqs), --budget N (8)
+             --policy ftss|ftqs|ftsf (ftqs), --budget N (8),
+             --priority interactive|bulk (bulk; interactive overtakes queued bulk),
+             --deadline-ms N (none; expired-in-queue requests answer
+             'deadline exceeded' without synthesis)
   serve      <batch.ndjson|-> — run a batch through the fleet service, one
              JSON response line per request in completion order:
              --workers N (0 = one per core), --queue N (1024), --cache N (256),
-             --stats (append a final service-statistics line)";
+             --responses N (1024; bound of the response ring — a slow
+             consumer throttles the workers instead of growing memory),
+             --stats (append a final service-statistics line: completed,
+             rejected, worker panics/respawns, deadline misses, cache)
+             Workers are supervised: a panicking job answers as an error
+             response, a dead worker thread is respawned, and overload
+             surfaces as backpressure — the batch always completes.";
 
 /// The engine configuration every command synthesizes with: defaults plus
 /// structural validation (CLI artifacts leave the process, so they are
@@ -758,11 +767,17 @@ pub fn trace_average(source: &str, budget: usize) -> Result<String, CliError> {
 /// `ftqs submit <family>` — renders an NDJSON request batch for [`serve`]
 /// (or any transport consumer). Seeds cycle through `distinct` values
 /// starting at `seed`, so `distinct < count` produces the duplicate-heavy
-/// mixes that exercise the service's artifact cache.
+/// mixes that exercise the service's artifact cache. `priority` and
+/// `deadline_ms` (both optional) stamp every request with the service's
+/// scheduling knobs: interactive requests overtake queued bulk ones, and
+/// a request still queued past its deadline answers `deadline exceeded`
+/// without synthesis.
 ///
 /// # Errors
 ///
-/// Unknown family or policy names, or a zero `count`/`size`/`distinct`.
+/// Unknown family, policy, or priority names, or a zero
+/// `count`/`size`/`distinct`.
+#[allow(clippy::too_many_arguments)]
 pub fn submit(
     family: &str,
     count: usize,
@@ -771,6 +786,8 @@ pub fn submit(
     distinct: usize,
     policy: &str,
     budget: usize,
+    priority: Option<&str>,
+    deadline_ms: Option<u64>,
 ) -> Result<String, CliError> {
     if ftqs_workloads::Family::parse(family).is_none() {
         let names: Vec<&str> = ftqs_workloads::Family::ALL
@@ -786,6 +803,13 @@ pub fn submit(
     if !matches!(policy, "ftss" | "ftqs" | "ftsf") {
         return Err(format!("unknown policy '{policy}' (ftss|ftqs|ftsf)").into());
     }
+    if !matches!(priority, None | Some("interactive") | Some("bulk")) {
+        return Err(format!(
+            "unknown priority '{}' (interactive|bulk)",
+            priority.unwrap_or_default()
+        )
+        .into());
+    }
     if count == 0 || size == 0 || distinct == 0 {
         return Err("--count, --size, and --distinct must be positive".into());
     }
@@ -798,6 +822,8 @@ pub fn submit(
             seed + (i % distinct) as u64,
             policy,
             budget,
+            priority,
+            deadline_ms,
         );
         out.push_str(&line);
         out.push('\n');
@@ -809,8 +835,13 @@ pub fn submit(
 /// the fleet service ([`ftqs_service::Service`]) and returns one JSON
 /// response line per request in completion order. Malformed request
 /// lines answer with a per-line error response; the rest of the batch is
-/// unaffected. With `with_stats`, a final line carries the
-/// [`ftqs_service::ServiceStats`] snapshot (queue/cache counters).
+/// unaffected. The workers are supervised (a panicking job answers as an
+/// error response; a dead thread is respawned) and both buffers are
+/// bounded — `response_capacity` caps the response ring, so a slow
+/// output sink throttles the fleet instead of growing memory. With
+/// `with_stats`, a final line carries the [`ftqs_service::ServiceStats`]
+/// snapshot (completed/rejected/panics/respawns/deadline-miss counters
+/// plus queue, ring, and cache occupancy).
 ///
 /// # Errors
 ///
@@ -821,14 +852,17 @@ pub fn serve(
     workers: usize,
     queue_capacity: usize,
     cache_capacity: usize,
+    response_capacity: usize,
     with_stats: bool,
 ) -> Result<String, CliError> {
-    let service = Service::start(ServiceConfig {
+    let mut service = Service::start(ServiceConfig {
         workers,
         queue_capacity,
         cache_capacity,
+        response_capacity,
         intra_parallelism: 1,
         engine: engine(),
+        ..ServiceConfig::default()
     });
     let mut out = Vec::new();
     match batch {
@@ -962,6 +996,15 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "trace" => trace_average(spec, value("--budget", 8)? as usize),
         "submit" => {
             let count = value("--count", 16)? as usize;
+            // --deadline-ms is present-or-absent (there is no "default
+            // deadline"), so it parses through the string path.
+            let deadline_ms = parse_str(args, "--deadline-ms")?
+                .map(|raw| {
+                    raw.parse::<u64>().map_err(|_| {
+                        format!("invalid value for --deadline-ms: '{raw}' is not a number")
+                    })
+                })
+                .transpose()?;
             submit(
                 spec,
                 count,
@@ -970,6 +1013,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 value("--distinct", count as u64)? as usize,
                 parse_str(args, "--policy")?.as_deref().unwrap_or("ftqs"),
                 value("--budget", 8)? as usize,
+                parse_str(args, "--priority")?.as_deref(),
+                deadline_ms,
             )
         }
         "serve" => serve(
@@ -977,6 +1022,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             value("--workers", 0)? as usize,
             value("--queue", 1024)? as usize,
             value("--cache", 256)? as usize,
+            value("--responses", 1024)? as usize,
             flag("--stats"),
         ),
         "export" => {
@@ -1189,7 +1235,7 @@ mod tests {
 
     #[test]
     fn submit_generates_parseable_duplicate_heavy_batches() {
-        let batch = submit("fig9", 8, 12, 5, 2, "ftqs", 4).unwrap();
+        let batch = submit("fig9", 8, 12, 5, 2, "ftqs", 4, None, None).unwrap();
         let lines: Vec<&str> = batch.lines().collect();
         assert_eq!(lines.len(), 8);
         for (i, line) in lines.iter().enumerate() {
@@ -1210,15 +1256,43 @@ mod tests {
 
     #[test]
     fn submit_validates_family_and_policy() {
-        let err = submit("escher", 4, 12, 0, 4, "ftqs", 8)
+        let err = submit("escher", 4, 12, 0, 4, "ftqs", 8, None, None)
             .unwrap_err()
             .to_string();
         assert!(err.contains("escher") && err.contains("fig9"), "{err}");
-        let err = submit("fig9", 4, 12, 0, 4, "edf", 8)
+        let err = submit("fig9", 4, 12, 0, 4, "edf", 8, None, None)
             .unwrap_err()
             .to_string();
         assert!(err.contains("edf"), "{err}");
-        assert!(submit("fig9", 0, 12, 0, 4, "ftqs", 8).is_err());
+        let err = submit("fig9", 4, 12, 0, 4, "ftqs", 8, Some("vip"), None)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("vip") && err.contains("interactive"), "{err}");
+        assert!(submit("fig9", 0, 12, 0, 4, "ftqs", 8, None, None).is_err());
+    }
+
+    #[test]
+    fn submit_stamps_priority_and_deadline_on_every_line() {
+        let batch = submit(
+            "fig9",
+            3,
+            12,
+            5,
+            1,
+            "ftss",
+            8,
+            Some("interactive"),
+            Some(250),
+        )
+        .unwrap();
+        for line in batch.lines() {
+            let req = ftqs_service::transport::parse_request(line).unwrap();
+            assert_eq!(req.priority, ftqs_service::Priority::Interactive);
+            assert_eq!(req.deadline, Some(std::time::Duration::from_millis(250)));
+        }
+        // Omitted knobs stay off the wire entirely.
+        let bare = submit("fig9", 1, 12, 5, 1, "ftss", 8, None, None).unwrap();
+        assert!(!bare.contains("priority") && !bare.contains("deadline_ms"));
     }
 
     #[test]
@@ -1226,10 +1300,10 @@ mod tests {
         // submit | serve round trip through a temp file, duplicate-heavy so
         // the cache path is exercised; the final --stats line must report a
         // nonzero hit count.
-        let batch = submit("fig9", 6, 12, 5, 1, "ftqs", 4).unwrap();
+        let batch = submit("fig9", 6, 12, 5, 1, "ftqs", 4, None, None).unwrap();
         let path = std::env::temp_dir().join("ftqs-cli-serve-test.ndjson");
         std::fs::write(&path, &batch).unwrap();
-        let out = serve(path.to_str().unwrap(), 1, 16, 8, true).unwrap();
+        let out = serve(path.to_str().unwrap(), 1, 16, 8, 64, true).unwrap();
         std::fs::remove_file(&path).ok();
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 7, "6 responses + 1 stats line");
@@ -1253,7 +1327,7 @@ mod tests {
              {\"id\": 2, \"preset\": {\"family\": \"fig9\", \"size\": 12, \"seed\": 5}}\n",
         )
         .unwrap();
-        let out = serve(path.to_str().unwrap(), 1, 16, 8, false).unwrap();
+        let out = serve(path.to_str().unwrap(), 1, 16, 8, 64, false).unwrap();
         std::fs::remove_file(&path).ok();
         let responses: Vec<ftqs_service::transport::WireResponse> = out
             .lines()
@@ -1267,7 +1341,7 @@ mod tests {
 
     #[test]
     fn serve_rejects_missing_batch_files() {
-        assert!(serve("/nonexistent/batch.ndjson", 1, 4, 4, false).is_err());
+        assert!(serve("/nonexistent/batch.ndjson", 1, 4, 4, 4, false).is_err());
     }
 
     // ----- argv dispatch ---------------------------------------------------
@@ -1316,8 +1390,13 @@ mod tests {
             "5",
             "--distinct",
             "1",
+            "--priority",
+            "interactive",
+            "--deadline-ms",
+            "60000",
         ]))
         .unwrap();
+        assert!(batch.contains("\"priority\"") && batch.contains("\"deadline_ms\""));
         let path = std::env::temp_dir().join("ftqs-cli-dispatch.ndjson");
         std::fs::write(&path, &batch).unwrap();
         let out = run(&args(&[
@@ -1325,12 +1404,34 @@ mod tests {
             path.to_str().unwrap(),
             "--workers",
             "1",
+            "--responses",
+            "32",
             "--stats",
         ]))
         .unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(out.lines().count(), 5, "4 responses + stats");
         assert!(out.contains("\"ok\": true") || out.contains("\"ok\":true"));
+        // The generous deadline was met: no misses in the stats line.
+        assert!(out.contains("\"deadline_misses\": 0") || out.contains("\"deadline_misses\":0"));
+    }
+
+    #[test]
+    fn submit_deadline_flag_must_be_numeric() {
+        let err = run(&args(&[
+            "submit",
+            "fig9",
+            "--count",
+            "2",
+            "--deadline-ms",
+            "soon",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(
+            err.contains("--deadline-ms") && err.contains("soon"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -22,7 +22,7 @@
 
 use ftqs_core::{ContentDigest, PreparedApp};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Counters and occupancy of an [`ArtifactCache`], as one coherent
 /// snapshot.
@@ -91,10 +91,19 @@ impl ArtifactCache {
         }
     }
 
+    /// Locks the cache state, recovering from poisoning: no method can
+    /// panic while the map is half-mutated (the entry type has no
+    /// panicking paths between mutations), so the state behind a
+    /// poisoned lock is still coherent — a panicking worker thread must
+    /// never wedge the rest of the fleet out of the cache.
+    fn lock_inner(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Looks `key` up, counting a hit or a miss and refreshing recency.
     #[must_use]
     pub fn get(&self, key: ContentDigest) -> Option<Arc<PreparedApp>> {
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = self.lock_inner();
         inner.tick += 1;
         let tick = inner.tick;
         match inner.map.get_mut(&key) {
@@ -115,7 +124,7 @@ impl ArtifactCache {
     /// entry when the capacity bound is hit. Re-inserting an existing key
     /// replaces its value without counting an eviction.
     pub fn insert(&self, key: ContentDigest, value: Arc<PreparedApp>) {
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = self.lock_inner();
         inner.tick += 1;
         let tick = inner.tick;
         if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
@@ -140,7 +149,7 @@ impl ArtifactCache {
     /// A coherent snapshot of the counters and occupancy.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("cache lock");
+        let inner = self.lock_inner();
         CacheStats {
             hits: inner.hits,
             misses: inner.misses,

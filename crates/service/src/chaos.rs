@@ -1,0 +1,189 @@
+//! Deterministic service-level fault injection (test/bench harness).
+//!
+//! The paper's discipline — prove graceful degradation by *driving the
+//! system past its design contract* — applied to the serving layer
+//! itself. A [`ChaosPolicy`] plugged into
+//! [`ServiceConfig`](crate::ServiceConfig) makes workers misbehave in the
+//! three ways a real fleet does:
+//!
+//! * **injected panics** — the job panics mid-execution; the per-job
+//!   `catch_unwind` isolation must answer it with
+//!   [`ServiceError::WorkerPanic`](crate::ServiceError::WorkerPanic)
+//!   and the worker must keep serving;
+//! * **worker kills** — the panic unwinds *outside* the per-job
+//!   isolation, so the worker thread actually dies; the supervisor must
+//!   answer the in-flight request and respawn the worker;
+//! * **slowdowns** — an artificial stall ahead of synthesis, creating
+//!   deadline pressure and response-ring backpressure.
+//!
+//! Decisions are pure functions of `(policy seed, request id)` — a
+//! SplitMix64 stream per request — so a chaos run is reproducible
+//! regardless of worker count, thread scheduling, or queue order. The
+//! degraded-mode sweep in `bench_service` and the `chaos` test suite use
+//! this to assert the service's fault-tolerance contract (exactly one
+//! response per request, no lost or duplicated ids, bounded buffers)
+//! under sustained injection.
+//!
+//! This module is a test/bench instrument: production configurations
+//! leave [`ServiceConfig::chaos`](crate::ServiceConfig::chaos) at `None`,
+//! and the worker hot path then never consults it.
+
+use std::time::Duration;
+
+/// Seeded, deterministic fault-injection policy (see the module docs).
+/// Rates are per-mille (0–1000) per request; a request rolls each fault
+/// class independently, and a kill takes precedence over a plain panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosPolicy {
+    /// Seed of the per-request decision streams.
+    pub seed: u64,
+    /// Per-mille probability that a job panics inside the per-job
+    /// isolation (answered as `WorkerPanic`, worker survives).
+    pub panic_per_mille: u16,
+    /// Per-mille probability that the worker thread dies on this job
+    /// (answered as `WorkerPanic` by the supervisor guard, worker
+    /// respawned).
+    pub kill_per_mille: u16,
+    /// Per-mille probability of an artificial stall before synthesis.
+    pub slow_per_mille: u16,
+    /// Stall length for slowed jobs, in microseconds.
+    pub slow_micros: u64,
+}
+
+impl ChaosPolicy {
+    /// A policy that injects nothing (useful as a sweep baseline).
+    #[must_use]
+    pub fn calm(seed: u64) -> Self {
+        ChaosPolicy {
+            seed,
+            panic_per_mille: 0,
+            kill_per_mille: 0,
+            slow_per_mille: 0,
+            slow_micros: 0,
+        }
+    }
+
+    /// The fault verdict for one request id. Pure and deterministic:
+    /// the same `(seed, id)` always yields the same decision, on any
+    /// worker.
+    #[must_use]
+    pub fn decide(&self, request_id: u64) -> ChaosDecision {
+        let mut stream =
+            SplitMix64::new(self.seed ^ request_id.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let kill = stream.roll_per_mille(self.kill_per_mille);
+        let panic = !kill && stream.roll_per_mille(self.panic_per_mille);
+        let slow = stream.roll_per_mille(self.slow_per_mille);
+        ChaosDecision {
+            panic,
+            kill,
+            slow: if slow {
+                Some(Duration::from_micros(self.slow_micros))
+            } else {
+                None
+            },
+        }
+    }
+}
+
+/// What [`ChaosPolicy::decide`] sentenced one request to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChaosDecision {
+    /// Panic inside the per-job isolation.
+    pub panic: bool,
+    /// Kill the worker thread (panic outside the isolation).
+    pub kill: bool,
+    /// Stall this long before synthesis.
+    pub slow: Option<Duration>,
+}
+
+/// SplitMix64 — the standard 64-bit mixing stream; tiny, seedable, and
+/// good enough for independent per-request fault rolls.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn roll_per_mille(&mut self, threshold: u16) -> bool {
+        self.next() % 1000 < u64::from(threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_per_request_id() {
+        let policy = ChaosPolicy {
+            seed: 42,
+            panic_per_mille: 100,
+            kill_per_mille: 50,
+            slow_per_mille: 200,
+            slow_micros: 500,
+        };
+        for id in 0..2000 {
+            assert_eq!(policy.decide(id), policy.decide(id));
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_respected_and_kill_excludes_panic() {
+        let policy = ChaosPolicy {
+            seed: 7,
+            panic_per_mille: 100,
+            kill_per_mille: 100,
+            slow_per_mille: 100,
+            slow_micros: 1,
+        };
+        let mut panics = 0u32;
+        let mut kills = 0u32;
+        let mut slows = 0u32;
+        for id in 0..10_000 {
+            let d = policy.decide(id);
+            assert!(!(d.panic && d.kill), "kill takes precedence over panic");
+            panics += u32::from(d.panic);
+            kills += u32::from(d.kill);
+            slows += u32::from(d.slow.is_some());
+        }
+        // 10% nominal each over 10k draws; allow wide slack.
+        for count in [panics, kills, slows] {
+            assert!((600..1500).contains(&count), "rate off: {count}/10000");
+        }
+    }
+
+    #[test]
+    fn calm_policy_injects_nothing() {
+        let policy = ChaosPolicy::calm(3);
+        for id in 0..1000 {
+            assert_eq!(policy.decide(id), ChaosDecision::default());
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_fault_sets() {
+        let a = ChaosPolicy {
+            seed: 1,
+            panic_per_mille: 500,
+            kill_per_mille: 0,
+            slow_per_mille: 0,
+            slow_micros: 0,
+        };
+        let b = ChaosPolicy { seed: 2, ..a };
+        let hits = |p: &ChaosPolicy| {
+            (0..256)
+                .filter(|&id| p.decide(id).panic)
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(hits(&a), hits(&b));
+    }
+}

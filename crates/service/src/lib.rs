@@ -9,30 +9,49 @@
 //! run needs before the actual scheduling starts. This crate is the
 //! long-lived server shape for that workload, std-only (no async
 //! runtime — synthesis is CPU-bound, so threads *are* the right
-//! concurrency primitive offline):
+//! concurrency primitive offline), built to the same fault-tolerance
+//! contract the paper demands of the scheduled platform: faults beyond
+//! the design assumptions degrade service, they never collapse it.
 //!
 //! ```text
 //!  submit / NDJSON lines
-//!        │
+//!        │  (rejected submissions are counted, never silently dropped)
 //!        ▼
-//!  bounded work queue ──► worker threads (one Session each)
-//!   (backpressure,           │
-//!    never a panic)          ▼
-//!                     artifact cache  ──  ContentDigest key:
-//!                     (LRU, Arc-shared)   app ⊕ engine ⊕ request knobs
-//!                            │
-//!                            ▼
-//!                  completion-order response stream
+//!  bounded two-lane work queue ────► worker threads (one Session each,
+//!   (interactive overtakes bulk,  │   per-job catch_unwind isolation)
+//!    expired deadlines answered   │        │           ▲
+//!    without synthesis,           │        │           │ respawn on
+//!    poison-immune locks)         │        │           │ thread death
+//!                                 │        │      supervisor thread
+//!                                 │        ▼
+//!                                 │  artifact cache ── ContentDigest key:
+//!                                 │  (LRU, Arc-shared) app ⊕ engine ⊕ knobs
+//!                                 │        │
+//!                                 ▼        ▼
+//!                     bounded response ring (completion order;
+//!                      a slow consumer throttles the workers)
 //! ```
 //!
-//! * The **work queue** is bounded: [`Service::try_submit`]
-//!   surfaces overload as an explicit [`SubmitError::Backpressure`]
-//!   error the caller can retry, shed, or block on
-//!   ([`Service::submit`]) — the service never panics and never grows
-//!   without bound.
+//! * The **work queue** is bounded and priority-aware:
+//!   [`Service::try_submit`] surfaces overload as an explicit
+//!   [`SubmitError::Backpressure`] error (counted in
+//!   [`ServiceStats::rejected`]) the caller can retry, shed, or block on
+//!   ([`Service::submit`]); [`Priority::Interactive`] requests overtake
+//!   [`Priority::Bulk`] sweeps; a request whose
+//!   [deadline](ServiceRequest::with_deadline) expired while queued is
+//!   answered immediately with [`ServiceError::DeadlineExceeded`] —
+//!   no worker time is spent synthesizing an answer nobody can use.
 //! * **Workers** are plain threads, one per core by default, each owning
 //!   a [`ftqs_core::Session`] whose scratch allocations amortize across
-//!   every request the worker serves.
+//!   every request the worker serves. Each job executes under
+//!   `catch_unwind`: a panicking job is answered with
+//!   [`ServiceError::WorkerPanic`] (payload message attached) and the
+//!   worker keeps serving on a fresh session. If a thread nevertheless
+//!   dies (a panic outside the per-job isolation), its supervisor
+//!   guard still answers the in-flight request and the supervisor thread
+//!   respawns the worker — [`ServiceStats::panics`] and
+//!   [`ServiceStats::respawns`] count both events, and the queue's locks
+//!   recover from poisoning so one bad job can never wedge the fleet.
 //! * The **artifact cache** ([`cache`]) shares [`PreparedApp`]s — the
 //!   owned model tables and compiled utilities behind an [`Arc`] —
 //!   across workers, keyed by a canonical [`ContentDigest`] of the job
@@ -42,10 +61,20 @@
 //!   always runs, so a cached response is bit-identical to a cold one
 //!   (the cache-correctness tests pin this through
 //!   [`ftqs_core::tree_digest`]).
-//! * **Responses** stream in completion order, tagged with the request
-//!   id, carrying per-request queueing/service timings and the cache
-//!   verdict; [`ServiceStats`] aggregates throughput counters, queue
-//!   gauges, and cache hit/miss/eviction counts.
+//! * **Responses** stream in completion order through a *bounded* ring,
+//!   tagged with the request id and per-request queueing/service
+//!   timings: when the consumer falls behind, workers block on the full
+//!   ring instead of growing an unbounded buffer, so end-to-end memory
+//!   is `queue_capacity + workers + response_capacity` responses at
+//!   most. Shutdown lifts the ring's bound (the backlog is provably
+//!   bounded by then) so draining workers never deadlock against the
+//!   joining thread, and undelivered responses stay receivable after
+//!   [`Service::shutdown`].
+//! * The **chaos harness** ([`chaos`]) injects worker panics, thread
+//!   kills, and slowdowns deterministically from a seed — the test and
+//!   bench instrument that pins the whole contract above (exactly one
+//!   response per request, bounded buffers, fleet survives sustained
+//!   faults).
 //!
 //! The NDJSON transport ([`transport`]) wires the same service to files
 //! and pipes for `ftqs serve` / `ftqs submit`; malformed request lines
@@ -55,21 +84,26 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cache;
+pub mod chaos;
 mod queue;
+mod supervisor;
 pub mod transport;
 
 pub use cache::{ArtifactCache, CacheStats};
+pub use chaos::{ChaosDecision, ChaosPolicy};
 
 use ftqs_core::digest::Hasher;
 use ftqs_core::{
-    Application, ContentDigest, Engine, PreparedApp, SynthesisReport, SynthesisRequest,
+    Application, ContentDigest, Engine, PreparedApp, Session, SynthesisReport, SynthesisRequest,
 };
-use queue::{PushError, Queue};
+use queue::{Lane, PushError, Queue};
 use std::fmt;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use supervisor::{InFlight, WorkerGuard};
 
 /// Where a job's application comes from. The source is hashed *without*
 /// building the application, so a cache hit skips generation/parsing
@@ -146,8 +180,31 @@ impl JobSource {
     }
 }
 
+/// Scheduling class of a request: interactive requests overtake bulk
+/// sweeps at every queue pop (FIFO within a class, per the ROADMAP's
+/// fleet-service contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Served ahead of any queued bulk request.
+    Interactive,
+    /// The default: batch sweeps, served in arrival order behind
+    /// interactive traffic.
+    #[default]
+    Bulk,
+}
+
+impl Priority {
+    fn lane(self) -> Lane {
+        match self {
+            Priority::Interactive => Lane::Express,
+            Priority::Bulk => Lane::Normal,
+        }
+    }
+}
+
 /// One unit of work: an id (echoed on the response), a job source, and
-/// the synthesis request to run against it.
+/// the synthesis request to run against it, plus optional service-level
+/// scheduling knobs (priority, deadline).
 #[derive(Debug, Clone)]
 pub struct ServiceRequest {
     /// Caller-chosen id, echoed verbatim on the response.
@@ -156,17 +213,41 @@ pub struct ServiceRequest {
     pub source: JobSource,
     /// What to synthesize.
     pub request: SynthesisRequest,
+    /// Scheduling class ([`Priority::Bulk`] by default).
+    pub priority: Priority,
+    /// Time budget measured from submission. A request still queued when
+    /// it expires is answered with [`ServiceError::DeadlineExceeded`]
+    /// without burning a worker; one that *completes* late still returns
+    /// its report but is counted in [`ServiceStats::deadline_misses`]
+    /// and flagged on the response.
+    pub deadline: Option<Duration>,
 }
 
 impl ServiceRequest {
-    /// Bundles the three parts of a request.
+    /// Bundles the three parts of a request (bulk priority, no deadline).
     #[must_use]
     pub fn new(id: u64, source: JobSource, request: SynthesisRequest) -> Self {
         ServiceRequest {
             id,
             source,
             request,
+            priority: Priority::default(),
+            deadline: None,
         }
+    }
+
+    /// Sets the scheduling class.
+    #[must_use]
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the deadline, measured from the moment of submission.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 }
 
@@ -178,6 +259,16 @@ pub enum ServiceError {
     InvalidSource(String),
     /// Synthesis itself failed (unschedulable, invalid request knobs…).
     Synthesis(ftqs_core::Error),
+    /// The job panicked. The worker survived (or was respawned); the
+    /// payload message is attached when it was a string.
+    WorkerPanic(String),
+    /// The request's deadline expired while it waited in the queue; no
+    /// synthesis was attempted.
+    DeadlineExceeded {
+        /// How long the request had waited when the expiry was observed,
+        /// in microseconds.
+        queued_micros: u64,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -185,6 +276,12 @@ impl fmt::Display for ServiceError {
         match self {
             ServiceError::InvalidSource(msg) => write!(f, "invalid job source: {msg}"),
             ServiceError::Synthesis(e) => e.fmt(f),
+            ServiceError::WorkerPanic(msg) => {
+                write!(f, "worker panicked while serving the request: {msg}")
+            }
+            ServiceError::DeadlineExceeded { queued_micros } => {
+                write!(f, "deadline exceeded after {queued_micros} µs in the queue")
+            }
         }
     }
 }
@@ -204,6 +301,11 @@ pub struct ServiceResponse {
     pub queued_micros: u64,
     /// Time spent resolving + synthesizing, in microseconds.
     pub service_micros: u64,
+    /// Whether the request's deadline (if any) had passed by the time
+    /// this response was produced. `true` both for
+    /// [`ServiceError::DeadlineExceeded`] answers and for reports that
+    /// completed late.
+    pub deadline_missed: bool,
 }
 
 /// Why a submission was refused. Overload is an error value, never a
@@ -211,7 +313,8 @@ pub struct ServiceResponse {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SubmitError {
     /// The bounded queue is full — retry later, shed the request, or use
-    /// the blocking [`Service::submit`].
+    /// the blocking [`Service::submit`]. Counted in
+    /// [`ServiceStats::rejected`].
     Backpressure {
         /// The queue's capacity bound.
         capacity: usize,
@@ -242,6 +345,10 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Bound of the artifact cache (prepared applications).
     pub cache_capacity: usize,
+    /// Bound of the response ring (completed responses awaiting the
+    /// consumer). Workers block on a full ring, so a slow consumer
+    /// throttles the fleet instead of growing memory.
+    pub response_capacity: usize,
     /// Per-request synthesis parallelism cap applied by the workers.
     /// The default `1` keeps each request on its worker's core — the
     /// fleet saturates cores by running many requests, not by splitting
@@ -249,6 +356,10 @@ pub struct ServiceConfig {
     pub intra_parallelism: usize,
     /// The engine configuration every worker session synthesizes with.
     pub engine: Engine,
+    /// Deterministic fault injection (test/bench harness only; see
+    /// [`chaos`]). `None` — the default — injects nothing and costs
+    /// nothing on the worker hot path.
+    pub chaos: Option<ChaosPolicy>,
 }
 
 impl Default for ServiceConfig {
@@ -257,8 +368,10 @@ impl Default for ServiceConfig {
             workers: 0,
             queue_capacity: 1024,
             cache_capacity: 256,
+            response_capacity: 1024,
             intra_parallelism: 1,
             engine: Engine::new(),
+            chaos: None,
         }
     }
 }
@@ -268,16 +381,34 @@ impl Default for ServiceConfig {
 pub struct ServiceStats {
     /// Requests accepted into the queue.
     pub submitted: u64,
+    /// Submissions refused with [`SubmitError::Backpressure`] by
+    /// [`Service::try_submit`].
+    pub rejected: u64,
     /// Responses produced (success or failure).
     pub completed: u64,
     /// Responses carrying an error outcome.
     pub failed: u64,
+    /// Jobs that panicked while executing — whether caught by the
+    /// per-job isolation or fatal to the worker thread. Each one was
+    /// answered with [`ServiceError::WorkerPanic`].
+    pub panics: u64,
+    /// Worker threads respawned by the supervisor after dying.
+    pub respawns: u64,
+    /// Requests whose deadline had passed by response time: expired in
+    /// the queue (answered without synthesis) or completed late.
+    pub deadline_misses: u64,
     /// Queue depth at snapshot time (gauge).
     pub queue_depth: usize,
     /// Highest queue depth observed at any submission.
     pub queue_peak_depth: usize,
     /// The queue's capacity bound.
     pub queue_capacity: usize,
+    /// Response-ring depth at snapshot time (gauge).
+    pub response_depth: usize,
+    /// Highest response-ring depth observed at any delivery.
+    pub response_peak_depth: usize,
+    /// The response ring's capacity bound.
+    pub response_capacity: usize,
     /// Worker thread count.
     pub workers: usize,
     /// Sum of per-request queue-wait times, in microseconds.
@@ -289,11 +420,16 @@ pub struct ServiceStats {
 }
 
 #[derive(Debug, Default)]
-struct Counters {
+pub(crate) struct Counters {
     submitted: AtomicU64,
+    rejected: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
+    pub(crate) panics: AtomicU64,
+    pub(crate) respawns: AtomicU64,
+    pub(crate) deadline_misses: AtomicU64,
     peak_depth: AtomicUsize,
+    response_peak_depth: AtomicUsize,
     queued_micros: AtomicU64,
     service_micros: AtomicU64,
 }
@@ -305,29 +441,42 @@ impl Counters {
 }
 
 #[derive(Debug)]
-struct Job {
+pub(crate) struct Job {
     req: ServiceRequest,
     enqueued: Instant,
+    /// Absolute expiry, computed once at submission.
+    deadline: Option<Instant>,
 }
 
-/// The running fleet service: a bounded queue, a worker pool, and the
-/// shared artifact cache. See the crate docs for the architecture.
+/// Everything a worker (and its supervisor) needs, shared once.
+#[derive(Debug)]
+pub(crate) struct WorkerContext {
+    pub(crate) queue: Queue<Job>,
+    pub(crate) responses: Queue<ServiceResponse>,
+    pub(crate) cache: ArtifactCache,
+    pub(crate) counters: Counters,
+    engine: Engine,
+    intra_parallelism: usize,
+    chaos: Option<ChaosPolicy>,
+}
+
+/// The running fleet service: a bounded two-lane queue, a supervised
+/// worker pool, the shared artifact cache, and a bounded response ring.
+/// See the crate docs for the architecture.
 ///
 /// Dropping the service closes the queue, drains in-flight work, and
 /// joins the workers ([`Service::shutdown`] does the same and returns
-/// the final stats).
+/// the final stats; responses still buffered stay receivable after
+/// either).
 #[derive(Debug)]
 pub struct Service {
-    queue: Arc<Queue<Job>>,
-    cache: Arc<ArtifactCache>,
-    counters: Arc<Counters>,
-    rx: mpsc::Receiver<ServiceResponse>,
-    handles: Vec<JoinHandle<()>>,
+    ctx: Arc<WorkerContext>,
+    supervisor: Option<JoinHandle<()>>,
     workers: usize,
 }
 
 impl Service {
-    /// Starts the worker pool.
+    /// Starts the supervisor and its worker pool.
     #[must_use]
     pub fn start(config: ServiceConfig) -> Self {
         let workers = if config.workers == 0 {
@@ -335,68 +484,71 @@ impl Service {
         } else {
             config.workers
         };
-        let queue = Arc::new(Queue::new(config.queue_capacity));
-        let cache = Arc::new(ArtifactCache::new(config.cache_capacity));
-        let counters = Arc::new(Counters::default());
-        let (tx, rx) = mpsc::channel();
-        let handles = (0..workers)
-            .map(|i| {
-                let queue = Arc::clone(&queue);
-                let cache = Arc::clone(&cache);
-                let counters = Arc::clone(&counters);
-                let engine = config.engine.clone();
-                let tx = tx.clone();
-                let intra = config.intra_parallelism;
-                std::thread::Builder::new()
-                    .name(format!("ftqs-worker-{i}"))
-                    .spawn(move || worker_loop(&queue, &cache, &counters, &engine, intra, &tx))
-                    .expect("spawn worker thread")
-            })
-            .collect();
+        let ctx = Arc::new(WorkerContext {
+            queue: Queue::new(config.queue_capacity),
+            responses: Queue::new(config.response_capacity),
+            cache: ArtifactCache::new(config.cache_capacity),
+            counters: Counters::default(),
+            engine: config.engine,
+            intra_parallelism: config.intra_parallelism,
+            chaos: config.chaos,
+        });
+        let supervisor = supervisor::start(Arc::clone(&ctx), workers);
         Service {
-            queue,
-            cache,
-            counters,
-            rx,
-            handles,
+            ctx,
+            supervisor: Some(supervisor),
             workers,
         }
     }
 
+    fn make_job(req: ServiceRequest) -> Job {
+        let enqueued = Instant::now();
+        let deadline = req.deadline.and_then(|d| enqueued.checked_add(d));
+        Job {
+            req,
+            enqueued,
+            deadline,
+        }
+    }
+
     /// Non-blocking submission; overload surfaces as
-    /// [`SubmitError::Backpressure`].
+    /// [`SubmitError::Backpressure`] and bumps [`ServiceStats::rejected`].
     ///
     /// # Errors
     ///
     /// [`SubmitError`] when the queue is full or the service stopped.
     pub fn try_submit(&self, req: ServiceRequest) -> Result<(), SubmitError> {
-        let job = Job {
-            req,
-            enqueued: Instant::now(),
-        };
-        match self.queue.try_push(job) {
+        let lane = req.priority.lane();
+        match self.ctx.queue.try_push(Self::make_job(req), lane) {
             Ok(depth) => {
                 self.note_submitted(depth);
                 Ok(())
             }
-            Err(PushError::Full(_)) => Err(SubmitError::Backpressure {
-                capacity: self.queue.capacity(),
-            }),
+            Err(PushError::Full(_)) => {
+                self.ctx.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::Backpressure {
+                    capacity: self.ctx.queue.capacity(),
+                })
+            }
             Err(PushError::Closed(_)) => Err(SubmitError::Stopped),
         }
     }
 
     /// Blocking submission: waits for queue space instead of failing.
     ///
+    /// Beware of single-threaded submit-then-drain loops: with both the
+    /// work queue and the response ring bounded, a producer that never
+    /// consumes responses while blocked here can deadlock the pipeline.
+    /// Use [`Service::try_submit`] plus response draining on backpressure
+    /// (what [`Service::run_batch`] and the transport do) when producer
+    /// and consumer are the same thread.
+    ///
     /// # Errors
     ///
     /// [`SubmitError::Stopped`] when the service shut down while waiting.
     pub fn submit(&self, req: ServiceRequest) -> Result<(), SubmitError> {
-        let job = Job {
-            req,
-            enqueued: Instant::now(),
-        };
-        match self.queue.push(job) {
+        let lane = req.priority.lane();
+        match self.ctx.queue.push(Self::make_job(req), lane) {
             Ok(depth) => {
                 self.note_submitted(depth);
                 Ok(())
@@ -406,66 +558,111 @@ impl Service {
     }
 
     fn note_submitted(&self, depth: usize) {
-        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
-        self.counters.note_depth(depth);
+        self.ctx.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        self.ctx.counters.note_depth(depth);
     }
 
     /// Next response in completion order; blocks while requests are in
     /// flight. `None` only after the service stopped and drained.
     pub fn recv(&self) -> Option<ServiceResponse> {
-        self.rx.recv().ok()
+        self.ctx.responses.pop()
     }
 
     /// Like [`Service::recv`] with a timeout; `None` on timeout or
-    /// shutdown.
+    /// shutdown. A zero timeout is a non-blocking poll.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<ServiceResponse> {
-        self.rx.recv_timeout(timeout).ok()
+        self.ctx.responses.pop_timeout(timeout)
     }
 
-    /// Submits a whole batch (blocking on queue space) and collects
-    /// exactly one response per request, in completion order. Assumes no
+    /// Submits a whole batch and collects exactly one response per
+    /// accepted request, in completion order. Backpressure from either
+    /// bounded buffer is absorbed by draining responses while submitting
+    /// (single-threaded and deadlock-free by construction). Assumes no
     /// other requests are in flight on this service.
     #[must_use]
     pub fn run_batch(&self, requests: Vec<ServiceRequest>) -> Vec<ServiceResponse> {
+        let mut responses = Vec::with_capacity(requests.len());
         let mut expected = 0usize;
         for req in requests {
-            if self.submit(req).is_ok() {
-                expected += 1;
+            loop {
+                match self.try_submit(req.clone()) {
+                    Ok(()) => {
+                        expected += 1;
+                        break;
+                    }
+                    Err(SubmitError::Backpressure { .. }) => {
+                        // Make room by consuming: a full queue means the
+                        // fleet is busy producing responses.
+                        if let Some(r) = self.recv_timeout(Duration::from_millis(2)) {
+                            responses.push(r);
+                        }
+                    }
+                    Err(SubmitError::Stopped) => break,
+                }
             }
         }
-        (0..expected).filter_map(|_| self.recv()).collect()
+        while responses.len() < expected {
+            match self.recv() {
+                Some(r) => responses.push(r),
+                None => break,
+            }
+        }
+        responses
     }
 
     /// A snapshot of counters, gauges, and cache statistics.
     #[must_use]
     pub fn stats(&self) -> ServiceStats {
+        let c = &self.ctx.counters;
         ServiceStats {
-            submitted: self.counters.submitted.load(Ordering::Relaxed),
-            completed: self.counters.completed.load(Ordering::Relaxed),
-            failed: self.counters.failed.load(Ordering::Relaxed),
-            queue_depth: self.queue.len(),
-            queue_peak_depth: self.counters.peak_depth.load(Ordering::Relaxed),
-            queue_capacity: self.queue.capacity(),
+            submitted: c.submitted.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            panics: c.panics.load(Ordering::Relaxed),
+            respawns: c.respawns.load(Ordering::Relaxed),
+            deadline_misses: c.deadline_misses.load(Ordering::Relaxed),
+            queue_depth: self.ctx.queue.len(),
+            queue_peak_depth: c.peak_depth.load(Ordering::Relaxed),
+            queue_capacity: self.ctx.queue.capacity(),
+            response_depth: self.ctx.responses.len(),
+            response_peak_depth: c.response_peak_depth.load(Ordering::Relaxed),
+            response_capacity: self.ctx.responses.capacity(),
             workers: self.workers,
-            total_queued_micros: self.counters.queued_micros.load(Ordering::Relaxed),
-            total_service_micros: self.counters.service_micros.load(Ordering::Relaxed),
-            cache: self.cache.stats(),
+            total_queued_micros: c.queued_micros.load(Ordering::Relaxed),
+            total_service_micros: c.service_micros.load(Ordering::Relaxed),
+            cache: self.ctx.cache.stats(),
         }
     }
 
-    /// Stops accepting work, drains the queue, joins the workers, and
-    /// returns the final statistics. Queued requests are still served;
-    /// undelivered responses remain receivable until the service value
-    /// drops.
+    /// Begins shutdown without joining: the intake closes, so parked
+    /// [`Service::submit`] callers return [`SubmitError::Stopped`]
+    /// immediately and new submissions are refused, while already-queued
+    /// requests are still served. Callable from any thread (it takes
+    /// `&self`), which is what makes the shutdown race testable: a
+    /// consumer can close the intake out from under blocked producers.
+    /// Follow with [`Service::shutdown`] (or drop) to join the workers.
+    pub fn close(&self) {
+        // Lift the response ring's bound first: workers blocked on a full
+        // ring must drain out, and the backlog is bounded by the work
+        // outstanding right now (≤ queue + workers in flight).
+        self.ctx.responses.lift_capacity();
+        self.ctx.queue.close();
+    }
+
+    /// Stops accepting work, drains the queue, joins the workers (via the
+    /// supervisor), and returns the final statistics. Queued requests are
+    /// still served; undelivered responses remain receivable through
+    /// [`Service::recv`] until the service value drops.
     #[must_use]
-    pub fn shutdown(mut self) -> ServiceStats {
+    pub fn shutdown(&mut self) -> ServiceStats {
         self.join_workers();
         self.stats()
     }
 
     fn join_workers(&mut self) {
-        self.queue.close();
-        for handle in self.handles.drain(..) {
+        self.close();
+        if let Some(handle) = self.supervisor.take() {
             let _ = handle.join();
         }
     }
@@ -477,74 +674,168 @@ impl Drop for Service {
     }
 }
 
-fn elapsed_micros(since: Instant) -> u64 {
+pub(crate) fn elapsed_micros(since: Instant) -> u64 {
     u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
-fn worker_loop(
-    queue: &Queue<Job>,
-    cache: &ArtifactCache,
-    counters: &Counters,
-    engine: &Engine,
-    intra_parallelism: usize,
-    tx: &mpsc::Sender<ServiceResponse>,
-) {
-    let mut session = engine.session();
-    let config_digest = engine.config_digest();
-    while let Some(job) = queue.pop() {
+/// Renders a `catch_unwind` payload: panic messages are almost always
+/// `&str` or `String`; anything else is reported by type only.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The single response path: every response — normal, panic-answered, or
+/// deadline-expired — goes through here exactly once, updating the
+/// aggregate counters and pushing onto the bounded ring (blocking, so a
+/// slow consumer throttles the caller).
+pub(crate) fn deliver(ctx: &WorkerContext, response: ServiceResponse) {
+    let c = &ctx.counters;
+    c.completed.fetch_add(1, Ordering::Relaxed);
+    if response.outcome.is_err() {
+        c.failed.fetch_add(1, Ordering::Relaxed);
+    }
+    c.queued_micros
+        .fetch_add(response.queued_micros, Ordering::Relaxed);
+    c.service_micros
+        .fetch_add(response.service_micros, Ordering::Relaxed);
+    // A Closed error means the ring was torn down with the response
+    // undeliverable (the consumer is gone); nothing left to do with it.
+    if let Ok(depth) = ctx.responses.push(response, Lane::Normal) {
+        c.response_peak_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+}
+
+/// Resolves the job's application (through the artifact cache) and runs
+/// the synthesis. Pure with respect to service state except the cache.
+fn execute(
+    session: &mut Session,
+    ctx: &WorkerContext,
+    config_digest: ContentDigest,
+    source: &JobSource,
+    request: &SynthesisRequest,
+) -> (Result<SynthesisReport, ServiceError>, bool) {
+    let key = source
+        .digest()
+        .combine(config_digest)
+        .combine(request.knob_digest());
+    match ctx.cache.get(key) {
+        Some(prepared) => (
+            session
+                .synthesize_prepared(&prepared, request)
+                .map_err(ServiceError::Synthesis),
+            true,
+        ),
+        None => match source.resolve() {
+            Ok(app) => {
+                let prepared = Arc::new(PreparedApp::from_arc(app));
+                ctx.cache.insert(key, Arc::clone(&prepared));
+                (
+                    session
+                        .synthesize_prepared(&prepared, request)
+                        .map_err(ServiceError::Synthesis),
+                    false,
+                )
+            }
+            Err(e) => (Err(e), false),
+        },
+    }
+}
+
+pub(crate) fn worker_loop(ctx: &Arc<WorkerContext>, guard: &mut WorkerGuard) {
+    let mut session = ctx.engine.session();
+    let config_digest = ctx.engine.config_digest();
+    while let Some(job) = ctx.queue.pop() {
         let queued_micros = elapsed_micros(job.enqueued);
-        let started = Instant::now();
-        let request = if intra_parallelism == 0 {
-            job.req.request
-        } else {
-            job.req.request.with_max_parallelism(intra_parallelism)
-        };
-        let key = job
-            .req
-            .source
-            .digest()
-            .combine(config_digest)
-            .combine(request.knob_digest());
-        let (outcome, cache_hit) = match cache.get(key) {
-            Some(prepared) => (
-                session
-                    .synthesize_prepared(&prepared, &request)
-                    .map_err(ServiceError::Synthesis),
-                true,
-            ),
-            None => match job.req.source.resolve() {
-                Ok(app) => {
-                    let prepared = Arc::new(PreparedApp::from_arc(app));
-                    cache.insert(key, Arc::clone(&prepared));
-                    (
-                        session
-                            .synthesize_prepared(&prepared, &request)
-                            .map_err(ServiceError::Synthesis),
-                        false,
-                    )
-                }
-                Err(e) => (Err(e), false),
-            },
-        };
-        let service_micros = elapsed_micros(started);
-        counters.completed.fetch_add(1, Ordering::Relaxed);
-        if outcome.is_err() {
-            counters.failed.fetch_add(1, Ordering::Relaxed);
+
+        // Expired while queued: answer immediately, no synthesis. The
+        // worker spends microseconds, not a service time, on it.
+        if job.deadline.is_some_and(|d| Instant::now() >= d) {
+            ctx.counters.deadline_misses.fetch_add(1, Ordering::Relaxed);
+            deliver(
+                ctx,
+                ServiceResponse {
+                    id: job.req.id,
+                    outcome: Err(ServiceError::DeadlineExceeded { queued_micros }),
+                    cache_hit: false,
+                    queued_micros,
+                    service_micros: 0,
+                    deadline_missed: true,
+                },
+            );
+            continue;
         }
-        counters
-            .queued_micros
-            .fetch_add(queued_micros, Ordering::Relaxed);
-        counters
-            .service_micros
-            .fetch_add(service_micros, Ordering::Relaxed);
-        // A send failure means the receiver (the Service) is gone; the
-        // queue is closing, so just keep draining.
-        let _ = tx.send(ServiceResponse {
+
+        let chaos = ctx
+            .chaos
+            .as_ref()
+            .map_or_else(ChaosDecision::default, |c| c.decide(job.req.id));
+        let started = Instant::now();
+        // From here until the response is delivered, the guard owns the
+        // request: if this thread dies, the guard answers it.
+        guard.inflight = Some(InFlight {
             id: job.req.id,
-            outcome,
-            cache_hit,
             queued_micros,
-            service_micros,
+            started,
+            deadline: job.deadline,
         });
+        if chaos.kill {
+            // Outside the per-job isolation on purpose: the thread dies,
+            // the guard delivers WorkerPanic, the supervisor respawns.
+            panic!("chaos: killing worker on request {}", job.req.id);
+        }
+
+        let request = if ctx.intra_parallelism == 0 {
+            job.req.request.clone()
+        } else {
+            job.req
+                .request
+                .clone()
+                .with_max_parallelism(ctx.intra_parallelism)
+        };
+        let executed = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            if let Some(stall) = chaos.slow {
+                std::thread::sleep(stall);
+            }
+            if chaos.panic {
+                panic!("chaos: injected panic on request {}", job.req.id);
+            }
+            execute(&mut session, ctx, config_digest, &job.req.source, &request)
+        }));
+        guard.inflight = None;
+        let service_micros = elapsed_micros(started);
+        let (outcome, cache_hit) = match executed {
+            Ok(result) => result,
+            Err(payload) => {
+                ctx.counters.panics.fetch_add(1, Ordering::Relaxed);
+                // The session's scratch may have been mid-mutation when
+                // the panic unwound through it; start clean.
+                session = ctx.engine.session();
+                (
+                    Err(ServiceError::WorkerPanic(panic_message(payload.as_ref()))),
+                    false,
+                )
+            }
+        };
+        let deadline_missed = job.deadline.is_some_and(|d| Instant::now() > d);
+        if deadline_missed {
+            ctx.counters.deadline_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        deliver(
+            ctx,
+            ServiceResponse {
+                id: job.req.id,
+                outcome,
+                cache_hit,
+                queued_micros,
+                service_micros,
+                deadline_missed,
+            },
+        );
     }
 }

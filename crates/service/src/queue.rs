@@ -1,19 +1,45 @@
-//! The bounded MPMC work queue feeding the worker pool.
+//! The bounded two-lane MPMC work queue feeding the worker pool (and,
+//! reused with a single lane, the bounded response ring).
 //!
-//! A deliberately simple `Mutex<VecDeque>` + two `Condvar`s: the service
-//! is synthesis-bound (each job costs 100 µs – 100 ms of CPU), so queue
-//! handoff is never the bottleneck and a lock-free ring would buy
+//! A deliberately simple `Mutex<two VecDeques>` + two `Condvar`s: the
+//! service is synthesis-bound (each job costs 100 µs – 100 ms of CPU), so
+//! queue handoff is never the bottleneck and a lock-free ring would buy
 //! nothing but complexity. What matters is the *shape* of the contract:
 //!
 //! * **bounded** — [`Queue::try_push`] fails with the item returned when
 //!   the queue is full, which the service surfaces as an explicit
 //!   backpressure error instead of unbounded memory growth or a panic;
+//! * **two lanes** — [`Lane::Express`] items (interactive requests)
+//!   overtake [`Lane::Normal`] items (bulk sweeps) at every pop; within a
+//!   lane, order is FIFO. The capacity bound covers both lanes together.
 //! * **closable** — [`Queue::close`] wakes every blocked producer and
 //!   consumer; consumers drain the remaining items, then observe `None`
 //!   and exit.
+//! * **poison-immune** — every lock acquisition recovers from mutex
+//!   poisoning with [`PoisonError::into_inner`]. The queue's invariants
+//!   hold at every point a panic could unwind through (no method leaves
+//!   the deques in a half-mutated state), so a poisoned lock is safe to
+//!   re-enter and one panicking thread can never wedge the fleet.
+//! * **relaxable** — [`Queue::lift_capacity`] removes the bound during
+//!   shutdown so producers blocked on a full queue drain out instead of
+//!   deadlocking against a consumer that is busy joining them. The
+//!   post-lift occupancy stays bounded by the work outstanding at the
+//!   moment of the lift.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Which of the two FIFO lanes an item enters. Express items overtake
+/// normal items; the shared capacity bound covers both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Lane {
+    /// Served first (interactive requests).
+    Express,
+    /// Served when no express item is waiting (bulk requests, and the
+    /// single lane of the response ring).
+    Normal,
+}
 
 /// Why a push was refused.
 #[derive(Debug, PartialEq, Eq)]
@@ -26,11 +52,32 @@ pub(crate) enum PushError<T> {
 
 #[derive(Debug)]
 struct Inner<T> {
-    items: VecDeque<T>,
+    express: VecDeque<T>,
+    normal: VecDeque<T>,
     closed: bool,
+    /// When set, the capacity bound is ignored (shutdown drain).
+    relaxed: bool,
 }
 
-/// Bounded multi-producer/multi-consumer queue (see the module docs).
+impl<T> Inner<T> {
+    fn len(&self) -> usize {
+        self.express.len() + self.normal.len()
+    }
+
+    fn take(&mut self) -> Option<T> {
+        self.express.pop_front().or_else(|| self.normal.pop_front())
+    }
+
+    fn lane_mut(&mut self, lane: Lane) -> &mut VecDeque<T> {
+        match lane {
+            Lane::Express => &mut self.express,
+            Lane::Normal => &mut self.normal,
+        }
+    }
+}
+
+/// Bounded two-lane multi-producer/multi-consumer queue (see the module
+/// docs).
 #[derive(Debug)]
 pub(crate) struct Queue<T> {
     inner: Mutex<Inner<T>>,
@@ -44,8 +91,10 @@ impl<T> Queue<T> {
         assert!(capacity > 0, "queue capacity must be positive");
         Queue {
             inner: Mutex::new(Inner {
-                items: VecDeque::new(),
+                express: VecDeque::new(),
+                normal: VecDeque::new(),
                 closed: false,
+                relaxed: false,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
@@ -57,22 +106,35 @@ impl<T> Queue<T> {
         self.capacity
     }
 
-    /// Current depth (a gauge; racy by nature, exact at the instant read).
+    /// Locks the queue state, recovering from poisoning: the invariants
+    /// hold at every point a panic can unwind through, so the state
+    /// behind a poisoned lock is still coherent.
+    fn lock_inner(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Current depth across both lanes (a gauge; racy by nature, exact at
+    /// the instant read).
     pub(crate) fn len(&self) -> usize {
-        self.inner.lock().expect("queue lock").items.len()
+        self.lock_inner().len()
+    }
+
+    /// Whether [`Queue::close`] has been called.
+    pub(crate) fn is_closed(&self) -> bool {
+        self.lock_inner().closed
     }
 
     /// Non-blocking push; full or closed queues hand the item back.
-    pub(crate) fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
-        let mut inner = self.inner.lock().expect("queue lock");
+    pub(crate) fn try_push(&self, item: T, lane: Lane) -> Result<usize, PushError<T>> {
+        let mut inner = self.lock_inner();
         if inner.closed {
             return Err(PushError::Closed(item));
         }
-        if inner.items.len() >= self.capacity {
+        if !inner.relaxed && inner.len() >= self.capacity {
             return Err(PushError::Full(item));
         }
-        inner.items.push_back(item);
-        let depth = inner.items.len();
+        inner.lane_mut(lane).push_back(item);
+        let depth = inner.len();
         drop(inner);
         self.not_empty.notify_one();
         Ok(depth)
@@ -81,29 +143,32 @@ impl<T> Queue<T> {
     /// Blocking push: waits for space (or closure). Returns the depth
     /// after the push, or the item back if the queue closed while
     /// waiting.
-    pub(crate) fn push(&self, item: T) -> Result<usize, PushError<T>> {
-        let mut inner = self.inner.lock().expect("queue lock");
+    pub(crate) fn push(&self, item: T, lane: Lane) -> Result<usize, PushError<T>> {
+        let mut inner = self.lock_inner();
         loop {
             if inner.closed {
                 return Err(PushError::Closed(item));
             }
-            if inner.items.len() < self.capacity {
-                inner.items.push_back(item);
-                let depth = inner.items.len();
+            if inner.relaxed || inner.len() < self.capacity {
+                inner.lane_mut(lane).push_back(item);
+                let depth = inner.len();
                 drop(inner);
                 self.not_empty.notify_one();
                 return Ok(depth);
             }
-            inner = self.not_full.wait(inner).expect("queue lock");
+            inner = self
+                .not_full
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Blocking pop: `Some(item)` while the queue is live or draining,
-    /// `None` once it is closed *and* empty.
+    /// `None` once it is closed *and* empty. Express items first.
     pub(crate) fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = self.lock_inner();
         loop {
-            if let Some(item) = inner.items.pop_front() {
+            if let Some(item) = inner.take() {
                 drop(inner);
                 self.not_full.notify_one();
                 return Some(item);
@@ -111,13 +176,51 @@ impl<T> Queue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.not_empty.wait(inner).expect("queue lock");
+            inner = self
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
         }
+    }
+
+    /// Like [`Queue::pop`] with a timeout: `None` on timeout as well as on
+    /// closed-and-empty. A zero timeout is a non-blocking poll.
+    pub(crate) fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        let deadline = Instant::now().checked_add(timeout);
+        let mut inner = self.lock_inner();
+        loop {
+            if let Some(item) = inner.take() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            let now = Instant::now();
+            let remaining = match deadline {
+                Some(d) if d > now => d - now,
+                _ => return None,
+            };
+            let (guard, _) = self
+                .not_empty
+                .wait_timeout(inner, remaining)
+                .unwrap_or_else(PoisonError::into_inner);
+            inner = guard;
+        }
+    }
+
+    /// Removes the capacity bound (irreversibly) and wakes every blocked
+    /// producer: the shutdown drain. Occupancy stays bounded by the items
+    /// outstanding at the lift.
+    pub(crate) fn lift_capacity(&self) {
+        self.lock_inner().relaxed = true;
+        self.not_full.notify_all();
     }
 
     /// Closes the queue: producers fail fast, consumers drain then exit.
     pub(crate) fn close(&self) {
-        self.inner.lock().expect("queue lock").closed = true;
+        self.lock_inner().closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
@@ -131,20 +234,41 @@ mod tests {
     #[test]
     fn try_push_reports_backpressure_and_hands_the_item_back() {
         let q = Queue::new(2);
-        assert_eq!(q.try_push(1), Ok(1));
-        assert_eq!(q.try_push(2), Ok(2));
-        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.try_push(1, Lane::Normal), Ok(1));
+        assert_eq!(q.try_push(2, Lane::Normal), Ok(2));
+        assert_eq!(q.try_push(3, Lane::Normal), Err(PushError::Full(3)));
         assert_eq!(q.len(), 2);
         assert_eq!(q.pop(), Some(1));
-        assert_eq!(q.try_push(3), Ok(2));
+        assert_eq!(q.try_push(3, Lane::Normal), Ok(2));
+    }
+
+    #[test]
+    fn express_lane_overtakes_normal_but_stays_fifo_within_lanes() {
+        let q = Queue::new(8);
+        q.try_push('a', Lane::Normal).unwrap();
+        q.try_push('b', Lane::Normal).unwrap();
+        q.try_push('x', Lane::Express).unwrap();
+        q.try_push('y', Lane::Express).unwrap();
+        q.try_push('c', Lane::Normal).unwrap();
+        let order: Vec<char> = std::iter::from_fn(|| q.pop_timeout(Duration::ZERO)).collect();
+        assert_eq!(order, ['x', 'y', 'a', 'b', 'c']);
+    }
+
+    #[test]
+    fn capacity_bound_covers_both_lanes_together() {
+        let q = Queue::new(2);
+        q.try_push(1, Lane::Normal).unwrap();
+        q.try_push(2, Lane::Express).unwrap();
+        assert_eq!(q.try_push(3, Lane::Express), Err(PushError::Full(3)));
+        assert_eq!(q.try_push(3, Lane::Normal), Err(PushError::Full(3)));
     }
 
     #[test]
     fn close_drains_then_stops_consumers_and_rejects_producers() {
         let q = Queue::new(8);
-        q.try_push('a').unwrap();
+        q.try_push('a', Lane::Normal).unwrap();
         q.close();
-        assert_eq!(q.try_push('b'), Err(PushError::Closed('b')));
+        assert_eq!(q.try_push('b', Lane::Normal), Err(PushError::Closed('b')));
         assert_eq!(q.pop(), Some('a'));
         assert_eq!(q.pop(), None);
     }
@@ -152,13 +276,13 @@ mod tests {
     #[test]
     fn blocking_push_waits_for_space() {
         let q = Arc::new(Queue::new(1));
-        q.try_push(0u32).unwrap();
+        q.try_push(0u32, Lane::Normal).unwrap();
         let producer = {
             let q = Arc::clone(&q);
-            std::thread::spawn(move || q.push(1).is_ok())
+            std::thread::spawn(move || q.push(1, Lane::Normal).is_ok())
         };
         // The producer is blocked on a full queue until this pop.
-        std::thread::sleep(std::time::Duration::from_millis(20));
+        std::thread::sleep(Duration::from_millis(20));
         assert_eq!(q.pop(), Some(0));
         assert!(producer.join().unwrap());
         assert_eq!(q.pop(), Some(1));
@@ -171,8 +295,57 @@ mod tests {
             let q = Arc::clone(&q);
             std::thread::spawn(move || q.pop())
         };
-        std::thread::sleep(std::time::Duration::from_millis(20));
+        std::thread::sleep(Duration::from_millis(20));
         q.close();
         assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn pop_timeout_polls_and_expires() {
+        let q = Queue::<u8>::new(4);
+        assert_eq!(q.pop_timeout(Duration::ZERO), None);
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), None);
+        q.try_push(7, Lane::Normal).unwrap();
+        assert_eq!(q.pop_timeout(Duration::ZERO), Some(7));
+    }
+
+    #[test]
+    fn lift_capacity_unblocks_producers_without_consuming() {
+        let q = Arc::new(Queue::new(1));
+        q.try_push(0u32, Lane::Normal).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(1, Lane::Normal).is_ok())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.lift_capacity();
+        assert!(producer.join().unwrap());
+        assert_eq!(q.len(), 2, "lifted queue accepted past the bound");
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn panicking_consumer_does_not_break_subsequent_push_pop() {
+        // A thread panicking while holding the lock poisons the mutex;
+        // every queue operation must recover (the invariants hold at every
+        // unwind point), so one bad job can never wedge the fleet.
+        let q = Arc::new(Queue::new(4));
+        q.try_push(1, Lane::Normal).unwrap();
+        let poisoner = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let _guard = q.inner.lock().unwrap();
+                panic!("poison the queue lock");
+            })
+        };
+        assert!(poisoner.join().is_err(), "the poisoner must panic");
+        assert!(q.inner.lock().is_err(), "the lock is actually poisoned");
+        assert_eq!(q.try_push(2, Lane::Express), Ok(2));
+        assert_eq!(q.pop(), Some(2), "express still overtakes after poison");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.len(), 0);
+        q.close();
+        assert_eq!(q.pop(), None);
     }
 }

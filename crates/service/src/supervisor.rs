@@ -1,0 +1,152 @@
+//! Worker supervision: spawn, watch, answer for, and respawn the fleet's
+//! worker threads.
+//!
+//! The first line of defense against a panicking job is *inside* the
+//! worker: each request executes under `catch_unwind`, so a panic is
+//! answered as [`ServiceError::WorkerPanic`](crate::ServiceError) and the
+//! thread keeps serving. This module is the second line, for panics that
+//! unwind *outside* that isolation (a bug in the worker loop itself, or a
+//! chaos-injected kill):
+//!
+//! * every worker thread carries a [`WorkerGuard`] whose `Drop` runs even
+//!   during unwinding — if the thread dies with a request in flight, the
+//!   guard delivers that request's `WorkerPanic` response (the
+//!   exactly-one-response contract survives thread death) and reports the
+//!   exit to the supervisor;
+//! * a dedicated supervisor thread owns the worker `JoinHandle`s,
+//!   respawns any worker that died while the service is live (bumping the
+//!   `respawns` counter), lets workers retire normally during shutdown,
+//!   and — once the last worker is gone — closes the response ring so
+//!   consumers drain the remaining responses and then observe the end of
+//!   the stream.
+//!
+//! The queue itself recovers from mutex poisoning (see [`crate::queue`]),
+//! so a dying worker can never wedge the producers or its replacement.
+
+use crate::{deliver, elapsed_micros, worker_loop, ServiceError, ServiceResponse, WorkerContext};
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A worker's request in flight, tracked so the guard can answer it if
+/// the thread dies before the normal response path runs.
+#[derive(Debug)]
+pub(crate) struct InFlight {
+    pub(crate) id: u64,
+    pub(crate) queued_micros: u64,
+    pub(crate) started: Instant,
+    pub(crate) deadline: Option<Instant>,
+}
+
+#[derive(Debug)]
+struct ExitEvent {
+    index: usize,
+    panicked: bool,
+}
+
+/// Lives on each worker thread's stack for the thread's whole life; its
+/// `Drop` is the thread's last word (it runs during unwinding too).
+#[derive(Debug)]
+pub(crate) struct WorkerGuard {
+    ctx: Arc<WorkerContext>,
+    index: usize,
+    events: mpsc::Sender<ExitEvent>,
+    /// Set for the duration of each job's execution; taken back on the
+    /// normal response path. A value here at drop time means the thread
+    /// died mid-request.
+    pub(crate) inflight: Option<InFlight>,
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        let panicked = std::thread::panicking();
+        if panicked {
+            self.ctx.counters.panics.fetch_add(1, Ordering::Relaxed);
+            if let Some(job) = self.inflight.take() {
+                let deadline_missed = job.deadline.is_some_and(|d| Instant::now() > d);
+                if deadline_missed {
+                    self.ctx
+                        .counters
+                        .deadline_misses
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                deliver(
+                    &self.ctx,
+                    ServiceResponse {
+                        id: job.id,
+                        outcome: Err(ServiceError::WorkerPanic(
+                            "worker thread died while serving the request".to_string(),
+                        )),
+                        cache_hit: false,
+                        queued_micros: job.queued_micros,
+                        service_micros: elapsed_micros(job.started),
+                        deadline_missed,
+                    },
+                );
+            }
+        }
+        // The supervisor may already be gone during teardown; nothing to
+        // do about it then.
+        let _ = self.events.send(ExitEvent {
+            index: self.index,
+            panicked,
+        });
+    }
+}
+
+/// Spawns the supervisor thread, which in turn spawns (and thereafter
+/// owns) the `workers` worker threads.
+pub(crate) fn start(ctx: Arc<WorkerContext>, workers: usize) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("ftqs-supervisor".to_string())
+        .spawn(move || supervise(&ctx, workers))
+        .expect("spawn supervisor thread")
+}
+
+fn supervise(ctx: &Arc<WorkerContext>, workers: usize) {
+    let (tx, rx) = mpsc::channel();
+    let mut handles: Vec<Option<JoinHandle<()>>> = (0..workers)
+        .map(|i| Some(spawn_worker(ctx, i, &tx)))
+        .collect();
+    let mut live = workers;
+    while live > 0 {
+        let Ok(event) = rx.recv() else { break };
+        // The guard sends its event during unwinding, so the thread is at
+        // most an epilogue away from exiting — this join is immediate.
+        if let Some(handle) = handles[event.index].take() {
+            let _ = handle.join();
+        }
+        if event.panicked && !ctx.queue.is_closed() {
+            ctx.counters.respawns.fetch_add(1, Ordering::Relaxed);
+            handles[event.index] = Some(spawn_worker(ctx, event.index, &tx));
+        } else {
+            live -= 1;
+        }
+    }
+    // No worker remains and none will be respawned: no further responses
+    // can be produced, so end the response stream. Consumers drain what
+    // is buffered, then observe `None`.
+    ctx.responses.close();
+}
+
+fn spawn_worker(
+    ctx: &Arc<WorkerContext>,
+    index: usize,
+    events: &mpsc::Sender<ExitEvent>,
+) -> JoinHandle<()> {
+    let ctx = Arc::clone(ctx);
+    let events = events.clone();
+    std::thread::Builder::new()
+        .name(format!("ftqs-worker-{index}"))
+        .spawn(move || {
+            let mut guard = WorkerGuard {
+                ctx: Arc::clone(&ctx),
+                index,
+                events,
+                inflight: None,
+            };
+            worker_loop(&ctx, &mut guard);
+        })
+        .expect("spawn worker thread")
+}

@@ -18,13 +18,26 @@
 //!   `budget` (optional, default 8) applies to `"ftqs"`.
 //! * `validate` (optional bool) and `max_processes` (optional integer)
 //!   forward to the corresponding [`SynthesisRequest`] overrides.
+//! * `priority` (optional): `"interactive"` or `"bulk"` (default) —
+//!   interactive requests overtake queued bulk requests.
+//! * `deadline_ms` (optional integer): service-level deadline from
+//!   submission; a request still queued past it is answered with a
+//!   deadline-exceeded error instead of being synthesized.
 //!
 //! A malformed line never aborts the batch: it yields an immediate
 //! per-request error response carrying the request id when one could be
 //! extracted (and the line number either way), and the remaining lines
 //! are served normally.
+//!
+//! Backpressure: both service buffers are bounded, and [`serve`] is one
+//! thread acting as producer *and* consumer — so it never blocks on a
+//! full work queue. It submits with [`Service::try_submit`] and, on
+//! [`SubmitError::Backpressure`](crate::SubmitError), drains completed
+//! responses to the output before retrying; the reader stalls exactly
+//! when the fleet is saturated, and memory stays within the configured
+//! queue + ring bounds no matter how large the input batch is.
 
-use crate::{JobSource, Service, ServiceRequest, ServiceResponse};
+use crate::{JobSource, Priority, Service, ServiceRequest, ServiceResponse, SubmitError};
 use ftqs_core::{SynthesisReport, SynthesisRequest};
 use serde::{Deserialize, Serialize, Value};
 use std::io::{BufRead, Write};
@@ -49,6 +62,9 @@ pub struct WireResponse {
     pub queued_micros: u64,
     /// Resolve + synthesis time in microseconds.
     pub service_micros: u64,
+    /// Whether the request's deadline (if any) had passed by the time
+    /// the response was produced.
+    pub deadline_missed: bool,
     /// The synthesis report, when `ok`.
     pub report: Option<SynthesisReport>,
 }
@@ -63,6 +79,7 @@ impl From<ServiceResponse> for WireResponse {
                 cache_hit: r.cache_hit,
                 queued_micros: r.queued_micros,
                 service_micros: r.service_micros,
+                deadline_missed: r.deadline_missed,
                 report: Some(report),
             },
             Err(e) => WireResponse {
@@ -72,6 +89,7 @@ impl From<ServiceResponse> for WireResponse {
                 cache_hit: r.cache_hit,
                 queued_micros: r.queued_micros,
                 service_micros: r.service_micros,
+                deadline_missed: r.deadline_missed,
                 report: None,
             },
         }
@@ -171,6 +189,28 @@ fn parse_synthesis_request(value: &Value) -> Result<SynthesisRequest, String> {
     Ok(request)
 }
 
+fn parse_priority(value: &Value) -> Result<Priority, String> {
+    match opt_field(value, "priority") {
+        None => Ok(Priority::default()),
+        Some(v) => match as_str(v) {
+            Some("interactive") => Ok(Priority::Interactive),
+            Some("bulk") => Ok(Priority::Bulk),
+            Some(other) => Err(format!("unknown priority '{other}' (interactive|bulk)")),
+            None => Err("'priority' must be a string".to_string()),
+        },
+    }
+}
+
+fn parse_deadline(value: &Value) -> Result<Option<Duration>, String> {
+    match opt_field(value, "deadline_ms") {
+        None => Ok(None),
+        Some(v) => {
+            let ms = as_u64(v).ok_or("'deadline_ms' must be a non-negative integer")?;
+            Ok(Some(Duration::from_millis(ms)))
+        }
+    }
+}
+
 /// Parses one request line.
 ///
 /// # Errors
@@ -191,11 +231,19 @@ pub fn parse_request(line: &str) -> Result<ServiceRequest, (Option<u64>, String)
     };
     let source = parse_source(&value).map_err(fail)?;
     let request = parse_synthesis_request(&value).map_err(fail)?;
-    Ok(ServiceRequest::new(id, source, request))
+    let priority = parse_priority(&value).map_err(fail)?;
+    let deadline = parse_deadline(&value).map_err(fail)?;
+    let mut service_request = ServiceRequest::new(id, source, request).with_priority(priority);
+    if let Some(deadline) = deadline {
+        service_request = service_request.with_deadline(deadline);
+    }
+    Ok(service_request)
 }
 
-/// Renders a preset request line as `ftqs submit` emits it.
+/// Renders a preset request line as `ftqs submit` emits it. `priority`
+/// (interactive|bulk) and `deadline_ms` are emitted only when given.
 #[must_use]
+#[allow(clippy::too_many_arguments)]
 pub fn preset_request_line(
     id: u64,
     family: &str,
@@ -203,19 +251,27 @@ pub fn preset_request_line(
     seed: u64,
     policy: &str,
     budget: usize,
+    priority: Option<&str>,
+    deadline_ms: Option<u64>,
 ) -> String {
     let preset = Value::Map(vec![
         ("family".to_string(), Value::Str(family.to_string())),
         ("size".to_string(), Value::U64(size as u64)),
         ("seed".to_string(), Value::U64(seed)),
     ]);
-    let line = Value::Map(vec![
+    let mut fields = vec![
         ("id".to_string(), Value::U64(id)),
         ("preset".to_string(), preset),
         ("policy".to_string(), Value::Str(policy.to_string())),
         ("budget".to_string(), Value::U64(budget as u64)),
-    ]);
-    serde_json::to_string(&line).expect("value rendering is infallible")
+    ];
+    if let Some(priority) = priority {
+        fields.push(("priority".to_string(), Value::Str(priority.to_string())));
+    }
+    if let Some(ms) = deadline_ms {
+        fields.push(("deadline_ms".to_string(), Value::U64(ms)));
+    }
+    serde_json::to_string(&Value::Map(fields)).expect("value rendering is infallible")
 }
 
 fn write_response<W: Write>(output: &mut W, response: &WireResponse) -> std::io::Result<()> {
@@ -235,6 +291,7 @@ fn error_response(id: Option<u64>, line_number: u64, message: &str) -> WireRespo
         cache_hit: false,
         queued_micros: 0,
         service_micros: 0,
+        deadline_missed: false,
         report: None,
     }
 }
@@ -243,6 +300,11 @@ fn error_response(id: Option<u64>, line_number: u64, message: &str) -> WireRespo
 /// writes NDJSON responses to `output` in completion order (malformed
 /// lines answer immediately, in input order). Blank lines are skipped.
 /// Returns once every accepted request has been answered.
+///
+/// Backpressure from the bounded work queue is absorbed by draining
+/// completed responses to the output before retrying the submission (see
+/// the module docs) — the input reader stalls when the fleet is
+/// saturated, and both service buffers stay within their bounds.
 ///
 /// # Errors
 ///
@@ -262,13 +324,23 @@ pub fn serve<R: BufRead, W: Write>(
             continue;
         }
         match parse_request(&line) {
-            Ok(request) => {
-                // Blocking submit: the bounded queue provides the
-                // backpressure, stalling the reader instead of failing.
-                if service.submit(request).is_ok() {
-                    accepted += 1;
+            Ok(request) => loop {
+                match service.try_submit(request.clone()) {
+                    Ok(()) => {
+                        accepted += 1;
+                        break;
+                    }
+                    Err(SubmitError::Backpressure { .. }) => {
+                        // Full queue: the fleet is busy producing
+                        // responses, so consume one to make room.
+                        if let Some(response) = service.recv_timeout(Duration::from_millis(2)) {
+                            answered += 1;
+                            write_response(output, &WireResponse::from(response))?;
+                        }
+                    }
+                    Err(SubmitError::Stopped) => break,
                 }
-            }
+            },
             Err((id, message)) => {
                 malformed += 1;
                 write_response(output, &error_response(id, index as u64 + 1, &message))?;

@@ -1,0 +1,211 @@
+//! Service-level fault injection: the degraded-operation contract.
+//!
+//! Under sustained injected faults — jobs that panic, worker threads
+//! that die outright, jobs that stall — the fleet must keep every
+//! promise it makes in calm weather: exactly one response per accepted
+//! request (no loss, no duplication), bounded queue and response
+//! buffers, and a pool that ends the run fully staffed because the
+//! supervisor respawned every casualty. Chaos decisions are pure
+//! functions of `(policy seed, request id)` (see
+//! [`ftqs_service::ChaosPolicy`]), so every scenario here is
+//! reproducible regardless of worker count or thread scheduling.
+
+use ftqs_core::SynthesisRequest;
+use ftqs_service::{ChaosPolicy, JobSource, Service, ServiceConfig, ServiceError, ServiceRequest};
+use std::collections::BTreeSet;
+use std::sync::Once;
+
+/// Chaos kills unwind worker threads on purpose; without this filter
+/// every injected panic spews a backtrace header into the test output.
+/// Non-chaos panics (i.e. real bugs) still reach the default hook.
+fn quiet_chaos_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned());
+            if message.as_deref().is_some_and(|m| m.starts_with("chaos:")) {
+                return;
+            }
+            default(info);
+        }));
+    });
+}
+
+fn cheap(id: u64) -> ServiceRequest {
+    // Seeds 4 and 5 generate schedulable size-12 applications, so in a
+    // calm run every request succeeds — any failure below is injected.
+    ServiceRequest::new(
+        id,
+        JobSource::Preset {
+            family: "fig9".to_string(),
+            size: 12,
+            seed: 4 + id % 2,
+        },
+        SynthesisRequest::ftss(),
+    )
+}
+
+fn chaotic_service(chaos: ChaosPolicy, workers: usize) -> Service {
+    Service::start(ServiceConfig {
+        workers,
+        queue_capacity: 64,
+        cache_capacity: 16,
+        response_capacity: 64,
+        chaos: Some(chaos),
+        ..ServiceConfig::default()
+    })
+}
+
+#[test]
+fn exactly_one_response_per_request_under_sustained_chaos() {
+    quiet_chaos_panics();
+    let policy = ChaosPolicy {
+        seed: 0x00C0_FFEE,
+        panic_per_mille: 80,
+        kill_per_mille: 40,
+        slow_per_mille: 60,
+        slow_micros: 200,
+    };
+    let count = 1000u64;
+    let mut service = chaotic_service(policy, 4);
+    let responses = service.run_batch((0..count).map(cheap).collect());
+
+    assert_eq!(responses.len() as u64, count, "one response per request");
+    let mut seen = vec![false; count as usize];
+    for response in &responses {
+        assert!(
+            !std::mem::replace(&mut seen[response.id as usize], true),
+            "duplicate response for id {}",
+            response.id
+        );
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.submitted, count);
+    assert_eq!(stats.completed, count);
+    assert!(stats.panics > 0, "the policy must actually inject faults");
+    assert!(stats.respawns > 0, "kills must actually fell workers");
+    assert!(
+        stats.queue_peak_depth <= stats.queue_capacity,
+        "work queue stayed bounded"
+    );
+    assert!(
+        stats.response_peak_depth <= stats.response_capacity,
+        "response ring stayed bounded"
+    );
+    // Every injected failure was answered as WorkerPanic; everything
+    // else succeeded — chaos degrades responses, it never loses them.
+    let failed = responses.iter().filter(|r| r.outcome.is_err()).count();
+    assert_eq!(failed as u64, stats.failed);
+    assert!(responses
+        .iter()
+        .filter(|r| r.outcome.is_err())
+        .all(|r| matches!(r.outcome, Err(ServiceError::WorkerPanic(_)))));
+}
+
+#[test]
+fn injected_failures_are_deterministic_in_the_request_id() {
+    quiet_chaos_panics();
+    let policy = ChaosPolicy {
+        seed: 0xDECA_FBAD,
+        panic_per_mille: 100,
+        kill_per_mille: 50,
+        slow_per_mille: 0,
+        slow_micros: 0,
+    };
+    let count = 200u64;
+    // The ids the policy itself promises to fail…
+    let promised: BTreeSet<u64> = (0..count)
+        .filter(|&id| {
+            let d = policy.decide(id);
+            d.panic || d.kill
+        })
+        .collect();
+    assert!(!promised.is_empty(), "policy must promise some failures");
+    // …must be exactly the ids that fail, run after run, regardless of
+    // worker count or scheduling.
+    for workers in [1, 3] {
+        let mut service = chaotic_service(policy, workers);
+        let responses = service.run_batch((0..count).map(cheap).collect());
+        let failed: BTreeSet<u64> = responses
+            .iter()
+            .filter(|r| r.outcome.is_err())
+            .map(|r| r.id)
+            .collect();
+        assert_eq!(
+            failed, promised,
+            "chaos outcomes must be a pure function of (seed, id)"
+        );
+        let _ = service.shutdown();
+    }
+}
+
+#[test]
+fn caught_panic_attaches_its_message_and_spares_the_worker() {
+    quiet_chaos_panics();
+    let policy = ChaosPolicy {
+        seed: 1,
+        panic_per_mille: 1000, // every job panics inside the isolation
+        kill_per_mille: 0,
+        slow_per_mille: 0,
+        slow_micros: 0,
+    };
+    let mut service = chaotic_service(policy, 1);
+    let responses = service.run_batch(vec![cheap(7), cheap(8)]);
+    for (response, id) in responses.iter().zip([7u64, 8]) {
+        match &response.outcome {
+            Err(ServiceError::WorkerPanic(message)) => assert_eq!(
+                message,
+                &format!("chaos: injected panic on request {id}"),
+                "the panic payload message is captured verbatim"
+            ),
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.panics, 2);
+    assert_eq!(
+        stats.respawns, 0,
+        "caught panics never cost a worker thread"
+    );
+}
+
+#[test]
+fn supervisor_respawns_through_every_kill() {
+    quiet_chaos_panics();
+    let policy = ChaosPolicy {
+        seed: 2,
+        panic_per_mille: 0,
+        kill_per_mille: 1000, // every job fells its worker thread
+        slow_per_mille: 0,
+        slow_micros: 0,
+    };
+    let count = 20u64;
+    // One worker: without respawning, the first kill would strand the
+    // remaining 19 requests forever.
+    let mut service = chaotic_service(policy, 1);
+    let responses = service.run_batch((0..count).map(cheap).collect());
+    assert_eq!(responses.len() as u64, count);
+    for response in &responses {
+        assert!(
+            matches!(&response.outcome, Err(ServiceError::WorkerPanic(m))
+                if m.contains("worker thread died")),
+            "a killed worker's in-flight request is answered by its guard"
+        );
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.panics, count);
+    // One respawn per kill — except possibly the very last: its exit
+    // event may reach the supervisor after shutdown already closed the
+    // intake, in which case the worker correctly retires instead.
+    assert!(
+        stats.respawns >= count - 1,
+        "every mid-run kill must be respawned (saw {})",
+        stats.respawns
+    );
+    assert_eq!(stats.completed, count);
+}
