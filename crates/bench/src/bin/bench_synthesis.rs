@@ -11,19 +11,29 @@
 //! directly readable per process count. Future PRs regenerate the file on
 //! the same machine to track the performance trajectory.
 //!
-//! Schema `ftqs-bench-synthesis/4`: adds the `ftqs_replay` rows and is
-//! measured with the committed-delay/folded-slack probe caches of the
-//! decision-replay PR — absolute numbers are not directly comparable to
-//! `/3` files.
+//! Schema `ftqs-bench-synthesis/5`: every FTQS row carries its `budget`
+//! and is measured twice — once at the base budget (default 16) and once
+//! at budget 40, so the deep trees where decision replay matters are
+//! tracked alongside the shallow default. FTQS rows also report the
+//! certificate counters of the run (`estimates_certified`,
+//! `estimates_semi_replayed`, `estimates_recomputed`); they are non-zero
+//! only for `ftqs_replay`. The three expansion modes are timed
+//! interleaved (one rep of each per round, medians per mode) so host
+//! drift cannot bias the mode ratios — see the note at the measurement
+//! site. Oracle baselines are measured at the base budget only (the
+//! reference implementation is orders of magnitude slower on deep
+//! trees). Absolute numbers are not directly comparable to `/4` files,
+//! which predate certified semi-replay and interleaved mode timing.
 //!
 //! Usage: `cargo run --release -p ftqs-bench --bin bench_synthesis
-//! [--out PATH] [--reps N] [--budget M] [--skip-baseline]`
+//! [--out PATH] [--reps N] [--budget M] [--skip-baseline] [--smoke]`
 //!
 //! Defaults: out `BENCH_synthesis.json`, 9 timed reps per measurement
-//! (median reported), FTQS budget 16 (the `FtqsConfig` default).
+//! (median reported), base FTQS budget 16 (the `FtqsConfig` default).
+//! `--smoke` is the CI fast path: 1 rep, baselines skipped.
 
 use ftqs_bench::Options;
-use ftqs_core::ftqs::FtqsConfig;
+use ftqs_core::ftqs::{ExpansionStats, FtqsConfig};
 use ftqs_core::oracle::{ftqs_reference, ftss_reference};
 use ftqs_core::{
     Application, Engine, ExpansionMode, FtssConfig, ScheduleContext, SynthesisRequest,
@@ -35,6 +45,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 const SIZES: [usize; 3] = [10, 20, 40];
+const DEEP_BUDGET: usize = 40;
 
 fn median_ns(reps: usize, mut run: impl FnMut()) -> u128 {
     // Warm-up pass, then `reps` timed passes.
@@ -53,28 +64,35 @@ fn median_ns(reps: usize, mut run: impl FnMut()) -> u128 {
 struct Row {
     algorithm: &'static str,
     processes: usize,
+    budget: Option<usize>,
     optimized_ns: u128,
     baseline_ns: Option<u128>,
+    counters: Option<ExpansionStats>,
 }
 
 fn main() {
     let opts = Options::from_env();
     let out_path: String = opts.value("--out", "BENCH_synthesis.json".to_string());
-    let reps: usize = opts.value("--reps", 9usize);
-    let budget: usize = opts.value("--budget", FtqsConfig::default().max_schedules);
-    let skip_baseline = opts.flag("--skip-baseline");
+    let smoke = opts.flag("--smoke");
+    let reps: usize = opts.value("--reps", if smoke { 1 } else { 9usize });
+    let base_budget: usize = opts.value("--budget", FtqsConfig::default().max_schedules);
+    let skip_baseline = smoke || opts.flag("--skip-baseline");
 
     // Optimized path: one engine session, reused across every timed rep —
     // the amortized hot path production callers run. Baselines stay on the
     // oracle reference functions.
     let mut session = Engine::new().session();
     let ftss_req = SynthesisRequest::ftss();
-    let ftqs_req = SynthesisRequest::ftqs(budget);
-    let ftqs_rerun_req = SynthesisRequest::ftqs(budget).with_expansion_mode(ExpansionMode::Rerun);
-    let ftqs_replay_req = SynthesisRequest::ftqs(budget).with_expansion_mode(ExpansionMode::Replay);
     let ftss_cfg = FtssConfig::default();
-    let ftqs_cfg = FtqsConfig::with_budget(budget);
     let mut rows: Vec<Row> = Vec::new();
+
+    // The deep-budget row set exists so the trees where estimate replay
+    // matters stay tracked; collapse it when `--budget` already asks for it.
+    let budgets: &[usize] = if base_budget == DEEP_BUDGET {
+        &[DEEP_BUDGET]
+    } else {
+        &[base_budget, DEEP_BUDGET]
+    };
 
     for &size in &SIZES {
         let params = presets::fig9_params(size);
@@ -93,8 +111,10 @@ fn main() {
         rows.push(Row {
             algorithm: "ftss",
             processes: size,
+            budget: None,
             optimized_ns: ftss_ns,
             baseline_ns: ftss_base,
+            counters: None,
         });
         eprintln!(
             "ftss/{size}: optimized {ftss_ns} ns{}",
@@ -107,81 +127,98 @@ fn main() {
             }
         );
 
-        let ftqs_ns = median_ns(reps, || {
-            session.synthesize(&app, &ftqs_req).expect("schedulable");
-        });
-        let ftqs_base = (!skip_baseline).then(|| {
-            // The baseline is substantially slower; a few reps suffice for
-            // a stable median without hour-long runs at 40 processes.
-            median_ns(reps.min(5), || {
-                ftqs_reference(&app, &ftqs_cfg).expect("schedulable");
-            })
-        });
-        rows.push(Row {
-            algorithm: "ftqs",
-            processes: size,
-            optimized_ns: ftqs_ns,
-            baseline_ns: ftqs_base,
-        });
-        eprintln!(
-            "ftqs/{size}: optimized {ftqs_ns} ns{}",
-            match ftqs_base {
-                Some(b) => format!(
-                    ", baseline {b} ns, speedup {:.2}x",
-                    b as f64 / ftqs_ns as f64
+        for &budget in budgets {
+            let mode_reqs = [
+                ("ftqs", SynthesisRequest::ftqs(budget)),
+                (
+                    "ftqs_rerun",
+                    SynthesisRequest::ftqs(budget).with_expansion_mode(ExpansionMode::Rerun),
                 ),
-                None => String::new(),
+                (
+                    "ftqs_replay",
+                    SynthesisRequest::ftqs(budget).with_expansion_mode(ExpansionMode::Replay),
+                ),
+            ];
+            let ftqs_cfg = FtqsConfig::with_budget(budget);
+
+            // The three expansion modes are measured *interleaved* — one
+            // rep of each per round, medians taken per mode — so slow
+            // host-load or clock-frequency drift (seconds-scale swings on
+            // shared VMs dwarf the few-percent mode deltas) hits every
+            // mode equally instead of whichever sequential block drew the
+            // bad seconds. The mode ratios are the metric these rows
+            // exist for; absolute medians stay as noisy as the host.
+            let mut samples: [Vec<u128>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+            for (_, req) in &mode_reqs {
+                session.synthesize(&app, req).expect("schedulable");
             }
-        );
+            for _ in 0..reps.max(1) {
+                for (k, (_, req)) in mode_reqs.iter().enumerate() {
+                    let t0 = Instant::now();
+                    session.synthesize(&app, req).expect("schedulable");
+                    samples[k].push(t0.elapsed().as_nanos());
+                }
+            }
+            let mode_ns: Vec<u128> = samples
+                .iter_mut()
+                .map(|s| {
+                    s.sort_unstable();
+                    s[s.len() / 2]
+                })
+                .collect();
+            // Baselines only at the base budget: the oracle re-derives the
+            // whole tree per pivot and deep budgets would take minutes.
+            let ftqs_base = (!skip_baseline && budget == base_budget).then(|| {
+                // The baseline is substantially slower; a few reps suffice
+                // for a stable median without hour-long runs at 40
+                // processes.
+                median_ns(reps.min(5), || {
+                    ftqs_reference(&app, &ftqs_cfg).expect("schedulable");
+                })
+            });
 
-        // The incremental-vs-rerun A/B row: identical trees, the only
-        // difference is whether per-pivot runs restore a checkpoint or
-        // re-derive their context. Shares the oracle baseline above.
-        let ftqs_rerun_ns = median_ns(reps, || {
-            session
-                .synthesize(&app, &ftqs_rerun_req)
-                .expect("schedulable");
-        });
-        rows.push(Row {
-            algorithm: "ftqs_rerun",
-            processes: size,
-            optimized_ns: ftqs_rerun_ns,
-            baseline_ns: ftqs_base,
-        });
-        eprintln!(
-            "ftqs_rerun/{size}: optimized {ftqs_rerun_ns} ns (incremental is {:.2}x faster)",
-            ftqs_rerun_ns as f64 / ftqs_ns as f64
-        );
-
-        // The decision-replay A/B row: identical trees again; pivot runs
-        // record decision logs and reuse the neighbor's logged estimates
-        // wherever the guards prove them exact.
-        let ftqs_replay_ns = median_ns(reps, || {
-            session
-                .synthesize(&app, &ftqs_replay_req)
-                .expect("schedulable");
-        });
-        let replay_stats = session
-            .synthesize(&app, &ftqs_replay_req)
-            .expect("schedulable")
-            .stats
-            .expansion;
-        rows.push(Row {
-            algorithm: "ftqs_replay",
-            processes: size,
-            optimized_ns: ftqs_replay_ns,
-            baseline_ns: ftqs_base,
-        });
-        eprintln!(
-            "ftqs_replay/{size}: optimized {ftqs_replay_ns} ns ({} steps replayed, {} searched)",
-            replay_stats.steps_replayed, replay_stats.steps_searched
-        );
+            let ftqs_ns = mode_ns[0];
+            for (k, (algorithm, req)) in mode_reqs.iter().enumerate() {
+                let stats = session
+                    .synthesize(&app, req)
+                    .expect("schedulable")
+                    .stats
+                    .expansion;
+                rows.push(Row {
+                    algorithm,
+                    processes: size,
+                    budget: Some(budget),
+                    optimized_ns: mode_ns[k],
+                    baseline_ns: ftqs_base,
+                    counters: Some(stats),
+                });
+                eprintln!(
+                    "{algorithm}/{size}/b{budget}: optimized {} ns \
+                     (vs incremental {:.2}x; {} steps replayed, {} searched; \
+                     {} certified, {} semi-replayed, {} recomputed){}",
+                    mode_ns[k],
+                    mode_ns[k] as f64 / ftqs_ns as f64,
+                    stats.steps_replayed,
+                    stats.steps_searched,
+                    stats.estimates_certified,
+                    stats.estimates_semi_replayed,
+                    stats.estimates_recomputed,
+                    match ftqs_base {
+                        Some(b) => format!(
+                            " baseline {b} ns, speedup {:.2}x",
+                            b as f64 / mode_ns[k] as f64
+                        ),
+                        None => String::new(),
+                    }
+                );
+            }
+        }
     }
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": \"ftqs-bench-synthesis/4\",");
+    let _ = writeln!(json, "  \"schema\": \"ftqs-bench-synthesis/5\",");
     let _ = writeln!(json, "  \"reps\": {reps},");
-    let _ = writeln!(json, "  \"ftqs_budget\": {budget},");
+    let _ = writeln!(json, "  \"ftqs_budget\": {base_budget},");
     let _ = writeln!(
         json,
         "  \"parallel_feature\": {},",
@@ -196,14 +233,26 @@ fn main() {
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"algorithm\": \"{}\", \"processes\": {}, \"optimized_median_ns\": {}",
-            r.algorithm, r.processes, r.optimized_ns
+            "    {{\"algorithm\": \"{}\", \"processes\": {}",
+            r.algorithm, r.processes
         );
+        if let Some(b) = r.budget {
+            let _ = write!(json, ", \"budget\": {b}");
+        }
+        let _ = write!(json, ", \"optimized_median_ns\": {}", r.optimized_ns);
         if let Some(b) = r.baseline_ns {
             let _ = write!(
                 json,
                 ", \"baseline_median_ns\": {b}, \"speedup\": {:.2}",
                 b as f64 / r.optimized_ns.max(1) as f64
+            );
+        }
+        if let Some(c) = &r.counters {
+            let _ = write!(
+                json,
+                ", \"estimates_certified\": {}, \"estimates_semi_replayed\": {}, \
+                 \"estimates_recomputed\": {}",
+                c.estimates_certified, c.estimates_semi_replayed, c.estimates_recomputed
             );
         }
         json.push('}');

@@ -84,6 +84,9 @@ fn tree_json_exposes_checkpoint_counters() {
         "\"prefix_steps_rerun\"",
         "\"steps_replayed\"",
         "\"steps_searched\"",
+        "\"estimates_certified\"",
+        "\"estimates_semi_replayed\"",
+        "\"estimates_recomputed\"",
     ] {
         assert!(
             actual.contains(field),

@@ -593,7 +593,7 @@ impl CompiledUtilities {
         CompiledUtilities { per_process }
     }
 
-    fn get(&self, id: NodeId) -> Option<&crate::CompiledUtility> {
+    pub(crate) fn get(&self, id: NodeId) -> Option<&crate::CompiledUtility> {
         self.per_process[id.index()].as_ref()
     }
 }

@@ -165,11 +165,16 @@ pub enum ExpansionMode {
 /// algorithmic schedules, not thread-level work. All counters are zero
 /// under [`ExpansionMode::Rerun`] except `prefix_steps_rerun`.
 ///
-/// The replay counters (`steps_replayed`/`steps_searched`, nonzero only
-/// under [`ExpansionMode::Replay`]) additionally depend on which log each
-/// pivot run replayed — workers chain logs across their own contiguous
-/// chunks — so their split may vary with the worker count; their *sum*
-/// (total pivot-run commit steps) and every synthesized tree do not.
+/// The replay counters (nonzero only under [`ExpansionMode::Replay`])
+/// come in two granularities: per commit step
+/// (`steps_replayed`/`steps_searched`) and per suffix-utility estimate
+/// (`estimates_certified`/`estimates_semi_replayed`/
+/// `estimates_recomputed` — the order-stability machinery of
+/// [`crate::ftss`]'s *Certificates* notes). Both depend on which log each
+/// run replayed — workers chain logs across their own contiguous
+/// chunks — so their split may vary with the worker count; the step
+/// counters' *sum* (total pivot-run commit steps) and every synthesized
+/// tree do not.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExpansionStats {
     /// Committed-prefix snapshots captured (one per expanded parent with
@@ -198,7 +203,43 @@ pub struct ExpansionStats {
     /// one estimate honestly (guard miss, lockstep lost, or log
     /// exhausted). Zero outside [`ExpansionMode::Replay`].
     pub steps_searched: usize,
+    /// Suffix-utility estimates whose honest computation also captured a
+    /// fresh order-stability certificate (placement order + shift
+    /// window; see [`crate::ftss`]'s *Certificates* notes) — summed over
+    /// the root run and every pivot run. Zero outside
+    /// [`ExpansionMode::Replay`].
+    pub estimates_certified: usize,
+    /// Suffix-utility estimates reconstructed in O(m) from a certified
+    /// placement order instead of running the O(m²) cascade. Zero
+    /// outside [`ExpansionMode::Replay`].
+    pub estimates_semi_replayed: usize,
+    /// Suffix-utility estimates computed honestly (full cascade) by runs
+    /// with the replay machinery attached — guard and certificate misses
+    /// plus detached-cursor stretches. Zero outside
+    /// [`ExpansionMode::Replay`].
+    pub estimates_recomputed: usize,
 }
+
+impl ExpansionStats {
+    /// Folds one FTSS run's replay accounting into the tree totals.
+    fn absorb(&mut self, r: &ReplayRunStats) {
+        self.steps_replayed += r.steps_replayed;
+        self.steps_searched += r.steps_searched;
+        self.estimates_certified += r.estimates_certified;
+        self.estimates_semi_replayed += r.estimates_semi_replayed;
+        self.estimates_recomputed += r.estimates_recomputed;
+    }
+}
+
+/// How many chained-neighbor hops a freshly captured certificate is
+/// sized to survive: pivot `p`'s log is replayed by pivots
+/// `p+1, p+2, …` of the same worker chunk, each hop shifting the clock
+/// by one entry's bcet-vs-aet gap, so the capture window spans the next
+/// `CERT_CHAIN_HORIZON` gaps. Wider windows amortize one certification
+/// over more semi-replays but loosen the early-edge bounds (more
+/// certification failures); this is the measured sweet spot on the
+/// fig9-style bench corpus.
+const CERT_CHAIN_HORIZON: usize = 8;
 
 /// Configuration of the FTQS tree synthesis.
 #[derive(Debug, Clone, PartialEq)]
@@ -282,19 +323,33 @@ pub(crate) fn ftqs_prepared(
     let replay = config.mode == ExpansionMode::Replay;
     let root_ctx = ScheduleContext::root(app);
     let mut root_log = None;
+    let mut root_replay = ReplayRunStats::default();
     let root_schedule = if replay {
         // The root run is captured so the first expansion wave can replay
-        // its decisions across the root's pivots.
+        // its decisions across the root's pivots. Its certification
+        // window must cover pivot 0's shift — one entry's bcet-vs-aet
+        // gap — but the entry order is unknown before the run, so the
+        // worst single-entry gap bounds it.
+        let max_gap = app
+            .processes()
+            .map(|p| {
+                let t = app.process(p).times();
+                t.aet().as_ms() as i64 - t.bcet().as_ms() as i64
+            })
+            .max()
+            .unwrap_or(0);
         let mut log = DecisionLog::default();
         scratch.prefix_init(model, &root_ctx);
-        let (result, _) = ftss_resume_replay(
+        let (result, stats) = ftss_resume_replay(
             model,
             &root_ctx,
             &config.ftss,
             scratch,
             None,
             Some(&mut log),
+            Some((compiled, -max_gap)),
         );
+        root_replay = stats;
         root_log = Some(std::sync::Arc::new(log));
         result?
     } else {
@@ -318,6 +373,7 @@ pub(crate) fn ftqs_prepared(
         ));
     }
     let mut builder = TreeBuilder::new(app, config, model, compiled, scratch);
+    builder.stats.absorb(&root_replay);
     builder.push_root(root_schedule);
     builder.nodes[0].log = root_log;
     builder.grow();
@@ -551,6 +607,29 @@ impl<'a, 's> TreeBuilder<'a, 's> {
             bcet_sum += self.app.process(e.process).times().bcet();
             bcet_at.push(bcet_sum);
         }
+        // Certification windows for the pivot runs' captured estimates
+        // (replay mode only): pivot `p`'s log is replayed by the chunk's
+        // following pivots, each hop shifting the avg clock by one
+        // entry's bcet-vs-aet gap, so a certificate captured at `p` with
+        // window `[Σ of the next CERT_CHAIN_HORIZON gaps, 0]` amortizes
+        // across that whole chain of neighbors.
+        let cert_lo_at: Vec<i64> = if parent_log.is_some() {
+            let gap: Vec<i64> = parent_entries[..positions]
+                .iter()
+                .map(|e| {
+                    let t = self.app.process(e.process).times();
+                    t.bcet().as_ms() as i64 - t.aet().as_ms() as i64
+                })
+                .collect();
+            (0..positions)
+                .map(|p| {
+                    let end = (p + 1 + CERT_CHAIN_HORIZON).min(positions);
+                    gap[(p + 1).min(end)..end].iter().sum()
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         // One snapshot per expanded parent: the committed context every
         // pivot of this expansion shares.
         let mut base = PrefixCheckpoint::default();
@@ -570,6 +649,7 @@ impl<'a, 's> TreeBuilder<'a, 's> {
                 let this = &*self;
                 let base = &base;
                 let parent_log = parent_log.as_deref();
+                let cert_lo_at = &cert_lo_at;
                 par::par_map_collect_with(
                     wave_end - wave_base,
                     || ExpansionWorker {
@@ -579,13 +659,15 @@ impl<'a, 's> TreeBuilder<'a, 's> {
                         spare_log: DecisionLog::default(),
                     },
                     |worker, i| {
+                        let p = wave_base + i;
                         this.build_child_incremental(
                             &parent_entries,
                             &parent_ctx,
                             &bcet_at,
                             worker,
-                            wave_base + i,
+                            p,
                             parent_log,
+                            cert_lo_at.get(p).copied().unwrap_or(0),
                         )
                     },
                 )
@@ -616,8 +698,7 @@ impl<'a, 's> TreeBuilder<'a, 's> {
                 } else {
                     self.stats.prefix_steps_rerun += parent_completed + pivot + 1;
                 }
-                self.stats.steps_replayed += slot.replay.steps_replayed;
-                self.stats.steps_searched += slot.replay.steps_searched;
+                self.stats.absorb(&slot.replay);
             }
             for (offset, slot) in slots.into_iter().enumerate() {
                 if self.nodes.len() >= self.config.max_schedules {
@@ -691,7 +772,10 @@ impl<'a, 's> TreeBuilder<'a, 's> {
     /// replays the parent's decisions under the per-step guards and
     /// records its own log for the child's future expansion; the replay
     /// cursor lives inside this single run, so workers never share replay
-    /// state (the log itself is read-only).
+    /// state (the log itself is read-only). `cert_lo` is the
+    /// certification window floor for the estimates this run captures
+    /// (see the `cert_lo_at` notes in [`Self::expand`]).
+    #[allow(clippy::too_many_arguments)]
     fn build_child_incremental(
         &self,
         parent_entries: &[crate::fschedule::ScheduleEntry],
@@ -700,6 +784,7 @@ impl<'a, 's> TreeBuilder<'a, 's> {
         worker: &mut ExpansionWorker,
         p: usize,
         parent_log: Option<&DecisionLog>,
+        cert_lo: i64,
     ) -> PendingSlot {
         worker.cursor.advance_to(self.model, parent_entries, p);
         let ctx = self.child_context(parent_entries, parent_ctx, bcet_at, p);
@@ -721,6 +806,7 @@ impl<'a, 's> TreeBuilder<'a, 's> {
             };
             let mut own_log = std::mem::take(spare_log);
             own_log.clear();
+            own_log.reserve_like(source.0);
             let (result, replay) = ftss_resume_replay(
                 self.model,
                 &ctx,
@@ -728,6 +814,7 @@ impl<'a, 's> TreeBuilder<'a, 's> {
                 scratch,
                 Some(source),
                 Some(&mut own_log),
+                Some((self.compiled, cert_lo)),
             );
             // Suffix infeasible from this optimistic start: skip.
             let child = match result {

@@ -87,8 +87,37 @@
 //!   functions of that history — so only clocks and the slack accumulator
 //!   may differ, which is exactly what the guard windows and the honest
 //!   feasibility recomputation cover.
+//! * **Certificates** — flat-cell windows almost never cover the *large*
+//!   `Si′`/`Si″` estimates (some read always lands on a descending
+//!   segment), so those additionally carry an *order-stability
+//!   certificate*: the avg-clock shift window within which the estimate's
+//!   internal MU-argmax *placement order* provably survives, plus that
+//!   placement order itself. The bound argument: TUFs are validated
+//!   non-increasing, avg-clock shifts toward a pivot are non-positive
+//!   (BCET ≤ AET), and every f64 op combining utility reads into an MU
+//!   score — `× α` with `α ≥ 0`, `÷ denom` with `denom ≥ 1`, the
+//!   left-to-right sum, `× w` with `w ≥ 0` — is monotone under IEEE-754
+//!   round-to-nearest (rounding a larger real never lands below rounding
+//!   a smaller one). So over a window `[lo, 0]` a candidate's score is
+//!   minimized at shift `0` (the capture run's own score, free) and
+//!   maximized at shift `lo`, where replacing each read by its early-edge
+//!   value `u(max(0, t + lo))` — one [`crate::CompiledUtility`] table
+//!   lookup, no fresh walk — dominates it. If in every argmax round each
+//!   loser's early-edge bound stays strictly below the winner's own
+//!   score, the winner wins at *every* shift in the window and the whole
+//!   placement order is invariant. A replaying run inside the window then
+//!   *semi-replays* the estimate in O(m): it walks the logged placement
+//!   order once, accumulating `α · u(t)` at its own shifted clocks — the
+//!   exact additions the honest O(m²) cascade would perform, in the same
+//!   order, so the result IS the honest value bit-for-bit even though it
+//!   differs from the logged one. Certification is lazy (only estimates
+//!   with at least `CERT_MIN_PENDING` pending softs pay the extra bound
+//!   evaluation per loser) and amortized: carried estimates re-base their
+//!   certificate by the run's shift, so one certification serves a whole
+//!   chain of neighboring pivot runs.
 //! * **Fallback** — a guard miss merely recomputes that one estimate
-//!   (alignment survives if the value matches the log bit-for-bit); a
+//!   (alignment survives if the value matches the log bit-for-bit, or if
+//!   a certificate proved the semi-replayed value honest); a
 //!   genuinely divergent decision detaches the cursor and the run falls
 //!   back to full per-step search, re-attaching when the histories line
 //!   up again (e.g. after a pivot run re-derives the parent's early
@@ -145,7 +174,9 @@
 //! [`crate::oracle::ftss_reference`]; equivalence tests pin this optimized
 //! scheduler to bit-identical output (`tests/equivalence.rs`).
 
-use crate::fschedule::{FSchedule, ScheduleContext, ScheduleEntry, StaleAlpha, SweepScratch};
+use crate::fschedule::{
+    CompiledUtilities, FSchedule, ScheduleContext, ScheduleEntry, StaleAlpha, SweepScratch,
+};
 use crate::wcdelay::{worst_case_fault_delay, FaultDelayAccumulator, SlackItem};
 use crate::{Application, SchedulingError, Time, UtilityFunction};
 use ftqs_graph::NodeId;
@@ -360,6 +391,11 @@ pub(crate) struct CommittedPrefix {
     /// read this one table instead of re-querying the accumulator.
     committed_delay: Vec<Time>,
     committed_delay_valid: bool,
+    /// Number of unresolved soft processes — the size every `Si′`
+    /// estimate's pending set would have. Maintained on resolution so the
+    /// capture path's is-it-worth-certifying test is O(1) instead of an
+    /// O(softs) scan per estimate call.
+    soft_pending: usize,
 }
 
 impl CommittedPrefix {
@@ -400,6 +436,11 @@ impl CommittedPrefix {
                 self.alpha.mark_dropped(NodeId::from_index(i));
             }
         }
+        self.soft_pending = model
+            .softs
+            .iter()
+            .filter(|s| !self.resolved[s.index()])
+            .count();
         self.entries.clear();
         self.new_drops.clear();
         self.avg_clock = ctx.start;
@@ -442,6 +483,7 @@ impl CommittedPrefix {
         self.hard_cache_valid = other.hard_cache_valid;
         cv(&mut self.committed_delay, &other.committed_delay);
         self.committed_delay_valid = other.committed_delay_valid;
+        self.soft_pending = other.soft_pending;
     }
 
     /// Resolves `n` (scheduled, dropped, or — on the expansion cursor —
@@ -453,6 +495,8 @@ impl CommittedPrefix {
             self.edf_cache_valid = false;
             self.soft_slack_valid = false;
             self.hard_cache_valid = false;
+        } else {
+            self.soft_pending -= 1;
         }
         self.resolved[n.index()] = true;
         self.ready[n.index()] = false;
@@ -522,6 +566,32 @@ pub(crate) struct ProbeScratch {
     /// decision-replay machinery compares them against the log step and
     /// appends them to the captured log.
     step_res: Vec<LogResolution>,
+    /// Placement order of the current estimate's certification pass
+    /// (valid only when `cert_ok` survives the cascade).
+    cert_placed: Vec<NodeId>,
+    /// Whether every argmax round of the current estimate's certification
+    /// pass kept its losers strictly below the winner at the window edge.
+    cert_ok: bool,
+    /// Per-candidate scores of the current certification round, by ready
+    /// position (the survival check revisits losers after the winner is
+    /// known).
+    round_scores: Vec<f64>,
+    /// Per-process constant slack of the run's certification window:
+    /// `rise_own[s] = max_rise(s) / denom(s)` and `rise_succ[s] = Σ over
+    /// soft successors j of max_rise(j) / denom(j)` — `score + α ·
+    /// rise_own + w · rise_succ`, inflated by [`CERT_SLACK_MARGIN`],
+    /// dominates the exact early-edge bound, so most losers never pay a
+    /// per-read bound evaluation. Cached across the runs of one
+    /// expansion wave; see `Scheduler::prepare_cert_slack` for why reuse
+    /// at a less negative shift stays sound.
+    rise_own: Vec<f64>,
+    rise_succ: Vec<f64>,
+    /// Shift `rise_own`/`rise_succ` were computed at; `0` (the default)
+    /// means "no tables" since certification requires a strictly
+    /// negative shift. Deliberately NOT reset by `prepare` — the cache
+    /// spans a wave of runs; [`SynthesisScratch::prefix_init`] re-keys
+    /// it whenever the session scratch moves to a (possibly) new model.
+    rise_lo: i64,
 }
 
 impl ProbeScratch {
@@ -540,6 +610,9 @@ impl ProbeScratch {
         self.alpha.reset(n);
         self.delay_buf.clear();
         self.step_res.clear();
+        self.cert_placed.clear();
+        self.cert_ok = false;
+        self.round_scores.clear();
     }
 
     /// Opens a fresh mark generation (O(1) except after `u32` wrap-around).
@@ -585,6 +658,11 @@ impl SynthesisScratch {
     /// captures).
     pub(crate) fn prefix_init(&mut self, model: &AppModel, ctx: &ScheduleContext) {
         self.prefix.init(model, ctx);
+        // The certification slack tables are model-keyed; a session
+        // scratch can be pointed at a different application between
+        // synthesis calls, so drop them here (worker scratches are
+        // rebuilt per wave and never cross models).
+        self.probe.rise_lo = 0;
     }
 
     /// Deep-copies the committed-prefix state into `into`, reusing its
@@ -725,7 +803,45 @@ struct LogEstimate {
     /// Inside it the logged `value` is reused verbatim.
     delta_lo: i64,
     delta_hi: i64,
+    /// Index of this estimate's order-stability certificate in
+    /// [`DecisionLog::certs`] (`u32::MAX` when uncertified).
+    cert: u32,
 }
+
+/// An order-stability certificate of one logged estimate: within the
+/// avg-clock shift window `[lo, hi]` (ms, inclusive, relative to the
+/// certifying run's clock) every internal MU-argmax round's winner
+/// provably survives, so the whole placement order
+/// (`DecisionLog::placements[pl_start .. pl_start + pl_len]`) is
+/// invariant and a replaying run reconstructs the estimate in O(m) from
+/// it — bit-identical to its own honest cascade (see the module docs'
+/// *Certificates* bullet for the bound argument).
+#[derive(Debug, Clone, Copy)]
+struct LogCert {
+    lo: i64,
+    hi: i64,
+    pl_start: u32,
+    pl_len: u32,
+}
+
+/// Minimum pending-soft count before an honest estimate pays for the
+/// certification pass: below it the O(m²) cascade is cheap enough that
+/// the per-loser early-edge bound evaluations cost more than the
+/// semi-replays they enable.
+const CERT_MIN_PENDING: usize = 8;
+
+/// Relative inflation applied to the constant-slack cheap bound before it
+/// is compared against the winner's score. The cheap bound's claim —
+/// "this loser's exact early-edge bound cannot reach the winner" — chains
+/// O(m) IEEE ops over exclusively non-negative operands (validated
+/// utilities, `α`, `w ≥ 0`, `denom ≥ 1`), whose compounded relative error
+/// stays below `m · ε ≈ m · 2.2e-16`; inflating by `1e-9` therefore
+/// dominates the rounding of any cascade shorter than ~4 million ops
+/// while being far too small to cost certifications (score gaps on real
+/// TUFs are many orders of magnitude wider). Losers the inflated bound
+/// cannot clear fall back to the exact per-read bound, so certification
+/// success is unaffected by the filter.
+const CERT_SLACK_MARGIN: f64 = 1.0 + 1e-9;
 
 /// The recorded decision sequence of one committed FTSS run.
 ///
@@ -750,6 +866,10 @@ pub(crate) struct DecisionLog {
     resolutions: Vec<LogResolution>,
     steps: Vec<LogStep>,
     estimates: Vec<LogEstimate>,
+    /// Order-stability certificates, referenced by [`LogEstimate::cert`].
+    certs: Vec<LogCert>,
+    /// Certified placement orders, referenced by [`LogCert`] ranges.
+    placements: Vec<NodeId>,
 }
 
 impl DecisionLog {
@@ -759,21 +879,59 @@ impl DecisionLog {
         self.resolutions.clear();
         self.steps.clear();
         self.estimates.clear();
+        self.certs.clear();
+        self.placements.clear();
+    }
+
+    /// Grows this (empty or cleared) log's buffers to hold roughly what
+    /// `other` holds. Accepted children keep an `Arc` to their log, so a
+    /// worker's spare-buffer recycling rarely fires and most runs would
+    /// otherwise regrow every vector through doubling reallocations; the
+    /// neighbor log about to be replayed predicts the sizes well, so one
+    /// up-front reservation (with headroom for drift) replaces the whole
+    /// realloc chain.
+    pub(crate) fn reserve_like(&mut self, other: &DecisionLog) {
+        fn grow<T>(v: &mut Vec<T>, n: usize) {
+            // 9/8 headroom: neighbor runs differ by a pivot, not by shape.
+            // `reserve` is a no-op when the recycled capacity already
+            // suffices (these logs are empty, so `additional` ≥ target).
+            v.reserve(n + n / 8);
+        }
+        grow(&mut self.resolutions, other.resolutions.len());
+        grow(&mut self.steps, other.steps.len());
+        grow(&mut self.estimates, other.estimates.len());
+        grow(&mut self.certs, other.certs.len());
+        grow(&mut self.placements, other.placements.len());
     }
 
     #[cfg(test)]
     pub(crate) fn steps_len(&self) -> usize {
         self.steps.len()
     }
+
+    #[cfg(test)]
+    pub(crate) fn certs_len(&self) -> usize {
+        self.certs.len()
+    }
 }
 
 /// Replay accounting of one FTSS run: how many commit steps skipped their
 /// `DetermineDropping` search by replaying logged decisions vs how many
-/// ran the full per-step search.
+/// ran the full per-step search, plus the estimate-level accounting of
+/// the order-stability machinery (fresh certifications, O(m)
+/// semi-replays, and honest recomputations).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub(crate) struct ReplayRunStats {
     pub(crate) steps_replayed: usize,
     pub(crate) steps_searched: usize,
+    /// Estimates whose honest computation also captured a fresh
+    /// order-stability certificate.
+    pub(crate) estimates_certified: usize,
+    /// Estimates reconstructed in O(m) from a certified placement order.
+    pub(crate) estimates_semi_replayed: usize,
+    /// Estimates computed honestly (full O(m²) cascade) while the replay
+    /// machinery was attached.
+    pub(crate) estimates_recomputed: usize,
 }
 
 /// A read cursor over a parent's [`DecisionLog`], tracking whether the
@@ -803,6 +961,13 @@ pub(crate) struct ReplayCursor<'l> {
     /// Index of the next log step while synced.
     step_pos: usize,
     synced: bool,
+    /// Length of the log's resolution prefix already verified to match
+    /// this run's resolution set. The run's `resolved`/`dropped` masks
+    /// only ever grow, and a resolution's kind is fixed once resolved, so
+    /// a verified position can never un-verify — re-attachment attempts
+    /// resume here instead of re-walking the whole prefix, making sync
+    /// O(resolutions) amortized per run instead of per step.
+    checked: usize,
 }
 
 impl<'l> ReplayCursor<'l> {
@@ -812,6 +977,7 @@ impl<'l> ReplayCursor<'l> {
             prefix_len,
             step_pos: 0,
             synced: false,
+            checked: 0,
         }
     }
 }
@@ -861,8 +1027,12 @@ pub(crate) fn ftss_resume(
 /// with the log skip their `DetermineDropping` search wherever the guard
 /// window proves the logged drops exact; when `capture` is given, the
 /// run's own decisions (and guard windows) are recorded into it for the
-/// run's future expansion. Output is bit-identical to [`ftss_resume`]
-/// under every combination.
+/// run's future expansion. `cert` enables the order-stability
+/// certification pass on captured estimates: the compiled utility tables
+/// the early-edge bounds read from, plus the most negative avg-clock
+/// shift (ms, `< 0` to be useful) future replayers of the captured log
+/// are expected to use — the certified window is `[lo, 0]`. Output is
+/// bit-identical to [`ftss_resume`] under every combination.
 pub(crate) fn ftss_resume_replay(
     model: &AppModel,
     ctx: &ScheduleContext,
@@ -870,10 +1040,16 @@ pub(crate) fn ftss_resume_replay(
     scratch: &mut SynthesisScratch,
     replay: Option<(&DecisionLog, usize)>,
     capture: Option<&mut DecisionLog>,
+    cert: Option<(&CompiledUtilities, i64)>,
 ) -> (Result<FSchedule, SchedulingError>, ReplayRunStats) {
     let mut scheduler = Scheduler::new(model, config, ctx, scratch);
     scheduler.cursor = replay.map(|(log, prefix_len)| ReplayCursor::new(log, prefix_len));
     scheduler.capture = capture;
+    if let Some((compiled, lo)) = cert {
+        scheduler.compiled = Some(compiled);
+        scheduler.cert_lo = lo;
+        scheduler.prepare_cert_slack();
+    }
     let mut stats = ReplayRunStats::default();
     let result = scheduler.run_with_stats(&mut stats);
     (result, stats)
@@ -881,8 +1057,11 @@ pub(crate) fn ftss_resume_replay(
 
 /// Outcome of offering one estimate call to the replay log.
 enum EstimateReuse {
-    /// Matched inside the flat-cell window: the logged value is the
-    /// honest value, verbatim.
+    /// Matched inside the flat-cell window (the logged value IS the
+    /// honest value) or inside an order-stability certificate window
+    /// (the carried value was reconstructed in O(m) from the certified
+    /// placement order and IS the honest value): returned as-is, no
+    /// cascade.
     Verbatim(f64),
     /// Matched, but the window missed: compute honestly and keep
     /// alignment only on a bit-identical result.
@@ -922,6 +1101,14 @@ struct CollectEval {
 impl EvalSink for CollectEval {
     #[inline]
     fn eval(&mut self, u: &UtilityFunction, t: Time) -> f64 {
+        if self.lo > self.hi {
+            // The window is already empty and intersection only shrinks
+            // it — the remaining reads can skip the fused flat-cell walk.
+            // The first read on a strictly descending segment gets here,
+            // which in practice is almost immediately, so capture runs
+            // evaluate at plain-eval cost from then on.
+            return u.value(t);
+        }
         let (v, cell) = u.value_with_flat_cell(t);
         match cell {
             Some((lo, hi)) => {
@@ -947,6 +1134,14 @@ struct Scheduler<'s> {
     // --- decision replay (inert unless cursor/capture are attached) ---
     cursor: Option<ReplayCursor<'s>>,
     capture: Option<&'s mut DecisionLog>,
+    /// Compiled utility tables the certification pass's early-edge bounds
+    /// read from (`None` disables certification).
+    compiled: Option<&'s CompiledUtilities>,
+    /// Most negative avg-clock shift captured certificates must survive
+    /// (the certified window is `[cert_lo, 0]`; `0` disables capture-side
+    /// certification — a window no replayer needs proves nothing the
+    /// flat-cell guards don't already cover).
+    cert_lo: i64,
     /// Resolutions this run performed itself (drops + commits).
     own_res: usize,
     /// `avg_clock` at the current step's start.
@@ -998,6 +1193,8 @@ impl<'s> Scheduler<'s> {
             probe,
             cursor: None,
             capture: None,
+            compiled: None,
+            cert_lo: 0,
             own_res: 0,
             step_avg: Time::ZERO,
             step_synced: false,
@@ -1049,6 +1246,93 @@ impl<'s> Scheduler<'s> {
             score += w * succ_sum;
         }
         score
+    }
+
+    /// Precomputes the per-process constant slack backing the cheap
+    /// certification bound (see `ProbeScratch::rise_own`): one
+    /// O(slots²) [`CompiledUtility::max_rise`] scan per soft process. A
+    /// process without a compiled table gets an infinite slack, which
+    /// routes every check involving it to the exact bound (and from
+    /// there to a safe certification failure).
+    ///
+    /// The tables are cached across the runs of one expansion wave
+    /// (`ProbeScratch::rise_lo` records the shift they were computed
+    /// at): `max_rise` is non-increasing in the shift, so tables built
+    /// for a more negative shift dominate every less negative one —
+    /// reusing them can only loosen the cheap filter (more exact
+    /// fallbacks), never change a certification decision. Scratches are
+    /// worker-private and rebuilt per wave, and the session scratch is
+    /// re-keyed by [`SynthesisScratch::prefix_init`] before each root
+    /// run, so cached tables never survive a model change.
+    fn prepare_cert_slack(&mut self) {
+        let Some(compiled) = self.compiled else {
+            return;
+        };
+        if self.capture.is_none() || self.cert_lo >= 0 || self.config.successor_weight < 0.0 {
+            return;
+        }
+        if self.probe.rise_lo <= self.cert_lo {
+            return;
+        }
+        let n = self.model.app.len();
+        let lo = self.cert_lo;
+        self.probe.rise_lo = lo;
+        let mut raw = vec![0.0f64; n];
+        for &s in &self.model.softs {
+            raw[s.index()] = match compiled.get(s) {
+                Some(cu) => cu.max_rise(lo),
+                None => f64::INFINITY,
+            };
+        }
+        self.probe.rise_own.clear();
+        self.probe.rise_own.resize(n, 0.0);
+        self.probe.rise_succ.clear();
+        self.probe.rise_succ.resize(n, 0.0);
+        for &s in &self.model.softs {
+            self.probe.rise_own[s.index()] = raw[s.index()] / self.model.denom_of[s.index()];
+            let mut sum = 0.0;
+            for &(j, denom_j, _aet_j) in &self.model.soft_succs[s.index()] {
+                sum += raw[j.index()] / denom_j;
+            }
+            self.probe.rise_succ[s.index()] = sum;
+        }
+    }
+
+    /// Early-edge upper bound of [`Self::mu_priority_fast`] over every
+    /// avg-clock shift in `[shift, 0]` (`shift ≤ 0`): each utility read
+    /// is replaced by its compiled-table value at `max(0, t + shift)` —
+    /// the largest value any shift in the window can read (TUFs are
+    /// non-increasing) — and the combining ops (`× α`, `÷ denom`, sums,
+    /// `× w`) are all IEEE-monotone for the non-negative `α`/`w` and
+    /// positive `denom` used here, so the assembled score dominates the
+    /// true score at every shift in the window. `None` when a read has no
+    /// compiled table (certification then fails safe).
+    fn mu_bound_shifted(
+        &self,
+        compiled: &CompiledUtilities,
+        s: NodeId,
+        now: Time,
+        alpha: f64,
+        shift: i64,
+        mut is_pending: impl FnMut(NodeId) -> bool,
+    ) -> Option<f64> {
+        let own_completion = now + self.model.aet_of[s.index()];
+        let cu = compiled.get(s)?;
+        let mut score =
+            alpha * cu.value_at_shift(own_completion, shift) / self.model.denom_of[s.index()];
+        let w = self.config.successor_weight;
+        if w != 0.0 {
+            let mut succ_sum = 0.0;
+            for &(j, denom_j, aet_j) in &self.model.soft_succs[s.index()] {
+                if !is_pending(j) {
+                    continue;
+                }
+                let cj = compiled.get(j)?;
+                succ_sum += cj.value_at_shift(own_completion + aet_j, shift) / denom_j;
+            }
+            score += w * succ_sum;
+        }
+        Some(score)
     }
 
     fn run(mut self) -> Result<FSchedule, SchedulingError> {
@@ -1150,7 +1434,12 @@ impl<'s> Scheduler<'s> {
             if target > cur.log.resolutions.len() {
                 return None;
             }
-            for r in &cur.log.resolutions[..target] {
+            // Resume verification where the last attempt stopped (see
+            // [`ReplayCursor::checked`]) — positions that matched once
+            // stay matched, and a position that failed only fails until
+            // this run resolves the process, so re-checking from
+            // `checked` is exact, not just an approximation.
+            for r in &cur.log.resolutions[cur.checked..target] {
                 let idx = r.process.index();
                 let ok = if r.dropped {
                     self.prefix.dropped[idx]
@@ -1160,6 +1449,7 @@ impl<'s> Scheduler<'s> {
                 if !ok {
                     return None;
                 }
+                cur.checked += 1;
             }
             let j = cur
                 .log
@@ -1233,22 +1523,79 @@ impl<'s> Scheduler<'s> {
             return EstimateReuse::Honest;
         }
         self.est_cursor += 1;
-        if est.delta_lo <= self.step_delta && self.step_delta <= est.delta_hi {
+        let delta = self.step_delta;
+        if est.delta_lo <= delta && delta <= est.delta_hi {
             // Verbatim: every read lands in the same flat cell, so the
             // grandchild's window is this one re-based by this run's
-            // shift.
-            if let Some(cap) = self.capture.as_mut() {
+            // shift; an attached certificate re-bases the same way.
+            if self.capture.is_some() {
+                let cert = self.carry_cert(log, est.cert, delta);
+                let cap = self.capture.as_mut().expect("capturing");
                 cap.estimates.push(LogEstimate {
                     value: est.value,
                     extra_drop: enc,
-                    delta_lo: est.delta_lo.saturating_sub(self.step_delta),
-                    delta_hi: est.delta_hi.saturating_sub(self.step_delta),
+                    delta_lo: est.delta_lo.saturating_sub(delta),
+                    delta_hi: est.delta_hi.saturating_sub(delta),
+                    cert,
                 });
             }
-            EstimateReuse::Verbatim(est.value)
-        } else {
-            EstimateReuse::Compare(est.value)
+            return EstimateReuse::Verbatim(est.value);
         }
+        if est.cert != u32::MAX {
+            let c = log.certs[est.cert as usize];
+            if c.lo <= delta && delta <= c.hi {
+                // Semi-replay: the certificate proves the placement order
+                // invariant at this shift, so the honest value is
+                // reconstructed in O(m) at this run's own clocks — it
+                // legitimately differs from the logged one.
+                let placements = &log.placements[c.pl_start as usize..][..c.pl_len as usize];
+                let value = self.semi_replay_estimate(extra_drop, placements);
+                self.stats.estimates_semi_replayed += 1;
+                if self.capture.is_some() {
+                    let cert = self.carry_cert(log, est.cert, delta);
+                    let cap = self.capture.as_mut().expect("capturing");
+                    cap.estimates.push(LogEstimate {
+                        value,
+                        extra_drop: enc,
+                        // No flat-cell window: the reconstruction skips
+                        // the argmax reads such a window must cover.
+                        delta_lo: 1,
+                        delta_hi: 0,
+                        cert,
+                    });
+                }
+                return EstimateReuse::Verbatim(value);
+            }
+        }
+        EstimateReuse::Compare(est.value)
+    }
+
+    /// Copies a logged certificate into the captured log, re-based by
+    /// this run's shift: certificate validity is relative to the
+    /// *original* certifying run, so a window `[lo, hi]` consumed at
+    /// shift `δ` becomes `[lo − δ, hi − δ]` for the captured log's own
+    /// replayers (whose shifts then compose back to a total inside the
+    /// original window). Returns the new certificate's index, or
+    /// `u32::MAX` when there is nothing to carry.
+    fn carry_cert(&mut self, log: &DecisionLog, cert: u32, delta: i64) -> u32 {
+        if cert == u32::MAX {
+            return u32::MAX;
+        }
+        let c = log.certs[cert as usize];
+        let cap = self
+            .capture
+            .as_mut()
+            .expect("certificates are carried only while capturing");
+        let pl_start = cap.placements.len();
+        cap.placements
+            .extend_from_slice(&log.placements[c.pl_start as usize..][..c.pl_len as usize]);
+        cap.certs.push(LogCert {
+            lo: c.lo.saturating_sub(delta),
+            hi: c.hi.saturating_sub(delta),
+            pl_start: u32::try_from(pl_start).expect("log fits u32 indices"),
+            pl_len: c.pl_len,
+        });
+        u32::try_from(cap.certs.len() - 1).expect("log fits u32 indices")
     }
 
     /// Step epilogue: replay accounting, capture of this step into the
@@ -1378,26 +1725,68 @@ impl<'s> Scheduler<'s> {
             EstimateReuse::Compare(_) | EstimateReuse::Honest => {}
         }
         self.honest_estimates += 1;
+        if self.cursor.is_some() || self.capture.is_some() {
+            self.stats.estimates_recomputed += 1;
+        }
         let total = if self.capture.is_some() {
-            let mut sink = CollectEval {
-                lo: i128::MIN,
-                hi: i128::MAX,
+            // Certification needs a strictly negative target window (a
+            // window no replayer reaches proves nothing the flat cells
+            // don't), the compiled tables for the early-edge bounds, and
+            // a non-negative lookahead weight (the monotonicity argument
+            // relies on every combining multiplier being ≥ 0). It is also
+            // lazy: only cascades of at least [`CERT_MIN_PENDING`] pending
+            // softs — the ones whose recomputation is worth skipping —
+            // pay the certification pass, and those skip the per-read
+            // flat-cell window collection entirely (large estimates
+            // virtually never land a usable flat window; the certificate
+            // is their reuse path, so collecting windows for them is pure
+            // capture overhead).
+            let certify = self.cert_lo < 0
+                && self.compiled.is_some()
+                && self.config.successor_weight >= 0.0
+                && self.prefix.soft_pending - usize::from(extra_drop.is_some()) >= CERT_MIN_PENDING;
+            let (total, delta_lo, delta_hi) = if certify {
+                let total =
+                    self.soft_suffix_estimate_compute::<_, true>(extra_drop, &mut PlainEval);
+                (total, 1, 0)
+            } else {
+                let mut sink = CollectEval {
+                    lo: i128::MIN,
+                    hi: i128::MAX,
+                };
+                let total = self.soft_suffix_estimate_compute::<_, false>(extra_drop, &mut sink);
+                (
+                    total,
+                    i64::try_from(sink.lo).unwrap_or(i64::MIN),
+                    i64::try_from(sink.hi).unwrap_or(i64::MAX),
+                )
             };
-            let total = self.soft_suffix_estimate_compute(extra_drop, &mut sink);
-            let (delta_lo, delta_hi) = (
-                i64::try_from(sink.lo).unwrap_or(i64::MIN),
-                i64::try_from(sink.hi).unwrap_or(i64::MAX),
-            );
+            let cert = if certify && self.probe.cert_ok {
+                self.stats.estimates_certified += 1;
+                let cap = self.capture.as_mut().expect("capturing");
+                let pl_start = cap.placements.len();
+                cap.placements.extend_from_slice(&self.probe.cert_placed);
+                cap.certs.push(LogCert {
+                    lo: self.cert_lo,
+                    hi: 0,
+                    pl_start: u32::try_from(pl_start).expect("log fits u32 indices"),
+                    pl_len: u32::try_from(self.probe.cert_placed.len()).expect("estimate fits u32"),
+                });
+                u32::try_from(cap.certs.len() - 1).expect("log fits u32 indices")
+            } else {
+                u32::MAX
+            };
             let cap = self.capture.as_mut().expect("capturing");
             cap.estimates.push(LogEstimate {
                 value: total,
                 extra_drop: extra_drop.map_or(u32::MAX, |n| n.index() as u32),
                 delta_lo,
                 delta_hi,
+                cert,
             });
             total
         } else {
-            self.soft_suffix_estimate_compute(extra_drop, &mut PlainEval)
+            self.soft_suffix_estimate_compute::<_, false>(extra_drop, &mut PlainEval)
         };
         if let EstimateReuse::Compare(logged) = reuse {
             // Both windows missed but the honest value matches the logged
@@ -1410,7 +1799,14 @@ impl<'s> Scheduler<'s> {
         total
     }
 
-    fn soft_suffix_estimate_compute<E: EvalSink>(
+    /// The honest `Si′`/`Si″` cascade. With `CERT` (capture-side
+    /// certification), every argmax round additionally evaluates each
+    /// candidate's early-edge bound at shift `self.cert_lo` and records
+    /// the placement order; `probe.cert_ok` reports whether every round
+    /// kept its losers strictly below the winner — the order-stability
+    /// certificate (see the module docs). The plain instantiation
+    /// monomorphizes all of that away.
+    fn soft_suffix_estimate_compute<E: EvalSink, const CERT: bool>(
         &mut self,
         extra_drop: Option<NodeId>,
         sink: &mut E,
@@ -1431,6 +1827,14 @@ impl<'s> Scheduler<'s> {
                     .copied()
                     .filter(|&s| !resolved[s.index()] && Some(s) != extra_drop),
             );
+        }
+        // The caller only instantiates `CERT` for cascades worth
+        // certifying (at least [`CERT_MIN_PENDING`] pending softs), so
+        // certification starts live and only dies on a failed bound.
+        let mut cert_live = CERT;
+        if CERT {
+            self.probe.cert_placed.clear();
+            self.probe.cert_ok = false;
         }
         // Readiness within the soft-induced subgraph: a pending soft is
         // ready when none of its pending soft ancestors is unplaced.
@@ -1464,15 +1868,60 @@ impl<'s> Scheduler<'s> {
             // smallest id) — order-independent, so the ready list needs no
             // particular ordering and placed entries are swap-removed.
             let mut best: Option<(f64, NodeId, usize)> = None;
+            if CERT && cert_live {
+                self.probe.round_scores.clear();
+            }
             for pos in 0..self.probe.ready_soft.len() {
                 let (s, a) = self.probe.ready_soft[pos];
                 let mark = &self.probe.mark;
                 let pr = self.mu_priority_fast(sink, s, now, a, |j| mark[j.index()] == in_set);
+                if CERT && cert_live {
+                    self.probe.round_scores.push(pr);
+                }
                 if best.is_none_or(|(bp, bn, _)| pr > bp || (pr == bp && s < bn)) {
                     best = Some((pr, s, pos));
                 }
             }
-            let Some((_, s, pos)) = best else { break };
+            let Some((winner_score, s, pos)) = best else {
+                break;
+            };
+            if CERT && cert_live {
+                // Winner-survival check: the winner's own score at shift 0
+                // is its minimum over the window; every loser's early-edge
+                // maximum must stay strictly below it (strict dominance
+                // keeps the argmax, tie break included, invariant across
+                // the whole window). The inflated constant-slack bound
+                // dominates the exact one, so only losers it cannot clear
+                // pay a per-read `mu_bound_shifted` evaluation.
+                let compiled = self.compiled.expect("certifying implies compiled tables");
+                let lo = self.cert_lo;
+                let w = self.config.successor_weight;
+                for p2 in 0..self.probe.ready_soft.len() {
+                    if p2 == pos {
+                        continue;
+                    }
+                    let (s2, a2) = self.probe.ready_soft[p2];
+                    let slack =
+                        a2 * self.probe.rise_own[s2.index()] + w * self.probe.rise_succ[s2.index()];
+                    let cheap = (self.probe.round_scores[p2] + slack) * CERT_SLACK_MARGIN;
+                    if cheap < winner_score {
+                        continue;
+                    }
+                    let mark = &self.probe.mark;
+                    match self
+                        .mu_bound_shifted(compiled, s2, now, a2, lo, |j| mark[j.index()] == in_set)
+                    {
+                        Some(b) if b < winner_score => {}
+                        _ => {
+                            cert_live = false;
+                            break;
+                        }
+                    }
+                }
+                if cert_live {
+                    self.probe.cert_placed.push(s);
+                }
+            }
             self.probe.ready_soft.swap_remove(pos);
             self.probe.mark[s.index()] = placed;
             now += self.model.aet_of[s.index()];
@@ -1488,6 +1937,39 @@ impl<'s> Scheduler<'s> {
                         self.probe.ready_soft.push((j, aj));
                     }
                 }
+            }
+        }
+        if CERT {
+            self.probe.cert_ok = cert_live;
+        }
+        total
+    }
+
+    /// Reconstructs a certified estimate in O(m) at this run's own
+    /// clocks: walks the logged placement order, performing exactly the
+    /// additions the honest cascade would — same order, same stale
+    /// coefficients (pure memoization over the same structural state),
+    /// same utility reads — so the result is the honest value bit-for-bit
+    /// without any MU-argmax search (see the module docs' *Certificates*
+    /// bullet for why the placement order is invariant inside the
+    /// certificate window).
+    fn semi_replay_estimate(&mut self, extra_drop: Option<NodeId>, placements: &[NodeId]) -> f64 {
+        let app = &*self.model.app;
+        self.probe.alpha.copy_from(&self.prefix.alpha);
+        if let Some(d) = extra_drop {
+            self.probe.alpha.mark_dropped(d);
+        }
+        let mut now = self.prefix.avg_clock;
+        let mut total = 0.0;
+        for &s in placements {
+            debug_assert!(
+                !self.prefix.resolved[s.index()] && Some(s) != extra_drop,
+                "certified placements must be this run's pending softs"
+            );
+            now += self.model.aet_of[s.index()];
+            let av = self.probe.alpha.resolve(app, s);
+            if let Some(u) = self.model.utility_of[s.index()].as_ref() {
+                total += av * u.value(now);
             }
         }
         total
@@ -2501,7 +2983,8 @@ mod tests {
         let mut scratch = SynthesisScratch::new();
         scratch.prefix_mut().init(model, ctx);
         let mut log = DecisionLog::default();
-        let (result, _) = ftss_resume_replay(model, ctx, cfg, &mut scratch, None, Some(&mut log));
+        let (result, _) =
+            ftss_resume_replay(model, ctx, cfg, &mut scratch, None, Some(&mut log), None);
         result.map(|s| (s, log))
     }
 
@@ -2556,8 +3039,15 @@ mod tests {
 
                 let mut scratch = SynthesisScratch::new();
                 scratch.prefix_mut().init(&model, &ctx);
-                let (replayed, stats) =
-                    ftss_resume_replay(&model, &ctx, &cfg, &mut scratch, Some((&log, p + 1)), None);
+                let (replayed, stats) = ftss_resume_replay(
+                    &model,
+                    &ctx,
+                    &cfg,
+                    &mut scratch,
+                    Some((&log, p + 1)),
+                    None,
+                    None,
+                );
                 let mut fresh_scratch = SynthesisScratch::new();
                 let fresh = ftss_from_context(&model, &ctx, &cfg, &mut fresh_scratch);
                 assert_eq!(replayed, fresh, "seed {seed} pivot {p}: replay diverged");
@@ -2610,8 +3100,15 @@ mod tests {
         ctx.start = t(10); // head at bcet: fragile completes at 20 <= 60
         let mut scratch = SynthesisScratch::new();
         scratch.prefix_mut().init(&model, &ctx);
-        let (replayed, stats) =
-            ftss_resume_replay(&model, &ctx, &cfg, &mut scratch, Some((&log, 1)), None);
+        let (replayed, stats) = ftss_resume_replay(
+            &model,
+            &ctx,
+            &cfg,
+            &mut scratch,
+            Some((&log, 1)),
+            None,
+            None,
+        );
         let fresh = ftss_from_context(&model, &ctx, &cfg, &mut SynthesisScratch::new());
         assert_eq!(replayed, fresh, "fallback must reproduce the search");
         let replayed = replayed.unwrap();
@@ -2659,8 +3156,15 @@ mod tests {
         ctx.start = t(10);
         let mut scratch = SynthesisScratch::new();
         scratch.prefix_mut().init(&model, &ctx);
-        let (replayed, stats) =
-            ftss_resume_replay(&model, &ctx, &cfg, &mut scratch, Some((&log, 1)), None);
+        let (replayed, stats) = ftss_resume_replay(
+            &model,
+            &ctx,
+            &cfg,
+            &mut scratch,
+            Some((&log, 1)),
+            None,
+            None,
+        );
         let fresh = ftss_from_context(&model, &ctx, &cfg, &mut SynthesisScratch::new());
         assert_eq!(replayed, fresh);
         let replayed = replayed.unwrap();
@@ -2672,6 +3176,213 @@ mod tests {
         assert!(
             stats.steps_replayed > 0,
             "allowance flips must not break utility-side lockstep"
+        );
+    }
+
+    // ----- order-stability certificates ----------------------------------
+
+    /// Captures a run with the order-stability certification pass enabled
+    /// at window floor `lo` (the compiled tables derive from `app`).
+    fn certified_run(
+        model: &AppModel,
+        ctx: &ScheduleContext,
+        cfg: &FtssConfig,
+        lo: i64,
+    ) -> (FSchedule, DecisionLog, ReplayRunStats) {
+        let compiled = CompiledUtilities::build(&model.app);
+        let mut scratch = SynthesisScratch::new();
+        scratch.prefix_mut().init(model, ctx);
+        let mut log = DecisionLog::default();
+        let (result, stats) = ftss_resume_replay(
+            model,
+            ctx,
+            cfg,
+            &mut scratch,
+            None,
+            Some(&mut log),
+            Some((&compiled, lo)),
+        );
+        (
+            result.expect("cert corpus apps are schedulable"),
+            log,
+            stats,
+        )
+    }
+
+    /// `head` gating enough softs that every dropping-phase cascade meets
+    /// the [`CERT_MIN_PENDING`] certification floor. The gated softs hold
+    /// well-separated MU densities on long-flat step utilities, so the
+    /// argmax order is strict at every avg-clock shift and certification
+    /// succeeds; an optional `fragile` tail process (utility vanishing at
+    /// 130 ms) is worthless at the root's clocks but not at a pivot's.
+    fn cert_app(with_fragile: bool) -> (Application, NodeId, Option<NodeId>) {
+        let mut b = Application::builder(t(100_000), FaultModel::none());
+        let head = b.add_soft(
+            "head",
+            et(10, 100),
+            UtilityFunction::constant(100.0).unwrap(),
+        );
+        let stable = if with_fragile { 8 } else { 9 };
+        for i in 0..stable {
+            let peak = 900.0 - 50.0 * i as f64;
+            let s = b.add_soft(
+                format!("S{i}"),
+                et(10, 10),
+                UtilityFunction::step(peak, [(t(50_000), 0.0)]).unwrap(),
+            );
+            b.add_dependency(head, s).unwrap();
+        }
+        let fragile = with_fragile.then(|| {
+            let f = b.add_soft(
+                "fragile",
+                et(10, 10),
+                UtilityFunction::step(50.0, [(t(130), 0.0)]).unwrap(),
+            );
+            b.add_dependency(head, f).unwrap();
+            f
+        });
+        (b.build().unwrap(), head, fragile)
+    }
+
+    #[test]
+    fn certified_estimates_semi_replay_inside_the_window() {
+        // A pivot whose avg-clock shift stays inside the captured
+        // certificate window must reconstruct the large estimates in O(m)
+        // from the logged placement order (the semi-replay counter proves
+        // the path was taken) and still be bit-identical to a fresh
+        // search.
+        let (app, head, _) = cert_app(false);
+        let model = AppModel::build(&app);
+        let cfg = FtssConfig::default();
+        let root_ctx = ScheduleContext::root(&app);
+        let (_, log, cap_stats) = certified_run(&model, &root_ctx, &cfg, -60);
+        assert!(
+            cap_stats.estimates_certified > 0,
+            "the capture run must certify its large estimates"
+        );
+        assert!(log.certs_len() > 0, "certificates must land in the log");
+
+        // head at bcet: shift −45 ∈ [−60, 0] (aet 55 → bcet 10).
+        let mut ctx = root_ctx.clone();
+        ctx.completed[head.index()] = true;
+        ctx.start = t(10);
+        let mut scratch = SynthesisScratch::new();
+        scratch.prefix_mut().init(&model, &ctx);
+        let (replayed, stats) = ftss_resume_replay(
+            &model,
+            &ctx,
+            &cfg,
+            &mut scratch,
+            Some((&log, 1)),
+            None,
+            None,
+        );
+        let fresh = ftss_from_context(&model, &ctx, &cfg, &mut SynthesisScratch::new());
+        assert_eq!(replayed, fresh, "semi-replay must stay bit-identical");
+        assert!(
+            stats.estimates_semi_replayed > 0,
+            "the in-window shift must exercise the semi-replay path"
+        );
+        assert!(stats.steps_replayed > 0);
+    }
+
+    #[test]
+    fn shift_outside_the_certificate_window_forces_honest_recompute() {
+        // The drop-verdict-flip scenario against certified estimates: the
+        // pivot's shift (−45) overshoots the certificate window ([−30, 0]),
+        // so no certificate may be consumed — every estimate recomputes
+        // honestly, the honest values expose the flipped verdict (`fragile`
+        // revives at the earlier clock), and the cursor detaches into full
+        // search rather than reusing stale placements.
+        let (app, head, fragile) = cert_app(true);
+        let fragile = fragile.unwrap();
+        let model = AppModel::build(&app);
+        let cfg = FtssConfig::default();
+        let root_ctx = ScheduleContext::root(&app);
+        let (root, log, _) = certified_run(&model, &root_ctx, &cfg, -30);
+        assert!(
+            root.statically_dropped().contains(&fragile),
+            "at the root's clocks the fragile process is worthless"
+        );
+        assert!(log.certs_len() > 0, "the log must be reuse-eligible");
+
+        let mut ctx = root_ctx.clone();
+        ctx.completed[head.index()] = true;
+        ctx.start = t(10);
+        let mut scratch = SynthesisScratch::new();
+        scratch.prefix_mut().init(&model, &ctx);
+        let (replayed, stats) = ftss_resume_replay(
+            &model,
+            &ctx,
+            &cfg,
+            &mut scratch,
+            Some((&log, 1)),
+            None,
+            None,
+        );
+        let fresh = ftss_from_context(&model, &ctx, &cfg, &mut SynthesisScratch::new());
+        assert_eq!(replayed, fresh, "fallback must reproduce the search");
+        assert!(
+            replayed.unwrap().statically_dropped().is_empty(),
+            "the pivot run must revive the fragile process"
+        );
+        assert_eq!(
+            stats.estimates_semi_replayed, 0,
+            "an out-of-window shift must never consume a certificate"
+        );
+        assert!(
+            stats.estimates_recomputed > 0,
+            "the misses must be recomputed honestly"
+        );
+        assert!(
+            stats.steps_searched > 0,
+            "the flipped verdict must force a searched step"
+        );
+    }
+
+    #[test]
+    fn semi_replay_handles_a_flipped_drop_verdict_inside_the_window() {
+        // The same flip with a window that *covers* the shift: the
+        // semi-replayed reconstruction runs at the pivot's own clocks, so
+        // it legitimately produces a different (honest) estimate value,
+        // the drop verdict flips inside replay, and the run still matches
+        // the fresh search bit for bit — certificates change *when* work
+        // happens, never *what* the f64 bits are.
+        let (app, head, fragile) = cert_app(true);
+        let fragile = fragile.unwrap();
+        let model = AppModel::build(&app);
+        let cfg = FtssConfig::default();
+        let root_ctx = ScheduleContext::root(&app);
+        let (root, log, _) = certified_run(&model, &root_ctx, &cfg, -60);
+        assert!(root.statically_dropped().contains(&fragile));
+
+        let mut ctx = root_ctx.clone();
+        ctx.completed[head.index()] = true;
+        ctx.start = t(10);
+        let mut scratch = SynthesisScratch::new();
+        scratch.prefix_mut().init(&model, &ctx);
+        let (replayed, stats) = ftss_resume_replay(
+            &model,
+            &ctx,
+            &cfg,
+            &mut scratch,
+            Some((&log, 1)),
+            None,
+            None,
+        );
+        let fresh = ftss_from_context(&model, &ctx, &cfg, &mut SynthesisScratch::new());
+        assert_eq!(replayed, fresh, "semi-replay must stay bit-identical");
+        assert!(
+            replayed.unwrap().statically_dropped().is_empty(),
+            "the honest semi-replayed values must revive the fragile process"
+        );
+        assert!(
+            stats.estimates_semi_replayed > 0,
+            "the in-window estimates must come from certificates"
+        );
+        assert!(
+            stats.steps_searched > 0,
+            "the flipped verdict still forces honest steps after the flip"
         );
     }
 

@@ -527,6 +527,54 @@ impl CompiledUtility {
         self.eval_in_slot(self.slot_of(t_ms), t_ms)
     }
 
+    /// Early-edge bound for order-stability certification: the value at
+    /// the shifted read time `max(0, t + shift)`, straight from the
+    /// compiled tables (no fresh breakpoint walk). With `shift ≤ 0` and
+    /// the validated non-increasing shape, this dominates every value the
+    /// same read can return under any avg-clock shift in `[shift, 0]` —
+    /// the read time only moves later within the window, and later never
+    /// pays more. See the "Decision replay" notes in [`crate::ftss`].
+    #[must_use]
+    pub fn value_at_shift(&self, t: Time, shift: i64) -> f64 {
+        let t_ms = (t.as_ms() as i128 + i128::from(shift)).clamp(0, u64::MAX as i128) as u64;
+        self.eval_in_slot(self.slot_of(t_ms), t_ms)
+    }
+
+    /// Largest increase any read of this table can see when its clock is
+    /// shifted by `shift ≤ 0`: `max over t of value_at_shift(t, shift) −
+    /// value(t)` (0 for flat tables or a non-negative shift). The
+    /// difference is piecewise linear in `t` with kinks only where `t` or
+    /// its shifted image crosses a slot boundary (or the clamp at 0), so
+    /// probing both integer sides of every kink covers the maximum; any
+    /// sub-ULP wobble of interior points around the exact line is the
+    /// caller's margin to absorb. One O(slots²) scan per certified run —
+    /// this backs the per-candidate constant-slack bound that makes
+    /// certification cheap (see the `ftss` module docs).
+    #[must_use]
+    pub(crate) fn max_rise(&self, shift: i64) -> f64 {
+        if shift >= 0 {
+            return 0.0;
+        }
+        let l = shift.unsigned_abs();
+        let mut rise = 0.0f64;
+        let mut probe = |t_ms: u64| {
+            let s_ms = t_ms.saturating_sub(l);
+            let d = self.eval_in_slot(self.slot_of(s_ms), s_ms)
+                - self.eval_in_slot(self.slot_of(t_ms), t_ms);
+            if d > rise {
+                rise = d;
+            }
+        };
+        probe(l);
+        for &b in &self.bounds {
+            probe(b);
+            probe(b.saturating_add(1));
+            probe(b.saturating_add(l));
+            probe(b.saturating_add(l).saturating_add(1));
+        }
+        rise
+    }
+
     /// Fills `out[i] = value(lo + i·step)` for the whole ascending sample
     /// grid in one forward merge pass over the slots: each slot's sample
     /// range is located once and filled with a tight loop the compiler
@@ -763,6 +811,79 @@ mod tests {
                         "shape {si}: cell [{lo:?},{hi:?}] of {probe} not flat at {x:?}"
                     );
                     x += Time::from_ms(1);
+                }
+            }
+        }
+    }
+
+    /// The soundness of the constant-slack certification filter: for any
+    /// negative shift, `max_rise` must dominate the pointwise rise
+    /// `value_at_shift(t, shift) − value(t)` everywhere (up to the sub-ULP
+    /// interior wobble the caller's `CERT_SLACK_MARGIN` absorbs), be zero
+    /// for non-negative shifts, and grow monotonically with `|shift|` so
+    /// cached tables built for a wider window stay safe for narrower ones.
+    #[test]
+    fn max_rise_dominates_every_pointwise_rise() {
+        let mut state = 0xFEED_FACE_CAFE_0001_u64;
+        let mut next = move |m: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        let mut shapes: Vec<UtilityFunction> = vec![
+            UtilityFunction::constant(9.75).unwrap(),
+            UtilityFunction::step(40.0, [(t(40), 20.0), (t(200), 0.0)]).unwrap(),
+            UtilityFunction::ramp(100.0, t(50), t(150)).unwrap(),
+            // A `-0.0` tail is admitted by validation; compilation
+            // normalizes it so the rise at the tail is exactly 0.
+            UtilityFunction::step(5.0, [(t(30), -0.0)]).unwrap(),
+        ];
+        for _ in 0..40 {
+            let n = 1 + next(4) as usize;
+            let mut bt = 0u64;
+            let mut v = 10.0 + next(90) as f64 + next(1000) as f64 / 999.0;
+            let initial = v;
+            let mut steps = Vec::new();
+            let mut points = vec![(t(next(8)), v)];
+            for _ in 0..n {
+                bt += 1 + next(60);
+                if next(3) > 0 {
+                    v = (v - next(30) as f64).max(0.0);
+                }
+                steps.push((t(bt), v));
+                points.push((t(bt.max(points.last().unwrap().0.as_ms()) + 1), v));
+            }
+            let f = UtilityFunction::step(initial, steps).unwrap();
+            let g = UtilityFunction::linear(points).unwrap();
+            if next(2) == 0 {
+                let off = t(1 + next(40));
+                shapes.push(f.shifted(off));
+                shapes.push(g.shifted(off));
+            } else {
+                shapes.push(f);
+                shapes.push(g);
+            }
+        }
+        for (si, u) in shapes.iter().enumerate() {
+            let c = u.compiled();
+            assert_eq!(c.max_rise(0), 0.0, "shape {si}: zero shift");
+            assert_eq!(c.max_rise(17), 0.0, "shape {si}: positive shift");
+            let mut prev = 0.0f64;
+            for shift in [-1i64, -7, -33, -64, -250] {
+                let mr = c.max_rise(shift);
+                assert!(
+                    mr >= prev,
+                    "shape {si}: max_rise must grow with |shift| ({mr} < {prev} at {shift})"
+                );
+                prev = mr;
+                let budget = mr * (1.0 + 1e-9) + 1e-12;
+                for probe in 0..400u64 {
+                    let rise = c.value_at_shift(t(probe), shift) - c.value(t(probe));
+                    assert!(
+                        rise <= budget,
+                        "shape {si} shift {shift} t {probe}: rise {rise} > max_rise {mr}"
+                    );
                 }
             }
         }

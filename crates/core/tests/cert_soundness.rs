@@ -1,0 +1,192 @@
+//! Property corpus for the order-stability certification argument (see
+//! the "Decision replay" notes in `ftqs_core::ftss`): a round's argmax
+//! winner provably survives any avg-clock shift window whose early-edge
+//! loser bounds stay below the winner's score **because** every f64 op
+//! combining utility reads into an MU score — `× α` with `α ≥ 0`,
+//! `÷ denom` with `denom ≥ 1`, the left-to-right sum, `× w` with `w ≥ 0`
+//! — is monotone in its utility reads under IEEE-754 round-to-nearest.
+//! These tests pin that monotonicity on seeded read vectors drawn from
+//! all three TUF shapes (constants, steps, piecewise-linear descents,
+//! plus their `shifted` translations), including rounding edges (1-ULP
+//! read bumps) and the `-0.0` values validation admits. Cases are
+//! generated from explicit seeds; a failing seed reproduces the case.
+
+use ftqs_core::{Time, UtilityFunction};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn t(ms: u64) -> Time {
+    Time::from_ms(ms)
+}
+
+/// The MU-combining expression, term for term and in the float-operation
+/// order of the scheduler's `mu_priority_fast` / `mu_bound_shifted`: own
+/// utility scaled by the stale coefficient and divided by the mean-density
+/// denominator, plus the lookahead-weighted left-to-right successor sum.
+fn mu_score(alpha: f64, own: f64, denom: f64, w: f64, succ: &[(f64, f64)]) -> f64 {
+    let mut score = alpha * own / denom;
+    if w != 0.0 {
+        let mut sum = 0.0;
+        for &(u, d) in succ {
+            sum += u / d;
+        }
+        score += w * sum;
+    }
+    score
+}
+
+/// The next f64 above a finite non-negative value (a 1-ULP bump — the
+/// tightest possible read increase, probing the rounding edges).
+fn next_up(v: f64) -> f64 {
+    if v == 0.0 {
+        f64::MIN_POSITIVE
+    } else {
+        f64::from_bits(v.to_bits() + 1)
+    }
+}
+
+/// A seeded utility function spanning all three shapes (sometimes
+/// `shifted`), plus a time horizon covering its breakpoints.
+fn random_function(rng: &mut StdRng) -> (UtilityFunction, u64) {
+    let peak = rng.gen_range(0.0f64..100.0);
+    let (f, horizon) = match rng.gen_range(0u32..3) {
+        0 => (UtilityFunction::constant(peak).unwrap(), 60),
+        1 => {
+            let n = rng.gen_range(1usize..=5);
+            let mut time = 0u64;
+            let mut value = peak;
+            let mut steps = Vec::new();
+            for _ in 0..n {
+                time += rng.gen_range(1u64..=40);
+                value *= rng.gen_range(0.0f64..=1.0);
+                steps.push((t(time), value));
+            }
+            (UtilityFunction::step(peak, steps).unwrap(), time + 30)
+        }
+        _ => {
+            let n = rng.gen_range(1usize..=5);
+            let mut time = rng.gen_range(0u64..10);
+            let mut value = peak;
+            let mut points = vec![(t(time), value)];
+            for _ in 1..n {
+                time += rng.gen_range(1u64..=30);
+                value *= rng.gen_range(0.0f64..=1.0);
+                points.push((t(time), value));
+            }
+            (UtilityFunction::linear(points).unwrap(), time + 30)
+        }
+    };
+    if rng.gen_bool(0.3) {
+        let offset = rng.gen_range(1u64..=40);
+        (f.shifted(t(offset)), horizon + offset)
+    } else {
+        (f, horizon)
+    }
+}
+
+#[test]
+fn mu_combining_ops_are_monotone_in_every_utility_read() {
+    // For non-negative α/w and denominators ≥ 1 (AET milliseconds), no
+    // read of the score expression may decrease the score when it grows —
+    // neither under an arbitrary increase (an earlier read of a
+    // non-increasing TUF) nor under the tightest 1-ULP bump.
+    for seed in 0..400u64 {
+        let mut rng = StdRng::seed_from_u64(0x3505 ^ seed.wrapping_mul(0x9E37_79B9));
+        let (own_f, horizon) = random_function(&mut rng);
+        let nsucc = rng.gen_range(0usize..=4);
+        let succ_f: Vec<(UtilityFunction, u64)> =
+            (0..nsucc).map(|_| random_function(&mut rng)).collect();
+
+        let alpha = rng.gen_range(0.0f64..=1.5);
+        let w = [0.0, 0.25, 1.0][rng.gen_range(0usize..3)];
+        let denom = rng.gen_range(1u64..=120) as f64;
+
+        // Reads at a "late" time and at any earlier time: the TUF shape
+        // guarantees earlier-read ≥ later-read per coordinate.
+        let late = rng.gen_range(0..=horizon);
+        let early = rng.gen_range(0..=late);
+        let own_late = own_f.value(t(late));
+        let own_early = own_f.value(t(early));
+        assert!(own_early >= own_late, "seed {seed}: TUF not non-increasing");
+        let succ_late: Vec<(f64, f64)> = succ_f
+            .iter()
+            .map(|(f, h)| (f.value(t(late.min(*h))), rng.gen_range(1u64..=120) as f64))
+            .collect();
+
+        let base = mu_score(alpha, own_late, denom, w, &succ_late);
+
+        // Bump each read independently: to its early value, and by 1 ULP.
+        for (f, h) in &succ_f {
+            assert!(
+                f.value(t(early.min(*h))) >= f.value(t(late.min(*h))),
+                "seed {seed}: successor TUF not non-increasing"
+            );
+        }
+        let own_bumps = [own_early, next_up(own_late)];
+        for &own in &own_bumps {
+            let s = mu_score(alpha, own, denom, w, &succ_late);
+            assert!(
+                s >= base,
+                "seed {seed}: raising the own read {own_late} → {own} \
+                 dropped the score {base} → {s}"
+            );
+        }
+        for k in 0..succ_late.len() {
+            for bump in [
+                succ_f[k].0.value(t(early.min(succ_f[k].1))),
+                next_up(succ_late[k].0),
+            ] {
+                let mut reads = succ_late.clone();
+                reads[k].0 = bump;
+                let s = mu_score(alpha, own_late, denom, w, &reads);
+                assert!(
+                    s >= base,
+                    "seed {seed}: raising successor read {k} \
+                     {} → {bump} dropped the score {base} → {s}",
+                    succ_late[k].0
+                );
+            }
+        }
+
+        // And jointly: every read at its early (maximal) value dominates.
+        let succ_early: Vec<(f64, f64)> = succ_f
+            .iter()
+            .zip(&succ_late)
+            .map(|((f, h), &(_, d))| (f.value(t(early.min(*h))), d))
+            .collect();
+        let all = mu_score(alpha, own_early, denom, w, &succ_early);
+        assert!(
+            all >= base,
+            "seed {seed}: the all-early score {all} fell below {base}"
+        );
+    }
+}
+
+#[test]
+fn negative_zero_reads_never_perturb_scores_or_orderings() {
+    // Validation admits a literal `-0.0` utility value (it is
+    // non-negative); the interpreted walk can therefore hand `-0.0` to
+    // the combining ops while the compiled tables normalize it to `+0.0`.
+    // The two must produce equal scores and identical comparison results,
+    // so neither an argmax round nor a certificate dominance check can
+    // ever flip on the sign of zero.
+    let neg = UtilityFunction::step(5.0, [(t(30), -0.0)]).unwrap();
+    let pos = UtilityFunction::step(5.0, [(t(30), 0.0)]).unwrap();
+    let read_neg = neg.value(t(31));
+    let read_pos = pos.value(t(31));
+    assert_eq!(read_neg.to_bits(), (-0.0f64).to_bits(), "interpreted -0.0");
+    assert_eq!(
+        neg.compiled().value(t(31)).to_bits(),
+        0.0f64.to_bits(),
+        "compilation normalizes -0.0"
+    );
+    for (alpha, w) in [(0.0, 0.0), (1.0, 0.5), (0.7, 1.0)] {
+        let a = mu_score(alpha, read_neg, 10.0, w, &[(read_neg, 7.0)]);
+        let b = mu_score(alpha, read_pos, 10.0, w, &[(read_pos, 7.0)]);
+        assert_eq!(a, b, "alpha {alpha} w {w}: scores must compare equal");
+        // Comparison results — the only thing certification consumes.
+        let rival = 0.25;
+        assert_eq!(a < rival, b < rival);
+        assert_eq!(a > rival, b > rival);
+    }
+}

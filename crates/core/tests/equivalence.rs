@@ -219,6 +219,7 @@ fn deep_trees_match_reference_in_all_expansion_modes() {
     let corpus = schedulable_corpus(20);
     let mut session = Engine::new().session();
     let mut replayed_total = 0usize;
+    let mut semi_replayed_total = 0usize;
     for (seed, app) in corpus.iter().take(10) {
         for budget in [16usize, 24, 40] {
             let incremental = session
@@ -273,16 +274,34 @@ fn deep_trees_match_reference_in_all_expansion_modes() {
                 incremental.stats.expansion.steps_replayed, 0,
                 "seed {seed}: replay counters stay zero outside Replay mode"
             );
+            for (mode, stats) in [
+                ("incremental", &incremental.stats.expansion),
+                ("rerun", &rerun.stats.expansion),
+            ] {
+                assert_eq!(
+                    stats.estimates_certified, 0,
+                    "seed {seed}: estimate counters stay zero in {mode} mode"
+                );
+                assert_eq!(stats.estimates_semi_replayed, 0, "seed {seed} ({mode})");
+                assert_eq!(stats.estimates_recomputed, 0, "seed {seed} ({mode})");
+            }
             assert_eq!(rerun.stats.expansion.snapshots, 0, "seed {seed}");
             assert_eq!(rerun.stats.expansion.restores, 0, "seed {seed}");
             assert_eq!(rerun.stats.expansion.prefix_steps_saved, 0, "seed {seed}");
             assert_eq!(rerun.stats.expansion.steps_replayed, 0, "seed {seed}");
             replayed_total += replay.stats.expansion.steps_replayed;
+            semi_replayed_total += replay.stats.expansion.estimates_semi_replayed;
         }
     }
     assert!(
         replayed_total > 0,
         "the corpus must exercise actual decision replay"
+    );
+    assert!(
+        semi_replayed_total > 0,
+        "the corpus must exercise certified estimate semi-replay \
+         (trees above are pinned identical across modes, so the reuse is \
+         proven sound where it fires)"
     );
 }
 
